@@ -1,0 +1,42 @@
+"""Shared fixtures and reporting helpers for the paper benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's section 6
+at laptop scale.  Absolute numbers differ from the paper's testbed; the
+assertions encode the *shape* each artefact must reproduce (who wins, by
+roughly what factor).  Scales can be raised via environment variables:
+
+    REPRO_BENCH_SCALE      multiplier on document counts (default 1.0)
+"""
+
+import os
+import sys
+
+import pytest
+
+#: global scale knob for document counts
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(count: int, minimum: int = 1) -> int:
+    return max(minimum, int(count * SCALE))
+
+
+_REPORTED = set()
+
+
+def report(title: str, lines) -> None:
+    """Print a paper-style table once per session (visible with -s; also
+    emitted into the captured output of the first benchmark that builds
+    it)."""
+    if title in _REPORTED:
+        return
+    _REPORTED.add(title)
+    out = ["", "=" * 72, title, "-" * 72]
+    out.extend(lines)
+    out.append("=" * 72)
+    print("\n".join(out), file=sys.stderr)
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return SCALE

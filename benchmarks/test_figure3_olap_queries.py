@@ -1,0 +1,125 @@
+"""Figure 3 — the 9 OLAP queries over JSON / BSON / OSON / REL storage.
+
+The paper's shape:
+
+* query performance ordering: OSON >= BSON > JSON text (OSON is 5-10x
+  faster than text on Q2-Q6, where predicate pushdown lets the binary
+  format's jump navigation skip non-matching documents);
+* REL is the fastest (in the paper OSON is on par with REL; a pure-Python
+  byte-navigated format cannot match C-speed dict rows, so here REL keeps
+  a lead — see EXPERIMENTS.md for the deviation note).
+"""
+
+import pytest
+
+from benchmarks.conftest import report, scaled
+from repro import bson
+from repro.core.oson import encode as oson_encode
+from repro.engine import Column, Database, NUMBER, CLOB
+from repro.engine.types import BLOB
+from repro.jsontext import dumps
+from repro.workloads.purchase_orders import (
+    PoOlapQueries,
+    PoQueryParams,
+    PurchaseOrderGenerator,
+    build_po_views,
+    build_rel_views,
+)
+from repro.workloads.relational import create_rel_tables, shred_documents
+
+N = scaled(700)
+STORAGES = ["json", "bson", "oson", "rel"]
+QUERIES = ["q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9"]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    documents = list(PurchaseOrderGenerator().documents(N))
+    db = Database()
+    queries = {}
+    for name, encode_fn, sql_type in [("json", dumps, CLOB),
+                                      ("bson", bson.encode, BLOB),
+                                      ("oson", oson_encode, BLOB)]:
+        table = db.create_table(f"po_{name}", [Column("did", NUMBER),
+                                               Column("jdoc", sql_type)])
+        for i, doc in enumerate(documents):
+            table.insert({"did": i, "jdoc": encode_fn(doc)})
+        mv, dmdv = build_po_views(db, table, "jdoc", name)
+        queries[name] = PoOlapQueries(mv, dmdv)
+    master, detail = create_rel_tables(db)
+    shred_documents(master, detail, documents)
+    mv, dmdv = build_rel_views(db, master, detail, "rel")
+    queries["rel"] = PoOlapQueries(mv, dmdv)
+    params = PoQueryParams(documents)
+    return queries, params
+
+
+def _run(queries, params, storage, qid):
+    q = queries[storage]
+    runners = {
+        "q1": lambda: q.q1(params.reference),
+        "q2": q.q2,
+        "q3": lambda: q.q3(params.partno),
+        "q4": lambda: q.q4(params.requestor, 2, 50.0),
+        "q5": lambda: q.q5(params.partnos),
+        "q6": lambda: q.q6(params.partno),
+        "q7": q.q7,
+        "q8": lambda: q.q8(10, 400.0),
+        "q9": q.q9,
+    }
+    return runners[qid]()
+
+
+@pytest.fixture(scope="module")
+def timing_table(setup):
+    """One warm-up run per (query, storage) with wall-clock timing,
+    verifying all storages agree, and printing the Figure 3 series."""
+    import time
+    queries, params = setup
+    times = {}
+    for qid in QUERIES:
+        reference_result = None
+        for storage in STORAGES:
+            start = time.perf_counter()
+            result = _run(queries, params, storage, qid)
+            times[(qid, storage)] = time.perf_counter() - start
+            if reference_result is None:
+                reference_result = result
+            else:
+                assert result == reference_result, (qid, storage)
+    lines = [f"{'query':<6}" + "".join(f"{s:>12}" for s in STORAGES)
+             + f"{'json/oson':>12}"]
+    for qid in QUERIES:
+        cells = "".join(f"{times[(qid, s)] * 1000:>12.1f}" for s in STORAGES)
+        ratio = times[(qid, "json")] / times[(qid, "oson")]
+        lines.append(f"{qid:<6}{cells}{ratio:>12.1f}")
+    report(f"Figure 3 — query time (ms), {N} documents", lines)
+    _assert_shape(times)
+    return times
+
+
+def _assert_shape(times):
+    """The headline claims, enforced even under --benchmark-only: OSON
+    beats text 5-10x on Q2-Q6 (>=3x asserted to absorb timer noise) and
+    the binary formats beat text overall."""
+    def total(storage):
+        return sum(times[(qid, storage)] for qid in QUERIES)
+
+    for qid in ("q2", "q3", "q4", "q5", "q6"):
+        ratio = times[(qid, "json")] / times[(qid, "oson")]
+        assert ratio > 3.0, f"{qid}: json/oson = {ratio:.1f}"
+    assert total("oson") < total("json")
+    assert total("bson") < total("json")
+    assert total("rel") < total("oson")  # Python-reproduction deviation
+
+
+@pytest.mark.parametrize("storage", STORAGES)
+@pytest.mark.parametrize("qid", QUERIES)
+def test_figure3_query(benchmark, setup, timing_table, qid, storage):
+    queries, params = setup
+    result = benchmark(_run, queries, params, storage, qid)
+    assert result is not None
+
+
+def test_figure3_shape(timing_table):
+    _assert_shape(timing_table)

@@ -1,0 +1,81 @@
+"""Figure 4 — storage size of the four purchase-order storage methods.
+
+The paper's shape: BSON is marginally the biggest; JSON text and OSON are
+of similar size; REL (shredded tables + PK/FK indexes) is ~21% smaller
+than the self-contained formats, the price those formats pay for carrying
+schema in every document.
+"""
+
+import pytest
+
+from benchmarks.conftest import report, scaled
+from repro import bson
+from repro.core.oson import encode as oson_encode
+from repro.engine import Column, Database, NUMBER, CLOB
+from repro.engine.types import BLOB
+from repro.jsontext import dumps
+from repro.workloads.purchase_orders import PurchaseOrderGenerator
+from repro.workloads.relational import (
+    create_rel_tables,
+    rel_storage_bytes,
+    shred_documents,
+)
+
+N = scaled(1500)
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return list(PurchaseOrderGenerator().documents(N))
+
+
+def _load_storage(documents, name):
+    db = Database()
+    if name == "rel":
+        master, detail = create_rel_tables(db)
+        shred_documents(master, detail, documents)
+        return rel_storage_bytes(master, detail)
+    encode_fn, sql_type = {
+        "json": (dumps, CLOB),
+        "bson": (bson.encode, BLOB),
+        "oson": (oson_encode, BLOB),
+    }[name]
+    table = db.create_table("po", [Column("did", NUMBER),
+                                   Column("jdoc", sql_type)])
+    for i, doc in enumerate(documents):
+        table.insert({"did": i, "jdoc": encode_fn(doc)})
+    return table.storage_bytes()
+
+
+@pytest.fixture(scope="module")
+def sizes(documents):
+    values = {name: _load_storage(documents, name)
+              for name in ("json", "bson", "oson", "rel")}
+    lines = [f"{name:<6} {size / 1024:>10.1f} KiB "
+             f"({size / values['json']:.2f}x JSON)"
+             for name, size in values.items()]
+    report(f"Figure 4 — storage size, {N} documents", lines)
+    _assert_shape(values)
+    return values
+
+
+def _assert_shape(values):
+    # BSON marginally the biggest self-contained format
+    assert values["bson"] >= values["json"] * 0.95
+    # JSON and OSON similar (paper: identical at 136MB)
+    assert 0.7 < values["oson"] / values["json"] < 1.3
+    # REL smaller than every self-contained format (paper: ~21% smaller)
+    assert values["rel"] < values["json"]
+    assert values["rel"] < values["oson"]
+    assert values["rel"] < values["bson"]
+
+
+@pytest.mark.parametrize("name", ["json", "bson", "oson", "rel"])
+def test_figure4_load_storage(benchmark, documents, sizes, name):
+    """Time the full load of one storage method and record its size."""
+    size = benchmark(_load_storage, documents, name)
+    assert size == sizes[name]
+
+
+def test_figure4_shape(sizes):
+    _assert_shape(sizes)

@@ -1,0 +1,101 @@
+"""Figure 5 — NOBENCH Q1-Q11: TEXT-MODE vs OSON-IMC-MODE.
+
+The paper's shape: evaluating the 11 NOBENCH queries over in-memory OSON
+is dramatically faster than over cached JSON text, because TEXT mode must
+re-tokenize every document per query while OSON jump-navigates.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report, scaled
+from repro.imc.json_modes import JsonColumnIMC, OSON_IMC_MODE, TEXT_MODE
+from repro.jsontext import dumps
+from repro.workloads.nobench import NobenchGenerator, NobenchQueries
+
+N = scaled(1200)
+QUERIES = ["q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9", "q10",
+           "q11"]
+
+
+@pytest.fixture(scope="module")
+def texts():
+    return [dumps(d) for d in NobenchGenerator().documents(N)]
+
+
+def _make(texts, mode):
+    imc = JsonColumnIMC(mode)
+    imc.load_texts(texts)
+    imc.populate()
+    return NobenchQueries(imc, N)
+
+
+@pytest.fixture(scope="module")
+def text_queries(texts):
+    return _make(texts, TEXT_MODE)
+
+
+@pytest.fixture(scope="module")
+def oson_queries(texts):
+    return _make(texts, OSON_IMC_MODE)
+
+
+@pytest.fixture(scope="module")
+def timing_table(text_queries, oson_queries):
+    times = {}
+    for qid in QUERIES:
+        for label, queries in (("text", text_queries),
+                               ("oson-imc", oson_queries)):
+            start = time.perf_counter()
+            result = getattr(queries, qid)()
+            times[(qid, label)] = time.perf_counter() - start
+            times[(qid, label, "size")] = len(result)
+        assert times[(qid, "text", "size")] == times[(qid, "oson-imc", "size")]
+    lines = [f"{'query':<6}{'TEXT ms':>12}{'OSON-IMC ms':>14}{'speedup':>10}"]
+    total_text = total_oson = 0.0
+    for qid in QUERIES:
+        t, o = times[(qid, "text")], times[(qid, "oson-imc")]
+        total_text += t
+        total_oson += o
+        lines.append(f"{qid:<6}{t * 1000:>12.1f}{o * 1000:>14.1f}"
+                     f"{t / o:>10.1f}x")
+    lines.append(f"{'total':<6}{total_text * 1000:>12.1f}"
+                 f"{total_oson * 1000:>14.1f}{total_text / total_oson:>10.1f}x")
+    report(f"Figure 5 — NOBENCH TEXT vs OSON-IMC, {N} documents", lines)
+    _assert_shape(times)
+    return times
+
+
+def _assert_shape(times):
+    """OSON-IMC must beat TEXT overall by a wide margin and on nearly
+    every query individually (enforced even under --benchmark-only)."""
+    total_text = sum(times[(q, "text")] for q in QUERIES)
+    total_oson = sum(times[(q, "oson-imc")] for q in QUERIES)
+    assert total_text / total_oson > 2.5
+    wins = sum(times[(q, "text")] > times[(q, "oson-imc")] for q in QUERIES)
+    assert wins >= 9
+
+
+@pytest.mark.parametrize("mode", ["text", "oson-imc"])
+@pytest.mark.parametrize("qid", QUERIES)
+def test_figure5_query(benchmark, text_queries, oson_queries, timing_table,
+                       qid, mode):
+    queries = text_queries if mode == "text" else oson_queries
+    benchmark(getattr(queries, qid))
+
+
+def test_figure5_shape(timing_table):
+    _assert_shape(timing_table)
+
+
+def test_figure5_populate_cost(benchmark, texts):
+    """The one-time OSON() population cost (implicit virtual column of
+    section 5.2.2) — priced but excluded from the per-query numbers."""
+    def populate():
+        imc = JsonColumnIMC(OSON_IMC_MODE)
+        imc.load_texts(texts)
+        imc.populate()
+        return imc
+    imc = benchmark(populate)
+    assert len(imc) == N

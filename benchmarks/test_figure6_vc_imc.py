@@ -1,0 +1,89 @@
+"""Figure 6 — Q6/Q7/Q10/Q11: OSON-IMC-MODE vs VC-IMC-MODE.
+
+The paper's shape: the four queries whose predicates/projections touch
+only the three IMC-loaded virtual columns ($.str1, $.num RETURNING
+NUMBER, $.dyn1 RETURNING NUMBER) run significantly faster against the
+columnar vectors than against per-document OSON navigation.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report, scaled
+from repro.imc.json_modes import JsonColumnIMC, OSON_IMC_MODE, VC_IMC_MODE
+from repro.jsontext import dumps
+from repro.workloads.nobench import NobenchGenerator, NobenchQueries, VC_PATHS
+
+N = scaled(4000)
+QUERIES = ["q6", "q7", "q10", "q11"]
+
+
+@pytest.fixture(scope="module")
+def texts():
+    return [dumps(d) for d in NobenchGenerator().documents(N)]
+
+
+def _make(texts, mode, vc_paths=()):
+    imc = JsonColumnIMC(mode, vc_paths)
+    imc.load_texts(texts)
+    imc.populate()
+    return NobenchQueries(imc, N)
+
+
+@pytest.fixture(scope="module")
+def oson_queries(texts):
+    return _make(texts, OSON_IMC_MODE)
+
+
+@pytest.fixture(scope="module")
+def vc_queries(texts):
+    return _make(texts, VC_IMC_MODE, VC_PATHS)
+
+
+@pytest.fixture(scope="module")
+def timing_table(oson_queries, vc_queries):
+    times = {}
+    for qid in QUERIES:
+        oson_result = getattr(oson_queries, qid)()
+        vc_result = getattr(vc_queries, qid)()
+        if qid == "q11":
+            assert sorted(oson_result) == sorted(vc_result)
+        else:
+            assert oson_result == vc_result
+        for label, queries in (("oson-imc", oson_queries),
+                               ("vc-imc", vc_queries)):
+            start = time.perf_counter()
+            getattr(queries, qid)()
+            times[(qid, label)] = time.perf_counter() - start
+    lines = [f"{'query':<6}{'OSON-IMC ms':>14}{'VC-IMC ms':>12}{'speedup':>10}"]
+    for qid in QUERIES:
+        o, v = times[(qid, "oson-imc")], times[(qid, "vc-imc")]
+        lines.append(f"{qid:<6}{o * 1000:>14.1f}{v * 1000:>12.1f}"
+                     f"{o / v:>10.1f}x")
+    report(f"Figure 6 — OSON-IMC vs VC-IMC, {N} documents", lines)
+    _assert_shape(times)
+    return times
+
+
+def _assert_shape(times):
+    """VC-IMC must significantly beat OSON-IMC on the VC-eligible
+    selective queries (enforced even under --benchmark-only)."""
+    for qid in ("q6", "q7"):
+        ratio = times[(qid, "oson-imc")] / times[(qid, "vc-imc")]
+        assert ratio > 5.0, f"{qid}: oson/vc = {ratio:.1f}"
+    total_oson = sum(times[(q, "oson-imc")] for q in QUERIES)
+    total_vc = sum(times[(q, "vc-imc")] for q in QUERIES)
+    assert total_vc < total_oson
+
+
+@pytest.mark.parametrize("mode", ["oson-imc", "vc-imc"])
+@pytest.mark.parametrize("qid", QUERIES)
+def test_figure6_query(benchmark, oson_queries, vc_queries, timing_table,
+                       qid, mode):
+    queries = oson_queries if mode == "oson-imc" else vc_queries
+    benchmark(getattr(queries, qid))
+
+
+def test_figure6_shape(timing_table):
+    _assert_shape(timing_table)

@@ -1,0 +1,85 @@
+"""Figure 9 — transient DataGuide aggregation with sampling.
+
+JSON_DATAGUIDEAGG over a NOBENCH collection at 25/50/75/99% samples, plus
+persistent-index creation over the same collection.  Paper shape:
+
+* transient aggregation time is linear in the sample percentage;
+* creating the persistent DataGuide (search index build: same skeleton
+  computation plus $DG persistence and inverted-index maintenance) costs
+  more than the 99%-sample transient aggregation (paper: +27%).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report, scaled
+from repro.core.dataguide import json_dataguide_agg
+from repro.core.dataguide.persistent import PersistentDataGuide
+from repro.jsontext import dumps, loads
+from repro.workloads.nobench import NobenchGenerator
+
+N = scaled(3000)
+SAMPLES = [25, 50, 75, 99]
+
+
+@pytest.fixture(scope="module")
+def texts():
+    return [dumps(d) for d in NobenchGenerator().documents(N)]
+
+
+@pytest.fixture(scope="module")
+def timing_table(texts):
+    times = {}
+    for pct in SAMPLES:
+        start = time.perf_counter()
+        guide = json_dataguide_agg(texts, sample_percent=pct, seed=42)
+        times[pct] = time.perf_counter() - start
+        times[(pct, "paths")] = len(guide)
+    # persistent dataguide over (all) parsed documents: skeletons + $DG
+    start = time.perf_counter()
+    pdg = PersistentDataGuide()
+    for text in texts:
+        pdg.on_document(loads(text))
+    pdg.compute_statistics()
+    times["persistent"] = time.perf_counter() - start
+    lines = [f"sample {pct:>3}%  {times[pct] * 1000:>10.1f} ms  "
+             f"({times[(pct, 'paths')]} paths)" for pct in SAMPLES]
+    lines.append(f"persistent  {times['persistent'] * 1000:>10.1f} ms  "
+                 f"(+{100 * (times['persistent'] / times[99] - 1):.0f}% vs "
+                 "99% transient; paper: +27%)")
+    report(f"Figure 9 — transient DataGuide aggregation, {N} documents",
+           lines)
+    _assert_shape(times)
+    return times
+
+
+def _assert_shape(times):
+    # time grows monotonically and roughly linearly with the sample size
+    assert times[25] < times[75]
+    assert times[50] < times[99]
+    ratio = times[99] / times[25]
+    assert 2.0 < ratio < 8.0, f"99%/25% = {ratio:.1f}"
+    # the persistent build does strictly more work than a 99% transient
+    assert times["persistent"] > times[99]
+
+
+@pytest.mark.parametrize("pct", SAMPLES)
+def test_figure9_sampled_aggregation(benchmark, texts, timing_table, pct):
+    guide = benchmark(json_dataguide_agg, texts, sample_percent=pct, seed=42)
+    assert len(guide) > 0
+
+
+def test_figure9_persistent_creation(benchmark, texts, timing_table):
+    def build():
+        pdg = PersistentDataGuide()
+        for text in texts:
+            pdg.on_document(loads(text))
+        pdg.compute_statistics()
+        return pdg
+    pdg = benchmark(build)
+    assert pdg.documents_seen == N
+
+
+def test_figure9_shape(timing_table):
+    _assert_shape(timing_table)

@@ -1,0 +1,56 @@
+"""Table 10 — average document size under JSON / BSON / OSON encodings.
+
+Regenerates the per-collection size rows.  The paper's shape:
+
+* small/medium documents: the three encodings are within a small factor
+  of each other (OSON sometimes slightly larger, sometimes smaller);
+* large repetitive documents (TwitterMsgArchive, SensorData): OSON is
+  substantially smaller than JSON text because repeated field names are
+  stored once in the dictionary segment.
+"""
+
+import pytest
+
+from benchmarks.conftest import report, scaled
+from repro.core.oson.stats import size_stats
+from repro.workloads.collections import COLLECTION_NAMES, collection
+
+SMALL_SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def collections():
+    return {name: collection(name, SMALL_SCALE) for name in COLLECTION_NAMES}
+
+
+@pytest.fixture(scope="module")
+def size_rows(collections):
+    rows = {}
+    for name, docs in collections.items():
+        rows[name] = size_stats(docs)
+    lines = [f"{'collection':<20} {'JSON':>10} {'BSON':>10} {'OSON':>10} "
+             f"{'OSON/JSON':>10}"]
+    for name, stats in rows.items():
+        lines.append(
+            f"{name:<20} {stats.avg_json:>10.0f} {stats.avg_bson:>10.0f} "
+            f"{stats.avg_oson:>10.0f} {stats.avg_oson / stats.avg_json:>10.2f}")
+    report("Table 10 — avg bytes/document by encoding", lines)
+    return rows
+
+
+@pytest.mark.parametrize("name", COLLECTION_NAMES)
+def test_table10_encode_collection(benchmark, collections, size_rows, name):
+    """Time the three-way encoding of one collection (the measured work
+    behind the Table 10 row) and assert the paper's size shape."""
+    docs = collections[name]
+    stats = benchmark(size_stats, docs)
+    assert stats.count == len(docs)
+    ratio = stats.avg_oson / stats.avg_json
+    if name in ("TwitterMsgArchive", "SensorData"):
+        # large repetitive documents: OSON clearly smaller than text
+        assert ratio < 0.85, f"{name}: OSON/JSON = {ratio:.2f}"
+    else:
+        # small documents: rough parity (paper range ~0.88-1.23)
+        assert 0.4 < ratio < 1.8, f"{name}: OSON/JSON = {ratio:.2f}"
+    # BSON is in the same size regime as JSON text everywhere
+    assert 0.5 < stats.avg_bson / stats.avg_json < 2.2

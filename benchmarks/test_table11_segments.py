@@ -1,0 +1,58 @@
+"""Table 11 — OSON three-segment size ratios per collection.
+
+The paper's shape:
+
+* small business documents spend roughly a third to a half of their bytes
+  in the field-id-name dictionary;
+* LoanNotes (huge field-name vocabulary, tiny values) is the most
+  dictionary-heavy row (62.7% in the paper);
+* YCSB (few fields, 100-byte values) is value-dominated (84.4%);
+* the two large archives amortize the dictionary to ~0% — SensorData
+  becomes tree-navigation-dominated (80.8%).
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.oson.stats import segment_stats
+from repro.workloads.collections import COLLECTION_NAMES, collection
+
+SMALL_SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def collections():
+    return {name: collection(name, SMALL_SCALE) for name in COLLECTION_NAMES}
+
+
+@pytest.fixture(scope="module")
+def segment_rows(collections):
+    rows = {name: segment_stats(docs) for name, docs in collections.items()}
+    lines = [f"{'collection':<20} {'dict%':>8} {'tree%':>8} {'values%':>8}"]
+    for name, stats in rows.items():
+        lines.append(f"{name:<20} {100 * stats.dictionary_ratio:>8.2f} "
+                     f"{100 * stats.tree_ratio:>8.2f} "
+                     f"{100 * stats.values_ratio:>8.2f}")
+    report("Table 11 — OSON segment ratios", lines)
+    return rows
+
+
+@pytest.mark.parametrize("name", COLLECTION_NAMES)
+def test_table11_segment_ratios(benchmark, collections, segment_rows, name):
+    stats = benchmark(segment_stats, collections[name])
+    total = stats.dictionary_ratio + stats.tree_ratio + stats.values_ratio
+    assert abs(total - 1.0) < 1e-6
+    if name == "LoanNotes":
+        assert stats.dictionary_ratio > 0.5          # paper: 62.7%
+    elif name == "YCSBDoc":
+        assert stats.values_ratio > 0.7              # paper: 84.4%
+    elif name == "SensorData":
+        assert stats.dictionary_ratio < 0.01         # paper: 0.01%
+        assert stats.tree_ratio > 0.5                # paper: 80.8%
+    elif name == "TwitterMsgArchive":
+        assert stats.dictionary_ratio < 0.01         # paper: 0.05%
+    elif name == "AcquisionDoc":
+        assert stats.values_ratio > 0.5              # paper: 57.1%
+    else:
+        # small business docs: dictionary is a substantial fraction
+        assert stats.dictionary_ratio > 0.15

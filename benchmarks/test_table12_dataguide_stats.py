@@ -1,0 +1,70 @@
+"""Table 12 — DataGuide statistics per collection.
+
+For each collection: the number of distinct paths (the $DG row count),
+the DMDV column count (root-to-leaf paths) and the DMDV fan-out ratio
+(DMDV rows per document).  Paper shape: NOBENCH has ~1000+ paths from its
+sparse fields; YCSB is tiny and flat (fan-out 1); the two archives have
+enormous fan-out (thousands of detail rows per document).
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.dataguide import json_dataguide_agg
+from repro.core.dataguide.views import build_json_table
+from repro.workloads.collections import COLLECTION_NAMES, collection
+
+SMALL_SCALE = 0.25
+
+#: fan-out computation over the full NOBENCH sparse space is expensive and
+#: structurally uninformative (1000 one-column-wide NESTED PATHs do not
+#: exist — all sparse fields are scalar); keep its guide but skip DMDV
+_SKIP_DMDV = set()
+
+
+@pytest.fixture(scope="module")
+def collections():
+    return {name: collection(name, SMALL_SCALE) for name in COLLECTION_NAMES}
+
+
+@pytest.fixture(scope="module")
+def guide_rows(collections):
+    rows = {}
+    for name, docs in collections.items():
+        guide = json_dataguide_agg(docs)
+        if name in _SKIP_DMDV:
+            fan_out = None
+        else:
+            jt = build_json_table(guide)
+            total_rows = sum(len(jt.rows(doc)) for doc in docs)
+            fan_out = total_rows / len(docs)
+        rows[name] = (len(guide), guide.dmdv_column_count(), fan_out)
+    lines = [f"{'collection':<20} {'paths':>8} {'dmdv cols':>10} "
+             f"{'fan-out':>10}"]
+    for name, (paths, cols, fan_out) in rows.items():
+        fo = f"{fan_out:.1f}" if fan_out is not None else "-"
+        lines.append(f"{name:<20} {paths:>8} {cols:>10} {fo:>10}")
+    report("Table 12 — DataGuide statistics", lines)
+    return rows
+
+
+@pytest.mark.parametrize("name", COLLECTION_NAMES)
+def test_table12_dataguide_stats(benchmark, collections, guide_rows, name):
+    docs = collections[name]
+    guide = benchmark(json_dataguide_agg, docs)
+    paths, cols, fan_out = guide_rows[name]
+    assert len(guide) == paths
+    # structural invariants for every collection
+    assert cols <= paths  # leaves are a subset of all distinct paths
+    if name == "YCSBDoc":
+        assert fan_out == 1.0           # flat documents (paper: 1)
+        assert paths <= 15              # paper: 10
+    elif name == "NOBENCHDoc":
+        # sparse fields dominate the column count (paper: 1000 of 1011);
+        # at reduced scale each doc contributes ~10 distinct sparse fields
+        from repro.workloads.nobench import SPARSE_PER_DOCUMENT
+        assert cols > len(docs) * SPARSE_PER_DOCUMENT * 0.5
+    elif name in ("TwitterMsgArchive", "SensorData"):
+        assert fan_out > 300            # paper: 5405 / 32100
+    else:
+        assert 1.0 <= fan_out < 60     # master-detail documents

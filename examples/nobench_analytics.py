@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""NOBENCH analytics across the three in-memory modes (paper section 6.4).
+
+Loads a NOBENCH collection as JSON text ("on disk"), then runs the same
+queries in the paper's three execution modes and reports the speedups:
+
+* TEXT-MODE     — queries re-parse the cached text every time;
+* OSON-IMC-MODE — the implicit OSON() virtual column populates binary
+  documents in memory; queries jump-navigate;
+* VC-IMC-MODE   — three JSON_VALUE virtual columns become numpy vectors;
+  Q6/Q7/Q10/Q11 run as vectorized columnar kernels.
+
+Run:  python examples/nobench_analytics.py [doc_count]
+"""
+
+import sys
+import time
+
+from repro.imc.json_modes import (
+    JsonColumnIMC,
+    OSON_IMC_MODE,
+    TEXT_MODE,
+    VC_IMC_MODE,
+)
+from repro.jsontext import dumps
+from repro.workloads.nobench import NobenchGenerator, NobenchQueries, VC_PATHS
+
+QUERIES = ["q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9", "q10",
+           "q11"]
+
+
+def build(texts, n, mode, vc_paths=()):
+    imc = JsonColumnIMC(mode, vc_paths)
+    imc.load_texts(texts)
+    start = time.perf_counter()
+    imc.populate()
+    populate_seconds = time.perf_counter() - start
+    return NobenchQueries(imc, n), populate_seconds
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    print(f"Generating {n} NOBENCH documents "
+          f"(~11 common fields + 10 sparse fields each)...")
+    texts = [dumps(d) for d in NobenchGenerator().documents(n)]
+
+    modes = {}
+    for label, mode, vc in (("TEXT", TEXT_MODE, ()),
+                            ("OSON-IMC", OSON_IMC_MODE, ()),
+                            ("VC-IMC", VC_IMC_MODE, VC_PATHS)):
+        queries, populate_seconds = build(texts, n, mode, vc)
+        modes[label] = queries
+        print(f"  {label:<9} populated in {populate_seconds * 1000:8.1f} ms, "
+              f"{queries.source.memory_bytes() / 1024:9.1f} KiB in memory")
+
+    print(f"\n{'query':<6}{'TEXT ms':>10}{'OSON-IMC ms':>13}"
+          f"{'VC-IMC ms':>11}{'best speedup':>14}")
+    totals = dict.fromkeys(modes, 0.0)
+    for qid in QUERIES:
+        row = {}
+        sizes = set()
+        for label, queries in modes.items():
+            start = time.perf_counter()
+            result = getattr(queries, qid)()
+            row[label] = time.perf_counter() - start
+            totals[label] += row[label]
+            sizes.add(len(result))
+        assert len(sizes) == 1, f"{qid}: modes disagree!"
+        speedup = row["TEXT"] / min(row["OSON-IMC"], row["VC-IMC"])
+        print(f"{qid:<6}{row['TEXT'] * 1000:>10.1f}"
+              f"{row['OSON-IMC'] * 1000:>13.1f}"
+              f"{row['VC-IMC'] * 1000:>11.1f}{speedup:>13.1f}x")
+    print(f"{'total':<6}{totals['TEXT'] * 1000:>10.1f}"
+          f"{totals['OSON-IMC'] * 1000:>13.1f}"
+          f"{totals['VC-IMC'] * 1000:>11.1f}"
+          f"{totals['TEXT'] / totals['VC-IMC']:>13.1f}x")
+    print("\n(Figure 5 is the TEXT vs OSON-IMC comparison; Figure 6 is "
+          "OSON-IMC vs VC-IMC on Q6/Q7/Q10/Q11.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""OSON deep dive: the three-segment binary format under a microscope.
+
+Shows what the paper's section 4 describes, on real bytes:
+
+* the three segments and their sizes (Figure 2 / Table 11);
+* the field-id-name dictionary with hash-ordered ids;
+* offset-based jump navigation (no parsing on the read path);
+* the compile-time hash + single-row look-back optimizations;
+* partial leaf updates in place;
+* the size advantage over JSON text on repetitive documents (Table 10);
+* the section 7 set-encoding prototype with a shared dictionary.
+
+Run:  python examples/oson_deep_dive.py
+"""
+
+from repro.core.oson import (
+    CompiledFieldName,
+    FieldIdResolver,
+    OsonDocument,
+    OsonUpdater,
+    SharedDictionaryStore,
+    encode,
+)
+from repro.jsontext import dumps
+
+
+def main() -> None:
+    doc = {
+        "purchaseOrder": {
+            "id": 7,
+            "podate": "2014-09-08",
+            "items": [
+                {"name": "phone", "price": 100.0, "quantity": 2},
+                {"name": "ipad", "price": 350.86, "quantity": 3},
+            ],
+        }
+    }
+
+    data = encode(doc)
+    oson = OsonDocument(data)
+
+    # --- the three segments -------------------------------------------------
+    sizes = oson.segment_sizes()
+    total = len(data)
+    print(f"OSON bytes: {total} (JSON text: {len(dumps(doc))})")
+    for segment, size in sizes.items():
+        print(f"  {segment:<12} {size:>5} bytes  ({100 * size / total:.1f}%)")
+
+    # --- the dictionary: names sorted by hash, ordinal = field id -----------
+    print("\nField-id-name dictionary (sorted by 32-bit hash):")
+    for field_id in range(oson.field_count()):
+        print(f"  id={field_id}  hash=0x{oson.field_hash(field_id):08x}  "
+              f"{oson.field_name(field_id)!r}")
+
+    # --- jump navigation: byte offsets as node addresses --------------------
+    po = oson.get_field_value_by_name(oson.root, "purchaseOrder")
+    items = oson.get_field_value_by_name(po, "items")
+    second = oson.get_array_element(items, 1)
+    price = oson.get_field_value_by_name(second, "price")
+    print(f"\nNavigated to $.purchaseOrder.items[1].price "
+          f"(node offsets: root={oson.root}, po={po}, items={items}, "
+          f"item={second}, price={price})")
+    print(f"  value = {oson.scalar_value(price)}")
+
+    # --- compile-time hashing + single-row look-back -------------------------
+    compiled = CompiledFieldName("price")
+    resolver = FieldIdResolver()
+    stream = [OsonDocument(encode({"price": i, "other": "x"}))
+              for i in range(100)]
+    for d in stream:
+        resolver.resolve(d, compiled)
+    print(f"\nField-id resolution over 100 homogeneous documents: "
+          f"{resolver.lookups} lookups, {resolver.lookback_hits} "
+          f"look-back hits (binary search skipped)")
+
+    # --- partial update in place ---------------------------------------------
+    updater = OsonUpdater(data)
+    updater.set_scalar_by_path(["purchaseOrder", "items", 0, "price"], 95.5)
+    updated = updater.document
+    print(f"\nAfter in-place partial update: items[0].price = "
+          f"{updated.materialize()['purchaseOrder']['items'][0]['price']}")
+
+    # --- size on repetitive documents (Table 10's big rows) -----------------
+    archive = {"messages": [
+        {"authorName": f"user{i}", "messageText": "hello world " * 3,
+         "likeCount": i} for i in range(2000)]}
+    oson_size = len(encode(archive))
+    text_size = len(dumps(archive))
+    print(f"\nRepetitive archive (2000 messages): JSON text {text_size:,} B, "
+          f"OSON {oson_size:,} B  ({oson_size / text_size:.2f}x)")
+
+    # --- set encoding: one shared dictionary for a collection ---------------
+    docs = [{"orderId": i, "customerName": f"c{i}",
+             "lineItems": [{"sku": f"S{i}", "qty": 1}]} for i in range(200)]
+    store = SharedDictionaryStore()
+    for d in docs:
+        store.add(d)
+    shared = store.memory_bytes()
+    self_contained = SharedDictionaryStore.self_contained_bytes(docs)
+    print(f"\nSet encoding (section 7): shared dictionary {shared:,} B vs "
+          f"self-contained {self_contained:,} B "
+          f"({100 * (1 - shared / self_contained):.0f}% saved)")
+
+
+if __name__ == "__main__":
+    main()

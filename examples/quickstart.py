@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Quickstart: 'write without schema, read with schema' in ten steps.
+
+This walks the paper's headline workflow end to end:
+
+1.  create a table with a JSON column guarded by an IS JSON constraint;
+2.  create a JSON search index (which maintains the persistent DataGuide);
+3.  insert schemaless documents;
+4.  read the automatically discovered DataGuide;
+5.  project singleton scalars as virtual columns (AddVC);
+6.  generate a De-normalized Master-Detail View (CreateViewOnPath);
+7.  run SQL analytics over the views;
+8.  search with the schema-agnostic index;
+9.  watch the DataGuide evolve as a new document shape arrives;
+10. compute a transient DataGuide over a filtered subset.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.dataguide import (
+    JsonDataGuideAgg,
+    add_vc,
+    create_view_on_path,
+)
+from repro.engine import Column, Database, NUMBER, CLOB, expr
+from repro.engine.constraints import IsJsonConstraint
+from repro.jsontext import dumps
+
+
+def main() -> None:
+    # 1. schema-first for the relational part, schemaless for the JSON part
+    db = Database("quickstart")
+    po = db.create_table("PO", [
+        Column("DID", NUMBER, nullable=False),
+        Column("JDOC", CLOB),
+    ])
+    po.add_constraint(IsJsonConstraint("JDOC"))
+
+    # 2. one index gives both search and structure discovery
+    index = db.create_json_search_index("PO_SIDX", "PO", "JDOC")
+
+    # 3. documents go in without any schema registration
+    documents = [
+        {"purchaseOrder": {"id": 1, "podate": "2014-09-08",
+         "items": [{"name": "phone", "price": 100, "quantity": 2},
+                   {"name": "ipad", "price": 350.86, "quantity": 3}]}},
+        {"purchaseOrder": {"id": 2, "podate": "2015-03-04",
+         "items": [{"name": "table", "price": 52.78, "quantity": 2},
+                   {"name": "chair", "price": 35.24, "quantity": 4}]}},
+    ]
+    for i, doc in enumerate(documents):
+        po.insert({"DID": i + 1, "JDOC": dumps(doc)})
+
+    # 4. the DataGuide was computed as a side effect of insertion
+    guide = index.get_dataguide()
+    print("Discovered DataGuide ($DG rows):")
+    for row in guide.as_flat():
+        print(f"  {row['PATH']:<40} {row['TYPE']}")
+
+    # 5. AddVC: singleton scalars become queryable virtual columns
+    added = add_vc(po, "JDOC", guide)
+    print("\nVirtual columns added:", [c.name for c in added])
+
+    # 6. CreateViewOnPath: the full master-detail expansion as a view
+    create_view_on_path(db, po, "JDOC", guide, view_name="PO_RV",
+                        include_columns=["DID"])
+
+    # 7. plain SQL over JSON: aggregation on the DMDV view
+    revenue_rows = (db.query("PO_RV")
+                    .group_by(["JDOC$podate"],
+                              revenue=expr.SUM(expr.Col("JDOC$price")
+                                               * expr.Col("JDOC$quantity")))
+                    .order_by("JDOC$podate")
+                    .rows())
+    print("\nRevenue by order date (SQL over JSON):")
+    for row in revenue_rows:
+        print(f"  {row['JDOC$podate']}: {row['revenue']:.2f}")
+
+    # 8. ad-hoc search: schema and values together, no pre-declared index
+    hits = index.docs_with_keywords("ipad")
+    print("\nDocuments mentioning 'ipad':", [r["DID"] for r in hits])
+
+    # 9. schema evolution is automatic: insert a wider document
+    po.insert({"DID": 3, "JDOC": dumps(
+        {"purchaseOrder": {"id": 3, "podate": "2015-06-03",
+                           "foreign_id": "CDEG35", "items": []}})})
+    new_paths = set(index.get_dataguide().paths()) - set(guide.paths())
+    print("\nNew paths discovered after insert:", sorted(new_paths))
+
+    # 10. a transient DataGuide over any query result, purely declaratively
+    filtered = (db.query("PO")
+                .where(expr.JsonExistsExpr("JDOC",
+                                           "$.purchaseOrder.foreign_id"))
+                .group_by([], dg=JsonDataGuideAgg("JDOC"))
+                .scalar())
+    print(f"\nTransient DataGuide over docs having foreign_id: "
+          f"{len(filtered)} rows from {filtered.document_count} document(s)")
+
+
+if __name__ == "__main__":
+    main()

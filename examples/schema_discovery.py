@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Schema discovery on a messy heterogeneous collection.
+
+A data-lake scenario the paper's introduction motivates: a feed of JSON
+events from different producers, in different shapes, with type
+conflicts.  The DataGuide turns the mess into a relational surface:
+
+* the flat form shows every path with its (generalized) type;
+* the hierarchical form is the annotatable schema document;
+* annotations prune noise and rename columns;
+* the generated DMDV view makes the feed SQL-queryable.
+
+Run:  python examples/schema_discovery.py
+"""
+
+from repro.core.dataguide import create_view_on_path, json_dataguide_agg
+from repro.engine import Column, Database, NUMBER, CLOB, expr
+from repro.engine.constraints import IsJsonConstraint
+from repro.jsontext import dumps
+
+#: three producers, three shapes — including a type conflict on 'payload'
+EVENTS = [
+    # producer A: structured order events
+    {"kind": "order", "ts": "2015-06-01T10:00:00", "payload": {
+        "orderId": 1001, "amount": 250.0,
+        "lines": [{"sku": "A-1", "qty": 2}, {"sku": "B-9", "qty": 1}]}},
+    {"kind": "order", "ts": "2015-06-01T10:05:00", "payload": {
+        "orderId": 1002, "amount": 99.5,
+        "lines": [{"sku": "C-3", "qty": 4}]}},
+    # producer B: bare string payloads (legacy format)
+    {"kind": "log", "ts": "2015-06-01T10:07:00",
+     "payload": "user 42 logged in"},
+    # producer C: metrics with extra fields and numeric ts
+    {"kind": "metric", "ts": "2015-06-01T10:09:00", "host": "web-3",
+     "payload": {"cpu": 0.82, "memMb": 512}, "sampled": True},
+]
+
+
+def main() -> None:
+    db = Database("lake")
+    events = db.create_table("EVENTS", [Column("EID", NUMBER),
+                                        Column("BODY", CLOB)])
+    events.add_constraint(IsJsonConstraint("BODY"))
+    for i, event in enumerate(EVENTS):
+        events.insert({"EID": i, "BODY": dumps(event)})
+
+    # -- discover ------------------------------------------------------------
+    guide = json_dataguide_agg(row["BODY"] for row in events.scan())
+    print("Flat DataGuide (note the heterogeneous 'payload' path):")
+    for row in guide.as_flat():
+        print(f"  {row['PATH']:<28} {row['TYPE']:<18} "
+              f"freq={row['FREQUENCY']}")
+
+    print("\nHierarchical form (annotatable schema document):")
+    print(dumps(guide.as_hierarchical(), pretty=True)[:800], "...")
+
+    # -- annotate: rename awkward columns, drop the legacy payload -----------
+    annotated = guide.annotate(
+        renames={"$.payload.orderId": "ORDER_ID",
+                 "$.payload.amount": "AMOUNT"},
+        exclude=["$.payload"],  # the string-typed legacy variant
+    )
+
+    # -- project relationally --------------------------------------------------
+    create_view_on_path(db, events, "BODY", annotated,
+                        view_name="EVENTS_RV", include_columns=["EID"])
+    view = db.view("EVENTS_RV")
+    print("\nGenerated DMDV columns:", view.column_names)
+
+    print("\nOrder lines via plain SQL over the view:")
+    rows = (db.query("EVENTS_RV")
+            .where(expr.Col("BODY$kind") == "order")
+            .select("ORDER_ID", "AMOUNT", "BODY$sku", "BODY$qty")
+            .rows())
+    for row in rows:
+        print(f"  {row}")
+
+    total = (db.query("EVENTS_RV")
+             .where(expr.Col("AMOUNT").is_not_null())
+             .select("EID", "AMOUNT").distinct()
+             .group_by([], total=expr.SUM(expr.Col("AMOUNT")))
+             .scalar())
+    print(f"\nTotal order amount: {total}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Four-storage shootout: the Figure 3/4 experiment as a script.
+
+Stores one purchase-order collection four ways — JSON text, BSON, OSON,
+and relationally shredded (REL) — behind identical ``po_mv`` /
+``po_item_dmdv`` views, then runs the paper's 9 OLAP queries against
+each and prints the time and storage comparison.
+
+Run:  python examples/storage_shootout.py [doc_count]
+"""
+
+import sys
+import time
+
+from repro import bson
+from repro.core.oson import encode as oson_encode
+from repro.engine import Column, Database, NUMBER, CLOB
+from repro.engine.types import BLOB
+from repro.jsontext import dumps
+from repro.workloads.purchase_orders import (
+    PoOlapQueries,
+    PoQueryParams,
+    PurchaseOrderGenerator,
+    build_po_views,
+    build_rel_views,
+)
+from repro.workloads.relational import (
+    create_rel_tables,
+    rel_storage_bytes,
+    shred_documents,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    print(f"Generating {n} purchase orders...")
+    documents = list(PurchaseOrderGenerator().documents(n))
+
+    db = Database("shootout")
+    setups = {}
+    storage_bytes = {}
+    for name, encode_fn, sql_type in [("json", dumps, CLOB),
+                                      ("bson", bson.encode, BLOB),
+                                      ("oson", oson_encode, BLOB)]:
+        table = db.create_table(f"po_{name}", [Column("did", NUMBER),
+                                               Column("jdoc", sql_type)])
+        for i, doc in enumerate(documents):
+            table.insert({"did": i, "jdoc": encode_fn(doc)})
+        mv, dmdv = build_po_views(db, table, "jdoc", name)
+        setups[name] = PoOlapQueries(mv, dmdv)
+        storage_bytes[name] = table.storage_bytes()
+    master, detail = create_rel_tables(db)
+    shred_documents(master, detail, documents)
+    mv, dmdv = build_rel_views(db, master, detail, "rel")
+    setups["rel"] = PoOlapQueries(mv, dmdv)
+    storage_bytes["rel"] = rel_storage_bytes(master, detail)
+
+    params = PoQueryParams(documents)
+    runners = lambda q: {  # noqa: E731
+        "q1": lambda: q.q1(params.reference), "q2": q.q2,
+        "q3": lambda: q.q3(params.partno),
+        "q4": lambda: q.q4(params.requestor, 2, 50.0),
+        "q5": lambda: q.q5(params.partnos),
+        "q6": lambda: q.q6(params.partno),
+        "q7": q.q7, "q8": lambda: q.q8(10, 400.0), "q9": q.q9,
+    }
+
+    print("\nFigure 4 — storage size:")
+    for name, size in storage_bytes.items():
+        print(f"  {name:<6} {size / 1024:>10.1f} KiB  "
+              f"({size / storage_bytes['json']:.2f}x JSON)")
+
+    print(f"\nFigure 3 — query time (ms):")
+    print(f"{'query':<6}" + "".join(f"{s:>10}" for s in setups)
+          + f"{'json/oson':>12}")
+    totals = dict.fromkeys(setups, 0.0)
+    for qid in ("q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9"):
+        row = {}
+        reference = None
+        for name, queries in setups.items():
+            start = time.perf_counter()
+            result = runners(queries)[qid]()
+            row[name] = time.perf_counter() - start
+            totals[name] += row[name]
+            if reference is None:
+                reference = result
+            else:
+                assert result == reference, f"{qid}: {name} disagrees!"
+        cells = "".join(f"{row[s] * 1000:>10.1f}" for s in setups)
+        print(f"{qid:<6}{cells}{row['json'] / row['oson']:>11.1f}x")
+    cells = "".join(f"{totals[s] * 1000:>10.1f}" for s in setups)
+    print(f"{'total':<6}{cells}{totals['json'] / totals['oson']:>11.1f}x")
+    print("\nAll four storages returned identical answers for every query.")
+
+
+if __name__ == "__main__":
+    main()

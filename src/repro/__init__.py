@@ -1,0 +1,44 @@
+"""repro — a reproduction of "Closing the Functional and Performance Gap
+between SQL and NoSQL" (Liu et al., Oracle, SIGMOD 2016).
+
+The package implements the paper's two contributions and every substrate
+they run on:
+
+* **JSON DataGuide** (:mod:`repro.core.dataguide`) — an automatically
+  computed, continuously maintained dynamic soft schema over JSON
+  collections, with DMDV view generation (``CreateViewOnPath``) and
+  JSON_VALUE virtual columns (``AddVC``);
+* **OSON** (:mod:`repro.core.oson`) — a self-contained binary JSON format
+  with a three-segment architecture enabling jump navigation;
+* **SQL/JSON** (:mod:`repro.sqljson`) — the path language and the
+  JSON_VALUE / JSON_QUERY / JSON_EXISTS / JSON_TEXTCONTAINS / JSON_TABLE
+  operators over text, BSON and OSON inputs;
+* a mini relational **engine** (:mod:`repro.engine`), a schema-agnostic
+  JSON search **index** (:mod:`repro.index`), an in-memory column store
+  (:mod:`repro.imc`), a from-scratch JSON text layer
+  (:mod:`repro.jsontext`) and a BSON baseline (:mod:`repro.bson`);
+* the paper's **workloads** (:mod:`repro.workloads`): NOBENCH, YCSB,
+  purchase orders and synthetic twins of the twelve evaluated
+  collections.
+
+Quickstart::
+
+    from repro.engine import Database, Column, NUMBER, CLOB
+    from repro.engine.constraints import IsJsonConstraint
+    from repro.core.dataguide import add_vc, create_view_on_path
+
+    db = Database()
+    po = db.create_table("PO", [Column("DID", NUMBER),
+                                Column("JDOC", CLOB)])
+    po.add_constraint(IsJsonConstraint("JDOC"))
+    idx = db.create_json_search_index("PO_SIDX", "PO", "JDOC")
+    po.insert({"DID": 1, "JDOC": '{"purchaseOrder": {"id": 1}}'})
+    guide = idx.get_dataguide()          # write without schema ...
+    add_vc(po, "JDOC", guide)            # ... read with schema
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,16 @@
+"""From-scratch BSON baseline format.
+
+BSON is the comparison binary format in the paper (Tables 10/11, Figures
+3/4).  This implementation follows the bsonspec.org layout for the types
+reachable from JSON (double, int32/int64, string, document, array, boolean,
+null) and exposes exactly the access pattern the paper attributes to BSON:
+
+* sequential element scans with null-terminated field names, and
+* *skip navigation* over unneeded child containers via their leading
+  length words — but no random access to a named field.
+"""
+
+from repro.bson.encoder import encode
+from repro.bson.decoder import BsonDocument, decode
+
+__all__ = ["encode", "decode", "BsonDocument"]

@@ -1,0 +1,17 @@
+"""BSON element type tags (bsonspec.org, JSON-reachable subset)."""
+
+from __future__ import annotations
+
+TYPE_DOUBLE = 0x01
+TYPE_STRING = 0x02
+TYPE_DOCUMENT = 0x03
+TYPE_ARRAY = 0x04
+TYPE_BOOLEAN = 0x08
+TYPE_NULL = 0x0A
+TYPE_INT32 = 0x10
+TYPE_INT64 = 0x12
+
+INT32_MIN = -(2**31)
+INT32_MAX = 2**31 - 1
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1

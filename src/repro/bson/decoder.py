@@ -1,0 +1,176 @@
+"""BSON decoder with the access pattern the paper attributes to BSON.
+
+:class:`BsonDocument` wraps raw BSON bytes and exposes:
+
+* ``find_field(name)`` — a *sequential scan* of the element list, comparing
+  null-terminated field-name strings, skipping over unneeded child
+  containers via their leading length words (this is the "skip navigation"
+  of section 4.1);
+* ``element_at(index)`` — sequential scan to the Nth array element;
+* ``materialize()`` — full decode to Python values.
+
+There is deliberately no random field access: the gap between this scan
+behaviour and OSON's binary-searched sorted field-id arrays is exactly what
+Figures 3/5 measure.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterator, Optional
+
+from repro.bson import constants as c
+from repro.bson.encoder import WRAPPER_KEY
+from repro.errors import BsonError
+
+_unpack_i32 = struct.Struct("<i").unpack_from
+_unpack_i64 = struct.Struct("<q").unpack_from
+_unpack_f64 = struct.Struct("<d").unpack_from
+
+#: BSON node kinds surfaced by :attr:`BsonNode.kind`
+KIND_OBJECT = "object"
+KIND_ARRAY = "array"
+KIND_SCALAR = "scalar"
+
+_CONTAINER_TYPES = (c.TYPE_DOCUMENT, c.TYPE_ARRAY)
+
+
+class BsonNode:
+    """A handle onto one element inside a BSON byte buffer.
+
+    ``offset`` points at the start of the element *value* (after the type
+    byte and the field name).  Container nodes can be opened as child
+    :class:`BsonDocument` views without copying.
+    """
+
+    __slots__ = ("buffer", "type_tag", "offset")
+
+    def __init__(self, buffer: bytes, type_tag: int, offset: int) -> None:
+        self.buffer = buffer
+        self.type_tag = type_tag
+        self.offset = offset
+
+    @property
+    def kind(self) -> str:
+        if self.type_tag == c.TYPE_DOCUMENT:
+            return KIND_OBJECT
+        if self.type_tag == c.TYPE_ARRAY:
+            return KIND_ARRAY
+        return KIND_SCALAR
+
+    def scalar_value(self) -> Any:
+        """Decode a scalar element's value."""
+        tag, buf, off = self.type_tag, self.buffer, self.offset
+        if tag == c.TYPE_DOUBLE:
+            return _unpack_f64(buf, off)[0]
+        if tag == c.TYPE_INT32:
+            return _unpack_i32(buf, off)[0]
+        if tag == c.TYPE_INT64:
+            return _unpack_i64(buf, off)[0]
+        if tag == c.TYPE_STRING:
+            length = _unpack_i32(buf, off)[0]
+            return buf[off + 4:off + 4 + length - 1].decode("utf-8")
+        if tag == c.TYPE_BOOLEAN:
+            return buf[off] == 1
+        if tag == c.TYPE_NULL:
+            return None
+        raise BsonError(f"not a scalar element (type 0x{tag:02x})")
+
+    def as_document(self) -> "BsonDocument":
+        """Open a container element as a child document view."""
+        if self.type_tag not in _CONTAINER_TYPES:
+            raise BsonError("element is not a document or array")
+        return BsonDocument(self.buffer, self.offset, self.type_tag == c.TYPE_ARRAY)
+
+    def materialize(self) -> Any:
+        if self.type_tag in _CONTAINER_TYPES:
+            return self.as_document().materialize()
+        return self.scalar_value()
+
+
+def _skip_value(buf: bytes, type_tag: int, offset: int) -> int:
+    """Return the offset just past the element value starting at ``offset``."""
+    if type_tag == c.TYPE_DOUBLE or type_tag == c.TYPE_INT64:
+        return offset + 8
+    if type_tag == c.TYPE_INT32:
+        return offset + 4
+    if type_tag == c.TYPE_STRING:
+        return offset + 4 + _unpack_i32(buf, offset)[0]
+    if type_tag in _CONTAINER_TYPES:
+        # skip navigation: containers carry a leading total length
+        return offset + _unpack_i32(buf, offset)[0]
+    if type_tag == c.TYPE_BOOLEAN:
+        return offset + 1
+    if type_tag == c.TYPE_NULL:
+        return offset
+    raise BsonError(f"unsupported BSON type 0x{type_tag:02x}")
+
+
+class BsonDocument:
+    """Zero-copy view over a BSON document or array within a byte buffer."""
+
+    __slots__ = ("buffer", "start", "is_array")
+
+    def __init__(self, buffer: bytes, start: int = 0, is_array: bool = False) -> None:
+        if len(buffer) - start < 5:
+            raise BsonError("buffer too small for a BSON document")
+        self.buffer = buffer
+        self.start = start
+        self.is_array = is_array
+        total = _unpack_i32(buffer, start)[0]
+        if start + total > len(buffer) or total < 5:
+            raise BsonError("BSON length word out of range")
+
+    # -- scanning ---------------------------------------------------------
+
+    def iter_elements(self) -> Iterator[tuple[str, BsonNode]]:
+        """Sequentially scan (field name, node) pairs."""
+        buf = self.buffer
+        end = self.start + _unpack_i32(buf, self.start)[0] - 1  # before trailing NUL
+        pos = self.start + 4
+        while pos < end:
+            type_tag = buf[pos]
+            pos += 1
+            name_end = buf.index(b"\x00", pos)  # the byte scan the paper mentions
+            name = buf[pos:name_end].decode("utf-8")
+            pos = name_end + 1
+            node = BsonNode(buf, type_tag, pos)
+            yield name, node
+            pos = _skip_value(buf, type_tag, pos)
+        if pos != end:
+            raise BsonError("corrupt BSON element list")
+
+    def find_field(self, name: str) -> Optional[BsonNode]:
+        """Sequential-scan lookup of a named field (documents only)."""
+        for field, node in self.iter_elements():
+            if field == name:
+                return node
+        return None
+
+    def element_at(self, index: int) -> Optional[BsonNode]:
+        """Sequential-scan access to the Nth element (arrays)."""
+        for i, (_name, node) in enumerate(self.iter_elements()):
+            if i == index:
+                return node
+        return None
+
+    def element_count(self) -> int:
+        return sum(1 for _ in self.iter_elements())
+
+    # -- materialization ---------------------------------------------------
+
+    def materialize(self) -> Any:
+        if self.is_array:
+            return [node.materialize() for _name, node in self.iter_elements()]
+        return {name: node.materialize() for name, node in self.iter_elements()}
+
+
+def decode(data: bytes) -> Any:
+    """Fully decode BSON ``data`` back to Python values, unwrapping the
+    single-key wrapper produced by :func:`repro.bson.encoder.encode` for
+    non-document top-level values."""
+    doc = BsonDocument(data)
+    value = doc.materialize()
+    if isinstance(value, dict) and list(value.keys()) == [WRAPPER_KEY]:
+        return value[WRAPPER_KEY]
+    return value

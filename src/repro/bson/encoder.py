@@ -1,0 +1,107 @@
+"""BSON encoder.
+
+Encodes Python values (dict / list / str / int / float / bool / None) into
+BSON bytes.  Top-level scalars and arrays are wrapped the way MongoDB
+drivers wrap them — as a single-element document — so that any JSON value
+can round-trip; :func:`repro.bson.decoder.decode` unwraps them again.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.bson import constants as c
+from repro.errors import BsonError
+
+# Key used when wrapping non-document top-level values.  BSON requires a
+# document at the top level, so scalars/arrays are wrapped MongoDB-driver
+# style; the marker is chosen to be vanishingly unlikely in real data
+# (a document whose only key equals it would be unwrapped on decode).
+WRAPPER_KEY = "\x7frepro.bson.wrapped"
+
+_pack_i32 = struct.Struct("<i").pack
+_pack_i64 = struct.Struct("<q").pack
+_pack_f64 = struct.Struct("<d").pack
+
+
+def encode(value: Any) -> bytes:
+    """Encode any JSON-compatible Python value to BSON bytes."""
+    if isinstance(value, dict):
+        return _encode_document(value)
+    # BSON top level must be a document: wrap scalars/arrays.
+    return _encode_document({WRAPPER_KEY: value})
+
+
+def _cstring(name: str) -> bytes:
+    encoded = name.encode("utf-8")
+    if b"\x00" in encoded:
+        raise BsonError("BSON field names cannot contain NUL bytes")
+    return encoded + b"\x00"
+
+
+def _encode_document(obj: dict[str, Any]) -> bytes:
+    body = bytearray()
+    for key, item in obj.items():
+        if not isinstance(key, str):
+            raise BsonError(f"BSON keys must be strings, got {type(key).__name__}")
+        _encode_element(body, key, item)
+    return _frame(body)
+
+
+def _encode_array(items: list[Any]) -> bytes:
+    body = bytearray()
+    for index, item in enumerate(items):
+        _encode_element(body, str(index), item)
+    return _frame(body)
+
+
+def _frame(body: bytearray) -> bytes:
+    # total length includes the 4 length bytes and the trailing NUL
+    total = len(body) + 5
+    return _pack_i32(total) + bytes(body) + b"\x00"
+
+
+def _encode_element(out: bytearray, key: str, value: Any) -> None:
+    if value is None:
+        out.append(c.TYPE_NULL)
+        out += _cstring(key)
+    elif value is True or value is False:
+        out.append(c.TYPE_BOOLEAN)
+        out += _cstring(key)
+        out.append(1 if value else 0)
+    elif isinstance(value, str):
+        out.append(c.TYPE_STRING)
+        out += _cstring(key)
+        encoded = value.encode("utf-8")
+        out += _pack_i32(len(encoded) + 1)
+        out += encoded
+        out.append(0)
+    elif isinstance(value, int):
+        if c.INT32_MIN <= value <= c.INT32_MAX:
+            out.append(c.TYPE_INT32)
+            out += _cstring(key)
+            out += _pack_i32(value)
+        elif c.INT64_MIN <= value <= c.INT64_MAX:
+            out.append(c.TYPE_INT64)
+            out += _cstring(key)
+            out += _pack_i64(value)
+        else:
+            # out-of-range integers degrade to double, like most drivers
+            out.append(c.TYPE_DOUBLE)
+            out += _cstring(key)
+            out += _pack_f64(float(value))
+    elif isinstance(value, float):
+        out.append(c.TYPE_DOUBLE)
+        out += _cstring(key)
+        out += _pack_f64(value)
+    elif isinstance(value, dict):
+        out.append(c.TYPE_DOCUMENT)
+        out += _cstring(key)
+        out += _encode_document(value)
+    elif isinstance(value, (list, tuple)):
+        out.append(c.TYPE_ARRAY)
+        out += _cstring(key)
+        out += _encode_array(list(value))
+    else:
+        raise BsonError(f"cannot encode {type(value).__name__} to BSON")

@@ -1,0 +1,1 @@
+"""The paper's primary contribution: OSON and the JSON DataGuide."""

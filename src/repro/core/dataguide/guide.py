@@ -1,0 +1,204 @@
+"""The DataGuide object and its two JSON representations (section 3.2.2).
+
+* **flat form** — the ``$DG`` relational shape: one row per distinct
+  (path, node kind) with type label and statistics;
+* **hierarchical form** — a single nested JSON document in a
+  JSON-Schema-like dialect (``type`` / ``properties`` / ``items``), the
+  form ``getDataGuide()`` returns for users to annotate and feed to
+  ``CreateViewOnPath``.
+
+Annotation support: ``annotate`` returns a copy with per-path column
+renames, exclusions, or length overrides recorded; the view and
+virtual-column generators honour them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.core.dataguide import model
+from repro.core.dataguide.model import PathEntry
+from repro.errors import DataGuideError
+
+
+@dataclass(frozen=True)
+class Annotations:
+    """User annotations applied to a computed DataGuide."""
+
+    renames: dict[str, str] = field(default_factory=dict)       # path -> column name
+    excluded: frozenset = frozenset()                            # paths to drop
+    length_overrides: dict[str, int] = field(default_factory=dict)  # path -> chars
+
+
+class DataGuide:
+    """An immutable snapshot of a collection's merged DataGuide."""
+
+    def __init__(self, entries: Iterable[PathEntry], document_count: int = 0,
+                 annotations: Optional[Annotations] = None) -> None:
+        self._entries: dict[tuple[str, str], PathEntry] = {
+            e.key: e for e in entries}
+        self.document_count = document_count
+        self.annotations = annotations or Annotations()
+
+    # -- basic access -----------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of distinct (path, kind) rows — Table 12's
+        "Number of Distinct Paths"."""
+        return len(self._entries)
+
+    def entries(self) -> list[PathEntry]:
+        return sorted(self._entries.values(), key=lambda e: (e.path, e.kind))
+
+    def get(self, path: str, kind: Optional[str] = None) -> Optional[PathEntry]:
+        """Look up an entry by path (and kind, if the path is heterogeneous)."""
+        if kind is not None:
+            return self._entries.get((path, kind))
+        matches = [e for e in self._entries.values() if e.path == path]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise DataGuideError(
+                f"path {path} is heterogeneous; specify kind= one of "
+                f"{sorted(e.kind for e in matches)}")
+        return matches[0]
+
+    def paths(self) -> list[str]:
+        return sorted({e.path for e in self._entries.values()})
+
+    def scalar_entries(self) -> list[PathEntry]:
+        """Root-to-leaf scalar rows — the DMDV column candidates."""
+        return [e for e in self.entries() if e.kind == model.SCALAR]
+
+    def singleton_scalar_entries(self) -> list[PathEntry]:
+        """Scalar paths with a one-to-one relationship to documents —
+        the AddVC virtual-column candidates (section 3.3.1)."""
+        return [e for e in self.scalar_entries() if not e.in_array]
+
+    def array_entries(self) -> list[PathEntry]:
+        return [e for e in self.entries() if e.kind == model.ARRAY]
+
+    # -- annotation ----------------------------------------------------------
+
+    def annotate(self, renames: Optional[dict[str, str]] = None,
+                 exclude: Sequence[str] = (),
+                 length_overrides: Optional[dict[str, int]] = None) -> "DataGuide":
+        """Return a copy carrying user annotations (section 3.2.2)."""
+        merged = Annotations(
+            renames={**self.annotations.renames, **(renames or {})},
+            excluded=self.annotations.excluded | frozenset(exclude),
+            length_overrides={**self.annotations.length_overrides,
+                              **(length_overrides or {})},
+        )
+        return DataGuide(self._entries.values(), self.document_count, merged)
+
+    # -- flat form --------------------------------------------------------------
+
+    def as_flat(self) -> list[dict[str, Any]]:
+        """The flat JSON form: a list of ``$DG`` rows."""
+        return [e.as_row() for e in self.entries()]
+
+    # -- hierarchical form ---------------------------------------------------------
+
+    def as_hierarchical(self) -> dict[str, Any]:
+        """The hierarchical JSON form: one nested schema document."""
+        root = _TreeNode("$")
+        for entry in self.entries():
+            steps = _split_path(entry.path)
+            node = root
+            for step in steps:
+                node = node.child(step)
+            node.entries.append(entry)
+        return root.render()
+
+    # -- statistics (Table 12) ---------------------------------------------------------
+
+    def dmdv_column_count(self) -> int:
+        """Distinct root-to-leaf paths — Table 12's "DMDV number of columns"."""
+        return len({e.path for e in self.scalar_entries()})
+
+
+class _TreeNode:
+    """Helper for assembling the hierarchical form."""
+
+    __slots__ = ("name", "children", "entries")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.children: dict[str, _TreeNode] = {}
+        self.entries: list[PathEntry] = []
+
+    def child(self, name: str) -> "_TreeNode":
+        node = self.children.get(name)
+        if node is None:
+            node = _TreeNode(name)
+            self.children[name] = node
+        return node
+
+    def render(self) -> dict[str, Any]:
+        variants: list[dict[str, Any]] = []
+        for entry in sorted(self.entries, key=lambda e: e.kind):
+            variant: dict[str, Any] = {"type": entry.type_label}
+            if entry.kind == model.SCALAR:
+                if entry.max_length:
+                    variant["o:length"] = entry.max_length
+                if entry.frequency:
+                    variant["o:frequency"] = entry.frequency
+                if entry.min_value is not None:
+                    variant["o:low_value"] = str(entry.min_value)
+                if entry.max_value is not None:
+                    variant["o:high_value"] = str(entry.max_value)
+            elif entry.kind == model.OBJECT and self.children:
+                variant["properties"] = {
+                    name: child.render()
+                    for name, child in sorted(self.children.items())}
+            elif entry.kind == model.ARRAY and self.children:
+                # element objects of the array: their named fields live in
+                # this node's children
+                variant["items"] = {
+                    "type": "object",
+                    "properties": {
+                        name: child.render()
+                        for name, child in sorted(self.children.items())}}
+            variants.append(variant)
+        if not variants:
+            # intermediate name with no recorded entry (should not happen,
+            # but render children anyway)
+            return {"type": "object", "properties": {
+                name: child.render()
+                for name, child in sorted(self.children.items())}}
+        if len(variants) == 1:
+            return variants[0]
+        return {"oneOf": variants}
+
+
+def _split_path(path: str) -> list[str]:
+    """Split ``$.a."b c".d`` into member names, honouring quoted steps."""
+    if not path.startswith("$"):
+        raise DataGuideError(f"path must start with $: {path!r}")
+    steps: list[str] = []
+    i = 1
+    n = len(path)
+    while i < n:
+        if path[i] != ".":
+            raise DataGuideError(f"bad path syntax at {i} in {path!r}")
+        i += 1
+        if i < n and path[i] == '"':
+            i += 1
+            out: list[str] = []
+            while i < n and path[i] != '"':
+                if path[i] == "\\" and i + 1 < n:
+                    i += 1
+                out.append(path[i])
+                i += 1
+            if i >= n:
+                raise DataGuideError(f"unterminated quoted step in {path!r}")
+            i += 1  # closing quote
+            steps.append("".join(out))
+        else:
+            start = i
+            while i < n and path[i] != ".":
+                i += 1
+            steps.append(path[start:i])
+    return steps

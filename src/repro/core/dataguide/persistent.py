@@ -1,0 +1,106 @@
+"""The persistent DataGuide (section 3.2).
+
+Maintained as a component of the JSON search index: every inserted
+document's skeleton is merged into the in-memory builder, and *only new
+or structurally changed* (path, kind) entries are written to the ``$DG``
+table.  On structurally homogeneous collections the per-document work is
+one skeleton extraction plus set lookups — the cheap no-change path whose
+cost Figure 7 isolates.
+
+The persistent DataGuide is **additive**: deletes do not remove paths
+(section 3.4's opening note); a fresh transient aggregation is the way to
+get a shrunken view.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.core.dataguide.builder import instance_entries
+from repro.core.dataguide.guide import DataGuide
+from repro.core.dataguide.model import PathEntry
+
+
+class PersistentDataGuide:
+    """Incremental DataGuide state embedded in a JSON search index."""
+
+    def __init__(self, dg_table: Optional["DgTable"] = None,  # noqa: F821
+                 index_name: str = "JSIDX") -> None:
+        # imported lazily: repro.index.dg_table imports this package's
+        # model module, so a top-level import would be circular whichever
+        # package loads first
+        from repro.index.dg_table import DgTable
+        self._entries: dict[tuple[str, str], PathEntry] = {}
+        self.dg_table = dg_table if dg_table is not None else DgTable(index_name)
+        self.documents_seen = 0
+
+    # -- maintenance --------------------------------------------------------
+
+    def on_document(self, value: Any) -> int:
+        """Merge one (already parsed) document; returns the number of
+        ``$DG`` rows written (0 on the homogeneous fast path)."""
+        self.documents_seen += 1
+        writes = 0
+        for key, entry in instance_entries(value).items():
+            existing = self._entries.get(key)
+            if existing is None:
+                self._entries[key] = entry
+                self.dg_table.record_new(entry)
+                writes += 1
+            else:
+                structural_change = existing.merge_in_place(entry)
+                if structural_change:
+                    self.dg_table.refresh(existing)
+                    writes += 1
+        return writes
+
+    def rebuild(self, documents: Iterable[Any]) -> int:
+        """Build from scratch over an existing collection (index creation)."""
+        count = 0
+        for document in documents:
+            self.on_document(document)
+            count += 1
+        return count
+
+    def compute_statistics(self) -> int:
+        """Flush accumulated statistics into the ``$DG`` stats columns."""
+        return self.dg_table.write_statistics(list(self._entries.values()))
+
+    # -- access ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_dataguide(self) -> DataGuide:
+        """``getDataGuide()``: snapshot as a queryable/annotatable guide."""
+        return DataGuide(list(self._entries.values()), self.documents_seen)
+
+    def as_flat(self) -> list[dict[str, Any]]:
+        return self.get_dataguide().as_flat()
+
+    def as_hierarchical(self) -> dict[str, Any]:
+        return self.get_dataguide().as_hierarchical()
+
+
+def attach_dataguide(table: Any, column: str,
+                     index_name: str = "DG") -> PersistentDataGuide:
+    """Fuse DataGuide maintenance directly into a table's IS JSON
+    constraint, without a full JSON search index.
+
+    This is the exact integration Figure 7/8 measures: the constraint
+    already parses the document, and the DataGuide's structural check
+    rides on that parse.  The table must carry an
+    :class:`~repro.engine.constraints.IsJsonConstraint` on ``column``.
+    """
+    constraint = table.is_json_constraint(column)
+    if constraint is None:
+        from repro.errors import DataGuideError
+        raise DataGuideError(
+            f"table {table.name} has no IS JSON constraint on {column!r}")
+    pdg = PersistentDataGuide(index_name=index_name)
+
+    def hook(_row: dict, parsed: Any) -> None:
+        pdg.on_document(parsed)
+
+    constraint.add_hook(hook)
+    return pdg

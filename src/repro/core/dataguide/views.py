@@ -1,0 +1,209 @@
+"""CreateViewOnPath: generate De-normalized Master-Detail Views (section 3.3.2).
+
+Given a computed DataGuide, build the JSON_TABLE() specification that
+projects the whole document hierarchy relationally:
+
+* singleton scalar paths become plain columns;
+* arrays become NESTED PATH clauses (left-outer-join to the parent);
+* sibling arrays become sibling NESTED PATHs (union join);
+* a frequency threshold can drop sparse/outlier fields, and DataGuide
+  annotations (renames, exclusions, length overrides) are honoured.
+
+``create_view_on_path`` registers the resulting
+:class:`~repro.engine.view.JsonTableView` in a catalog; ``build_json_table``
+returns just the :class:`~repro.sqljson.json_table.JsonTable` for callers
+that manage views themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.core.dataguide import model
+from repro.core.dataguide.guide import DataGuide, _split_path
+from repro.core.dataguide.model import PathEntry
+from repro.engine.catalog import Database
+from repro.engine.table import Table
+from repro.engine.view import JsonTableView
+from repro.errors import DataGuideError
+from repro.sqljson.json_table import ColumnDef, JsonTable, NestedPath
+
+
+class _Node:
+    """Path-tree node assembled from DataGuide entries."""
+
+    __slots__ = ("name", "children", "kinds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.children: dict[str, "_Node"] = {}
+        self.kinds: dict[str, PathEntry] = {}  # kind -> entry
+
+    def child(self, name: str) -> "_Node":
+        node = self.children.get(name)
+        if node is None:
+            node = _Node(name)
+            self.children[name] = node
+        return node
+
+
+def _build_tree(guide: DataGuide) -> _Node:
+    root = _Node("$")
+    for entry in guide.entries():
+        node = root
+        for step in _split_path(entry.path):
+            node = node.child(step)
+        node.kinds[entry.kind] = entry
+    return root
+
+
+def _locate(root: _Node, path: str) -> _Node:
+    node = root
+    for step in _split_path(path):
+        if step not in node.children:
+            raise DataGuideError(f"path {path!r} not present in the DataGuide")
+        node = node.children[step]
+    return node
+
+
+def _varchar_size(entry: PathEntry, override: Optional[int]) -> int:
+    if override is not None:
+        return override
+    # round the observed maximum up to a comfortable bucket
+    length = max(entry.max_length, 1)
+    for bucket in (8, 16, 32, 64, 128, 256, 1024, 4000):
+        if length <= bucket:
+            return bucket
+    return 32767
+
+
+def _sql_type_for(entry: PathEntry, override_length: Optional[int]) -> str:
+    if entry.scalar_type == model.NUMBER:
+        return "number"
+    if entry.scalar_type == model.BOOLEAN:
+        return "boolean"
+    return f"varchar2({_varchar_size(entry, override_length)})"
+
+
+class _ViewSpecBuilder:
+    """Walks the path tree emitting ColumnDefs and NestedPaths."""
+
+    def __init__(self, guide: DataGuide, column_prefix: str,
+                 frequency_threshold: Optional[float]) -> None:
+        self.guide = guide
+        self.prefix = column_prefix
+        self.threshold = frequency_threshold
+        self.used_names: set[str] = set()
+
+    def _keep(self, entry: PathEntry) -> bool:
+        if entry.path in self.guide.annotations.excluded:
+            return False
+        if self.threshold is None or self.guide.document_count == 0:
+            return True
+        return (100.0 * entry.frequency / self.guide.document_count
+                >= self.threshold)
+
+    def _column_name(self, entry: PathEntry, steps: Sequence[str]) -> str:
+        rename = self.guide.annotations.renames.get(entry.path)
+        if rename is not None:
+            name = rename
+        else:
+            name = f"{self.prefix}${steps[-1]}" if steps else f"{self.prefix}$value"
+        # disambiguate collisions by prepending ancestor steps
+        if name in self.used_names:
+            qualified = "$".join(steps) or "value"
+            name = f"{self.prefix}${qualified}"
+        suffix = 2
+        base = name
+        while name in self.used_names:
+            name = f"{base}_{suffix}"
+            suffix += 1
+        self.used_names.add(name)
+        return name
+
+    def build(self, node: _Node, steps: tuple[str, ...] = (),
+              relative_to: tuple[str, ...] = ()) -> list[Union[ColumnDef, NestedPath]]:
+        """Emit the column list for the context ``node``.
+
+        ``steps`` is the absolute step list (for naming); ``relative_to``
+        is the prefix already consumed by enclosing NESTED PATHs, so
+        column paths are relative to the current row context.
+        """
+        items: list[Union[ColumnDef, NestedPath]] = []
+        # scalar entry directly on the context node (array-of-scalar case)
+        scalar_here = node.kinds.get(model.SCALAR)
+        if scalar_here is not None and steps == relative_to and self._keep(scalar_here):
+            override = self.guide.annotations.length_overrides.get(scalar_here.path)
+            items.append(ColumnDef(
+                self._column_name(scalar_here, steps),
+                _sql_type_for(scalar_here, override),
+                "$"))
+        for name, child in sorted(node.children.items()):
+            child_steps = steps + (name,)
+            relative_path = "$" + "".join(
+                _render_step(s) for s in child_steps[len(relative_to):])
+            scalar = child.kinds.get(model.SCALAR)
+            if (scalar is not None and scalar.in_array
+                    and model.ARRAY in child.kinds):
+                # array-of-scalar: the element column is emitted inside the
+                # NESTED PATH below, not at this level
+                scalar = None
+            if scalar is not None and self._keep(scalar):
+                override = self.guide.annotations.length_overrides.get(scalar.path)
+                items.append(ColumnDef(
+                    self._column_name(scalar, child_steps),
+                    _sql_type_for(scalar, override),
+                    relative_path))
+            if model.ARRAY in child.kinds and self._keep(child.kinds[model.ARRAY]):
+                nested_columns = self.build(child, child_steps, child_steps)
+                items.append(NestedPath(f"{relative_path}[*]", nested_columns))
+            elif model.OBJECT in child.kinds:
+                items.extend(self.build(child, child_steps, relative_to))
+        return items
+
+
+def _render_step(name: str) -> str:
+    if name.isidentifier():
+        return f".{name}"
+    escaped = name.replace("\\", "\\\\").replace('"', '\\"')
+    return f'."{escaped}"'
+
+
+def build_json_table(guide: DataGuide, path: str = "$",
+                     column_prefix: str = "JCOL",
+                     frequency_threshold: Optional[float] = None) -> JsonTable:
+    """Build the DMDV JSON_TABLE spec for the subtree at ``path``."""
+    root = _build_tree(guide)
+    context = _locate(root, path) if path != "$" else root
+    builder = _ViewSpecBuilder(guide, column_prefix, frequency_threshold)
+    context_steps = tuple(_split_path(path)) if path != "$" else ()
+    # when targeting an array path directly (e.g. '$.purchaseOrder.items'),
+    # the row path un-nests it; otherwise rows are whole documents
+    row_path = f"{path}[*]" if model.ARRAY in context.kinds else path
+    columns = builder.build(context, context_steps, context_steps)
+    if not columns:
+        raise DataGuideError(f"no projectable fields under {path!r}")
+    return JsonTable(row_path, columns)
+
+
+def create_view_on_path(db: Database, table: Table, json_column: str,
+                        guide: DataGuide, path: str = "$",
+                        view_name: Optional[str] = None,
+                        include_columns: Optional[list[str]] = None,
+                        frequency_threshold: Optional[float] = None) -> JsonTableView:
+    """``CreateViewOnPath``: register a DMDV view over ``table.json_column``.
+
+    ``include_columns`` carries base-table columns (e.g. the primary key)
+    into the view, as the paper's PO_RV view does with DID.
+    """
+    if not table.has_column(json_column):
+        raise DataGuideError(
+            f"table {table.name} has no column {json_column!r}")
+    name = view_name or f"{table.name}_RV"
+    json_table = build_json_table(guide, path,
+                                  column_prefix=json_column,
+                                  frequency_threshold=frequency_threshold)
+    view = JsonTableView(name, table, json_column, json_table,
+                         include_columns=include_columns)
+    db.register_view(view)
+    return view

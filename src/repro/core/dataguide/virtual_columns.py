@@ -1,0 +1,72 @@
+"""AddVC: project singleton scalars as virtual columns (section 3.3.1).
+
+For every singleton scalar path in the DataGuide (one-to-one with
+document instances, i.e. not inside any array) a virtual column is added
+to the base table, defined by ``JSON_VALUE(json_column, path RETURNING
+type)`` exactly like the paper's Table 7.  Virtual columns are computed
+on read, occupy no heap storage, and are IMC-loadable (section 5.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.dataguide.guide import DataGuide, _split_path
+from repro.core.dataguide.views import _sql_type_for
+from repro.engine.expressions import JsonValueExpr
+from repro.engine.table import Column, Table
+from repro.engine.types import parse_type
+from repro.errors import DataGuideError
+
+
+def add_vc(table: Table, json_column: str, guide: DataGuide,
+           frequency_threshold: Optional[float] = None,
+           column_prefix: Optional[str] = None) -> list[Column]:
+    """Add JSON_VALUE virtual columns for every singleton scalar path.
+
+    Returns the columns added.  Naming follows the paper's Table 7:
+    ``<json_column>$<leaf name>`` (``JCOL$id``), disambiguated with the
+    full path when leaf names collide.  Annotations on the guide
+    (renames, exclusions, length overrides) are honoured.
+    """
+    if not table.has_column(json_column):
+        raise DataGuideError(
+            f"table {table.name} has no column {json_column!r}")
+    prefix = column_prefix if column_prefix is not None else json_column
+    added: list[Column] = []
+    for entry in guide.singleton_scalar_entries():
+        if entry.path in guide.annotations.excluded:
+            continue
+        if (frequency_threshold is not None and guide.document_count
+                and 100.0 * entry.frequency / guide.document_count
+                < frequency_threshold):
+            continue
+        name = _vc_name(table, prefix, entry.path, guide)
+        type_spec = _sql_type_for(
+            entry, guide.annotations.length_overrides.get(entry.path))
+        column = Column(
+            name=name,
+            sql_type=parse_type(type_spec),
+            expression=JsonValueExpr(json_column, entry.path,
+                                     returning=type_spec),
+        )
+        table.add_column(column)
+        added.append(column)
+    return added
+
+
+def _vc_name(table: Table, prefix: str, path: str, guide: DataGuide) -> str:
+    rename = guide.annotations.renames.get(path)
+    if rename is not None:
+        name = rename
+    else:
+        steps = _split_path(path)
+        name = f"{prefix}${steps[-1]}" if steps else f"{prefix}$value"
+        if table.has_column(name):
+            name = f"{prefix}$" + "$".join(steps)
+    suffix = 2
+    base = name
+    while table.has_column(name):
+        name = f"{base}_{suffix}"
+        suffix += 1
+    return name

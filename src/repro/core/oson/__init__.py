@@ -1,0 +1,34 @@
+"""OSON: Oracle binary JSON encoding (paper section 4).
+
+A self-contained, query-friendly binary JSON format with three segments:
+a field-id-name dictionary, a tree-node navigation segment, and a leaf
+scalar value segment.  Public surface:
+
+* :func:`encode` / :func:`decode` — whole-document conversion;
+* :class:`OsonDocument` — lazy offset-navigated DOM;
+* :class:`CompiledFieldName` / :class:`FieldIdResolver` — the hash
+  precomputation and single-row look-back optimizations;
+* :class:`OsonUpdater` — partial leaf-scalar updates;
+* :mod:`~repro.core.oson.stats` — segment size accounting (Tables 10/11);
+* :class:`SharedDictionaryStore` — the section-7 set-encoding prototype.
+"""
+
+from repro.core.oson.cache import CompiledFieldName, FieldIdResolver
+from repro.core.oson.decoder import OsonDocument, decode
+from repro.core.oson.dictionary import FieldDictionary
+from repro.core.oson.encoder import encode
+from repro.core.oson.hashing import field_name_hash
+from repro.core.oson.set_encoding import SharedDictionaryStore
+from repro.core.oson.update import OsonUpdater
+
+__all__ = [
+    "encode",
+    "decode",
+    "OsonDocument",
+    "FieldDictionary",
+    "CompiledFieldName",
+    "FieldIdResolver",
+    "OsonUpdater",
+    "SharedDictionaryStore",
+    "field_name_hash",
+]

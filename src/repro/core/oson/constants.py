@@ -1,0 +1,114 @@
+"""OSON binary layout constants.
+
+The concrete byte layout is our own (the paper describes the architecture,
+not the bit-level encoding), but it realizes every structural property the
+paper specifies:
+
+* three segments — field-id-name dictionary, tree-node navigation, leaf
+  scalar values — with the navigation segment holding references into the
+  other two (Figure 2);
+* a dictionary whose entries are sorted by field-name hash id, with the
+  ordinal position serving as the field name identifier (section 4.2.1);
+* object nodes whose child arrays are sorted by field id for binary search
+  (section 4.2.2);
+* scalar nodes with inline booleans/nulls, native binary numbers
+  (section 4.2.3's Oracle binary number is modelled by a packed-decimal
+  encoding), and length-prefixed variable-length values.
+
+Layout summary (integers little-endian unless noted)::
+
+    header:
+        0..3   magic  b"OSON"
+        4      version (currently 2)
+        5..7   reserved (zero)
+        8..11  u32 tree segment start (absolute)
+        12..15 u32 value segment start (absolute)
+        16..19 u32 root node offset (relative to tree segment start)
+    dictionary segment (starts at byte 20):
+        u16 field_count
+        field_count * (u32 hash, u8 name_len)     -- sorted by (hash, name)
+        names blob (concatenated UTF-8 names; offsets are cumulative sums
+        of the lengths, so entries need no stored offset)
+    tree segment: nodes, children encoded strictly before parents.
+        node header byte:
+            bits 0..1  node type (1 object, 2 array, 3 scalar)
+            containers: bits 2..3 -> child-delta width W (1..4 bytes)
+            scalars:    bits 2..4 -> scalar type, bits 5..6 -> value-offset
+                        width V (1..4 bytes; absent for inline scalars)
+        object: hdr | u16 count | count*u16 sorted field ids
+                | count*W child deltas (delta = node_addr - child_addr)
+        array:  hdr | u16 count | count*W child deltas
+        scalar: hdr | [V-byte value-segment offset]
+    value segment:
+        INT    -> LEB128 length + minimal two's-complement bytes
+        NUMBER -> LEB128 length + flags byte (sign/decimal-ness/exponent)
+                  + packed BCD digits
+        FLOAT64-> 8 raw IEEE bytes (no length)
+        STRING -> LEB128 length + UTF-8 bytes
+        NUMSTR -> LEB128 length + ASCII decimal text (fallback for numbers
+                  the packed form cannot hold)
+
+Parent-relative child deltas keep most offsets to 1-2 bytes because a
+node's children are emitted immediately before it; this is what lets the
+encoding stay near JSON-text size for small documents and far below it
+for large repetitive ones (Table 10's shape).
+"""
+
+from __future__ import annotations
+
+MAGIC = b"OSON"
+VERSION = 2
+
+HEADER_SIZE = 20
+
+# node type (low 2 bits of the node header byte)
+NODE_OBJECT = 1
+NODE_ARRAY = 2
+NODE_SCALAR = 3
+
+NODE_TYPE_MASK = 0x03
+
+# container header: child-delta width code (bits 2..3); width = code + 1
+CONTAINER_WIDTH_SHIFT = 2
+CONTAINER_WIDTH_MASK = 0x03
+
+# scalar header: scalar type (bits 2..4), value-offset width code (bits 5..6)
+SCALAR_TYPE_SHIFT = 2
+SCALAR_TYPE_MASK = 0x07
+SCALAR_WIDTH_SHIFT = 5
+SCALAR_WIDTH_MASK = 0x03
+
+# scalar types
+SCALAR_NULL = 0
+SCALAR_TRUE = 1
+SCALAR_FALSE = 2
+SCALAR_INT = 3      # LEB128-length-prefixed two's complement
+SCALAR_NUMBER = 4   # packed-decimal (the Oracle binary NUMBER stand-in)
+SCALAR_FLOAT = 5    # raw IEEE double, no length prefix
+SCALAR_STRING = 6   # LEB128-length-prefixed UTF-8
+SCALAR_NUMSTR = 7   # LEB128-length-prefixed ASCII decimal text
+
+#: scalar types that carry no bytes in the value segment
+INLINE_SCALARS = frozenset({SCALAR_NULL, SCALAR_TRUE, SCALAR_FALSE})
+#: scalar types whose value has a LEB128 length prefix
+PREFIXED_SCALARS = frozenset({SCALAR_INT, SCALAR_NUMBER, SCALAR_STRING,
+                              SCALAR_NUMSTR})
+
+# packed-decimal flags byte
+NUMBER_SIGN_BIT = 0x80      # set: negative
+NUMBER_DECIMAL_BIT = 0x40   # set: decode to decimal.Decimal (else float/int)
+NUMBER_EXP_BIAS = 31        # bits 0..5 hold exponent + bias (-31..+32)
+NUMBER_EXP_MASK = 0x3F
+NUMBER_MAX_DIGITS = 30      # packable significant digits
+
+#: human-readable scalar type names (used by stats and errors)
+SCALAR_TYPE_NAMES = {
+    SCALAR_NULL: "null",
+    SCALAR_TRUE: "boolean",
+    SCALAR_FALSE: "boolean",
+    SCALAR_INT: "number",
+    SCALAR_NUMBER: "number",
+    SCALAR_FLOAT: "number",
+    SCALAR_STRING: "string",
+    SCALAR_NUMSTR: "number",
+}

@@ -1,0 +1,256 @@
+"""OSON decoder: a lazy, offset-navigated DOM over raw OSON bytes.
+
+:class:`OsonDocument` parses only the 20-byte header and the dictionary
+segment eagerly.  All tree access is by byte offset into the tree-node
+navigation segment — node addresses in the sense of section 4.2.2 — so a
+path evaluation touches only the nodes it walks, never the whole
+document.  The four DOM primitives of section 5.1 (`JsonDomGetNodeType`,
+`JsonDomGetFieldValue`, `JsonDomGetArrayElement`, `JsonDomGetScalarInfo`)
+are exposed as thin wrappers in :mod:`repro.core.oson.dom`.
+"""
+
+from __future__ import annotations
+
+import struct
+from decimal import Decimal
+from typing import Any, Iterator, Optional
+
+from repro.core.oson import constants as c
+from repro.core.oson.dictionary import FieldDictionary
+from repro.core.oson.numbers import read_leb128, unpack_decimal, unpack_int
+from repro.errors import OsonError
+
+_unpack_u16 = struct.Struct("<H").unpack_from
+_unpack_u32 = struct.Struct("<I").unpack_from
+_unpack_f64 = struct.Struct("<d").unpack_from
+
+
+class OsonDocument:
+    """A decoded OSON document header plus navigation methods.
+
+    Node addresses handed out by this class are byte offsets relative to
+    the tree segment start; ``root`` is the document root's address.
+    """
+
+    __slots__ = ("buffer", "dictionary", "tree_start", "value_start", "root")
+
+    def __init__(self, buffer: bytes) -> None:
+        if len(buffer) < c.HEADER_SIZE or buffer[:4] != c.MAGIC:
+            raise OsonError("not an OSON buffer")
+        version = buffer[4]
+        if version != c.VERSION:
+            raise OsonError(f"unsupported OSON version {version}")
+        self.buffer = buffer
+        self.tree_start = _unpack_u32(buffer, 8)[0]
+        self.value_start = _unpack_u32(buffer, 12)[0]
+        self.root = _unpack_u32(buffer, 16)[0]
+        if not c.HEADER_SIZE <= self.tree_start <= self.value_start <= len(buffer):
+            raise OsonError("OSON segment offsets out of range")
+        self.dictionary, dict_end = FieldDictionary.from_bytes(buffer, c.HEADER_SIZE)
+        if dict_end > self.tree_start:
+            raise OsonError("dictionary segment overlaps tree segment")
+
+    # -- segment size accounting (Table 11) --------------------------------
+
+    def segment_sizes(self) -> dict[str, int]:
+        """Byte sizes of the header and the three segments."""
+        return {
+            "header": c.HEADER_SIZE,
+            "dictionary": self.tree_start - c.HEADER_SIZE,
+            "tree": self.value_start - self.tree_start,
+            "values": len(self.buffer) - self.value_start,
+        }
+
+    # -- field-name dictionary ----------------------------------------------
+
+    def field_id(self, name: str, name_hash: Optional[int] = None) -> Optional[int]:
+        """Name -> field id via binary search on the sorted hash array."""
+        return self.dictionary.field_id(name, name_hash)
+
+    def field_name(self, field_id: int) -> str:
+        return self.dictionary.field_name(field_id)
+
+    def field_hash(self, field_id: int) -> int:
+        return self.dictionary.field_hash(field_id)
+
+    def field_count(self) -> int:
+        return len(self.dictionary)
+
+    # -- node navigation ------------------------------------------------------
+
+    def node_type(self, node: int) -> int:
+        """Node type tag: NODE_OBJECT, NODE_ARRAY or NODE_SCALAR."""
+        return self.buffer[self.tree_start + node] & c.NODE_TYPE_MASK
+
+    def child_count(self, node: int) -> int:
+        """Number of children of an object or array node."""
+        base = self.tree_start + node
+        if self.buffer[base] & c.NODE_TYPE_MASK == c.NODE_SCALAR:
+            raise OsonError("scalar nodes have no children")
+        return _unpack_u16(self.buffer, base + 1)[0]
+
+    def get_field_value(self, node: int, field_id: int) -> Optional[int]:
+        """Binary-search an object's sorted field-id array; return the
+        matching child's node address or ``None``.
+
+        This is the core win of the format: integer comparisons over a
+        contiguous sorted array instead of the string scans BSON needs.
+        """
+        base = self.tree_start + node
+        buffer = self.buffer
+        header = buffer[base]
+        if header & c.NODE_TYPE_MASK != c.NODE_OBJECT:
+            return None
+        count = _unpack_u16(buffer, base + 1)[0]
+        ids_start = base + 3
+        lo, hi = 0, count - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            mid_id = _unpack_u16(buffer, ids_start + mid * 2)[0]
+            if mid_id == field_id:
+                width = ((header >> c.CONTAINER_WIDTH_SHIFT)
+                         & c.CONTAINER_WIDTH_MASK) + 1
+                delta_pos = ids_start + count * 2 + mid * width
+                delta = int.from_bytes(
+                    buffer[delta_pos:delta_pos + width], "little")
+                return node - delta
+            if mid_id < field_id:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return None
+
+    def get_field_value_by_name(self, node: int, name: str,
+                                name_hash: Optional[int] = None) -> Optional[int]:
+        """Resolve ``name`` through the dictionary, then jump to the child."""
+        field_id = self.field_id(name, name_hash)
+        if field_id is None:
+            return None
+        return self.get_field_value(node, field_id)
+
+    def object_items(self, node: int) -> Iterator[tuple[int, int]]:
+        """Iterate (field id, child address) pairs of an object node."""
+        base = self.tree_start + node
+        buffer = self.buffer
+        header = buffer[base]
+        if header & c.NODE_TYPE_MASK != c.NODE_OBJECT:
+            raise OsonError("not an object node")
+        count = _unpack_u16(buffer, base + 1)[0]
+        width = ((header >> c.CONTAINER_WIDTH_SHIFT)
+                 & c.CONTAINER_WIDTH_MASK) + 1
+        ids_start = base + 3
+        deltas_start = ids_start + count * 2
+        for i in range(count):
+            field_id = _unpack_u16(buffer, ids_start + i * 2)[0]
+            delta_pos = deltas_start + i * width
+            delta = int.from_bytes(buffer[delta_pos:delta_pos + width], "little")
+            yield field_id, node - delta
+
+    def get_array_element(self, node: int, index: int) -> Optional[int]:
+        """Direct positional access to the Nth array element."""
+        base = self.tree_start + node
+        buffer = self.buffer
+        header = buffer[base]
+        if header & c.NODE_TYPE_MASK != c.NODE_ARRAY:
+            return None
+        count = _unpack_u16(buffer, base + 1)[0]
+        if index < 0:
+            index += count
+        if not 0 <= index < count:
+            return None
+        width = ((header >> c.CONTAINER_WIDTH_SHIFT)
+                 & c.CONTAINER_WIDTH_MASK) + 1
+        delta_pos = base + 3 + index * width
+        delta = int.from_bytes(buffer[delta_pos:delta_pos + width], "little")
+        return node - delta
+
+    def array_elements(self, node: int) -> Iterator[int]:
+        """Iterate the node addresses of an array's elements."""
+        base = self.tree_start + node
+        buffer = self.buffer
+        header = buffer[base]
+        if header & c.NODE_TYPE_MASK != c.NODE_ARRAY:
+            raise OsonError("not an array node")
+        count = _unpack_u16(buffer, base + 1)[0]
+        width = ((header >> c.CONTAINER_WIDTH_SHIFT)
+                 & c.CONTAINER_WIDTH_MASK) + 1
+        deltas_start = base + 3
+        for i in range(count):
+            delta_pos = deltas_start + i * width
+            delta = int.from_bytes(buffer[delta_pos:delta_pos + width], "little")
+            yield node - delta
+
+    # -- scalars ---------------------------------------------------------------
+
+    def get_scalar_info(self, node: int) -> tuple[int, int, int]:
+        """Return (scalar type, absolute payload offset, payload length).
+
+        For inline scalars (null/true/false) the offset is -1 and the
+        length 0.  For length-prefixed scalars the offset points *past*
+        the LEB128 length at the payload bytes.
+        """
+        base = self.tree_start + node
+        buffer = self.buffer
+        header = buffer[base]
+        if header & c.NODE_TYPE_MASK != c.NODE_SCALAR:
+            raise OsonError("not a scalar node")
+        scalar_type = (header >> c.SCALAR_TYPE_SHIFT) & c.SCALAR_TYPE_MASK
+        if scalar_type in c.INLINE_SCALARS:
+            return scalar_type, -1, 0
+        width = ((header >> c.SCALAR_WIDTH_SHIFT) & c.SCALAR_WIDTH_MASK) + 1
+        rel = int.from_bytes(buffer[base + 1:base + 1 + width], "little")
+        abs_off = self.value_start + rel
+        if scalar_type == c.SCALAR_FLOAT:
+            return scalar_type, abs_off, 8
+        length, payload_off = read_leb128(buffer, abs_off)
+        return scalar_type, payload_off, length
+
+    def scalar_value(self, node: int) -> Any:
+        """Decode a scalar node to its Python value."""
+        scalar_type, offset, length = self.get_scalar_info(node)
+        if scalar_type == c.SCALAR_NULL:
+            return None
+        if scalar_type == c.SCALAR_TRUE:
+            return True
+        if scalar_type == c.SCALAR_FALSE:
+            return False
+        buffer = self.buffer
+        if scalar_type == c.SCALAR_FLOAT:
+            return _unpack_f64(buffer, offset)[0]
+        payload = buffer[offset:offset + length]
+        if scalar_type == c.SCALAR_INT:
+            return unpack_int(payload)
+        if scalar_type == c.SCALAR_NUMBER:
+            return unpack_decimal(payload)
+        if scalar_type == c.SCALAR_STRING:
+            return payload.decode("utf-8")
+        if scalar_type == c.SCALAR_NUMSTR:
+            text = payload.decode("ascii")
+            try:
+                return int(text)
+            except ValueError:
+                return Decimal(text)
+        raise OsonError(f"unknown scalar type {scalar_type}")
+
+    # -- materialization ----------------------------------------------------------
+
+    def materialize(self, node: Optional[int] = None) -> Any:
+        """Fully decode the subtree at ``node`` (default: root) to Python
+        values.  Object key order follows field-id order, which is hash
+        order — key order is not semantically significant in JSON objects."""
+        if node is None:
+            node = self.root
+        node_type = self.node_type(node)
+        if node_type == c.NODE_SCALAR:
+            return self.scalar_value(node)
+        if node_type == c.NODE_ARRAY:
+            return [self.materialize(child) for child in self.array_elements(node)]
+        return {
+            self.field_name(field_id): self.materialize(child)
+            for field_id, child in self.object_items(node)
+        }
+
+
+def decode(data: bytes) -> Any:
+    """Convenience: fully decode OSON ``data`` to Python values."""
+    return OsonDocument(data).materialize()

@@ -1,0 +1,39 @@
+"""The four JSON DOM primitives of section 5.1, spelled as in the paper.
+
+These are thin aliases over :class:`repro.core.oson.decoder.OsonDocument`
+methods so that code ported from the paper's pseudo-interface reads
+one-to-one::
+
+    JsonDomGetNodeType(doc, addr)
+    JsonDomGetFieldValue(doc, addr, field_id)
+    JsonDomGetArrayElement(doc, addr, index)
+    JsonDomGetScalarInfo(doc, addr)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.oson.decoder import OsonDocument
+
+
+def JsonDomGetNodeType(doc: OsonDocument, node: int) -> int:  # noqa: N802
+    """Node type tag at tree address ``node``."""
+    return doc.node_type(node)
+
+
+def JsonDomGetFieldValue(doc: OsonDocument, node: int,  # noqa: N802
+                         field_id: int) -> Optional[int]:
+    """Binary-searched child lookup by field name identifier."""
+    return doc.get_field_value(node, field_id)
+
+
+def JsonDomGetArrayElement(doc: OsonDocument, node: int,  # noqa: N802
+                           index: int) -> Optional[int]:
+    """Direct positional child lookup in an array node."""
+    return doc.get_array_element(node, index)
+
+
+def JsonDomGetScalarInfo(doc: OsonDocument, node: int) -> tuple[int, int, int]:  # noqa: N802
+    """(scalar type, value-segment offset, payload length) of a scalar node."""
+    return doc.get_scalar_info(node)

@@ -1,0 +1,197 @@
+"""OSON encoder: Python JSON values -> OSON bytes.
+
+Encoding is a single post-order walk: each node's children are written to
+the tree segment first, so the parent can reference them through
+parent-relative *deltas* (child address = parent address - delta).
+Because children are emitted immediately before their parent, deltas are
+small and each container chooses the narrowest per-node width that fits —
+this, plus binary numbers and single-byte scalar headers, keeps OSON near
+JSON-text size for small documents and well below it for large repetitive
+ones (Table 10's shape).
+
+Scalar bytes go to the leaf-scalar-value segment as they are visited
+(section 4.2.3); numbers use the packed-decimal "Oracle binary number"
+of :mod:`repro.core.oson.numbers`, falling back to raw IEEE or ASCII
+decimal when they do not fit.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from decimal import Decimal
+from typing import Any, Iterator
+
+from repro.core.oson import constants as c
+from repro.core.oson.dictionary import FieldDictionary
+from repro.core.oson.numbers import pack_decimal, pack_int, write_leb128
+from repro.errors import OsonError
+
+_pack_u16 = struct.Struct("<H").pack
+_pack_u32 = struct.Struct("<I").pack
+_pack_f64 = struct.Struct("<d").pack
+
+
+def iter_field_names(value: Any) -> Iterator[str]:
+    """Yield every field name in ``value`` (with repetitions)."""
+    stack = [value]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, dict):
+            for key, item in node.items():
+                if not isinstance(key, str):
+                    raise OsonError(
+                        f"object keys must be strings, got {type(key).__name__}")
+                yield key
+                stack.append(item)
+        elif isinstance(node, (list, tuple)):
+            stack.extend(node)
+
+
+def encode(value: Any) -> bytes:
+    """Encode any JSON-compatible Python value to OSON bytes."""
+    dictionary = FieldDictionary.build(iter_field_names(value))
+    encoder = _SegmentEncoder(dictionary)
+    root_offset = encoder.encode_node(value)
+    return assemble(dictionary, bytes(encoder.tree), bytes(encoder.values),
+                    root_offset)
+
+
+def assemble(dictionary: FieldDictionary, tree: bytes, values: bytes,
+             root_offset: int) -> bytes:
+    """Frame the three segments with the OSON header."""
+    dict_bytes = dictionary.to_bytes()
+    tree_start = c.HEADER_SIZE + len(dict_bytes)
+    value_start = tree_start + len(tree)
+    header = (
+        c.MAGIC
+        + bytes([c.VERSION, 0, 0, 0])
+        + _pack_u32(tree_start)
+        + _pack_u32(value_start)
+        + _pack_u32(root_offset)
+    )
+    return header + dict_bytes + tree + values
+
+
+def _width_for(delta: int) -> int:
+    if delta <= 0xFF:
+        return 1
+    if delta <= 0xFFFF:
+        return 2
+    if delta <= 0xFFFFFF:
+        return 3
+    if delta <= 0xFFFFFFFF:
+        return 4
+    raise OsonError("tree segment larger than 4 GiB")
+
+
+class _SegmentEncoder:
+    """Accumulates the tree-node and leaf-scalar-value segments."""
+
+    __slots__ = ("dictionary", "tree", "values")
+
+    def __init__(self, dictionary: FieldDictionary) -> None:
+        self.dictionary = dictionary
+        self.tree = bytearray()
+        self.values = bytearray()
+
+    # -- nodes -------------------------------------------------------------
+
+    def encode_node(self, value: Any) -> int:
+        """Encode ``value`` (children first) and return its tree offset."""
+        if isinstance(value, dict):
+            return self._encode_object(value)
+        if isinstance(value, (list, tuple)):
+            return self._encode_array(value)
+        return self._encode_scalar(value)
+
+    def _encode_object(self, obj: dict[str, Any]) -> int:
+        if len(obj) > 0xFFFF:
+            raise OsonError("object has more than 65535 fields")
+        pairs: list[tuple[int, int]] = []  # (field_id, child offset)
+        for key, item in obj.items():
+            if not isinstance(key, str):
+                raise OsonError(
+                    f"object keys must be strings, got {type(key).__name__}")
+            field_id = self.dictionary.field_id_fast(key)
+            if field_id is None:
+                raise OsonError(f"field {key!r} missing from dictionary")
+            pairs.append((field_id, self.encode_node(item)))
+        pairs.sort(key=lambda p: p[0])  # sorted field ids enable binary search
+        node_pos = len(self.tree)
+        deltas = [node_pos - child for _fid, child in pairs]
+        width = max((_width_for(d) for d in deltas), default=1)
+        header = (c.NODE_OBJECT
+                  | ((width - 1) << c.CONTAINER_WIDTH_SHIFT))
+        self.tree.append(header)
+        self.tree += _pack_u16(len(pairs))
+        for field_id, _child in pairs:
+            self.tree += _pack_u16(field_id)
+        for delta in deltas:
+            self.tree += delta.to_bytes(width, "little")
+        return node_pos
+
+    def _encode_array(self, items: Any) -> int:
+        if len(items) > 0xFFFF:
+            raise OsonError("array has more than 65535 elements")
+        children = [self.encode_node(item) for item in items]
+        node_pos = len(self.tree)
+        deltas = [node_pos - child for child in children]
+        width = max((_width_for(d) for d in deltas), default=1)
+        header = (c.NODE_ARRAY
+                  | ((width - 1) << c.CONTAINER_WIDTH_SHIFT))
+        self.tree.append(header)
+        self.tree += _pack_u16(len(children))
+        for delta in deltas:
+            self.tree += delta.to_bytes(width, "little")
+        return node_pos
+
+    def _encode_scalar(self, value: Any) -> int:
+        scalar_type, payload = encode_scalar_payload(value)
+        node_pos = len(self.tree)
+        if scalar_type in c.INLINE_SCALARS:
+            self.tree.append(
+                c.NODE_SCALAR | (scalar_type << c.SCALAR_TYPE_SHIFT))
+            return node_pos
+        value_offset = len(self.values)
+        if scalar_type in c.PREFIXED_SCALARS:
+            write_leb128(self.values, len(payload))
+        self.values += payload
+        width = max(_width_for(value_offset), 1) if value_offset else 1
+        header = (c.NODE_SCALAR
+                  | (scalar_type << c.SCALAR_TYPE_SHIFT)
+                  | ((width - 1) << c.SCALAR_WIDTH_SHIFT))
+        self.tree.append(header)
+        self.tree += value_offset.to_bytes(width, "little")
+        return node_pos
+
+
+def encode_scalar_payload(value: Any) -> tuple[int, bytes]:
+    """Classify a Python scalar and produce its value-segment payload
+    (excluding any length prefix).  Shared with the partial-update module
+    so in-place updates use identical byte encodings."""
+    if value is None:
+        return c.SCALAR_NULL, b""
+    if value is True:
+        return c.SCALAR_TRUE, b""
+    if value is False:
+        return c.SCALAR_FALSE, b""
+    if isinstance(value, int):
+        if value.bit_length() <= 71:  # fits 9 two's-complement bytes
+            return c.SCALAR_INT, pack_int(value)
+        return c.SCALAR_NUMSTR, str(value).encode("ascii")
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise OsonError("JSON cannot represent NaN or Infinity")
+        packed = pack_decimal(value)
+        if packed is not None and len(packed) < 8:
+            return c.SCALAR_NUMBER, packed
+        return c.SCALAR_FLOAT, _pack_f64(value)
+    if isinstance(value, Decimal):
+        packed = pack_decimal(value)
+        if packed is not None:
+            return c.SCALAR_NUMBER, packed
+        return c.SCALAR_NUMSTR, str(value).encode("ascii")
+    if isinstance(value, str):
+        return c.SCALAR_STRING, value.encode("utf-8")
+    raise OsonError(f"cannot encode {type(value).__name__} to OSON")

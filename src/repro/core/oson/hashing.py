@@ -1,0 +1,23 @@
+"""Field-name hashing for the OSON field-id-name dictionary.
+
+The paper assigns field name identifiers "arbitrarily using a hash
+function" (section 4.2.1).  We use FNV-1a 32-bit over the UTF-8 bytes of
+the field name: deterministic across processes (unlike Python's builtin
+``hash`` under PYTHONHASHSEED), cheap, and with a small enough range that
+collisions actually occur on large vocabularies — which exercises the
+collision-resolution string compare the paper describes.
+"""
+
+from __future__ import annotations
+
+_FNV_OFFSET = 0x811C9DC5
+_FNV_PRIME = 0x01000193
+_MASK32 = 0xFFFFFFFF
+
+
+def field_name_hash(name: str) -> int:
+    """Return the 32-bit FNV-1a hash of a field name."""
+    value = _FNV_OFFSET
+    for byte in name.encode("utf-8"):
+        value = ((value ^ byte) * _FNV_PRIME) & _MASK32
+    return value

@@ -1,0 +1,162 @@
+"""Binary number encodings for OSON scalars.
+
+Section 4.2.3: "By default, OSON uses the Oracle binary number format to
+encode JSON numbers, minimizing the cost of using these values in SQL."
+Oracle NUMBER is a compact sign/exponent/BCD format; we model it with
+:func:`pack_decimal` / :func:`unpack_decimal`:
+
+    flags byte: bit7 sign, bit6 decode-to-Decimal, bits0..5 biased
+    base-10 exponent; then BCD digit pairs (high nibble first, odd digit
+    count padded with 0xF).
+
+Floats whose shortest ``repr`` fits (almost all real-world JSON numbers)
+take 2-9 bytes instead of IEEE's fixed 8 + framing; round-tripping is
+exact because ``repr`` is the shortest string that parses back to the
+same double.  Unpackable values fall back to raw IEEE (SCALAR_FLOAT) or
+ASCII decimal text (SCALAR_NUMSTR).
+
+LEB128 length helpers for the value segment live here too.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import Optional, Union
+
+from repro.core.oson import constants as c
+from repro.errors import OsonError
+
+# -- LEB128 ------------------------------------------------------------------
+
+
+def write_leb128(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 integer."""
+    if value < 0:
+        raise OsonError("LEB128 values must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def write_leb128_padded(out: bytearray, value: int, width: int) -> None:
+    """Append a LEB128 integer padded to exactly ``width`` bytes (used by
+    in-place updates so the length slot keeps its size)."""
+    for i in range(width - 1):
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    if value > 0x7F:
+        raise OsonError("value does not fit the padded LEB128 width")
+    out.append(value)
+
+
+def read_leb128(buffer: bytes, pos: int) -> tuple[int, int]:
+    """Read an unsigned LEB128 integer; returns (value, next position)."""
+    result = 0
+    shift = 0
+    while True:
+        byte = buffer[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise OsonError("malformed LEB128 length")
+
+
+def leb128_size(value: int) -> int:
+    size = 1
+    while value > 0x7F:
+        value >>= 7
+        size += 1
+    return size
+
+
+# -- integers -----------------------------------------------------------------
+
+
+def pack_int(value: int) -> bytes:
+    """Minimal two's-complement little-endian bytes of ``value``."""
+    length = max(1, (value.bit_length() + 8) // 8)  # +8 keeps the sign bit
+    return value.to_bytes(length, "little", signed=True)
+
+
+def unpack_int(payload: bytes) -> int:
+    return int.from_bytes(payload, "little", signed=True)
+
+
+# -- packed decimal ---------------------------------------------------------------
+
+
+def pack_decimal(value: Union[float, Decimal]) -> Optional[bytes]:
+    """Pack a float or Decimal; returns None if it does not fit.
+
+    Fitting requires a finite value with at most
+    :data:`~repro.core.oson.constants.NUMBER_MAX_DIGITS` significant
+    digits and a biased exponent inside 6 bits.
+    """
+    if isinstance(value, Decimal):
+        if not value.is_finite():
+            return None
+        sign, digit_tuple, exponent = value.as_tuple()
+        is_decimal = True
+    else:
+        text = repr(float(value))
+        if text in ("inf", "-inf", "nan"):
+            return None
+        try:
+            sign, digit_tuple, exponent = Decimal(text).as_tuple()
+        except Exception:  # pragma: no cover - repr is always parseable
+            return None
+        is_decimal = False
+    digits = "".join(str(d) for d in digit_tuple)
+    # strip trailing zeros into the exponent to shorten the BCD run
+    stripped = digits.rstrip("0")
+    if stripped:
+        exponent += len(digits) - len(stripped)
+        digits = stripped
+    else:
+        digits, exponent = "0", 0
+    if len(digits) > c.NUMBER_MAX_DIGITS:
+        return None
+    biased = exponent + c.NUMBER_EXP_BIAS
+    if not 0 <= biased <= c.NUMBER_EXP_MASK:
+        return None
+    flags = biased
+    if sign:
+        flags |= c.NUMBER_SIGN_BIT
+    if is_decimal:
+        flags |= c.NUMBER_DECIMAL_BIT
+    out = bytearray([flags])
+    for i in range(0, len(digits), 2):
+        high = int(digits[i])
+        low = int(digits[i + 1]) if i + 1 < len(digits) else 0xF
+        out.append((high << 4) | low)
+    return bytes(out)
+
+
+def unpack_decimal(payload: bytes) -> Union[int, float, Decimal]:
+    """Inverse of :func:`pack_decimal`."""
+    if not payload:
+        raise OsonError("empty packed decimal")
+    flags = payload[0]
+    negative = bool(flags & c.NUMBER_SIGN_BIT)
+    is_decimal = bool(flags & c.NUMBER_DECIMAL_BIT)
+    exponent = (flags & c.NUMBER_EXP_MASK) - c.NUMBER_EXP_BIAS
+    digits: list[str] = []
+    for byte in payload[1:]:
+        high, low = byte >> 4, byte & 0x0F
+        digits.append(str(high))
+        if low != 0xF:
+            digits.append(str(low))
+    text = "".join(digits) or "0"
+    if is_decimal:
+        result = Decimal(f"{'-' if negative else ''}{text}E{exponent}")
+        return result
+    number = float(f"{'-' if negative else ''}{text}e{exponent}")
+    return number

@@ -1,0 +1,116 @@
+"""OSON *set encoding* prototype (section 7, future work).
+
+For a collection of structurally similar documents the per-document
+field-id-name dictionaries are nearly identical.  The paper's future-work
+proposal is to merge them into one shared dictionary held by the in-memory
+store, shrinking memory and letting field-name -> id mapping happen once
+per store instead of once per document.
+
+:class:`SharedDictionaryStore` implements that idea: documents are encoded
+against a collection-wide :class:`~repro.core.oson.dictionary.FieldDictionary`
+(grown on demand), and each stored entry keeps only the tree + value
+segments.  Unlike Dremel, heterogeneity is fully supported — a field may be
+a string in one instance and an object in another, because each instance
+still carries its own tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.core.oson.decoder import OsonDocument
+from repro.core.oson.dictionary import FieldDictionary
+from repro.core.oson.encoder import _SegmentEncoder, assemble, iter_field_names
+from repro.core.oson.hashing import field_name_hash
+
+
+class SharedDictionaryStore:
+    """An in-memory OSON collection with one merged field dictionary.
+
+    Entries are raw ``(tree, values, root, wide)`` tuples; ``as_document``
+    reassembles a standard self-contained :class:`OsonDocument` view on
+    demand (used by the generic path engine), while ``memory_bytes``
+    exposes the savings measured by the set-encoding ablation bench.
+    """
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+        self._dictionary = FieldDictionary([], [])
+        self._entries: list[tuple[bytes, bytes, int]] = []
+
+    # -- dictionary management ------------------------------------------------
+
+    def _ensure_fields(self, value: Any) -> None:
+        """Grow the shared dictionary to cover ``value``'s field names.
+
+        Rebuilding keeps the sorted-by-hash invariant but renumbers field
+        ids, so existing entries (encoded against the old numbering) must
+        be re-encoded: we materialize them with the old dictionary first,
+        then swap in the new one.
+        """
+        known = set(self._names)
+        new_names = [n for n in set(iter_field_names(value)) if n not in known]
+        if not new_names:
+            return
+        old_values = [self.materialize(i) for i in range(len(self._entries))]
+        self._names.extend(new_names)
+        self._dictionary = FieldDictionary.build(self._names)
+        self._entries = [self._encode_entry(v) for v in old_values]
+
+    @property
+    def dictionary(self) -> FieldDictionary:
+        return self._dictionary
+
+    def field_id(self, name: str) -> Optional[int]:
+        return self._dictionary.field_id(name, field_name_hash(name))
+
+    # -- population ----------------------------------------------------------------
+
+    def add(self, value: Any) -> int:
+        """Encode ``value`` against the shared dictionary; returns its slot.
+
+        If the document introduces new field names the shared dictionary
+        grows, which renumbers field ids; previously stored documents are
+        re-encoded against the new dictionary (correct, if costly — the
+        paper leaves this engineering to future work and so do we).
+        """
+        self._ensure_fields(value)
+        self._entries.append(self._encode_entry(value))
+        return len(self._entries) - 1
+
+    def _encode_entry(self, value: Any) -> tuple[bytes, bytes, int]:
+        encoder = _SegmentEncoder(self._dictionary)
+        root = encoder.encode_node(value)
+        return bytes(encoder.tree), bytes(encoder.values), root
+
+    # -- access ------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def as_document(self, index: int) -> OsonDocument:
+        """Reassemble entry ``index`` as a self-contained OSON document."""
+        tree, values, root = self._entries[index]
+        return OsonDocument(assemble(self._dictionary, tree, values, root))
+
+    def materialize(self, index: int) -> Any:
+        return self.as_document(index).materialize()
+
+    def documents(self) -> Iterator[OsonDocument]:
+        for i in range(len(self._entries)):
+            yield self.as_document(i)
+
+    # -- accounting -------------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Bytes held: shared dictionary once + per-entry tree/value bytes."""
+        total = len(self._dictionary.to_bytes())
+        for tree, values, _root in self._entries:
+            total += len(tree) + len(values)
+        return total
+
+    @staticmethod
+    def self_contained_bytes(values: list[Any]) -> int:
+        """Baseline: total bytes if each document carried its own dictionary."""
+        from repro.core.oson.encoder import encode
+        return sum(len(encode(v)) for v in values)

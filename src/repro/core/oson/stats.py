@@ -1,0 +1,100 @@
+"""OSON segment-size statistics (Tables 10 and 11).
+
+Helpers that, given a collection of documents, report average encoded
+sizes under JSON text / BSON / OSON and the average fraction of OSON
+bytes spent in each of the three segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro import bson
+from repro.core.oson.decoder import OsonDocument
+from repro.core.oson.encoder import encode as oson_encode
+from repro.jsontext import dumps
+
+
+@dataclass(frozen=True, slots=True)
+class SizeStats:
+    """Average encoded byte size per document for the three formats."""
+
+    count: int
+    avg_json: float
+    avg_bson: float
+    avg_oson: float
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentStats:
+    """Average fraction of total OSON bytes per segment (header excluded,
+    matching the paper's three-way breakdown)."""
+
+    count: int
+    dictionary_ratio: float
+    tree_ratio: float
+    values_ratio: float
+
+
+def size_stats(documents: Iterable[Any]) -> SizeStats:
+    """Encode each document three ways and average the byte sizes."""
+    count = 0
+    total_json = total_bson = total_oson = 0
+    for doc in documents:
+        count += 1
+        total_json += len(dumps(doc).encode("utf-8"))
+        total_bson += len(bson.encode(doc))
+        total_oson += len(oson_encode(doc))
+    if count == 0:
+        return SizeStats(0, 0.0, 0.0, 0.0)
+    return SizeStats(count, total_json / count, total_bson / count,
+                     total_oson / count)
+
+
+def segment_stats(documents: Iterable[Any]) -> SegmentStats:
+    """Average the per-segment byte ratios of the OSON encoding."""
+    count = 0
+    dict_sum = tree_sum = value_sum = 0.0
+    for doc in documents:
+        encoded = oson_encode(doc)
+        sizes = OsonDocument(encoded).segment_sizes()
+        total = sizes["dictionary"] + sizes["tree"] + sizes["values"]
+        if total == 0:
+            continue
+        count += 1
+        dict_sum += sizes["dictionary"] / total
+        tree_sum += sizes["tree"] / total
+        value_sum += sizes["values"] / total
+    if count == 0:
+        return SegmentStats(0, 0.0, 0.0, 0.0)
+    return SegmentStats(count, dict_sum / count, tree_sum / count,
+                        value_sum / count)
+
+
+def size_table(rows: Sequence[tuple[str, Iterable[Any]]]) -> list[dict[str, Any]]:
+    """Build Table 10 rows: one dict per named collection."""
+    table = []
+    for name, documents in rows:
+        stats = size_stats(documents)
+        table.append({
+            "collection": name,
+            "avg_json_bytes": round(stats.avg_json, 1),
+            "avg_bson_bytes": round(stats.avg_bson, 1),
+            "avg_oson_bytes": round(stats.avg_oson, 1),
+        })
+    return table
+
+
+def segment_table(rows: Sequence[tuple[str, Iterable[Any]]]) -> list[dict[str, Any]]:
+    """Build Table 11 rows: per-collection average segment ratios."""
+    table = []
+    for name, documents in rows:
+        stats = segment_stats(documents)
+        table.append({
+            "collection": name,
+            "dictionary_pct": round(100 * stats.dictionary_ratio, 2),
+            "tree_pct": round(100 * stats.tree_ratio, 2),
+            "values_pct": round(100 * stats.values_ratio, 2),
+        })
+    return table

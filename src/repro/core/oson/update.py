@@ -1,0 +1,133 @@
+"""Partial OSON updates (section 4.2.3, last paragraph).
+
+The paper limits partial updates to "changes of existing leaf scalar
+values"; structure (adding/removing fields or array elements) requires a
+re-encode.  :class:`OsonUpdater` applies that contract over a mutable
+buffer:
+
+* booleans flip in the node header (inline scalars);
+* numbers and strings are overwritten in place when the new encoding fits
+  the old value slot, otherwise the new bytes are appended to the end of
+  the value segment (the end of the buffer) and the scalar node is
+  re-pointed — old bytes become dead space until the document is
+  re-encoded;
+* changes that alter the scalar *class* (e.g. string -> number) or touch
+  a non-scalar node raise :class:`~repro.errors.OsonUpdateError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.oson import constants as c
+from repro.core.oson.decoder import OsonDocument
+from repro.core.oson.encoder import encode_scalar_payload
+from repro.core.oson.numbers import leb128_size, write_leb128
+from repro.errors import OsonUpdateError
+
+#: scalar types grouped into update classes
+_CLASS = {
+    c.SCALAR_NULL: "null",
+    c.SCALAR_TRUE: "boolean",
+    c.SCALAR_FALSE: "boolean",
+    c.SCALAR_INT: "number",
+    c.SCALAR_NUMBER: "number",
+    c.SCALAR_FLOAT: "number",
+    c.SCALAR_NUMSTR: "number",
+    c.SCALAR_STRING: "string",
+}
+
+
+class OsonUpdater:
+    """In-place leaf-scalar updates over an OSON byte buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._buffer = bytearray(data)
+        self._doc = OsonDocument(bytes(self._buffer))
+
+    @property
+    def document(self) -> OsonDocument:
+        """A document view over the current buffer state."""
+        return self._doc
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._buffer)
+
+    def set_scalar(self, node: int, new_value: Any) -> None:
+        """Replace the scalar at tree address ``node`` with ``new_value``."""
+        doc = self._doc
+        if doc.node_type(node) != c.NODE_SCALAR:
+            raise OsonUpdateError("partial update supports leaf scalars only")
+        node_base = doc.tree_start + node
+        header = self._buffer[node_base]
+        old_type = (header >> c.SCALAR_TYPE_SHIFT) & c.SCALAR_TYPE_MASK
+        new_type, payload = encode_scalar_payload(new_value)
+        if _CLASS[old_type] != _CLASS[new_type]:
+            raise OsonUpdateError(
+                f"cannot change scalar class {_CLASS[old_type]!r} -> "
+                f"{_CLASS[new_type]!r}; re-encode the document instead")
+        if new_type in c.INLINE_SCALARS:
+            # boolean flip / null no-op: retag the header, keep width bits
+            self._buffer[node_base] = (
+                c.NODE_SCALAR | (new_type << c.SCALAR_TYPE_SHIFT)
+                | (header & (c.SCALAR_WIDTH_MASK << c.SCALAR_WIDTH_SHIFT)))
+            self._reload()
+            return
+        width = ((header >> c.SCALAR_WIDTH_SHIFT) & c.SCALAR_WIDTH_MASK) + 1
+        slot_start, slot_total = self._value_slot(doc, node, old_type)
+        needed = (8 if new_type == c.SCALAR_FLOAT
+                  else leb128_size(len(payload)) + len(payload))
+        if needed <= slot_total:
+            self._write_value(slot_start, new_type, payload)
+        else:
+            # grow: append at the end of the value segment (buffer end)
+            new_rel = len(self._buffer) - doc.value_start
+            if new_rel >= 1 << (8 * width):
+                raise OsonUpdateError(
+                    "grown value offset does not fit the node's offset "
+                    "width; re-encode the document")
+            self._write_value(len(self._buffer), new_type, payload)
+            self._buffer[node_base + 1:node_base + 1 + width] = (
+                new_rel.to_bytes(width, "little"))
+        self._buffer[node_base] = (
+            c.NODE_SCALAR | (new_type << c.SCALAR_TYPE_SHIFT)
+            | ((width - 1) << c.SCALAR_WIDTH_SHIFT))
+        self._reload()
+
+    def set_scalar_by_path(self, steps: list, new_value: Any) -> None:
+        """Navigate ``steps`` (field names / array indices) and update."""
+        node = self._doc.root
+        for step in steps:
+            if isinstance(step, str):
+                child = self._doc.get_field_value_by_name(node, step)
+            else:
+                child = self._doc.get_array_element(node, step)
+            if child is None:
+                raise OsonUpdateError(f"path step {step!r} not found")
+            node = child
+        self.set_scalar(node, new_value)
+
+    # -- internal ------------------------------------------------------------
+
+    @staticmethod
+    def _value_slot(doc: OsonDocument, node: int,
+                    old_type: int) -> tuple[int, int]:
+        """(absolute slot start, total slot bytes) of the current value."""
+        _scalar_type, payload_off, length = doc.get_scalar_info(node)
+        if old_type == c.SCALAR_FLOAT:
+            return payload_off, 8
+        prefix_bytes = leb128_size(length)
+        return payload_off - prefix_bytes, prefix_bytes + length
+
+    def _write_value(self, at: int, new_type: int, payload: bytes) -> None:
+        chunk = bytearray()
+        if new_type != c.SCALAR_FLOAT:
+            write_leb128(chunk, len(payload))
+        chunk += payload
+        end = at + len(chunk)
+        if end > len(self._buffer):
+            self._buffer += bytes(end - len(self._buffer))
+        self._buffer[at:end] = chunk
+
+    def _reload(self) -> None:
+        self._doc = OsonDocument(bytes(self._buffer))

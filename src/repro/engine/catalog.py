@@ -1,0 +1,122 @@
+"""The database catalog: tables, views and JSON search indexes by name."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.engine.query import Query
+from repro.engine.table import Column, Table
+from repro.engine.view import View
+from repro.errors import CatalogError
+
+
+class Database:
+    """An embedded database instance.
+
+    Holds the catalog and provides DDL-ish factory methods.  JSON search
+    indexes (which embed the persistent DataGuide) are created through
+    :meth:`create_json_search_index`, mirroring the paper's
+    ``CREATE SEARCH INDEX ... FOR JSON``.
+    """
+
+    def __init__(self, name: str = "repro") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, View] = {}
+        self._indexes: dict[str, Any] = {}
+
+    # -- tables ------------------------------------------------------------
+
+    def create_table(self, name: str, columns: Sequence[Column]) -> Table:
+        if name in self._tables or name in self._views:
+            raise CatalogError(f"object {name!r} already exists")
+        table = Table(name, columns)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no table {name!r}") from None
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"no table {name!r}")
+        # drop dependent indexes first
+        for index_name in [n for n, idx in self._indexes.items()
+                           if getattr(idx, "table", None) is self._tables[name]]:
+            del self._indexes[index_name]
+        del self._tables[name]
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- views ---------------------------------------------------------------
+
+    def register_view(self, view: View) -> View:
+        if view.name in self._views or view.name in self._tables:
+            raise CatalogError(f"object {view.name!r} already exists")
+        self._views[view.name] = view
+        return view
+
+    def view(self, name: str) -> View:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise CatalogError(f"no view {name!r}") from None
+
+    def drop_view(self, name: str) -> None:
+        if name not in self._views:
+            raise CatalogError(f"no view {name!r}")
+        del self._views[name]
+
+    def views(self) -> list[str]:
+        return sorted(self._views)
+
+    # -- indexes ---------------------------------------------------------------
+
+    def create_json_search_index(self, name: str, table_name: str,
+                                 column: str, dataguide: bool = True) -> Any:
+        """Create a schema-agnostic JSON search index (section 3.2.1) on
+        ``table.column``; with ``dataguide=True`` the persistent DataGuide
+        is maintained inside it."""
+        from repro.index.search_index import JsonSearchIndex
+        if name in self._indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        index = JsonSearchIndex(name, self.table(table_name), column,
+                                dataguide=dataguide)
+        self._indexes[name] = index
+        return index
+
+    def index(self, name: str) -> Any:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise CatalogError(f"no index {name!r}") from None
+
+    def drop_index(self, name: str) -> None:
+        if name not in self._indexes:
+            raise CatalogError(f"no index {name!r}")
+        self._indexes[name].detach()
+        del self._indexes[name]
+
+    def indexes(self) -> list[str]:
+        return sorted(self._indexes)
+
+    # -- querying ----------------------------------------------------------------
+
+    def query(self, source_name: str) -> Query:
+        """Start a query over a table or view by name."""
+        if source_name in self._tables:
+            return Query(self._tables[source_name])
+        if source_name in self._views:
+            return Query(self._views[source_name])
+        raise CatalogError(f"no table or view {source_name!r}")
+
+    def scan(self, source_name: str) -> Iterator[dict[str, Any]]:
+        if source_name in self._tables:
+            return self._tables[source_name].scan()
+        if source_name in self._views:
+            return self._views[source_name].scan()
+        raise CatalogError(f"no table or view {source_name!r}")

@@ -1,0 +1,191 @@
+"""Volcano-style physical operators.
+
+Each operator is a generator over dict rows, so pipelines stream row by
+row wherever the semantics allow (filter, project, hash-join probe) and
+materialize only where required (sort, group-by build, window).  The
+hash join here is the same physical plan Oracle picks for the REL storage
+variant of Figure 3's master/detail queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.engine.expressions import (
+    Aggregate,
+    Aliased,
+    Col,
+    Expression,
+    WindowFunction,
+)
+from repro.errors import QueryError
+
+Row = dict
+
+
+def scan(rows: Iterable[Row]) -> Iterator[Row]:
+    """Trivial scan over an iterable of rows."""
+    yield from rows
+
+
+def filter_rows(rows: Iterable[Row], predicate: Expression) -> Iterator[Row]:
+    """WHERE: keep rows whose predicate evaluates to true (not NULL)."""
+    for row in rows:
+        if predicate.evaluate(row) is True:
+            yield row
+
+
+def project(rows: Iterable[Row],
+            outputs: Sequence[tuple[str, Expression]]) -> Iterator[Row]:
+    """SELECT list: compute named output expressions per row."""
+    for row in rows:
+        yield {name: expression.evaluate(row) for name, expression in outputs}
+
+
+def hash_join(left: Iterable[Row], right: Iterable[Row], left_key: str,
+              right_key: str, how: str = "inner") -> Iterator[Row]:
+    """Hash join: build on the right input, probe with the left.
+
+    ``how`` is ``"inner"`` or ``"left"`` (left outer).  Column name
+    collisions are resolved in the right row's favour except for the join
+    key, which keeps the left value.
+    """
+    if how not in ("inner", "left"):
+        raise QueryError(f"unsupported join type {how!r}")
+    build: dict[Any, list[Row]] = {}
+    right_columns: set[str] = set()
+    for row in right:
+        right_columns.update(row.keys())
+        key = row.get(right_key)
+        if key is None:
+            continue  # NULL keys never join
+        build.setdefault(key, []).append(row)
+    null_pad = dict.fromkeys(right_columns)
+    for row in left:
+        key = row.get(left_key)
+        matches = build.get(key, []) if key is not None else []
+        if matches:
+            for match in matches:
+                merged = dict(row)
+                merged.update(match)
+                merged[left_key] = row[left_key]
+                yield merged
+        elif how == "left":
+            merged = dict(row)
+            for name, value in null_pad.items():
+                merged.setdefault(name, value)
+            yield merged
+
+
+def group_by(rows: Iterable[Row], keys: Sequence[tuple[str, Expression]],
+             aggregates: Sequence[tuple[str, Aggregate]]) -> Iterator[Row]:
+    """Hash aggregation.  With no keys, produces one global group (even
+    over empty input, per SQL semantics)."""
+    groups: dict[tuple, tuple[Row, list]] = {}
+    for row in rows:
+        key = tuple(expression.evaluate(row) for _name, expression in keys)
+        entry = groups.get(key)
+        if entry is None:
+            states = [agg.create() for _alias, agg in aggregates]
+            key_row = {name: value for (name, _e), value in zip(keys, key)}
+            entry = (key_row, states)
+            groups[key] = entry
+        for state in entry[1]:
+            state.step(row)
+    if not groups and not keys:
+        states = [agg.create() for _alias, agg in aggregates]
+        groups[()] = ({}, states)
+    for key_row, states in groups.values():
+        out = dict(key_row)
+        for (alias, _agg), state in zip(aggregates, states):
+            out[alias] = state.final()
+        yield out
+
+
+def sort(rows: Iterable[Row],
+         orders: Sequence[tuple[Expression, bool]]) -> list[Row]:
+    """ORDER BY with NULLS LAST (Oracle's ascending default); ``orders``
+    pairs each key expression with a descending flag."""
+    materialized = list(rows)
+    # stable sort: apply keys from the least significant to the most
+    for expression, descending in reversed(orders):
+        def sort_key(row: Row, e: Expression = expression,
+                     d: bool = descending) -> tuple:
+            value = e.evaluate(row)
+            null_rank = 1 if value is None else 0
+            if d:
+                null_rank = -null_rank
+            return (null_rank, _OrderWrap(value, d))
+        materialized.sort(key=sort_key)
+    return materialized
+
+
+class _OrderWrap:
+    """Comparison adapter that inverts ordering for DESC keys and keeps
+    NULLs comparable."""
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value: Any, descending: bool) -> None:
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other: "_OrderWrap") -> bool:
+        if self.value is None or other.value is None:
+            return False  # null ordering handled by the null_rank component
+        if self.descending:
+            return other.value < self.value
+        return self.value < other.value
+
+
+def window(rows: Iterable[Row], alias: str, function: WindowFunction,
+           orders: Sequence[tuple[Expression, bool]]) -> list[Row]:
+    """Apply a window function over the whole input as one partition,
+    ordered by ``orders``; the result is added as column ``alias``."""
+    ordered = sort(rows, orders) if orders else list(rows)
+    out = []
+    for index, row in enumerate(ordered):
+        merged = dict(row)
+        merged[alias] = function.compute(ordered, index)
+        out.append(merged)
+    return out
+
+
+def union_all(sources: Sequence[Iterable[Row]]) -> Iterator[Row]:
+    for source in sources:
+        yield from source
+
+
+def limit(rows: Iterable[Row], count: int) -> Iterator[Row]:
+    for index, row in enumerate(rows):
+        if index >= count:
+            return
+        yield row
+
+
+def distinct(rows: Iterable[Row]) -> Iterator[Row]:
+    seen: set[tuple] = set()
+    for row in rows:
+        key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
+        try:
+            if key in seen:
+                continue
+            seen.add(key)
+        except TypeError:
+            # unhashable values: fall back to emitting the row
+            pass
+        yield row
+
+
+def normalize_output(item: Any) -> tuple[str, Expression]:
+    """Turn a SELECT-list item (name, Expression, or Aliased) into a
+    (output name, expression) pair."""
+    if isinstance(item, str):
+        return item, Col(item)
+    if isinstance(item, Aliased):
+        return item.alias, item.inner
+    if isinstance(item, Col):
+        return item.name, item
+    if isinstance(item, Expression):
+        return item.sql(), item
+    raise QueryError(f"bad select item {item!r}")

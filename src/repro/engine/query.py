@@ -1,0 +1,249 @@
+"""Query builder over the volcano operators.
+
+Queries are dataflow pipelines built by chaining operations; operations
+apply **in the order they are chained**, which keeps the execution model
+explicit::
+
+    (Query(po_table)
+        .where(expr.Col("costcenter") == "A50")
+        .group_by(["requestor"], n=expr.COUNT())
+        .order_by("n", desc=True)
+        .rows())
+
+Sources may be a :class:`~repro.engine.table.Table`, a view, a list of
+dict rows, another :class:`Query` (subquery), or any callable returning
+an iterator of rows.  ``rows()`` executes and materializes; ``explain()``
+renders the logical plan as text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, Union
+
+from repro.engine import executor
+from repro.engine.expressions import (
+    Aggregate,
+    And,
+    Col,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    WindowFunction,
+    wrap,
+)
+from repro.errors import QueryError
+
+
+def _pushable_conjuncts(expression: Expression) -> list[tuple[str, str, list]]:
+    """Extract (column, op, literal values) conjuncts suitable for
+    JSON_EXISTS pushdown; non-decomposable parts are simply not pushed."""
+    if isinstance(expression, And):
+        out: list[tuple[str, str, list]] = []
+        for part in expression.parts:
+            out.extend(_pushable_conjuncts(part))
+        return out
+    if (isinstance(expression, Comparison)
+            and isinstance(expression.left, Col)
+            and isinstance(expression.right, Literal)
+            and expression.right.value is not None):
+        return [(expression.left.name, expression.op,
+                 [expression.right.value])]
+    if isinstance(expression, InList) and isinstance(expression.operand, Col):
+        return [(expression.operand.name, "=", list(expression.values))]
+    return []
+
+Row = dict
+Source = Union["Query", Iterable[Row], Callable[[], Iterator[Row]]]
+
+
+def _iterate_source(source: Any) -> Iterator[Row]:
+    if isinstance(source, Query):
+        return iter(source.rows())
+    if hasattr(source, "scan"):  # Table and View both expose scan()
+        return source.scan()
+    if callable(source):
+        return source()
+    if isinstance(source, Iterable):
+        return iter(source)
+    raise QueryError(f"cannot use {type(source).__name__} as a query source")
+
+
+class Query:
+    """A composable query pipeline."""
+
+    def __init__(self, source: Source) -> None:
+        self._source = source
+        self._ops: list[tuple[str, tuple]] = []
+
+    # -- builder -------------------------------------------------------------
+
+    def _with(self, op: str, *args: Any) -> "Query":
+        clone = Query(self._source)
+        clone._ops = self._ops + [(op, args)]
+        return clone
+
+    def where(self, predicate: Expression) -> "Query":
+        """Filter rows; NULL (unknown) predicates drop the row."""
+        return self._with("where", predicate)
+
+    def select(self, *items: Any) -> "Query":
+        """Project the listed columns/expressions (str, Col, or ``.as_()``)."""
+        outputs = [executor.normalize_output(i) for i in items]
+        return self._with("select", outputs)
+
+    def join(self, other: Source, left_key: str, right_key: str,
+             how: str = "inner") -> "Query":
+        """Hash-join this pipeline (probe side) with ``other`` (build side)."""
+        return self._with("join", other, left_key, right_key, how)
+
+    def group_by(self, keys: Sequence[Any] = (), **aggregates: Aggregate) -> "Query":
+        """Hash aggregation: ``group_by(["k"], total=expr.SUM(...))``."""
+        key_outputs = [executor.normalize_output(k) for k in keys]
+        aggregate_list = list(aggregates.items())
+        for alias, agg in aggregate_list:
+            if not isinstance(agg, Aggregate):
+                raise QueryError(f"{alias!r} is not an Aggregate")
+        return self._with("group_by", key_outputs, aggregate_list)
+
+    def having(self, predicate: Expression) -> "Query":
+        """Filter groups after a ``group_by``."""
+        return self._with("where", predicate)
+
+    def window(self, alias: str, function: WindowFunction,
+               order_by: Any = None, desc: bool = False) -> "Query":
+        """Apply a window function over a single ordered partition."""
+        orders = []
+        if order_by is not None:
+            orders.append((wrap(order_by) if not isinstance(order_by, str)
+                           else Col(order_by), desc))
+        return self._with("window", alias, function, orders)
+
+    def order_by(self, *keys: Any, desc: Union[bool, Sequence[bool]] = False) -> "Query":
+        """Sort; ``desc`` may be one flag or one per key."""
+        if isinstance(desc, bool):
+            flags = [desc] * len(keys)
+        else:
+            flags = list(desc)
+            if len(flags) != len(keys):
+                raise QueryError("desc flags must match order_by keys")
+        orders = []
+        for key, flag in zip(keys, flags):
+            expression = Col(key) if isinstance(key, str) else wrap(key)
+            orders.append((expression, flag))
+        return self._with("order_by", orders)
+
+    def distinct(self) -> "Query":
+        return self._with("distinct")
+
+    def limit(self, count: int) -> "Query":
+        return self._with("limit", count)
+
+    def union_all(self, other: Source) -> "Query":
+        return self._with("union_all", other)
+
+    # -- execution ------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Row]:
+        return self._execute()
+
+    def rows(self) -> list[Row]:
+        """Execute and materialize the result rows."""
+        return list(self._execute())
+
+    def scalar(self) -> Any:
+        """Execute; return the single value of a 1x1 result."""
+        result = self.rows()
+        if len(result) != 1 or len(result[0]) != 1:
+            raise QueryError(
+                f"scalar() needs a 1x1 result, got {len(result)} rows")
+        return next(iter(result[0].values()))
+
+    def count(self) -> int:
+        return sum(1 for _ in self._execute())
+
+    def _execute(self) -> Iterator[Row]:
+        rows = self._pushdown_source()
+        if rows is None:
+            rows = _iterate_source(self._source)
+        for op, args in self._ops:
+            if op == "where":
+                rows = executor.filter_rows(rows, args[0])
+            elif op == "select":
+                rows = executor.project(rows, args[0])
+            elif op == "join":
+                other, left_key, right_key, how = args
+                rows = executor.hash_join(rows, _iterate_source(other),
+                                          left_key, right_key, how)
+            elif op == "group_by":
+                rows = executor.group_by(rows, args[0], args[1])
+            elif op == "window":
+                rows = iter(executor.window(rows, args[0], args[1], args[2]))
+            elif op == "order_by":
+                rows = iter(executor.sort(rows, args[0]))
+            elif op == "distinct":
+                rows = executor.distinct(rows)
+            elif op == "limit":
+                rows = executor.limit(rows, args[0])
+            elif op == "union_all":
+                rows = executor.union_all([rows, _iterate_source(args[0])])
+            else:
+                raise QueryError(f"unknown operation {op!r}")
+        return rows
+
+    def _pushdown_source(self) -> Optional[Iterator[Row]]:
+        """Predicate pushdown onto JSON_TABLE views (paper section 6.3).
+
+        When the source is a view exposing ``pushdown_path`` /
+        ``scan_pushdown`` and the leading WHERE contains Col-vs-literal
+        conjuncts over JSON_TABLE columns, those conjuncts are evaluated
+        as JSON_EXISTS path predicates against the raw documents before
+        row expansion.  Document-level filtering passes a superset of the
+        matching rows, and the original WHERE still runs afterwards, so
+        the rewrite is always sound.
+        """
+        if not self._ops or self._ops[0][0] != "where":
+            return None
+        view = self._source
+        if not hasattr(view, "scan_pushdown") or not hasattr(view, "pushdown_path"):
+            return None
+        paths = []
+        for column, op, values in _pushable_conjuncts(self._ops[0][1][0]):
+            rendered = view.pushdown_path(column, op, values)
+            if rendered is not None:
+                paths.append(rendered)
+        if not paths:
+            return None
+        return view.scan_pushdown(paths)
+
+    # -- introspection ----------------------------------------------------------
+
+    def explain(self) -> str:
+        """Human-readable logical plan, one operator per line."""
+        source_name = getattr(self._source, "name", type(self._source).__name__)
+        lines = [f"SCAN {source_name}"]
+        for op, args in self._ops:
+            if op == "where":
+                lines.append(f"FILTER {args[0].sql()}")
+            elif op == "select":
+                rendered = ", ".join(f"{e.sql()} AS {n}" for n, e in args[0])
+                lines.append(f"PROJECT {rendered}")
+            elif op == "join":
+                lines.append(f"HASH JOIN ({args[3]}) ON {args[1]} = {args[2]}")
+            elif op == "group_by":
+                keys = ", ".join(n for n, _e in args[0]) or "()"
+                aggs = ", ".join(f"{a.sql()} AS {alias}" for alias, a in args[1])
+                lines.append(f"HASH GROUP BY {keys} AGG {aggs}")
+            elif op == "window":
+                lines.append(f"WINDOW {args[0]}")
+            elif op == "order_by":
+                keys = ", ".join(
+                    e.sql() + (" DESC" if d else "") for e, d in args[0])
+                lines.append(f"SORT {keys}")
+            elif op == "distinct":
+                lines.append("DISTINCT")
+            elif op == "limit":
+                lines.append(f"LIMIT {args[0]}")
+            elif op == "union_all":
+                lines.append("UNION ALL")
+        return "\n".join(lines)

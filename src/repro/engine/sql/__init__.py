@@ -1,0 +1,27 @@
+"""A SQL SELECT front-end for the engine.
+
+The paper's position is that SQL stays the inter-document query language
+(section 1, third principle).  This package provides a textual SQL layer
+over the query builder so the paper's queries can be written verbatim::
+
+    from repro.engine.sql import execute_sql
+
+    rows = execute_sql(db, '''
+        SELECT costcenter, COUNT(*) AS n
+        FROM po_item_dmdv
+        WHERE partno = '97361551647'
+        GROUP BY costcenter
+        ORDER BY n DESC
+    ''')
+
+Supported grammar (a deliberate subset — see :mod:`.parser`):
+SELECT [DISTINCT] select-list, FROM table/view [JOIN ... ON a = b],
+WHERE with AND/OR/NOT/comparisons/IN/LIKE/BETWEEN/IS NULL and the
+SQL/JSON predicates JSON_EXISTS / JSON_VALUE / JSON_TEXTCONTAINS,
+GROUP BY, HAVING, ORDER BY ... [ASC|DESC], LIMIT, and the aggregate
+functions COUNT/SUM/AVG/MIN/MAX plus JSON_DATAGUIDEAGG.
+"""
+
+from repro.engine.sql.parser import compile_sql, execute_sql
+
+__all__ = ["compile_sql", "execute_sql"]

@@ -1,0 +1,153 @@
+"""Tokenizer for the SQL SELECT subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.errors import QueryError
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$#")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+#: reserved words recognized by the parser (case-insensitive)
+KEYWORDS = frozenset({
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "LIMIT", "AS", "AND", "OR", "NOT", "IN",
+    "LIKE", "BETWEEN", "IS", "NULL", "TRUE", "FALSE", "JOIN", "LEFT",
+    "INNER", "OUTER", "ON", "COUNT", "SUM", "AVG", "MIN", "MAX",
+    "JSON_EXISTS", "JSON_VALUE", "JSON_TEXTCONTAINS", "JSON_DATAGUIDEAGG",
+    "RETURNING", "NUMBER", "VARCHAR2", "BOOLEAN", "SUBSTR", "INSTR",
+    "UPPER", "LOWER", "LENGTH", "NVL", "LAG", "OVER",
+})
+
+
+class T(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    STAR = "*"
+    COMMA = ","
+    DOT = "."
+    LPAREN = "("
+    RPAREN = ")"
+    PLUS = "+"
+    MINUS = "-"
+    SLASH = "/"
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    QMARK = "?"
+    EOF = "eof"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: T
+    text: str
+    value: Union[str, int, float, None] = None
+    position: int = -1
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is T.KEYWORD and self.text == word
+
+
+def tokenize_sql(text: str) -> list[Token]:
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    pos = 0
+    n = len(text)
+    while pos < n:
+        ch = text[pos]
+        if ch in " \t\n\r":
+            pos += 1
+            continue
+        if ch == "-" and text[pos:pos + 2] == "--":
+            # line comment
+            end = text.find("\n", pos)
+            pos = n if end == -1 else end + 1
+            continue
+        start = pos
+        if ch in _IDENT_START:
+            end = pos + 1
+            while end < n and text[end] in _IDENT_CONT:
+                end += 1
+            word = text[pos:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token(T.KEYWORD, upper, word, start)
+            else:
+                yield Token(T.IDENT, word, word, start)
+            pos = end
+        elif ch in _DIGITS:
+            end = pos
+            while end < n and text[end] in _DIGITS:
+                end += 1
+            is_float = False
+            if end < n and text[end] == "." and end + 1 < n \
+                    and text[end + 1] in _DIGITS:
+                is_float = True
+                end += 1
+                while end < n and text[end] in _DIGITS:
+                    end += 1
+            literal = text[pos:end]
+            value = float(literal) if is_float else int(literal)
+            yield Token(T.NUMBER, literal, value, start)
+            pos = end
+        elif ch == "'":
+            chunks = []
+            i = pos + 1
+            while True:
+                if i >= n:
+                    raise QueryError(f"unterminated string at {pos}")
+                if text[i] == "'":
+                    if text[i + 1:i + 2] == "'":  # '' escape
+                        chunks.append("'")
+                        i += 2
+                        continue
+                    break
+                chunks.append(text[i])
+                i += 1
+            yield Token(T.STRING, text[pos:i + 1], "".join(chunks), start)
+            pos = i + 1
+        elif ch == "<":
+            if text[pos:pos + 2] == "<=":
+                yield Token(T.LE, "<=", None, start)
+                pos += 2
+            elif text[pos:pos + 2] == "<>":
+                yield Token(T.NE, "<>", None, start)
+                pos += 2
+            else:
+                yield Token(T.LT, "<", None, start)
+                pos += 1
+        elif ch == ">":
+            if text[pos:pos + 2] == ">=":
+                yield Token(T.GE, ">=", None, start)
+                pos += 2
+            else:
+                yield Token(T.GT, ">", None, start)
+                pos += 1
+        elif ch == "!":
+            if text[pos:pos + 2] != "!=":
+                raise QueryError(f"unexpected '!' at {pos}")
+            yield Token(T.NE, "!=", None, start)
+            pos += 2
+        else:
+            simple = {"*": T.STAR, ",": T.COMMA, ".": T.DOT, "(": T.LPAREN,
+                      ")": T.RPAREN, "+": T.PLUS, "-": T.MINUS,
+                      "/": T.SLASH, "=": T.EQ, "?": T.QMARK}
+            token_type = simple.get(ch)
+            if token_type is None:
+                raise QueryError(f"unexpected character {ch!r} at {pos}")
+            yield Token(token_type, ch, None, start)
+            pos += 1
+    yield Token(T.EOF, "", None, n)

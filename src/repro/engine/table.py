@@ -1,0 +1,213 @@
+"""Heap tables with typed columns, constraints and virtual columns.
+
+Rows are stored as plain dicts keyed by column name.  Virtual columns
+(section 3.3.1 / 5.2.1) carry an expression instead of storage: their
+value is computed on read and never occupies heap bytes.  ``AddVC`` in
+the DataGuide package creates JSON_VALUE-backed virtual columns here,
+and the hidden OSON virtual column of section 5.2.2 is also expressed
+this way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from repro.engine.constraints import Constraint, IsJsonConstraint
+from repro.engine.expressions import Expression
+from repro.engine.types import SqlType, parse_type
+from repro.errors import CatalogError, EngineError
+
+
+@dataclass
+class Column:
+    """A table column.  ``expression`` marks it virtual (computed)."""
+
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+    expression: Optional[Expression] = None
+    hidden: bool = False
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.expression is not None
+
+    @classmethod
+    def of(cls, name: str, type_spec: str, **kwargs: Any) -> "Column":
+        """Construct from a textual type spec, e.g. ``Column.of("id", "number")``."""
+        return cls(name, parse_type(type_spec), **kwargs)
+
+
+class Table:
+    """A heap table: rows, columns, constraints, insert/update/delete."""
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise CatalogError("a table needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in table {name}")
+        self.name = name
+        self._columns: dict[str, Column] = {c.name: c for c in columns}
+        self._rows: list[dict[str, Any]] = []
+        self._constraints: list[Constraint] = []
+        self._insert_listeners: list[Callable[[dict], None]] = []
+        self._delete_listeners: list[Callable[[dict], None]] = []
+
+    # -- schema ------------------------------------------------------------
+
+    @property
+    def columns(self) -> list[Column]:
+        return list(self._columns.values())
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns.keys())
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name!r} in table {self.name}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def add_column(self, column: Column) -> None:
+        """ALTER TABLE ADD — virtual columns may be added at any time;
+        stored columns may only be added while they are nullable."""
+        if column.name in self._columns:
+            raise CatalogError(
+                f"column {column.name!r} already exists in {self.name}")
+        if not column.is_virtual and not column.nullable and self._rows:
+            raise EngineError(
+                "cannot add a NOT NULL stored column to a non-empty table")
+        self._columns[column.name] = column
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        self._constraints.append(constraint)
+
+    def constraints(self) -> list[Constraint]:
+        return list(self._constraints)
+
+    def is_json_constraint(self, column: str) -> Optional[IsJsonConstraint]:
+        """The IS JSON constraint guarding ``column``, if any."""
+        for constraint in self._constraints:
+            if (isinstance(constraint, IsJsonConstraint)
+                    and constraint.column == column):
+                return constraint
+        return None
+
+    # -- listeners (index maintenance) ----------------------------------------
+
+    def on_insert(self, listener: Callable[[dict], None]) -> None:
+        self._insert_listeners.append(listener)
+
+    def on_delete(self, listener: Callable[[dict], None]) -> None:
+        self._delete_listeners.append(listener)
+
+    # -- DML ---------------------------------------------------------------------
+
+    def insert(self, row: dict[str, Any]) -> dict[str, Any]:
+        """Insert one row: coerce types, run constraints, fire listeners.
+
+        Unknown keys raise; missing stored columns default to NULL;
+        virtual columns must not be supplied.
+        """
+        stored: dict[str, Any] = {}
+        for key, value in row.items():
+            column = self.column(key)
+            if column.is_virtual:
+                raise EngineError(
+                    f"cannot insert into virtual column {key!r}")
+            stored[key] = column.sql_type.coerce(value)
+        for column in self._columns.values():
+            if column.is_virtual:
+                continue
+            if column.name not in stored:
+                if not column.nullable:
+                    raise EngineError(
+                        f"column {column.name!r} is NOT NULL and has no value")
+                stored[column.name] = None
+        for constraint in self._constraints:
+            constraint.check(stored)
+        self._rows.append(stored)
+        for listener in self._insert_listeners:
+            listener(stored)
+        return stored
+
+    def insert_many(self, rows: Sequence[dict[str, Any]]) -> int:
+        for row in rows:
+            self.insert(row)
+        return len(rows)
+
+    def delete(self, predicate: Callable[[dict], Any]) -> int:
+        """Delete rows matching ``predicate``; returns the count removed."""
+        kept: list[dict[str, Any]] = []
+        removed = 0
+        for row in self._rows:
+            if predicate(row):
+                removed += 1
+                for listener in self._delete_listeners:
+                    listener(row)
+            else:
+                kept.append(row)
+        self._rows = kept
+        return removed
+
+    def update(self, predicate: Callable[[dict], Any],
+               changes: dict[str, Any]) -> int:
+        """Update matching rows in place (replace semantics: delete+insert
+        listeners fire so indexes stay in sync)."""
+        updated = 0
+        for row in self._rows:
+            if not predicate(row):
+                continue
+            for listener in self._delete_listeners:
+                listener(row)
+            for key, value in changes.items():
+                column = self.column(key)
+                if column.is_virtual:
+                    raise EngineError(f"cannot update virtual column {key!r}")
+                row[key] = column.sql_type.coerce(value)
+            for constraint in self._constraints:
+                constraint.check(row)
+            for listener in self._insert_listeners:
+                listener(row)
+            updated += 1
+        return updated
+
+    # -- reads --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def scan(self) -> Iterator[dict[str, Any]]:
+        """Full scan; virtual columns are computed into each output row."""
+        virtuals = [c for c in self._columns.values() if c.is_virtual]
+        if not virtuals:
+            yield from iter(self._rows)
+            return
+        for row in self._rows:
+            out = dict(row)
+            for column in virtuals:
+                out[column.name] = column.expression.evaluate(row)
+            yield out
+
+    def raw_rows(self) -> list[dict[str, Any]]:
+        """Stored rows without virtual-column evaluation (internal use)."""
+        return self._rows
+
+    # -- storage accounting (Figure 4) -----------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Estimated heap bytes: per-value type storage + row header."""
+        total = 0
+        stored_columns = [c for c in self._columns.values() if not c.is_virtual]
+        for row in self._rows:
+            total += 3  # row header
+            for column in stored_columns:
+                total += column.sql_type.storage_bytes(row.get(column.name))
+        return total

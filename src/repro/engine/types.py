@@ -1,0 +1,235 @@
+"""SQL column types with Oracle-flavoured names and coercion rules.
+
+Types are value objects: ``VARCHAR2(4000)`` constructs a sized string
+type, ``NUMBER`` is a singleton-ish unsized numeric.  ``coerce`` validates
+and converts a Python value on insert; ``storage_bytes`` estimates the
+bytes a value occupies in our heap pages, which is what the Figure 4
+storage-size accounting sums.
+"""
+
+from __future__ import annotations
+
+import re
+from decimal import Decimal
+from typing import Any, Optional
+
+from repro.errors import TypeCoercionError
+
+_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}([ T]\d{2}:\d{2}(:\d{2})?)?$")
+
+
+class SqlType:
+    """Base class for SQL types."""
+
+    name = "SQLTYPE"
+
+    def coerce(self, value: Any) -> Any:
+        raise NotImplementedError
+
+    def storage_bytes(self, value: Any) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+
+class NumberType(SqlType):
+    """NUMBER — ints, floats and Decimals; booleans are rejected."""
+
+    name = "NUMBER"
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            raise TypeCoercionError("cannot store BOOLEAN in NUMBER column")
+        if isinstance(value, (int, float, Decimal)):
+            return value
+        if isinstance(value, str):
+            text = value.strip()
+            try:
+                return int(text)
+            except ValueError:
+                try:
+                    return float(text)
+                except ValueError:
+                    raise TypeCoercionError(
+                        f"cannot convert {value!r} to NUMBER") from None
+        raise TypeCoercionError(f"cannot store {type(value).__name__} in NUMBER")
+
+    def storage_bytes(self, value: Any) -> int:
+        if value is None:
+            return 1
+        # Oracle NUMBER is variable length; ~1 byte per 2 significant digits
+        digits = len(str(value).replace("-", "").replace(".", ""))
+        return 2 + (digits + 1) // 2
+
+
+class Varchar2Type(SqlType):
+    """VARCHAR2(n) — bounded UTF-8 string."""
+
+    def __init__(self, size: int = 4000) -> None:
+        if size <= 0:
+            raise TypeCoercionError("VARCHAR2 size must be positive")
+        self.size = size
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"VARCHAR2({self.size})"
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if not isinstance(value, str):
+            raise TypeCoercionError(
+                f"cannot store {type(value).__name__} in {self.name}")
+        if len(value.encode("utf-8")) > self.size:
+            raise TypeCoercionError(
+                f"value of {len(value)} chars exceeds {self.name}")
+        return value
+
+    def storage_bytes(self, value: Any) -> int:
+        if value is None:
+            return 1
+        return 1 + len(value.encode("utf-8"))
+
+
+class RawType(SqlType):
+    """RAW(n) — bounded byte string (used for BSON/OSON columns)."""
+
+    def __init__(self, size: int = 4000) -> None:
+        self.size = size
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"RAW({self.size})"
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeCoercionError(
+                f"cannot store {type(value).__name__} in {self.name}")
+        data = bytes(value)
+        if len(data) > self.size:
+            raise TypeCoercionError(f"{len(data)} bytes exceeds {self.name}")
+        return data
+
+    def storage_bytes(self, value: Any) -> int:
+        if value is None:
+            return 1
+        return 2 + len(value)
+
+
+class ClobType(SqlType):
+    """CLOB — unbounded text (JSON text columns in the paper's setups)."""
+
+    name = "CLOB"
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if not isinstance(value, str):
+            raise TypeCoercionError(
+                f"cannot store {type(value).__name__} in CLOB")
+        return value
+
+    def storage_bytes(self, value: Any) -> int:
+        if value is None:
+            return 1
+        return 4 + len(value.encode("utf-8"))
+
+
+class BlobType(SqlType):
+    """BLOB — unbounded bytes."""
+
+    name = "BLOB"
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeCoercionError(
+                f"cannot store {type(value).__name__} in BLOB")
+        return bytes(value)
+
+    def storage_bytes(self, value: Any) -> int:
+        if value is None:
+            return 1
+        return 4 + len(value)
+
+
+class BooleanType(SqlType):
+    name = "BOOLEAN"
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            return value
+        raise TypeCoercionError(
+            f"cannot store {type(value).__name__} in BOOLEAN")
+
+    def storage_bytes(self, value: Any) -> int:
+        return 1
+
+
+class DateType(SqlType):
+    """DATE — ISO-8601 date / datetime strings, compared lexically."""
+
+    name = "DATE"
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if isinstance(value, str) and _DATE_RE.match(value):
+            return value
+        raise TypeCoercionError(f"cannot convert {value!r} to DATE")
+
+    def storage_bytes(self, value: Any) -> int:
+        return 8
+
+
+NUMBER = NumberType()
+CLOB = ClobType()
+BLOB = BlobType()
+BOOLEAN = BooleanType()
+DATE = DateType()
+
+
+def VARCHAR2(size: int = 4000) -> Varchar2Type:  # noqa: N802 - SQL spelling
+    return Varchar2Type(size)
+
+
+def RAW(size: int = 4000) -> RawType:  # noqa: N802 - SQL spelling
+    return RawType(size)
+
+
+def parse_type(spec: str) -> SqlType:
+    """Parse a SQL type spec string like ``"varchar2(16)"`` or ``"number"``."""
+    match = re.match(r"^\s*(\w+)\s*(?:\(\s*(\d+)\s*\))?\s*$", spec)
+    if not match:
+        raise TypeCoercionError(f"bad type spec {spec!r}")
+    name = match.group(1).lower()
+    size: Optional[int] = int(match.group(2)) if match.group(2) else None
+    if name == "number":
+        return NUMBER
+    if name in ("varchar2", "varchar", "string"):
+        return VARCHAR2(size or 4000)
+    if name == "raw":
+        return RAW(size or 4000)
+    if name == "clob":
+        return CLOB
+    if name == "blob":
+        return BLOB
+    if name == "boolean":
+        return BOOLEAN
+    if name == "date":
+        return DATE
+    raise TypeCoercionError(f"unknown SQL type {spec!r}")

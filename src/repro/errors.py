@@ -1,0 +1,82 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch one base class.  Sub-hierarchies mirror the major subsystems:
+JSON text parsing, binary formats (BSON/OSON), the SQL/JSON path language,
+the relational engine, and the DataGuide facility.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class JsonParseError(ReproError):
+    """Malformed JSON text.
+
+    Carries the byte/character position at which parsing failed so error
+    messages can point at the offending input.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        if position >= 0:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class BsonError(ReproError):
+    """Malformed or unsupported BSON bytes."""
+
+
+class OsonError(ReproError):
+    """Malformed or unsupported OSON bytes."""
+
+
+class OsonUpdateError(OsonError):
+    """A partial OSON update could not be applied in place."""
+
+
+class PathSyntaxError(ReproError):
+    """Syntactically invalid SQL/JSON path expression."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        if position >= 0:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PathEvaluationError(ReproError):
+    """A SQL/JSON path expression failed during evaluation."""
+
+
+class EngineError(ReproError):
+    """Base class for relational-engine errors."""
+
+
+class CatalogError(EngineError):
+    """Unknown or duplicate table/view/index/column name."""
+
+
+class ConstraintViolation(EngineError):
+    """A row violated a table constraint (e.g. IS JSON)."""
+
+
+class TypeCoercionError(EngineError):
+    """A value could not be coerced to the declared SQL type."""
+
+
+class QueryError(EngineError):
+    """Semantically invalid query (bad column reference, bad aggregate use...)."""
+
+
+class DataGuideError(ReproError):
+    """DataGuide computation or view/virtual-column generation failed."""
+
+
+class IndexError_(ReproError):
+    """JSON search index maintenance failure (named with a trailing underscore
+    to avoid shadowing the builtin :class:`IndexError`)."""

@@ -1,0 +1,27 @@
+"""In-Memory Column store substrate (paper section 5.2).
+
+numpy-backed columnar vectors with vectorized predicate/aggregate kernels
+stand in for Oracle Database In-Memory's SIMD columnar engine:
+
+* :mod:`~repro.imc.columns` — :class:`ColumnVector`: typed vectors with
+  NULL bitmaps;
+* :mod:`~repro.imc.kernels` — vectorized compare / aggregate / group-by
+  kernels;
+* :mod:`~repro.imc.store` — :class:`IMCStore`: populates table columns
+  (including virtual columns, section 5.2.1) into vectors;
+* :mod:`~repro.imc.json_modes` — the three JSON execution modes of
+  Figures 5/6: TEXT-MODE, OSON-IMC-MODE and VC-IMC-MODE.
+"""
+
+from repro.imc.columns import ColumnVector
+from repro.imc.store import IMCStore
+from repro.imc.json_modes import JsonColumnIMC, OSON_IMC_MODE, TEXT_MODE, VC_IMC_MODE
+
+__all__ = [
+    "ColumnVector",
+    "IMCStore",
+    "JsonColumnIMC",
+    "TEXT_MODE",
+    "OSON_IMC_MODE",
+    "VC_IMC_MODE",
+]

@@ -1,0 +1,150 @@
+"""The three JSON execution modes of Figures 5 and 6 (section 6.4).
+
+:class:`JsonColumnIMC` manages one JSON text column under a chosen mode:
+
+* ``TEXT_MODE`` — documents stay as JSON text "in the buffer cache";
+  every query re-parses the text (via the streaming operators);
+* ``OSON_IMC_MODE`` — at population time each text document is encoded
+  to OSON through the hidden ``OSON()`` virtual column of section 5.2.2
+  and the binary lives in memory; queries transparently navigate OSON;
+* ``VC_IMC_MODE`` — additionally, chosen JSON_VALUE paths are extracted
+  into numpy column vectors at population time; queries touching only
+  those paths run the vectorized kernels.
+
+``handles()`` yields whatever the mode's query input is (text or
+:class:`~repro.core.oson.OsonDocument`); the SQL/JSON operators accept
+both, which is the reproduction of the paper's transparent query rewrite
+onto the OSON virtual column.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.core.oson import OsonDocument, encode as oson_encode
+from repro.errors import EngineError
+from repro.imc.columns import ColumnVector
+from repro.jsontext import loads
+from repro.sqljson.operators import json_value
+
+TEXT_MODE = "text"
+OSON_IMC_MODE = "oson-imc"
+VC_IMC_MODE = "vc-imc"
+
+_MODES = (TEXT_MODE, OSON_IMC_MODE, VC_IMC_MODE)
+
+
+class JsonColumnIMC:
+    """One JSON document collection under a chosen in-memory mode."""
+
+    def __init__(self, mode: str = TEXT_MODE,
+                 vc_paths: Sequence[Any] = ()) -> None:
+        if mode not in _MODES:
+            raise EngineError(f"unknown IMC mode {mode!r}")
+        if mode != VC_IMC_MODE and vc_paths:
+            raise EngineError("vc_paths requires VC_IMC_MODE")
+        self.mode = mode
+        # each VC is a path or a (path, RETURNING type) pair, matching the
+        # paper's JSON_VALUE(jobj, '$.dyn1' RETURNING NUMBER) definitions:
+        # RETURNING NUMBER turns non-numeric instances of a dynamically
+        # typed field into NULLs before columnarization
+        normalized: list[tuple[str, Optional[str]]] = []
+        for item in vc_paths:
+            if isinstance(item, str):
+                normalized.append((item, None))
+            else:
+                path, returning = item
+                normalized.append((path, returning))
+        self.vc_paths = tuple(normalized)
+        self._texts: list[str] = []
+        self._oson_docs: list[OsonDocument] = []
+        self._vectors: dict[str, ColumnVector] = {}
+        self._populated = False
+
+    # -- loading -------------------------------------------------------------
+
+    def load_texts(self, texts: Iterable[str]) -> int:
+        """Store the on-disk representation (JSON text) of the collection."""
+        self._texts.extend(texts)
+        self._populated = False
+        return len(self._texts)
+
+    def populate(self) -> None:
+        """Run the in-memory population for the selected mode.
+
+        This is the priced, one-time cost: TEXT mode does nothing (text
+        is already "cached"); OSON-IMC invokes the implicit OSON()
+        constructor on every document; VC-IMC additionally evaluates the
+        JSON_VALUE virtual columns into vectors.
+        """
+        if self.mode == TEXT_MODE:
+            self._populated = True
+            return
+        self._oson_docs = [
+            OsonDocument(oson_encode(loads(text))) for text in self._texts]
+        if self.mode == VC_IMC_MODE:
+            self._vectors = {}
+            for path, returning in self.vc_paths:
+                values = []
+                for doc in self._oson_docs:
+                    try:
+                        values.append(json_value(doc, path,
+                                                 returning=returning))
+                    except Exception:
+                        values.append(None)  # RETURNING conversion failure
+                self._vectors[path] = ColumnVector.from_values(path, values)
+        self._populated = True
+
+    def __len__(self) -> int:
+        return len(self._texts)
+
+    # -- query-side access -----------------------------------------------------
+
+    def handles(self) -> Iterator[Any]:
+        """Per-document query handles for the SQL/JSON operators:
+        JSON text in TEXT mode, OsonDocument otherwise."""
+        self._require_populated()
+        if self.mode == TEXT_MODE:
+            return iter(self._texts)
+        return iter(self._oson_docs)
+
+    def vector(self, path: str) -> ColumnVector:
+        """The columnar vector for a VC path (VC-IMC mode only)."""
+        self._require_populated()
+        if self.mode != VC_IMC_MODE:
+            raise EngineError(f"no column vectors in mode {self.mode!r}")
+        try:
+            return self._vectors[path]
+        except KeyError:
+            raise EngineError(f"path {path!r} is not VC-populated") from None
+
+    def has_vector(self, path: str) -> bool:
+        return self.mode == VC_IMC_MODE and path in self._vectors
+
+    def document_at(self, index: int) -> Any:
+        """The mode-specific handle of one document (row fetch-back)."""
+        self._require_populated()
+        if self.mode == TEXT_MODE:
+            return self._texts[index]
+        return self._oson_docs[index]
+
+    def selection_to_indexes(self, mask: np.ndarray) -> list[int]:
+        return [int(i) for i in np.nonzero(mask)[0]]
+
+    # -- accounting ---------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """In-memory footprint of the populated representation."""
+        self._require_populated()
+        if self.mode == TEXT_MODE:
+            return sum(len(t.encode("utf-8")) for t in self._texts)
+        total = sum(len(d.buffer) for d in self._oson_docs)
+        total += sum(v.memory_bytes() for v in self._vectors.values())
+        return total
+
+    def _require_populated(self) -> None:
+        if not self._populated:
+            raise EngineError(
+                "collection not populated; call populate() first")

@@ -1,0 +1,63 @@
+"""IMCStore: populate table columns (stored or virtual) into vectors.
+
+Section 5.2.1: virtual columns defined with JSON_VALUE() "map directly to
+the in-memory columnar format" — population evaluates the virtual-column
+expression once per row and the result lives as a numpy vector; queries
+then run the vectorized kernels instead of re-extracting from JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.engine.table import Table
+from repro.errors import CatalogError
+from repro.imc.columns import ColumnVector
+
+
+class IMCStore:
+    """An in-memory columnar cache of selected table columns."""
+
+    def __init__(self) -> None:
+        self._segments: dict[tuple[str, str], ColumnVector] = {}
+
+    def populate(self, table: Table,
+                 columns: Optional[Sequence[str]] = None) -> list[ColumnVector]:
+        """Load ``columns`` of ``table`` (default: all) into vectors.
+
+        Virtual columns are evaluated during population — this is the
+        moment the JSON_VALUE extraction cost is paid, once, instead of
+        per query.
+        """
+        names = list(columns) if columns is not None else table.column_names
+        for name in names:
+            table.column(name)  # raises CatalogError for unknown columns
+        vectors: list[ColumnVector] = []
+        materialized = list(table.scan())  # computes virtual columns
+        for name in names:
+            values = [row.get(name) for row in materialized]
+            vector = ColumnVector.from_values(name, values)
+            self._segments[(table.name, name)] = vector
+            vectors.append(vector)
+        return vectors
+
+    def column(self, table_name: str, column_name: str) -> ColumnVector:
+        try:
+            return self._segments[(table_name, column_name)]
+        except KeyError:
+            raise CatalogError(
+                f"column {table_name}.{column_name} is not IMC-populated"
+            ) from None
+
+    def is_populated(self, table_name: str, column_name: str) -> bool:
+        return (table_name, column_name) in self._segments
+
+    def evict(self, table_name: str, column_name: Optional[str] = None) -> None:
+        if column_name is not None:
+            self._segments.pop((table_name, column_name), None)
+            return
+        for key in [k for k in self._segments if k[0] == table_name]:
+            del self._segments[key]
+
+    def memory_bytes(self) -> int:
+        return sum(v.memory_bytes() for v in self._segments.values())

@@ -1,0 +1,14 @@
+"""JSON search index substrate (paper section 3.2.1).
+
+A schema-agnostic index over a JSON column: an inverted index of field
+names, paths and tokenized leaf values (:mod:`~repro.index.inverted`),
+the ``$DG`` DataGuide table (:mod:`~repro.index.dg_table`), and the
+incrementally maintained :class:`~repro.index.search_index.JsonSearchIndex`
+that ties them to table DML.
+"""
+
+from repro.index.dg_table import DgTable
+from repro.index.inverted import InvertedIndex, tokenize_value
+from repro.index.search_index import JsonSearchIndex
+
+__all__ = ["JsonSearchIndex", "InvertedIndex", "DgTable", "tokenize_value"]

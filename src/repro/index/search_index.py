@@ -1,0 +1,154 @@
+"""The schema-agnostic JSON search index (section 3.2.1).
+
+One index answers both structure discovery and content search over a JSON
+column:
+
+* an :class:`~repro.index.inverted.InvertedIndex` over field names, paths
+  and tokenized leaf values accelerates JSON_EXISTS / JSON_TEXTCONTAINS;
+* a :class:`~repro.core.dataguide.persistent.PersistentDataGuide` (with
+  its ``$DG`` table) tracks every distinct path — "discovery and search
+  of JSON structures are completely in synch".
+
+Maintenance is incremental and, when the table has an IS JSON check
+constraint, piggybacks on the constraint's parse via a hook — the paper's
+low-overhead integration.  Without the constraint, the index parses the
+column itself from an insert listener.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.core.dataguide.guide import DataGuide
+from repro.engine.table import Table
+from repro.errors import IndexError_
+from repro.index.dg_table import DgTable
+from repro.index.inverted import InvertedIndex
+
+
+def _parse_column_value(raw: Any) -> Optional[Any]:
+    if raw is None:
+        return None
+    if isinstance(raw, str):
+        from repro.jsontext import loads
+        return loads(raw)
+    if isinstance(raw, (bytes, bytearray)):
+        data = bytes(raw)
+        if data[:4] == b"OSON":
+            from repro.core.oson import decode
+            return decode(data)
+        from repro.bson import decode as bson_decode
+        return bson_decode(data)
+    return raw
+
+
+class JsonSearchIndex:
+    """A JSON search index over ``table.column``."""
+
+    def __init__(self, name: str, table: Table, column: str,
+                 dataguide: bool = True) -> None:
+        if not table.has_column(column):
+            raise IndexError_(
+                f"table {table.name} has no column {column!r}")
+        self.name = name
+        self.table = table
+        self.column = column
+        self.inverted = InvertedIndex()
+        self.dataguide_enabled = dataguide
+        self.dg_table = DgTable(name)
+        if dataguide:
+            # imported here to avoid a cycle: dataguide.persistent needs
+            # the $DG table from this package
+            from repro.core.dataguide.persistent import PersistentDataGuide
+            self.dataguide = PersistentDataGuide(self.dg_table, name)
+        else:
+            self.dataguide = None
+        self._rowids: dict[int, int] = {}   # id(row) -> rowid
+        self._rows: dict[int, dict] = {}    # rowid -> row
+        self._next_rowid = 0
+        self._constraint = table.is_json_constraint(column)
+        if self._constraint is not None:
+            # fuse into IS JSON validation: reuse its parsed value
+            self._constraint.add_hook(self._constraint_hook)
+            self._uses_constraint_hook = True
+        else:
+            table.on_insert(self._insert_listener)
+            self._uses_constraint_hook = False
+        table.on_delete(self._delete_listener)
+        # index any rows already present
+        for row in table.raw_rows():
+            value = _parse_column_value(row.get(column))
+            if value is not None:
+                self._index_row(row, value)
+
+    # -- maintenance hooks -------------------------------------------------------
+
+    def _constraint_hook(self, row: dict, parsed: Any) -> None:
+        self._index_row(row, parsed)
+
+    def _insert_listener(self, row: dict) -> None:
+        value = _parse_column_value(row.get(self.column))
+        if value is not None:
+            self._index_row(row, value)
+
+    def _index_row(self, row: dict, parsed: Any) -> None:
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rowids[id(row)] = rowid
+        self._rows[rowid] = row
+        self.inverted.add_document(rowid, parsed)
+        if self.dataguide is not None:
+            self.dataguide.on_document(parsed)
+
+    def _delete_listener(self, row: dict) -> None:
+        rowid = self._rowids.pop(id(row), None)
+        if rowid is None:
+            return
+        self._rows.pop(rowid, None)
+        value = _parse_column_value(row.get(self.column))
+        if value is not None:
+            self.inverted.remove_document(rowid, value)
+        # NOTE: the persistent DataGuide is additive — paths are not
+        # removed on delete (section 3.4)
+
+    def detach(self) -> None:
+        """Unhook from the table (DROP INDEX)."""
+        if self._uses_constraint_hook and self._constraint is not None:
+            try:
+                self._constraint.remove_hook(self._constraint_hook)
+            except ValueError:
+                pass
+
+    # -- search ----------------------------------------------------------------------
+
+    def rows_for(self, rowids: Iterable[int]) -> list[dict]:
+        return [self._rows[rid] for rid in sorted(rowids) if rid in self._rows]
+
+    def docs_with_path(self, path: str) -> list[dict]:
+        """Index-accelerated JSON_EXISTS on a structural path."""
+        return self.rows_for(self.inverted.docs_with_path(path))
+
+    def docs_with_field(self, name: str) -> list[dict]:
+        return self.rows_for(self.inverted.docs_with_field(name))
+
+    def docs_with_keywords(self, keywords: str,
+                           path: Optional[str] = None) -> list[dict]:
+        """Index-accelerated JSON_TEXTCONTAINS."""
+        return self.rows_for(self.inverted.docs_with_keywords(keywords, path))
+
+    def docs_with_number(self, path: str, value: Any) -> list[dict]:
+        return self.rows_for(self.inverted.docs_with_number(path, value))
+
+    # -- DataGuide access ---------------------------------------------------------------
+
+    def get_dataguide(self) -> DataGuide:
+        """``getDataGuide()`` from the persistent indexing layer."""
+        if self.dataguide is None:
+            raise IndexError_(
+                f"index {self.name} was created without DataGuide support")
+        return self.dataguide.get_dataguide()
+
+    def compute_statistics(self) -> int:
+        if self.dataguide is None:
+            return 0
+        return self.dataguide.compute_statistics()

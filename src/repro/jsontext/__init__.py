@@ -1,0 +1,23 @@
+"""From-scratch JSON text substrate.
+
+The paper's TEXT baseline pays a full tokenize/parse cost every time a
+document is queried.  To charge that cost honestly we implement our own
+streaming tokenizer (:mod:`repro.jsontext.lexer`), an event-driven parser
+plus DOM builder (:mod:`repro.jsontext.parser`) and a compact serializer
+(:mod:`repro.jsontext.serializer`).  The standard-library ``json`` module is
+deliberately not used on the hot paths.
+"""
+
+from repro.jsontext.lexer import JsonEvent, JsonEventType, JsonLexer, tokenize
+from repro.jsontext.parser import loads, parse_events
+from repro.jsontext.serializer import dumps
+
+__all__ = [
+    "JsonEvent",
+    "JsonEventType",
+    "JsonLexer",
+    "tokenize",
+    "loads",
+    "parse_events",
+    "dumps",
+]

@@ -1,0 +1,293 @@
+"""Streaming JSON tokenizer.
+
+Produces a flat stream of :class:`JsonEvent` records from JSON text.  The
+event stream is the substrate both for DOM construction
+(:func:`repro.jsontext.parser.loads`) and for the streaming SQL/JSON path
+engine (:mod:`repro.sqljson.path.streaming`), mirroring the paper's
+event-based text path engine (section 5.1).
+
+The tokenizer is hand written: the whole point of the TEXT baseline in the
+paper's experiments is that text must be re-tokenized on every access, so we
+implement (and pay for) that work ourselves instead of delegating to the C
+implementation inside the standard-library ``json`` module.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.errors import JsonParseError
+
+JsonScalar = Union[str, int, float, bool, None]
+
+_WHITESPACE = " \t\n\r"
+_DIGITS = "0123456789"
+
+_ESCAPES = {
+    '"': '"',
+    "\\": "\\",
+    "/": "/",
+    "b": "\b",
+    "f": "\f",
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+}
+
+
+class JsonEventType(enum.Enum):
+    """Kinds of events produced while scanning a JSON document."""
+
+    OBJECT_START = "object_start"
+    OBJECT_END = "object_end"
+    ARRAY_START = "array_start"
+    ARRAY_END = "array_end"
+    FIELD_NAME = "field_name"
+    SCALAR = "scalar"
+
+
+@dataclass(frozen=True, slots=True)
+class JsonEvent:
+    """One lexical event.
+
+    ``value`` holds the field name for FIELD_NAME events and the decoded
+    Python scalar for SCALAR events; it is ``None`` for the structural
+    events.  ``position`` is the character offset of the event start,
+    useful for error reporting.
+    """
+
+    type: JsonEventType
+    value: JsonScalar = None
+    position: int = -1
+
+
+class JsonLexer:
+    """Incremental tokenizer over a JSON text string.
+
+    Usage::
+
+        for event in JsonLexer(text):
+            ...
+
+    The lexer validates full JSON syntax: it tracks a container stack so
+    that mismatched brackets, stray commas and trailing garbage all raise
+    :class:`~repro.errors.JsonParseError`.
+    """
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+        self._len = len(text)
+
+    def __iter__(self) -> Iterator[JsonEvent]:
+        return self._scan()
+
+    # -- internal -------------------------------------------------------
+
+    def _error(self, message: str) -> JsonParseError:
+        return JsonParseError(message, self._pos)
+
+    def _skip_whitespace(self) -> None:
+        text, n = self._text, self._len
+        pos = self._pos
+        while pos < n and text[pos] in _WHITESPACE:
+            pos += 1
+        self._pos = pos
+
+    def _peek(self) -> str:
+        if self._pos >= self._len:
+            raise self._error("unexpected end of input")
+        return self._text[self._pos]
+
+    def _scan(self) -> Iterator[JsonEvent]:
+        self._skip_whitespace()
+        if self._pos >= self._len:
+            raise self._error("empty JSON input")
+        yield from self._scan_value()
+        self._skip_whitespace()
+        if self._pos != self._len:
+            raise self._error("trailing characters after JSON value")
+
+    def _scan_value(self) -> Iterator[JsonEvent]:
+        ch = self._peek()
+        if ch == "{":
+            yield from self._scan_object()
+        elif ch == "[":
+            yield from self._scan_array()
+        elif ch == '"':
+            start = self._pos
+            yield JsonEvent(JsonEventType.SCALAR, self._scan_string(), start)
+        elif ch == "-" or ch in _DIGITS:
+            start = self._pos
+            yield JsonEvent(JsonEventType.SCALAR, self._scan_number(), start)
+        elif ch == "t":
+            yield JsonEvent(JsonEventType.SCALAR, self._scan_literal("true", True), self._pos - 4)
+        elif ch == "f":
+            yield JsonEvent(JsonEventType.SCALAR, self._scan_literal("false", False), self._pos - 5)
+        elif ch == "n":
+            yield JsonEvent(JsonEventType.SCALAR, self._scan_literal("null", None), self._pos - 4)
+        else:
+            raise self._error(f"unexpected character {ch!r}")
+
+    def _scan_literal(self, word: str, value: JsonScalar) -> JsonScalar:
+        end = self._pos + len(word)
+        if self._text[self._pos:end] != word:
+            raise self._error(f"invalid literal, expected {word!r}")
+        self._pos = end
+        return value
+
+    def _scan_object(self) -> Iterator[JsonEvent]:
+        yield JsonEvent(JsonEventType.OBJECT_START, None, self._pos)
+        self._pos += 1  # consume '{'
+        self._skip_whitespace()
+        if self._peek() == "}":
+            self._pos += 1
+            yield JsonEvent(JsonEventType.OBJECT_END, None, self._pos - 1)
+            return
+        while True:
+            self._skip_whitespace()
+            if self._peek() != '"':
+                raise self._error("expected string key in object")
+            key_pos = self._pos
+            key = self._scan_string()
+            yield JsonEvent(JsonEventType.FIELD_NAME, key, key_pos)
+            self._skip_whitespace()
+            if self._peek() != ":":
+                raise self._error("expected ':' after object key")
+            self._pos += 1
+            self._skip_whitespace()
+            yield from self._scan_value()
+            self._skip_whitespace()
+            ch = self._peek()
+            if ch == ",":
+                self._pos += 1
+                continue
+            if ch == "}":
+                self._pos += 1
+                yield JsonEvent(JsonEventType.OBJECT_END, None, self._pos - 1)
+                return
+            raise self._error("expected ',' or '}' in object")
+
+    def _scan_array(self) -> Iterator[JsonEvent]:
+        yield JsonEvent(JsonEventType.ARRAY_START, None, self._pos)
+        self._pos += 1  # consume '['
+        self._skip_whitespace()
+        if self._peek() == "]":
+            self._pos += 1
+            yield JsonEvent(JsonEventType.ARRAY_END, None, self._pos - 1)
+            return
+        while True:
+            self._skip_whitespace()
+            yield from self._scan_value()
+            self._skip_whitespace()
+            ch = self._peek()
+            if ch == ",":
+                self._pos += 1
+                continue
+            if ch == "]":
+                self._pos += 1
+                yield JsonEvent(JsonEventType.ARRAY_END, None, self._pos - 1)
+                return
+            raise self._error("expected ',' or ']' in array")
+
+    def _scan_string(self) -> str:
+        # caller guarantees current char is '"'
+        text, n = self._text, self._len
+        pos = self._pos + 1
+        chunks: list[str] = []
+        chunk_start = pos
+        while pos < n:
+            ch = text[pos]
+            if ch == '"':
+                chunks.append(text[chunk_start:pos])
+                self._pos = pos + 1
+                return "".join(chunks)
+            if ch == "\\":
+                chunks.append(text[chunk_start:pos])
+                pos += 1
+                if pos >= n:
+                    break
+                esc = text[pos]
+                if esc == "u":
+                    hex_digits = text[pos + 1:pos + 5]
+                    if len(hex_digits) != 4:
+                        self._pos = pos
+                        raise self._error("truncated \\u escape")
+                    try:
+                        code = int(hex_digits, 16)
+                    except ValueError:
+                        self._pos = pos
+                        raise self._error("invalid \\u escape") from None
+                    pos += 5
+                    # handle UTF-16 surrogate pairs
+                    if 0xD800 <= code <= 0xDBFF and text[pos:pos + 2] == "\\u":
+                        low = text[pos + 2:pos + 6]
+                        if len(low) == 4:
+                            try:
+                                low_code = int(low, 16)
+                            except ValueError:
+                                low_code = -1
+                            if 0xDC00 <= low_code <= 0xDFFF:
+                                code = 0x10000 + ((code - 0xD800) << 10) + (low_code - 0xDC00)
+                                pos += 6
+                    chunks.append(chr(code))
+                elif esc in _ESCAPES:
+                    chunks.append(_ESCAPES[esc])
+                    pos += 1
+                else:
+                    self._pos = pos
+                    raise self._error(f"invalid escape character {esc!r}")
+                chunk_start = pos
+                continue
+            if ord(ch) < 0x20:
+                self._pos = pos
+                raise self._error("unescaped control character in string")
+            pos += 1
+        self._pos = pos
+        raise self._error("unterminated string")
+
+    def _scan_number(self) -> Union[int, float]:
+        text, n = self._text, self._len
+        start = self._pos
+        pos = start
+        if text[pos] == "-":
+            pos += 1
+        if pos >= n or text[pos] not in _DIGITS:
+            self._pos = pos
+            raise self._error("invalid number")
+        if text[pos] == "0":
+            pos += 1
+        else:
+            while pos < n and text[pos] in _DIGITS:
+                pos += 1
+        is_float = False
+        if pos < n and text[pos] == ".":
+            is_float = True
+            pos += 1
+            if pos >= n or text[pos] not in _DIGITS:
+                self._pos = pos
+                raise self._error("invalid number: expected digit after '.'")
+            while pos < n and text[pos] in _DIGITS:
+                pos += 1
+        if pos < n and text[pos] in "eE":
+            is_float = True
+            pos += 1
+            if pos < n and text[pos] in "+-":
+                pos += 1
+            if pos >= n or text[pos] not in _DIGITS:
+                self._pos = pos
+                raise self._error("invalid number: bad exponent")
+            while pos < n and text[pos] in _DIGITS:
+                pos += 1
+        literal = text[start:pos]
+        self._pos = pos
+        if is_float:
+            return float(literal)
+        return int(literal)
+
+
+def tokenize(text: str) -> Iterator[JsonEvent]:
+    """Tokenize JSON ``text`` into a stream of :class:`JsonEvent`."""
+    return iter(JsonLexer(text))

@@ -1,0 +1,72 @@
+"""Event parser and DOM builder for JSON text.
+
+``loads`` turns JSON text into plain Python values (dict / list / str /
+int / float / bool / None) by consuming the event stream from
+:mod:`repro.jsontext.lexer`.  ``parse_events`` re-exports the raw event
+stream for streaming consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import JsonParseError
+from repro.jsontext.lexer import JsonEvent, JsonEventType, tokenize
+
+
+def parse_events(text: str) -> Iterator[JsonEvent]:
+    """Return the validated event stream for ``text``.
+
+    Identical to :func:`repro.jsontext.lexer.tokenize`; provided so that
+    streaming consumers depend on the parser module only.
+    """
+    return tokenize(text)
+
+
+def build_value(events: Iterable[JsonEvent]) -> Any:
+    """Build a Python value from an event stream.
+
+    The stream must contain exactly one complete JSON value.  Duplicate
+    object keys keep the last value, matching the common lax JSON parser
+    behaviour (and Oracle's default).
+    """
+    iterator = iter(events)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise JsonParseError("empty event stream") from None
+    value, _consumed = _build(first, iterator)
+    return value
+
+
+def _build(event: JsonEvent, events: Iterator[JsonEvent]) -> tuple[Any, bool]:
+    etype = event.type
+    if etype is JsonEventType.SCALAR:
+        return event.value, True
+    if etype is JsonEventType.OBJECT_START:
+        obj: dict[str, Any] = {}
+        for ev in events:
+            if ev.type is JsonEventType.OBJECT_END:
+                return obj, True
+            if ev.type is not JsonEventType.FIELD_NAME:
+                raise JsonParseError("expected field name event", ev.position)
+            key = ev.value
+            try:
+                value_event = next(events)
+            except StopIteration:
+                raise JsonParseError("truncated object", ev.position) from None
+            obj[key], _ = _build(value_event, events)
+        raise JsonParseError("unterminated object", event.position)
+    if etype is JsonEventType.ARRAY_START:
+        arr: list[Any] = []
+        for ev in events:
+            if ev.type is JsonEventType.ARRAY_END:
+                return arr, True
+            arr.append(_build(ev, events)[0])
+        raise JsonParseError("unterminated array", event.position)
+    raise JsonParseError(f"unexpected event {etype}", event.position)
+
+
+def loads(text: str) -> Any:
+    """Parse JSON ``text`` into Python values using the from-scratch lexer."""
+    return build_value(parse_events(text))

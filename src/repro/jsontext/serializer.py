@@ -1,0 +1,126 @@
+"""Compact JSON serializer.
+
+Emits the paper's "smallest possible JSON representation": UTF-8 text with
+all non-significant whitespace removed (section 6, first bullet).  A
+``pretty`` mode is provided for human consumption in examples and docs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+_ESCAPE_MAP = {
+    '"': '\\"',
+    "\\": "\\\\",
+    "\b": "\\b",
+    "\f": "\\f",
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+}
+
+
+def _escape_string(value: str) -> str:
+    out: list[str] = ['"']
+    for ch in value:
+        mapped = _ESCAPE_MAP.get(ch)
+        if mapped is not None:
+            out.append(mapped)
+        elif ord(ch) < 0x20:
+            out.append(f"\\u{ord(ch):04x}")
+        else:
+            out.append(ch)
+    out.append('"')
+    return "".join(out)
+
+
+def _format_number(value: float) -> str:
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError("JSON cannot represent NaN or Infinity")
+    if value == int(value) and abs(value) < 1e16:
+        # keep a trailing ".0" so floats round-trip as floats
+        return f"{value:.1f}"
+    return repr(value)
+
+
+def dumps(value: Any, pretty: bool = False, indent: int = 2) -> str:
+    """Serialize ``value`` to compact JSON text.
+
+    Accepts dict / list / tuple / str / bool / int / float / None.  Object
+    key order is preserved (insertion order), which keeps encode→decode
+    round trips byte-stable.
+    """
+    if pretty:
+        return "".join(_emit_pretty(value, indent, 0))
+    return "".join(_emit(value))
+
+
+def _emit(value: Any):
+    if value is None:
+        yield "null"
+    elif value is True:
+        yield "true"
+    elif value is False:
+        yield "false"
+    elif isinstance(value, str):
+        yield _escape_string(value)
+    elif isinstance(value, int):
+        yield str(value)
+    elif isinstance(value, float):
+        yield _format_number(value)
+    elif isinstance(value, dict):
+        yield "{"
+        first = True
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(f"JSON object keys must be strings, got {type(key).__name__}")
+            if not first:
+                yield ","
+            first = False
+            yield _escape_string(key)
+            yield ":"
+            yield from _emit(item)
+        yield "}"
+    elif isinstance(value, (list, tuple)):
+        yield "["
+        first = True
+        for item in value:
+            if not first:
+                yield ","
+            first = False
+            yield from _emit(item)
+        yield "]"
+    else:
+        raise TypeError(f"cannot serialize {type(value).__name__} to JSON")
+
+
+def _emit_pretty(value: Any, indent: int, depth: int):
+    pad = " " * (indent * depth)
+    child_pad = " " * (indent * (depth + 1))
+    if isinstance(value, dict):
+        if not value:
+            yield "{}"
+            return
+        yield "{\n"
+        last = len(value) - 1
+        for i, (key, item) in enumerate(value.items()):
+            yield child_pad
+            yield _escape_string(key)
+            yield ": "
+            yield from _emit_pretty(item, indent, depth + 1)
+            yield ",\n" if i != last else "\n"
+        yield pad + "}"
+    elif isinstance(value, (list, tuple)):
+        if not value:
+            yield "[]"
+            return
+        yield "[\n"
+        last = len(value) - 1
+        for i, item in enumerate(value):
+            yield child_pad
+            yield from _emit_pretty(item, indent, depth + 1)
+            yield ",\n" if i != last else "\n"
+        yield pad + "]"
+    else:
+        yield from _emit(value)

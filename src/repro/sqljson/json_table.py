@@ -1,0 +1,226 @@
+"""JSON_TABLE: project relational rows out of JSON documents (section 3.3.2).
+
+A :class:`JsonTable` is built from a row path, scalar :class:`ColumnDef`
+entries and :class:`NestedPath` children, mirroring the SQL construct of
+the paper's Table 8::
+
+    JsonTable("$", [
+        ColumnDef("id", "number", "$.purchaseOrder.id"),
+        ColumnDef("podate", "varchar2(16)", "$.purchaseOrder.podate"),
+        NestedPath("$.purchaseOrder.items[*]", [
+            ColumnDef("name", "varchar2(32)", "$.name"),
+            ColumnDef("price", "number", "$.price"),
+            NestedPath("$.parts[*]", [
+                ColumnDef("partName", "varchar2(32)", "$.partName"),
+            ]),
+        ]),
+    ])
+
+Join semantics follow the paper exactly:
+
+* a NESTED PATH is a **left outer join** to its parent — parents with no
+  matching detail rows still emit one row with NULL detail columns;
+* **sibling** NESTED PATHs are combined with a **union join** (a full
+  outer join under an impossible condition): each sibling's rows appear
+  with the other siblings' columns NULLed.
+
+The row source implements the volcano-style iterator API of section 5.1:
+``start()`` / ``fetch_next_batch()`` / ``close()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Sequence, Union
+
+from repro.errors import QueryError
+from repro.sqljson.adapters import SCALAR, adapter_for
+from repro.sqljson.operators import make_coercer
+from repro.sqljson.path.evaluator import PathEvaluator, _Computed
+from repro.sqljson.path.parser import compile_path
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One scalar output column: ``name type PATH path``."""
+
+    name: str
+    sql_type: str = "varchar2(4000)"
+    path: Optional[str] = None  # defaults to '$.<name>'
+
+    def resolved_path(self) -> str:
+        return self.path if self.path is not None else f"$.{self.name}"
+
+
+@dataclass(frozen=True)
+class NestedPath:
+    """A NESTED PATH clause: un-nests an array into child rows."""
+
+    path: str
+    columns: Sequence[Union["ColumnDef", "NestedPath"]] = field(default_factory=tuple)
+
+
+def _join_paths(prefix: str, relative: str) -> str:
+    """Join an absolute context path with a '$'-rooted relative path."""
+    suffix = relative[1:] if relative.startswith("$") else relative
+    return prefix + suffix
+
+
+class _CompiledNode:
+    """A row-generation node: its path evaluator, scalar columns and
+    compiled nested children."""
+
+    __slots__ = ("evaluator", "columns", "children", "absolute_paths")
+
+    def __init__(self, row_path: str,
+                 columns: Sequence[Union[ColumnDef, NestedPath]],
+                 absolute_prefix: Optional[str] = None) -> None:
+        self.evaluator = PathEvaluator(compile_path(row_path))
+        if absolute_prefix is None:
+            absolute_prefix = row_path
+        #: column name -> absolute document path (for predicate pushdown)
+        self.absolute_paths: dict[str, str] = {}
+        # (column name, path evaluator, compiled type coercer) triples —
+        # both the path and the RETURNING type compile once per view
+        self.columns: list[tuple[str, PathEvaluator, Any]] = []
+        self.children: list[_CompiledNode] = []
+        for item in columns:
+            if isinstance(item, ColumnDef):
+                relative = item.resolved_path()
+                self.columns.append((
+                    item.name,
+                    PathEvaluator(compile_path(relative)),
+                    make_coercer(item.sql_type),
+                ))
+                self.absolute_paths[item.name] = _join_paths(
+                    absolute_prefix, relative)
+            elif isinstance(item, NestedPath):
+                child = _CompiledNode(
+                    item.path, item.columns,
+                    _join_paths(absolute_prefix, item.path))
+                self.children.append(child)
+                self.absolute_paths.update(child.absolute_paths)
+            else:
+                raise QueryError(f"bad JSON_TABLE column spec: {item!r}")
+
+    def column_names(self) -> list[str]:
+        names = [name for name, _evaluator, _coercer in self.columns]
+        for child in self.children:
+            names.extend(child.column_names())
+        return names
+
+
+class JsonTable:
+    """The JSON_TABLE virtual table over one JSON column."""
+
+    def __init__(self, row_path: str,
+                 columns: Sequence[Union[ColumnDef, NestedPath]]) -> None:
+        self._root = _CompiledNode(row_path, columns)
+        names = self._root.column_names()
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise QueryError(f"duplicate JSON_TABLE column names: {sorted(duplicates)}")
+        self.column_names: tuple[str, ...] = tuple(names)
+        #: column name -> absolute document path, used by the engine to
+        #: push WHERE predicates down as JSON_EXISTS path filters
+        self.absolute_paths: dict[str, str] = dict(self._root.absolute_paths)
+
+    # -- bulk API ------------------------------------------------------------
+
+    def rows(self, data: Any) -> list[dict[str, Any]]:
+        """All output rows for one document, as name -> value dicts."""
+        adapter = adapter_for(data)
+        out: list[dict[str, Any]] = []
+        for context in self._root.evaluator.select(adapter):
+            if isinstance(context, _Computed):
+                continue
+            for partial in self._expand(adapter, context, self._root):
+                row = dict.fromkeys(self.column_names)
+                row.update(partial)
+                out.append(row)
+        return out
+
+    def iter_rows(self, documents: Any) -> Iterator[dict[str, Any]]:
+        """Rows across an iterable of documents."""
+        for data in documents:
+            yield from self.rows(data)
+
+    def open(self, documents: Any) -> "JsonTableRowSource":
+        """Open a volcano-style row source over an iterable of documents."""
+        return JsonTableRowSource(self, documents)
+
+    # -- row expansion -----------------------------------------------------------
+
+    def _expand(self, adapter: Any, context: Any,
+                node: _CompiledNode) -> list[dict[str, Any]]:
+        base: dict[str, Any] = {}
+        for name, evaluator, coercer in node.columns:
+            base[name] = _column_value(adapter, context, evaluator, coercer)
+        if not node.children:
+            return [base]
+        rows: list[dict[str, Any]] = []
+        for child in node.children:
+            # left outer join of this child's rows against the parent
+            child_rows: list[dict[str, Any]] = []
+            for child_context in child.evaluator.select_from(adapter, context):
+                if isinstance(child_context, _Computed):
+                    continue
+                child_rows.extend(self._expand(adapter, child_context, child))
+            for child_row in child_rows:
+                merged = dict(base)
+                merged.update(child_row)
+                rows.append(merged)
+            # union join between siblings: rows of one sibling carry NULLs
+            # for the others' columns, which dict.fromkeys handles in rows()
+        if not rows:
+            # outer-join semantics: keep the parent even with no details
+            return [base]
+        return rows
+
+
+def _column_value(adapter: Any, context: Any, evaluator: PathEvaluator,
+                  coercer: Any) -> Any:
+    nodes = evaluator.select_from(adapter, context)
+    if len(nodes) != 1:
+        return None
+    node = nodes[0]
+    if isinstance(node, _Computed):
+        value = node.value
+    elif adapter.kind(node) == SCALAR:
+        value = adapter.scalar(node)
+    else:
+        return None
+    try:
+        return coercer(value)
+    except Exception:
+        return None
+
+
+class JsonTableRowSource:
+    """start() / fetch_next_batch() / close() iterator (section 5.1)."""
+
+    def __init__(self, table: JsonTable, documents: Any) -> None:
+        self._table = table
+        self._documents = documents
+        self._iterator: Optional[Iterator[dict[str, Any]]] = None
+        self._closed = False
+
+    def start(self) -> None:
+        if self._closed:
+            raise QueryError("row source already closed")
+        self._iterator = self._table.iter_rows(iter(self._documents))
+
+    def fetch_next_batch(self, batch_size: int = 64) -> list[dict[str, Any]]:
+        """Fetch up to ``batch_size`` rows; an empty list signals end."""
+        if self._iterator is None:
+            raise QueryError("row source not started")
+        batch: list[dict[str, Any]] = []
+        for row in self._iterator:
+            batch.append(row)
+            if len(batch) >= batch_size:
+                break
+        return batch
+
+    def close(self) -> None:
+        self._iterator = None
+        self._closed = True

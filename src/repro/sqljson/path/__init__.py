@@ -1,0 +1,6 @@
+"""SQL/JSON path language: ``$.purchaseOrder.items[*].price`` and friends."""
+
+from repro.sqljson.path.parser import compile_path, parse_path
+from repro.sqljson.path.evaluator import PathEvaluator
+
+__all__ = ["compile_path", "parse_path", "PathEvaluator"]

@@ -1,0 +1,452 @@
+"""DOM-based SQL/JSON path engine (section 5.1).
+
+One evaluator serves every physical encoding through the adapter protocol
+of :mod:`repro.sqljson.adapters`: each path step maps a list of context
+nodes to a list of result nodes using only the four abstract DOM
+operations.  On OSON this walks byte offsets without materializing the
+document; on BSON it degrades to sequential scans; on parsed text it
+probes Python dicts.
+
+Semantics follow the SQL/JSON standard as the paper uses it:
+
+* **lax** mode (the default) auto-unnests arrays on member steps, treats
+  non-arrays as singleton arrays on array steps, and silently drops
+  structural mismatches;
+* **strict** mode raises :class:`~repro.errors.PathEvaluationError` on any
+  structural mismatch;
+* filter comparisons are existential: ``@.items.price > 100`` is true if
+  any selected value satisfies the comparison, and cross-type comparisons
+  are simply false (unknown) rather than errors.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.errors import PathEvaluationError
+from repro.sqljson.adapters import ARRAY, MISSING, OBJECT, SCALAR
+from repro.sqljson.path import ast
+
+
+class _Computed:
+    """Wrapper distinguishing item-method results from DOM nodes."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+def evaluator_for(path: "ast.JsonPath") -> "PathEvaluator":
+    """Memoized evaluator lookup: compiled paths are long-lived (the
+    parser caches them), so per-operator-call evaluator construction is
+    avoided by caching the evaluator on the AST object itself."""
+    cached = getattr(path, "_evaluator", None)
+    if cached is None:
+        cached = PathEvaluator(path)
+        object.__setattr__(path, "_evaluator", cached)
+    return cached
+
+
+class PathEvaluator:
+    """A compiled, reusable evaluator for one path expression."""
+
+    __slots__ = ("path", "_strict", "_fast_members", "_fast_wildcard")
+
+    def __init__(self, path: ast.JsonPath) -> None:
+        for i, step in enumerate(path.steps):
+            if isinstance(step, ast.ItemMethodStep) and i != len(path.steps) - 1:
+                raise PathEvaluationError(
+                    f"item method .{step.method}() must be the final path step")
+        self.path = path
+        self._strict = path.mode == ast.STRICT
+        # fast path: lax member-only chains (optionally ending in [*]) are
+        # the bulk of JSON_TABLE column paths; they navigate with direct
+        # adapter.get_field calls, no per-step list building
+        self._fast_members = None
+        self._fast_wildcard = False
+        if not self._strict:
+            steps = path.steps
+            if steps and isinstance(steps[-1], ast.ArrayStep) \
+                    and steps[-1].is_wildcard:
+                candidates, self._fast_wildcard = steps[:-1], True
+            else:
+                candidates = steps
+            if all(isinstance(s, ast.MemberStep) for s in candidates):
+                self._fast_members = [s.compiled for s in candidates]
+
+    # -- public API ---------------------------------------------------------
+
+    def select(self, adapter: Any) -> list[Any]:
+        """Select the nodes matched by the path in ``adapter``'s document.
+
+        Results are adapter-domain nodes, or :class:`_Computed` wrappers
+        when the path ends in an item method.
+        """
+        return self.select_from(adapter, adapter.root)
+
+    def select_from(self, adapter: Any, context: Any) -> list[Any]:
+        """Like :meth:`select` but rooted at an explicit context node —
+        used by JSON_TABLE, whose column paths are relative to row nodes."""
+        if self._fast_members is not None:
+            result = self._select_fast(adapter, context)
+            if result is not None:
+                return result
+        nodes: list[Any] = [context]
+        for step in self.path.steps:
+            nodes = self._apply_step(adapter, nodes, step)
+            if not nodes:
+                return []
+        return nodes
+
+    def _select_fast(self, adapter: Any, context: Any) -> Optional[list[Any]]:
+        """Direct navigation for lax member chains; returns None when the
+        document's shape needs the general engine (array auto-unnesting)."""
+        node = context
+        for compiled in self._fast_members:
+            child = adapter.get_field(node, compiled)
+            if child is MISSING:
+                if adapter.kind(node) == ARRAY:
+                    return None  # lax unnesting required
+                return []
+            node = child
+        if not self._fast_wildcard:
+            return [node]
+        if adapter.kind(node) == ARRAY:
+            return list(adapter.elements(node))
+        return [node]  # lax: non-array behaves as a singleton array
+
+    def values(self, adapter: Any) -> list[Any]:
+        """Matched items as Python values (containers materialized)."""
+        out = []
+        for node in self.select(adapter):
+            if isinstance(node, _Computed):
+                out.append(node.value)
+            elif adapter.kind(node) == SCALAR:
+                out.append(adapter.scalar(node))
+            else:
+                out.append(adapter.materialize(node))
+        return out
+
+    def exists(self, adapter: Any) -> bool:
+        """True if the path selects at least one item."""
+        return bool(self.select(adapter))
+
+    # -- step application ------------------------------------------------------
+
+    def _apply_step(self, adapter: Any, nodes: list[Any], step: ast.Step) -> list[Any]:
+        if isinstance(step, ast.MemberStep):
+            return list(self._member(adapter, nodes, step))
+        if isinstance(step, ast.WildcardMemberStep):
+            return list(self._wildcard_member(adapter, nodes))
+        if isinstance(step, ast.DescendantStep):
+            return list(self._descendant(adapter, nodes, step))
+        if isinstance(step, ast.ArrayStep):
+            return list(self._array(adapter, nodes, step))
+        if isinstance(step, ast.FilterStep):
+            return [n for n in nodes
+                    if _predicate(adapter, n, step.predicate, self._strict)]
+        if isinstance(step, ast.ItemMethodStep):
+            return list(self._item_method(adapter, nodes, step))
+        raise PathEvaluationError(f"unknown path step {step!r}")
+
+    def _member(self, adapter: Any, nodes: Iterable[Any],
+                step: ast.MemberStep) -> Iterator[Any]:
+        for node in nodes:
+            kind = adapter.kind(node)
+            if kind == OBJECT:
+                child = adapter.get_field(node, step.compiled)
+                if child is not MISSING:
+                    yield child
+                elif self._strict:
+                    raise PathEvaluationError(
+                        f"strict mode: field {step.name!r} is missing")
+            elif kind == ARRAY and not self._strict:
+                # lax auto-unnesting: apply the member step to each element
+                for element in adapter.elements(node):
+                    if adapter.kind(element) == OBJECT:
+                        child = adapter.get_field(element, step.compiled)
+                        if child is not MISSING:
+                            yield child
+            elif self._strict:
+                raise PathEvaluationError(
+                    f"strict mode: member step .{step.name} on non-object")
+
+    def _wildcard_member(self, adapter: Any, nodes: Iterable[Any]) -> Iterator[Any]:
+        for node in nodes:
+            kind = adapter.kind(node)
+            if kind == OBJECT:
+                for _name, child in adapter.fields(node):
+                    yield child
+            elif kind == ARRAY and not self._strict:
+                for element in adapter.elements(node):
+                    if adapter.kind(element) == OBJECT:
+                        for _name, child in adapter.fields(element):
+                            yield child
+            elif self._strict:
+                raise PathEvaluationError(
+                    "strict mode: wildcard member step on non-object")
+
+    def _descendant(self, adapter: Any, nodes: Iterable[Any],
+                    step: ast.DescendantStep) -> Iterator[Any]:
+        for node in nodes:
+            yield from self._descend(adapter, node, step)
+
+    def _descend(self, adapter: Any, node: Any, step: ast.DescendantStep) -> Iterator[Any]:
+        kind = adapter.kind(node)
+        if kind == OBJECT:
+            child = adapter.get_field(node, step.compiled)
+            if child is not MISSING:
+                yield child
+            for _name, sub in adapter.fields(node):
+                yield from self._descend(adapter, sub, step)
+        elif kind == ARRAY:
+            for element in adapter.elements(node):
+                yield from self._descend(adapter, element, step)
+
+    def _array(self, adapter: Any, nodes: Iterable[Any],
+               step: ast.ArrayStep) -> Iterator[Any]:
+        for node in nodes:
+            kind = adapter.kind(node)
+            if kind != ARRAY:
+                if self._strict:
+                    raise PathEvaluationError(
+                        "strict mode: array step on non-array")
+                # lax: treat the item as a singleton array
+                if step.is_wildcard:
+                    yield node
+                else:
+                    for index in self._expand_indexes(step, 1):
+                        if index == 0:
+                            yield node
+                continue
+            if step.is_wildcard:
+                yield from adapter.elements(node)
+                continue
+            length = adapter.array_length(node)
+            for index in self._expand_indexes(step, length):
+                child = adapter.element(node, index)
+                if child is not MISSING:
+                    yield child
+                elif self._strict:
+                    raise PathEvaluationError(
+                        f"strict mode: array index {index} out of range")
+
+    def _expand_indexes(self, step: ast.ArrayStep, length: int) -> Iterator[int]:
+        for index in step.indexes:
+            start = (length - 1 - index.start) if index.last_relative else index.start
+            if index.end is None:
+                if 0 <= start or self._strict:
+                    yield start
+                continue
+            end = (length - 1 - index.end) if index.end_last_relative else index.end
+            if end < start:
+                if self._strict:
+                    raise PathEvaluationError(
+                        "strict mode: descending array range")
+                continue
+            for i in range(start, end + 1):
+                yield i
+
+    _TYPE_NAMES = {OBJECT: "object", ARRAY: "array"}
+
+    def _item_method(self, adapter: Any, nodes: Iterable[Any],
+                     step: ast.ItemMethodStep) -> Iterator[Any]:
+        method = step.method
+        for node in nodes:
+            kind = adapter.kind(node)
+            if method == "size":
+                # size() of an array is its length; of anything else, 1
+                yield _Computed(adapter.array_length(node) if kind == ARRAY else 1)
+            elif method == "count":
+                yield _Computed(adapter.array_length(node) if kind == ARRAY else 1)
+            elif method == "type":
+                if kind in self._TYPE_NAMES:
+                    yield _Computed(self._TYPE_NAMES[kind])
+                else:
+                    yield _Computed(_json_type_name(adapter.scalar(node)))
+            elif method in ("number", "double"):
+                value = _to_number(adapter, node, kind, self._strict)
+                if value is not None:
+                    yield _Computed(float(value) if method == "double" else value)
+            elif method == "string":
+                if kind == SCALAR:
+                    yield _Computed(_to_string(adapter.scalar(node)))
+                elif self._strict:
+                    raise PathEvaluationError("strict mode: .string() on container")
+            elif method == "length":
+                if kind == SCALAR and isinstance(adapter.scalar(node), str):
+                    yield _Computed(len(adapter.scalar(node)))
+                elif self._strict:
+                    raise PathEvaluationError("strict mode: .length() on non-string")
+            elif method in ("ceiling", "floor", "abs"):
+                value = _to_number(adapter, node, kind, self._strict)
+                if value is not None:
+                    yield _Computed(_apply_numeric(method, value))
+            else:
+                raise PathEvaluationError(f"unknown item method {method!r}")
+
+
+# -------------------------------------------------------------- predicates
+
+
+def _predicate(adapter: Any, context: Any, expr: ast.BoolExpr, strict: bool) -> bool:
+    if isinstance(expr, ast.And):
+        return all(_predicate(adapter, context, p, strict) for p in expr.parts)
+    if isinstance(expr, ast.Or):
+        return any(_predicate(adapter, context, p, strict) for p in expr.parts)
+    if isinstance(expr, ast.Not):
+        return not _predicate(adapter, context, expr.expr, strict)
+    if isinstance(expr, ast.Exists):
+        return bool(_eval_relative(adapter, context, expr.path, strict))
+    if isinstance(expr, ast.Comparison):
+        lefts = _operand_values(adapter, context, expr.left, strict)
+        rights = _operand_values(adapter, context, expr.right, strict)
+        return any(_compare(expr.op, lv, rv) for lv in lefts for rv in rights)
+    if isinstance(expr, ast.StringPredicate):
+        values = _operand_values(adapter, context, expr.operand, strict)
+        if expr.kind == "has_substring":
+            return any(isinstance(v, str) and expr.needle in v for v in values)
+        return any(isinstance(v, str) and v.startswith(expr.needle) for v in values)
+    raise PathEvaluationError(f"unknown predicate {expr!r}")
+
+
+def _eval_relative(adapter: Any, context: Any, path: ast.RelativePath,
+                   strict: bool) -> list[Any]:
+    # the compiled AST is long-lived (compile_path memoizes), so the
+    # sub-evaluator for a filter's relative path is cached on the AST node
+    # rather than rebuilt for every context item
+    cache = getattr(path, "_evaluators", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(path, "_evaluators", cache)
+    evaluator = cache.get(strict)
+    if evaluator is None:
+        mode = ast.STRICT if strict else ast.LAX
+        evaluator = PathEvaluator(ast.JsonPath(path.steps, mode))
+        cache[strict] = evaluator
+    try:
+        return evaluator.select_from(adapter, context)
+    except PathEvaluationError:
+        if strict:
+            raise
+        return []
+
+
+def _operand_values(adapter: Any, context: Any, operand: ast.Operand,
+                    strict: bool) -> list[Any]:
+    if isinstance(operand, ast.Literal):
+        return [operand.value]
+    values = []
+    for node in _eval_relative(adapter, context, operand, strict):
+        if isinstance(node, _Computed):
+            values.append(node.value)
+            continue
+        kind = adapter.kind(node)
+        if kind == SCALAR:
+            values.append(adapter.scalar(node))
+        elif kind == ARRAY and not strict:
+            # lax: unwrap one array level for comparison
+            for element in adapter.elements(node):
+                if adapter.kind(element) == SCALAR:
+                    values.append(adapter.scalar(element))
+    return values
+
+
+_NUMERIC = (int, float, Decimal)
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    if left is None or right is None:
+        if op == "==":
+            return left is None and right is None
+        if op in ("!=", "<>"):
+            return (left is None) != (right is None)
+        return False
+    if isinstance(left, bool) or isinstance(right, bool):
+        if not (isinstance(left, bool) and isinstance(right, bool)):
+            return op in ("!=", "<>")
+        pass  # booleans compare as booleans below
+    elif isinstance(left, _NUMERIC) != isinstance(right, _NUMERIC):
+        return op in ("!=", "<>")
+    elif isinstance(left, str) != isinstance(right, str):
+        return op in ("!=", "<>")
+    try:
+        if op == "==":
+            return left == right
+        if op in ("!=", "<>"):
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise PathEvaluationError(f"unknown comparison operator {op!r}")
+
+
+# ------------------------------------------------------------------ helpers
+
+
+def _json_type_name(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, _NUMERIC):
+        return "number"
+    return "string"
+
+
+def _to_number(adapter: Any, node: Any, kind: str, strict: bool) -> Any:
+    if kind != SCALAR:
+        if strict:
+            raise PathEvaluationError("strict mode: .number() on container")
+        return None
+    value = adapter.scalar(node)
+    if isinstance(value, bool):
+        if strict:
+            raise PathEvaluationError("strict mode: .number() on boolean")
+        return None
+    if isinstance(value, _NUMERIC):
+        return value
+    if isinstance(value, str):
+        try:
+            return int(value)
+        except ValueError:
+            try:
+                return float(value)
+            except ValueError:
+                if strict:
+                    raise PathEvaluationError(
+                        f"strict mode: {value!r} is not a number") from None
+                return None
+    if strict:
+        raise PathEvaluationError("strict mode: .number() on null")
+    return None
+
+
+def _to_string(value: Any) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        return value
+    return str(value)
+
+
+def _apply_numeric(method: str, value: Any) -> Any:
+    import math
+    if method == "ceiling":
+        return math.ceil(value)
+    if method == "floor":
+        return math.floor(value)
+    return abs(value)

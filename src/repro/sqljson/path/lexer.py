@@ -1,0 +1,220 @@
+"""Tokenizer for the SQL/JSON path language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.errors import PathSyntaxError
+
+
+class TokenType(enum.Enum):
+    DOLLAR = "$"
+    AT = "@"
+    DOT = "."
+    DOTDOT = ".."
+    STAR = "*"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    QUESTION = "?"
+    BANG = "!"
+    AND = "&&"
+    OR = "||"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    MINUS = "-"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    EOF = "eof"
+
+
+#: multi-word keywords recognized by the parser from IDENT tokens
+KEYWORDS = frozenset({
+    "lax", "strict", "to", "last", "exists", "true", "false", "null",
+    "has", "substring", "starts", "with",
+})
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    text: str
+    value: Union[str, int, float, None] = None
+    position: int = -1
+
+
+def tokenize_path(text: str) -> list[Token]:
+    """Tokenize a path expression; raises PathSyntaxError on bad input."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    pos = 0
+    n = len(text)
+    while pos < n:
+        ch = text[pos]
+        if ch in " \t\n\r":
+            pos += 1
+            continue
+        start = pos
+        if ch == "$":
+            yield Token(TokenType.DOLLAR, "$", None, start)
+            pos += 1
+        elif ch == "@":
+            yield Token(TokenType.AT, "@", None, start)
+            pos += 1
+        elif ch == ".":
+            if text[pos:pos + 2] == "..":
+                yield Token(TokenType.DOTDOT, "..", None, start)
+                pos += 2
+            else:
+                yield Token(TokenType.DOT, ".", None, start)
+                pos += 1
+        elif ch == "*":
+            yield Token(TokenType.STAR, "*", None, start)
+            pos += 1
+        elif ch == "[":
+            yield Token(TokenType.LBRACKET, "[", None, start)
+            pos += 1
+        elif ch == "]":
+            yield Token(TokenType.RBRACKET, "]", None, start)
+            pos += 1
+        elif ch == "(":
+            yield Token(TokenType.LPAREN, "(", None, start)
+            pos += 1
+        elif ch == ")":
+            yield Token(TokenType.RPAREN, ")", None, start)
+            pos += 1
+        elif ch == ",":
+            yield Token(TokenType.COMMA, ",", None, start)
+            pos += 1
+        elif ch == "?":
+            yield Token(TokenType.QUESTION, "?", None, start)
+            pos += 1
+        elif ch == "&":
+            if text[pos:pos + 2] != "&&":
+                raise PathSyntaxError("expected '&&'", pos)
+            yield Token(TokenType.AND, "&&", None, start)
+            pos += 2
+        elif ch == "|":
+            if text[pos:pos + 2] != "||":
+                raise PathSyntaxError("expected '||'", pos)
+            yield Token(TokenType.OR, "||", None, start)
+            pos += 2
+        elif ch == "=":
+            if text[pos:pos + 2] != "==":
+                raise PathSyntaxError("expected '=='", pos)
+            yield Token(TokenType.EQ, "==", None, start)
+            pos += 2
+        elif ch == "!":
+            if text[pos:pos + 2] == "!=":
+                yield Token(TokenType.NE, "!=", None, start)
+                pos += 2
+            else:
+                yield Token(TokenType.BANG, "!", None, start)
+                pos += 1
+        elif ch == "<":
+            if text[pos:pos + 2] == "<=":
+                yield Token(TokenType.LE, "<=", None, start)
+                pos += 2
+            elif text[pos:pos + 2] == "<>":
+                yield Token(TokenType.NE, "<>", None, start)
+                pos += 2
+            else:
+                yield Token(TokenType.LT, "<", None, start)
+                pos += 1
+        elif ch == ">":
+            if text[pos:pos + 2] == ">=":
+                yield Token(TokenType.GE, ">=", None, start)
+                pos += 2
+            else:
+                yield Token(TokenType.GT, ">", None, start)
+                pos += 1
+        elif ch == "-":
+            yield Token(TokenType.MINUS, "-", None, start)
+            pos += 1
+        elif ch == '"' or ch == "'":
+            value, pos = _scan_quoted(text, pos, ch)
+            yield Token(TokenType.STRING, text[start:pos], value, start)
+        elif ch in _DIGITS:
+            value, pos = _scan_number(text, pos)
+            yield Token(TokenType.NUMBER, text[start:pos], value, start)
+        elif ch in _IDENT_START:
+            end = pos + 1
+            while end < n and text[end] in _IDENT_CONT:
+                end += 1
+            word = text[pos:end]
+            yield Token(TokenType.IDENT, word, word, start)
+            pos = end
+        else:
+            raise PathSyntaxError(f"unexpected character {ch!r}", pos)
+    yield Token(TokenType.EOF, "", None, n)
+
+
+def _scan_quoted(text: str, pos: int, quote: str) -> tuple[str, int]:
+    out: list[str] = []
+    i = pos + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == quote:
+            return "".join(out), i + 1
+        if ch == "\\":
+            if i + 1 >= n:
+                break
+            nxt = text[i + 1]
+            mapping = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\",
+                       '"': '"', "'": "'", "/": "/"}
+            if nxt in mapping:
+                out.append(mapping[nxt])
+                i += 2
+                continue
+            if nxt == "u" and i + 6 <= n:
+                try:
+                    out.append(chr(int(text[i + 2:i + 6], 16)))
+                    i += 6
+                    continue
+                except ValueError:
+                    raise PathSyntaxError("invalid \\u escape", i) from None
+            raise PathSyntaxError(f"invalid escape \\{nxt}", i)
+        out.append(ch)
+        i += 1
+    raise PathSyntaxError("unterminated string literal", pos)
+
+
+def _scan_number(text: str, pos: int) -> tuple[Union[int, float], int]:
+    n = len(text)
+    end = pos
+    while end < n and text[end] in _DIGITS:
+        end += 1
+    is_float = False
+    if end < n and text[end] == "." and end + 1 < n and text[end + 1] in _DIGITS:
+        is_float = True
+        end += 1
+        while end < n and text[end] in _DIGITS:
+            end += 1
+    if end < n and text[end] in "eE":
+        probe = end + 1
+        if probe < n and text[probe] in "+-":
+            probe += 1
+        if probe < n and text[probe] in _DIGITS:
+            is_float = True
+            end = probe
+            while end < n and text[end] in _DIGITS:
+                end += 1
+    literal = text[pos:end]
+    return (float(literal) if is_float else int(literal)), end

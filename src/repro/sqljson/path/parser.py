@@ -1,0 +1,275 @@
+"""Recursive-descent parser for the SQL/JSON path language.
+
+``compile_path`` is memoized: inside a query each SQL/JSON operator
+compiles its path once and reuses the AST (and the field-name hashes it
+carries) across every document — the compile-time optimization of
+section 4.2.1.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import PathSyntaxError
+from repro.sqljson.path import ast
+from repro.sqljson.path.lexer import Token, TokenType, tokenize_path
+
+
+def parse_path(text: str) -> ast.JsonPath:
+    """Parse ``text`` into a fresh :class:`~repro.sqljson.path.ast.JsonPath`."""
+    return _Parser(tokenize_path(text), text).parse()
+
+
+@lru_cache(maxsize=4096)
+def compile_path(text: str) -> ast.JsonPath:
+    """Parse with memoization; the cached AST carries precomputed
+    field-name hashes, so repeated queries skip both parsing and hashing."""
+    return parse_path(text)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._source = source
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, token_type: TokenType) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise PathSyntaxError(
+                f"expected {token_type.value!r}, found {token.text or 'end of input'!r}",
+                token.position)
+        return self._advance()
+
+    def _match_ident(self, word: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.IDENT and token.value == word:
+            self._advance()
+            return True
+        return False
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> ast.JsonPath:
+        mode = ast.LAX
+        if self._match_ident("lax"):
+            mode = ast.LAX
+        elif self._match_ident("strict"):
+            mode = ast.STRICT
+        self._expect(TokenType.DOLLAR)
+        steps = self._parse_steps()
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            raise PathSyntaxError(f"unexpected {token.text!r}", token.position)
+        return ast.JsonPath(tuple(steps), mode)
+
+    def _parse_steps(self) -> list[ast.Step]:
+        steps: list[ast.Step] = []
+        while True:
+            token = self._peek()
+            if token.type is TokenType.DOT:
+                self._advance()
+                steps.append(self._parse_member())
+            elif token.type is TokenType.DOTDOT:
+                self._advance()
+                name = self._parse_field_name()
+                steps.append(ast.DescendantStep(name))
+            elif token.type is TokenType.LBRACKET:
+                self._advance()
+                steps.append(self._parse_subscript())
+            elif token.type is TokenType.QUESTION:
+                self._advance()
+                self._expect(TokenType.LPAREN)
+                predicate = self._parse_or()
+                self._expect(TokenType.RPAREN)
+                steps.append(ast.FilterStep(predicate))
+            else:
+                return steps
+
+    _ITEM_METHODS = frozenset({"size", "type", "count", "number", "string",
+                               "length", "double", "ceiling", "floor", "abs"})
+
+    def _parse_member(self) -> ast.Step:
+        token = self._peek()
+        if token.type is TokenType.STAR:
+            self._advance()
+            return ast.WildcardMemberStep()
+        name = self._parse_field_name()
+        # item method: name followed by ()
+        if (name in self._ITEM_METHODS
+                and self._peek().type is TokenType.LPAREN):
+            self._advance()
+            self._expect(TokenType.RPAREN)
+            return ast.ItemMethodStep(name)
+        return ast.MemberStep(name)
+
+    def _parse_field_name(self) -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return token.value
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.value
+        raise PathSyntaxError(
+            f"expected field name, found {token.text or 'end of input'!r}",
+            token.position)
+
+    def _parse_subscript(self) -> ast.ArrayStep:
+        if self._peek().type is TokenType.STAR:
+            self._advance()
+            self._expect(TokenType.RBRACKET)
+            return ast.ArrayStep(None)
+        indexes = [self._parse_index_range()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            indexes.append(self._parse_index_range())
+        self._expect(TokenType.RBRACKET)
+        return ast.ArrayStep(tuple(indexes))
+
+    def _parse_index_range(self) -> ast.ArrayIndex:
+        start, start_rel = self._parse_index_value()
+        if self._match_ident("to"):
+            end, end_rel = self._parse_index_value()
+            return ast.ArrayIndex(start, end, start_rel, end_rel)
+        return ast.ArrayIndex(start, None, start_rel)
+
+    def _parse_index_value(self) -> tuple[int, bool]:
+        token = self._peek()
+        if token.type is TokenType.IDENT and token.value == "last":
+            self._advance()
+            if self._peek().type is TokenType.MINUS:
+                self._advance()
+                number = self._expect(TokenType.NUMBER)
+                if not isinstance(number.value, int):
+                    raise PathSyntaxError("array index must be an integer",
+                                          number.position)
+                return number.value, True
+            return 0, True
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            if not isinstance(token.value, int):
+                raise PathSyntaxError("array index must be an integer",
+                                      token.position)
+            return token.value, False
+        raise PathSyntaxError(f"expected array index, found {token.text!r}",
+                              token.position)
+
+    # -- filter expressions ----------------------------------------------------
+
+    def _parse_or(self) -> ast.BoolExpr:
+        parts = [self._parse_and()]
+        while self._peek().type is TokenType.OR:
+            self._advance()
+            parts.append(self._parse_and())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.Or(tuple(parts))
+
+    def _parse_and(self) -> ast.BoolExpr:
+        parts = [self._parse_unary()]
+        while self._peek().type is TokenType.AND:
+            self._advance()
+            parts.append(self._parse_unary())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.And(tuple(parts))
+
+    def _parse_unary(self) -> ast.BoolExpr:
+        token = self._peek()
+        if token.type is TokenType.BANG:
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            inner = self._parse_or()
+            self._expect(TokenType.RPAREN)
+            return ast.Not(inner)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            inner = self._parse_or()
+            self._expect(TokenType.RPAREN)
+            return inner
+        if token.type is TokenType.IDENT and token.value == "exists":
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            path = self._parse_relative_path()
+            self._expect(TokenType.RPAREN)
+            return ast.Exists(path)
+        return self._parse_predicate()
+
+    _CMP_TOKENS = {
+        TokenType.EQ: "==",
+        TokenType.NE: "!=",
+        TokenType.LT: "<",
+        TokenType.LE: "<=",
+        TokenType.GT: ">",
+        TokenType.GE: ">=",
+    }
+
+    def _parse_predicate(self) -> ast.BoolExpr:
+        left = self._parse_operand()
+        token = self._peek()
+        if token.type in self._CMP_TOKENS:
+            self._advance()
+            right = self._parse_operand()
+            return ast.Comparison(self._CMP_TOKENS[token.type], left, right)
+        if token.type is TokenType.IDENT and token.value == "has":
+            self._advance()
+            if not self._match_ident("substring"):
+                raise PathSyntaxError("expected 'substring' after 'has'",
+                                      self._peek().position)
+            needle = self._expect(TokenType.STRING)
+            return ast.StringPredicate("has_substring", left, needle.value)
+        if token.type is TokenType.IDENT and token.value == "starts":
+            self._advance()
+            if not self._match_ident("with"):
+                raise PathSyntaxError("expected 'with' after 'starts'",
+                                      self._peek().position)
+            needle = self._expect(TokenType.STRING)
+            return ast.StringPredicate("starts_with", left, needle.value)
+        raise PathSyntaxError(
+            f"expected comparison operator, found {token.text or 'end of input'!r}",
+            token.position)
+
+    def _parse_operand(self) -> ast.Operand:
+        token = self._peek()
+        if token.type is TokenType.AT:
+            return self._parse_relative_path()
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.MINUS:
+            self._advance()
+            number = self._expect(TokenType.NUMBER)
+            return ast.Literal(-number.value)
+        if token.type is TokenType.IDENT:
+            if token.value == "true":
+                self._advance()
+                return ast.Literal(True)
+            if token.value == "false":
+                self._advance()
+                return ast.Literal(False)
+            if token.value == "null":
+                self._advance()
+                return ast.Literal(None)
+        raise PathSyntaxError(
+            f"expected operand, found {token.text or 'end of input'!r}",
+            token.position)
+
+    def _parse_relative_path(self) -> ast.RelativePath:
+        self._expect(TokenType.AT)
+        steps = self._parse_steps()
+        return ast.RelativePath(tuple(steps))

@@ -1,0 +1,18 @@
+"""Workload generators and query suites for the paper's experiments.
+
+* :mod:`~repro.workloads.nobench` — the NOBENCH document generator and
+  its 11 queries (Figures 5/6, section 6.4-6.6);
+* :mod:`~repro.workloads.ycsb` — YCSB-style flat documents;
+* :mod:`~repro.workloads.purchase_orders` — the purchaseOrder collection
+  and the 9 OLAP queries of Table 13 (Figures 3/4);
+* :mod:`~repro.workloads.collections` — synthetic twins of the 12
+  collections in Tables 10-12;
+* :mod:`~repro.workloads.relational` — the REL storage: master/detail
+  decomposition of purchase orders.
+"""
+
+from repro.workloads.nobench import NobenchGenerator
+from repro.workloads.purchase_orders import PurchaseOrderGenerator
+from repro.workloads.ycsb import YcsbGenerator
+
+__all__ = ["NobenchGenerator", "PurchaseOrderGenerator", "YcsbGenerator"]

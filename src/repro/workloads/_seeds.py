@@ -1,0 +1,19 @@
+"""Deterministic per-document RNG derivation.
+
+Generators derive one :class:`random.Random` per (collection seed,
+document index) so any document can be regenerated independently of the
+others — important for ``documents(count, start=...)`` slicing.
+"""
+
+from __future__ import annotations
+
+import random
+
+_MIX = 0x9E3779B97F4A7C15  # 64-bit golden-ratio constant
+
+
+def rng_for(seed: int, index: int) -> random.Random:
+    """A stream-independent RNG for document ``index`` of stream ``seed``."""
+    mixed = (seed * _MIX + index) & 0xFFFFFFFFFFFFFFFF
+    mixed ^= mixed >> 31
+    return random.Random(mixed)

@@ -1,0 +1,297 @@
+"""NOBENCH: the micro-benchmark of Chasseur, Li and Patel (WebDB 2013).
+
+The paper uses NOBENCH throughout section 6.4-6.6 because it is a
+"genuine semi-structured document collection with several common fields
+and many sparse fields": every document has ~11 common fields (two
+strings, a number, a boolean, two dynamically-typed fields, a nested
+object, a nested array, a thousandth bucket) plus 10 sparse fields drawn
+from a 1 000-field space, so a large collection exercises all 1 000+
+distinct paths — beyond Oracle's 1 000-column relational limit, which is
+the paper's argument for not shredding.
+
+:class:`NobenchGenerator` reproduces that schema deterministically;
+:class:`NobenchQueries` implements the 11 queries over any document
+source (text / OSON handles via the SQL/JSON operators, or VC-IMC column
+vectors for the queries the paper lists as VC-eligible: Q6, Q7, Q10, Q11).
+"""
+
+from __future__ import annotations
+
+
+from repro.workloads._seeds import rng_for
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+from repro.imc import kernels
+from repro.imc.json_modes import JsonColumnIMC
+from repro.sqljson.operators import json_exists, json_value
+
+SPARSE_FIELD_COUNT = 1000
+SPARSE_PER_DOCUMENT = 10
+SPARSE_CLUSTER_SIZE = 100
+
+#: the three virtual columns the paper loads into IMC (section 6.4):
+#: JSON_VALUE(jobj,'$.str1'), JSON_VALUE(jobj,'$.num' RETURNING NUMBER),
+#: JSON_VALUE(jobj,'$.dyn1' RETURNING NUMBER) — the NUMBER returning on
+#: dyn1 NULLs out its string-typed instances
+VC_PATHS = (("$.str1", None), ("$.num", "number"), ("$.dyn1", "number"))
+
+
+def _base32ish(value: int) -> str:
+    """A deterministic pseudo-word for string fields (NOBENCH uses a
+    base-32 rendering of the counter)."""
+    alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ234567"
+    if value == 0:
+        return "A"
+    out = []
+    while value:
+        out.append(alphabet[value % 32])
+        value //= 32
+    return "".join(reversed(out))
+
+
+class NobenchGenerator:
+    """Deterministic NOBENCH document generator."""
+
+    def __init__(self, seed: int = 11) -> None:
+        self.seed = seed
+
+    def document(self, i: int) -> dict[str, Any]:
+        rng = rng_for(self.seed, i)
+        doc: dict[str, Any] = {
+            "str1": _base32ish(i),
+            "str2": _base32ish(i // 2),
+            "num": i,
+            "bool": i % 2 == 0,
+            # dynamically typed fields: number in even docs, string in odd
+            "dyn1": i if i % 2 == 0 else _base32ish(i),
+            "dyn2": float(i) if i % 3 == 0 else _base32ish(i * 3),
+            "nested_obj": {"str": _base32ish(i), "num": i},
+            "nested_arr": [_base32ish(rng.randrange(i + 1) if i else 0)
+                           for _ in range(rng.randrange(1, 6))],
+            "thousandth": i % 1000,
+        }
+        # ten sparse fields per document from a clustered 1000-field space
+        cluster = (i * SPARSE_PER_DOCUMENT) % SPARSE_FIELD_COUNT
+        for k in range(SPARSE_PER_DOCUMENT):
+            field_id = (cluster + k) % SPARSE_FIELD_COUNT
+            doc[f"sparse_{field_id:03d}"] = _base32ish(i + k)
+        return doc
+
+    def documents(self, count: int, start: int = 0) -> Iterator[dict[str, Any]]:
+        for i in range(start, start + count):
+            yield self.document(i)
+
+    def homogeneous_documents(self, count: int, template_index: int = 0
+                              ) -> Iterator[dict[str, Any]]:
+        """Identical-structure documents (Figure 7/8's *homo* runs): the
+        same field set with per-document values."""
+        template = self.document(template_index)
+        for i in range(count):
+            doc = dict(template)
+            doc["num"] = i
+            doc["str1"] = _base32ish(i)
+            yield doc
+
+    def heterogeneous_documents(self, count: int) -> Iterator[dict[str, Any]]:
+        """Each document adds a unique brand-new field (Figure 8's *hetero*
+        run): every insert discovers a new path."""
+        template = self.document(0)
+        for i in range(count):
+            doc = dict(template)
+            doc[f"unique_field_{i:07d}"] = i
+            yield doc
+
+
+class NobenchQueries:
+    """The 11 NOBENCH queries over a :class:`JsonColumnIMC` source.
+
+    Every query method returns its result rows/values; selective
+    parameters default to NOBENCH's published selectivities (0.1 % ranges,
+    single-document point lookups).  When the source is in VC-IMC mode
+    and the query touches only VC paths, the vectorized kernel path is
+    used — these are the Figure 6 bars.
+    """
+
+    def __init__(self, source: JsonColumnIMC, document_count: int) -> None:
+        self.source = source
+        self.n = document_count
+
+    # -- projection queries ----------------------------------------------------
+
+    def q1(self) -> list[tuple[Any, Any]]:
+        """Project two common top-level fields (str1, num)."""
+        return [(json_value(h, "$.str1"), json_value(h, "$.num"))
+                for h in self.source.handles()]
+
+    def q2(self) -> list[tuple[Any, Any]]:
+        """Project nested object fields."""
+        return [(json_value(h, "$.nested_obj.str"),
+                 json_value(h, "$.nested_obj.num"))
+                for h in self.source.handles()]
+
+    def q3(self) -> list[tuple[Any, Any]]:
+        """Project two sparse fields from the same cluster."""
+        return [(json_value(h, "$.sparse_110"), json_value(h, "$.sparse_119"))
+                for h in self.source.handles()
+                if json_exists(h, "$.sparse_110")
+                or json_exists(h, "$.sparse_119")]
+
+    def q4(self) -> list[tuple[Any, Any]]:
+        """Project two sparse fields from different clusters."""
+        return [(json_value(h, "$.sparse_110"), json_value(h, "$.sparse_220"))
+                for h in self.source.handles()
+                if json_exists(h, "$.sparse_110")
+                or json_exists(h, "$.sparse_220")]
+
+    # -- selection queries ---------------------------------------------------------
+
+    def q5(self, needle: Optional[str] = None) -> list[dict[str, Any]]:
+        """Point lookup on str1."""
+        if needle is None:
+            needle = _base32ish(self.n // 2)
+        return [self._materialize(h) for h in self.source.handles()
+                if json_value(h, "$.str1") == needle]
+
+    def q6(self, low: Optional[int] = None,
+           span: Optional[int] = None) -> list[Any]:
+        """Range on num (0.1 % selectivity) — VC-eligible."""
+        if low is None:
+            low = self.n // 3
+        if span is None:
+            span = max(self.n // 1000, 1)
+        if self.source.has_vector("$.num"):
+            column = self.source.vector("$.num")
+            mask = kernels.between(column, low, low + span)
+            return [column.value_at(i)
+                    for i in self.source.selection_to_indexes(mask)]
+        out = []
+        for h in self.source.handles():
+            value = json_value(h, "$.num")
+            if value is not None and low <= value < low + span:
+                out.append(value)
+        return out
+
+    def q7(self, low: Optional[int] = None,
+           span: Optional[int] = None) -> list[Any]:
+        """Range on the dynamically typed dyn1 — VC-eligible.
+
+        Only numeric instances participate (string-typed dyn1 values are
+        excluded by the comparison semantics).
+        """
+        if low is None:
+            low = self.n // 4
+        if span is None:
+            span = max(self.n // 1000, 1)
+        if self.source.has_vector("$.dyn1"):
+            column = self.source.vector("$.dyn1")
+            mask = kernels.between(column, low, low + span)
+            return [column.value_at(i)
+                    for i in self.source.selection_to_indexes(mask)]
+        out = []
+        for h in self.source.handles():
+            value = json_value(h, "$.dyn1")
+            if isinstance(value, (int, float)) and low <= value < low + span:
+                out.append(value)
+        return out
+
+    def q8(self, needle: Optional[str] = None) -> list[dict[str, Any]]:
+        """Array membership in nested_arr."""
+        if needle is None:
+            needle = _base32ish(self.n // 5)
+        path = f'$.nested_arr[*]?(@ == "{needle}")'
+        return [self._materialize(h) for h in self.source.handles()
+                if json_exists(h, path)]
+
+    def q9(self, field: str = "sparse_550",
+           needle: Optional[str] = None) -> list[dict[str, Any]]:
+        """Predicate on a sparse field."""
+        out = []
+        for h in self.source.handles():
+            value = json_value(h, f"$.{field}")
+            if value is None:
+                continue
+            if needle is None or value == needle:
+                out.append(self._materialize(h))
+        return out
+
+    # -- aggregation / join --------------------------------------------------------------
+
+    def q10(self, buckets: int = 10) -> dict[Any, float]:
+        """GROUP BY thousandth-bucket SUM(num) — VC-eligible.
+
+        Bucketing thousandth into ``buckets`` groups keeps the result
+        small at reduced document counts.
+        """
+        if self.source.has_vector("$.num"):
+            nums = self.source.vector("$.num")
+            # bucket keys derive from num's own thousandth residue so the
+            # whole aggregation stays vectorized
+            keys_raw = np.mod(nums.values.astype(np.int64), 1000) % buckets
+            sums: dict[Any, float] = {}
+            for bucket in range(buckets):
+                mask = (keys_raw == bucket) & nums.valid
+                if mask.any():
+                    sums[bucket] = float(nums.values[mask].sum())
+            return sums
+        sums = {}
+        for h in self.source.handles():
+            num = json_value(h, "$.num")
+            thousandth = json_value(h, "$.thousandth")
+            if num is None or thousandth is None:
+                continue
+            bucket = int(thousandth) % buckets
+            sums[bucket] = sums.get(bucket, 0.0) + num
+        return sums
+
+    def q11(self, limit: Optional[int] = None) -> list[tuple[int, int]]:
+        """Self equi-join: nested_obj.str of one doc = str1 of another —
+        VC-eligible on the probe side ($.str1)."""
+        if limit is None:
+            limit = self.n
+        if self.source.has_vector("$.str1"):
+            column = self.source.vector("$.str1")
+            build: dict[str, list[int]] = {}
+            for index in range(min(len(column), limit)):
+                value = column.value_at(index)
+                if value is not None:
+                    build.setdefault(value, []).append(index)
+            matches: list[tuple[int, int]] = []
+            for index, h in enumerate(self.source.handles()):
+                if index >= limit:
+                    break
+                probe = json_value(h, "$.nested_obj.str")
+                for other in build.get(probe, ()):
+                    matches.append((index, other))
+            return matches
+        build = {}
+        handles = []
+        for index, h in enumerate(self.source.handles()):
+            if index >= limit:
+                break
+            handles.append(h)
+            value = json_value(h, "$.str1")
+            if value is not None:
+                build.setdefault(value, []).append(index)
+        matches = []
+        for index, h in enumerate(handles):
+            probe = json_value(h, "$.nested_obj.str")
+            for other in build.get(probe, ()):
+                matches.append((index, other))
+        return matches
+
+    def run_all(self) -> dict[str, Any]:
+        """Run Q1..Q11 once each; returns result sizes keyed by query id."""
+        results = {}
+        for name in ("q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9",
+                     "q10", "q11"):
+            value = getattr(self, name)()
+            results[name] = len(value)
+        return results
+
+    def _materialize(self, handle: Any) -> dict[str, Any]:
+        if isinstance(handle, str):
+            from repro.jsontext import loads
+            return loads(handle)
+        return handle.materialize()

@@ -1,0 +1,276 @@
+"""The purchaseOrder collection and the 9 OLAP queries of Table 13.
+
+Documents follow the master/detail shape of the paper's sections 3.2 and
+6.3: singleton header fields (reference, requestor, costcenter, special
+instructions) over a nested ``items`` array of line items.  The queries
+run against two relational views that hide the physical storage:
+
+* ``po_mv``        — singleton scalar fields only (Q1, Q2);
+* ``po_item_dmdv`` — the de-normalized master-detail expansion (Q3-Q9).
+
+:func:`build_po_views` constructs both views for any of the four storage
+methods of Figure 3 (JSON text / BSON / OSON via JSON_TABLE over the
+document column; REL via a hash join of the shredded master/detail
+tables), so one query implementation serves all storages.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads._seeds import rng_for
+from typing import Any, Iterator
+
+from repro.engine import Database, Query, expr
+from repro.engine.table import Table
+from repro.engine.view import JsonTableView, QueryView, View
+from repro.sqljson.json_table import ColumnDef, JsonTable, NestedPath
+
+_COST_CENTERS = ["A10", "A20", "A30", "A40", "A50", "B60", "B70", "B80",
+                 "B90", "C100"]
+_FIRST = ["Alexis", "Bruno", "Carol", "Daniel", "Erin", "Felix", "Grace",
+          "Hector", "Iris", "Jack", "Karen", "Liam", "Mona", "Nina"]
+_LAST = ["Bull", "Chen", "Davis", "Evans", "Ford", "Gupta", "Hale",
+         "Ito", "Jones", "Klein", "Lopez", "Moore"]
+_PART_WORDS = ["Widget", "Gadget", "Sprocket", "Flange", "Gear", "Bolt",
+               "Valve", "Rotor", "Stator", "Bearing"]
+_INSTRUCTIONS = ["Courier", "Ground", "Air Mail", "Expidite", "COD",
+                 "Hand Carry", "Next Day Air", "Surface Mail"]
+
+
+class PurchaseOrderGenerator:
+    """Deterministic purchaseOrder document generator."""
+
+    def __init__(self, seed: int = 42, min_items: int = 1,
+                 max_items: int = 5) -> None:
+        self.seed = seed
+        self.min_items = min_items
+        self.max_items = max_items
+
+    def document(self, i: int) -> dict[str, Any]:
+        rng = rng_for(self.seed, i)
+        requestor = f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+        user = requestor.split()[-1].upper()
+        reference = f"{user}-{20140000 + i}"
+        item_count = rng.randint(self.min_items, self.max_items)
+        items = []
+        for item_no in range(1, item_count + 1):
+            part_word = rng.choice(_PART_WORDS)
+            items.append({
+                "itemno": item_no,
+                "partno": f"{rng.randrange(10**10, 10**11)}",
+                "description": f"{part_word} model {rng.randrange(100, 999)}",
+                "quantity": rng.randint(1, 20),
+                "unitprice": round(rng.uniform(5.0, 900.0), 2),
+            })
+        doc: dict[str, Any] = {
+            "purchaseOrder": {
+                "reference": reference,
+                "requestor": requestor,
+                "user": user,
+                "costcenter": rng.choice(_COST_CENTERS),
+                "instructions": rng.choice(_INSTRUCTIONS),
+                "items": items,
+            }
+        }
+        if rng.random() < 0.25:
+            doc["purchaseOrder"]["foreign_id"] = _foreign_id(rng)
+        return doc
+
+    def documents(self, count: int, start: int = 0) -> Iterator[dict[str, Any]]:
+        for i in range(start, start + count):
+            yield self.document(i)
+
+
+def _foreign_id(rng: random.Random) -> str:
+    return "".join(rng.choices("ABCDEFGHJKLMNPQRSTUVWXYZ0123456789", k=6))
+
+
+# -- view construction -------------------------------------------------------
+
+
+#: singleton (master) scalar paths of the collection
+MASTER_COLUMNS = [
+    ("reference", "varchar2(32)", "$.purchaseOrder.reference"),
+    ("requestor", "varchar2(32)", "$.purchaseOrder.requestor"),
+    ("userid", "varchar2(16)", "$.purchaseOrder.user"),
+    ("costcenter", "varchar2(8)", "$.purchaseOrder.costcenter"),
+    ("instructions", "varchar2(32)", "$.purchaseOrder.instructions"),
+]
+
+#: detail (line item) scalar paths
+ITEM_COLUMNS = [
+    ("itemno", "number", "$.itemno"),
+    ("partno", "varchar2(16)", "$.partno"),
+    ("description", "varchar2(64)", "$.description"),
+    ("quantity", "number", "$.quantity"),
+    ("unitprice", "number", "$.unitprice"),
+]
+
+
+def po_mv_json_table() -> JsonTable:
+    """The po_mv JSON_TABLE spec: singleton scalars only."""
+    return JsonTable("$", [ColumnDef(n, t, p) for n, t, p in MASTER_COLUMNS])
+
+
+def po_item_dmdv_json_table() -> JsonTable:
+    """The po_item_dmdv spec: master fields + NESTED PATH over items."""
+    return JsonTable("$", [
+        *[ColumnDef(n, t, p) for n, t, p in MASTER_COLUMNS],
+        NestedPath("$.purchaseOrder.items[*]",
+                   [ColumnDef(n, t, p) for n, t, p in ITEM_COLUMNS]),
+    ])
+
+
+def build_po_views(db: Database, table: Table, json_column: str,
+                   prefix: str) -> tuple[View, View]:
+    """Register ``<prefix>_mv`` and ``<prefix>_item_dmdv`` views over a
+    JSON document column (any encoding the operators accept)."""
+    mv = JsonTableView(f"{prefix}_mv", table, json_column, po_mv_json_table())
+    dmdv = JsonTableView(f"{prefix}_item_dmdv", table, json_column,
+                         po_item_dmdv_json_table())
+    db.register_view(mv)
+    db.register_view(dmdv)
+    return mv, dmdv
+
+
+def build_rel_views(db: Database, master: Table, detail: Table,
+                    prefix: str) -> tuple[View, View]:
+    """REL storage's views: po_mv is the master table; po_item_dmdv is a
+    hash join of master and detail on the purchase-order key."""
+    mv = QueryView(
+        f"{prefix}_mv",
+        Query(master).select("reference", "requestor", "userid",
+                             "costcenter", "instructions"))
+    dmdv = QueryView(
+        f"{prefix}_item_dmdv",
+        Query(master).join(detail, "po_id", "po_id", how="left")
+        .select("reference", "requestor", "userid", "costcenter",
+                "instructions", "itemno", "partno", "description",
+                "quantity", "unitprice"))
+    db.register_view(mv)
+    db.register_view(dmdv)
+    return mv, dmdv
+
+
+# -- the 9 OLAP queries of Table 13 --------------------------------------------------
+
+
+class PoOlapQueries:
+    """Q1-Q9 against the two views; storage-agnostic by construction."""
+
+    def __init__(self, mv: View, dmdv: View) -> None:
+        self.mv = mv
+        self.dmdv = dmdv
+
+    def q1(self, reference: str) -> int:
+        """SELECT COUNT(*) FROM po_mv WHERE reference = ?"""
+        return (Query(self.mv)
+                .where(expr.Col("reference") == reference)
+                .group_by([], n=expr.COUNT())
+                .scalar())
+
+    def q2(self) -> list[dict]:
+        """SELECT costcenter, COUNT(*) FROM po_mv GROUP BY costcenter
+        ORDER BY 1"""
+        return (Query(self.mv)
+                .group_by(["costcenter"], n=expr.COUNT())
+                .order_by("costcenter")
+                .rows())
+
+    def q3(self, partno: str) -> list[dict]:
+        """SELECT costcenter, COUNT(*) FROM po_item_dmdv WHERE partno = ?
+        GROUP BY costcenter"""
+        return (Query(self.dmdv)
+                .where(expr.Col("partno") == partno)
+                .group_by(["costcenter"], n=expr.COUNT())
+                .rows())
+
+    def q4(self, requestor: str, quantity: float, unitprice: float) -> list[dict]:
+        """Detail projection filtered on requestor, quantity, unitprice."""
+        return (Query(self.dmdv)
+                .where(expr.And(expr.Col("requestor") == requestor,
+                                expr.Col("quantity") > quantity,
+                                expr.Col("unitprice") > unitprice))
+                .select("reference", "instructions", "itemno", "partno",
+                        "description", "quantity", "unitprice")
+                .rows())
+
+    def q5(self, partnos: list[str]) -> list[dict]:
+        """SELECT reference, itemno, partno, description WHERE partno IN (...)"""
+        return (Query(self.dmdv)
+                .where(expr.Col("partno").in_(partnos))
+                .select("reference", "itemno", "partno", "description")
+                .rows())
+
+    def q6(self, partno: str) -> list[dict]:
+        """LAG window over order sequence for one part (the analytic Q6)."""
+        seq = expr.SUBSTR(expr.Col("reference"),
+                          expr.INSTR(expr.Col("reference"), "-") + 1)
+        return (Query(self.dmdv)
+                .where(expr.Col("partno") == partno)
+                .window("prev_quantity",
+                        expr.LAG(expr.Col("quantity"), 1, expr.Col("quantity")),
+                        order_by=seq)
+                .select("partno", "reference", "quantity",
+                        (expr.Col("quantity") - expr.Col("prev_quantity"))
+                        .as_("difference"))
+                .order_by("reference", desc=True)
+                .rows())
+
+    def q7(self) -> list[dict]:
+        """SELECT SUM(quantity * unitprice) GROUP BY costcenter ORDER BY 1"""
+        return (Query(self.dmdv)
+                .group_by(["costcenter"],
+                          total=expr.SUM(expr.Col("quantity")
+                                         * expr.Col("unitprice")))
+                .order_by("total")
+                .rows())
+
+    def q8(self, quantity: float, unitprice: float) -> list[dict]:
+        """Detail projection filtered on quantity and unitprice."""
+        return (Query(self.dmdv)
+                .where(expr.And(expr.Col("quantity") > quantity,
+                                expr.Col("unitprice") > unitprice))
+                .select("reference", "instructions", "itemno", "partno",
+                        "description", "quantity", "unitprice")
+                .rows())
+
+    def q9(self) -> list[dict]:
+        """Full projection of the DMDV (the scan-everything query)."""
+        return (Query(self.dmdv)
+                .select("reference", "instructions", "itemno", "partno",
+                        "description", "quantity", "unitprice")
+                .rows())
+
+    def run_all(self, params: "PoQueryParams") -> dict[str, int]:
+        """Run Q1-Q9 with bound parameters; returns result sizes."""
+        return {
+            "q1": self.q1(params.reference),
+            "q2": len(self.q2()),
+            "q3": len(self.q3(params.partno)),
+            "q4": len(self.q4(params.requestor, 2, 50.0)),
+            "q5": len(self.q5(params.partnos)),
+            "q6": len(self.q6(params.partno)),
+            "q7": len(self.q7()),
+            "q8": len(self.q8(10, 400.0)),
+            "q9": len(self.q9()),
+        }
+
+
+class PoQueryParams:
+    """Bind parameters drawn from the generated collection so the paper's
+    parameterized queries (?) hit real values."""
+
+    def __init__(self, documents: list[dict[str, Any]]) -> None:
+        first = documents[0]["purchaseOrder"]
+        mid = documents[len(documents) // 2]["purchaseOrder"]
+        last = documents[-1]["purchaseOrder"]
+        self.reference = mid["reference"]
+        self.requestor = mid["requestor"]
+        self.partno = mid["items"][0]["partno"]
+        self.partnos = [
+            first["items"][0]["partno"],
+            mid["items"][0]["partno"],
+            last["items"][0]["partno"],
+        ]

@@ -1,0 +1,141 @@
+"""Tests for the BSON encoder/decoder baseline."""
+
+import struct
+
+import pytest
+from hypothesis import given
+
+from repro import bson
+from repro.bson.decoder import BsonDocument
+from repro.errors import BsonError
+from tests.strategies import json_documents, json_values
+
+
+class TestRoundTrip:
+    def test_flat_document(self):
+        doc = {"a": 1, "b": "two", "c": 2.5, "d": True, "e": None}
+        assert bson.decode(bson.encode(doc)) == doc
+
+    def test_nested(self):
+        doc = {"a": {"b": [1, {"c": "deep"}]}}
+        assert bson.decode(bson.encode(doc)) == doc
+
+    def test_top_level_scalars_wrapped(self):
+        for value in [1, "x", None, True, 2.5, [1, 2]]:
+            assert bson.decode(bson.encode(value)) == value
+
+    def test_int32_int64_double_boundaries(self):
+        for value in [0, 2**31 - 1, -(2**31), 2**31, 2**63 - 1, -(2**63)]:
+            assert bson.decode(bson.encode({"v": value})) == {"v": value}
+
+    def test_oversized_int_degrades_to_double(self):
+        out = bson.decode(bson.encode({"v": 2**80}))
+        assert out["v"] == float(2**80)
+
+    def test_unicode(self):
+        doc = {"näme": "välüe ☃"}
+        assert bson.decode(bson.encode(doc)) == doc
+
+    def test_empty_containers(self):
+        assert bson.decode(bson.encode({})) == {}
+        assert bson.decode(bson.encode({"a": [], "b": {}})) == {"a": [], "b": {}}
+
+    @given(json_documents())
+    def test_roundtrip_property(self, doc):
+        decoded = bson.decode(bson.encode(doc))
+        assert _normalize(decoded) == _normalize(doc)
+
+    @given(json_values())
+    def test_any_value_roundtrip(self, value):
+        assert _normalize(bson.decode(bson.encode(value))) == _normalize(value)
+
+
+def _normalize(value):
+    """BSON stores big ints as doubles; normalize for comparison."""
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_normalize(v) for v in value]
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and not -(2**63) <= value < 2**63:
+        return float(value)
+    return value
+
+
+class TestEncodeErrors:
+    def test_non_string_key(self):
+        with pytest.raises(BsonError):
+            bson.encode({1: "x"})
+
+    def test_nul_in_key(self):
+        with pytest.raises(BsonError):
+            bson.encode({"a\x00b": 1})
+
+    def test_unsupported_type(self):
+        with pytest.raises(BsonError):
+            bson.encode({"a": object()})
+
+
+class TestNavigation:
+    DOC = {"name": "phone", "price": 100, "tags": ["a", "b", "c"],
+           "vendor": {"id": 7, "city": "SF"}}
+
+    def _doc(self):
+        return BsonDocument(bson.encode(self.DOC))
+
+    def test_find_field_scalar(self):
+        node = self._doc().find_field("price")
+        assert node.scalar_value() == 100
+
+    def test_find_field_missing(self):
+        assert self._doc().find_field("nope") is None
+
+    def test_find_field_container(self):
+        node = self._doc().find_field("vendor")
+        child = node.as_document()
+        assert child.find_field("city").scalar_value() == "SF"
+
+    def test_array_element_at(self):
+        tags = self._doc().find_field("tags").as_document()
+        assert tags.is_array
+        assert tags.element_at(1).scalar_value() == "b"
+        assert tags.element_at(5) is None
+        assert tags.element_count() == 3
+
+    def test_iter_elements_order(self):
+        names = [name for name, _ in self._doc().iter_elements()]
+        assert names == ["name", "price", "tags", "vendor"]
+
+    def test_skip_navigation_reaches_late_fields(self):
+        # a find for the last field must skip the containers before it
+        doc = {"big": {"x": list(range(100))}, "last": 42}
+        node = BsonDocument(bson.encode(doc)).find_field("last")
+        assert node.scalar_value() == 42
+
+    def test_scalar_value_on_container_raises(self):
+        node = self._doc().find_field("vendor")
+        with pytest.raises(BsonError):
+            node.scalar_value()
+
+    def test_as_document_on_scalar_raises(self):
+        node = self._doc().find_field("price")
+        with pytest.raises(BsonError):
+            node.as_document()
+
+
+class TestMalformed:
+    def test_too_short(self):
+        with pytest.raises(BsonError):
+            BsonDocument(b"\x01\x02")
+
+    def test_bad_length_word(self):
+        data = struct.pack("<i", 100) + b"\x00" * 4
+        with pytest.raises(BsonError):
+            BsonDocument(data)
+
+    def test_unknown_type_tag(self):
+        good = bytearray(bson.encode({"a": 1}))
+        good[4] = 0x7F  # corrupt the element type tag
+        with pytest.raises(BsonError):
+            BsonDocument(bytes(good)).materialize()

@@ -1,0 +1,94 @@
+"""Tests for JSON_DATAGUIDEAGG (transient DataGuide, section 3.4)."""
+
+from repro import bson
+from repro.core.dataguide import JsonDataGuideAgg, json_dataguide_agg
+from repro.core.oson import encode as oson_encode
+from repro.engine import Column, Database, NUMBER, CLOB, VARCHAR2, expr
+from repro.jsontext import dumps
+
+DOCS = [
+    {"po": {"id": 1, "items": [{"sku": "A"}]}},
+    {"po": {"id": 2, "note": "rush"}},
+    {"po": {"id": 3}},
+]
+
+
+class TestFunctionalForm:
+    def test_full_aggregation(self):
+        guide = json_dataguide_agg(DOCS)
+        assert "$.po.note" in guide.paths()
+        assert guide.document_count == 3
+
+    def test_accepts_all_physical_forms(self):
+        mixed = [dumps(DOCS[0]), oson_encode(DOCS[1]), bson.encode(DOCS[2])]
+        guide = json_dataguide_agg(mixed)
+        assert "$.po.note" in guide.paths()
+        assert "$.po.items.sku" in guide.paths()
+
+    def test_sampling_subset(self):
+        docs = [{"common": 1, f"only_{i}": i} for i in range(200)]
+        full = json_dataguide_agg(docs)
+        sampled = json_dataguide_agg(docs, sample_percent=20, seed=7)
+        assert len(sampled) < len(full)
+        assert "$.common" in sampled.paths()
+
+    def test_sampling_is_deterministic_with_seed(self):
+        docs = [{f"f{i}": i} for i in range(100)]
+        a = json_dataguide_agg(docs, sample_percent=50, seed=3)
+        b = json_dataguide_agg(docs, sample_percent=50, seed=3)
+        assert a.paths() == b.paths()
+
+    def test_sampling_bounds_validated(self):
+        import pytest
+        with pytest.raises(ValueError):
+            json_dataguide_agg(DOCS, sample_percent=0)
+        with pytest.raises(ValueError):
+            json_dataguide_agg(DOCS, sample_percent=150)
+
+    def test_none_documents_skipped(self):
+        guide = json_dataguide_agg([None, DOCS[0], None][1:2])
+        assert guide.document_count == 1
+
+
+def po_table_with_dates():
+    db = Database()
+    t = db.create_table("po", [
+        Column("id", NUMBER),
+        Column("insertion_date", VARCHAR2(10)),
+        Column("jcol", CLOB),
+    ])
+    t.insert({"id": 1, "insertion_date": "2015-01-01", "jcol": dumps(DOCS[0])})
+    t.insert({"id": 2, "insertion_date": "2015-01-01", "jcol": dumps(DOCS[1])})
+    t.insert({"id": 3, "insertion_date": "2015-01-02", "jcol": dumps(DOCS[2])})
+    return db, t
+
+
+class TestSqlAggregate:
+    def test_paper_q2_group_by_insertion_date(self):
+        """select json_dataguideagg(jcol) from po group by insertion_date"""
+        db, _t = po_table_with_dates()
+        rows = (db.query("po")
+                .group_by(["insertion_date"], dg=JsonDataGuideAgg("jcol"))
+                .order_by("insertion_date")
+                .rows())
+        assert len(rows) == 2
+        day1, day2 = rows[0]["dg"], rows[1]["dg"]
+        assert "$.po.note" in day1.paths()
+        assert "$.po.note" not in day2.paths()
+
+    def test_paper_q3_filtered_subset(self):
+        """dataguide over a filtered subset (where json_exists...)"""
+        db, _t = po_table_with_dates()
+        rows = (db.query("po")
+                .where(expr.JsonExistsExpr("jcol", "$.po.note"))
+                .group_by([], dg=JsonDataGuideAgg("jcol"))
+                .rows())
+        guide = rows[0]["dg"]
+        assert guide.document_count == 1
+        assert "$.po.items" not in guide.paths()
+
+    def test_null_json_columns_skipped(self):
+        db, t = po_table_with_dates()
+        t.insert({"id": 4, "insertion_date": "2015-01-03", "jcol": None})
+        rows = db.query("po").group_by([], dg=JsonDataGuideAgg("jcol")).rows()
+        assert rows[0]["dg"].document_count == 3

@@ -1,0 +1,132 @@
+"""Tests for the DataGuide object: flat & hierarchical forms, annotations."""
+
+import pytest
+
+from repro.core.dataguide.builder import DataGuideBuilder
+from repro.core.dataguide.guide import DataGuide, _split_path
+from repro.core.dataguide.model import SCALAR
+from repro.errors import DataGuideError
+from repro.jsontext import dumps, loads
+
+DOC = {"po": {"id": 1, "date": "2015-01-01",
+              "items": [{"sku": "A", "qty": 2}],
+              "tags": ["x", "y"]}}
+
+
+def guide_for(*docs):
+    builder = DataGuideBuilder()
+    for doc in docs:
+        builder.add(doc)
+    return builder.guide()
+
+
+class TestAccess:
+    def test_len_counts_distinct_path_kind_rows(self):
+        guide = guide_for(DOC)
+        # $, $.po, id, date, items(arr), sku, qty, tags(arr), tags(scalar)
+        assert len(guide) == 9
+
+    def test_paths(self):
+        guide = guide_for(DOC)
+        assert "$.po.items.sku" in guide.paths()
+
+    def test_get_by_path(self):
+        guide = guide_for(DOC)
+        assert guide.get("$.po.id").scalar_type == "number"
+
+    def test_get_heterogeneous_requires_kind(self):
+        guide = guide_for({"a": {"b": 1}}, {"a": {"b": {"c": 1}}})
+        with pytest.raises(DataGuideError):
+            guide.get("$.a.b")
+        assert guide.get("$.a.b", SCALAR) is not None
+
+    def test_get_missing(self):
+        assert guide_for(DOC).get("$.nope") is None
+
+    def test_scalar_and_singleton_entries(self):
+        guide = guide_for(DOC)
+        scalar_paths = {e.path for e in guide.scalar_entries()}
+        singleton_paths = {e.path for e in guide.singleton_scalar_entries()}
+        assert "$.po.items.sku" in scalar_paths
+        assert "$.po.items.sku" not in singleton_paths  # inside an array
+        assert "$.po.id" in singleton_paths
+
+    def test_dmdv_column_count(self):
+        guide = guide_for(DOC)
+        # leaf scalars: id, date, sku, qty, tags-elements
+        assert guide.dmdv_column_count() == 5
+
+
+class TestFlatForm:
+    def test_rows_sorted_and_shaped(self):
+        flat = guide_for(DOC).as_flat()
+        paths = [row["PATH"] for row in flat]
+        assert paths == sorted(paths)
+        assert {"PATH", "TYPE", "FREQUENCY"} <= set(flat[0])
+
+    def test_flat_form_is_json_serializable(self):
+        flat = guide_for(DOC).as_flat()
+        assert loads(dumps(flat)) == flat
+
+
+class TestHierarchicalForm:
+    def test_structure(self):
+        h = guide_for(DOC).as_hierarchical()
+        assert h["type"] == "object"
+        po = h["properties"]["po"]
+        assert po["properties"]["id"]["type"] == "number"
+        items = po["properties"]["items"]
+        assert items["type"] == "array"
+        assert items["items"]["properties"]["sku"]["type"] == "array of string"
+
+    def test_scalar_annotations_present(self):
+        h = guide_for(DOC).as_hierarchical()
+        date = h["properties"]["po"]["properties"]["date"]
+        assert date["o:length"] == len("2015-01-01")
+        assert date["o:frequency"] == 1
+
+    def test_heterogeneous_renders_oneof(self):
+        guide = guide_for({"a": 1}, {"a": {"b": 2}})
+        h = guide_for({"a": 1}, {"a": {"b": 2}}).as_hierarchical()
+        a = h["properties"]["a"]
+        assert "oneOf" in a
+        kinds = {v["type"] for v in a["oneOf"]}
+        assert kinds == {"number", "object"}
+
+    def test_hierarchical_is_json_serializable(self):
+        h = guide_for(DOC).as_hierarchical()
+        assert loads(dumps(h)) == h
+
+
+class TestAnnotations:
+    def test_annotate_returns_copy(self):
+        guide = guide_for(DOC)
+        annotated = guide.annotate(renames={"$.po.id": "order_id"})
+        assert annotated is not guide
+        assert annotated.annotations.renames["$.po.id"] == "order_id"
+        assert guide.annotations.renames == {}
+
+    def test_annotations_merge(self):
+        guide = (guide_for(DOC)
+                 .annotate(renames={"$.po.id": "oid"})
+                 .annotate(exclude=["$.po.date"],
+                           length_overrides={"$.po.date": 8}))
+        assert guide.annotations.renames["$.po.id"] == "oid"
+        assert "$.po.date" in guide.annotations.excluded
+        assert guide.annotations.length_overrides["$.po.date"] == 8
+
+
+class TestSplitPath:
+    def test_plain(self):
+        assert _split_path("$.a.b") == ["a", "b"]
+        assert _split_path("$") == []
+
+    def test_quoted(self):
+        assert _split_path('$."x y".z') == ["x y", "z"]
+        assert _split_path('$."has\\"quote"') == ['has"quote']
+
+    def test_bad_paths(self):
+        with pytest.raises(DataGuideError):
+            _split_path("a.b")
+        with pytest.raises(DataGuideError):
+            _split_path('$."unterminated')

@@ -1,0 +1,123 @@
+"""Tests for DataGuide path entries and the type lattice."""
+
+import pytest
+
+from repro.core.dataguide.model import (
+    ARRAY,
+    BOOLEAN,
+    NULL,
+    NUMBER,
+    OBJECT,
+    SCALAR,
+    STRING,
+    PathEntry,
+    child_path,
+    generalize_scalar_type,
+    scalar_type_of,
+)
+
+
+class TestTypeLattice:
+    def test_identity(self):
+        for t in (STRING, NUMBER, BOOLEAN, NULL):
+            assert generalize_scalar_type(t, t) == t
+
+    def test_null_absorbed(self):
+        assert generalize_scalar_type(NULL, NUMBER) == NUMBER
+        assert generalize_scalar_type(STRING, NULL) == STRING
+
+    def test_conflicts_generalize_to_string(self):
+        # the paper's example: number vs string merges to string
+        assert generalize_scalar_type(NUMBER, STRING) == STRING
+        assert generalize_scalar_type(BOOLEAN, NUMBER) == STRING
+        assert generalize_scalar_type(BOOLEAN, STRING) == STRING
+
+    def test_none_passthrough(self):
+        assert generalize_scalar_type(None, NUMBER) == NUMBER
+        assert generalize_scalar_type(NUMBER, None) == NUMBER
+
+    def test_scalar_type_of(self):
+        assert scalar_type_of(None) == NULL
+        assert scalar_type_of(True) == BOOLEAN
+        assert scalar_type_of(1) == NUMBER
+        assert scalar_type_of(1.5) == NUMBER
+        assert scalar_type_of("x") == STRING
+
+
+class TestTypeLabels:
+    def test_paper_table_2_labels(self):
+        assert PathEntry("$.po", OBJECT).type_label == "object"
+        assert PathEntry("$.po.id", SCALAR, scalar_type=NUMBER).type_label \
+            == "number"
+        assert PathEntry("$.po.items", ARRAY).type_label == "array"
+        assert PathEntry("$.po.items.name", SCALAR, scalar_type=STRING,
+                         in_array=True).type_label == "array of string"
+
+    def test_paper_table_4_labels(self):
+        assert PathEntry("$.po.items.parts", ARRAY,
+                         in_array=True).type_label == "array of array"
+
+    def test_object_never_array_of(self):
+        assert PathEntry("$.x", OBJECT, in_array=True).type_label == "object"
+
+
+class TestMerge:
+    def test_merged_with_combines(self):
+        a = PathEntry("$.v", SCALAR, scalar_type=NUMBER, max_length=0,
+                      frequency=2, min_value=1, max_value=5)
+        b = PathEntry("$.v", SCALAR, scalar_type=STRING, max_length=7,
+                      frequency=3, min_value="abc", max_value="zzz")
+        merged = a.merged_with(b)
+        assert merged.scalar_type == STRING
+        assert merged.max_length == 7
+        assert merged.frequency == 5
+
+    def test_merge_key_mismatch(self):
+        a = PathEntry("$.v", SCALAR, scalar_type=NUMBER)
+        b = PathEntry("$.v", ARRAY)
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+        with pytest.raises(ValueError):
+            a.merge_in_place(b)
+
+    def test_in_place_reports_structural_change(self):
+        a = PathEntry("$.v", SCALAR, scalar_type=NUMBER)
+        same = PathEntry("$.v", SCALAR, scalar_type=NUMBER)
+        assert a.merge_in_place(same) is False
+        widened = PathEntry("$.v", SCALAR, scalar_type=STRING)
+        assert a.merge_in_place(widened) is True
+        assert a.scalar_type == STRING
+
+    def test_stats_are_not_structural(self):
+        a = PathEntry("$.v", SCALAR, scalar_type=NUMBER, frequency=1,
+                      min_value=5, max_value=5)
+        b = PathEntry("$.v", SCALAR, scalar_type=NUMBER, frequency=1,
+                      min_value=1, max_value=9)
+        assert a.merge_in_place(b) is False
+        assert a.frequency == 2
+        assert a.min_value == 1 and a.max_value == 9
+
+    def test_heterogeneous_minmax_compares_as_strings(self):
+        a = PathEntry("$.v", SCALAR, scalar_type=NUMBER, min_value=5,
+                      max_value=5)
+        b = PathEntry("$.v", SCALAR, scalar_type=STRING, min_value="abc",
+                      max_value="abc")
+        merged = a.merged_with(b)
+        assert merged.min_value is not None
+
+    def test_null_counts_accumulate(self):
+        a = PathEntry("$.v", SCALAR, scalar_type=NULL, null_count=1)
+        b = PathEntry("$.v", SCALAR, scalar_type=NUMBER, null_count=0)
+        a.merge_in_place(b)
+        assert a.null_count == 1
+        assert a.scalar_type == NUMBER
+
+
+class TestChildPath:
+    def test_identifier(self):
+        assert child_path("$", "name") == "$.name"
+        assert child_path("$.a", "b") == "$.a.b"
+
+    def test_non_identifier_quoted(self):
+        assert child_path("$", "weird name") == '$."weird name"'
+        assert child_path("$", 'has"quote') == '$."has\\"quote"'

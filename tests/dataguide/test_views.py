@@ -1,0 +1,137 @@
+"""Tests for CreateViewOnPath / DMDV generation (section 3.3.2)."""
+
+import pytest
+
+from repro.core.dataguide import create_view_on_path, json_dataguide_agg
+from repro.core.dataguide.views import build_json_table
+from repro.engine import Column, Database, NUMBER, CLOB
+from repro.errors import DataGuideError
+from repro.jsontext import dumps
+
+DOCS = [
+    {"purchaseOrder": {"id": 1, "podate": "2014-09-08",
+     "items": [{"name": "phone", "price": 100, "quantity": 2},
+               {"name": "ipad", "price": 350.86, "quantity": 3}]}},
+    {"purchaseOrder": {"id": 2, "podate": "2015-06-03", "foreign_id": "X1",
+     "items": [{"name": "TV", "price": 345.55, "quantity": 1,
+                "parts": [{"partName": "remote", "partQuantity": "1"}]}]}},
+]
+
+
+def guide():
+    return json_dataguide_agg(DOCS)
+
+
+def db_with_po():
+    db = Database()
+    po = db.create_table("PO", [Column("DID", NUMBER), Column("JCOL", CLOB)])
+    for i, doc in enumerate(DOCS):
+        po.insert({"DID": i + 1, "JCOL": dumps(doc)})
+    return db, po
+
+
+class TestBuildJsonTable:
+    def test_full_document_view(self):
+        jt = build_json_table(guide())
+        names = set(jt.column_names)
+        assert {"JCOL$id", "JCOL$podate", "JCOL$foreign_id", "JCOL$name",
+                "JCOL$price", "JCOL$quantity", "JCOL$partName",
+                "JCOL$partQuantity"} <= names
+
+    def test_rows_expand_master_detail(self):
+        jt = build_json_table(guide())
+        rows = jt.rows(DOCS[0])
+        assert len(rows) == 2  # two items
+        assert all(r["JCOL$id"] == 1 for r in rows)
+        assert [r["JCOL$name"] for r in rows] == ["phone", "ipad"]
+        # no parts: left outer join keeps the row with NULL part columns
+        assert all(r["JCOL$partName"] is None for r in rows)
+
+    def test_nested_parts_expand(self):
+        jt = build_json_table(guide())
+        rows = jt.rows(DOCS[1])
+        assert len(rows) == 1
+        assert rows[0]["JCOL$partName"] == "remote"
+
+    def test_column_types_derived_from_guide(self):
+        jt = build_json_table(guide())
+        # numbers coerce, strings truncate to the bucketed max length
+        rows = jt.rows(DOCS[0])
+        assert isinstance(rows[0]["JCOL$price"], (int, float))
+        assert isinstance(rows[0]["JCOL$podate"], str)
+
+    def test_subtree_view_on_array_path(self):
+        """CreateViewOnPath('$.purchaseOrder.items') — detail branch only."""
+        jt = build_json_table(guide(), "$.purchaseOrder.items")
+        rows = jt.rows(DOCS[0])
+        assert len(rows) == 2
+        assert {"JCOL$name", "JCOL$price", "JCOL$quantity"} <= set(rows[0])
+        assert "JCOL$id" not in rows[0]
+
+    def test_subtree_view_on_object_path(self):
+        jt = build_json_table(guide(), "$.purchaseOrder")
+        rows = jt.rows(DOCS[0])
+        assert len(rows) == 2  # still un-nests items below the subtree
+        assert rows[0]["JCOL$id"] == 1
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(DataGuideError):
+            build_json_table(guide(), "$.nope")
+
+    def test_frequency_threshold_drops_sparse_fields(self):
+        # foreign_id appears in 1 of 2 docs = 50%
+        jt = build_json_table(guide(), frequency_threshold=60)
+        assert "JCOL$foreign_id" not in jt.column_names
+        assert "JCOL$id" in jt.column_names
+
+    def test_annotations_respected(self):
+        annotated = guide().annotate(
+            renames={"$.purchaseOrder.id": "ORDER_ID"},
+            exclude=["$.purchaseOrder.podate"])
+        jt = build_json_table(annotated)
+        assert "ORDER_ID" in jt.column_names
+        assert "JCOL$podate" not in jt.column_names
+
+    def test_array_of_scalars_gets_value_column(self):
+        g = json_dataguide_agg([{"tags": ["a", "b"], "id": 1}])
+        jt = build_json_table(g)
+        rows = jt.rows({"tags": ["a", "b"], "id": 7})
+        assert len(rows) == 2
+        tag_col = [c for c in jt.column_names if "tags" in c][0]
+        assert [r[tag_col] for r in rows] == ["a", "b"]
+
+    def test_name_collisions_disambiguated(self):
+        g = json_dataguide_agg([{"a": {"id": 1}, "b": {"id": 2}}])
+        jt = build_json_table(g)
+        id_columns = [c for c in jt.column_names if "id" in c]
+        assert len(id_columns) == 2
+        assert len(set(id_columns)) == 2
+
+
+class TestCreateViewOnPath:
+    def test_registers_view(self):
+        db, po = db_with_po()
+        view = create_view_on_path(db, po, "JCOL", guide(),
+                                   view_name="PO_RV",
+                                   include_columns=["DID"])
+        rows = db.query("PO_RV").rows()
+        assert len(rows) == 3  # 2 items + 1 item
+        assert {r["DID"] for r in rows} == {1, 2}
+
+    def test_default_view_name(self):
+        db, po = db_with_po()
+        view = create_view_on_path(db, po, "JCOL", guide())
+        assert view.name == "PO_RV"
+
+    def test_unknown_column_rejected(self):
+        db, po = db_with_po()
+        with pytest.raises(DataGuideError):
+            create_view_on_path(db, po, "NOPE", guide())
+
+    def test_view_is_dynamic_over_new_rows(self):
+        """The view recomputes from base documents on every scan."""
+        db, po = db_with_po()
+        create_view_on_path(db, po, "JCOL", guide(), view_name="V")
+        assert len(db.query("V").rows()) == 3
+        po.insert({"DID": 3, "JCOL": dumps(DOCS[0])})
+        assert len(db.query("V").rows()) == 5

@@ -1,0 +1,98 @@
+"""Tests for AddVC: JSON_VALUE virtual columns (section 3.3.1)."""
+
+import pytest
+
+from repro.core.dataguide import add_vc, json_dataguide_agg
+from repro.engine import Column, Database, NUMBER, CLOB, expr
+from repro.errors import DataGuideError
+from repro.jsontext import dumps
+
+DOCS = [
+    {"purchaseOrder": {"id": 1, "podate": "2014-09-08",
+                       "items": [{"name": "phone", "price": 100}]}},
+    {"purchaseOrder": {"id": 2, "podate": "2015-03-04", "foreign_id": "F1",
+                       "items": [{"name": "ipad", "price": 350.86}]}},
+]
+
+
+def setup():
+    db = Database()
+    po = db.create_table("PO", [Column("DID", NUMBER), Column("JCOL", CLOB)])
+    for i, doc in enumerate(DOCS):
+        po.insert({"DID": i + 1, "JCOL": dumps(doc)})
+    guide = json_dataguide_agg(DOCS)
+    return db, po, guide
+
+
+class TestAddVc:
+    def test_paper_table_7_columns(self):
+        _db, po, guide = setup()
+        added = add_vc(po, "JCOL", guide)
+        names = {c.name for c in added}
+        assert names == {"JCOL$id", "JCOL$podate", "JCOL$foreign_id"}
+        assert all(c.is_virtual for c in added)
+
+    def test_array_fields_excluded(self):
+        """Only singleton scalars (one-to-one with documents) qualify."""
+        _db, po, guide = setup()
+        added = add_vc(po, "JCOL", guide)
+        assert not any("name" in c.name or "price" in c.name for c in added)
+
+    def test_vc_values_computed_on_scan(self):
+        db, po, guide = setup()
+        add_vc(po, "JCOL", guide)
+        rows = db.query("PO").select("DID", "JCOL$id", "JCOL$foreign_id").rows()
+        assert rows == [
+            {"DID": 1, "JCOL$id": 1, "JCOL$foreign_id": None},
+            {"DID": 2, "JCOL$id": 2, "JCOL$foreign_id": "F1"},
+        ]
+
+    def test_vc_usable_in_predicates(self):
+        db, po, guide = setup()
+        add_vc(po, "JCOL", guide)
+        rows = (db.query("PO")
+                .where(expr.Col("JCOL$id") == 2)
+                .select("DID").rows())
+        assert rows == [{"DID": 2}]
+
+    def test_returning_types_match_guide(self):
+        _db, po, guide = setup()
+        added = {c.name: c for c in add_vc(po, "JCOL", guide)}
+        assert added["JCOL$id"].sql_type.name == "NUMBER"
+        assert added["JCOL$podate"].sql_type.name.startswith("VARCHAR2")
+
+    def test_frequency_threshold(self):
+        _db, po, guide = setup()
+        added = add_vc(po, "JCOL", guide, frequency_threshold=75)
+        names = {c.name for c in added}
+        assert "JCOL$foreign_id" not in names  # present in 50% of docs
+        assert "JCOL$id" in names
+
+    def test_renames_and_exclusions(self):
+        _db, po, guide = setup()
+        annotated = guide.annotate(
+            renames={"$.purchaseOrder.id": "ORDER_ID"},
+            exclude=["$.purchaseOrder.podate"])
+        added = add_vc(po, "JCOL", annotated)
+        names = {c.name for c in added}
+        assert "ORDER_ID" in names
+        assert not any("podate" in n for n in names)
+
+    def test_collision_resolution(self):
+        db = Database()
+        t = db.create_table("T", [Column("J", CLOB)])
+        t.insert({"J": dumps({"a": {"v": 1}, "b": {"v": 2}})})
+        guide = json_dataguide_agg([{"a": {"v": 1}, "b": {"v": 2}}])
+        added = add_vc(t, "J", guide)
+        names = [c.name for c in added]
+        assert len(names) == len(set(names)) == 2
+
+    def test_custom_prefix(self):
+        _db, po, guide = setup()
+        added = add_vc(po, "JCOL", guide, column_prefix="D")
+        assert any(c.name == "D$id" for c in added)
+
+    def test_unknown_column_rejected(self):
+        _db, po, guide = setup()
+        with pytest.raises(DataGuideError):
+            add_vc(po, "NOPE", guide)

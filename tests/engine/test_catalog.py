@@ -1,0 +1,108 @@
+"""Tests for the database catalog."""
+
+import pytest
+
+from repro.engine import Column, Database, NUMBER, CLOB, VARCHAR2, expr
+from repro.engine.constraints import IsJsonConstraint
+from repro.engine.query import Query
+from repro.engine.view import QueryView
+from repro.errors import CatalogError
+
+
+def db_with_table():
+    db = Database("testdb")
+    table = db.create_table("t", [Column("id", NUMBER),
+                                  Column("name", VARCHAR2(10))])
+    return db, table
+
+
+class TestTables:
+    def test_create_and_lookup(self):
+        db, table = db_with_table()
+        assert db.table("t") is table
+        assert db.tables() == ["t"]
+
+    def test_duplicate_rejected(self):
+        db, _ = db_with_table()
+        with pytest.raises(CatalogError):
+            db.create_table("t", [Column("x", NUMBER)])
+
+    def test_missing_table(self):
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.table("nope")
+
+    def test_drop(self):
+        db, _ = db_with_table()
+        db.drop_table("t")
+        assert db.tables() == []
+        with pytest.raises(CatalogError):
+            db.drop_table("t")
+
+
+class TestViews:
+    def test_register_and_query(self):
+        db, table = db_with_table()
+        table.insert({"id": 1, "name": "a"})
+        view = QueryView("v", Query(table).select("id"))
+        db.register_view(view)
+        assert db.views() == ["v"]
+        assert db.query("v").rows() == [{"id": 1}]
+
+    def test_view_name_collision_with_table(self):
+        db, table = db_with_table()
+        with pytest.raises(CatalogError):
+            db.register_view(QueryView("t", Query(table)))
+
+    def test_drop_view(self):
+        db, table = db_with_table()
+        db.register_view(QueryView("v", Query(table)))
+        db.drop_view("v")
+        with pytest.raises(CatalogError):
+            db.view("v")
+
+
+class TestIndexes:
+    def json_db(self):
+        db = Database()
+        table = db.create_table("docs", [Column("jdoc", CLOB)])
+        table.add_constraint(IsJsonConstraint("jdoc"))
+        return db, table
+
+    def test_create_search_index(self):
+        db, table = self.json_db()
+        index = db.create_json_search_index("idx", "docs", "jdoc")
+        assert db.index("idx") is index
+        assert db.indexes() == ["idx"]
+
+    def test_duplicate_index_rejected(self):
+        db, _ = self.json_db()
+        db.create_json_search_index("idx", "docs", "jdoc")
+        with pytest.raises(CatalogError):
+            db.create_json_search_index("idx", "docs", "jdoc")
+
+    def test_drop_index(self):
+        db, _ = self.json_db()
+        db.create_json_search_index("idx", "docs", "jdoc")
+        db.drop_index("idx")
+        with pytest.raises(CatalogError):
+            db.index("idx")
+
+    def test_drop_table_drops_dependent_index(self):
+        db, _ = self.json_db()
+        db.create_json_search_index("idx", "docs", "jdoc")
+        db.drop_table("docs")
+        with pytest.raises(CatalogError):
+            db.index("idx")
+
+
+class TestQueryFacade:
+    def test_query_unknown_source(self):
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.query("nope")
+
+    def test_scan(self):
+        db, table = db_with_table()
+        table.insert({"id": 1, "name": "a"})
+        assert list(db.scan("t")) == [{"id": 1, "name": "a"}]

@@ -1,0 +1,207 @@
+"""Tests for scalar/predicate/aggregate/window expressions."""
+
+import pytest
+
+from repro.engine import expr
+from repro.engine.expressions import (
+    And,
+    Col,
+    Comparison,
+    Like,
+    Literal,
+    Not,
+    Or,
+)
+from repro.errors import QueryError
+
+ROW = {"a": 5, "b": "text", "c": None, "d": 2.5, "reference": "BULL-2014"}
+
+
+class TestScalars:
+    def test_col_and_literal(self):
+        assert Col("a").evaluate(ROW) == 5
+        assert Literal(7).evaluate(ROW) == 7
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(QueryError):
+            Col("zzz").evaluate(ROW)
+
+    def test_arithmetic(self):
+        assert (Col("a") + 1).evaluate(ROW) == 6
+        assert (Col("a") - 2).evaluate(ROW) == 3
+        assert (Col("a") * Col("d")).evaluate(ROW) == 12.5
+        assert (Col("a") / 2).evaluate(ROW) == 2.5
+
+    def test_arithmetic_null_propagates(self):
+        assert (Col("c") + 1).evaluate(ROW) is None
+        assert (Col("a") * Col("c")).evaluate(ROW) is None
+
+    def test_alias(self):
+        aliased = (Col("a") + 1).as_("a1")
+        assert aliased.alias == "a1"
+        assert aliased.evaluate(ROW) == 6
+
+
+class TestPredicates:
+    def test_comparisons(self):
+        assert (Col("a") == 5).evaluate(ROW) is True
+        assert (Col("a") != 5).evaluate(ROW) is False
+        assert (Col("a") < 6).evaluate(ROW) is True
+        assert (Col("a") >= 5).evaluate(ROW) is True
+
+    def test_null_comparison_unknown(self):
+        assert (Col("c") == 5).evaluate(ROW) is None
+        assert (Col("c") != 5).evaluate(ROW) is None
+
+    def test_cross_type_comparison_unknown(self):
+        assert (Col("a") < "text").evaluate(ROW) is None
+
+    def test_three_valued_and(self):
+        true = Literal(1) == 1
+        false = Literal(1) == 2
+        null = Col("c") == 1
+        assert And(true, true).evaluate(ROW) is True
+        assert And(true, false).evaluate(ROW) is False
+        assert And(true, null).evaluate(ROW) is None
+        assert And(false, null).evaluate(ROW) is False  # short-circuit
+
+    def test_three_valued_or(self):
+        true = Literal(1) == 1
+        false = Literal(1) == 2
+        null = Col("c") == 1
+        assert Or(false, true).evaluate(ROW) is True
+        assert Or(false, false).evaluate(ROW) is False
+        assert Or(false, null).evaluate(ROW) is None
+        assert Or(true, null).evaluate(ROW) is True
+
+    def test_not(self):
+        assert Not(Literal(1) == 1).evaluate(ROW) is False
+        assert Not(Col("c") == 1).evaluate(ROW) is None
+
+    def test_in_list(self):
+        assert Col("a").in_([1, 5, 9]).evaluate(ROW) is True
+        assert Col("a").in_([1, 2]).evaluate(ROW) is False
+        assert Col("c").in_([1]).evaluate(ROW) is None
+
+    def test_like(self):
+        assert Col("b").like("te%").evaluate(ROW) is True
+        assert Col("b").like("%xt").evaluate(ROW) is True
+        assert Col("b").like("t_xt").evaluate(ROW) is True
+        assert Col("b").like("z%").evaluate(ROW) is False
+        assert Col("c").like("%").evaluate(ROW) is None
+
+    def test_is_null(self):
+        assert Col("c").is_null().evaluate(ROW) is True
+        assert Col("a").is_null().evaluate(ROW) is False
+        assert Col("a").is_not_null().evaluate(ROW) is True
+
+
+class TestFunctions:
+    def test_substr(self):
+        assert expr.SUBSTR(Col("b"), 2).evaluate(ROW) == "ext"
+        assert expr.SUBSTR(Col("b"), 1, 2).evaluate(ROW) == "te"
+        assert expr.SUBSTR(Col("b"), -2).evaluate(ROW) == "xt"
+
+    def test_instr(self):
+        assert expr.INSTR(Col("reference"), "-").evaluate(ROW) == 5
+        assert expr.INSTR(Col("reference"), "zz").evaluate(ROW) == 0
+
+    def test_substr_after_instr(self):
+        # the Q6 idiom: order-sequence extraction from the reference
+        seq = expr.SUBSTR(Col("reference"),
+                          expr.INSTR(Col("reference"), "-") + 1)
+        assert seq.evaluate(ROW) == "2014"
+
+    def test_upper_lower_length(self):
+        assert expr.UPPER(Col("b")).evaluate(ROW) == "TEXT"
+        assert expr.LOWER(Literal("ABC")).evaluate(ROW) == "abc"
+        assert expr.LENGTH(Col("b")).evaluate(ROW) == 4
+
+    def test_nvl(self):
+        assert expr.NVL(Col("c"), 0).evaluate(ROW) == 0
+        assert expr.NVL(Col("a"), 0).evaluate(ROW) == 5
+
+    def test_functions_null_propagate(self):
+        assert expr.SUBSTR(Col("c"), 1).evaluate(ROW) is None
+        assert expr.UPPER(Col("c")).evaluate(ROW) is None
+
+
+class TestJsonExpressions:
+    ROW = {"jdoc": '{"a": {"b": 7}}'}
+
+    def test_json_value_expr(self):
+        e = expr.JsonValueExpr("jdoc", "$.a.b", returning="number")
+        assert e.evaluate(self.ROW) == 7
+        assert e.evaluate({"jdoc": None}) is None
+
+    def test_json_exists_expr(self):
+        assert expr.JsonExistsExpr("jdoc", "$.a.b").evaluate(self.ROW) is True
+        assert expr.JsonExistsExpr("jdoc", "$.a.c").evaluate(self.ROW) is False
+        assert expr.JsonExistsExpr("jdoc", "$.a").evaluate({"jdoc": None}) is False
+
+    def test_sql_rendering(self):
+        e = expr.JsonValueExpr("jdoc", "$.a.b", returning="number")
+        assert "JSON_VALUE" in e.sql()
+
+
+class TestAggregates:
+    ROWS = [{"v": 1, "g": "a"}, {"v": None, "g": "a"}, {"v": 3, "g": "b"},
+            {"v": 5, "g": "b"}]
+
+    def run(self, agg):
+        state = agg.create()
+        for row in self.ROWS:
+            state.step(row)
+        return state.final()
+
+    def test_count_star_counts_all(self):
+        assert self.run(expr.COUNT()) == 4
+
+    def test_count_expr_skips_nulls(self):
+        assert self.run(expr.COUNT(Col("v"))) == 3
+
+    def test_sum_skips_nulls(self):
+        assert self.run(expr.SUM(Col("v"))) == 9
+
+    def test_sum_all_null_is_null(self):
+        state = expr.SUM(Col("v")).create()
+        state.step({"v": None})
+        assert state.final() is None
+
+    def test_avg(self):
+        assert self.run(expr.AVG(Col("v"))) == 3
+
+    def test_min_max(self):
+        assert self.run(expr.MIN(Col("v"))) == 1
+        assert self.run(expr.MAX(Col("v"))) == 5
+
+    def test_empty_aggregates(self):
+        for agg, expected in [(expr.COUNT(), 0), (expr.SUM(Col("v")), None),
+                              (expr.MIN(Col("v")), None),
+                              (expr.AVG(Col("v")), None)]:
+            assert agg.create().final() == expected
+
+    def test_sum_requires_operand(self):
+        with pytest.raises(QueryError):
+            expr.SumAgg(None).create()
+
+
+class TestWindow:
+    def test_lag(self):
+        rows = [{"q": 10}, {"q": 20}, {"q": 30}]
+        lag = expr.LAG(Col("q"))
+        assert lag.compute(rows, 0) is None
+        assert lag.compute(rows, 1) == 10
+        assert lag.compute(rows, 2) == 20
+
+    def test_lag_with_default(self):
+        rows = [{"q": 10}, {"q": 20}]
+        lag = expr.LAG(Col("q"), 1, Col("q"))
+        assert lag.compute(rows, 0) == 10  # default evaluated on current row
+        assert lag.compute(rows, 1) == 10
+
+    def test_lag_offset(self):
+        rows = [{"q": i} for i in range(5)]
+        lag = expr.LAG(Col("q"), 3)
+        assert lag.compute(rows, 4) == 1
+        assert lag.compute(rows, 2) is None

@@ -1,0 +1,115 @@
+"""Tests for JSON_EXISTS predicate pushdown onto JSON_TABLE views."""
+
+import pytest
+
+from repro.core.oson import encode as oson_encode
+from repro.engine import Column, Database, NUMBER, Query, expr
+from repro.engine.types import BLOB
+from repro.engine.view import JsonTableView, render_pushdown_path
+from repro.sqljson.json_table import ColumnDef, JsonTable, NestedPath
+
+DOCS = [
+    {"po": {"ref": "A-1", "items": [{"part": "p1", "qty": 1},
+                                    {"part": "p2", "qty": 5}]}},
+    {"po": {"ref": "B-2", "items": [{"part": "p3", "qty": 2}]}},
+    {"po": {"ref": "C-3", "items": []}},
+]
+
+
+def setup_view():
+    db = Database()
+    table = db.create_table("t", [Column("id", NUMBER),
+                                  Column("jdoc", BLOB)])
+    for i, doc in enumerate(DOCS):
+        table.insert({"id": i, "jdoc": oson_encode(doc)})
+    jt = JsonTable("$", [
+        ColumnDef("ref", "varchar2(8)", "$.po.ref"),
+        NestedPath("$.po.items[*]", [
+            ColumnDef("part", "varchar2(8)", "$.part"),
+            ColumnDef("qty", "number", "$.qty"),
+        ]),
+    ])
+    view = JsonTableView("v", table, "jdoc", jt)
+    db.register_view(view)
+    return db, view
+
+
+class TestRenderPushdownPath:
+    def test_string_literal(self):
+        assert render_pushdown_path("$.a.b", "=", ["x"]) == '$.a.b?(@ == "x")'
+
+    def test_string_escaping(self):
+        rendered = render_pushdown_path("$.a", "=", ['he said "hi"'])
+        assert rendered == '$.a?(@ == "he said \\"hi\\"")'
+
+    def test_number_and_bool(self):
+        assert render_pushdown_path("$.a", ">", [5]) == "$.a?(@ > 5)"
+        assert render_pushdown_path("$.a", "=", [True]) == "$.a?(@ == true)"
+
+    def test_in_list_becomes_or(self):
+        assert render_pushdown_path("$.a", "=", ["x", "y"]) == \
+            '$.a?(@ == "x" || @ == "y")'
+
+    def test_unsupported_returns_none(self):
+        assert render_pushdown_path("$.a", "LIKE", ["x"]) is None
+        assert render_pushdown_path("$.a", "=", [None]) is None
+        assert render_pushdown_path("$.a", "=", []) is None
+        assert render_pushdown_path("$.a", "=", [object()]) is None
+
+
+class TestPushdownCorrectness:
+    def test_equality_pushdown_matches_plain_filter(self):
+        _db, view = setup_view()
+        pushed = Query(view).where(expr.Col("part") == "p3").rows()
+        plain = [r for r in view.scan() if r["part"] == "p3"]
+        assert pushed == plain
+        assert len(pushed) == 1
+
+    def test_range_pushdown(self):
+        _db, view = setup_view()
+        rows = Query(view).where(expr.Col("qty") > 1).rows()
+        assert sorted(r["part"] for r in rows) == ["p2", "p3"]
+
+    def test_in_list_pushdown(self):
+        _db, view = setup_view()
+        rows = Query(view).where(expr.Col("part").in_(["p1", "p3"])).rows()
+        assert sorted(r["part"] for r in rows) == ["p1", "p3"]
+
+    def test_conjunction_pushdown(self):
+        _db, view = setup_view()
+        rows = Query(view).where(expr.And(
+            expr.Col("part") == "p2",
+            expr.Col("qty") > 1)).rows()
+        assert len(rows) == 1 and rows[0]["ref"] == "A-1"
+
+    def test_residual_filter_still_applies(self):
+        """Document-level pushdown is a superset: a doc matching on one
+        row must not leak its non-matching rows."""
+        _db, view = setup_view()
+        rows = Query(view).where(expr.Col("part") == "p1").rows()
+        assert len(rows) == 1  # not the p2 row of the same document
+        assert rows[0]["part"] == "p1"
+
+    def test_non_pushable_predicate_falls_back(self):
+        _db, view = setup_view()
+        rows = Query(view).where(expr.Col("part").like("p%")).rows()
+        assert len(rows) == 3
+
+    def test_disjunction_not_pushed_but_correct(self):
+        _db, view = setup_view()
+        rows = Query(view).where(expr.Or(
+            expr.Col("part") == "p1",
+            expr.Col("part") == "p3")).rows()
+        assert sorted(r["part"] for r in rows) == ["p1", "p3"]
+
+    def test_unknown_column_not_pushed(self):
+        _db, view = setup_view()
+        # 'id' comes from include_columns, not the JSON_TABLE: no path
+        assert view.pushdown_path("id", "=", [1]) is None
+
+    def test_pushdown_source_detection(self):
+        _db, view = setup_view()
+        q = Query(view).where(expr.Col("part") == "p1")
+        assert q._pushdown_source() is not None
+        q2 = Query(view).select("ref")
+        assert q2._pushdown_source() is None

@@ -1,0 +1,217 @@
+"""Tests for the query builder and executor pipeline."""
+
+import pytest
+
+from repro.engine import Column, Database, NUMBER, Query, Table, VARCHAR2, expr
+from repro.errors import QueryError
+
+ROWS = [
+    {"id": 1, "dept": "eng", "salary": 100, "name": "ann"},
+    {"id": 2, "dept": "eng", "salary": 120, "name": "bob"},
+    {"id": 3, "dept": "ops", "salary": 90, "name": "cat"},
+    {"id": 4, "dept": "ops", "salary": None, "name": "dan"},
+    {"id": 5, "dept": "hr", "salary": 80, "name": "eve"},
+]
+
+
+def table():
+    t = Table("emp", [Column("id", NUMBER), Column("dept", VARCHAR2(8)),
+                      Column("salary", NUMBER), Column("name", VARCHAR2(8))])
+    t.insert_many(ROWS)
+    return t
+
+
+class TestBasics:
+    def test_scan_all(self):
+        assert Query(table()).rows() == ROWS
+
+    def test_where(self):
+        rows = Query(table()).where(expr.Col("dept") == "eng").rows()
+        assert [r["id"] for r in rows] == [1, 2]
+
+    def test_where_null_dropped(self):
+        rows = Query(table()).where(expr.Col("salary") > 0).rows()
+        assert all(r["salary"] is not None for r in rows)
+
+    def test_select_projection(self):
+        rows = Query(table()).select("id", "name").rows()
+        assert rows[0] == {"id": 1, "name": "ann"}
+
+    def test_select_expression_alias(self):
+        rows = (Query(table())
+                .select("id", (expr.Col("salary") * 2).as_("double_pay"))
+                .rows())
+        assert rows[0]["double_pay"] == 200
+
+    def test_list_source(self):
+        assert Query(ROWS).count() == 5
+
+    def test_callable_source(self):
+        assert Query(lambda: iter(ROWS)).count() == 5
+
+    def test_subquery_source(self):
+        inner = Query(table()).where(expr.Col("dept") == "eng")
+        assert Query(inner).count() == 2
+
+    def test_bad_source(self):
+        with pytest.raises(QueryError):
+            Query(42).rows()
+
+    def test_builder_is_immutable(self):
+        base = Query(table())
+        filtered = base.where(expr.Col("dept") == "hr")
+        assert base.count() == 5
+        assert filtered.count() == 1
+
+
+class TestAggregation:
+    def test_group_by(self):
+        rows = (Query(table())
+                .group_by(["dept"], n=expr.COUNT(),
+                          total=expr.SUM(expr.Col("salary")))
+                .order_by("dept")
+                .rows())
+        assert rows == [
+            {"dept": "eng", "n": 2, "total": 220},
+            {"dept": "hr", "n": 1, "total": 80},
+            {"dept": "ops", "n": 2, "total": 90},
+        ]
+
+    def test_global_aggregate(self):
+        assert Query(table()).group_by([], n=expr.COUNT()).scalar() == 5
+
+    def test_global_aggregate_empty_input(self):
+        empty = Table("e", [Column("x", NUMBER)])
+        assert Query(empty).group_by([], n=expr.COUNT()).scalar() == 0
+
+    def test_group_by_expression_key(self):
+        rows = (Query(table())
+                .group_by([expr.SUBSTR(expr.Col("dept"), 1, 1).as_("letter")],
+                          n=expr.COUNT())
+                .order_by("letter")
+                .rows())
+        assert rows == [{"letter": "e", "n": 2}, {"letter": "h", "n": 1},
+                        {"letter": "o", "n": 2}]
+
+    def test_having(self):
+        rows = (Query(table())
+                .group_by(["dept"], n=expr.COUNT())
+                .having(expr.Col("n") > 1)
+                .order_by("dept").rows())
+        assert [r["dept"] for r in rows] == ["eng", "ops"]
+
+    def test_non_aggregate_kwarg_rejected(self):
+        with pytest.raises(QueryError):
+            Query(table()).group_by(["dept"], x=expr.Col("id"))
+
+    def test_scalar_shape_enforced(self):
+        with pytest.raises(QueryError):
+            Query(table()).scalar()
+
+
+class TestJoin:
+    def depts(self):
+        return [{"dept": "eng", "floor": 3}, {"dept": "ops", "floor": 1}]
+
+    def test_inner_join(self):
+        rows = (Query(table())
+                .join(self.depts(), "dept", "dept")
+                .order_by("id").rows())
+        assert len(rows) == 4  # hr has no match
+        assert rows[0]["floor"] == 3
+
+    def test_left_join(self):
+        rows = (Query(table())
+                .join(self.depts(), "dept", "dept", how="left")
+                .order_by("id").rows())
+        assert len(rows) == 5
+        hr = [r for r in rows if r["dept"] == "hr"][0]
+        assert hr["floor"] is None
+
+    def test_join_multiplies_matches(self):
+        multi = [{"dept": "eng", "tag": "a"}, {"dept": "eng", "tag": "b"}]
+        rows = Query(table()).join(multi, "dept", "dept").rows()
+        assert len(rows) == 4  # 2 eng employees x 2 tags
+
+    def test_null_keys_never_join(self):
+        left = [{"k": None, "v": 1}]
+        right = [{"k": None, "w": 2}]
+        assert Query(left).join(right, "k", "k").rows() == []
+        assert Query(left).join(right, "k", "k", how="left").rows() == [
+            {"k": None, "v": 1, "w": None}]
+
+    def test_bad_join_type(self):
+        with pytest.raises(QueryError):
+            Query(table()).join(self.depts(), "dept", "dept", how="cross").rows()
+
+
+class TestOrderLimitDistinct:
+    def test_order_by(self):
+        rows = Query(table()).order_by("salary").rows()
+        salaries = [r["salary"] for r in rows]
+        assert salaries == [80, 90, 100, 120, None]  # NULLS LAST
+
+    def test_order_by_desc(self):
+        rows = Query(table()).order_by("salary", desc=True).rows()
+        assert [r["salary"] for r in rows] == [None, 120, 100, 90, 80]
+
+    def test_multi_key_order(self):
+        rows = Query(table()).order_by("dept", "salary",
+                                       desc=[False, True]).rows()
+        # DESC is NULLS FIRST (Oracle default): dan's NULL salary leads ops
+        assert [r["id"] for r in rows] == [2, 1, 5, 4, 3]
+
+    def test_order_by_expression(self):
+        rows = Query(table()).order_by(expr.LENGTH(expr.Col("name"))).rows()
+        assert len(rows) == 5
+
+    def test_mismatched_desc_flags(self):
+        with pytest.raises(QueryError):
+            Query(table()).order_by("a", "b", desc=[True])
+
+    def test_limit(self):
+        assert Query(table()).limit(2).count() == 2
+        assert Query(table()).limit(0).count() == 0
+
+    def test_distinct(self):
+        rows = Query(table()).select("dept").distinct().rows()
+        assert sorted(r["dept"] for r in rows) == ["eng", "hr", "ops"]
+
+    def test_union_all(self):
+        q = Query(table()).select("id").union_all(
+            Query(table()).select("id"))
+        assert q.count() == 10
+
+
+class TestWindow:
+    def test_lag_over_order(self):
+        rows = (Query(table())
+                .where(expr.Col("salary").is_not_null())
+                .window("prev", expr.LAG(expr.Col("salary")),
+                        order_by="salary")
+                .rows())
+        assert [r["prev"] for r in rows] == [None, 80, 90, 100]
+
+    def test_lag_difference(self):
+        rows = (Query(table())
+                .where(expr.Col("salary").is_not_null())
+                .window("prev", expr.LAG(expr.Col("salary"), 1,
+                                         expr.Col("salary")),
+                        order_by="salary")
+                .select("salary",
+                        (expr.Col("salary") - expr.Col("prev")).as_("diff"))
+                .rows())
+        assert [r["diff"] for r in rows] == [0, 10, 10, 20]
+
+
+class TestExplain:
+    def test_explain_lists_operators(self):
+        plan = (Query(table())
+                .where(expr.Col("dept") == "eng")
+                .group_by(["dept"], n=expr.COUNT())
+                .order_by("n", desc=True)
+                .limit(1)
+                .explain())
+        for keyword in ("SCAN emp", "FILTER", "HASH GROUP BY", "SORT",
+                        "LIMIT"):
+            assert keyword in plan

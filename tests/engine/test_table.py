@@ -1,0 +1,212 @@
+"""Tests for heap tables: DML, constraints, virtual columns, listeners."""
+
+import pytest
+
+from repro.engine import Column, NUMBER, Table, VARCHAR2, expr
+from repro.engine.constraints import CheckConstraint, NotNullConstraint
+from repro.errors import (
+    CatalogError,
+    ConstraintViolation,
+    EngineError,
+    TypeCoercionError,
+)
+
+
+def people():
+    return Table("people", [
+        Column("id", NUMBER, nullable=False),
+        Column("name", VARCHAR2(20)),
+        Column("age", NUMBER),
+    ])
+
+
+class TestSchema:
+    def test_columns(self):
+        t = people()
+        assert t.column_names == ["id", "name", "age"]
+        assert t.column("id").sql_type == NUMBER
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError):
+            people().column("zzz")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", [Column("a", NUMBER), Column("a", NUMBER)])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", [])
+
+    def test_add_column(self):
+        t = people()
+        t.add_column(Column("email", VARCHAR2(50)))
+        assert t.has_column("email")
+
+    def test_add_duplicate_column_rejected(self):
+        t = people()
+        with pytest.raises(CatalogError):
+            t.add_column(Column("name", VARCHAR2(5)))
+
+    def test_add_not_null_to_populated_table_rejected(self):
+        t = people()
+        t.insert({"id": 1})
+        with pytest.raises(EngineError):
+            t.add_column(Column("x", NUMBER, nullable=False))
+
+
+class TestInsert:
+    def test_basic(self):
+        t = people()
+        t.insert({"id": 1, "name": "ann", "age": 30})
+        assert len(t) == 1
+        assert list(t.scan()) == [{"id": 1, "name": "ann", "age": 30}]
+
+    def test_missing_columns_default_null(self):
+        t = people()
+        t.insert({"id": 1})
+        assert list(t.scan())[0]["name"] is None
+
+    def test_not_null_enforced(self):
+        t = people()
+        with pytest.raises(EngineError):
+            t.insert({"name": "no id"})
+
+    def test_type_coercion_on_insert(self):
+        t = people()
+        t.insert({"id": "5", "age": "30"})
+        row = list(t.scan())[0]
+        assert row["id"] == 5 and row["age"] == 30
+
+    def test_bad_type_rejected(self):
+        t = people()
+        with pytest.raises(TypeCoercionError):
+            t.insert({"id": 1, "age": "not-a-number"})
+
+    def test_unknown_column_rejected(self):
+        t = people()
+        with pytest.raises(CatalogError):
+            t.insert({"id": 1, "nope": 1})
+
+    def test_insert_many(self):
+        t = people()
+        assert t.insert_many([{"id": i} for i in range(5)]) == 5
+        assert len(t) == 5
+
+    def test_check_constraint(self):
+        t = people()
+        t.add_constraint(CheckConstraint(
+            "age_positive", lambda row: row["age"] is None or row["age"] >= 0))
+        t.insert({"id": 1, "age": 5})
+        with pytest.raises(ConstraintViolation):
+            t.insert({"id": 2, "age": -1})
+
+    def test_not_null_constraint_object(self):
+        t = people()
+        t.add_constraint(NotNullConstraint("name"))
+        with pytest.raises(ConstraintViolation):
+            t.insert({"id": 1})
+
+
+class TestDeleteUpdate:
+    def test_delete(self):
+        t = people()
+        t.insert_many([{"id": i} for i in range(5)])
+        removed = t.delete(lambda row: row["id"] % 2 == 0)
+        assert removed == 3
+        assert [r["id"] for r in t.scan()] == [1, 3]
+
+    def test_update(self):
+        t = people()
+        t.insert_many([{"id": 1, "age": 10}, {"id": 2, "age": 20}])
+        changed = t.update(lambda row: row["id"] == 2, {"age": 25})
+        assert changed == 1
+        assert [r["age"] for r in t.scan()] == [10, 25]
+
+    def test_update_coerces(self):
+        t = people()
+        t.insert({"id": 1})
+        t.update(lambda r: True, {"age": "44"})
+        assert list(t.scan())[0]["age"] == 44
+
+
+class TestVirtualColumns:
+    def test_computed_on_scan(self):
+        t = people()
+        t.add_column(Column("age2", NUMBER,
+                            expression=expr.Col("age") * 2))
+        t.insert({"id": 1, "age": 21})
+        assert list(t.scan())[0]["age2"] == 42
+
+    def test_cannot_insert_into_virtual(self):
+        t = people()
+        t.add_column(Column("v", NUMBER, expression=expr.Literal(1)))
+        with pytest.raises(EngineError):
+            t.insert({"id": 1, "v": 9})
+
+    def test_cannot_update_virtual(self):
+        t = people()
+        t.add_column(Column("v", NUMBER, expression=expr.Literal(1)))
+        t.insert({"id": 1})
+        with pytest.raises(EngineError):
+            t.update(lambda r: True, {"v": 2})
+
+    def test_virtual_not_stored(self):
+        t = people()
+        t.add_column(Column("v", NUMBER, expression=expr.Literal(1)))
+        t.insert({"id": 1})
+        assert "v" not in t.raw_rows()[0]
+
+    def test_virtual_excluded_from_storage_bytes(self):
+        t = people()
+        before_schema = Table("p2", [Column("id", NUMBER)])
+        t.add_column(Column("v", VARCHAR2(100),
+                            expression=expr.Literal("x" * 100)))
+        t.insert({"id": 1})
+        before_schema.insert({"id": 1})
+        # virtual column contributes nothing beyond the shared columns
+        assert t.storage_bytes() < before_schema.storage_bytes() + 50
+
+
+class TestListeners:
+    def test_insert_listener_fires(self):
+        t = people()
+        seen = []
+        t.on_insert(seen.append)
+        t.insert({"id": 1})
+        assert len(seen) == 1 and seen[0]["id"] == 1
+
+    def test_delete_listener_fires(self):
+        t = people()
+        seen = []
+        t.on_delete(seen.append)
+        t.insert({"id": 1})
+        t.delete(lambda r: True)
+        assert len(seen) == 1
+
+    def test_update_fires_delete_then_insert(self):
+        t = people()
+        log = []
+        t.on_insert(lambda r: log.append(("ins", r["id"])))
+        t.on_delete(lambda r: log.append(("del", r["id"])))
+        t.insert({"id": 1})
+        t.update(lambda r: True, {"age": 9})
+        assert log == [("ins", 1), ("del", 1), ("ins", 1)]
+
+
+class TestStorageAccounting:
+    def test_bytes_grow_with_rows(self):
+        t = people()
+        empty = t.storage_bytes()
+        t.insert({"id": 1, "name": "ann"})
+        one = t.storage_bytes()
+        t.insert({"id": 2, "name": "annabelle"})
+        two = t.storage_bytes()
+        assert empty == 0 < one < two
+
+    def test_longer_values_take_more(self):
+        a = people()
+        b = people()
+        a.insert({"id": 1, "name": "x"})
+        b.insert({"id": 1, "name": "x" * 20})
+        assert a.storage_bytes() < b.storage_bytes()

@@ -1,0 +1,124 @@
+"""Tests for SQL column types and coercion."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.engine.types import (
+    BLOB,
+    BOOLEAN,
+    CLOB,
+    DATE,
+    NUMBER,
+    RAW,
+    VARCHAR2,
+    parse_type,
+)
+from repro.errors import TypeCoercionError
+
+
+class TestNumber:
+    def test_accepts_numerics(self):
+        assert NUMBER.coerce(5) == 5
+        assert NUMBER.coerce(2.5) == 2.5
+        assert NUMBER.coerce(Decimal("1.5")) == Decimal("1.5")
+        assert NUMBER.coerce(None) is None
+
+    def test_string_conversion(self):
+        assert NUMBER.coerce("42") == 42
+        assert NUMBER.coerce(" 3.5 ") == 3.5
+
+    def test_rejects_bool_and_garbage(self):
+        with pytest.raises(TypeCoercionError):
+            NUMBER.coerce(True)
+        with pytest.raises(TypeCoercionError):
+            NUMBER.coerce("abc")
+        with pytest.raises(TypeCoercionError):
+            NUMBER.coerce([1])
+
+    def test_storage_scales_with_digits(self):
+        assert NUMBER.storage_bytes(1) < NUMBER.storage_bytes(123456789012)
+        assert NUMBER.storage_bytes(None) == 1
+
+
+class TestVarchar2:
+    def test_size_enforced(self):
+        t = VARCHAR2(5)
+        assert t.coerce("abcde") == "abcde"
+        with pytest.raises(TypeCoercionError):
+            t.coerce("abcdef")
+
+    def test_size_is_bytes_not_chars(self):
+        t = VARCHAR2(5)
+        with pytest.raises(TypeCoercionError):
+            t.coerce("ééé")  # 6 UTF-8 bytes
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeCoercionError):
+            VARCHAR2(10).coerce(5)
+
+    def test_bad_size(self):
+        with pytest.raises(TypeCoercionError):
+            VARCHAR2(0)
+
+    def test_equality(self):
+        assert VARCHAR2(10) == VARCHAR2(10)
+        assert VARCHAR2(10) != VARCHAR2(20)
+
+
+class TestRawAndLobs:
+    def test_raw(self):
+        t = RAW(4)
+        assert t.coerce(b"abcd") == b"abcd"
+        assert t.coerce(bytearray(b"ab")) == b"ab"
+        with pytest.raises(TypeCoercionError):
+            t.coerce(b"abcde")
+        with pytest.raises(TypeCoercionError):
+            t.coerce("text")
+
+    def test_clob_unbounded(self):
+        assert CLOB.coerce("x" * 10**6) == "x" * 10**6
+        with pytest.raises(TypeCoercionError):
+            CLOB.coerce(b"bytes")
+
+    def test_blob_unbounded(self):
+        assert BLOB.coerce(b"y" * 10**6) == b"y" * 10**6
+        with pytest.raises(TypeCoercionError):
+            BLOB.coerce("text")
+
+
+class TestBooleanAndDate:
+    def test_boolean(self):
+        assert BOOLEAN.coerce(True) is True
+        assert BOOLEAN.coerce(None) is None
+        with pytest.raises(TypeCoercionError):
+            BOOLEAN.coerce(1)
+
+    def test_date_formats(self):
+        assert DATE.coerce("2014-09-08") == "2014-09-08"
+        assert DATE.coerce("2014-09-08 10:30") == "2014-09-08 10:30"
+        assert DATE.coerce("2014-09-08T10:30:00") == "2014-09-08T10:30:00"
+        with pytest.raises(TypeCoercionError):
+            DATE.coerce("September 8")
+        with pytest.raises(TypeCoercionError):
+            DATE.coerce(20140908)
+
+
+class TestParseType:
+    @pytest.mark.parametrize("spec,expected", [
+        ("number", NUMBER), ("NUMBER", NUMBER),
+        ("varchar2(16)", VARCHAR2(16)), ("varchar(8)", VARCHAR2(8)),
+        ("string", VARCHAR2(4000)), ("raw(100)", RAW(100)),
+        ("clob", CLOB), ("blob", BLOB), ("boolean", BOOLEAN),
+        ("date", DATE),
+    ])
+    def test_specs(self, spec, expected):
+        assert parse_type(spec) == expected
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeCoercionError):
+            parse_type("geometry")
+
+    def test_bad_syntax(self):
+        with pytest.raises(TypeCoercionError):
+            parse_type("varchar2(abc)")

@@ -1,0 +1,85 @@
+"""Tests for view classes (QueryView / JsonTableView specifics)."""
+
+from repro.core.oson import encode as oson_encode
+from repro.engine import Column, Database, NUMBER, Query, expr
+from repro.engine.types import BLOB
+from repro.engine.view import JsonTableView, QueryView
+from repro.sqljson.json_table import ColumnDef, JsonTable, NestedPath
+
+
+def base_table(db):
+    table = db.create_table("t", [Column("id", NUMBER),
+                                  Column("jdoc", BLOB)])
+    table.insert({"id": 1, "jdoc": oson_encode(
+        {"name": "a", "tags": [{"t": "x"}, {"t": "y"}]})})
+    table.insert({"id": 2, "jdoc": oson_encode({"name": "b"})})
+    table.insert({"id": 3, "jdoc": None})
+    return table
+
+
+def json_view(table, include=("id",)):
+    jt = JsonTable("$", [
+        ColumnDef("name", "varchar2(8)", "$.name"),
+        NestedPath("$.tags[*]", [ColumnDef("t", "varchar2(4)", "$.t")]),
+    ])
+    return JsonTableView("v", table, "jdoc", jt, include_columns=list(include))
+
+
+class TestQueryView:
+    def test_scan_reflects_underlying_query(self):
+        db = Database()
+        table = base_table(db)
+        view = QueryView("qv", Query(table).select("id"))
+        assert [r["id"] for r in view.scan()] == [1, 2, 3]
+
+    def test_query_helper(self):
+        db = Database()
+        table = base_table(db)
+        view = QueryView("qv", Query(table).select("id"))
+        assert view.query().count() == 3
+
+
+class TestJsonTableView:
+    def test_null_documents_skipped(self):
+        db = Database()
+        view = json_view(base_table(db))
+        rows = list(view.scan())
+        assert {r["id"] for r in rows} == {1, 2}  # id 3 had NULL jdoc
+
+    def test_include_columns_carried(self):
+        db = Database()
+        view = json_view(base_table(db))
+        rows = list(view.scan())
+        assert all("id" in r for r in rows)
+        assert view.column_names[0] == "id"
+
+    def test_un_nesting_row_counts(self):
+        db = Database()
+        view = json_view(base_table(db))
+        rows = list(view.scan())
+        assert len(rows) == 3  # 2 tags for doc 1, outer-join row for doc 2
+
+    def test_scan_pushdown_filters_documents(self):
+        db = Database()
+        view = json_view(base_table(db))
+        rows = list(view.scan_pushdown(['$.tags[*].t?(@ == "x")']))
+        assert {r["id"] for r in rows} == {1}
+
+    def test_scan_pushdown_none_means_all(self):
+        db = Database()
+        view = json_view(base_table(db))
+        assert list(view.scan_pushdown(None)) == list(view.scan())
+
+    def test_pushdown_path_for_include_column_is_none(self):
+        db = Database()
+        view = json_view(base_table(db))
+        assert view.pushdown_path("id", "=", [1]) is None
+        assert view.pushdown_path("t", "=", ["x"]) == \
+            '$.tags[*].t?(@ == "x")'
+
+    def test_query_integration_residual_filter(self):
+        db = Database()
+        view = json_view(base_table(db))
+        db.register_view(view)
+        rows = Query(view).where(expr.Col("t") == "y").rows()
+        assert len(rows) == 1 and rows[0]["t"] == "y"

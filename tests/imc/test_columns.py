@@ -1,0 +1,69 @@
+"""Tests for numpy-backed column vectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineError
+from repro.imc.columns import BOOL, NUMERIC, STRING, ColumnVector
+
+
+class TestInference:
+    def test_numeric(self):
+        v = ColumnVector.from_values("n", [1, 2.5, None, 3])
+        assert v.kind == NUMERIC
+        assert v.values.dtype == np.float64
+        assert list(v.valid) == [True, True, False, True]
+
+    def test_string(self):
+        v = ColumnVector.from_values("s", ["a", None, "bc"])
+        assert v.kind == STRING
+
+    def test_bool(self):
+        v = ColumnVector.from_values("b", [True, False, None])
+        assert v.kind == BOOL
+
+    def test_mixed_degrades_to_string(self):
+        """JSON's dynamically typed fields: mixed column becomes STRING,
+        matching the DataGuide's generalization."""
+        v = ColumnVector.from_values("d", [1, "x", None])
+        assert v.kind == STRING
+
+    def test_all_null(self):
+        v = ColumnVector.from_values("z", [None, None])
+        assert not v.valid.any()
+
+    def test_unsupported_type(self):
+        with pytest.raises(EngineError):
+            ColumnVector.from_values("bad", [object()])
+
+
+class TestReads:
+    def test_value_at_with_nulls(self):
+        v = ColumnVector.from_values("n", [1, None, 2.5])
+        assert v.value_at(0) == 1
+        assert v.value_at(1) is None
+        assert v.value_at(2) == 2.5
+
+    def test_ints_come_back_as_ints(self):
+        v = ColumnVector.from_values("n", [7])
+        assert v.value_at(0) == 7
+        assert isinstance(v.value_at(0), int)
+
+    def test_to_list_roundtrip(self):
+        values = [1, None, 3.5, 2]
+        assert ColumnVector.from_values("n", values).to_list() == values
+
+    def test_bool_roundtrip(self):
+        values = [True, None, False]
+        assert ColumnVector.from_values("b", values).to_list() == values
+
+    def test_string_roundtrip(self):
+        values = ["a", None, "long string here"]
+        assert ColumnVector.from_values("s", values).to_list() == values
+
+    def test_memory_bytes(self):
+        v = ColumnVector.from_values("n", list(range(100)))
+        assert v.memory_bytes() >= 100 * 8
+
+    def test_len(self):
+        assert len(ColumnVector.from_values("n", [1, 2, 3])) == 3

@@ -1,0 +1,98 @@
+"""Tests for the three JSON execution modes (TEXT / OSON-IMC / VC-IMC)."""
+
+import pytest
+
+from repro.core.oson import OsonDocument
+from repro.errors import EngineError
+from repro.imc.json_modes import (
+    JsonColumnIMC,
+    OSON_IMC_MODE,
+    TEXT_MODE,
+    VC_IMC_MODE,
+)
+from repro.jsontext import dumps
+from repro.sqljson.operators import json_value
+
+DOCS = [{"str1": f"s{i}", "num": i, "nested": {"v": i * 2}}
+        for i in range(10)]
+TEXTS = [dumps(d) for d in DOCS]
+
+
+def collection(mode, vc_paths=()):
+    imc = JsonColumnIMC(mode, vc_paths)
+    imc.load_texts(TEXTS)
+    imc.populate()
+    return imc
+
+
+class TestModes:
+    def test_text_mode_handles_are_text(self):
+        imc = collection(TEXT_MODE)
+        handles = list(imc.handles())
+        assert all(isinstance(h, str) for h in handles)
+        assert [json_value(h, "$.num") for h in handles] == list(range(10))
+
+    def test_oson_mode_handles_are_oson(self):
+        imc = collection(OSON_IMC_MODE)
+        handles = list(imc.handles())
+        assert all(isinstance(h, OsonDocument) for h in handles)
+        assert [json_value(h, "$.num") for h in handles] == list(range(10))
+
+    def test_modes_agree_on_query_results(self):
+        text = collection(TEXT_MODE)
+        oson = collection(OSON_IMC_MODE)
+        for path in ("$.str1", "$.num", "$.nested.v", "$.missing"):
+            assert ([json_value(h, path) for h in text.handles()]
+                    == [json_value(h, path) for h in oson.handles()])
+
+    def test_vc_mode_vectors(self):
+        imc = collection(VC_IMC_MODE, vc_paths=("$.num", "$.str1"))
+        assert imc.has_vector("$.num")
+        assert imc.vector("$.num").to_list() == list(range(10))
+        assert imc.vector("$.str1").to_list() == [f"s{i}" for i in range(10)]
+
+    def test_vc_vector_matches_operator_extraction(self):
+        imc = collection(VC_IMC_MODE, vc_paths=("$.nested.v",))
+        expected = [json_value(t, "$.nested.v") for t in TEXTS]
+        assert imc.vector("$.nested.v").to_list() == expected
+
+    def test_vc_unpopulated_path_rejected(self):
+        imc = collection(VC_IMC_MODE, vc_paths=("$.num",))
+        with pytest.raises(EngineError):
+            imc.vector("$.str1")
+
+    def test_vc_paths_only_in_vc_mode(self):
+        with pytest.raises(EngineError):
+            JsonColumnIMC(TEXT_MODE, vc_paths=("$.x",))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(EngineError):
+            JsonColumnIMC("warp-speed")
+
+    def test_unpopulated_access_rejected(self):
+        imc = JsonColumnIMC(OSON_IMC_MODE)
+        imc.load_texts(TEXTS)
+        with pytest.raises(EngineError):
+            list(imc.handles())
+
+    def test_document_at(self):
+        imc = collection(OSON_IMC_MODE)
+        assert json_value(imc.document_at(3), "$.num") == 3
+
+    def test_selection_to_indexes(self):
+        import numpy as np
+        imc = collection(VC_IMC_MODE, vc_paths=("$.num",))
+        from repro.imc import kernels
+        mask = kernels.compare(imc.vector("$.num"), ">=", 8)
+        assert imc.selection_to_indexes(mask) == [8, 9]
+
+    def test_memory_accounting(self):
+        text = collection(TEXT_MODE)
+        oson = collection(OSON_IMC_MODE)
+        vc = collection(VC_IMC_MODE, vc_paths=("$.num",))
+        assert text.memory_bytes() > 0
+        assert oson.memory_bytes() > 0
+        assert vc.memory_bytes() > oson.memory_bytes()  # vectors add memory
+
+    def test_len(self):
+        assert len(collection(TEXT_MODE)) == 10

@@ -1,0 +1,69 @@
+"""Tests for the IMC store (columnar population of table columns)."""
+
+import pytest
+
+from repro.engine import Column, NUMBER, Table, VARCHAR2, expr
+from repro.errors import CatalogError
+from repro.imc import IMCStore
+
+
+def table_with_vc():
+    t = Table("emp", [Column("id", NUMBER), Column("name", VARCHAR2(10))])
+    t.add_column(Column("name_len", NUMBER,
+                        expression=expr.LENGTH(expr.Col("name"))))
+    t.insert_many([{"id": 1, "name": "ann"}, {"id": 2, "name": "bobby"},
+                   {"id": 3, "name": None}])
+    return t
+
+
+class TestPopulate:
+    def test_populate_all_columns(self):
+        store = IMCStore()
+        vectors = store.populate(table_with_vc())
+        assert {v.name for v in vectors} == {"id", "name", "name_len"}
+
+    def test_stored_column_values(self):
+        store = IMCStore()
+        t = table_with_vc()
+        store.populate(t, ["id"])
+        assert store.column("emp", "id").to_list() == [1, 2, 3]
+
+    def test_virtual_column_evaluated_at_population(self):
+        """Section 5.2.1: JSON_VALUE-style virtual columns become columnar
+        vectors, the extraction cost paid once."""
+        store = IMCStore()
+        store.populate(table_with_vc(), ["name_len"])
+        assert store.column("emp", "name_len").to_list() == [3, 5, None]
+
+    def test_unknown_column_rejected(self):
+        store = IMCStore()
+        with pytest.raises(CatalogError):
+            store.populate(table_with_vc(), ["nope"])
+
+    def test_unpopulated_lookup_rejected(self):
+        store = IMCStore()
+        with pytest.raises(CatalogError):
+            store.column("emp", "id")
+
+    def test_is_populated(self):
+        store = IMCStore()
+        t = table_with_vc()
+        assert not store.is_populated("emp", "id")
+        store.populate(t, ["id"])
+        assert store.is_populated("emp", "id")
+
+    def test_evict(self):
+        store = IMCStore()
+        t = table_with_vc()
+        store.populate(t, ["id", "name"])
+        store.evict("emp", "id")
+        assert not store.is_populated("emp", "id")
+        assert store.is_populated("emp", "name")
+        store.evict("emp")
+        assert not store.is_populated("emp", "name")
+
+    def test_memory_accounting(self):
+        store = IMCStore()
+        assert store.memory_bytes() == 0
+        store.populate(table_with_vc(), ["id"])
+        assert store.memory_bytes() > 0

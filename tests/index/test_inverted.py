@@ -1,0 +1,87 @@
+"""Tests for the inverted index over field names, paths and tokens."""
+
+from repro.index.inverted import InvertedIndex, tokenize_value
+
+
+class TestTokenizer:
+    def test_word_tokens_lowercased(self):
+        assert tokenize_value("Hello World_42!") == ["hello", "world_42"]
+
+    def test_empty(self):
+        assert tokenize_value("") == []
+        assert tokenize_value("!!!") == []
+
+
+def sample_index():
+    index = InvertedIndex()
+    index.add_document(0, {"name": "red phone", "price": 100,
+                           "specs": {"color": "red"}})
+    index.add_document(1, {"name": "blue tablet", "price": 250,
+                           "tags": ["sale", "new"]})
+    index.add_document(2, {"name": "red tablet", "active": True})
+    return index
+
+
+class TestMaintenance:
+    def test_field_postings(self):
+        index = sample_index()
+        assert index.docs_with_field("name") == {0, 1, 2}
+        assert index.docs_with_field("specs") == {0}
+        assert index.docs_with_field("color") == {0}
+        assert index.docs_with_field("missing") == set()
+
+    def test_path_postings(self):
+        index = sample_index()
+        assert index.docs_with_path("$.specs.color") == {0}
+        assert index.docs_with_path("$.tags") == {1}
+        assert index.docs_with_path("$") == {0, 1, 2}
+
+    def test_token_postings(self):
+        index = sample_index()
+        assert index.docs_with_token("red") == {0, 2}
+        assert index.docs_with_token("RED") == {0, 2}  # case folded
+        assert index.docs_with_token("tablet") == {1, 2}
+
+    def test_path_scoped_tokens(self):
+        index = sample_index()
+        assert index.docs_with_token("red", path="$.name") == {0, 2}
+        assert index.docs_with_token("red", path="$.specs.color") == {0}
+        # token appears in the doc but not under this path
+        assert index.docs_with_token("sale", path="$.name") == set()
+
+    def test_array_values_indexed(self):
+        index = sample_index()
+        assert index.docs_with_token("sale", path="$.tags") == {1}
+
+    def test_numbers_and_booleans(self):
+        index = sample_index()
+        assert index.docs_with_number("$.price", 100) == {0}
+        assert index.docs_with_number("$.price", 101) == set()
+        assert index.docs_with_token("true", path="$.active") == {2}
+
+    def test_keyword_conjunction(self):
+        index = sample_index()
+        assert index.docs_with_keywords("red phone") == {0}
+        assert index.docs_with_keywords("red tablet") == {2}
+        assert index.docs_with_keywords("red missing") == set()
+        assert index.docs_with_keywords("") == set()
+
+    def test_remove_document(self):
+        index = sample_index()
+        index.remove_document(0, {"name": "red phone", "price": 100,
+                                  "specs": {"color": "red"}})
+        assert index.docs_with_token("red") == {2}
+        assert index.docs_with_field("specs") == set()
+        assert index.indexed_documents == 2
+
+    def test_nested_arrays_of_objects(self):
+        index = InvertedIndex()
+        index.add_document(7, {"items": [{"sku": "widget one"},
+                                         {"sku": "widget two"}]})
+        assert index.docs_with_path("$.items.sku") == {7}
+        assert index.docs_with_token("widget", path="$.items.sku") == {7}
+
+    def test_accounting(self):
+        index = sample_index()
+        assert index.key_count() > 0
+        assert index.postings_size() >= index.key_count()

@@ -1,0 +1,144 @@
+"""End-to-end integration: the paper's full 'write without schema, read
+with schema' workflow on one database."""
+
+import pytest
+
+from repro import bson
+from repro.core.dataguide import (
+    JsonDataGuideAgg,
+    add_vc,
+    create_view_on_path,
+    json_dataguide_agg,
+)
+from repro.core.oson import OsonUpdater, encode as oson_encode
+from repro.engine import Column, Database, NUMBER, CLOB, expr
+from repro.engine.constraints import IsJsonConstraint
+from repro.jsontext import dumps
+from repro.workloads.purchase_orders import PurchaseOrderGenerator
+
+N = 60
+
+
+@pytest.fixture()
+def workspace():
+    """A PO table with IS JSON constraint, search index and documents."""
+    db = Database()
+    po = db.create_table("PO", [Column("DID", NUMBER, nullable=False),
+                                Column("JDOC", CLOB)])
+    po.add_constraint(IsJsonConstraint("JDOC"))
+    index = db.create_json_search_index("PO_SIDX", "PO", "JDOC")
+    documents = list(PurchaseOrderGenerator().documents(N))
+    for i, doc in enumerate(documents):
+        po.insert({"DID": i, "JDOC": dumps(doc)})
+    return db, po, index, documents
+
+
+class TestWriteWithoutSchemaReadWithSchema:
+    def test_dataguide_discovered_automatically(self, workspace):
+        _db, _po, index, _docs = workspace
+        guide = index.get_dataguide()
+        assert "$.purchaseOrder.items.partno" in guide.paths()
+        assert guide.get("$.purchaseOrder.items.unitprice").type_label \
+            == "array of number"
+
+    def test_vc_then_sql_analytics(self, workspace):
+        db, po, index, documents = workspace
+        add_vc(po, "JDOC", index.get_dataguide())
+        rows = (db.query("PO")
+                .group_by(["JDOC$costcenter"], n=expr.COUNT())
+                .order_by("JDOC$costcenter")
+                .rows())
+        assert sum(r["n"] for r in rows) == N
+
+    def test_dmdv_view_then_join_style_analytics(self, workspace):
+        db, po, index, documents = workspace
+        create_view_on_path(db, po, "JDOC", index.get_dataguide(),
+                            view_name="PO_RV", include_columns=["DID"])
+        total_items = sum(len(d["purchaseOrder"]["items"])
+                          for d in documents)
+        rows = db.query("PO_RV").rows()
+        assert len(rows) == total_items
+        revenue = (db.query("PO_RV")
+                   .group_by([], total=expr.SUM(
+                       expr.Col("JDOC$quantity") * expr.Col("JDOC$unitprice")))
+                   .scalar())
+        expected = sum(i["quantity"] * i["unitprice"]
+                       for d in documents
+                       for i in d["purchaseOrder"]["items"])
+        assert revenue == pytest.approx(expected)
+
+    def test_schema_evolution_reflected_live(self, workspace):
+        db, po, index, _docs = workspace
+        before = set(index.get_dataguide().paths())
+        po.insert({"DID": 999, "JDOC": dumps(
+            {"purchaseOrder": {"reference": "NEW-1",
+                               "brand_new_field": {"deep": [1, 2]}}})})
+        after = set(index.get_dataguide().paths())
+        assert "$.purchaseOrder.brand_new_field.deep" in after - before
+
+    def test_transient_guide_matches_persistent(self, workspace):
+        db, _po, index, _docs = workspace
+        transient = (db.query("PO")
+                     .group_by([], dg=JsonDataGuideAgg("JDOC"))
+                     .scalar())
+        persistent = index.get_dataguide()
+        assert set(transient.paths()) == set(persistent.paths())
+
+    def test_search_index_accelerates_exists(self, workspace):
+        _db, po, index, documents = workspace
+        with_foreign = {i for i, d in enumerate(documents)
+                        if "foreign_id" in d["purchaseOrder"]}
+        found = {r["DID"] for r in
+                 index.docs_with_path("$.purchaseOrder.foreign_id")}
+        assert found == with_foreign
+
+
+class TestCrossFormatConsistency:
+    """One logical collection stored three ways must answer identically."""
+
+    def test_views_agree_across_encodings(self):
+        from repro.workloads.purchase_orders import build_po_views
+        from repro.engine.types import BLOB
+        documents = list(PurchaseOrderGenerator().documents(20))
+        db = Database()
+        results = {}
+        for name, encode_fn, sql_type in [
+                ("json", dumps, CLOB),
+                ("bson", bson.encode, BLOB),
+                ("oson", oson_encode, BLOB)]:
+            table = db.create_table(f"t_{name}", [Column("jdoc", sql_type)])
+            for doc in documents:
+                table.insert({"jdoc": encode_fn(doc)})
+            _mv, dmdv = build_po_views(db, table, "jdoc", name)
+            results[name] = (db.query(f"{name}_item_dmdv")
+                             .order_by("reference", "itemno").rows())
+        assert results["json"] == results["bson"] == results["oson"]
+
+
+class TestOsonUpdateInsideTable:
+    def test_partial_update_then_reindex(self):
+        from repro.engine.types import BLOB
+        db = Database()
+        table = db.create_table("t", [Column("id", NUMBER),
+                                      Column("jdoc", BLOB)])
+        table.add_constraint(IsJsonConstraint("jdoc"))
+        index = db.create_json_search_index("idx", "t", "jdoc")
+        table.insert({"id": 1, "jdoc": oson_encode(
+            {"status": "open", "note": "first"})})
+        # partial update outside the engine, then UPDATE the column
+        row = list(table.scan())[0]
+        updater = OsonUpdater(row["jdoc"])
+        updater.set_scalar_by_path(["status"], "done")
+        table.update(lambda r: r["id"] == 1, {"jdoc": updater.to_bytes()})
+        assert len(index.docs_with_keywords("done")) == 1
+        assert index.docs_with_keywords("open") == []
+
+
+class TestNoBenchColumnLimitStory:
+    def test_nobench_would_exceed_relational_column_limit(self):
+        """Section 6.4: NOBENCH's 1000+ sparse fields exceed the 1000-column
+        relational limit, but the DataGuide handles them effortlessly."""
+        from repro.workloads.nobench import NobenchGenerator
+        docs = list(NobenchGenerator().documents(150))
+        guide = json_dataguide_agg(docs)
+        assert guide.dmdv_column_count() > 1000

@@ -1,0 +1,57 @@
+"""Tests for the event parser / DOM builder."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import JsonParseError
+from repro.jsontext import dumps, loads
+from tests.strategies import json_values
+
+
+class TestLoads:
+    def test_scalars(self):
+        assert loads("1") == 1
+        assert loads('"x"') == "x"
+        assert loads("true") is True
+        assert loads("false") is False
+        assert loads("null") is None
+
+    def test_object(self):
+        assert loads('{"a": 1, "b": [2, 3]}') == {"a": 1, "b": [2, 3]}
+
+    def test_key_order_preserved(self):
+        assert list(loads('{"z": 1, "a": 2, "m": 3}')) == ["z", "a", "m"]
+
+    def test_duplicate_keys_keep_last(self):
+        assert loads('{"a": 1, "a": 2}') == {"a": 2}
+
+    def test_deep_nesting(self):
+        depth = 200
+        text = "[" * depth + "1" + "]" * depth
+        value = loads(text)
+        for _ in range(depth):
+            assert isinstance(value, list) and len(value) == 1
+            value = value[0]
+        assert value == 1
+
+    def test_empty_containers(self):
+        assert loads('{"a": {}, "b": []}') == {"a": {}, "b": []}
+
+    def test_malformed_raises(self):
+        with pytest.raises(JsonParseError):
+            loads('{"a": ')
+
+    def test_nested_heterogeneous(self):
+        doc = loads('{"a": [1, "x", null, true, {"b": 2.5}]}')
+        assert doc == {"a": [1, "x", None, True, {"b": 2.5}]}
+
+
+class TestRoundTrip:
+    @given(json_values())
+    def test_dumps_loads_roundtrip(self, value):
+        assert loads(dumps(value)) == value
+
+    @given(json_values())
+    def test_double_roundtrip_stable(self, value):
+        once = dumps(value)
+        assert dumps(loads(once)) == once

@@ -1,0 +1,72 @@
+"""Tests for the compact JSON serializer."""
+
+import math
+
+import pytest
+
+from repro.jsontext import dumps, loads
+
+
+class TestDumps:
+    def test_compact_no_whitespace(self):
+        text = dumps({"a": [1, 2], "b": {"c": "d"}})
+        assert text == '{"a":[1,2],"b":{"c":"d"}}'
+        assert " " not in text
+
+    def test_scalars(self):
+        assert dumps(None) == "null"
+        assert dumps(True) == "true"
+        assert dumps(False) == "false"
+        assert dumps(42) == "42"
+        assert dumps("hi") == '"hi"'
+
+    def test_float_keeps_decimal_point(self):
+        # floats must round-trip as floats, not collapse to ints
+        assert dumps(5.0) == "5.0"
+        assert isinstance(loads(dumps(5.0)), float)
+
+    def test_control_characters_escaped(self):
+        assert dumps("\x00") == '"\\u0000"'
+        assert dumps("a\nb") == '"a\\nb"'
+        assert dumps('q"q') == '"q\\"q"'
+        assert dumps("back\\slash") == '"back\\\\slash"'
+
+    def test_tuple_serializes_as_array(self):
+        assert dumps((1, 2)) == "[1,2]"
+
+    def test_empty_containers(self):
+        assert dumps({}) == "{}"
+        assert dumps([]) == "[]"
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            dumps(float("nan"))
+        with pytest.raises(ValueError):
+            dumps(float("inf"))
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(TypeError):
+            dumps({1: "x"})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            dumps(object())
+
+    def test_key_order_preserved(self):
+        assert dumps({"z": 1, "a": 2}) == '{"z":1,"a":2}'
+
+
+class TestPretty:
+    def test_pretty_is_parseable(self):
+        doc = {"a": [1, {"b": None}], "c": "x"}
+        pretty = dumps(doc, pretty=True)
+        assert "\n" in pretty
+        assert loads(pretty) == doc
+
+    def test_pretty_empty(self):
+        assert dumps({}, pretty=True) == "{}"
+        assert dumps([], pretty=True) == "[]"
+
+    def test_pretty_indent(self):
+        pretty = dumps({"a": 1}, pretty=True, indent=4)
+        assert '    "a": 1' in pretty

@@ -1,0 +1,62 @@
+"""Tests for field-id caching: compile-time hashing and single-row look-back."""
+
+from repro.core.oson import encode, OsonDocument
+from repro.core.oson.cache import CompiledFieldName, FieldIdResolver
+from repro.core.oson.hashing import field_name_hash
+
+
+class TestCompiledFieldName:
+    def test_hash_precomputed(self):
+        compiled = CompiledFieldName("price")
+        assert compiled.hash == field_name_hash("price")
+        assert compiled.name == "price"
+
+
+class TestLookback:
+    def docs(self, n, field="price"):
+        return [OsonDocument(encode({field: i, "other": "x"}))
+                for i in range(n)]
+
+    def test_homogeneous_stream_hits_lookback(self):
+        resolver = FieldIdResolver()
+        compiled = CompiledFieldName("price")
+        documents = self.docs(20)
+        ids = [resolver.resolve(d, compiled) for d in documents]
+        assert all(i == ids[0] for i in ids)
+        assert resolver.lookups == 20
+        # first lookup is the binary search; the other 19 validate the cache
+        assert resolver.lookback_hits == 19
+
+    def test_lookback_validation_detects_renumbering(self):
+        """A document with a different dictionary must not reuse a stale id."""
+        resolver = FieldIdResolver()
+        compiled = CompiledFieldName("price")
+        doc_a = OsonDocument(encode({"price": 1, "other": "x"}))
+        # different field set => different id numbering
+        doc_b = OsonDocument(encode({"aaa": 0, "bbb": 0, "price": 2,
+                                     "zzz": 0}))
+        id_a = resolver.resolve(doc_a, compiled)
+        id_b = resolver.resolve(doc_b, compiled)
+        assert doc_a.field_name(id_a) == "price"
+        assert doc_b.field_name(id_b) == "price"
+
+    def test_absent_field_resolves_none(self):
+        resolver = FieldIdResolver()
+        compiled = CompiledFieldName("missing")
+        for doc in self.docs(5):
+            assert resolver.resolve(doc, compiled) is None
+
+    def test_absent_then_present(self):
+        resolver = FieldIdResolver()
+        compiled = CompiledFieldName("maybe")
+        without = OsonDocument(encode({"other": 1}))
+        with_field = OsonDocument(encode({"maybe": 42}))
+        assert resolver.resolve(without, compiled) is None
+        fid = resolver.resolve(with_field, compiled)
+        assert with_field.field_name(fid) == "maybe"
+
+    def test_resolved_ids_match_direct_lookup(self):
+        resolver = FieldIdResolver()
+        compiled = CompiledFieldName("other")
+        for doc in self.docs(10):
+            assert resolver.resolve(doc, compiled) == doc.field_id("other")

@@ -1,0 +1,88 @@
+"""Tests for the field-id-name dictionary segment."""
+
+import pytest
+
+from repro.core.oson.dictionary import FieldDictionary
+from repro.core.oson.hashing import field_name_hash
+from repro.errors import OsonError
+
+
+class TestBuild:
+    def test_sorted_by_hash(self):
+        d = FieldDictionary.build(["zebra", "apple", "mango", "apple"])
+        assert d.hashes == sorted(d.hashes)
+        assert len(d) == 3  # duplicates removed
+
+    def test_field_id_is_ordinal_position(self):
+        d = FieldDictionary.build(["a", "b", "c"])
+        for i, name in enumerate(d.names):
+            assert d.field_id(name) == i
+
+    def test_lookup_uses_precomputed_hash(self):
+        d = FieldDictionary.build(["alpha", "beta"])
+        h = field_name_hash("alpha")
+        assert d.field_id("alpha", h) == d.field_id("alpha")
+
+    def test_missing_name(self):
+        d = FieldDictionary.build(["a"])
+        assert d.field_id("nope") is None
+
+    def test_empty(self):
+        d = FieldDictionary.build([])
+        assert len(d) == 0
+        assert d.field_id("x") is None
+
+    def test_field_name_reverse_lookup(self):
+        d = FieldDictionary.build(["x", "y"])
+        for i in range(len(d)):
+            assert d.field_id(d.field_name(i)) == i
+
+    def test_field_name_out_of_range(self):
+        d = FieldDictionary.build(["x"])
+        with pytest.raises(OsonError):
+            d.field_name(5)
+        with pytest.raises(OsonError):
+            d.field_hash(-1)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        d = FieldDictionary.build(["alpha", "beta", "gamma", "ünïcode"])
+        data = d.to_bytes()
+        parsed, end = FieldDictionary.from_bytes(b"\x00" * 4 + data, 4)
+        assert end == 4 + len(data)
+        assert parsed.names == d.names
+        assert parsed.hashes == d.hashes
+
+    def test_empty_roundtrip(self):
+        d = FieldDictionary.build([])
+        parsed, _ = FieldDictionary.from_bytes(d.to_bytes(), 0)
+        assert len(parsed) == 0
+
+    def test_name_too_long_rejected(self):
+        d = FieldDictionary.build(["x" * 300])
+        with pytest.raises(OsonError):
+            d.to_bytes()
+
+    def test_truncated_rejected(self):
+        d = FieldDictionary.build(["abc", "def"])
+        data = d.to_bytes()
+        with pytest.raises(OsonError):
+            FieldDictionary.from_bytes(data[:-2], 0)
+
+
+class TestCollisions:
+    def test_collision_resolution_by_string_compare(self):
+        """Force two names onto the same hash id and verify both resolve."""
+        d = FieldDictionary.build(["aaa", "bbb"])
+        # fake a collision: give both entries the same hash
+        collided = FieldDictionary([7, 7], sorted(["aaa", "bbb"]))
+        assert collided.field_id("aaa", 7) is not None
+        assert collided.field_id("bbb", 7) is not None
+        assert collided.field_id("aaa", 7) != collided.field_id("bbb", 7)
+        assert collided.field_id("ccc", 7) is None
+
+    def test_deterministic_order_under_collision(self):
+        a = FieldDictionary([5, 5], ["x", "y"])
+        assert a.field_id("x", 5) == 0  # ties broken by name order
+        assert a.field_id("y", 5) == 1

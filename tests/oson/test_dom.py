@@ -1,0 +1,149 @@
+"""Tests for OSON DOM navigation (the section 5.1 primitives)."""
+
+import pytest
+
+from repro.core.oson import constants as c
+from repro.core.oson import encode, OsonDocument
+from repro.core.oson.dom import (
+    JsonDomGetArrayElement,
+    JsonDomGetFieldValue,
+    JsonDomGetNodeType,
+    JsonDomGetScalarInfo,
+)
+from repro.errors import OsonError
+
+DOC = {
+    "purchaseOrder": {
+        "id": 7,
+        "podate": "2014-09-08",
+        "items": [
+            {"name": "phone", "price": 100.5},
+            {"name": "ipad", "price": 350.86},
+            {"name": "case", "price": 9.99},
+        ],
+        "paid": True,
+        "notes": None,
+    }
+}
+
+
+@pytest.fixture()
+def doc():
+    return OsonDocument(encode(DOC))
+
+
+class TestNavigation:
+    def test_root_is_object(self, doc):
+        assert JsonDomGetNodeType(doc, doc.root) == c.NODE_OBJECT
+
+    def test_field_navigation(self, doc):
+        po = doc.get_field_value_by_name(doc.root, "purchaseOrder")
+        assert doc.node_type(po) == c.NODE_OBJECT
+        id_node = doc.get_field_value_by_name(po, "id")
+        assert doc.scalar_value(id_node) == 7
+
+    def test_field_by_id_binary_search(self, doc):
+        po = doc.get_field_value_by_name(doc.root, "purchaseOrder")
+        for name in ("id", "podate", "items", "paid", "notes"):
+            field_id = doc.field_id(name)
+            assert field_id is not None
+            assert JsonDomGetFieldValue(doc, po, field_id) is not None
+
+    def test_missing_field(self, doc):
+        assert doc.get_field_value_by_name(doc.root, "missing") is None
+        po = doc.get_field_value_by_name(doc.root, "purchaseOrder")
+        # a name in the dictionary but not in this object
+        name_id = doc.field_id("name")
+        assert JsonDomGetFieldValue(doc, po, name_id) is None
+
+    def test_field_on_non_object_returns_none(self, doc):
+        po = doc.get_field_value_by_name(doc.root, "purchaseOrder")
+        items = doc.get_field_value_by_name(po, "items")
+        assert JsonDomGetFieldValue(doc, items, 0) is None
+
+    def test_array_positional_access(self, doc):
+        po = doc.get_field_value_by_name(doc.root, "purchaseOrder")
+        items = doc.get_field_value_by_name(po, "items")
+        assert doc.node_type(items) == c.NODE_ARRAY
+        assert doc.child_count(items) == 3
+        second = JsonDomGetArrayElement(doc, items, 1)
+        name = doc.get_field_value_by_name(second, "name")
+        assert doc.scalar_value(name) == "ipad"
+
+    def test_array_negative_index(self, doc):
+        po = doc.get_field_value_by_name(doc.root, "purchaseOrder")
+        items = doc.get_field_value_by_name(po, "items")
+        last = doc.get_array_element(items, -1)
+        assert doc.materialize(last)["name"] == "case"
+
+    def test_array_out_of_range(self, doc):
+        po = doc.get_field_value_by_name(doc.root, "purchaseOrder")
+        items = doc.get_field_value_by_name(po, "items")
+        assert JsonDomGetArrayElement(doc, items, 99) is None
+        assert JsonDomGetArrayElement(doc, items, -99) is None
+
+    def test_array_elements_iteration(self, doc):
+        po = doc.get_field_value_by_name(doc.root, "purchaseOrder")
+        items = doc.get_field_value_by_name(po, "items")
+        names = [doc.materialize(el)["name"] for el in doc.array_elements(items)]
+        assert names == ["phone", "ipad", "case"]
+
+    def test_object_items_sorted_by_field_id(self, doc):
+        po = doc.get_field_value_by_name(doc.root, "purchaseOrder")
+        ids = [fid for fid, _child in doc.object_items(po)]
+        assert ids == sorted(ids)
+
+
+class TestScalarInfo:
+    def test_inline_scalars(self, doc):
+        po = doc.get_field_value_by_name(doc.root, "purchaseOrder")
+        paid = doc.get_field_value_by_name(po, "paid")
+        stype, offset, length = JsonDomGetScalarInfo(doc, paid)
+        assert stype == c.SCALAR_TRUE
+        assert offset == -1 and length == 0
+        notes = doc.get_field_value_by_name(po, "notes")
+        assert JsonDomGetScalarInfo(doc, notes)[0] == c.SCALAR_NULL
+
+    def test_string_offset_points_into_value_segment(self, doc):
+        po = doc.get_field_value_by_name(doc.root, "purchaseOrder")
+        podate = doc.get_field_value_by_name(po, "podate")
+        stype, offset, length = JsonDomGetScalarInfo(doc, podate)
+        assert stype == c.SCALAR_STRING
+        assert doc.buffer[offset:offset + length].decode() == "2014-09-08"
+        assert offset >= doc.value_start
+
+    def test_scalar_info_on_container_raises(self, doc):
+        with pytest.raises(OsonError):
+            JsonDomGetScalarInfo(doc, doc.root)
+
+    def test_child_count_on_scalar_raises(self, doc):
+        po = doc.get_field_value_by_name(doc.root, "purchaseOrder")
+        paid = doc.get_field_value_by_name(po, "paid")
+        with pytest.raises(OsonError):
+            doc.child_count(paid)
+
+    def test_elements_on_object_raises(self, doc):
+        with pytest.raises(OsonError):
+            list(doc.array_elements(doc.root))
+
+    def test_object_items_on_array_raises(self, doc):
+        po = doc.get_field_value_by_name(doc.root, "purchaseOrder")
+        items = doc.get_field_value_by_name(po, "items")
+        with pytest.raises(OsonError):
+            list(doc.object_items(items))
+
+
+class TestLazyNavigation:
+    def test_navigation_touches_only_needed_path(self):
+        """Jump navigation: reading one deep field must not decode other
+        subtrees (we check by navigating into a doc with an intentionally
+        corrupted unrelated value payload)."""
+        doc_value = {"wanted": {"x": 1}, "unrelated": "CORRUPTME"}
+        data = bytearray(encode(doc_value))
+        # corrupt the bytes of the "CORRUPTME" string payload
+        idx = bytes(data).find(b"CORRUPTME")
+        data[idx:idx + 4] = b"\xff\xff\xff\xff"
+        doc = OsonDocument(bytes(data))
+        wanted = doc.get_field_value_by_name(doc.root, "wanted")
+        x = doc.get_field_value_by_name(wanted, "x")
+        assert doc.scalar_value(x) == 1  # unaffected by the corruption

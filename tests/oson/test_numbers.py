@@ -1,0 +1,120 @@
+"""Tests for the binary number encodings (packed decimal, varint, LEB128)."""
+
+from decimal import Decimal
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.oson.numbers import (
+    leb128_size,
+    pack_decimal,
+    pack_int,
+    read_leb128,
+    unpack_decimal,
+    unpack_int,
+    write_leb128,
+    write_leb128_padded,
+)
+from repro.errors import OsonError
+
+
+class TestLeb128:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 255, 16383, 16384,
+                                       2**20, 2**32, 2**60])
+    def test_roundtrip(self, value):
+        out = bytearray()
+        write_leb128(out, value)
+        got, pos = read_leb128(bytes(out), 0)
+        assert got == value
+        assert pos == len(out) == leb128_size(value)
+
+    def test_negative_rejected(self):
+        with pytest.raises(OsonError):
+            write_leb128(bytearray(), -1)
+
+    def test_padded_roundtrip(self):
+        out = bytearray()
+        write_leb128_padded(out, 5, 3)
+        assert len(out) == 3
+        got, pos = read_leb128(bytes(out), 0)
+        assert got == 5 and pos == 3
+
+    def test_padded_overflow(self):
+        with pytest.raises(OsonError):
+            write_leb128_padded(bytearray(), 10**6, 1)
+
+    @given(st.integers(min_value=0, max_value=2**62))
+    def test_roundtrip_property(self, value):
+        out = bytearray()
+        write_leb128(out, value)
+        assert read_leb128(bytes(out), 0)[0] == value
+
+
+class TestPackInt:
+    @pytest.mark.parametrize("value", [0, 1, -1, 127, -128, 128, 255, -255,
+                                       2**31, -(2**31), 2**63 - 1, -(2**63)])
+    def test_roundtrip(self, value):
+        assert unpack_int(pack_int(value)) == value
+
+    def test_small_ints_are_one_byte(self):
+        assert len(pack_int(0)) == 1
+        assert len(pack_int(100)) == 1
+        assert len(pack_int(-100)) == 1
+
+    @given(st.integers(min_value=-(2**70), max_value=2**70))
+    def test_roundtrip_property(self, value):
+        assert unpack_int(pack_int(value)) == value
+
+
+class TestPackedDecimal:
+    @pytest.mark.parametrize("value", [
+        0.0, 1.0, -1.0, 0.5, -0.25, 123.456, -9999.9999, 1e10, 1e-10,
+        350.86, 52.78,
+    ])
+    def test_float_roundtrip(self, value):
+        packed = pack_decimal(value)
+        assert packed is not None
+        got = unpack_decimal(packed)
+        assert got == value
+        assert isinstance(got, float)
+
+    @pytest.mark.parametrize("value", [
+        Decimal("0"), Decimal("1.50"), Decimal("-12.345"),
+        Decimal("1E+10"), Decimal("-1E-10"),
+    ])
+    def test_decimal_roundtrip(self, value):
+        packed = pack_decimal(value)
+        assert packed is not None
+        got = unpack_decimal(packed)
+        assert got == value
+        assert isinstance(got, Decimal)
+
+    def test_compactness(self):
+        # typical sensor reading: flags + 3 BCD bytes, far under IEEE's 8
+        assert len(pack_decimal(-27.1946)) <= 5
+
+    def test_unpackable_values_return_none(self):
+        assert pack_decimal(float("nan")) is None
+        assert pack_decimal(float("inf")) is None
+        assert pack_decimal(Decimal("Infinity")) is None
+        # exponent outside the 6-bit biased range
+        assert pack_decimal(Decimal("1E+99")) is None
+        # too many significant digits
+        assert pack_decimal(Decimal("1." + "1" * 40)) is None
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(OsonError):
+            unpack_decimal(b"")
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_roundtrip_property(self, value):
+        packed = pack_decimal(value)
+        if packed is not None:
+            assert unpack_decimal(packed) == value
+
+    @given(st.decimals(allow_nan=False, allow_infinity=False,
+                       min_value=-(10**20), max_value=10**20, places=6))
+    def test_decimal_roundtrip_property(self, value):
+        packed = pack_decimal(value)
+        if packed is not None:
+            assert unpack_decimal(packed) == value

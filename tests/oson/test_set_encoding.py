@@ -1,0 +1,75 @@
+"""Tests for the shared-dictionary set encoding (section 7 future work)."""
+
+from hypothesis import given, settings
+
+from repro.core.oson.set_encoding import SharedDictionaryStore
+from tests.strategies import json_documents
+
+
+def homogeneous_docs(n=20):
+    return [{"orderId": i, "customerName": f"cust{i}",
+             "lineItems": [{"sku": f"SKU{i}", "qty": i % 5}]}
+            for i in range(n)]
+
+
+class TestSharedDictionaryStore:
+    def test_roundtrip(self):
+        store = SharedDictionaryStore()
+        docs = homogeneous_docs()
+        for doc in docs:
+            store.add(doc)
+        assert len(store) == len(docs)
+        for i, doc in enumerate(docs):
+            assert store.materialize(i) == doc
+
+    def test_memory_savings_on_homogeneous_collection(self):
+        docs = homogeneous_docs(50)
+        store = SharedDictionaryStore()
+        for doc in docs:
+            store.add(doc)
+        shared = store.memory_bytes()
+        self_contained = SharedDictionaryStore.self_contained_bytes(docs)
+        assert shared < self_contained
+
+    def test_dictionary_growth_reencodes_existing(self):
+        store = SharedDictionaryStore()
+        store.add({"alpha": 1})
+        store.add({"zeta": 2, "alpha": 3})  # new name: ids renumber
+        store.add({"midfield": 4})
+        assert store.materialize(0) == {"alpha": 1}
+        assert store.materialize(1) == {"zeta": 2, "alpha": 3}
+        assert store.materialize(2) == {"midfield": 4}
+
+    def test_heterogeneous_types_supported(self):
+        """Unlike Dremel, a field may change type across instances."""
+        store = SharedDictionaryStore()
+        variants = [{"name": "text"}, {"name": 5}, {"name": {"first": "x"}},
+                    {"name": [1, 2]}, {"name": None}]
+        for v in variants:
+            store.add(v)
+        for i, v in enumerate(variants):
+            assert store.materialize(i) == v
+
+    def test_field_id_shared_across_documents(self):
+        store = SharedDictionaryStore()
+        store.add({"key": 1})
+        store.add({"key": 2})
+        fid = store.field_id("key")
+        assert fid is not None
+        for doc in store.documents():
+            assert doc.field_id("key") == fid
+
+    def test_documents_iterator(self):
+        store = SharedDictionaryStore()
+        docs = homogeneous_docs(5)
+        for doc in docs:
+            store.add(doc)
+        assert [d.materialize() for d in store.documents()] == docs
+
+    @settings(max_examples=30)
+    @given(json_documents(max_leaves=10))
+    def test_roundtrip_property(self, doc):
+        store = SharedDictionaryStore()
+        store.add(doc)
+        store.add({"extra_field_xyz": 1})
+        assert store.materialize(0) == doc

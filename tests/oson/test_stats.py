@@ -1,0 +1,88 @@
+"""Tests for OSON size/segment statistics (Tables 10/11 machinery)."""
+
+from repro import bson
+from repro.core.oson import encode
+from repro.core.oson.stats import (
+    SegmentStats,
+    SizeStats,
+    segment_stats,
+    segment_table,
+    size_stats,
+    size_table,
+)
+from repro.jsontext import dumps
+
+
+DOCS = [
+    {"a": 1, "b": "two"},
+    {"a": 2, "b": "three", "c": [1, 2, 3]},
+]
+
+
+class TestSizeStats:
+    def test_counts_and_averages(self):
+        stats = size_stats(DOCS)
+        assert stats.count == 2
+        expected_json = sum(len(dumps(d).encode()) for d in DOCS) / 2
+        expected_bson = sum(len(bson.encode(d)) for d in DOCS) / 2
+        expected_oson = sum(len(encode(d)) for d in DOCS) / 2
+        assert stats.avg_json == expected_json
+        assert stats.avg_bson == expected_bson
+        assert stats.avg_oson == expected_oson
+
+    def test_empty_collection(self):
+        assert size_stats([]) == SizeStats(0, 0.0, 0.0, 0.0)
+
+    def test_size_table_rows(self):
+        table = size_table([("demo", DOCS)])
+        assert table[0]["collection"] == "demo"
+        assert table[0]["avg_json_bytes"] > 0
+
+
+class TestSegmentStats:
+    def test_ratios_sum_to_one(self):
+        stats = segment_stats(DOCS)
+        total = (stats.dictionary_ratio + stats.tree_ratio
+                 + stats.values_ratio)
+        assert abs(total - 1.0) < 1e-9
+
+    def test_empty_collection(self):
+        assert segment_stats([]) == SegmentStats(0, 0.0, 0.0, 0.0)
+
+    def test_dictionary_heavy_collection(self):
+        # long names, tiny values -> dictionary dominates
+        docs = [{f"averyveryverylongfieldname{i:03d}": 1 for i in range(30)}]
+        stats = segment_stats(docs)
+        assert stats.dictionary_ratio > 0.5
+
+    def test_value_heavy_collection(self):
+        docs = [{"k": "v" * 5000}]
+        stats = segment_stats(docs)
+        assert stats.values_ratio > 0.9
+
+    def test_repetition_shrinks_dictionary_share(self):
+        small = [{"fieldname": 1}]
+        big = [{"rows": [{"fieldname": i} for i in range(500)]}]
+        assert (segment_stats(big).dictionary_ratio
+                < segment_stats(small).dictionary_ratio)
+
+    def test_segment_table_rows(self):
+        table = segment_table([("demo", DOCS)])
+        row = table[0]
+        assert abs(row["dictionary_pct"] + row["tree_pct"]
+                   + row["values_pct"] - 100.0) < 0.1
+
+
+class TestPaperShape:
+    """The qualitative Table 10 claims on our own encodings."""
+
+    def test_small_docs_near_parity(self):
+        stats = size_stats(DOCS)
+        assert stats.avg_oson < 3 * stats.avg_json
+
+    def test_large_repetitive_doc_oson_wins(self):
+        big = [{"messages": [
+            {"authorName": f"user{i}", "messageText": "hello " * 5,
+             "likeCount": i} for i in range(2000)]}]
+        stats = size_stats(big)
+        assert stats.avg_oson < stats.avg_json

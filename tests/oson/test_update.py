@@ -1,0 +1,162 @@
+"""Tests for partial OSON updates (leaf scalars only)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.oson import encode, OsonUpdater
+from repro.errors import OsonUpdateError
+
+BASE = {
+    "name": "phone",
+    "price": 100,
+    "rating": 4.5,
+    "active": True,
+    "note": None,
+    "tags": ["a", "b"],
+    "nested": {"qty": 3},
+}
+
+
+def updater():
+    return OsonUpdater(encode(BASE))
+
+
+class TestInPlace:
+    def test_int_update(self):
+        u = updater()
+        u.set_scalar_by_path(["price"], 250)
+        assert u.document.materialize()["price"] == 250
+
+    def test_int_to_float_same_class(self):
+        u = updater()
+        u.set_scalar_by_path(["price"], 99.5)
+        assert u.document.materialize()["price"] == 99.5
+
+    def test_float_update(self):
+        u = updater()
+        u.set_scalar_by_path(["rating"], 2.75)
+        assert u.document.materialize()["rating"] == 2.75
+
+    def test_bool_flip(self):
+        u = updater()
+        u.set_scalar_by_path(["active"], False)
+        assert u.document.materialize()["active"] is False
+        u.set_scalar_by_path(["active"], True)
+        assert u.document.materialize()["active"] is True
+
+    def test_null_noop(self):
+        u = updater()
+        u.set_scalar_by_path(["note"], None)
+        assert u.document.materialize()["note"] is None
+
+    def test_string_shrink_in_place(self):
+        u = updater()
+        before = len(u.to_bytes())
+        u.set_scalar_by_path(["name"], "tv")
+        assert u.document.materialize()["name"] == "tv"
+        assert len(u.to_bytes()) == before  # no growth
+
+    def test_string_same_length(self):
+        u = updater()
+        u.set_scalar_by_path(["name"], "qhone")
+        assert u.document.materialize()["name"] == "qhone"
+
+    def test_nested_and_array_paths(self):
+        u = updater()
+        u.set_scalar_by_path(["nested", "qty"], 9)
+        u.set_scalar_by_path(["tags", 1], "z")
+        m = u.document.materialize()
+        assert m["nested"]["qty"] == 9
+        assert m["tags"] == ["a", "z"]
+
+    def test_other_values_untouched(self):
+        u = updater()
+        u.set_scalar_by_path(["price"], 7)
+        m = u.document.materialize()
+        expected = dict(BASE)
+        expected["price"] = 7
+        assert m == expected
+
+
+class TestGrow:
+    def test_string_grow_appends(self):
+        u = updater()
+        before = len(u.to_bytes())
+        u.set_scalar_by_path(["name"], "a-very-much-longer-product-name")
+        assert u.document.materialize()["name"] == \
+            "a-very-much-longer-product-name"
+        assert len(u.to_bytes()) > before
+
+    def test_grow_then_shrink(self):
+        u = updater()
+        u.set_scalar_by_path(["name"], "x" * 100)
+        u.set_scalar_by_path(["name"], "y")
+        assert u.document.materialize()["name"] == "y"
+
+    def test_int_grow(self):
+        u = updater()
+        u.set_scalar_by_path(["price"], 2**60)
+        assert u.document.materialize()["price"] == 2**60
+
+    def test_repeated_growth_within_offset_capacity(self):
+        # the node's value-offset width is fixed at encode time (1 byte for
+        # this small document), so growth works while offsets fit...
+        u = updater()
+        for size in (10, 50, 120):
+            u.set_scalar_by_path(["name"], "n" * size)
+            assert u.document.materialize()["name"] == "n" * size
+
+    def test_growth_beyond_offset_capacity_raises(self):
+        # ... and raises the documented re-encode error once the appended
+        # value's offset no longer fits the node's offset width
+        u = updater()
+        with pytest.raises(OsonUpdateError):
+            for size in (200, 400, 800, 1600):
+                u.set_scalar_by_path(["name"], "n" * size)
+
+
+class TestErrors:
+    def test_class_change_rejected(self):
+        u = updater()
+        with pytest.raises(OsonUpdateError):
+            u.set_scalar_by_path(["name"], 123)
+        with pytest.raises(OsonUpdateError):
+            u.set_scalar_by_path(["price"], "expensive")
+        with pytest.raises(OsonUpdateError):
+            u.set_scalar_by_path(["active"], None)
+        with pytest.raises(OsonUpdateError):
+            u.set_scalar_by_path(["note"], 1)
+
+    def test_container_update_rejected(self):
+        u = updater()
+        with pytest.raises(OsonUpdateError):
+            u.set_scalar_by_path(["tags"], "not-a-leaf")
+        with pytest.raises(OsonUpdateError):
+            u.set_scalar_by_path(["nested"], 5)
+
+    def test_missing_path(self):
+        u = updater()
+        with pytest.raises(OsonUpdateError):
+            u.set_scalar_by_path(["nope"], 1)
+        with pytest.raises(OsonUpdateError):
+            u.set_scalar_by_path(["tags", 99], "x")
+
+
+class TestProperties:
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_any_int_update(self, value):
+        u = updater()
+        u.set_scalar_by_path(["price"], value)
+        assert u.document.materialize()["price"] == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_any_float_update(self, value):
+        u = updater()
+        u.set_scalar_by_path(["rating"], value)
+        assert u.document.materialize()["rating"] == value
+
+    @given(st.text(max_size=200))
+    def test_any_string_update(self, value):
+        u = updater()
+        u.set_scalar_by_path(["name"], value)
+        assert u.document.materialize()["name"] == value

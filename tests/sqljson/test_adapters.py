@@ -1,0 +1,92 @@
+"""Tests for the DOM adapter layer (uniform interface over encodings)."""
+
+import pytest
+
+from repro import bson
+from repro.core.oson import encode as oson_encode, OsonDocument
+from repro.core.oson.cache import CompiledFieldName
+from repro.sqljson.adapters import (
+    ARRAY,
+    BsonAdapter,
+    DictAdapter,
+    MISSING,
+    OBJECT,
+    OsonAdapter,
+    SCALAR,
+    adapter_for,
+)
+
+DOC = {"name": "x", "items": [1, 2, 3], "nested": {"deep": True}}
+
+
+def adapters():
+    return {
+        "dict": DictAdapter(DOC),
+        "oson": OsonAdapter(OsonDocument(oson_encode(DOC))),
+        "bson": BsonAdapter.from_bytes(bson.encode(DOC)),
+    }
+
+
+@pytest.mark.parametrize("name", ["dict", "oson", "bson"])
+class TestUniformInterface:
+    def test_kinds(self, name):
+        adapter = adapters()[name]
+        root = adapter.root
+        assert adapter.kind(root) == OBJECT
+        items = adapter.get_field(root, CompiledFieldName("items"))
+        assert adapter.kind(items) == ARRAY
+        name_node = adapter.get_field(root, CompiledFieldName("name"))
+        assert adapter.kind(name_node) == SCALAR
+
+    def test_get_field_missing(self, name):
+        adapter = adapters()[name]
+        assert adapter.get_field(adapter.root,
+                                 CompiledFieldName("nope")) is MISSING
+
+    def test_get_field_on_non_object(self, name):
+        adapter = adapters()[name]
+        items = adapter.get_field(adapter.root, CompiledFieldName("items"))
+        assert adapter.get_field(items, CompiledFieldName("x")) is MISSING
+
+    def test_fields_iteration(self, name):
+        adapter = adapters()[name]
+        fields = dict(adapter.fields(adapter.root))
+        assert set(fields) == {"name", "items", "nested"}
+
+    def test_array_access(self, name):
+        adapter = adapters()[name]
+        items = adapter.get_field(adapter.root, CompiledFieldName("items"))
+        assert adapter.array_length(items) == 3
+        assert adapter.scalar(adapter.element(items, 0)) == 1
+        assert adapter.scalar(adapter.element(items, -1)) == 3
+        assert adapter.element(items, 9) is MISSING
+        assert adapter.element(items, -9) is MISSING
+        assert [adapter.scalar(e) for e in adapter.elements(items)] \
+            == [1, 2, 3]
+
+    def test_array_length_of_non_array(self, name):
+        adapter = adapters()[name]
+        assert adapter.array_length(adapter.root) == 0
+
+    def test_materialize(self, name):
+        adapter = adapters()[name]
+        assert adapter.materialize(adapter.root) == DOC
+
+
+class TestAdapterFor:
+    def test_dispatch(self):
+        assert isinstance(adapter_for(DOC), DictAdapter)
+        assert isinstance(adapter_for(oson_encode(DOC)), OsonAdapter)
+        assert isinstance(adapter_for(bson.encode(DOC)), BsonAdapter)
+        assert isinstance(adapter_for(OsonDocument(oson_encode(DOC))),
+                          OsonAdapter)
+        assert isinstance(adapter_for('{"a": 1}'), DictAdapter)
+
+    def test_bytearray_dispatch(self):
+        assert isinstance(adapter_for(bytearray(oson_encode(DOC))),
+                          OsonAdapter)
+
+    def test_missing_sentinel_is_falsy_and_unique(self):
+        assert not MISSING
+        assert MISSING is not None
+        assert repr(MISSING) == "MISSING"

@@ -1,0 +1,212 @@
+"""Tests for the DOM path engine across all three adapters."""
+
+import pytest
+
+from repro import bson
+from repro.core.oson import encode as oson_encode
+from repro.errors import PathEvaluationError
+from repro.sqljson.adapters import adapter_for
+from repro.sqljson.path.evaluator import PathEvaluator
+from repro.sqljson.path.parser import parse_path
+
+DOC = {
+    "store": {
+        "name": "Books & More",
+        "open": True,
+        "books": [
+            {"title": "A", "price": 10, "tags": ["x", "y"]},
+            {"title": "B", "price": 25.5},
+            {"title": "C", "price": 7, "tags": []},
+        ],
+        "address": {"city": "SF", "zip": "94105"},
+    },
+    "counts": [1, 2, 3, 4, 5],
+}
+
+
+def evaluate(path, doc=DOC, form="dict"):
+    if form == "oson":
+        data = oson_encode(doc)
+    elif form == "bson":
+        data = bson.encode(doc)
+    else:
+        data = doc
+    adapter = adapter_for(data)
+    return PathEvaluator(parse_path(path)).values(adapter)
+
+
+FORMS = ["dict", "oson", "bson"]
+
+
+@pytest.mark.parametrize("form", FORMS)
+class TestAcrossAdapters:
+    def test_member_chain(self, form):
+        assert evaluate("$.store.name", form=form) == ["Books & More"]
+
+    def test_missing_member_lax(self, form):
+        assert evaluate("$.store.nothing", form=form) == []
+
+    def test_array_wildcard(self, form):
+        assert evaluate("$.store.books[*].title", form=form) == ["A", "B", "C"]
+
+    def test_array_index(self, form):
+        assert evaluate("$.counts[2]", form=form) == [3]
+
+    def test_array_range(self, form):
+        assert evaluate("$.counts[1 to 3]", form=form) == [2, 3, 4]
+
+    def test_array_last(self, form):
+        assert evaluate("$.counts[last]", form=form) == [5]
+        assert evaluate("$.counts[last-1]", form=form) == [4]
+
+    def test_array_multi_subscript(self, form):
+        assert evaluate("$.counts[0, 2, 4]", form=form) == [1, 3, 5]
+
+    def test_lax_member_over_array(self, form):
+        # member step auto-unnests the array in lax mode
+        assert evaluate("$.store.books.title", form=form) == ["A", "B", "C"]
+
+    def test_lax_array_step_on_scalar(self, form):
+        assert evaluate("$.store.name[0]", form=form) == ["Books & More"]
+        assert evaluate("$.store.name[*]", form=form) == ["Books & More"]
+
+    def test_wildcard_member(self, form):
+        values = evaluate("$.store.address.*", form=form)
+        assert sorted(values) == ["94105", "SF"]
+
+    def test_descendant(self, form):
+        assert sorted(evaluate("$..price", form=form)) == [7, 10, 25.5]
+
+    def test_descendant_nested_name(self, form):
+        assert evaluate("$..zip", form=form) == ["94105"]
+
+    def test_filter_comparison(self, form):
+        assert evaluate("$.store.books[*]?(@.price > 9).title",
+                        form=form) == ["A", "B"]
+
+    def test_filter_equality_string(self, form):
+        assert evaluate('$.store.books[*]?(@.title == "B").price',
+                        form=form) == [25.5]
+
+    def test_filter_and_or(self, form):
+        assert evaluate(
+            '$.store.books[*]?(@.price < 9 || @.title == "A").title',
+            form=form) == ["A", "C"]
+        assert evaluate(
+            '$.store.books[*]?(@.price > 5 && @.price < 20).title',
+            form=form) == ["A", "C"]
+
+    def test_filter_not(self, form):
+        assert evaluate('$.store.books[*]?(!(@.title == "B")).title',
+                        form=form) == ["A", "C"]
+
+    def test_filter_exists(self, form):
+        assert evaluate("$.store.books[*]?(exists(@.tags)).title",
+                        form=form) == ["A", "C"]
+
+    def test_filter_on_context_scalar(self, form):
+        assert evaluate("$.counts[*]?(@ >= 4)", form=form) == [4, 5]
+
+    def test_filter_has_substring(self, form):
+        assert evaluate('$.store?(@.name has substring "Books").name',
+                        form=form) == ["Books & More"]
+        assert evaluate('$.store?(@.name has substring "zzz").name',
+                        form=form) == []
+
+    def test_filter_starts_with(self, form):
+        assert evaluate('$.store?(@.name starts with "Books").name',
+                        form=form) == ["Books & More"]
+
+    def test_filter_path_vs_path(self, form):
+        doc = {"rows": [{"a": 1, "b": 1}, {"a": 1, "b": 2}]}
+        assert len(evaluate("$.rows[*]?(@.a == @.b)", doc=doc,
+                            form=form)) == 1
+
+    def test_filter_null_semantics(self, form):
+        doc = {"rows": [{"v": None}, {"v": 1}, {}]}
+        assert len(evaluate("$.rows[*]?(@.v == null)", doc=doc,
+                            form=form)) == 1
+
+    def test_cross_type_comparison_is_false(self, form):
+        doc = {"rows": [{"v": "5"}, {"v": 5}]}
+        assert len(evaluate("$.rows[*]?(@.v == 5)", doc=doc,
+                            form=form)) == 1
+
+    def test_existential_comparison_over_array(self, form):
+        # lax: @.tags unwraps; true if ANY element matches
+        assert evaluate('$.store.books[*]?(@.tags == "y").title',
+                        form=form) == ["A"]
+
+    def test_materializes_containers(self, form):
+        result = evaluate("$.store.address", form=form)
+        assert result == [{"city": "SF", "zip": "94105"}]
+
+
+class TestItemMethods:
+    def test_size(self):
+        assert evaluate("$.store.books.size()") == [3]
+        assert evaluate("$.store.name.size()") == [1]
+
+    def test_type(self):
+        assert evaluate("$.store.type()") == ["object"]
+        assert evaluate("$.store.books.type()") == ["array"]
+        assert evaluate("$.store.name.type()") == ["string"]
+        assert evaluate("$.store.open.type()") == ["boolean"]
+        assert evaluate("$.counts[0].type()") == ["number"]
+
+    def test_number(self):
+        assert evaluate('$.store.address.zip.number()') == [94105]
+
+    def test_string(self):
+        assert evaluate("$.counts[0].string()") == ["1"]
+        assert evaluate("$.store.open.string()") == ["true"]
+
+    def test_length(self):
+        assert evaluate("$.store.address.city.length()") == [2]
+
+    def test_numeric_methods(self):
+        doc = {"v": -2.5}
+        assert evaluate("$.v.ceiling()", doc=doc) == [-2]
+        assert evaluate("$.v.floor()", doc=doc) == [-3]
+        assert evaluate("$.v.abs()", doc=doc) == [2.5]
+
+    def test_method_not_final_rejected(self):
+        with pytest.raises(PathEvaluationError):
+            PathEvaluator(parse_path("$.a.size().b"))
+
+
+class TestStrictMode:
+    def test_missing_member_raises(self):
+        with pytest.raises(PathEvaluationError):
+            evaluate("strict $.store.nothing")
+
+    def test_member_on_scalar_raises(self):
+        with pytest.raises(PathEvaluationError):
+            evaluate("strict $.store.name.deeper")
+
+    def test_array_step_on_non_array_raises(self):
+        with pytest.raises(PathEvaluationError):
+            evaluate("strict $.store.name[0]")
+
+    def test_index_out_of_range_raises(self):
+        with pytest.raises(PathEvaluationError):
+            evaluate("strict $.counts[99]")
+
+    def test_valid_strict_path_works(self):
+        assert evaluate("strict $.store.books[0].title") == ["A"]
+
+    def test_no_auto_unnesting(self):
+        with pytest.raises(PathEvaluationError):
+            evaluate("strict $.store.books.title")
+
+
+class TestExists:
+    def test_exists_true_false(self):
+        adapter = adapter_for(DOC)
+        assert PathEvaluator(parse_path("$.store.books")).exists(adapter)
+        assert not PathEvaluator(parse_path("$.store.cds")).exists(adapter)
+
+    def test_empty_array_still_exists(self):
+        adapter = adapter_for({"a": []})
+        assert PathEvaluator(parse_path("$.a")).exists(adapter)
+        assert not PathEvaluator(parse_path("$.a[*]")).exists(adapter)

@@ -1,0 +1,174 @@
+"""Tests for the SQL/JSON path lexer and parser."""
+
+import pytest
+
+from repro.errors import PathSyntaxError
+from repro.sqljson.path import ast
+from repro.sqljson.path.parser import compile_path, parse_path
+
+
+class TestBasicPaths:
+    def test_root_only(self):
+        path = parse_path("$")
+        assert path.steps == ()
+        assert path.mode == ast.LAX
+
+    def test_member_chain(self):
+        path = parse_path("$.purchaseOrder.items")
+        assert [s.name for s in path.steps] == ["purchaseOrder", "items"]
+
+    def test_quoted_member(self):
+        path = parse_path('$."weird name"."with.dot"')
+        assert [s.name for s in path.steps] == ["weird name", "with.dot"]
+
+    def test_quoted_member_escapes(self):
+        path = parse_path(r'$."tab\there"')
+        assert path.steps[0].name == "tab\there"
+
+    def test_wildcard_member(self):
+        path = parse_path("$.*")
+        assert isinstance(path.steps[0], ast.WildcardMemberStep)
+
+    def test_descendant(self):
+        path = parse_path("$..price")
+        assert isinstance(path.steps[0], ast.DescendantStep)
+        assert path.steps[0].name == "price"
+
+    def test_modes(self):
+        assert parse_path("lax $.a").mode == ast.LAX
+        assert parse_path("strict $.a").mode == ast.STRICT
+
+    def test_keywords_usable_as_field_names(self):
+        path = parse_path("$.lax.strict.exists.to")
+        assert [s.name for s in path.steps] == ["lax", "strict", "exists", "to"]
+
+
+class TestArraySteps:
+    def test_wildcard(self):
+        step = parse_path("$.a[*]").steps[1]
+        assert step.is_wildcard
+
+    def test_single_index(self):
+        step = parse_path("$[3]").steps[0]
+        assert step.indexes == (ast.ArrayIndex(3),)
+
+    def test_range(self):
+        step = parse_path("$[1 to 4]").steps[0]
+        assert step.indexes[0].start == 1
+        assert step.indexes[0].end == 4
+
+    def test_list_of_ranges(self):
+        step = parse_path("$[0, 2, 5 to 7]").steps[0]
+        assert len(step.indexes) == 3
+
+    def test_last(self):
+        step = parse_path("$[last]").steps[0]
+        assert step.indexes[0].last_relative
+        assert step.indexes[0].start == 0
+
+    def test_last_minus(self):
+        step = parse_path("$[last-2]").steps[0]
+        assert step.indexes[0].last_relative
+        assert step.indexes[0].start == 2
+
+    def test_range_to_last(self):
+        step = parse_path("$[1 to last]").steps[0]
+        assert step.indexes[0].end_last_relative
+
+    def test_float_index_rejected(self):
+        with pytest.raises(PathSyntaxError):
+            parse_path("$[1.5]")
+
+
+class TestFilters:
+    def test_comparison(self):
+        path = parse_path("$.items?(@.price > 100)")
+        predicate = path.steps[1].predicate
+        assert isinstance(predicate, ast.Comparison)
+        assert predicate.op == ">"
+
+    def test_all_comparison_ops(self):
+        for op in ("==", "!=", "<", "<=", ">", ">=", "<>"):
+            parse_path(f"$?(@.x {op} 1)")
+
+    def test_boolean_connectives(self):
+        path = parse_path("$?(@.a == 1 && @.b == 2 || @.c == 3)")
+        assert isinstance(path.steps[0].predicate, ast.Or)
+
+    def test_not(self):
+        path = parse_path("$?(!(@.a == 1))")
+        assert isinstance(path.steps[0].predicate, ast.Not)
+
+    def test_exists(self):
+        path = parse_path("$?(exists(@.a.b))")
+        assert isinstance(path.steps[0].predicate, ast.Exists)
+
+    def test_literals(self):
+        path = parse_path('$?(@.a == "x" || @.b == 1.5 || @.c == true '
+                          "|| @.d == false || @.e == null || @.f == -3)")
+        literals = [p.right.value for p in path.steps[0].predicate.parts]
+        assert literals == ["x", 1.5, True, False, None, -3]
+
+    def test_context_item_comparison(self):
+        path = parse_path("$.tags[*]?(@ == \"x\")")
+        predicate = path.steps[2].predicate
+        assert predicate.left.steps == ()
+
+    def test_has_substring(self):
+        path = parse_path('$?(@.name has substring "pho")')
+        assert path.steps[0].predicate.kind == "has_substring"
+
+    def test_starts_with(self):
+        path = parse_path('$?(@.name starts with "ph")')
+        assert path.steps[0].predicate.kind == "starts_with"
+
+    def test_path_to_path_comparison(self):
+        path = parse_path("$?(@.a == @.b)")
+        predicate = path.steps[0].predicate
+        assert isinstance(predicate.right, ast.RelativePath)
+
+
+class TestItemMethods:
+    @pytest.mark.parametrize("method", ["size", "type", "count", "number",
+                                        "string", "length", "double",
+                                        "ceiling", "floor", "abs"])
+    def test_methods_parse(self, method):
+        path = parse_path(f"$.a.{method}()")
+        assert isinstance(path.steps[-1], ast.ItemMethodStep)
+        assert path.steps[-1].method == method
+
+    def test_method_name_without_parens_is_member(self):
+        path = parse_path("$.size")
+        assert isinstance(path.steps[0], ast.MemberStep)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "a.b", ".a", "$.", "$[", "$[]", "$[1", "$.a?(", "$.a?()",
+        "$?(@.a =)", "$?(@.a == )", "$?(@.a & @.b)", "$?(@.a | 1)",
+        "$.a extra", "$..", "$?(has)", "$?(@ has \"x\")",
+        "$?(@ starts \"x\")", "$[last+1]",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(PathSyntaxError):
+            parse_path(bad)
+
+
+class TestCompileCache:
+    def test_compile_path_memoized(self):
+        assert compile_path("$.a.b") is compile_path("$.a.b")
+
+    def test_compiled_hashes_precomputed(self):
+        from repro.core.oson.hashing import field_name_hash
+        path = compile_path("$.someField")
+        assert path.steps[0].compiled.hash == field_name_hash("someField")
+
+
+class TestRoundTripStr:
+    @pytest.mark.parametrize("text", [
+        "$", "$.a", "$.a.b[*]", "$[0]", "$[last]", "$[last-2]",
+        "$[1 to 3]", "$[0, 2]", "$.*", "$..name", "$.a.size()",
+    ])
+    def test_str_reparses_to_same_ast(self, text):
+        path = parse_path(text)
+        assert parse_path(str(path)) == path

@@ -1,0 +1,88 @@
+"""Tests for the streaming path engine over JSON text events."""
+
+from hypothesis import given, settings
+
+from repro.jsontext import dumps
+from repro.sqljson.adapters import DictAdapter
+from repro.sqljson.path.evaluator import PathEvaluator
+from repro.sqljson.path.parser import parse_path
+from repro.sqljson.path.streaming import (
+    is_streamable,
+    stream_exists,
+    stream_select,
+)
+from tests.strategies import json_documents
+
+DOC = {
+    "a": {"b": [{"c": 1}, {"c": 2}, {"d": 3}]},
+    "x": [10, 20, 30],
+    "y": "scalar",
+}
+TEXT = dumps(DOC)
+
+
+class TestStreamability:
+    def test_simple_paths_streamable(self):
+        for text in ("$", "$.a", "$.a.b", "$.a.b[*]", "$.a.b[0].c",
+                     "$.x[2]"):
+            assert is_streamable(parse_path(text)), text
+
+    def test_complex_paths_not_streamable(self):
+        for text in ("$.a.b[*]?(@.c == 1)", "$..c", "$.*", "$.x[last]",
+                     "$.x[0 to 1]", "$.x[0, 2]", "$.a.size()"):
+            assert not is_streamable(parse_path(text)), text
+
+
+class TestStreamSelect:
+    def test_member_chain(self):
+        assert stream_select(TEXT, parse_path("$.y")) == ["scalar"]
+
+    def test_nested(self):
+        assert stream_select(TEXT, parse_path("$.a.b[0].c")) == [1]
+
+    def test_wildcard(self):
+        assert stream_select(TEXT, parse_path("$.a.b[*].c")) == [1, 2]
+
+    def test_index(self):
+        assert stream_select(TEXT, parse_path("$.x[1]")) == [20]
+
+    def test_missing(self):
+        assert stream_select(TEXT, parse_path("$.nope.deep")) == []
+
+    def test_materializes_subtree(self):
+        assert stream_select(TEXT, parse_path("$.a.b[2]")) == [{"d": 3}]
+
+    def test_lax_unnest_in_stream(self):
+        # member step over an array of objects auto-unnests
+        assert stream_select(TEXT, parse_path("$.a.b.c")) == [1, 2]
+
+    def test_fallback_for_complex_path(self):
+        assert stream_select(TEXT, parse_path("$.a.b[*]?(@.c == 2).c")) == [2]
+        assert sorted(stream_select(TEXT, parse_path("$..c"))) == [1, 2]
+
+    def test_exists_short_circuits(self):
+        assert stream_exists(TEXT, parse_path("$.a.b[1].c"))
+        assert not stream_exists(TEXT, parse_path("$.a.b[9]"))
+        assert stream_exists(TEXT, parse_path("$.a.b[*]?(@.d == 3)"))
+
+
+class TestParityWithDom:
+    PATHS = ["$", "$.a", "$.a.b", "$.a.b[*]", "$.a.b[*].c", "$.a.b[1]",
+             "$.x[0]", "$.x[*]", "$.y", "$.missing", "$.a.b.c"]
+
+    def test_stream_equals_dom(self):
+        adapter = DictAdapter(DOC)
+        for text in self.PATHS:
+            path = parse_path(text)
+            dom_result = PathEvaluator(path).values(adapter)
+            assert stream_select(TEXT, path) == dom_result, text
+
+    @settings(max_examples=60)
+    @given(json_documents(max_leaves=12))
+    def test_stream_equals_dom_property(self, doc):
+        text = dumps(doc)
+        adapter = DictAdapter(doc)
+        for path_text in ("$", "$.a", "$.a.b", "$.a[0]", "$.a[*]", "$.a.b[*]"):
+            path = parse_path(path_text)
+            assert (stream_select(text, path)
+                    == PathEvaluator(path).values(adapter)), path_text

@@ -1,0 +1,38 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_engine_sub_hierarchy(self):
+        for cls in (errors.CatalogError, errors.ConstraintViolation,
+                    errors.TypeCoercionError, errors.QueryError):
+            assert issubclass(cls, errors.EngineError)
+
+    def test_oson_update_is_oson_error(self):
+        assert issubclass(errors.OsonUpdateError, errors.OsonError)
+
+    def test_positional_errors_carry_position(self):
+        error = errors.JsonParseError("bad", 17)
+        assert error.position == 17
+        assert "17" in str(error)
+        error = errors.PathSyntaxError("bad", 3)
+        assert error.position == 3
+
+    def test_position_optional(self):
+        error = errors.JsonParseError("bad")
+        assert error.position == -1
+        assert str(error) == "bad"
+
+    def test_catchable_via_base(self):
+        from repro.jsontext import loads
+        with pytest.raises(errors.ReproError):
+            loads("{bad json")

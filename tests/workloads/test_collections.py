@@ -1,0 +1,89 @@
+"""Tests for the twelve synthetic collections (Tables 10-12 inputs)."""
+
+import pytest
+
+from repro.core.dataguide import json_dataguide_agg
+from repro.core.oson.stats import segment_stats, size_stats
+from repro.jsontext import dumps, loads
+from repro.workloads.collections import (
+    COLLECTION_NAMES,
+    all_collections,
+    collection,
+)
+
+EXPECTED_NAMES = ["workOrder", "salesOrder", "eventMessage", "purchaseOrder",
+                  "bookOrder", "LoanNotes", "TwitterMsg", "AcquisionDoc",
+                  "NOBENCHDoc", "YCSBDoc", "TwitterMsgArchive", "SensorData"]
+
+
+class TestRegistry:
+    def test_paper_row_order(self):
+        assert COLLECTION_NAMES == EXPECTED_NAMES
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            collection("nope")
+
+    def test_scale_controls_count(self):
+        assert len(collection("workOrder", scale=0.1)) == 10
+        assert len(collection("workOrder", scale=0.02)) == 2
+        assert len(collection("SensorData", scale=0.001)) == 1  # min 1 doc
+
+    def test_deterministic(self):
+        assert collection("bookOrder", 0.05) == collection("bookOrder", 0.05)
+
+
+class TestDocumentValidity:
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_json_serializable(self, name):
+        scale = 0.02 if name not in ("TwitterMsgArchive", "SensorData") else 1
+        docs = collection(name, scale)
+        for doc in docs[:3]:
+            assert loads(dumps(doc)) == doc
+
+
+class TestStructuralShape:
+    """The qualitative Table 10/11/12 characteristics each collection was
+    designed to reproduce."""
+
+    def test_loan_notes_dictionary_heavy(self):
+        stats = segment_stats(collection("LoanNotes", 0.1))
+        assert stats.dictionary_ratio > 0.5  # paper: 62.7%
+
+    def test_ycsb_value_heavy(self):
+        stats = segment_stats(collection("YCSBDoc", 0.1))
+        assert stats.values_ratio > 0.7  # paper: 84.4%
+
+    def test_sensor_tree_heavy_and_oson_much_smaller(self):
+        docs = collection("SensorData", 0.3)
+        seg = segment_stats(docs)
+        assert seg.tree_ratio > 0.5       # paper: 80.8%
+        assert seg.dictionary_ratio < 0.01
+        sizes = size_stats(docs)
+        assert sizes.avg_oson < 0.7 * sizes.avg_json  # paper: 0.46x
+
+    def test_archive_oson_smaller_than_text(self):
+        sizes = size_stats(collection("TwitterMsgArchive", 0.3))
+        assert sizes.avg_oson < sizes.avg_json  # paper: 2.5M vs 5.05M
+
+    def test_small_collections_near_parity(self):
+        for name in ("workOrder", "salesOrder", "purchaseOrder",
+                     "bookOrder", "YCSBDoc"):
+            sizes = size_stats(collection(name, 0.2))
+            ratio = sizes.avg_oson / sizes.avg_json
+            assert 0.5 < ratio < 1.6, (name, ratio)
+
+    def test_nobench_distinct_paths_dominated_by_sparse(self):
+        guide = json_dataguide_agg(collection("NOBENCHDoc", 1.0))
+        sparse = [p for p in guide.paths() if "sparse_" in p]
+        assert len(sparse) >= 500
+
+    def test_sensor_fan_out_is_huge(self):
+        """Table 12: SensorData's DMDV fan-out ratio is in the tens of
+        thousands; ours must at least be very large per document."""
+        from repro.core.dataguide.views import build_json_table
+        docs = collection("SensorData", 0.1)
+        guide = json_dataguide_agg(docs)
+        jt = build_json_table(guide)
+        fan_out = len(jt.rows(docs[0]))
+        assert fan_out > 1000

@@ -1,0 +1,152 @@
+"""Tests for the NOBENCH generator and query suite."""
+
+import pytest
+
+from repro.imc.json_modes import (
+    JsonColumnIMC,
+    OSON_IMC_MODE,
+    TEXT_MODE,
+    VC_IMC_MODE,
+)
+from repro.jsontext import dumps
+from repro.workloads.nobench import (
+    NobenchGenerator,
+    NobenchQueries,
+    SPARSE_FIELD_COUNT,
+    SPARSE_PER_DOCUMENT,
+    VC_PATHS,
+)
+
+N = 400
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = NobenchGenerator(seed=1).document(5)
+        b = NobenchGenerator(seed=1).document(5)
+        assert a == b
+
+    def test_common_fields(self):
+        doc = NobenchGenerator().document(3)
+        for field in ("str1", "str2", "num", "bool", "dyn1", "dyn2",
+                      "nested_obj", "nested_arr", "thousandth"):
+            assert field in doc
+        assert doc["num"] == 3
+        assert doc["thousandth"] == 3
+
+    def test_sparse_fields_per_document(self):
+        doc = NobenchGenerator().document(0)
+        sparse = [k for k in doc if k.startswith("sparse_")]
+        assert len(sparse) == SPARSE_PER_DOCUMENT
+
+    def test_sparse_space_covered(self):
+        docs = list(NobenchGenerator().documents(SPARSE_FIELD_COUNT // SPARSE_PER_DOCUMENT))
+        seen = set()
+        for doc in docs:
+            seen.update(k for k in doc if k.startswith("sparse_"))
+        assert len(seen) == SPARSE_FIELD_COUNT
+
+    def test_dynamic_typing(self):
+        generator = NobenchGenerator()
+        assert isinstance(generator.document(4)["dyn1"], int)
+        assert isinstance(generator.document(5)["dyn1"], str)
+
+    def test_homogeneous_documents_identical_structure(self):
+        docs = list(NobenchGenerator().homogeneous_documents(10))
+        keys = set(frozenset(d) for d in docs)
+        assert len(keys) == 1
+
+    def test_heterogeneous_documents_unique_fields(self):
+        docs = list(NobenchGenerator().heterogeneous_documents(10))
+        uniques = [k for d in docs for k in d if k.startswith("unique_")]
+        assert len(set(uniques)) == 10
+
+
+def make_queries(mode, vc_paths=()):
+    texts = [dumps(d) for d in NobenchGenerator().documents(N)]
+    imc = JsonColumnIMC(mode, vc_paths)
+    imc.load_texts(texts)
+    imc.populate()
+    return NobenchQueries(imc, N)
+
+
+@pytest.fixture(scope="module")
+def text_queries():
+    return make_queries(TEXT_MODE)
+
+
+@pytest.fixture(scope="module")
+def oson_queries():
+    return make_queries(OSON_IMC_MODE)
+
+
+@pytest.fixture(scope="module")
+def vc_queries():
+    return make_queries(VC_IMC_MODE, VC_PATHS)
+
+
+class TestQueries:
+    def test_q1_projects_all(self, oson_queries):
+        result = oson_queries.q1()
+        assert len(result) == N
+        assert result[5] == (oson_queries.q1()[5])
+
+    def test_q2_nested_projection(self, oson_queries):
+        result = oson_queries.q2()
+        assert len(result) == N
+        assert result[3][1] == 3  # nested_obj.num == i
+
+    def test_q3_q4_sparse_projection(self, oson_queries):
+        assert 0 < len(oson_queries.q3()) < N
+        assert 0 < len(oson_queries.q4()) < N
+
+    def test_q5_point_lookup(self, oson_queries):
+        assert len(oson_queries.q5()) == 1
+
+    def test_q6_range(self, oson_queries):
+        low, span = 100, 10
+        result = oson_queries.q6(low, span)
+        assert result == list(range(low, low + span))
+
+    def test_q7_dynamic_range(self, oson_queries):
+        result = oson_queries.q7(100, 10)
+        # only even docs have numeric dyn1
+        assert result == [v for v in range(100, 110) if v % 2 == 0]
+
+    def test_q8_array_membership(self, oson_queries):
+        assert len(oson_queries.q8()) >= 1
+
+    def test_q9_sparse_predicate(self, oson_queries):
+        result = oson_queries.q9()
+        assert all("sparse_550" in doc for doc in result)
+
+    def test_q10_groupby_sum(self, oson_queries):
+        sums = oson_queries.q10()
+        assert sum(sums.values()) == sum(range(N))
+
+    def test_q11_self_join(self, oson_queries):
+        matches = oson_queries.q11(limit=50)
+        # nested_obj.str == str1 of the same document by construction
+        assert all(a == b for a, b in matches)
+        assert len(matches) == 50
+
+
+class TestModeParity:
+    """All three modes must return identical results (Figures 5/6 compare
+    time, not answers)."""
+
+    def test_text_vs_oson(self, text_queries, oson_queries):
+        assert text_queries.run_all() == oson_queries.run_all()
+
+    def test_oson_vs_vc(self, oson_queries, vc_queries):
+        # VC mode accelerates Q6/Q7/Q10/Q11; results must not change
+        assert oson_queries.q6() == vc_queries.q6()
+        assert oson_queries.q7() == vc_queries.q7()
+        assert oson_queries.q10() == vc_queries.q10()
+        assert sorted(oson_queries.q11(limit=100)) == \
+            sorted(vc_queries.q11(limit=100))
+
+    def test_vc_uses_vectors(self, vc_queries):
+        assert vc_queries.source.has_vector("$.num")
+        assert vc_queries.source.has_vector("$.dyn1")
+        assert vc_queries.source.has_vector("$.str1")

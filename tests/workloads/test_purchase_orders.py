@@ -1,0 +1,138 @@
+"""Tests for the purchaseOrder workload: generator, views, Q1-Q9 parity."""
+
+import pytest
+
+from repro import bson
+from repro.core.oson import encode as oson_encode
+from repro.engine import Column, Database, NUMBER, CLOB
+from repro.engine.types import BLOB
+from repro.jsontext import dumps
+from repro.workloads.purchase_orders import (
+    PoOlapQueries,
+    PoQueryParams,
+    PurchaseOrderGenerator,
+    build_po_views,
+    build_rel_views,
+)
+from repro.workloads.relational import (
+    create_rel_tables,
+    rel_storage_bytes,
+    shred_documents,
+)
+
+N = 120
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return list(PurchaseOrderGenerator().documents(N))
+
+
+@pytest.fixture(scope="module")
+def all_storages(documents):
+    """The four storage methods of Figure 3, sharing one Database."""
+    db = Database()
+    setups = {}
+    encodings = [("json", dumps, CLOB), ("bson", bson.encode, BLOB),
+                 ("oson", oson_encode, BLOB)]
+    for name, encode_fn, sql_type in encodings:
+        table = db.create_table(f"po_{name}", [Column("did", NUMBER),
+                                               Column("jdoc", sql_type)])
+        for i, doc in enumerate(documents):
+            table.insert({"did": i, "jdoc": encode_fn(doc)})
+        mv, dmdv = build_po_views(db, table, "jdoc", name)
+        setups[name] = PoOlapQueries(mv, dmdv)
+    master, detail = create_rel_tables(db)
+    shred_documents(master, detail, documents)
+    mv, dmdv = build_rel_views(db, master, detail, "rel")
+    setups["rel"] = PoOlapQueries(mv, dmdv)
+    return db, setups, master, detail
+
+
+class TestGenerator:
+    def test_deterministic(self, documents):
+        again = list(PurchaseOrderGenerator().documents(N))
+        assert documents == again
+
+    def test_master_detail_shape(self, documents):
+        po = documents[0]["purchaseOrder"]
+        assert {"reference", "requestor", "costcenter", "items"} <= set(po)
+        item = po["items"][0]
+        assert {"itemno", "partno", "description", "quantity",
+                "unitprice"} <= set(item)
+
+    def test_item_counts_in_range(self, documents):
+        for doc in documents:
+            assert 1 <= len(doc["purchaseOrder"]["items"]) <= 5
+
+
+class TestStorageParity:
+    """The paper's premise: the views hide the physical storage, so all
+    four storages must return identical answers for Q1-Q9."""
+
+    def test_all_queries_agree(self, documents, all_storages):
+        _db, setups, _m, _d = all_storages
+        params = PoQueryParams(documents)
+        results = {name: queries.run_all(params)
+                   for name, queries in setups.items()}
+        assert results["json"] == results["bson"] == results["oson"] \
+            == results["rel"]
+
+    def test_q2_groups_match_document_counts(self, documents, all_storages):
+        _db, setups, _m, _d = all_storages
+        rows = setups["oson"].q2()
+        assert sum(r["n"] for r in rows) == N
+
+    def test_q6_window_results(self, documents, all_storages):
+        _db, setups, _m, _d = all_storages
+        params = PoQueryParams(documents)
+        oson_rows = setups["oson"].q6(params.partno)
+        rel_rows = setups["rel"].q6(params.partno)
+        assert oson_rows == rel_rows
+        assert all("difference" in r for r in oson_rows)
+
+    def test_q7_sums_match_manual(self, documents, all_storages):
+        _db, setups, _m, _d = all_storages
+        expected: dict = {}
+        for doc in documents:
+            po = doc["purchaseOrder"]
+            for item in po["items"]:
+                cc = po["costcenter"]
+                expected[cc] = expected.get(cc, 0) \
+                    + item["quantity"] * item["unitprice"]
+        rows = setups["json"].q7()
+        got = {r["costcenter"]: r["total"] for r in rows}
+        assert got.keys() == expected.keys()
+        for cc in expected:
+            assert got[cc] == pytest.approx(expected[cc])
+
+    def test_q9_row_count_is_total_items(self, documents, all_storages):
+        _db, setups, _m, _d = all_storages
+        total_items = sum(len(d["purchaseOrder"]["items"])
+                          for d in documents)
+        assert len(setups["bson"].q9()) == total_items
+
+
+class TestRelStorage:
+    def test_shred_row_counts(self, documents, all_storages):
+        _db, _s, master, detail = all_storages
+        assert len(master) == N
+        assert len(detail) == sum(len(d["purchaseOrder"]["items"])
+                                  for d in documents)
+
+    def test_storage_bytes_accounts_indexes(self, all_storages):
+        _db, _s, master, detail = all_storages
+        assert rel_storage_bytes(master, detail) > \
+            master.storage_bytes() + detail.storage_bytes()
+
+    def test_figure4_shape_rel_smallest(self, documents, all_storages):
+        """Figure 4: REL < JSON ~= OSON < BSON (BSON marginally biggest)."""
+        db, _s, master, detail = all_storages
+        sizes = {name: db.table(f"po_{name}").storage_bytes()
+                 for name in ("json", "bson", "oson")}
+        sizes["rel"] = rel_storage_bytes(master, detail)
+        assert sizes["rel"] < sizes["json"]
+        assert sizes["rel"] < sizes["oson"]
+        # self-contained formats within ~2x of each other
+        assert max(sizes["json"], sizes["bson"], sizes["oson"]) < \
+            2 * min(sizes["json"], sizes["bson"], sizes["oson"])

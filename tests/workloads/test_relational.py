@@ -1,0 +1,59 @@
+"""Tests for the REL storage decomposition."""
+
+from repro.engine import Database
+from repro.workloads.purchase_orders import PurchaseOrderGenerator
+from repro.workloads.relational import (
+    create_rel_tables,
+    rel_storage_bytes,
+    shred_documents,
+)
+
+
+def setup(n=25):
+    db = Database()
+    master, detail = create_rel_tables(db)
+    docs = list(PurchaseOrderGenerator().documents(n))
+    shred_documents(master, detail, docs)
+    return db, master, detail, docs
+
+
+class TestShredding:
+    def test_row_counts(self):
+        _db, master, detail, docs = setup()
+        assert len(master) == len(docs)
+        assert len(detail) == sum(len(d["purchaseOrder"]["items"])
+                                  for d in docs)
+
+    def test_foreign_keys_consistent(self):
+        _db, master, detail, _docs = setup()
+        master_ids = {r["po_id"] for r in master.scan()}
+        assert all(r["po_id"] in master_ids for r in detail.scan())
+
+    def test_values_preserved(self):
+        _db, master, detail, docs = setup()
+        po = docs[3]["purchaseOrder"]
+        master_row = [r for r in master.scan() if r["po_id"] == 3][0]
+        assert master_row["reference"] == po["reference"]
+        assert master_row["costcenter"] == po["costcenter"]
+        detail_rows = [r for r in detail.scan() if r["po_id"] == 3]
+        assert [r["partno"] for r in detail_rows] == \
+            [i["partno"] for i in po["items"]]
+
+    def test_optional_foreign_id(self):
+        _db, master, _detail, docs = setup(100)
+        with_fid = sum("foreign_id" in d["purchaseOrder"] for d in docs)
+        stored = sum(r["foreign_id"] is not None for r in master.scan())
+        assert stored == with_fid
+
+    def test_line_item_ids_unique(self):
+        _db, _master, detail, _docs = setup()
+        ids = [r["li_id"] for r in detail.scan()]
+        assert len(ids) == len(set(ids))
+
+
+class TestStorageAccounting:
+    def test_index_bytes_included(self):
+        _db, master, detail, _docs = setup()
+        base = master.storage_bytes() + detail.storage_bytes()
+        with_indexes = rel_storage_bytes(master, detail)
+        assert with_indexes == base + 8 * (len(master) + 2 * len(detail))
