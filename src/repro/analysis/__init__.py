@@ -1,0 +1,35 @@
+"""Static analysis for the repro codebase and its binary formats.
+
+Two pillars (see DESIGN.md, "Static analysis"):
+
+* **Binary image verifiers** — :func:`verify_oson` and :func:`verify_bson`
+  statically check a byte image against the structural invariants of the
+  format *without* running the decoder, emitting structured
+  :class:`Diagnostic` records instead of raising.  A clean report is a
+  proof obligation for the decoder: every image the verifier accepts must
+  decode, and every image the encoder produces must verify clean (the
+  differential tests under ``tests/analysis/`` enforce both directions).
+
+* **AST lint pass** — :class:`LintEngine` walks Python sources and
+  enforces project invariants (bounds-guarded byte reads, exhaustive
+  opcode dispatch, no broad exception handlers, ...).  The repo lints
+  itself in CI via ``python -m repro.analysis lint src/repro``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Severity, has_errors
+from repro.analysis.oson_verifier import verify_oson
+from repro.analysis.bson_verifier import verify_bson
+from repro.analysis.lint.engine import LintEngine, LintRule, ModuleContext
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "has_errors",
+    "verify_oson",
+    "verify_bson",
+    "LintEngine",
+    "LintRule",
+    "ModuleContext",
+]

@@ -1,0 +1,192 @@
+"""Static BSON image verifier (JSON-reachable subset of bsonspec.org).
+
+Walks the element list of a document purely structurally — the decoder
+is never invoked — checking:
+
+* the document length word is in ``[5, remaining bytes]`` and the byte it
+  points past ends the document with a trailing NUL (``bson.length``,
+  ``bson.trailer``);
+* element type tags are in the supported set (``bson.type``);
+* field names are NUL-terminated inside the document and valid UTF-8
+  (``bson.name``); array documents use the canonical ``"0", "1", ...``
+  index keys (``bson.array.keys``);
+* each element's value extent — fixed-width scalars, length-prefixed
+  strings, nested container length words — stays inside its enclosing
+  document (``bson.bounds``), string payloads carry their terminating
+  NUL and decode as UTF-8 (``bson.string``), booleans are strictly
+  ``0``/``1`` (``bson.boolean``);
+* nested documents and arrays are verified recursively and must exactly
+  fill their claimed extent; the element list must end exactly at the
+  trailing NUL (``bson.trailer``);
+* for a top-level image, the document must span the entire buffer —
+  trailing slack bytes are an ERROR because the format is
+  self-delimiting (``bson.slack``).
+
+Emits :class:`~repro.analysis.diagnostics.Diagnostic` records, never
+raises.  An image is accepted when no ERROR diagnostic is produced.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.bson import constants as c
+
+_unpack_i32 = struct.Struct("<i").unpack_from
+
+_SCALAR_TAGS = {c.TYPE_DOUBLE, c.TYPE_STRING, c.TYPE_BOOLEAN, c.TYPE_NULL,
+                c.TYPE_INT32, c.TYPE_INT64}
+_CONTAINER_TAGS = {c.TYPE_DOCUMENT, c.TYPE_ARRAY}
+_KNOWN_TAGS = _SCALAR_TAGS | _CONTAINER_TAGS
+
+#: recursion guard: deeper nesting than this is reported, not followed
+_MAX_DEPTH = 200
+
+
+def verify_bson(data: bytes) -> List[Diagnostic]:
+    """Statically verify a BSON byte image; returns all findings."""
+    verifier = _BsonVerifier(data)
+    end = verifier.check_document(0, len(data), is_array=False, depth=0)
+    if end is not None and end != len(data):
+        verifier.error("bson.slack",
+                       f"{len(data) - end} trailing bytes after the "
+                       "top-level document", end)
+    return verifier.diagnostics
+
+
+class _BsonVerifier:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.diagnostics: List[Diagnostic] = []
+
+    def error(self, rule: str, message: str, offset: int) -> None:
+        self.diagnostics.append(Diagnostic(rule, message, Severity.ERROR,
+                                           offset=offset))
+
+    # -- documents ---------------------------------------------------------
+
+    def check_document(self, start: int, limit: int, is_array: bool,
+                       depth: int):
+        """Verify one document in ``[start, limit)``; returns its end
+        offset, or None when the frame itself is broken."""
+        data = self.data
+        if depth > _MAX_DEPTH:
+            self.error("bson.depth",
+                       f"nesting deeper than {_MAX_DEPTH} levels", start)
+            return None
+        if limit - start < 5:
+            self.error("bson.length",
+                       f"{limit - start} bytes left, document needs at "
+                       "least 5", start)
+            return None
+        (total,) = _unpack_i32(data, start)
+        if total < 5 or start + total > limit:
+            self.error("bson.length",
+                       f"document length word {total} outside the "
+                       f"{limit - start} available bytes", start)
+            return None
+        end = start + total
+        if data[end - 1] != 0:
+            self.error("bson.trailer",
+                       "document does not end with a NUL terminator",
+                       end - 1)
+            return None
+        self.check_elements(start + 4, end - 1, is_array, depth)
+        return end
+
+    def check_elements(self, pos: int, list_end: int, is_array: bool,
+                       depth: int) -> None:
+        data = self.data
+        index = 0
+        while pos < list_end:
+            tag = data[pos]
+            if tag not in _KNOWN_TAGS:
+                self.error("bson.type",
+                           f"unsupported element type 0x{tag:02x}", pos)
+                return
+            name_start = pos + 1
+            nul = data.find(b"\x00", name_start, list_end)
+            if nul < 0:
+                self.error("bson.name",
+                           "field name is not NUL-terminated inside the "
+                           "document", name_start)
+                return
+            raw_name = data[name_start:nul]
+            name = None
+            try:
+                name = raw_name.decode("utf-8")
+            except UnicodeDecodeError:
+                self.error("bson.name",
+                           "field name is not valid UTF-8", name_start)
+            if is_array and name is not None and name != str(index):
+                self.error("bson.array.keys",
+                           f"array element {index} keyed {name!r} instead "
+                           f"of {str(index)!r}", name_start)
+            value_pos = nul + 1
+            next_pos = self.check_value(tag, value_pos, list_end, depth)
+            if next_pos is None:
+                return
+            pos = next_pos
+            index += 1
+        if pos != list_end:
+            self.error("bson.trailer",
+                       "element list does not end exactly at the document "
+                       "terminator", pos)
+
+    # -- values ------------------------------------------------------------
+
+    def check_value(self, tag: int, pos: int, limit: int, depth: int):
+        """Verify one element value; returns the offset just past it."""
+        data = self.data
+        if tag == c.TYPE_NULL:
+            return pos
+        if tag == c.TYPE_BOOLEAN:
+            if pos + 1 > limit:
+                self.error("bson.bounds", "boolean value overruns the "
+                           "document", pos)
+                return None
+            if data[pos] not in (0, 1):
+                self.error("bson.boolean",
+                           f"boolean byte is 0x{data[pos]:02x}, must be "
+                           "0x00 or 0x01", pos)
+            return pos + 1
+        if tag == c.TYPE_INT32:
+            return self.fixed(pos, 4, limit, "int32")
+        if tag in (c.TYPE_INT64, c.TYPE_DOUBLE):
+            return self.fixed(pos, 8, limit,
+                              "int64" if tag == c.TYPE_INT64 else "double")
+        if tag == c.TYPE_STRING:
+            if pos + 4 > limit:
+                self.error("bson.bounds",
+                           "string length word overruns the document", pos)
+                return None
+            (length,) = _unpack_i32(data, pos)
+            if length < 1 or pos + 4 + length > limit:
+                self.error("bson.string",
+                           f"string length {length} outside the document",
+                           pos)
+                return None
+            payload_end = pos + 4 + length - 1
+            if data[payload_end] != 0:
+                self.error("bson.string",
+                           "string payload is missing its NUL terminator",
+                           payload_end)
+                return None
+            try:
+                data[pos + 4:payload_end].decode("utf-8")
+            except UnicodeDecodeError:
+                self.error("bson.string",
+                           "string payload is not valid UTF-8", pos + 4)
+            return pos + 4 + length
+        # nested document or array
+        return self.check_document(pos, limit, tag == c.TYPE_ARRAY,
+                                   depth + 1)
+
+    def fixed(self, pos: int, size: int, limit: int, what: str):
+        if pos + size > limit:
+            self.error("bson.bounds",
+                       f"{what} value overruns the document", pos)
+            return None
+        return pos + size

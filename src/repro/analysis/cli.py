@@ -1,0 +1,119 @@
+"""``python -m repro.analysis`` — verify binary images, lint the tree.
+
+Subcommands::
+
+    python -m repro.analysis verify IMAGE [IMAGE...]   # files or dirs
+    python -m repro.analysis lint PATH [PATH...]       # .py files or dirs
+
+``verify`` sniffs each file's format from its magic (OSON) or falls
+back to BSON; ``--format`` forces one.  Exit status is 0 when no
+ERROR-severity diagnostic was produced, 1 otherwise; ``--json`` emits a
+machine-readable report instead of one line per finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.bson_verifier import verify_bson
+from repro.analysis.diagnostics import Diagnostic, has_errors
+from repro.analysis.lint.engine import LintEngine
+from repro.analysis.oson_verifier import verify_oson
+from repro.core.oson.constants import MAGIC as OSON_MAGIC
+
+
+def _iter_image_files(paths: Sequence[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*") if p.is_file())
+        else:
+            yield path
+
+
+def _verify_one(data: bytes, forced: Optional[str]) -> Tuple[str,
+                                                             List[Diagnostic]]:
+    fmt = forced or ("oson" if data[:4] == OSON_MAGIC else "bson")
+    verifier = verify_oson if fmt == "oson" else verify_bson
+    return fmt, verifier(data)
+
+
+def _emit(report: List[dict], diagnostics: Iterable[Tuple[str, Diagnostic]],
+          as_json: bool) -> None:
+    for path, diag in diagnostics:
+        if as_json:
+            entry = diag.to_dict()
+            entry["file"] = path
+            report.append(entry)
+        else:
+            prefix = f"{path}: " if diag.path is None else ""
+            print(f"{prefix}{diag.render()}")
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    report: List[dict] = []
+    failed = 0
+    checked = 0
+    for path in _iter_image_files(args.paths):
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            print(f"{path}: cannot read: {exc}", file=sys.stderr)
+            failed += 1
+            continue
+        fmt, diagnostics = _verify_one(data, args.format)
+        checked += 1
+        if has_errors(diagnostics):
+            failed += 1
+        _emit(report, ((str(path), d) for d in diagnostics), args.json)
+        if not args.json and not diagnostics:
+            print(f"{path}: {fmt} image ok ({len(data)} bytes)")
+    if args.json:
+        print(json.dumps({"checked": checked, "failed": failed,
+                          "diagnostics": report}, indent=2))
+    elif failed:
+        print(f"{failed} of {checked} images failed verification")
+    return 1 if failed else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    engine = LintEngine()
+    diagnostics = engine.lint_paths(args.paths)
+    report: List[dict] = []
+    _emit(report, ((d.path or "", d) for d in diagnostics), args.json)
+    if args.json:
+        print(json.dumps({"diagnostics": report}, indent=2))
+    elif not diagnostics:
+        print("lint clean")
+    return 1 if has_errors(diagnostics) else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis: OSON/BSON image verification and "
+                    "project lint rules.")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a JSON report on stdout")
+    commands = parser.add_subparsers(dest="command", required=True)
+    verify = commands.add_parser(
+        "verify", help="verify OSON/BSON binary images")
+    verify.add_argument("paths", nargs="+",
+                        help="image files or directories of images")
+    verify.add_argument("--format", choices=("oson", "bson"),
+                        help="force the image format instead of sniffing")
+    verify.set_defaults(func=cmd_verify)
+    lint = commands.add_parser("lint", help="lint Python sources")
+    lint.add_argument("paths", nargs="+",
+                      help=".py files or directories to lint")
+    lint.set_defaults(func=cmd_lint)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,79 @@
+"""Structured diagnostics shared by the binary verifiers and the linter.
+
+A :class:`Diagnostic` is a plain record, not an exception: analysis
+passes report *everything* they find and never abort on the first
+problem, so a single run over a corrupt image or a source tree yields
+the complete picture.  ``ERROR`` means an invariant of the format (or of
+the codebase) is violated; ``WARNING`` flags suspicious-but-decodable
+structure such as unreferenced slack bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error" / "warning" in reports
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from a verifier or lint rule.
+
+    ``offset`` is a byte offset for binary verifiers; lint diagnostics
+    use ``line``/``column`` and a ``path`` instead.  ``rule`` is a stable
+    machine-readable identifier (e.g. ``oson.tree.bounds`` or
+    ``lint.broad-except``) that tests and allowlists key on.
+    """
+
+    rule: str
+    message: str
+    severity: Severity = Severity.ERROR
+    offset: Optional[int] = None
+    path: Optional[str] = None
+    line: Optional[int] = None
+    column: Optional[int] = None
+    context: dict = field(default_factory=dict, compare=False)
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        where = []
+        if self.path is not None:
+            loc = self.path
+            if self.line is not None:
+                loc += f":{self.line}"
+                if self.column is not None:
+                    loc += f":{self.column}"
+            where.append(loc)
+        if self.offset is not None:
+            where.append(f"byte {self.offset}")
+        prefix = " ".join(where)
+        head = f"{prefix}: " if prefix else ""
+        return f"{head}{self.severity}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for ``--json`` CLI output."""
+        out = {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        for key in ("offset", "path", "line", "column"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    """True if any diagnostic is ERROR severity."""
+    return any(d.severity is Severity.ERROR for d in diagnostics)

@@ -1,0 +1,7 @@
+"""From-scratch pluggable AST lint framework for the repro codebase."""
+
+from __future__ import annotations
+
+from repro.analysis.lint.engine import LintEngine, LintRule, ModuleContext
+
+__all__ = ["LintEngine", "LintRule", "ModuleContext"]

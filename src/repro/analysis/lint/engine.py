@@ -1,0 +1,191 @@
+"""Pluggable AST lint engine.
+
+A :class:`LintRule` inspects one parsed module through a
+:class:`ModuleContext` and yields
+:class:`~repro.analysis.diagnostics.Diagnostic` records.  The
+:class:`LintEngine` parses files once, fans each module out to every
+rule whose path scope matches, and filters findings through inline
+suppression pragmas::
+
+    except Exception:  # lint: ignore[broad-except] top-level CLI guard
+
+The pragma must name the rule id and should carry a justification after
+the bracket; a pragma with no justification text is itself reported
+(``lint.pragma``) so the allowlist stays auditable.  Rules are plain
+objects — registering a new project invariant is writing one class with
+a ``check`` method and adding it to
+:data:`repro.analysis.lint.rules.ALL_RULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*ignore\[([^\]]+)\](.*)")
+
+
+class ModuleContext:
+    """One parsed source module handed to each rule."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        # line number -> set of suppressed rule ids on that line
+        self.suppressions: Dict[int, Set[str]] = {}
+        self.pragma_diagnostics: List[Diagnostic] = []
+        self._scan_pragmas()
+
+    def _scan_pragmas(self) -> None:
+        for lineno, comment in self._iter_comments():
+            match = _PRAGMA_RE.search(comment)
+            if not match:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",")
+                     if part.strip()}
+            self.suppressions[lineno] = rules
+            if not match.group(2).strip():
+                self.pragma_diagnostics.append(Diagnostic(
+                    "lint.pragma",
+                    "suppression pragma carries no justification comment",
+                    Severity.ERROR, path=self.path, line=lineno))
+
+    def _iter_comments(self) -> Iterator[tuple]:
+        """Yield (lineno, text) for real comment tokens only — pragma
+        syntax quoted inside strings or docstrings is not a pragma."""
+        reader = io.StringIO(self.source).readline
+        try:
+            for token in tokenize.generate_tokens(reader):
+                if token.type == tokenize.COMMENT:
+                    yield token.start[0], token.string
+        except (tokenize.TokenizeError, IndentationError, SyntaxError):
+            return  # the ast parse already reported what matters
+
+    def suppression_line(self, rule_id: str,
+                         line: Optional[int]) -> Optional[int]:
+        """The pragma line suppressing ``rule_id`` at ``line``, if any.
+
+        A pragma suppresses findings on its own line and, when it stands
+        on a line of its own, on the line below (the
+        ``disable-next-line`` convention).
+        """
+        if line is None:
+            return None
+        for candidate in (line, line - 1):
+            rules = self.suppressions.get(candidate)
+            if rules and (rule_id in rules or "*" in rules):
+                return candidate
+        return None
+
+    def is_suppressed(self, rule_id: str, line: Optional[int]) -> bool:
+        return self.suppression_line(rule_id, line) is not None
+
+    def diagnostic(self, rule_id: str, message: str, node: ast.AST,
+                   severity: Severity = Severity.ERROR) -> Diagnostic:
+        """Build a Diagnostic anchored at an AST node."""
+        return Diagnostic(rule_id, message, severity, path=self.path,
+                          line=getattr(node, "lineno", None),
+                          column=getattr(node, "col_offset", None))
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    ``rule_id`` is the stable identifier used in reports and pragmas
+    (without the ``lint.`` prefix pragmas may omit).  ``scopes`` limits
+    the rule to paths containing any of the given POSIX fragments;
+    ``None`` applies everywhere.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+    scopes: Optional[Sequence[str]] = None
+
+    def applies_to(self, path: str) -> bool:
+        if not self.scopes:
+            return True
+        posix = path.replace("\\", "/")
+        return any(scope in posix for scope in self.scopes)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+
+class LintEngine:
+    """Runs a rule set over source files and aggregates diagnostics."""
+
+    def __init__(self, rules: Optional[Sequence[LintRule]] = None) -> None:
+        if rules is None:
+            from repro.analysis.lint.rules import ALL_RULES
+            rules = ALL_RULES
+        self.rules = list(rules)
+
+    # -- entry points ------------------------------------------------------
+
+    def lint_paths(self, paths: Iterable[str]) -> List[Diagnostic]:
+        """Lint files and directory trees; directories are walked for
+        ``*.py`` files (hidden directories skipped)."""
+        diagnostics: List[Diagnostic] = []
+        for path in self._iter_files(paths):
+            diagnostics.extend(self.lint_file(path))
+        diagnostics.sort(key=lambda d: (d.path or "", d.line or 0,
+                                        d.column or 0, d.rule))
+        return diagnostics
+
+    def lint_file(self, path: str) -> List[Diagnostic]:
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return [Diagnostic("lint.io", f"cannot read source: {exc}",
+                               Severity.ERROR, path=str(path))]
+        return self.lint_source(source, str(path))
+
+    def lint_source(self, source: str, path: str = "<string>"
+                    ) -> List[Diagnostic]:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [Diagnostic("lint.syntax", f"syntax error: {exc.msg}",
+                               Severity.ERROR, path=path, line=exc.lineno,
+                               column=exc.offset)]
+        ctx = ModuleContext(path, source, tree)
+        found: List[Diagnostic] = list(ctx.pragma_diagnostics)
+        used_pragma_lines: Set[int] = set()
+        for rule in self.rules:
+            if not rule.applies_to(path):
+                continue
+            for diag in rule.check(ctx):
+                pragma_line = ctx.suppression_line(diag.rule, diag.line)
+                if pragma_line is not None:
+                    used_pragma_lines.add(pragma_line)
+                    continue
+                found.append(diag)
+        for lineno in ctx.suppressions:
+            if lineno not in used_pragma_lines:
+                found.append(Diagnostic(
+                    "lint.pragma",
+                    "suppression pragma matches no finding (stale?)",
+                    Severity.WARNING, path=path, line=lineno))
+        return found
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _iter_files(paths: Iterable[str]) -> Iterator[str]:
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                for child in sorted(path.rglob("*.py")):
+                    if any(part.startswith(".") for part in child.parts):
+                        continue
+                    yield str(child)
+            else:
+                yield str(path)

@@ -1,0 +1,41 @@
+"""Lint rule catalog.
+
+Each rule enforces one project invariant; DESIGN.md documents the
+catalog.  Add new rules by appending an instance to :data:`ALL_RULES`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint.rules.asserts import AssertRule
+from repro.analysis.lint.rules.bounds import UnguardedReadRule
+from repro.analysis.lint.rules.defaults import MutableDefaultRule
+from repro.analysis.lint.rules.dispatch import ExhaustiveDispatchRule
+from repro.analysis.lint.rules.exceptions import (
+    BroadExceptRule,
+    RaiseBuiltinRule,
+    SilentExceptRule,
+)
+from repro.analysis.lint.rules.imports import UnusedImportRule
+
+ALL_RULES = [
+    BroadExceptRule(),
+    SilentExceptRule(),
+    RaiseBuiltinRule(),
+    MutableDefaultRule(),
+    UnguardedReadRule(),
+    ExhaustiveDispatchRule(),
+    UnusedImportRule(),
+    AssertRule(),
+]
+
+__all__ = [
+    "ALL_RULES",
+    "AssertRule",
+    "BroadExceptRule",
+    "ExhaustiveDispatchRule",
+    "MutableDefaultRule",
+    "RaiseBuiltinRule",
+    "SilentExceptRule",
+    "UnguardedReadRule",
+    "UnusedImportRule",
+]

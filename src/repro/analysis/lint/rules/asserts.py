@@ -1,0 +1,32 @@
+"""No-assert rule for library code.
+
+``assert`` statements vanish under ``python -O``, so an invariant
+guarded by one silently stops being checked in optimized runs.  Library
+code must raise a repro error instead; tests (which pytest rewrites and
+never runs under ``-O``) are out of scope via the engine's path
+arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.lint.engine import LintRule, ModuleContext
+
+
+class AssertRule(LintRule):
+    """Library invariants must survive ``python -O``."""
+
+    rule_id = "no-assert"
+    description = "no assert statements in library code"
+    scopes = ("src/repro",)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    "assert is stripped under 'python -O' — raise a repro "
+                    "error instead", node)

@@ -1,0 +1,80 @@
+"""Bounds-guarded byte-read rule for the binary-format subsystems.
+
+Raw byte reads — ``struct`` unpacks, ``int.from_bytes``, subscripting a
+buffer — crash with ``IndexError`` / ``struct.error`` on truncated
+input, or worse, silently return wrong data (an out-of-range slice is
+empty and ``int.from_bytes(b"") == 0``).  Every function in
+``core/oson/``, ``bson/`` and ``jsontext/`` that performs such a read
+must therefore show evidence of guarding: an explicit length
+comparison, a raise of a repro error, a ``try`` block, or delegation to
+a checking helper.  Functions that take pre-validated offsets can
+declare it with ``# lint: ignore[unguarded-read] <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.lint.engine import LintRule, ModuleContext
+
+#: names that identify a raw byte buffer being subscripted
+_BUFFER_NAME_RE = re.compile(r"(?:^|_)(?:buffer|buf|data|payload|blob)$")
+#: callables that perform a raw read (covers struct ``unpack`` /
+#: ``unpack_from`` methods and ``_unpack_u16``-style module aliases)
+_READ_CALL_RE = re.compile(r"unpack")
+#: helper names that count as delegated guarding
+_GUARD_CALL_RE = re.compile(r"check|require|valid|bound", re.IGNORECASE)
+
+
+def _buffer_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class UnguardedReadRule(LintRule):
+    """Byte reads in binary-format code must be bounds-guarded or
+    wrapped in the repro error hierarchy."""
+
+    rule_id = "unguarded-read"
+    description = "raw byte reads must be bounds-guarded"
+    scopes = ("repro/core/oson", "repro/bson", "repro/jsontext")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                diag = self._check_function(ctx, node)
+                if diag is not None:
+                    yield diag
+
+    def _check_function(self, ctx: ModuleContext,
+                        func: ast.AST) -> Optional[Diagnostic]:
+        reads: List[ast.AST] = []
+        guarded = False
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Raise, ast.Try)):
+                guarded = True
+            elif isinstance(node, ast.Call):
+                name = _buffer_name(node.func)
+                if name == "len" or (name is not None
+                                     and _GUARD_CALL_RE.search(name)):
+                    guarded = True
+                elif name is not None and (_READ_CALL_RE.search(name)
+                                           or name == "from_bytes"):
+                    reads.append(node)
+            elif isinstance(node, ast.Subscript):
+                name = _buffer_name(node.value)
+                if name is not None and _BUFFER_NAME_RE.search(name):
+                    reads.append(node)
+        if reads and not guarded:
+            return ctx.diagnostic(
+                self.rule_id,
+                f"function {func.name!r} reads raw bytes with no bounds "
+                "guard, repro-error raise, or checking helper",
+                reads[0])
+        return None

@@ -1,0 +1,43 @@
+"""Mutable-default-argument rule."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.lint.engine import LintRule, ModuleContext
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp)
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS)
+
+
+class MutableDefaultRule(LintRule):
+    """Default argument values are evaluated once at def time; a mutable
+    default is shared across every call."""
+
+    rule_id = "mutable-default"
+    description = "no mutable default argument values"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults)
+            defaults.extend(d for d in node.args.kw_defaults
+                            if d is not None)
+            for default in defaults:
+                if _is_mutable(default):
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        f"function {node.name!r} has a mutable default "
+                        "argument (shared across calls)", default)

@@ -1,0 +1,138 @@
+"""Exhaustive opcode-dispatch rule.
+
+The binary formats dispatch over small closed opcode tables — OSON node
+types and scalar types (:mod:`repro.core.oson.constants`) and BSON
+element type tags (:mod:`repro.bson.constants`).  A dispatch chain that
+neither covers the whole table nor ends in a catch-all (an ``else``
+branch, or fallback code after the chain such as a ``raise``) silently
+falls through to ``return None`` when a new opcode is added — exactly
+the class of bug that turns format evolution into wrong query results.
+
+The rule reconstructs ``if``/``elif`` chains that compare one subject
+against table constants (``x == c.SCALAR_INT``, ``x in
+c.INLINE_SCALARS``) and flags a chain that ends a function body with an
+empty final ``else`` while covering only part of its table.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.lint.engine import LintRule, ModuleContext
+
+#: constant-name suffixes that are bit-layout helpers, not opcodes
+_NON_OPCODE_SUFFIXES = ("_SHIFT", "_MASK", "_BIT", "_BIAS", "_MIN", "_MAX")
+
+_PREFIXES = ("SCALAR_", "NODE_", "TYPE_")
+
+
+def _build_tables() -> Tuple[Dict[str, FrozenSet[str]],
+                             Dict[str, FrozenSet[str]]]:
+    """Derive the opcode tables and named-subset expansions from the
+    live constants modules, so the rule never drifts from the format."""
+    from repro.bson import constants as bson_c
+    from repro.core.oson import constants as oson_c
+
+    tables: Dict[str, Set[str]] = {prefix: set() for prefix in _PREFIXES}
+    by_value: Dict[str, Dict[int, str]] = {p: {} for p in _PREFIXES}
+    for module in (oson_c, bson_c):
+        for name, value in vars(module).items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                continue
+            if name.endswith(_NON_OPCODE_SUFFIXES):
+                continue
+            for prefix in _PREFIXES:
+                if name.startswith(prefix):
+                    tables[prefix].add(name)
+                    by_value[prefix][value] = name
+    subsets: Dict[str, FrozenSet[str]] = {}
+    for name, value in vars(oson_c).items():
+        if isinstance(value, frozenset):
+            subsets[name] = frozenset(by_value["SCALAR_"][v] for v in value
+                                      if v in by_value["SCALAR_"])
+    return ({p: frozenset(t) for p, t in tables.items()}, subsets)
+
+
+class ExhaustiveDispatchRule(LintRule):
+    """Opcode dispatch must cover its table or end in a catch-all."""
+
+    rule_id = "dispatch"
+    description = "opcode dispatch exhaustive against the constants tables"
+
+    def __init__(self) -> None:
+        self.tables, self.subsets = _build_tables()
+
+    # -- constant extraction ----------------------------------------------
+
+    def _constant_names(self, node: ast.expr) -> Set[str]:
+        """Opcode constant names referenced by one comparison operand."""
+        name: Optional[str] = None
+        if isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Name):
+            name = node.id
+        if name is None:
+            return set()
+        if name in self.subsets:
+            return set(self.subsets[name])
+        for prefix in _PREFIXES:
+            if name.startswith(prefix) and name in self.tables[prefix]:
+                return {name}
+        return set()
+
+    def _test_constants(self, test: ast.expr) -> Set[str]:
+        """Constants covered by an ``if`` test (handles ==, in, or)."""
+        covered: Set[str] = set()
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+            for value in test.values:
+                covered |= self._test_constants(value)
+            return covered
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            if isinstance(test.ops[0], (ast.Eq, ast.In)):
+                covered |= self._constant_names(test.comparators[0])
+        return covered
+
+    # -- chain analysis ----------------------------------------------------
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_body(ctx, node.name, node.body)
+
+    def _check_body(self, ctx: ModuleContext, func_name: str,
+                    body: List[ast.stmt]) -> Iterable[Diagnostic]:
+        """Flag a dispatch run that ends ``body`` without a catch-all."""
+        index = len(body) - 1
+        if index < 0 or not isinstance(body[index], ast.If):
+            return
+        # walk back over the run of If statements closing the body
+        while index > 0 and isinstance(body[index - 1], ast.If):
+            index -= 1
+        covered: Set[str] = set()
+        for statement in body[index:]:
+            chain: Optional[ast.stmt] = statement
+            while isinstance(chain, ast.If):
+                covered |= self._test_constants(chain.test)
+                if not chain.orelse:
+                    chain = None
+                elif len(chain.orelse) == 1:
+                    chain = chain.orelse[0]  # elif or sole else-statement
+                else:
+                    chain = chain.orelse[-1]
+            if chain is not None:
+                return  # ends in a non-If catch-all (raise/return/...)
+        if len(covered) < 2:
+            return  # not an opcode dispatch
+        for prefix in _PREFIXES:
+            table = self.tables[prefix]
+            used = covered & table
+            if len(used) >= 2 and used != table:
+                missing = sorted(table - used)
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    f"function {func_name!r} dispatches over {prefix}* "
+                    f"opcodes without a catch-all and misses "
+                    f"{', '.join(missing)}", body[-1])

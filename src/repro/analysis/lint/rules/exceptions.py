@@ -1,0 +1,106 @@
+"""Exception-hygiene rules.
+
+The repro error hierarchy (:mod:`repro.errors`) is the library's
+contract with callers: malformed input surfaces as a ``ReproError``
+subtype, never as a raw builtin leaking an implementation detail, and
+handlers name what they actually expect instead of swallowing the world.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.lint.engine import LintRule, ModuleContext
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+#: builtins that must not be raised from binary-format code paths —
+#: decode failures there have to surface as the repro hierarchy
+_BUILTIN_RAISES = {
+    "ArithmeticError", "AttributeError", "BaseException", "Exception",
+    "IndexError", "KeyError", "LookupError", "OverflowError",
+    "RuntimeError", "StopIteration", "TypeError", "UnicodeDecodeError",
+    "UnicodeError", "ValueError",
+}
+
+
+def _names_in_handler_type(node: ast.expr) -> Iterator[str]:
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Tuple):
+        for element in node.elts:
+            yield from _names_in_handler_type(element)
+
+
+class BroadExceptRule(LintRule):
+    """``except Exception`` / bare ``except`` hides real failures.
+
+    Handlers must name the exception classes they expect; a genuinely
+    intended catch-all (e.g. a CLI top-level guard) needs a
+    ``# lint: ignore[broad-except] <why>`` pragma.
+    """
+
+    rule_id = "broad-except"
+    description = "no broad or bare exception handlers"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.diagnostic(
+                    self.rule_id, "bare 'except:' catches everything "
+                    "including KeyboardInterrupt", node)
+                continue
+            for name in _names_in_handler_type(node.type):
+                if name in _BROAD_NAMES:
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        f"'except {name}' is too broad — name the "
+                        "expected error classes", node)
+                    break
+
+
+class SilentExceptRule(LintRule):
+    """An except handler whose whole body is ``pass`` swallows errors."""
+
+    rule_id = "silent-except"
+    description = "no handlers that silently discard the exception"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.ExceptHandler)
+                    and len(node.body) == 1
+                    and isinstance(node.body[0], ast.Pass)):
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    "handler silently discards the exception — handle it "
+                    "or narrow the except", node)
+
+
+class RaiseBuiltinRule(LintRule):
+    """Binary-format code must raise the repro error hierarchy.
+
+    ``raise ValueError(...)`` from a decoder leaks implementation
+    details and breaks the documented contract that malformed bytes
+    surface as ``OsonError`` / ``BsonError`` / ``JsonParseError``.
+    """
+
+    rule_id = "raise-builtin"
+    description = "binary-format code raises repro errors, not builtins"
+    scopes = ("repro/core/oson", "repro/bson", "repro/jsontext")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if isinstance(exc, ast.Name) and exc.id in _BUILTIN_RAISES:
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    f"raises builtin {exc.id} — use the repro error "
+                    "hierarchy (repro.errors)", node)

@@ -1,0 +1,70 @@
+"""Unused-import rule (pyflakes-class)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.lint.engine import LintRule, ModuleContext
+
+
+def _collect_bindings(tree: ast.Module) -> Dict[str, Tuple[ast.AST, str]]:
+    """Map bound name -> (import node, dotted source) for every import."""
+    bindings: Dict[str, Tuple[ast.AST, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                bindings[bound] = (node, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                bindings[bound] = (node, alias.name)
+    return bindings
+
+
+def _collect_uses(tree: ast.Module) -> Set[str]:
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # "a.b.c" used as a bare attribute chain rooted at a Name is
+            # already covered by the root's Name node
+            continue
+        elif (isinstance(node, ast.Assign)
+              and any(isinstance(t, ast.Name) and t.id == "__all__"
+                      for t in node.targets)):
+            for element in ast.walk(node.value):
+                if (isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)):
+                    used.add(element.value)
+    return used
+
+
+class UnusedImportRule(LintRule):
+    """Imported names must be used (or re-exported via ``__all__``).
+
+    ``__init__.py`` files are skipped entirely — re-exporting is their
+    purpose and the convention predates ``__all__`` in parts of the
+    tree.
+    """
+
+    rule_id = "unused-import"
+    description = "no unused imports"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        if ctx.path.replace("\\", "/").endswith("__init__.py"):
+            return
+        used = _collect_uses(ctx.tree)
+        for bound, (node, source) in _collect_bindings(ctx.tree).items():
+            if bound not in used:
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    f"import {source!r} (bound as {bound!r}) is never used",
+                    node)

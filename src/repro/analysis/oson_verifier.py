@@ -1,0 +1,411 @@
+"""Static OSON image verifier.
+
+Checks a byte image against the structural invariants of the OSON layout
+(:mod:`repro.core.oson.constants`, realizing the paper's Figure 2 /
+section 4.2 properties) **without running the decoder**:
+
+* header: magic, version, zeroed reserved bytes, ordered in-range segment
+  offsets (``oson.header.*``);
+* dictionary: entries and name blob inside the segment and exactly
+  filling it, names valid UTF-8, entries sorted by ``(hash, name)`` with
+  stored hashes matching the hash function (``oson.dict.*``);
+* tree: every node reachable from the root lies inside the tree segment,
+  node types are valid, reserved header bits are zero, object field ids
+  are in dictionary range and strictly ascending (the binary-search
+  precondition), and every child delta resolves *strictly before* its
+  parent — which proves the topology is acyclic (``oson.tree.*``,
+  ``oson.node.*``);
+* scalars: value offsets and LEB128-prefixed payload extents inside the
+  value segment, UTF-8 validity of strings, canonical two's-complement
+  integers, well-formed packed-decimal BCD, parseable NUMSTR text
+  (``oson.scalar.*``, ``oson.value.leb``);
+* coverage: tree or value bytes referenced by no reachable node are
+  reported as WARNING slack, never silently ignored.
+
+The verifier emits :class:`~repro.analysis.diagnostics.Diagnostic`
+records and never raises on malformed input; an image is *accepted* when
+no ERROR-severity diagnostic is produced.  Acceptance is deliberately
+stricter than decodability: the differential tests assert that every
+accepted image decodes, not the converse.
+"""
+
+from __future__ import annotations
+
+import struct
+from decimal import Decimal, InvalidOperation
+from typing import List, Optional
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.core.oson import constants as c
+from repro.core.oson.hashing import field_name_hash
+
+_unpack_u16 = struct.Struct("<H").unpack_from
+_unpack_u32 = struct.Struct("<I").unpack_from
+
+#: encoder emits at most 9 two's-complement bytes (71-bit integers)
+_MAX_INT_PAYLOAD = 9
+
+
+def verify_oson(data: bytes) -> List[Diagnostic]:
+    """Statically verify an OSON byte image; returns all findings."""
+    return _OsonVerifier(data).run()
+
+
+class _OsonVerifier:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.diagnostics: List[Diagnostic] = []
+        self.tree_start = 0
+        self.value_start = 0
+        self.root = 0
+        self.field_count = 0
+
+    # -- reporting ---------------------------------------------------------
+
+    def error(self, rule: str, message: str, offset: int) -> None:
+        self.diagnostics.append(Diagnostic(rule, message, Severity.ERROR,
+                                           offset=offset))
+
+    def warn(self, rule: str, message: str, offset: int) -> None:
+        self.diagnostics.append(Diagnostic(rule, message, Severity.WARNING,
+                                           offset=offset))
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> List[Diagnostic]:
+        if not self.check_header():
+            return self.diagnostics
+        dict_ok = self.check_dictionary()
+        self.check_tree(dict_ok)
+        return self.diagnostics
+
+    # -- header ------------------------------------------------------------
+
+    def check_header(self) -> bool:
+        data = self.data
+        if len(data) < c.HEADER_SIZE:
+            self.error("oson.header.truncated",
+                       f"image is {len(data)} bytes, header needs "
+                       f"{c.HEADER_SIZE}", 0)
+            return False
+        if data[:4] != c.MAGIC:
+            self.error("oson.header.magic",
+                       f"bad magic {data[:4]!r}, expected {c.MAGIC!r}", 0)
+            return False
+        if data[4] != c.VERSION:
+            self.error("oson.header.version",
+                       f"unsupported version {data[4]}", 4)
+            return False
+        if data[5:8] != b"\x00\x00\x00":
+            self.error("oson.header.reserved",
+                       "reserved header bytes are not zero", 5)
+        self.tree_start = _unpack_u32(data, 8)[0]
+        self.value_start = _unpack_u32(data, 12)[0]
+        self.root = _unpack_u32(data, 16)[0]
+        if not (c.HEADER_SIZE <= self.tree_start <= self.value_start
+                <= len(data)):
+            self.error("oson.header.segments",
+                       f"segment offsets out of order: header={c.HEADER_SIZE}"
+                       f" tree={self.tree_start} values={self.value_start}"
+                       f" end={len(data)}", 8)
+            return False
+        if self.tree_start == self.value_start:
+            self.error("oson.header.segments",
+                       "tree segment is empty (no root node)", 8)
+            return False
+        return True
+
+    # -- dictionary --------------------------------------------------------
+
+    def check_dictionary(self) -> bool:
+        """Validate the field-name dictionary; returns True when the
+        field-id table is usable for tree checks."""
+        data = self.data
+        start = c.HEADER_SIZE
+        if start + 2 > self.tree_start:
+            self.error("oson.dict.extent",
+                       "dictionary segment too small for its count word",
+                       start)
+            return False
+        (count,) = _unpack_u16(data, start)
+        self.field_count = count
+        pos = start + 2
+        entries_end = pos + count * 5
+        if entries_end > self.tree_start:
+            self.error("oson.dict.extent",
+                       f"{count} dictionary entries overrun the segment",
+                       pos)
+            return False
+        entries = []  # (hash, name_len, entry offset)
+        for i in range(count):
+            (name_hash,) = _unpack_u32(data, pos)
+            entries.append((name_hash, data[pos + 4], pos))
+            pos += 5
+        blob_end = entries_end + sum(length for _h, length, _o in entries)
+        if blob_end > self.tree_start:
+            self.error("oson.dict.extent",
+                       "dictionary name blob overruns the segment",
+                       entries_end)
+            return False
+        if blob_end != self.tree_start:
+            self.error("oson.dict.extent",
+                       f"{self.tree_start - blob_end} slack bytes between "
+                       "dictionary and tree segment", blob_end)
+        cursor = entries_end
+        previous: Optional[tuple] = None
+        for name_hash, name_len, entry_off in entries:
+            raw = data[cursor:cursor + name_len]
+            try:
+                name = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                self.error("oson.dict.utf8",
+                           f"field name at entry {entry_off} is not valid "
+                           "UTF-8", cursor)
+                cursor += name_len
+                previous = None
+                continue
+            if field_name_hash(name) != name_hash:
+                self.error("oson.dict.hash",
+                           f"stored hash {name_hash:#010x} does not match "
+                           f"hash of field name {name!r}", entry_off)
+            if previous is not None and previous >= (name_hash, name):
+                self.error("oson.dict.order",
+                           "dictionary entries are not sorted by "
+                           "(hash, name)", entry_off)
+            previous = (name_hash, name)
+            cursor += name_len
+        return True
+
+    # -- tree + scalars ----------------------------------------------------
+
+    def check_tree(self, check_field_ids: bool) -> None:
+        data = self.data
+        tree_len = self.value_start - self.tree_start
+        value_len = len(data) - self.value_start
+        if self.root >= tree_len:
+            self.error("oson.root.range",
+                       f"root offset {self.root} outside the "
+                       f"{tree_len}-byte tree segment", 16)
+            return
+        tree_mask = bytearray(tree_len)
+        value_mask = bytearray(value_len)
+        visited = set()
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            extent = self.check_node(node, tree_len, value_len,
+                                     tree_mask, value_mask,
+                                     check_field_ids, stack)
+            if extent:
+                lo, hi = extent
+                for i in range(lo, hi):
+                    tree_mask[i] = 1
+        slack = tree_mask.count(0)
+        if slack and not self.diagnostics:
+            self.warn("oson.tree.slack",
+                      f"{slack} tree bytes not referenced by any node "
+                      "reachable from the root", self.tree_start)
+        vslack = value_mask.count(0)
+        if vslack and not self.diagnostics:
+            self.warn("oson.value.slack",
+                      f"{vslack} value bytes not referenced by any scalar",
+                      self.value_start)
+
+    def check_node(self, node, tree_len, value_len, tree_mask, value_mask,
+                   check_field_ids, stack):
+        """Validate one tree node; pushes children, returns its extent."""
+        data = self.data
+        base = self.tree_start + node
+        header = data[base]
+        node_type = header & c.NODE_TYPE_MASK
+        if node_type == 0:
+            self.error("oson.node.type",
+                       f"invalid node type 0 at node {node}", base)
+            return None
+        if node_type == c.NODE_SCALAR:
+            return self.check_scalar(node, header, tree_len, value_len,
+                                     value_mask)
+        # container: object or array
+        if header & ~(c.NODE_TYPE_MASK
+                      | (c.CONTAINER_WIDTH_MASK << c.CONTAINER_WIDTH_SHIFT)):
+            self.error("oson.node.reserved",
+                       f"container node {node} has nonzero reserved header "
+                       "bits", base)
+            return None
+        if node + 3 > tree_len:
+            self.error("oson.tree.bounds",
+                       f"node {node} header overruns the tree segment", base)
+            return None
+        count = _unpack_u16(data, base + 1)[0]
+        width = ((header >> c.CONTAINER_WIDTH_SHIFT)
+                 & c.CONTAINER_WIDTH_MASK) + 1
+        ids_size = count * 2 if node_type == c.NODE_OBJECT else 0
+        extent_end = node + 3 + ids_size + count * width
+        if extent_end > tree_len:
+            self.error("oson.tree.bounds",
+                       f"node {node} ({count} children) overruns the tree "
+                       "segment", base)
+            return None
+        if node_type == c.NODE_OBJECT:
+            previous_id = -1
+            for i in range(count):
+                (field_id,) = _unpack_u16(data, base + 3 + i * 2)
+                if check_field_ids and field_id >= self.field_count:
+                    self.error("oson.tree.fieldid",
+                               f"node {node} child {i}: field id {field_id} "
+                               f"outside dictionary of {self.field_count}",
+                               base + 3 + i * 2)
+                if field_id <= previous_id:
+                    self.error("oson.tree.fieldid-order",
+                               f"node {node}: field ids not strictly "
+                               "ascending (binary-search precondition)",
+                               base + 3 + i * 2)
+                previous_id = field_id
+        deltas_start = base + 3 + ids_size
+        for i in range(count):
+            pos = deltas_start + i * width
+            delta = int.from_bytes(data[pos:pos + width], "little")
+            child = node - delta
+            if delta == 0 or child < 0:
+                self.error("oson.tree.topology",
+                           f"node {node} child {i} delta {delta} does not "
+                           "resolve strictly before the parent", pos)
+                continue
+            stack.append(child)
+        return node, extent_end
+
+    def check_scalar(self, node, header, tree_len, value_len, value_mask):
+        data = self.data
+        base = self.tree_start + node
+        scalar_type = (header >> c.SCALAR_TYPE_SHIFT) & c.SCALAR_TYPE_MASK
+        width_bits = (header >> c.SCALAR_WIDTH_SHIFT) & c.SCALAR_WIDTH_MASK
+        if header & 0x80:
+            self.error("oson.node.reserved",
+                       f"scalar node {node} has nonzero reserved header bit",
+                       base)
+            return None
+        if scalar_type in c.INLINE_SCALARS:
+            if width_bits:
+                self.error("oson.node.reserved",
+                           f"inline scalar node {node} carries width bits",
+                           base)
+                return None
+            return node, node + 1
+        width = width_bits + 1
+        if node + 1 + width > tree_len:
+            self.error("oson.tree.bounds",
+                       f"scalar node {node} offset bytes overrun the tree "
+                       "segment", base)
+            return None
+        rel = int.from_bytes(data[base + 1:base + 1 + width], "little")
+        if rel >= value_len:
+            self.error("oson.scalar.extent",
+                       f"scalar node {node} value offset {rel} outside "
+                       f"the {value_len}-byte value segment", base + 1)
+            return None
+        value_off = self.value_start + rel
+        if scalar_type == c.SCALAR_FLOAT:
+            end = rel + 8
+            if end > value_len:
+                self.error("oson.scalar.extent",
+                           f"float payload at value offset {rel} overruns "
+                           "the value segment", value_off)
+                return None
+            self.mark_value(value_mask, rel, end)
+            return node, node + 1 + width
+        length, payload_rel = self.read_leb128(rel, value_len)
+        if length is None:
+            return None
+        payload_end = payload_rel + length
+        if payload_end > value_len:
+            self.error("oson.scalar.extent",
+                       f"{length}-byte payload at value offset {payload_rel} "
+                       "overruns the value segment",
+                       self.value_start + payload_rel)
+            return None
+        payload = data[self.value_start + payload_rel:
+                       self.value_start + payload_end]
+        self.check_payload(scalar_type, payload,
+                           self.value_start + payload_rel)
+        self.mark_value(value_mask, rel, payload_end)
+        return node, node + 1 + width
+
+    def check_payload(self, scalar_type, payload, offset) -> None:
+        if scalar_type == c.SCALAR_STRING:
+            try:
+                payload.decode("utf-8")
+            except UnicodeDecodeError:
+                self.error("oson.scalar.utf8",
+                           "string payload is not valid UTF-8", offset)
+        elif scalar_type == c.SCALAR_INT:
+            if not 1 <= len(payload) <= _MAX_INT_PAYLOAD:
+                self.error("oson.scalar.int",
+                           f"integer payload of {len(payload)} bytes "
+                           f"(expected 1..{_MAX_INT_PAYLOAD})", offset)
+            elif len(payload) > 1:
+                value = int.from_bytes(payload, "little", signed=True)
+                minimal = max(1, (value.bit_length() + 8) // 8)
+                if len(payload) != minimal:
+                    self.error("oson.scalar.int",
+                               "integer payload is not canonical minimal "
+                               "two's complement", offset)
+        elif scalar_type == c.SCALAR_NUMBER:
+            self.check_packed_decimal(payload, offset)
+        elif scalar_type == c.SCALAR_NUMSTR:
+            try:
+                text = payload.decode("ascii")
+                Decimal(text)
+            except (UnicodeDecodeError, InvalidOperation, ArithmeticError):
+                self.error("oson.scalar.numstr",
+                           "NUMSTR payload is not ASCII decimal text", offset)
+        # inline and float scalars never reach here: they carry no
+        # length-prefixed payload
+        return None
+
+    def check_packed_decimal(self, payload, offset) -> None:
+        if not payload:
+            self.error("oson.scalar.number", "empty packed decimal", offset)
+            return
+        digits = payload[1:]
+        for i, byte in enumerate(digits):
+            high, low = byte >> 4, byte & 0x0F
+            last = i == len(digits) - 1
+            if high > 9 or (low > 9 and not (low == 0x0F and last)):
+                self.error("oson.scalar.number",
+                           f"invalid BCD nibble in packed decimal byte {i}",
+                           offset + 1 + i)
+                return
+
+    # -- low-level helpers -------------------------------------------------
+
+    def read_leb128(self, rel, value_len):
+        """Bounded LEB128 read at value-relative ``rel``; reports and
+        returns (None, None) on truncation or overlong encodings."""
+        data = self.data
+        result = 0
+        shift = 0
+        pos = rel
+        while True:
+            if pos >= value_len:
+                self.error("oson.value.leb",
+                           f"LEB128 length at value offset {rel} is "
+                           "truncated", self.value_start + rel)
+                return None, None
+            byte = data[self.value_start + pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result, pos
+            shift += 7
+            if shift > 63:
+                self.error("oson.value.leb",
+                           f"LEB128 length at value offset {rel} exceeds "
+                           "64 bits", self.value_start + rel)
+                return None, None
+
+    def mark_value(self, value_mask, lo, hi) -> None:
+        for i in range(lo, min(hi, len(value_mask))):
+            value_mask[i] = 1

@@ -61,19 +61,35 @@ class BsonNode:
     def scalar_value(self) -> Any:
         """Decode a scalar element's value."""
         tag, buf, off = self.type_tag, self.buffer, self.offset
-        if tag == c.TYPE_DOUBLE:
-            return _unpack_f64(buf, off)[0]
-        if tag == c.TYPE_INT32:
-            return _unpack_i32(buf, off)[0]
-        if tag == c.TYPE_INT64:
-            return _unpack_i64(buf, off)[0]
-        if tag == c.TYPE_STRING:
-            length = _unpack_i32(buf, off)[0]
-            return buf[off + 4:off + 4 + length - 1].decode("utf-8")
-        if tag == c.TYPE_BOOLEAN:
-            return buf[off] == 1
-        if tag == c.TYPE_NULL:
-            return None
+        try:
+            if tag == c.TYPE_DOUBLE:
+                return _unpack_f64(buf, off)[0]
+            if tag == c.TYPE_INT32:
+                return _unpack_i32(buf, off)[0]
+            if tag == c.TYPE_INT64:
+                return _unpack_i64(buf, off)[0]
+            if tag == c.TYPE_STRING:
+                length = _unpack_i32(buf, off)[0]
+                if length < 1 or off + 4 + length > len(buf):
+                    raise BsonError(f"string length {length} out of range",
+                                    offset=off)
+                if buf[off + 4 + length - 1] != 0:
+                    raise BsonError("string payload is missing its NUL "
+                                    "terminator", offset=off + 4 + length - 1)
+                return buf[off + 4:off + 4 + length - 1].decode("utf-8")
+            if tag == c.TYPE_BOOLEAN:
+                if off >= len(buf) or buf[off] not in (0, 1):
+                    raise BsonError("boolean byte must be 0x00 or 0x01",
+                                    offset=off)
+                return buf[off] == 1
+            if tag == c.TYPE_NULL:
+                return None
+        except struct.error as exc:
+            raise BsonError(f"scalar value overruns the buffer: {exc}",
+                            offset=off) from exc
+        except UnicodeDecodeError as exc:
+            raise BsonError(f"string payload is not valid UTF-8: {exc}",
+                            offset=off) from exc
         raise BsonError(f"not a scalar element (type 0x{tag:02x})")
 
     def as_document(self) -> "BsonDocument":
@@ -90,19 +106,31 @@ class BsonNode:
 
 def _skip_value(buf: bytes, type_tag: int, offset: int) -> int:
     """Return the offset just past the element value starting at ``offset``."""
-    if type_tag == c.TYPE_DOUBLE or type_tag == c.TYPE_INT64:
-        return offset + 8
-    if type_tag == c.TYPE_INT32:
-        return offset + 4
-    if type_tag == c.TYPE_STRING:
-        return offset + 4 + _unpack_i32(buf, offset)[0]
-    if type_tag in _CONTAINER_TYPES:
-        # skip navigation: containers carry a leading total length
-        return offset + _unpack_i32(buf, offset)[0]
-    if type_tag == c.TYPE_BOOLEAN:
-        return offset + 1
-    if type_tag == c.TYPE_NULL:
-        return offset
+    try:
+        if type_tag == c.TYPE_DOUBLE or type_tag == c.TYPE_INT64:
+            return offset + 8
+        if type_tag == c.TYPE_INT32:
+            return offset + 4
+        if type_tag == c.TYPE_STRING:
+            length = _unpack_i32(buf, offset)[0]
+            if length < 1:
+                raise BsonError(f"string length {length} must be positive",
+                                offset=offset)
+            return offset + 4 + length
+        if type_tag in _CONTAINER_TYPES:
+            # skip navigation: containers carry a leading total length
+            total = _unpack_i32(buf, offset)[0]
+            if total < 5:
+                raise BsonError(f"container length {total} below the "
+                                "5-byte minimum", offset=offset)
+            return offset + total
+        if type_tag == c.TYPE_BOOLEAN:
+            return offset + 1
+        if type_tag == c.TYPE_NULL:
+            return offset
+    except struct.error as exc:
+        raise BsonError(f"element length word overruns the buffer: {exc}",
+                        offset=offset) from exc
     raise BsonError(f"unsupported BSON type 0x{type_tag:02x}")
 
 
@@ -113,13 +141,18 @@ class BsonDocument:
 
     def __init__(self, buffer: bytes, start: int = 0, is_array: bool = False) -> None:
         if len(buffer) - start < 5:
-            raise BsonError("buffer too small for a BSON document")
+            raise BsonError("buffer too small for a BSON document",
+                            offset=start)
         self.buffer = buffer
         self.start = start
         self.is_array = is_array
         total = _unpack_i32(buffer, start)[0]
         if start + total > len(buffer) or total < 5:
-            raise BsonError("BSON length word out of range")
+            raise BsonError(f"BSON length word {total} out of range",
+                            offset=start)
+        if buffer[start + total - 1] != 0:
+            raise BsonError("BSON document does not end with a NUL "
+                            "terminator", offset=start + total - 1)
 
     # -- scanning ---------------------------------------------------------
 
@@ -131,14 +164,26 @@ class BsonDocument:
         while pos < end:
             type_tag = buf[pos]
             pos += 1
-            name_end = buf.index(b"\x00", pos)  # the byte scan the paper mentions
-            name = buf[pos:name_end].decode("utf-8")
+            name_end = buf.find(b"\x00", pos, end)  # the byte scan the paper mentions
+            if name_end < 0:
+                raise BsonError("field name is not NUL-terminated inside "
+                                "the document", offset=pos)
+            try:
+                name = buf[pos:name_end].decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise BsonError("field name is not valid UTF-8",
+                                offset=pos) from exc
             pos = name_end + 1
             node = BsonNode(buf, type_tag, pos)
-            yield name, node
+            # validate the element's extent before handing the node out,
+            # so lazy decoding can never read past the document
             pos = _skip_value(buf, type_tag, pos)
+            if pos > end:
+                raise BsonError("element value overruns the document",
+                                offset=node.offset)
+            yield name, node
         if pos != end:
-            raise BsonError("corrupt BSON element list")
+            raise BsonError("corrupt BSON element list", offset=pos)
 
     def find_field(self, name: str) -> Optional[BsonNode]:
         """Sequential-scan lookup of a named field (documents only)."""

@@ -39,16 +39,52 @@ class OsonDocument:
             raise OsonError("not an OSON buffer")
         version = buffer[4]
         if version != c.VERSION:
-            raise OsonError(f"unsupported OSON version {version}")
+            raise OsonError(f"unsupported OSON version {version}", offset=4)
         self.buffer = buffer
         self.tree_start = _unpack_u32(buffer, 8)[0]
         self.value_start = _unpack_u32(buffer, 12)[0]
         self.root = _unpack_u32(buffer, 16)[0]
         if not c.HEADER_SIZE <= self.tree_start <= self.value_start <= len(buffer):
-            raise OsonError("OSON segment offsets out of range")
+            raise OsonError("OSON segment offsets out of range", offset=8)
+        if self.root >= self.value_start - self.tree_start:
+            raise OsonError("OSON root offset outside the tree segment",
+                            offset=16)
         self.dictionary, dict_end = FieldDictionary.from_bytes(buffer, c.HEADER_SIZE)
         if dict_end > self.tree_start:
-            raise OsonError("dictionary segment overlaps tree segment")
+            raise OsonError("dictionary segment overlaps tree segment",
+                            offset=dict_end)
+
+    # -- bounds checking ----------------------------------------------------
+
+    def _checked_header(self, node: int) -> int:
+        """Validate a node address and return its header byte.
+
+        Every navigation method funnels through this (or through
+        :meth:`_checked_extent`), so corrupt offsets surface as
+        :class:`OsonError` instead of IndexError/struct.error.
+        """
+        if not 0 <= node < self.value_start - self.tree_start:
+            raise OsonError(f"node offset {node} outside the tree segment",
+                            offset=self.tree_start + node)
+        return self.buffer[self.tree_start + node]
+
+    def _checked_extent(self, node: int, size: int) -> None:
+        """Require ``size`` node bytes starting at ``node`` to lie inside
+        the tree segment."""
+        if self.tree_start + node + size > self.value_start:
+            raise OsonError(f"node at offset {node} overruns the tree "
+                            "segment", offset=self.value_start)
+
+    def _checked_child(self, node: int, delta: int) -> int:
+        """Resolve a parent-relative child delta, enforcing the layout's
+        children-strictly-before-parents invariant (which also proves
+        there are no reference cycles)."""
+        child = node - delta
+        if delta == 0 or child < 0:
+            raise OsonError(f"child delta {delta} of node {node} does not "
+                            "resolve strictly before the parent",
+                            offset=self.tree_start + node)
+        return child
 
     # -- segment size accounting (Table 11) --------------------------------
 
@@ -80,14 +116,30 @@ class OsonDocument:
 
     def node_type(self, node: int) -> int:
         """Node type tag: NODE_OBJECT, NODE_ARRAY or NODE_SCALAR."""
-        return self.buffer[self.tree_start + node] & c.NODE_TYPE_MASK
+        node_type = self._checked_header(node) & c.NODE_TYPE_MASK
+        if node_type == 0:
+            raise OsonError(f"invalid node type at offset {node}",
+                            offset=self.tree_start + node)
+        return node_type
 
     def child_count(self, node: int) -> int:
         """Number of children of an object or array node."""
-        base = self.tree_start + node
-        if self.buffer[base] & c.NODE_TYPE_MASK == c.NODE_SCALAR:
+        if self._checked_header(node) & c.NODE_TYPE_MASK == c.NODE_SCALAR:
             raise OsonError("scalar nodes have no children")
-        return _unpack_u16(self.buffer, base + 1)[0]
+        self._checked_extent(node, 3)
+        return _unpack_u16(self.buffer, self.tree_start + node + 1)[0]
+
+    def _container_layout(self, node: int, header: int,
+                          with_ids: bool) -> tuple[int, int]:
+        """Validate a container node's full extent; returns
+        (child count, delta width)."""
+        self._checked_extent(node, 3)
+        count = _unpack_u16(self.buffer, self.tree_start + node + 1)[0]
+        width = ((header >> c.CONTAINER_WIDTH_SHIFT)
+                 & c.CONTAINER_WIDTH_MASK) + 1
+        ids_size = count * 2 if with_ids else 0
+        self._checked_extent(node, 3 + ids_size + count * width)
+        return count, width
 
     def get_field_value(self, node: int, field_id: int) -> Optional[int]:
         """Binary-search an object's sorted field-id array; return the
@@ -96,24 +148,21 @@ class OsonDocument:
         This is the core win of the format: integer comparisons over a
         contiguous sorted array instead of the string scans BSON needs.
         """
-        base = self.tree_start + node
         buffer = self.buffer
-        header = buffer[base]
+        header = self._checked_header(node)
         if header & c.NODE_TYPE_MASK != c.NODE_OBJECT:
             return None
-        count = _unpack_u16(buffer, base + 1)[0]
-        ids_start = base + 3
+        count, width = self._container_layout(node, header, with_ids=True)
+        ids_start = self.tree_start + node + 3
         lo, hi = 0, count - 1
         while lo <= hi:
             mid = (lo + hi) // 2
             mid_id = _unpack_u16(buffer, ids_start + mid * 2)[0]
             if mid_id == field_id:
-                width = ((header >> c.CONTAINER_WIDTH_SHIFT)
-                         & c.CONTAINER_WIDTH_MASK) + 1
                 delta_pos = ids_start + count * 2 + mid * width
                 delta = int.from_bytes(
                     buffer[delta_pos:delta_pos + width], "little")
-                return node - delta
+                return self._checked_child(node, delta)
             if mid_id < field_id:
                 lo = mid + 1
             else:
@@ -130,55 +179,46 @@ class OsonDocument:
 
     def object_items(self, node: int) -> Iterator[tuple[int, int]]:
         """Iterate (field id, child address) pairs of an object node."""
-        base = self.tree_start + node
         buffer = self.buffer
-        header = buffer[base]
+        header = self._checked_header(node)
         if header & c.NODE_TYPE_MASK != c.NODE_OBJECT:
             raise OsonError("not an object node")
-        count = _unpack_u16(buffer, base + 1)[0]
-        width = ((header >> c.CONTAINER_WIDTH_SHIFT)
-                 & c.CONTAINER_WIDTH_MASK) + 1
-        ids_start = base + 3
+        count, width = self._container_layout(node, header, with_ids=True)
+        ids_start = self.tree_start + node + 3
         deltas_start = ids_start + count * 2
         for i in range(count):
             field_id = _unpack_u16(buffer, ids_start + i * 2)[0]
             delta_pos = deltas_start + i * width
             delta = int.from_bytes(buffer[delta_pos:delta_pos + width], "little")
-            yield field_id, node - delta
+            yield field_id, self._checked_child(node, delta)
 
     def get_array_element(self, node: int, index: int) -> Optional[int]:
         """Direct positional access to the Nth array element."""
-        base = self.tree_start + node
         buffer = self.buffer
-        header = buffer[base]
+        header = self._checked_header(node)
         if header & c.NODE_TYPE_MASK != c.NODE_ARRAY:
             return None
-        count = _unpack_u16(buffer, base + 1)[0]
+        count, width = self._container_layout(node, header, with_ids=False)
         if index < 0:
             index += count
         if not 0 <= index < count:
             return None
-        width = ((header >> c.CONTAINER_WIDTH_SHIFT)
-                 & c.CONTAINER_WIDTH_MASK) + 1
-        delta_pos = base + 3 + index * width
+        delta_pos = self.tree_start + node + 3 + index * width
         delta = int.from_bytes(buffer[delta_pos:delta_pos + width], "little")
-        return node - delta
+        return self._checked_child(node, delta)
 
     def array_elements(self, node: int) -> Iterator[int]:
         """Iterate the node addresses of an array's elements."""
-        base = self.tree_start + node
         buffer = self.buffer
-        header = buffer[base]
+        header = self._checked_header(node)
         if header & c.NODE_TYPE_MASK != c.NODE_ARRAY:
             raise OsonError("not an array node")
-        count = _unpack_u16(buffer, base + 1)[0]
-        width = ((header >> c.CONTAINER_WIDTH_SHIFT)
-                 & c.CONTAINER_WIDTH_MASK) + 1
-        deltas_start = base + 3
+        count, width = self._container_layout(node, header, with_ids=False)
+        deltas_start = self.tree_start + node + 3
         for i in range(count):
             delta_pos = deltas_start + i * width
             delta = int.from_bytes(buffer[delta_pos:delta_pos + width], "little")
-            yield node - delta
+            yield self._checked_child(node, delta)
 
     # -- scalars ---------------------------------------------------------------
 
@@ -189,20 +229,30 @@ class OsonDocument:
         length 0.  For length-prefixed scalars the offset points *past*
         the LEB128 length at the payload bytes.
         """
-        base = self.tree_start + node
         buffer = self.buffer
-        header = buffer[base]
+        header = self._checked_header(node)
         if header & c.NODE_TYPE_MASK != c.NODE_SCALAR:
             raise OsonError("not a scalar node")
         scalar_type = (header >> c.SCALAR_TYPE_SHIFT) & c.SCALAR_TYPE_MASK
         if scalar_type in c.INLINE_SCALARS:
             return scalar_type, -1, 0
         width = ((header >> c.SCALAR_WIDTH_SHIFT) & c.SCALAR_WIDTH_MASK) + 1
+        self._checked_extent(node, 1 + width)
+        base = self.tree_start + node
         rel = int.from_bytes(buffer[base + 1:base + 1 + width], "little")
         abs_off = self.value_start + rel
+        if abs_off >= len(buffer):
+            raise OsonError(f"scalar value offset {rel} outside the value "
+                            "segment", offset=base + 1)
         if scalar_type == c.SCALAR_FLOAT:
+            if abs_off + 8 > len(buffer):
+                raise OsonError("float payload overruns the value segment",
+                                offset=abs_off)
             return scalar_type, abs_off, 8
         length, payload_off = read_leb128(buffer, abs_off)
+        if payload_off + length > len(buffer):
+            raise OsonError(f"{length}-byte scalar payload overruns the "
+                            "value segment", offset=payload_off)
         return scalar_type, payload_off, length
 
     def scalar_value(self, node: int) -> Any:
@@ -223,13 +273,25 @@ class OsonDocument:
         if scalar_type == c.SCALAR_NUMBER:
             return unpack_decimal(payload)
         if scalar_type == c.SCALAR_STRING:
-            return payload.decode("utf-8")
+            try:
+                return payload.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise OsonError(f"string payload is not valid UTF-8: {exc}",
+                                offset=offset) from exc
         if scalar_type == c.SCALAR_NUMSTR:
-            text = payload.decode("ascii")
+            try:
+                text = payload.decode("ascii")
+            except UnicodeDecodeError as exc:
+                raise OsonError("NUMSTR payload is not ASCII",
+                                offset=offset) from exc
             try:
                 return int(text)
             except ValueError:
-                return Decimal(text)
+                try:
+                    return Decimal(text)
+                except ArithmeticError as exc:
+                    raise OsonError(f"NUMSTR payload {text!r} is not a "
+                                    "decimal number", offset=offset) from exc
         raise OsonError(f"unknown scalar type {scalar_type}")
 
     # -- materialization ----------------------------------------------------------

@@ -122,7 +122,12 @@ class FieldDictionary:
         for name_len in lengths:
             end = cursor + name_len
             if end > len(buffer):
-                raise OsonError("dictionary name blob truncated")
-            names.append(buffer[cursor:end].decode("utf-8"))
+                raise OsonError("dictionary name blob truncated",
+                                offset=cursor)
+            try:
+                names.append(buffer[cursor:end].decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise OsonError("dictionary field name is not valid UTF-8",
+                                offset=cursor) from exc
             cursor = end
         return cls(hashes, names), cursor

@@ -54,11 +54,20 @@ def write_leb128_padded(out: bytearray, value: int, width: int) -> None:
     out.append(value)
 
 
-def read_leb128(buffer: bytes, pos: int) -> tuple[int, int]:
-    """Read an unsigned LEB128 integer; returns (value, next position)."""
+def read_leb128(buffer: bytes, pos: int,
+                end: Optional[int] = None) -> tuple[int, int]:
+    """Read an unsigned LEB128 integer; returns (value, next position).
+
+    ``end`` bounds the read (defaults to the buffer length); running off
+    it raises :class:`~repro.errors.OsonError` rather than IndexError.
+    """
+    if end is None:
+        end = len(buffer)
     result = 0
     shift = 0
     while True:
+        if pos >= end:
+            raise OsonError("truncated LEB128 length", offset=pos)
         byte = buffer[pos]
         pos += 1
         result |= (byte & 0x7F) << shift
@@ -66,7 +75,7 @@ def read_leb128(buffer: bytes, pos: int) -> tuple[int, int]:
             return result, pos
         shift += 7
         if shift > 63:
-            raise OsonError("malformed LEB128 length")
+            raise OsonError("malformed LEB128 length", offset=pos)
 
 
 def leb128_size(value: int) -> int:
@@ -87,6 +96,10 @@ def pack_int(value: int) -> bytes:
 
 
 def unpack_int(payload: bytes) -> int:
+    if not payload:
+        # int.from_bytes(b"") is 0 — an empty payload must not silently
+        # decode as a value
+        raise OsonError("empty integer payload")
     return int.from_bytes(payload, "little", signed=True)
 
 
@@ -111,7 +124,7 @@ def pack_decimal(value: Union[float, Decimal]) -> Optional[bytes]:
             return None
         try:
             sign, digit_tuple, exponent = Decimal(text).as_tuple()
-        except Exception:  # pragma: no cover - repr is always parseable
+        except ArithmeticError:  # pragma: no cover - repr is always parseable
             return None
         is_decimal = False
     digits = "".join(str(d) for d in digit_tuple)
@@ -149,10 +162,19 @@ def unpack_decimal(payload: bytes) -> Union[int, float, Decimal]:
     is_decimal = bool(flags & c.NUMBER_DECIMAL_BIT)
     exponent = (flags & c.NUMBER_EXP_MASK) - c.NUMBER_EXP_BIAS
     digits: list[str] = []
-    for byte in payload[1:]:
+    body = payload[1:]
+    for index, byte in enumerate(body):
         high, low = byte >> 4, byte & 0x0F
+        if high > 9:
+            raise OsonError(f"invalid BCD nibble 0x{high:X} in packed decimal")
         digits.append(str(high))
-        if low != 0xF:
+        if low == 0xF:
+            # padding nibble: only legal in the final byte
+            if index != len(body) - 1:
+                raise OsonError("packed decimal padding before the last byte")
+        elif low > 9:
+            raise OsonError(f"invalid BCD nibble 0x{low:X} in packed decimal")
+        else:
             digits.append(str(low))
     text = "".join(digits) or "0"
     if is_decimal:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.errors import ConstraintViolation, JsonParseError
+from repro.errors import ConstraintViolation, JsonParseError, ReproError
 from repro.jsontext import loads
 
 
@@ -96,7 +96,7 @@ class IsJsonConstraint(Constraint):
                     return oson_decode(data)
                 from repro.bson import decode as bson_decode
                 return bson_decode(data)
-            except Exception as exc:
+            except ReproError as exc:
                 raise ConstraintViolation(
                     f"{self.name}: malformed binary JSON: {exc}") from exc
         if isinstance(raw, (dict, list, int, float, bool)):

@@ -171,8 +171,7 @@ def distinct(rows: Iterable[Row]) -> Iterator[Row]:
             if key in seen:
                 continue
             seen.add(key)
-        except TypeError:
-            # unhashable values: fall back to emitting the row
+        except TypeError:  # lint: ignore[silent-except] unhashable JSON values cannot be deduplicated; emit the row
             pass
         yield row
 

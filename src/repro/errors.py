@@ -27,11 +27,26 @@ class JsonParseError(ReproError):
         self.position = position
 
 
-class BsonError(ReproError):
+class BinaryFormatError(ReproError):
+    """Malformed or unsupported binary JSON bytes (BSON or OSON).
+
+    Carries the absolute byte ``offset`` at which the structural problem
+    was detected (``-1`` when no single offset applies) so decoder and
+    verifier failures can point at the offending bytes.
+    """
+
+    def __init__(self, message: str, offset: int = -1) -> None:
+        if offset >= 0:
+            message = f"{message} (at byte {offset})"
+        super().__init__(message)
+        self.offset = offset
+
+
+class BsonError(BinaryFormatError):
     """Malformed or unsupported BSON bytes."""
 
 
-class OsonError(ReproError):
+class OsonError(BinaryFormatError):
     """Malformed or unsupported OSON bytes."""
 
 

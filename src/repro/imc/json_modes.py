@@ -24,7 +24,7 @@ from typing import Any, Iterable, Iterator, Optional, Sequence
 import numpy as np
 
 from repro.core.oson import OsonDocument, encode as oson_encode
-from repro.errors import EngineError
+from repro.errors import EngineError, ReproError
 from repro.imc.columns import ColumnVector
 from repro.jsontext import loads
 from repro.sqljson.operators import json_value
@@ -92,7 +92,7 @@ class JsonColumnIMC:
                     try:
                         values.append(json_value(doc, path,
                                                  returning=returning))
-                    except Exception:
+                    except ReproError:
                         values.append(None)  # RETURNING conversion failure
                 self._vectors[path] = ColumnVector.from_values(path, values)
         self._populated = True

@@ -116,7 +116,7 @@ class JsonSearchIndex:
         if self._uses_constraint_hook and self._constraint is not None:
             try:
                 self._constraint.remove_hook(self._constraint_hook)
-            except ValueError:
+            except ValueError:  # lint: ignore[silent-except] hook already detached; DROP INDEX is idempotent
                 pass
 
     # -- search ----------------------------------------------------------------------

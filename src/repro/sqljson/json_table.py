@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional, Sequence, Union
 
-from repro.errors import QueryError
+from repro.errors import QueryError, ReproError
 from repro.sqljson.adapters import SCALAR, adapter_for
 from repro.sqljson.operators import make_coercer
 from repro.sqljson.path.evaluator import PathEvaluator, _Computed
@@ -192,7 +192,9 @@ def _column_value(adapter: Any, context: Any, evaluator: PathEvaluator,
         return None
     try:
         return coercer(value)
-    except Exception:
+    except (ReproError, ValueError, TypeError):
+        # SQL NULL-on-error semantics: a RETURNING coercion failure
+        # yields NULL for the column, not a failed row
         return None
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
+from repro.errors import PathEvaluationError
 from repro.jsontext.lexer import JsonEvent, JsonEventType, tokenize
 from repro.jsontext.parser import _build
 from repro.sqljson.adapters import DictAdapter
@@ -95,7 +96,10 @@ def _match_in_object(events: Iterator[JsonEvent], steps: tuple, depth: int,
         probe = next(events)
         if probe.type is JsonEventType.OBJECT_END:
             return
-        assert probe.type is JsonEventType.FIELD_NAME
+        if probe.type is not JsonEventType.FIELD_NAME:
+            raise PathEvaluationError(
+                f"malformed event stream: expected field name, got "
+                f"{probe.type.name}")
         if probe.value == name:
             value_event = next(events)
             yield from _continue(value_event, events, steps, depth + 1)

@@ -1,0 +1,151 @@
+"""Targeted corruption tests for the static BSON verifier."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.analysis import has_errors, verify_bson
+from repro.bson import constants as c
+from repro.bson import decode, encode
+
+DOCS = [
+    {"a": 1},
+    {"name": "héllo", "n": 2**40, "f": 2.5, "t": True, "z": None},
+    {"outer": {"inner": [1, "two", {"three": 3}]}},
+    {},
+    [1, 2, 3],
+    "top-level string",
+    42,
+]
+
+
+def _rules(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+def _patch(img: bytes, offset: int, payload: bytes) -> bytes:
+    return img[:offset] + payload + img[offset + len(payload):]
+
+
+class TestAcceptsEncoderOutput:
+    @pytest.mark.parametrize("doc", DOCS, ids=repr)
+    def test_clean_and_decodable(self, doc):
+        img = encode(doc)
+        assert verify_bson(img) == []
+        assert decode(img) == doc
+
+
+class TestFraming:
+    def test_too_short(self):
+        assert _rules(verify_bson(b"\x05\x00")) == {"bson.length"}
+        assert _rules(verify_bson(b"")) == {"bson.length"}
+
+    def test_length_word_overruns_buffer(self):
+        img = encode({"a": 1})
+        img = _patch(img, 0, struct.pack("<i", len(img) + 7))
+        assert _rules(verify_bson(img)) == {"bson.length"}
+
+    def test_negative_length_word(self):
+        img = _patch(encode({"a": 1}), 0, struct.pack("<i", -1))
+        assert _rules(verify_bson(img)) == {"bson.length"}
+
+    def test_missing_trailing_nul(self):
+        img = encode({"a": 1})
+        img = _patch(img, len(img) - 1, b"\x07")
+        assert "bson.trailer" in _rules(verify_bson(img))
+
+    def test_trailing_slack_is_error(self):
+        img = encode({"a": 1}) + b"\x00\x00"
+        assert "bson.slack" in _rules(verify_bson(img))
+
+    def test_truncations_always_flagged(self):
+        for doc in DOCS:
+            img = encode(doc)
+            for cut in range(len(img)):
+                assert has_errors(verify_bson(img[:cut]))
+
+
+class TestElements:
+    def test_unknown_type_tag(self):
+        img = encode({"a": 1})
+        assert img[4] == c.TYPE_INT32
+        img = _patch(img, 4, b"\x7e")
+        assert "bson.type" in _rules(verify_bson(img))
+
+    def test_field_name_not_utf8(self):
+        img = encode({"a": 1})
+        assert img[5:7] == b"a\x00"
+        img = _patch(img, 5, b"\xff")
+        assert "bson.name" in _rules(verify_bson(img))
+
+    def test_array_keys_not_canonical(self):
+        img = encode({"a": [7, 8]})
+        marker = bytes([c.TYPE_INT32]) + b"1\x00"
+        pos = img.index(marker)
+        img = _patch(img, pos + 1, b"9")
+        assert "bson.array.keys" in _rules(verify_bson(img))
+
+    def test_boolean_byte_out_of_domain(self):
+        img = encode({"b": True})
+        # layout: i32 len | 0x08 'b' 0x00 | value | 0x00
+        assert img[-2] == 1
+        img = _patch(img, len(img) - 2, b"\x02")
+        assert "bson.boolean" in _rules(verify_bson(img))
+
+
+class TestStrings:
+    def test_zero_length(self):
+        img = encode({"s": "hi"})
+        pos = img.index(bytes([c.TYPE_STRING]) + b"s\x00") + 3
+        img = _patch(img, pos, struct.pack("<i", 0))
+        assert "bson.string" in _rules(verify_bson(img))
+
+    def test_length_overruns_document(self):
+        img = encode({"s": "hi"})
+        pos = img.index(bytes([c.TYPE_STRING]) + b"s\x00") + 3
+        img = _patch(img, pos, struct.pack("<i", 1000))
+        assert "bson.string" in _rules(verify_bson(img))
+
+    def test_missing_payload_nul(self):
+        img = encode({"s": "hi"})
+        pos = img.index(bytes([c.TYPE_STRING]) + b"s\x00") + 3
+        # payload "hi\x00" follows the length word
+        img = _patch(img, pos + 4 + 2, b"\x21")
+        assert "bson.string" in _rules(verify_bson(img))
+
+    def test_payload_not_utf8(self):
+        img = encode({"s": "hi"})
+        pos = img.index(bytes([c.TYPE_STRING]) + b"s\x00") + 3
+        img = _patch(img, pos + 4, b"\xff")
+        assert "bson.string" in _rules(verify_bson(img))
+
+
+class TestNesting:
+    @staticmethod
+    def _nested(depth: int) -> bytes:
+        doc = b"\x05\x00\x00\x00\x00"
+        for _ in range(depth):
+            body = bytes([c.TYPE_DOCUMENT]) + b"a\x00" + doc
+            doc = struct.pack("<i", 4 + len(body) + 1) + body + b"\x00"
+        return doc
+
+    def test_depth_within_limit_is_clean(self):
+        assert verify_bson(self._nested(50)) == []
+
+    def test_depth_limit_reported_not_followed(self):
+        assert "bson.depth" in _rules(verify_bson(self._nested(260)))
+
+    def test_nested_length_word_corruption(self):
+        img = encode({"a": {"b": 1}})
+        inner = img.index(bytes([c.TYPE_DOCUMENT]) + b"a\x00") + 3
+        img = _patch(img, inner, struct.pack("<i", 1000))
+        assert "bson.length" in _rules(verify_bson(img))
+
+
+class TestNeverRaises:
+    def test_garbage(self):
+        for blob in (b"\x00" * 64, bytes(range(256)),
+                     b"\x10\x00\x00\x00" + b"\xff" * 12):
+            verify_bson(blob)  # must not raise

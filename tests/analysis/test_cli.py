@@ -1,0 +1,88 @@
+"""End-to-end tests for ``python -m repro.analysis``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.bson import encode as bson_encode
+from repro.core.oson import encode as oson_encode
+
+
+@pytest.fixture()
+def images(tmp_path):
+    good_oson = tmp_path / "good.oson"
+    good_oson.write_bytes(oson_encode({"a": 1, "b": [True, "x"]}))
+    good_bson = tmp_path / "good.bson"
+    good_bson.write_bytes(bson_encode({"a": 1}))
+    bad = tmp_path / "bad.oson"
+    bad.write_bytes(oson_encode({"a": 1})[:-3])
+    return tmp_path, good_oson, good_bson, bad
+
+
+class TestVerify:
+    def test_good_images_exit_zero(self, images, capsys):
+        _dir, good_oson, good_bson, _bad = images
+        assert main(["verify", str(good_oson), str(good_bson)]) == 0
+        out = capsys.readouterr().out
+        assert "oson image ok" in out
+        assert "bson image ok" in out
+
+    def test_bad_image_exits_one(self, images, capsys):
+        _dir, _go, _gb, bad = images
+        assert main(["verify", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "oson." in out
+        assert "1 of 1 images failed" in out
+
+    def test_directory_walk(self, images, capsys):
+        directory, *_rest = images
+        assert main(["verify", str(directory)]) == 1
+        assert "1 of 3 images failed" in capsys.readouterr().out
+
+    def test_json_report(self, images, capsys):
+        directory, *_rest = images
+        assert main(["--json", "verify", str(directory)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["checked"] == 3
+        assert report["failed"] == 1
+        assert all(d["severity"] == "error" for d in report["diagnostics"])
+        assert all("bad.oson" in d["file"] for d in report["diagnostics"])
+
+    def test_forced_format(self, images, capsys):
+        _dir, good_oson, _gb, _bad = images
+        # an OSON image is not valid BSON; forcing the format must fail
+        assert main(["verify", "--format", "bson", str(good_oson)]) == 1
+
+
+class TestLint:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("def f(x):\n    return x\n")
+        assert main(["lint", str(target)]) == 0
+        assert "lint clean" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("def f(a=[]):\n    return a\n")
+        assert main(["lint", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "mutable-default" in out
+        assert "dirty.py" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("def f(a=[]):\n    return a\n")
+        assert main(["--json", "lint", str(target)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        (diag,) = report["diagnostics"]
+        assert diag["rule"] == "mutable-default"
+        assert diag["line"] == 1
+
+    def test_warning_only_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "stale.py"
+        target.write_text("x = 1  # lint: ignore[no-assert] stale note\n")
+        assert main(["lint", str(target)]) == 0
+        assert "warning" in capsys.readouterr().out

@@ -1,0 +1,159 @@
+"""Differential tests: static verifier vs. the live decoders.
+
+Three contracts, per format:
+
+1. every encoder output verifies clean and decodes back to its source;
+2. a deterministic mutated corpus (every truncation plus single-bit
+   flips that break a checked invariant) of well over 200 cases is
+   flagged — 100%, no exceptions;
+3. on arbitrary single-bit flips the verifier may accept (some flips
+   are harmless to structure it checks), but **accept implies decode**:
+   no verifier-accepted image may crash the decoder.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro.analysis import has_errors, verify_bson, verify_oson
+from repro.bson import decode as bson_decode
+from repro.bson import encode as bson_encode
+from repro.core.oson import constants as oc
+from repro.core.oson import decode as oson_decode
+from repro.core.oson import encode as oson_encode
+from repro.errors import ReproError
+
+DOCS = [
+    {"a": 1, "b": "two", "c": [True, None, 2.5]},
+    {"order": {"id": 7, "items": [{"sku": "x", "qty": 2},
+                                  {"sku": "y", "qty": 1}]}},
+    {"unicode": "héllo wörld ✓", "big": 2**60, "neg": -(2**40)},
+    {"deep": {"a": {"b": {"c": {"d": [1, 2, 3]}}}}},
+    ["top", "level", "array", 1, 2, 3],
+]
+
+
+def _flip(img: bytes, byte: int, bit: int) -> bytes:
+    return img[:byte] + bytes([img[byte] ^ (1 << bit)]) + img[byte + 1:]
+
+
+def _decode_or_repro_error(decoder, img):
+    """Decode, asserting no exception class outside the repro hierarchy
+    ever escapes; returns True when the image decoded."""
+    try:
+        decoder(img)
+    except ReproError:
+        return False
+    return True
+
+
+class TestEncoderOutputs:
+    @pytest.mark.parametrize("doc", DOCS, ids=lambda d: repr(d)[:40])
+    def test_oson_round_trip_verifies_clean(self, doc):
+        img = oson_encode(doc)
+        assert verify_oson(img) == []
+        assert oson_decode(img) == doc
+
+    @pytest.mark.parametrize("doc", DOCS, ids=lambda d: repr(d)[:40])
+    def test_bson_round_trip_verifies_clean(self, doc):
+        img = bson_encode(doc)
+        assert verify_bson(img) == []
+        assert bson_decode(img) == doc
+
+
+class TestMutatedCorpus:
+    """Every member of the deterministic corpus must be flagged."""
+
+    @staticmethod
+    def _oson_corpus(img: bytes):
+        """Truncations, plus bit flips guaranteed to break a checked
+        invariant: magic/version/reserved bytes, the (zero, for these
+        small docs) high bytes of the segment/root offsets, and stored
+        dictionary hashes."""
+        for cut in range(len(img)):
+            yield img[:cut]
+        for byte in range(8):  # magic, version, reserved
+            for bit in range(8):
+                yield _flip(img, byte, bit)
+        for word in (8, 12, 16):  # tree_start / value_start / root
+            for byte in range(word + 1, word + 4):
+                assert img[byte] == 0, "corpus assumes small images"
+                for bit in range(8):
+                    yield _flip(img, byte, bit)
+        (count,) = struct.unpack_from("<H", img, oc.HEADER_SIZE)
+        for entry in range(count):  # stored hash != hash(name)
+            off = oc.HEADER_SIZE + 2 + entry * 5
+            for bit in range(8):
+                yield _flip(img, off, bit)
+
+    @staticmethod
+    def _bson_corpus(img: bytes):
+        """Truncations, plus bit flips in the high bytes of the
+        top-level length word (zero for these small docs, so any flip
+        pushes the length past the buffer)."""
+        for cut in range(len(img)):
+            yield img[:cut]
+        for byte in (1, 2, 3):
+            assert img[byte] == 0, "corpus assumes small images"
+            for bit in range(8):
+                yield _flip(img, byte, bit)
+
+    def test_oson_corpus_fully_flagged(self):
+        cases = 0
+        for doc in DOCS:
+            img = oson_encode(doc)
+            for mutant in self._oson_corpus(img):
+                cases += 1
+                assert has_errors(verify_oson(mutant)), \
+                    f"accepted mutant of {doc!r}"
+                # the decoder may still cope, but it must not crash
+                _decode_or_repro_error(oson_decode, mutant)
+        assert cases >= 200
+
+    def test_bson_corpus_fully_flagged(self):
+        cases = 0
+        for doc in DOCS:
+            img = bson_encode(doc)
+            for mutant in self._bson_corpus(img):
+                cases += 1
+                assert has_errors(verify_bson(mutant)), \
+                    f"accepted mutant of {doc!r}"
+        assert cases >= 200
+
+
+class TestAcceptImpliesDecode:
+    """Random single-bit flips, fixed seed: whenever the verifier
+    accepts the mutant, the decoder must succeed on it."""
+
+    FLIPS_PER_DOC = 400
+
+    def _run(self, encoder, decoder, verifier):
+        rng = random.Random(1337)
+        accepted = flagged = 0
+        for doc in DOCS:
+            img = encoder(doc)
+            for _ in range(self.FLIPS_PER_DOC):
+                byte = rng.randrange(len(img))
+                mutant = _flip(img, byte, rng.randrange(8))
+                diagnostics = verifier(mutant)
+                if has_errors(diagnostics):
+                    flagged += 1
+                    # flagged images may or may not decode; the decoder
+                    # just must fail inside the repro hierarchy
+                    _decode_or_repro_error(decoder, mutant)
+                else:
+                    accepted += 1
+                    assert _decode_or_repro_error(decoder, mutant), \
+                        f"verifier accepted an undecodable {doc!r} mutant"
+        # the corpus must actually exercise both branches
+        assert flagged > 0
+        return accepted, flagged
+
+    def test_oson(self):
+        self._run(oson_encode, oson_decode, verify_oson)
+
+    def test_bson(self):
+        self._run(bson_encode, bson_decode, verify_bson)

@@ -1,0 +1,410 @@
+"""Fixture tests for the AST lint engine and every shipped rule.
+
+Each rule is exercised positively (a violation fixture it must flag)
+and negatively (a conforming fixture it must leave alone), plus the
+engine mechanics: pragma suppression, stale/unjustified pragmas, path
+scoping, and robustness on unparsable input.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import LintEngine, Severity
+from repro.analysis.lint.rules import ALL_RULES
+
+#: a path inside every scoped rule's scope; scope-free rules run anywhere
+BINARY_PATH = "src/repro/core/oson/fixture.py"
+
+
+def lint(source: str, path: str = BINARY_PATH):
+    return LintEngine().lint_source(textwrap.dedent(source), path)
+
+
+def rules_of(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+class TestRuleRegistry:
+    def test_at_least_eight_distinct_rules(self):
+        ids = {rule.rule_id for rule in ALL_RULES}
+        assert len(ids) >= 8
+        assert len(ids) == len(ALL_RULES)
+
+    def test_every_rule_documents_itself(self):
+        for rule in ALL_RULES:
+            assert rule.rule_id
+            assert rule.description
+
+
+class TestBroadExcept:
+    def test_flags_bare_except(self):
+        src = """
+        try:
+            x = 1
+        except:
+            x = 2
+        """
+        assert "broad-except" in rules_of(lint(src))
+
+    def test_flags_exception_and_tuple(self):
+        src = """
+        try:
+            x = 1
+        except (ValueError, Exception):
+            x = 2
+        """
+        assert "broad-except" in rules_of(lint(src))
+
+    def test_allows_narrow_handler(self):
+        src = """
+        try:
+            x = 1
+        except ValueError:
+            x = 2
+        """
+        assert "broad-except" not in rules_of(lint(src))
+
+
+class TestSilentExcept:
+    def test_flags_pass_body(self):
+        src = """
+        try:
+            x = 1
+        except ValueError:
+            pass
+        """
+        assert "silent-except" in rules_of(lint(src))
+
+    def test_allows_handled_exception(self):
+        src = """
+        try:
+            x = 1
+        except ValueError:
+            x = None
+        """
+        assert "silent-except" not in rules_of(lint(src))
+
+
+class TestRaiseBuiltin:
+    def test_flags_builtin_raise_in_binary_scope(self):
+        src = """
+        def f():
+            raise ValueError("boom")
+        """
+        assert "raise-builtin" in rules_of(lint(src))
+
+    def test_allows_repro_error(self):
+        src = """
+        from repro.errors import OsonError
+        def f():
+            raise OsonError("boom")
+        """
+        assert "raise-builtin" not in rules_of(lint(src))
+
+    def test_allows_not_implemented(self):
+        src = """
+        def f():
+            raise NotImplementedError
+        """
+        assert "raise-builtin" not in rules_of(lint(src))
+
+    def test_scoped_out_of_engine_code(self):
+        src = """
+        def f():
+            raise ValueError("fine outside binary-format code")
+        """
+        assert "raise-builtin" not in rules_of(
+            lint(src, "src/repro/engine/fixture.py"))
+
+
+class TestMutableDefault:
+    def test_flags_literal_and_call_defaults(self):
+        src = """
+        def f(a=[], b=dict()):
+            return a, b
+        """
+        found = [d for d in lint(src) if d.rule == "mutable-default"]
+        assert len(found) == 2
+
+    def test_flags_keyword_only_default(self):
+        src = """
+        def f(*, cache={}):
+            return cache
+        """
+        assert "mutable-default" in rules_of(lint(src))
+
+    def test_allows_none_and_tuple(self):
+        src = """
+        def f(a=None, b=(), *, c="x"):
+            return a, b, c
+        """
+        assert "mutable-default" not in rules_of(lint(src))
+
+
+class TestUnguardedRead:
+    def test_flags_unpack_without_guard(self):
+        src = """
+        import struct
+        def f(buffer, pos):
+            return struct.unpack_from("<I", buffer, pos)[0]
+        """
+        assert "unguarded-read" in rules_of(lint(src))
+
+    def test_flags_buffer_subscript_without_guard(self):
+        src = """
+        def f(data, pos):
+            return data[pos]
+        """
+        assert "unguarded-read" in rules_of(lint(src))
+
+    def test_len_check_counts_as_guard(self):
+        src = """
+        import struct
+        from repro.errors import OsonError
+        def f(buffer, pos):
+            if pos + 4 > len(buffer):
+                raise OsonError("truncated")
+            return struct.unpack_from("<I", buffer, pos)[0]
+        """
+        assert "unguarded-read" not in rules_of(lint(src))
+
+    def test_checking_helper_counts_as_guard(self):
+        src = """
+        def f(self, data, pos):
+            self.check_bounds(pos, 4)
+            return data[pos]
+        """
+        assert "unguarded-read" not in rules_of(lint(src))
+
+    def test_scoped_out_of_non_binary_code(self):
+        src = """
+        def f(data, pos):
+            return data[pos]
+        """
+        assert "unguarded-read" not in rules_of(
+            lint(src, "src/repro/engine/fixture.py"))
+
+
+class TestDispatch:
+    def test_flags_partial_chain_without_catch_all(self):
+        src = """
+        from repro.core.oson import constants as c
+        def dispatch(node_type):
+            if node_type == c.NODE_OBJECT:
+                return "object"
+            elif node_type == c.NODE_ARRAY:
+                return "array"
+        """
+        found = [d for d in lint(src) if d.rule == "dispatch"]
+        assert len(found) == 1
+        assert "NODE_SCALAR" in found[0].message
+
+    def test_full_coverage_is_clean(self):
+        src = """
+        from repro.core.oson import constants as c
+        def dispatch(node_type):
+            if node_type == c.NODE_OBJECT:
+                return "object"
+            elif node_type == c.NODE_ARRAY:
+                return "array"
+            elif node_type == c.NODE_SCALAR:
+                return "scalar"
+        """
+        assert "dispatch" not in rules_of(lint(src))
+
+    def test_catch_all_else_is_clean(self):
+        src = """
+        from repro.core.oson import constants as c
+        def dispatch(node_type):
+            if node_type == c.NODE_OBJECT:
+                return "object"
+            elif node_type == c.NODE_ARRAY:
+                return "array"
+            else:
+                return "unknown"
+        """
+        assert "dispatch" not in rules_of(lint(src))
+
+    def test_trailing_raise_is_a_catch_all(self):
+        src = """
+        from repro.core.oson import constants as c
+        from repro.errors import OsonError
+        def dispatch(node_type):
+            if node_type == c.NODE_OBJECT:
+                return "object"
+            if node_type == c.NODE_ARRAY:
+                return "array"
+            raise OsonError("bad node type")
+        """
+        assert "dispatch" not in rules_of(lint(src))
+
+    def test_frozenset_membership_expands(self):
+        src = """
+        from repro.core.oson import constants as c
+        def dispatch(scalar_type):
+            if scalar_type in c.INLINE_SCALARS:
+                return "inline"
+            elif scalar_type == c.SCALAR_FLOAT:
+                return "float"
+        """
+        found = [d for d in lint(src) if d.rule == "dispatch"]
+        assert len(found) == 1
+        # INLINE_SCALARS + FLOAT covers 4 of 8 scalar opcodes
+        assert "SCALAR_STRING" in found[0].message
+
+    def test_bson_type_table(self):
+        src = """
+        from repro.bson import constants as c
+        def dispatch(tag):
+            if tag == c.TYPE_INT32:
+                return 4
+            elif tag == c.TYPE_INT64:
+                return 8
+        """
+        found = [d for d in lint(src) if d.rule == "dispatch"]
+        assert len(found) == 1
+        assert "TYPE_STRING" in found[0].message
+
+
+class TestUnusedImport:
+    def test_flags_unused(self):
+        src = """
+        import os
+        import sys
+        print(sys.argv)
+        """
+        found = [d for d in lint(src) if d.rule == "unused-import"]
+        assert len(found) == 1
+        assert "'os'" in found[0].message
+
+    def test_all_reexport_counts_as_use(self):
+        src = """
+        from repro.errors import OsonError
+        __all__ = ["OsonError"]
+        """
+        assert "unused-import" not in rules_of(lint(src))
+
+    def test_init_py_is_exempt(self):
+        src = "from repro.errors import OsonError\n"
+        assert "unused-import" not in rules_of(
+            lint(src, "src/repro/core/oson/__init__.py"))
+
+
+class TestNoAssert:
+    def test_flags_assert_in_library_code(self):
+        src = """
+        def f(x):
+            assert x > 0
+            return x
+        """
+        assert "no-assert" in rules_of(lint(src, "src/repro/fixture.py"))
+
+    def test_tests_are_out_of_scope(self):
+        src = """
+        def test_f():
+            assert 1 + 1 == 2
+        """
+        assert "no-assert" not in rules_of(lint(src, "tests/fixture.py"))
+
+
+class TestPragmas:
+    def test_same_line_suppression(self):
+        src = """
+        try:
+            x = 1
+        except Exception:  # lint: ignore[broad-except] fixture justification
+            x = 2
+        """
+        assert "broad-except" not in rules_of(lint(src))
+
+    def test_next_line_suppression(self):
+        src = """
+        def f():
+            # lint: ignore[raise-builtin] fixture justification
+            raise ValueError("boom")
+        """
+        assert "raise-builtin" not in rules_of(lint(src))
+
+    def test_unjustified_pragma_is_an_error(self):
+        src = """
+        try:
+            x = 1
+        except Exception:  # lint: ignore[broad-except]
+            x = 2
+        """
+        diagnostics = lint(src)
+        pragma = [d for d in diagnostics if d.rule == "lint.pragma"]
+        assert len(pragma) == 1
+        assert pragma[0].severity is Severity.ERROR
+
+    def test_stale_pragma_is_a_warning(self):
+        src = """
+        x = 1  # lint: ignore[broad-except] nothing here to suppress
+        """
+        diagnostics = lint(src)
+        pragma = [d for d in diagnostics if d.rule == "lint.pragma"]
+        assert len(pragma) == 1
+        assert pragma[0].severity is Severity.WARNING
+
+    def test_pragma_in_string_literal_is_not_a_pragma(self):
+        src = '''
+        DOC = """example: # lint: ignore[broad-except] not a real pragma"""
+        '''
+        assert rules_of(lint(src)) == set()
+
+    def test_pragma_only_suppresses_named_rule(self):
+        src = """
+        try:
+            x = 1
+        except Exception:  # lint: ignore[silent-except] wrong rule named
+            pass
+        """
+        assert "broad-except" in rules_of(lint(src))
+
+
+class TestEngineMechanics:
+    def test_syntax_error_is_reported_not_raised(self):
+        diagnostics = lint("def f(:\n")
+        assert rules_of(diagnostics) == {"lint.syntax"}
+        assert diagnostics[0].severity is Severity.ERROR
+
+    def test_unreadable_file_is_reported(self):
+        engine = LintEngine()
+        diagnostics = engine.lint_file("/nonexistent/fixture.py")
+        assert rules_of(diagnostics) == {"lint.io"}
+
+    def test_directory_walk_and_sorted_output(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "b.py").write_text("def f(a=[]):\n    return a\n")
+        (pkg / "a.py").write_text("import os\n")
+        hidden = pkg / ".hidden"
+        hidden.mkdir()
+        (hidden / "c.py").write_text("import os\n")
+        diagnostics = LintEngine().lint_paths([str(tmp_path)])
+        assert [d.rule for d in diagnostics] == ["unused-import",
+                                                 "mutable-default"]
+        assert all(".hidden" not in (d.path or "") for d in diagnostics)
+
+    def test_diagnostics_carry_location(self):
+        src = """
+        def f(a=[]):
+            return a
+        """
+        (diag,) = [d for d in lint(src) if d.rule == "mutable-default"]
+        assert diag.path == BINARY_PATH
+        assert diag.line == 2
+        rendered = diag.render()
+        assert BINARY_PATH in rendered
+        assert "mutable-default" in rendered
+
+
+@pytest.mark.parametrize("rule_id", sorted({r.rule_id for r in ALL_RULES}))
+def test_every_registered_rule_has_a_fixture_test(rule_id):
+    """Meta-test: the classes above must exercise each registered rule."""
+    import pathlib
+    source = pathlib.Path(__file__).read_text(encoding="utf-8")
+    assert f'"{rule_id}"' in source

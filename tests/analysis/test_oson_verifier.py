@@ -1,0 +1,245 @@
+"""Targeted corruption tests for the static OSON verifier.
+
+Each test takes a genuine encoder image, surgically breaks exactly one
+invariant, and asserts the verifier reports the matching rule id —
+without raising, whatever the damage.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.analysis import has_errors, verify_oson
+from repro.core.oson import constants as c
+from repro.core.oson import decode, encode
+
+DOCS = [
+    {"a": 1},
+    {"name": "héllo", "n": 256, "flags": [True, False, None]},
+    {"outer": {"inner": {"deep": [1, 2.5, "three"]}}},
+    {},
+    [1, 2, 3],
+    "top-level string",
+    {"big": 2**60, "neg": -(2**40), "text": "x" * 300},
+]
+
+
+def _rules(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+def _header(img: bytes):
+    tree_start, value_start, root = struct.unpack_from("<III", img, 8)
+    return tree_start, value_start, root
+
+
+def _patch(img: bytes, offset: int, payload: bytes) -> bytes:
+    return img[:offset] + payload + img[offset + len(payload):]
+
+
+class TestAcceptsEncoderOutput:
+    @pytest.mark.parametrize("doc", DOCS, ids=repr)
+    def test_clean_and_decodable(self, doc):
+        img = encode(doc)
+        diagnostics = verify_oson(img)
+        assert diagnostics == []
+        assert decode(img) == doc
+
+
+class TestHeader:
+    def test_truncated(self):
+        assert _rules(verify_oson(b"OSON")) == {"oson.header.truncated"}
+        assert _rules(verify_oson(b"")) == {"oson.header.truncated"}
+
+    def test_magic(self):
+        img = encode({"a": 1})
+        assert _rules(verify_oson(b"NOSO" + img[4:])) == {"oson.header.magic"}
+
+    def test_version(self):
+        img = _patch(encode({"a": 1}), 4, bytes([c.VERSION + 1]))
+        assert _rules(verify_oson(img)) == {"oson.header.version"}
+
+    def test_reserved(self):
+        img = _patch(encode({"a": 1}), 5, b"\x01")
+        assert "oson.header.reserved" in _rules(verify_oson(img))
+
+    def test_segment_order(self):
+        img = _patch(encode({"a": 1}), 8, struct.pack("<I", 2**24))
+        assert _rules(verify_oson(img)) == {"oson.header.segments"}
+
+    def test_root_out_of_range(self):
+        img = _patch(encode({"a": 1}), 16, struct.pack("<I", 2**24))
+        assert _rules(verify_oson(img)) == {"oson.root.range"}
+
+
+class TestDictionary:
+    def test_hash_mismatch(self):
+        img = encode({"a": 1})
+        # entry 0's stored hash lives at header + count word
+        off = c.HEADER_SIZE + 2
+        img = _patch(img, off, bytes([img[off] ^ 0x01]))
+        assert "oson.dict.hash" in _rules(verify_oson(img))
+
+    def test_entry_order(self):
+        img = encode({"a": 1, "b": 2})
+        start = c.HEADER_SIZE
+        (count,) = struct.unpack_from("<H", img, start)
+        assert count == 2
+        entries = img[start + 2:start + 2 + 10]
+        blob_start = start + 2 + 10
+        len0, len1 = entries[4], entries[9]
+        name0 = img[blob_start:blob_start + len0]
+        name1 = img[blob_start + len0:blob_start + len0 + len1]
+        # swap the entries *and* their names: hashes still match their
+        # own name, only the (hash, name) sort order is violated
+        swapped = entries[5:] + entries[:5] + name1 + name0
+        img = _patch(img, start + 2, swapped)
+        diagnostics = verify_oson(img)
+        assert "oson.dict.order" in _rules(diagnostics)
+        assert "oson.dict.hash" not in _rules(diagnostics)
+
+    def test_name_not_utf8(self):
+        img = encode({"a": 1})
+        # single 1-byte name sits at the very end of the dictionary
+        tree_start, _vs, _root = _header(img)
+        img = _patch(img, tree_start - 1, b"\xff")
+        assert "oson.dict.utf8" in _rules(verify_oson(img))
+
+    def test_count_overruns_segment(self):
+        img = _patch(encode({"a": 1}), c.HEADER_SIZE,
+                     struct.pack("<H", 0xFFFF))
+        assert _rules(verify_oson(img)) == {"oson.dict.extent"}
+
+
+class TestTree:
+    def test_zero_node_type(self):
+        img = encode({"a": 1})
+        tree_start, _vs, root = _header(img)
+        img = _patch(img, tree_start + root, b"\x00")
+        assert "oson.node.type" in _rules(verify_oson(img))
+
+    def test_zero_delta_topology(self):
+        img = encode({"a": 1})
+        tree_start, _vs, root = _header(img)
+        # object root: hdr | u16 count | u16 field id | 1-byte delta
+        delta_off = tree_start + root + 3 + 2
+        assert img[delta_off] != 0
+        img = _patch(img, delta_off, b"\x00")
+        assert "oson.tree.topology" in _rules(verify_oson(img))
+
+    def test_field_id_out_of_dictionary(self):
+        img = encode({"a": 1})
+        tree_start, _vs, root = _header(img)
+        img = _patch(img, tree_start + root + 3, struct.pack("<H", 999))
+        assert "oson.tree.fieldid" in _rules(verify_oson(img))
+
+    def test_field_ids_not_ascending(self):
+        img = encode({"a": 1, "b": 2})
+        tree_start, _vs, root = _header(img)
+        ids_off = tree_start + root + 3
+        id0 = struct.unpack_from("<H", img, ids_off)[0]
+        id1 = struct.unpack_from("<H", img, ids_off + 2)[0]
+        img = _patch(img, ids_off, struct.pack("<HH", id1, id0))
+        assert "oson.tree.fieldid-order" in _rules(verify_oson(img))
+
+    def test_container_count_overruns_segment(self):
+        img = encode({"a": 1})
+        tree_start, _vs, root = _header(img)
+        img = _patch(img, tree_start + root + 1, struct.pack("<H", 0xFFFF))
+        assert "oson.tree.bounds" in _rules(verify_oson(img))
+
+
+class TestScalars:
+    def test_string_not_utf8(self):
+        img = encode({"s": "hello"})
+        # string payload is the last 5 bytes of the value segment
+        img = _patch(img, len(img) - 5, b"\xff")
+        assert "oson.scalar.utf8" in _rules(verify_oson(img))
+
+    def test_int_not_canonical(self):
+        img = encode({"n": 256})
+        # payload is little-endian 0x00 0x01 after a 1-byte LEB length;
+        # rewrite it to the value 1 stored in two bytes (non-minimal)
+        assert img[-2:] == b"\x00\x01"
+        img = _patch(img, len(img) - 2, b"\x01\x00")
+        assert "oson.scalar.int" in _rules(verify_oson(img))
+
+    def test_packed_decimal_bad_nibble(self):
+        from decimal import Decimal
+        img = encode({"d": Decimal("1.5")})
+        # NUMBER payload: LEB len | flags | BCD digits; 0xAA is no digit
+        img = _patch(img, len(img) - 1, b"\xaa")
+        assert "oson.scalar.number" in _rules(verify_oson(img))
+
+    def test_leb128_truncated(self):
+        img = encode({"s": ""})
+        # empty string: value segment is the single LEB byte 0x00;
+        # setting its continuation bit runs off the end of the image
+        assert img[-1] == 0
+        img = _patch(img, len(img) - 1, b"\x80")
+        assert "oson.value.leb" in _rules(verify_oson(img))
+
+    def test_float_payload_truncation_is_flagged(self):
+        img = encode({"f": 1e300})  # too wide for packed decimal: raw FLOAT
+        _ts, value_start, _root = _header(img)
+        assert len(img) - value_start == 8
+        # shrink the image under the float's 8 raw bytes but keep the
+        # header consistent enough to reach the scalar check
+        cut = img[:value_start + 4]
+        diagnostics = verify_oson(cut)
+        assert has_errors(diagnostics)
+
+
+class TestSlackWarnings:
+    """Hand-assembled images with unreferenced bytes: decodable, but
+    the verifier must not silently ignore the slack."""
+
+    @staticmethod
+    def _image(dictionary: bytes, tree: bytes, values: bytes,
+               root: int) -> bytes:
+        tree_start = c.HEADER_SIZE + len(dictionary)
+        value_start = tree_start + len(tree)
+        return (c.MAGIC + bytes([c.VERSION]) + b"\x00\x00\x00"
+                + struct.pack("<III", tree_start, value_start, root)
+                + dictionary + tree + values)
+
+    def test_tree_slack_warning(self):
+        null_hdr = c.NODE_SCALAR | (c.SCALAR_NULL << c.SCALAR_TYPE_SHIFT)
+        img = self._image(b"\x00\x00", bytes([0xEE, null_hdr]), b"", root=1)
+        diagnostics = verify_oson(img)
+        assert not has_errors(diagnostics)
+        assert _rules(diagnostics) == {"oson.tree.slack"}
+        assert decode(img) is None
+
+    def test_value_slack_warning(self):
+        string_hdr = c.NODE_SCALAR | (c.SCALAR_STRING << c.SCALAR_TYPE_SHIFT)
+        # offset byte 1 skips the first value byte; payload is LEB(0)
+        img = self._image(b"\x00\x00", bytes([string_hdr, 1]),
+                          b"\xee\x00", root=0)
+        diagnostics = verify_oson(img)
+        assert not has_errors(diagnostics)
+        assert _rules(diagnostics) == {"oson.value.slack"}
+        assert decode(img) == ""
+
+    def test_slack_suppressed_when_errors_present(self):
+        null_hdr = c.NODE_SCALAR | (c.SCALAR_NULL << c.SCALAR_TYPE_SHIFT)
+        img = self._image(b"\x00\x00", bytes([0xEE, null_hdr]), b"", root=1)
+        img = _patch(img, 5, b"\x01")  # reserved-byte error
+        diagnostics = verify_oson(img)
+        assert has_errors(diagnostics)
+        assert "oson.tree.slack" not in _rules(diagnostics)
+
+
+class TestNeverRaises:
+    @pytest.mark.parametrize("doc", DOCS, ids=repr)
+    def test_all_truncations_flagged(self, doc):
+        img = encode(doc)
+        for cut in range(len(img)):
+            diagnostics = verify_oson(img[:cut])
+            assert has_errors(diagnostics), f"truncation at {cut} accepted"
+
+    def test_garbage(self):
+        for blob in (b"\x00" * 64, b"OSON" + b"\xff" * 60, bytes(range(256))):
+            verify_oson(blob)  # must not raise

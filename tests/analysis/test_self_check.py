@@ -1,0 +1,31 @@
+"""The analysis subsystem checked against its own codebase.
+
+Linting ``src/repro`` must stay clean: a new violation anywhere in the
+tree fails this test, which is exactly how CI enforces the project
+invariants.  The lint rules themselves are part of ``src/repro`` — the
+framework lints its own implementation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import LintEngine, Severity, has_errors
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_source_tree_exists():
+    assert SRC.is_dir()
+
+
+def test_lint_src_repro_is_clean():
+    diagnostics = LintEngine().lint_paths([str(SRC)])
+    errors = [d.render() for d in diagnostics if d.severity is Severity.ERROR]
+    assert not has_errors(diagnostics), "\n".join(errors)
+
+
+def test_analysis_package_lints_itself_clean():
+    diagnostics = LintEngine().lint_paths([str(SRC / "analysis")])
+    assert not has_errors(diagnostics), \
+        "\n".join(d.render() for d in diagnostics)

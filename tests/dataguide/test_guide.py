@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.dataguide.builder import DataGuideBuilder
-from repro.core.dataguide.guide import DataGuide, _split_path
+from repro.core.dataguide.guide import _split_path
 from repro.core.dataguide.model import SCALAR
 from repro.errors import DataGuideError
 from repro.jsontext import dumps, loads
@@ -86,7 +86,6 @@ class TestHierarchicalForm:
         assert date["o:frequency"] == 1
 
     def test_heterogeneous_renders_oneof(self):
-        guide = guide_for({"a": 1}, {"a": {"b": 2}})
         h = guide_for({"a": 1}, {"a": {"b": 2}}).as_hierarchical()
         a = h["properties"]["a"]
         assert "oneOf" in a

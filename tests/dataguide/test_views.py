@@ -111,9 +111,9 @@ class TestBuildJsonTable:
 class TestCreateViewOnPath:
     def test_registers_view(self):
         db, po = db_with_po()
-        view = create_view_on_path(db, po, "JCOL", guide(),
-                                   view_name="PO_RV",
-                                   include_columns=["DID"])
+        create_view_on_path(db, po, "JCOL", guide(),
+                            view_name="PO_RV",
+                            include_columns=["DID"])
         rows = db.query("PO_RV").rows()
         assert len(rows) == 3  # 2 items + 1 item
         assert {r["DID"] for r in rows} == {1, 2}

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine import Column, Database, NUMBER, CLOB, VARCHAR2, expr
+from repro.engine import Column, Database, NUMBER, CLOB, VARCHAR2
 from repro.engine.constraints import IsJsonConstraint
 from repro.engine.query import Query
 from repro.engine.view import QueryView

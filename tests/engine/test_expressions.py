@@ -6,8 +6,6 @@ from repro.engine import expr
 from repro.engine.expressions import (
     And,
     Col,
-    Comparison,
-    Like,
     Literal,
     Not,
     Or,

@@ -79,9 +79,9 @@ class TestInSituQuerying:
     def test_dmdv_view_over_external(self, jsonl):
         db = Database()
         table = ExternalJsonTable(jsonl)
-        view = create_view_on_path(db, table, "JDOC", table.dataguide(),
-                                   view_name="EXT_RV",
-                                   include_columns=["LINE"])
+        create_view_on_path(db, table, "JDOC", table.dataguide(),
+                            view_name="EXT_RV",
+                            include_columns=["LINE"])
         rows = db.query("EXT_RV").rows()
         assert len(rows) == 4  # 1 + 1(no items) + 2
         skus = sorted(r["JDOC$sku"] for r in rows if r["JDOC$sku"])

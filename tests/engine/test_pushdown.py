@@ -1,7 +1,5 @@
 """Tests for JSON_EXISTS predicate pushdown onto JSON_TABLE views."""
 
-import pytest
-
 from repro.core.oson import encode as oson_encode
 from repro.engine import Column, Database, NUMBER, Query, expr
 from repro.engine.types import BLOB

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine import Column, Database, NUMBER, Query, Table, VARCHAR2, expr
+from repro.engine import Column, NUMBER, Query, Table, VARCHAR2, expr
 from repro.errors import QueryError
 
 ROWS = [

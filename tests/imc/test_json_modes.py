@@ -80,7 +80,6 @@ class TestModes:
         assert json_value(imc.document_at(3), "$.num") == 3
 
     def test_selection_to_indexes(self):
-        import numpy as np
         imc = collection(VC_IMC_MODE, vc_paths=("$.num",))
         from repro.imc import kernels
         mask = kernels.compare(imc.vector("$.num"), ">=", 8)

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import JsonParseError
-from repro.jsontext.lexer import JsonEvent, JsonEventType, tokenize
+from repro.jsontext.lexer import JsonEventType, tokenize
 
 E = JsonEventType
 

@@ -1,7 +1,5 @@
 """Tests for the compact JSON serializer."""
 
-import math
-
 import pytest
 
 from repro.jsontext import dumps, loads

@@ -74,7 +74,6 @@ class TestSerialization:
 class TestCollisions:
     def test_collision_resolution_by_string_compare(self):
         """Force two names onto the same hash id and verify both resolve."""
-        d = FieldDictionary.build(["aaa", "bbb"])
         # fake a collision: give both entries the same hash
         collided = FieldDictionary([7, 7], sorted(["aaa", "bbb"]))
         assert collided.field_id("aaa", 7) is not None

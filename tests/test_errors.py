@@ -36,3 +36,56 @@ class TestHierarchy:
         from repro.jsontext import loads
         with pytest.raises(errors.ReproError):
             loads("{bad json")
+
+
+class TestBinaryFormatErrors:
+    """Decoder and verifier failures surface as the documented types,
+    with byte-offset context (ISSUE satellite: error-contract tests)."""
+
+    def test_bson_and_oson_are_binary_format_errors(self):
+        assert issubclass(errors.BsonError, errors.BinaryFormatError)
+        assert issubclass(errors.OsonError, errors.BinaryFormatError)
+        assert issubclass(errors.BinaryFormatError, errors.ReproError)
+
+    def test_offset_rendered_in_message(self):
+        error = errors.OsonError("bad node", offset=42)
+        assert error.offset == 42
+        assert "(at byte 42)" in str(error)
+
+    def test_offset_optional(self):
+        error = errors.BsonError("bad document")
+        assert error.offset == -1
+        assert str(error) == "bad document"
+
+    def test_truncated_oson_surfaces_offset_context(self):
+        from repro.core.oson import decode, encode
+        img = encode({"a": "payload-string"})
+        with pytest.raises(errors.OsonError) as exc_info:
+            decode(img[:-4])
+        assert exc_info.value.offset >= -1  # attribute always present
+
+    def test_truncated_bson_raises_bson_error(self):
+        from repro.bson import decode, encode
+        img = encode({"a": 1})
+        with pytest.raises(errors.BsonError):
+            decode(img[:-2])
+
+    def test_corrupt_oson_caught_via_one_base(self):
+        from repro.core.oson import decode, encode
+        img = bytearray(encode({"n": 7}))
+        img[-1] ^= 0xFF
+        try:
+            decode(bytes(img))
+        except errors.BinaryFormatError as error:
+            assert isinstance(error, errors.OsonError)
+
+    def test_verifier_diagnostics_mirror_decoder_offsets(self):
+        """The static verifier reports byte offsets in the same absolute
+        coordinate system the decoder errors use."""
+        from repro.analysis import verify_oson
+        from repro.core.oson import encode
+        img = encode({"a": 1})
+        diagnostics = verify_oson(img[:-1])
+        assert diagnostics
+        assert all(d.offset is None or 0 <= d.offset <= len(img)
+                   for d in diagnostics)

@@ -7,7 +7,6 @@ from repro.core.oson.stats import segment_stats, size_stats
 from repro.jsontext import dumps, loads
 from repro.workloads.collections import (
     COLLECTION_NAMES,
-    all_collections,
     collection,
 )
 
