@@ -5,8 +5,12 @@ Subcommands::
     python -m repro.analysis verify IMAGE [IMAGE...]   # files or dirs
     python -m repro.analysis lint PATH [PATH...]       # .py files or dirs
 
-``verify`` sniffs each file's format from its magic (OSON) or falls
-back to BSON; ``--format`` forces one.  Exit status is 0 when no
+``verify`` sniffs each file's format from its magic: OSON images, and
+durable-store files (``log-*.log`` segments/WALs and ``MANIFEST``,
+recognized by their frame magic and routed through
+:func:`repro.storage.fsck.verify_store_file` — the same code path
+``python -m repro.tools.store fsck`` uses); anything else falls back to
+BSON.  ``--format`` forces one.  Exit status is 0 when no
 ERROR-severity diagnostic was produced, 1 otherwise; ``--json`` emits a
 machine-readable report instead of one line per finding.
 """
@@ -37,7 +41,19 @@ def _iter_image_files(paths: Sequence[str]) -> Iterator[Path]:
 
 def _verify_one(data: bytes, forced: Optional[str]) -> Tuple[str,
                                                              List[Diagnostic]]:
-    fmt = forced or ("oson" if data[:4] == OSON_MAGIC else "bson")
+    # imported here: repro.storage depends on repro.analysis verifiers,
+    # so the CLI reaches back lazily instead of creating an import cycle
+    from repro.storage.fsck import is_store_file, verify_store_file
+    if forced:
+        fmt = forced
+    elif data[:4] == OSON_MAGIC:
+        fmt = "oson"
+    elif is_store_file(data):
+        fmt = "store"
+    else:
+        fmt = "bson"
+    if fmt == "store":
+        return fmt, verify_store_file(data)
     verifier = verify_oson if fmt == "oson" else verify_bson
     return fmt, verifier(data)
 
@@ -104,8 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="verify OSON/BSON binary images")
     verify.add_argument("paths", nargs="+",
                         help="image files or directories of images")
-    verify.add_argument("--format", choices=("oson", "bson"),
-                        help="force the image format instead of sniffing")
+    verify.add_argument("--format", choices=("oson", "bson", "store"),
+                        help="force the image format instead of sniffing "
+                             "('store' = durable-store log/manifest files)")
     verify.set_defaults(func=cmd_verify)
     lint = commands.add_parser("lint", help="lint Python sources")
     lint.add_argument("paths", nargs="+",

@@ -9,7 +9,7 @@ maintenance *inside* one engine; this package is that engine.
 """
 
 from repro.engine.catalog import Database
-from repro.engine.table import Column, Table
+from repro.engine.table import Column, DurableTable, Table
 from repro.engine.types import (
     BOOLEAN,
     CLOB,
@@ -25,6 +25,7 @@ from repro.engine import expressions as expr
 __all__ = [
     "Database",
     "Table",
+    "DurableTable",
     "Column",
     "Query",
     "expr",

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Sequence
+from typing import Any, Iterator, Optional, Sequence
 
 from repro.engine.query import Query
-from repro.engine.table import Column, Table
+from repro.engine.table import Column, DurableTable, Table
 from repro.engine.view import View
 from repro.errors import CatalogError
 
@@ -27,10 +27,25 @@ class Database:
 
     # -- tables ------------------------------------------------------------
 
-    def create_table(self, name: str, columns: Sequence[Column]) -> Table:
+    def create_table(self, name: str, columns: Sequence[Column],
+                     durable: Optional[str] = None,
+                     fs: Optional[Any] = None) -> Table:
+        """Create a table; with ``durable=<directory>`` its rows are
+        backed by a crash-safe :class:`~repro.storage.store
+        .CollectionStore` in that directory.  Opening an existing
+        directory restores the surviving rows through verified recovery
+        (report on ``table.recovery``); ``fs`` injects a file system
+        (the fault-injection harness or an in-memory one)."""
         if name in self._tables or name in self._views:
             raise CatalogError(f"object {name!r} already exists")
-        table = Table(name, columns)
+        if durable is None:
+            table: Table = Table(name, columns)
+        else:
+            # imported lazily: the engine stays usable (and importable)
+            # without the storage subsystem in purely transient runs
+            from repro.storage.store import CollectionStore
+            store = CollectionStore.open_or_create(durable, fs=fs)
+            table = DurableTable(name, columns, store)
         self._tables[name] = table
         return table
 

@@ -26,7 +26,12 @@ class ExternalJsonTable:
 
     Rows have two columns: ``LINE`` (1-based line number, the pseudo
     rowid) and the JSON text column (default name ``JDOC``).  Blank
-    lines are skipped; malformed lines raise unless ``skip_errors``.
+    lines are skipped; malformed lines raise unless ``skip_errors``, in
+    which case they are counted in ``skipped_count`` (refreshed by each
+    scan) instead of vanishing silently.  A leading UTF-8 BOM is
+    tolerated.  The file's existence is re-checked at every ``scan()``
+    — the file can legitimately disappear between the constructor and a
+    later query (the In-Situ trade-off cuts both ways).
     """
 
     def __init__(self, path: str, json_column: str = "JDOC",
@@ -37,6 +42,8 @@ class ExternalJsonTable:
         self.path = path
         self.json_column = json_column
         self.skip_errors = skip_errors
+        #: malformed lines skipped by the most recent scan
+        self.skipped_count = 0
 
     @property
     def column_names(self) -> list[str]:
@@ -48,10 +55,25 @@ class ExternalJsonTable:
         return name in self.column_names
 
     def scan(self) -> Iterator[dict[str, Any]]:
-        """Stream rows from the file; each scan re-reads it (In-Situ)."""
+        """Stream rows from the file; each scan re-reads it (In-Situ).
+
+        Existence is re-checked here, not only in ``__init__``: the
+        backing file may have been deleted or replaced between scans
+        (TOCTOU), and the open itself can still lose that race, so both
+        paths surface as :class:`EngineError` naming the file.
+        """
         from repro.jsontext import loads
         from repro.errors import JsonParseError
-        with open(self.path, "r", encoding="utf-8") as handle:
+        self.skipped_count = 0
+        if not os.path.exists(self.path):
+            raise EngineError(f"external file not found: {self.path}")
+        try:
+            # utf-8-sig: tolerate (and strip) a UTF-8 BOM first line
+            handle = open(self.path, "r", encoding="utf-8-sig")
+        except OSError as exc:
+            raise EngineError(
+                f"external file not found: {self.path} ({exc})") from exc
+        with handle:
             for line_number, line in enumerate(handle, start=1):
                 text = line.strip()
                 if not text:
@@ -60,6 +82,7 @@ class ExternalJsonTable:
                     loads(text)  # IS JSON validation, in situ
                 except JsonParseError:
                     if self.skip_errors:
+                        self.skipped_count += 1
                         continue
                     raise EngineError(
                         f"{self.path}:{line_number}: malformed JSON line")

@@ -211,3 +211,100 @@ class Table:
             for column in stored_columns:
                 total += column.sql_type.storage_bytes(row.get(column.name))
         return total
+
+
+class DurableTable(Table):
+    """A heap table write-through-backed by a crash-safe
+    :class:`~repro.storage.store.CollectionStore`.
+
+    Every committed row lives as one OSON document in the store's WAL/
+    segments; insert/update/delete ride the table's existing listener
+    protocol (an update is persisted as delete + insert, exactly the
+    replace semantics the in-memory indexes already see).  Opening the
+    same directory again restores the rows through verified recovery —
+    quarantined (corrupt) documents are reported on
+    ``table.store.recovery`` and simply absent from the heap, never
+    fatal.
+
+    Binary values (RAW columns) are persisted as ``{"$raw": <hex>}``
+    wrappers since JSON has no byte-string scalar; NUMBER values keep
+    full fidelity through OSON's packed-decimal encoding.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column],
+                 store: Any) -> None:
+        super().__init__(name, columns)
+        self._store = store
+        self._row_doc_ids: dict[int, int] = {}
+        self._restore_rows()
+        self.on_insert(self._persist_insert)
+        self.on_delete(self._persist_delete)
+
+    @property
+    def store(self) -> Any:
+        return self._store
+
+    @property
+    def recovery(self) -> Any:
+        """The last recovery report (None for a freshly created store)."""
+        return self._store.recovery
+
+    # -- write-through listeners -------------------------------------------
+
+    def _persist_insert(self, row: dict) -> None:
+        doc_id = self._store.insert(_row_to_document(row))
+        self._row_doc_ids[id(row)] = doc_id
+
+    def _persist_delete(self, row: dict) -> None:
+        doc_id = self._row_doc_ids.pop(id(row), None)
+        if doc_id is None:
+            raise EngineError(
+                f"row in durable table {self.name} has no backing "
+                f"document (listener ordering broken?)")
+        self._store.delete(doc_id)
+
+    # -- restore ------------------------------------------------------------
+
+    def _restore_rows(self) -> None:
+        """Load surviving documents back into the heap (no constraint
+        re-check, no listener firing: these rows were validated and
+        acknowledged before the restart)."""
+        stored_names = {c.name for c in self._columns.values()
+                        if not c.is_virtual}
+        for doc_id, document in self._store.documents():
+            row = _document_to_row(document)
+            unknown = set(row) - stored_names
+            if unknown:
+                raise EngineError(
+                    f"durable table {self.name}: recovered document "
+                    f"{doc_id} carries unknown columns {sorted(unknown)}")
+            for name in stored_names - set(row):
+                row[name] = None
+            self._rows.append(row)
+            self._row_doc_ids[id(row)] = doc_id
+
+    def checkpoint(self) -> None:
+        self._store.checkpoint()
+
+    def close(self) -> None:
+        self._store.close()
+
+
+def _row_to_document(row: dict) -> dict:
+    document = {}
+    for key, value in row.items():
+        if isinstance(value, (bytes, bytearray)):
+            document[key] = {"$raw": bytes(value).hex()}
+        else:
+            document[key] = value
+    return document
+
+
+def _document_to_row(document: dict) -> dict:
+    row = {}
+    for key, value in document.items():
+        if isinstance(value, dict) and set(value) == {"$raw"}:
+            row[key] = bytes.fromhex(value["$raw"])
+        else:
+            row[key] = value
+    return row

@@ -21,10 +21,17 @@ class JsonParseError(ReproError):
     """
 
     def __init__(self, message: str, position: int = -1) -> None:
+        self._raw_message = message
         if position >= 0:
             message = f"{message} (at position {position})"
         super().__init__(message)
         self.position = position
+
+    def __reduce__(self):
+        # default pickling would re-run __init__ with the already
+        # position-decorated message (duplicating the suffix) and drop
+        # ``position``; rebuild from the raw constructor arguments
+        return (type(self), (self._raw_message, self.position))
 
 
 class BinaryFormatError(ReproError):
@@ -36,10 +43,17 @@ class BinaryFormatError(ReproError):
     """
 
     def __init__(self, message: str, offset: int = -1) -> None:
+        self._raw_message = message
         if offset >= 0:
             message = f"{message} (at byte {offset})"
         super().__init__(message)
         self.offset = offset
+
+    def __reduce__(self):
+        # see JsonParseError.__reduce__: keep offset across pickling and
+        # avoid doubling the "(at byte N)" suffix; type(self) preserves
+        # the subclass (BsonError / OsonError / OsonUpdateError)
+        return (type(self), (self._raw_message, self.offset))
 
 
 class BsonError(BinaryFormatError):
@@ -58,10 +72,14 @@ class PathSyntaxError(ReproError):
     """Syntactically invalid SQL/JSON path expression."""
 
     def __init__(self, message: str, position: int = -1) -> None:
+        self._raw_message = message
         if position >= 0:
             message = f"{message} (at position {position})"
         super().__init__(message)
         self.position = position
+
+    def __reduce__(self):
+        return (type(self), (self._raw_message, self.position))
 
 
 class PathEvaluationError(ReproError):
@@ -90,6 +108,17 @@ class QueryError(EngineError):
 
 class DataGuideError(ReproError):
     """DataGuide computation or view/virtual-column generation failed."""
+
+
+class StorageError(ReproError):
+    """Durable collection store misuse or unrecoverable storage state.
+
+    Raised for *usage* errors (unknown document id, operating on a
+    closed store, a directory that is not a store).  Recovery itself
+    never raises on corrupt data — corruption surfaces as structured
+    diagnostics and quarantined records on the
+    :class:`~repro.storage.recovery.RecoveryReport` instead.
+    """
 
 
 class IndexError_(ReproError):

@@ -1,0 +1,38 @@
+"""Crash-safe durable collection storage (ISSUE 2 tentpole).
+
+The paper's premise is that OSON documents *live in database storage*
+with an automatically maintained DataGuide (section 3–4); this package
+gives the reproduction that durable substrate:
+
+* :mod:`~repro.storage.framing` — checksummed, resyncable record frames;
+* :mod:`~repro.storage.log` — the WAL/segment record format (one file
+  format; sealing is metadata-only);
+* :mod:`~repro.storage.manifest` — the atomically-swapped checkpoint
+  root, itself an OSON image carrying the serialized DataGuide;
+* :mod:`~repro.storage.store` — :class:`CollectionStore`: fsync-acked
+  DML, checkpointing and compaction;
+* :mod:`~repro.storage.recovery` — verified recovery with quarantine;
+* :mod:`~repro.storage.faults` — deterministic crash/torn-write/
+  bit-flip/truncation injection over the file abstraction;
+* :mod:`~repro.storage.fsck` — offline integrity checking shared with
+  ``python -m repro.analysis verify``;
+* :mod:`~repro.storage.files` — the injectable file-system surface.
+"""
+
+from repro.storage.files import FileSystem, MemoryFileSystem, OsFileSystem
+from repro.storage.fsck import fsck, verify_store_file
+from repro.storage.recovery import (QuarantinedRecord, RecoveryReport,
+                                    recover)
+from repro.storage.store import CollectionStore
+
+__all__ = [
+    "CollectionStore",
+    "FileSystem",
+    "MemoryFileSystem",
+    "OsFileSystem",
+    "QuarantinedRecord",
+    "RecoveryReport",
+    "recover",
+    "fsck",
+    "verify_store_file",
+]

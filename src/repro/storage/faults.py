@@ -1,0 +1,301 @@
+"""Deterministic fault injection for the durable collection store.
+
+The harness wraps a :class:`~repro.storage.files.MemoryFileSystem` and
+counts every mutating operation — each ``write``, ``flush``, ``sync``,
+``create``, ``open_append``, ``replace`` and ``remove`` is a numbered
+*fault point*.  A :class:`FaultPlan` nominates one point and a failure
+mode; when execution reaches it the harness applies the mode and raises
+:class:`SimulatedCrash`:
+
+* ``crash``     — power loss *before* the operation: every un-fsynced
+  byte in the system is discarded;
+* ``torn``      — the operation's write reaches disk only partially (a
+  prefix becomes durable), everything else volatile is lost;
+* ``bitflip``   — the operation completes and syncs, then one bit of
+  the touched file's durable image is flipped (media corruption);
+* ``truncate``  — the operation completes and syncs, then the touched
+  file's durable image loses its final bytes.
+
+Mutation positions derive from CRC-32 of ``(seed, path, op index)``, so
+a failing sweep case is reproducible from its printed coordinates
+alone.  A recording pass (no plan) yields the op log the sweep
+enumerates — fault points are discovered, not hard-coded, so new
+write/flush boundaries in the protocol are swept automatically.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.storage.files import FileHandle, FileSystem, MemoryFileSystem
+
+CRASH = "crash"
+TORN = "torn"
+BITFLIP = "bitflip"
+TRUNCATE = "truncate"
+
+MODES = (CRASH, TORN, BITFLIP, TRUNCATE)
+
+
+class SimulatedCrash(BaseException):
+    """Raised at the planned fault point.
+
+    Derives from ``BaseException`` so no library ``except ReproError``
+    (or other Exception handler) can accidentally swallow the simulated
+    power loss mid-protocol.
+    """
+
+    def __init__(self, op_index: int, op: str, path: str, mode: str) -> None:
+        super().__init__(f"simulated {mode} at op {op_index} "
+                         f"({op} on {path})")
+        self.op_index = op_index
+        self.op = op
+        self.path = path
+        self.mode = mode
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Crash at fault point ``crash_at`` with the given mode."""
+
+    crash_at: int
+    mode: str = CRASH
+    seed: int = 0
+
+    def position(self, path: str, extent: int) -> int:
+        """Deterministic mutation position inside ``extent`` bytes."""
+        if extent <= 0:
+            return 0
+        key = f"{self.seed}:{path}:{self.crash_at}".encode("utf-8")
+        return zlib.crc32(key) % extent
+
+
+@dataclass
+class OpRecord:
+    index: int
+    op: str
+    path: str
+
+
+class FaultyFileSystem(FileSystem):
+    """A file system that fails on schedule.
+
+    With ``plan=None`` it records the op log (the enumeration pass);
+    with a plan it raises :class:`SimulatedCrash` at the planned point
+    after applying the planned damage.
+    """
+
+    def __init__(self, inner: Optional[MemoryFileSystem] = None,
+                 plan: Optional[FaultPlan] = None) -> None:
+        self.inner = inner if inner is not None else MemoryFileSystem()
+        self.plan = plan
+        self.op_log: List[OpRecord] = []
+        self._counter = 0
+
+    # -- fault-point bookkeeping -------------------------------------------
+
+    def _boundary(self, op: str, path: str) -> Tuple[bool, str]:
+        """Count one fault point; returns (fire_now, mode)."""
+        index = self._counter
+        self._counter += 1
+        self.op_log.append(OpRecord(index, op, path))
+        if self.plan is not None and index == self.plan.crash_at:
+            return True, self.plan.mode
+        return False, ""
+
+    def _crash(self, op: str, path: str, mode: str) -> None:
+        self.inner.crash()
+        plan = self.plan
+        raise SimulatedCrash(plan.crash_at if plan else -1, op, path, mode)
+
+    def _post_op_damage(self, op: str, path: str, mode: str) -> None:
+        """bitflip / truncate: op completed; damage the durable image."""
+        plan = self.plan
+        if plan is None:
+            return
+        self.inner.force_sync(path)
+        data = self.inner.durable_bytes(path)
+        if not data:
+            self._crash(op, path, mode)
+        if mode == BITFLIP:
+            position = plan.position(path, len(data))
+            bit = 1 << (plan.position(path + "#bit", 8))
+            mutated = bytearray(data)
+            mutated[position] ^= bit
+            self.inner.mutate_durable(path, lambda _: bytes(mutated))
+        elif mode == TRUNCATE:
+            cut = 1 + plan.position(path, min(len(data), 24))
+            self.inner.mutate_durable(path, lambda d: d[:-cut])
+        self._crash(op, path, mode)
+
+    def _fire(self, op: str, path: str, mode: str,
+              perform, data: bytes = b"") -> None:
+        """Apply the planned failure around ``perform()``; always raises
+        :class:`SimulatedCrash`."""
+        if mode == CRASH:
+            self._crash(op, path, mode)
+        if mode == TORN and op == "write":
+            # a prefix of this write becomes durable, all other
+            # volatile bytes are lost
+            keep = len(data) // 2
+            plan = self.plan
+            if plan is not None and len(data) > 1:
+                keep = plan.position(path, len(data))
+            self.inner.crash()
+            if keep:
+                self.inner.mutate_durable(path, lambda d: d + data[:keep])
+            raise SimulatedCrash(
+                plan.crash_at if plan else -1, op, path, TORN)
+        if mode == TORN:
+            # torn only makes sense for writes; degrade to plain crash
+            self._crash(op, path, mode)
+        perform()
+        self._post_op_damage(op, path, mode)
+
+    # -- FileSystem surface ------------------------------------------------
+
+    def create(self, path: str) -> FileHandle:
+        fire, mode = self._boundary("create", path)
+        if fire:
+            self._fire("create", path, mode,
+                       lambda: self.inner.create(path))
+        handle = self.inner.create(path)
+        return _FaultyHandle(self, path, handle)
+
+    def open_append(self, path: str) -> FileHandle:
+        fire, mode = self._boundary("open_append", path)
+        if fire:
+            self._fire("open_append", path, mode, lambda: None)
+        handle = self.inner.open_append(path)
+        return _FaultyHandle(self, path, handle)
+
+    def read_bytes(self, path: str) -> bytes:
+        return self.inner.read_bytes(path)
+
+    def exists(self, path: str) -> bool:
+        return self.inner.exists(path)
+
+    def file_size(self, path: str) -> int:
+        return self.inner.file_size(path)
+
+    def listdir(self, path: str) -> List[str]:
+        return self.inner.listdir(path)
+
+    def replace(self, src: str, dst: str) -> None:
+        fire, mode = self._boundary("replace", dst)
+        if fire:
+            self._fire("replace", dst, mode,
+                       lambda: self.inner.replace(src, dst))
+            return
+        self.inner.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        fire, mode = self._boundary("remove", path)
+        if fire:
+            self._fire("remove", path, mode,
+                       lambda: self.inner.remove(path))
+            return
+        self.inner.remove(path)
+
+    def ensure_dir(self, path: str) -> None:
+        self.inner.ensure_dir(path)
+
+
+class _FaultyHandle(FileHandle):
+    def __init__(self, fs: FaultyFileSystem, path: str,
+                 inner: FileHandle) -> None:
+        self._fs = fs
+        self._path = path
+        self._inner = inner
+
+    def _guarded(self, op: str, perform, data: bytes = b"") -> None:
+        fire, mode = self._fs._boundary(op, self._path)
+        if fire:
+            self._fs._fire(op, self._path, mode, perform, data)
+            return
+        perform()
+
+    def write(self, data: bytes) -> None:
+        self._guarded("write", lambda: self._inner.write(data), data)
+
+    def flush(self) -> None:
+        self._guarded("flush", self._inner.flush)
+
+    def sync(self) -> None:
+        self._guarded("sync", self._inner.sync)
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def tell(self) -> int:
+        return self._inner.tell()
+
+
+@dataclass
+class SweepCase:
+    """One point in the crash sweep: coordinates + classification."""
+
+    plan: FaultPlan
+    op: OpRecord
+
+    def describe(self) -> str:
+        return (f"fault point {self.op.index} ({self.op.op} on "
+                f"{self.op.path}) mode={self.plan.mode} "
+                f"seed={self.plan.seed}")
+
+
+@dataclass
+class SweepEnumeration:
+    """The full crash matrix discovered by a recording pass."""
+
+    ops: List[OpRecord]
+    seed: int
+    modes: Tuple[str, ...] = MODES
+
+    @property
+    def cases(self) -> List[SweepCase]:
+        found = []
+        for op in self.ops:
+            for mode in self.modes:
+                found.append(SweepCase(
+                    FaultPlan(op.index, mode, self.seed), op))
+        return found
+
+
+def enumerate_fault_points(workload, seed: int = 0,
+                           modes: Tuple[str, ...] = MODES
+                           ) -> SweepEnumeration:
+    """Run ``workload(fs, journal)`` once on a recording file system
+    and return the discovered crash matrix."""
+    recorder = FaultyFileSystem()
+    workload(recorder, [])
+    return SweepEnumeration(ops=list(recorder.op_log), seed=seed,
+                            modes=modes)
+
+
+@dataclass
+class CrashOutcome:
+    """What a single sweep run left on 'disk'."""
+
+    case: SweepCase
+    durable: MemoryFileSystem
+    crashed: bool
+    journal: list  # acknowledgements the workload recorded before the crash
+
+
+def run_with_fault(workload, case: SweepCase) -> CrashOutcome:
+    """Run ``workload(fs, journal)`` under the case's fault plan and
+    capture the durable state at the crash.  The workload appends each
+    *acknowledged* operation to ``journal`` (in place, so progress up to
+    the crash survives it) — the sweep's zero-loss oracle replays it."""
+    fs = FaultyFileSystem(plan=case.plan)
+    journal: list = []
+    crashed = False
+    try:
+        workload(fs, journal)
+    except SimulatedCrash:
+        crashed = True
+    return CrashOutcome(case=case, durable=fs.inner.durable_state(),
+                        crashed=crashed, journal=journal)

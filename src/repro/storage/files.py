@@ -1,0 +1,283 @@
+"""Injectable file abstraction for the durable collection store.
+
+Every byte the store writes or reads goes through a :class:`FileSystem`,
+so the fault-injection harness (:mod:`repro.storage.faults`) can wrap one
+and simulate crashes at each write/flush/sync boundary.  Two concrete
+implementations:
+
+* :class:`OsFileSystem` — the real thing: buffered appends, ``flush``
+  maps to file-object flush, ``sync`` to ``os.fsync``, ``replace`` to
+  the atomic ``os.replace``;
+* :class:`MemoryFileSystem` — an in-memory model with explicit
+  durability semantics: bytes written but not yet synced live in a
+  per-file ``pending`` buffer that a simulated crash discards (or
+  tears), while ``sync`` promotes them to the durable image.
+
+The store only ever *appends* to log files and atomically replaces the
+manifest, so the interface is deliberately tiny — there is no seek, no
+overwrite, no partial read.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from repro.errors import StorageError
+
+
+class FileHandle:
+    """An append-only writable file."""
+
+    def write(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def tell(self) -> int:
+        raise NotImplementedError
+
+
+class FileSystem:
+    """Minimal file-system surface used by the store."""
+
+    def create(self, path: str) -> FileHandle:
+        """Create (or truncate) ``path`` and open it for appending."""
+        raise NotImplementedError
+
+    def open_append(self, path: str) -> FileHandle:
+        raise NotImplementedError
+
+    def read_bytes(self, path: str) -> bytes:
+        raise NotImplementedError
+
+    def exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def file_size(self, path: str) -> int:
+        raise NotImplementedError
+
+    def listdir(self, path: str) -> List[str]:
+        raise NotImplementedError
+
+    def replace(self, src: str, dst: str) -> None:
+        """Atomically rename ``src`` over ``dst``."""
+        raise NotImplementedError
+
+    def remove(self, path: str) -> None:
+        raise NotImplementedError
+
+    def ensure_dir(self, path: str) -> None:
+        raise NotImplementedError
+
+
+# -- real files --------------------------------------------------------------
+
+
+class _OsFileHandle(FileHandle):
+    def __init__(self, handle) -> None:
+        self._handle = handle
+
+    def write(self, data: bytes) -> None:
+        self._handle.write(data)
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def sync(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def tell(self) -> int:
+        return self._handle.tell()
+
+
+class OsFileSystem(FileSystem):
+    """The durable store's default backend: real OS files."""
+
+    def create(self, path: str) -> FileHandle:
+        return _OsFileHandle(open(path, "wb"))
+
+    def open_append(self, path: str) -> FileHandle:
+        return _OsFileHandle(open(path, "ab"))
+
+    def read_bytes(self, path: str) -> bytes:
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def file_size(self, path: str) -> int:
+        return os.path.getsize(path)
+
+    def listdir(self, path: str) -> List[str]:
+        return sorted(os.listdir(path))
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def ensure_dir(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+
+# -- in-memory model ---------------------------------------------------------
+
+
+class _MemFile:
+    """A file as two byte runs: durable (``synced``) and volatile
+    (``pending`` — written but not yet fsynced)."""
+
+    __slots__ = ("synced", "pending")
+
+    def __init__(self, synced: bytes = b"") -> None:
+        self.synced = bytearray(synced)
+        self.pending = bytearray()
+
+    @property
+    def content(self) -> bytes:
+        return bytes(self.synced) + bytes(self.pending)
+
+
+class _MemFileHandle(FileHandle):
+    def __init__(self, fs: "MemoryFileSystem", path: str) -> None:
+        self._fs = fs
+        self._path = path
+        self._closed = False
+
+    def _file(self) -> _MemFile:
+        if self._closed:
+            raise StorageError(f"write to closed file {self._path}")
+        entry = self._fs._files.get(self._path)
+        if entry is None:
+            raise StorageError(f"file disappeared under open handle: "
+                               f"{self._path}")
+        return entry
+
+    def write(self, data: bytes) -> None:
+        self._file().pending.extend(data)
+
+    def flush(self) -> None:
+        # application buffer and OS page cache are modeled as one
+        # volatile tier; flush is a boundary but moves nothing
+        self._file()
+
+    def sync(self) -> None:
+        entry = self._file()
+        entry.synced.extend(entry.pending)
+        entry.pending.clear()
+
+    def close(self) -> None:
+        self._closed = True
+
+    def tell(self) -> int:
+        entry = self._file()
+        return len(entry.synced) + len(entry.pending)
+
+
+class MemoryFileSystem(FileSystem):
+    """In-memory files with explicit crash semantics.
+
+    ``crash`` discards every un-synced byte, modelling the loss of the
+    OS page cache; :meth:`durable_state` snapshots what a machine would
+    find on disk after that crash.
+    """
+
+    def __init__(self) -> None:
+        self._files: Dict[str, _MemFile] = {}
+        self._dirs: set = set()
+
+    # -- FileSystem surface ------------------------------------------------
+
+    def create(self, path: str) -> FileHandle:
+        self._files[path] = _MemFile()
+        return _MemFileHandle(self, path)
+
+    def open_append(self, path: str) -> FileHandle:
+        if path not in self._files:
+            raise StorageError(f"no such file: {path}")
+        return _MemFileHandle(self, path)
+
+    def read_bytes(self, path: str) -> bytes:
+        entry = self._files.get(path)
+        if entry is None:
+            raise StorageError(f"no such file: {path}")
+        return entry.content
+
+    def exists(self, path: str) -> bool:
+        return path in self._files or path in self._dirs
+
+    def file_size(self, path: str) -> int:
+        return len(self.read_bytes(path))
+
+    def listdir(self, path: str) -> List[str]:
+        prefix = path.rstrip("/") + "/"
+        names = {name[len(prefix):].split("/", 1)[0]
+                 for name in self._files if name.startswith(prefix)}
+        return sorted(names)
+
+    def replace(self, src: str, dst: str) -> None:
+        entry = self._files.pop(src, None)
+        if entry is None:
+            raise StorageError(f"no such file: {src}")
+        # modeled as atomic and immediately durable (the store writes
+        # and syncs the source before every replace)
+        entry.synced.extend(entry.pending)
+        entry.pending.clear()
+        self._files[dst] = entry
+
+    def remove(self, path: str) -> None:
+        if self._files.pop(path, None) is None:
+            raise StorageError(f"no such file: {path}")
+
+    def ensure_dir(self, path: str) -> None:
+        self._dirs.add(path.rstrip("/"))
+
+    # -- crash modelling ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose every byte that was never fsynced."""
+        for entry in self._files.values():
+            entry.pending.clear()
+
+    def durable_state(self) -> "MemoryFileSystem":
+        """A fresh file system holding only the durable bytes — what a
+        recovery process would find after a crash."""
+        snapshot = MemoryFileSystem()
+        snapshot._dirs = set(self._dirs)
+        for path, entry in self._files.items():
+            snapshot._files[path] = _MemFile(bytes(entry.synced))
+        return snapshot
+
+    def force_sync(self, path: str) -> None:
+        """Promote a file's pending bytes to durable (harness hook)."""
+        entry = self._files.get(path)
+        if entry is not None:
+            entry.synced.extend(entry.pending)
+            entry.pending.clear()
+
+    # test/harness access, deliberately public
+    def durable_bytes(self, path: str) -> bytes:
+        entry = self._files.get(path)
+        return b"" if entry is None else bytes(entry.synced)
+
+    def mutate_durable(self, path: str, transform) -> None:
+        """Apply ``transform(bytes) -> bytes`` to a file's durable image
+        (the fault harness's corruption hook)."""
+        entry = self._files.get(path)
+        if entry is None:
+            raise StorageError(f"no such file: {path}")
+        entry.synced = bytearray(transform(bytes(entry.synced)))

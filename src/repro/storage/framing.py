@@ -1,0 +1,177 @@
+"""Checksummed record framing shared by the WAL, segments and manifest.
+
+Every record the store writes is wrapped in a frame::
+
+    <4s magic "RFRM"> <u32 payload length> <u32 CRC-32 of payload> <payload>
+
+The magic makes frames *resyncable*: when a frame is corrupted (its CRC
+fails, or its length field was damaged so the claimed extent is
+implausible), the scanner records a corrupt-frame finding and searches
+forward for the next magic instead of abandoning the rest of the file.
+A frame that simply runs past end-of-file with no later magic is a
+*torn tail* — the expected signature of a crash mid-append — and is
+reported as such, distinct from corruption.
+
+Scanning never raises: like the binary verifiers it produces
+:class:`~repro.analysis.diagnostics.Diagnostic` records and lets the
+caller decide severity policy (recovery quarantines, ``fsck`` reports).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.errors import StorageError
+
+FRAME_MAGIC = b"RFRM"
+_HEADER = struct.Struct("<4sII")
+HEADER_SIZE = _HEADER.size  # 12
+
+#: sanity cap on a single frame payload (a damaged length field almost
+#: always lands above this and triggers resync instead of a huge slice)
+MAX_PAYLOAD = 1 << 28
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a checksummed frame."""
+    if len(payload) > MAX_PAYLOAD:
+        raise StorageError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte cap")
+    return _HEADER.pack(FRAME_MAGIC, len(payload),
+                        zlib.crc32(payload)) + payload
+
+
+@dataclass
+class ScannedFrame:
+    """One frame found by :func:`scan_frames`.
+
+    ``valid`` is False for a frame whose CRC failed; its ``payload`` is
+    the (untrustworthy) claimed extent so recovery can still attempt to
+    attribute the damage to a document id.
+    """
+
+    offset: int
+    payload: bytes
+    valid: bool = True
+
+
+@dataclass
+class FrameScan:
+    """Result of scanning a byte run for frames."""
+
+    frames: List[ScannedFrame] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: end offset of the unbroken valid prefix (safe seal length)
+    consumed: int = 0
+    #: True when the run ends in an incomplete frame (crash signature)
+    torn: bool = False
+
+    @property
+    def valid_frames(self) -> List[ScannedFrame]:
+        return [f for f in self.frames if f.valid]
+
+    @property
+    def corrupt_frames(self) -> List[ScannedFrame]:
+        return [f for f in self.frames if not f.valid]
+
+
+def scan_frames(data: bytes, base_offset: int = 0) -> FrameScan:
+    """Scan ``data`` for frames, tolerating corruption and torn tails.
+
+    ``base_offset`` shifts reported offsets (used when scanning a slice
+    of a larger file).
+    """
+    scan = FrameScan()
+    offset = 0
+    n = len(data)
+    clean_prefix = True
+
+    def report(rule: str, message: str, at: int,
+               severity: Severity = Severity.ERROR) -> None:
+        scan.diagnostics.append(Diagnostic(
+            rule, message, severity, offset=base_offset + at))
+
+    while offset < n:
+        if offset + HEADER_SIZE > n:
+            scan.torn = True
+            report("storage.frame.torn-header",
+                   f"{n - offset} trailing bytes are shorter than a "
+                   f"frame header (torn tail)", offset,
+                   Severity.WARNING)
+            break
+        magic, length, crc = _HEADER.unpack_from(data, offset)
+        if magic != FRAME_MAGIC:
+            clean_prefix = False
+            resync = data.find(FRAME_MAGIC, offset + 1)
+            if resync < 0:
+                report("storage.frame.garbage-tail",
+                       f"{n - offset} bytes with no frame magic", offset)
+                break
+            report("storage.frame.resync",
+                   f"skipped {resync - offset} bytes of garbage to the "
+                   f"next frame magic", offset)
+            offset = resync
+            continue
+        end = offset + HEADER_SIZE + length
+        if length > MAX_PAYLOAD or end > n:
+            # either a torn tail (last frame of a crashed append) or a
+            # damaged length field; a later magic disambiguates
+            resync = data.find(FRAME_MAGIC, offset + 1)
+            if resync < 0:
+                if end > n and length <= MAX_PAYLOAD:
+                    scan.torn = True
+                    report("storage.frame.torn-payload",
+                           f"frame claims {length} payload bytes but "
+                           f"only {n - offset - HEADER_SIZE} remain "
+                           f"(torn tail)", offset, Severity.WARNING)
+                else:
+                    clean_prefix = False
+                    report("storage.frame.bad-length",
+                           f"implausible frame length {length}", offset)
+                break
+            clean_prefix = False
+            report("storage.frame.bad-length",
+                   f"frame length {length} overruns the next frame; "
+                   f"resynchronizing", offset)
+            offset = resync
+            continue
+        payload = data[offset + HEADER_SIZE:end]
+        if zlib.crc32(payload) != crc:
+            clean_prefix = False
+            report("storage.frame.crc",
+                   f"payload checksum mismatch over {length} bytes",
+                   offset)
+            scan.frames.append(ScannedFrame(base_offset + offset,
+                                            payload, valid=False))
+            # the length field may itself be damaged: only trust it if
+            # a frame magic (or end of data) follows
+            if end == n or data[end:end + 4] == FRAME_MAGIC:
+                offset = end
+            else:
+                resync = data.find(FRAME_MAGIC, offset + 1)
+                if resync < 0:
+                    report("storage.frame.garbage-tail",
+                           f"{n - end} undecodable bytes after corrupt "
+                           f"frame", end)
+                    break
+                offset = resync
+            continue
+        scan.frames.append(ScannedFrame(base_offset + offset, payload))
+        offset = end
+        if clean_prefix:
+            scan.consumed = offset
+    return scan
+
+
+def first_frame(data: bytes) -> Optional[bytes]:
+    """The payload of the first valid frame, or None."""
+    scan = scan_frames(data)
+    for found in scan.frames:
+        if found.valid:
+            return found.payload
+    return None

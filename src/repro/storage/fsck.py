@@ -1,0 +1,130 @@
+"""Offline integrity checking for store files — the ``fsck`` code path.
+
+:func:`verify_store_file` statically verifies one on-disk store file
+(a ``log-*.log`` segment/WAL or the ``MANIFEST``) the same way the
+binary verifiers work: structured diagnostics, never raising.  It is
+the single code path shared by
+
+* ``python -m repro.tools.store fsck`` (whole-directory check with
+  manifest cross-references),
+* ``python -m repro.analysis verify`` (which sniffs the frame magic and
+  routes store files here), and
+* the CI fault-injection job.
+
+Every embedded OSON image — documents in log records and the manifest's
+checkpoint document alike — is run through
+:func:`repro.analysis.oson_verifier.verify_oson` with its diagnostics
+re-based to absolute file offsets.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from typing import List, Optional
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.oson_verifier import verify_oson
+from repro.core.oson.constants import MAGIC as OSON_MAGIC
+from repro.errors import StorageError
+from repro.storage import log as logfmt
+from repro.storage import manifest as manifestfmt
+from repro.storage.files import FileSystem
+from repro.storage.framing import FRAME_MAGIC, HEADER_SIZE, scan_frames
+
+#: byte offset of a record's image within its frame payload
+_IMAGE_START = 9  # u8 op + u64 doc id
+
+
+def is_store_file(data: bytes) -> bool:
+    """Sniff: store files (logs and MANIFEST) begin with a frame."""
+    return data[:4] == FRAME_MAGIC
+
+
+def verify_store_file(data: bytes, path: Optional[str] = None,
+                      sealed_length: Optional[int] = None
+                      ) -> List[Diagnostic]:
+    """Verify one store file image; returns all findings."""
+    window = data if sealed_length is None else data[:sealed_length]
+    scan = scan_frames(window)
+    diagnostics = list(scan.diagnostics)
+    for found in scan.frames:
+        if not found.valid:
+            continue
+        diagnostics.extend(_verify_payload(found.payload, found.offset))
+    if sealed_length is not None and len(data) > sealed_length:
+        diagnostics.append(Diagnostic(
+            "storage.fsck.sealed-slack",
+            f"{len(data) - sealed_length} bytes past the sealed length",
+            Severity.WARNING, offset=sealed_length))
+    if path is not None:
+        diagnostics = [Diagnostic(d.rule, d.message, d.severity,
+                                  offset=d.offset, path=path)
+                       for d in diagnostics]
+    return diagnostics
+
+
+def _verify_payload(payload: bytes, frame_offset: int) -> List[Diagnostic]:
+    base = frame_offset + HEADER_SIZE
+    if payload[:4] == OSON_MAGIC:
+        # a manifest frame: the payload is the checkpoint OSON image
+        return _rebase(verify_oson(payload), base)
+    try:
+        record = logfmt.decode_record(payload)
+    except StorageError as exc:
+        return [Diagnostic("storage.fsck.record",
+                           f"unreadable log record: {exc}", offset=base)]
+    if record.op in logfmt.IMAGE_OPS:
+        return _rebase(verify_oson(record.image), base + _IMAGE_START)
+    return []
+
+
+def _rebase(diagnostics: List[Diagnostic], base: int) -> List[Diagnostic]:
+    return [Diagnostic(d.rule, d.message, d.severity,
+                       offset=None if d.offset is None else base + d.offset)
+            for d in diagnostics]
+
+
+def fsck(fs: FileSystem, directory: str) -> List[Diagnostic]:
+    """Check a whole store directory: the manifest, every log file it
+    references (at its sealed length), and stray files."""
+    diagnostics: List[Diagnostic] = []
+    manifest_doc, manifest_diags = manifestfmt.read_manifest(fs, directory)
+    diagnostics.extend(manifest_diags)
+
+    referenced = {}
+    if manifest_doc is not None:
+        for segment in manifest_doc["segments"]:
+            referenced[segment["name"]] = segment["length"]
+        referenced[manifest_doc["wal"]] = None
+
+    for name, length in referenced.items():
+        path = posixpath.join(directory, name)
+        if not fs.exists(path):
+            diagnostics.append(Diagnostic(
+                "storage.fsck.missing",
+                "manifest references a missing file", path=name))
+            continue
+        diagnostics.extend(verify_store_file(
+            fs.read_bytes(path), path=name, sealed_length=length))
+
+    horizon = (manifestfmt.manifest_horizon(manifest_doc)
+               if manifest_doc is not None else None)
+    for name in fs.listdir(directory):
+        sequence = logfmt.parse_log_name(name)
+        if sequence is None or name in referenced:
+            continue
+        if horizon is not None and sequence <= horizon:
+            diagnostics.append(Diagnostic(
+                "storage.fsck.stale-log",
+                "log file below the manifest horizon is unreferenced "
+                "(interrupted compaction?)", Severity.WARNING, path=name))
+        else:
+            diagnostics.append(Diagnostic(
+                "storage.fsck.orphan-log",
+                "log file above the manifest horizon (checkpoint was in "
+                "flight); recovery will apply it", Severity.WARNING,
+                path=name))
+            path = posixpath.join(directory, name)
+            diagnostics.extend(verify_store_file(fs.read_bytes(path),
+                                                 path=name))
+    return diagnostics

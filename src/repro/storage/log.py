@@ -1,0 +1,156 @@
+"""Log records: the unit the WAL and sealed segments both store.
+
+A log file (``log-NNNNNNNN.log``) is a sequence of frames
+(:mod:`repro.storage.framing`).  The first frame is a *header record*
+identifying the file and its sequence number; every subsequent frame is
+an *operation record*::
+
+    header:    <u8 0> "RLOG1" <u32 sequence>
+    insert:    <u8 1> <u64 doc id> <OSON image bytes>
+    update:    <u8 2> <u64 doc id> <OSON image bytes>
+    delete:    <u8 3> <u64 doc id>
+
+The active WAL and a sealed segment share this format exactly — sealing
+a WAL is a metadata-only operation (the manifest records the file name
+and its valid length); no bytes are rewritten.  A *commit* is one
+framed operation record followed by flush + fsync: once those return,
+the operation is acknowledged and recovery must preserve it.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import StorageError
+from repro.storage.files import FileHandle, FileSystem
+from repro.storage.framing import frame
+
+OP_LOG_HEADER = 0
+OP_INSERT = 1
+OP_UPDATE = 2
+OP_DELETE = 3
+
+LOG_MAGIC = b"RLOG1"
+
+_HEADER_RECORD = struct.Struct("<B5sI")
+_OP_PREFIX = struct.Struct("<BQ")
+
+#: ops that carry an OSON image payload
+IMAGE_OPS = (OP_INSERT, OP_UPDATE)
+
+
+def log_name(sequence: int) -> str:
+    return f"log-{sequence:08d}.log"
+
+
+def parse_log_name(name: str) -> Optional[int]:
+    """The sequence number encoded in a log file name, or None."""
+    if not (name.startswith("log-") and name.endswith(".log")):
+        return None
+    digits = name[4:-4]
+    if not digits.isdigit():
+        return None
+    return int(digits)
+
+
+def encode_header(sequence: int) -> bytes:
+    return _HEADER_RECORD.pack(OP_LOG_HEADER, LOG_MAGIC, sequence)
+
+
+def encode_record(op: int, doc_id: int, image: bytes = b"") -> bytes:
+    if op not in (OP_INSERT, OP_UPDATE, OP_DELETE):
+        raise StorageError(f"unknown log operation {op}")
+    if op == OP_DELETE and image:
+        raise StorageError("delete records carry no image")
+    return _OP_PREFIX.pack(op, doc_id) + image
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """A decoded operation or header record."""
+
+    op: int
+    doc_id: int = 0
+    image: bytes = b""
+    sequence: int = 0  # for header records
+
+
+def decode_record(payload: bytes) -> LogRecord:
+    """Decode one frame payload; raises :class:`StorageError` on a
+    structurally unreadable record (recovery catches and quarantines)."""
+    if not payload:
+        raise StorageError("empty log record")
+    op = payload[0]
+    if op == OP_LOG_HEADER:
+        if len(payload) != _HEADER_RECORD.size:
+            raise StorageError(
+                f"log header record has {len(payload)} bytes, "
+                f"expected {_HEADER_RECORD.size}")
+        _, magic, sequence = _HEADER_RECORD.unpack(payload)
+        if magic != LOG_MAGIC:
+            raise StorageError(f"bad log header magic {magic!r}")
+        return LogRecord(OP_LOG_HEADER, sequence=sequence)
+    if op in (OP_INSERT, OP_UPDATE, OP_DELETE):
+        if len(payload) < _OP_PREFIX.size:
+            raise StorageError(
+                f"log record of {len(payload)} bytes is shorter than "
+                f"the {_OP_PREFIX.size}-byte operation prefix")
+        _, doc_id = _OP_PREFIX.unpack_from(payload)
+        image = payload[_OP_PREFIX.size:]
+        if op == OP_DELETE and image:
+            raise StorageError("delete record carries unexpected bytes")
+        if op != OP_DELETE and not image:
+            raise StorageError("insert/update record carries no image")
+        return LogRecord(op, doc_id=doc_id, image=image)
+    raise StorageError(f"unknown log operation byte {op}")
+
+
+class LogWriter:
+    """Appends framed records to a log file with explicit commit points.
+
+    ``append`` buffers; ``commit`` flushes and fsyncs — only then is the
+    record acknowledged.  Each call maps one-to-one onto the injectable
+    file abstraction so the fault harness sees every boundary.
+    """
+
+    def __init__(self, fs: FileSystem, path: str, handle: FileHandle,
+                 sequence: int, offset: int) -> None:
+        self.fs = fs
+        self.path = path
+        self.sequence = sequence
+        self.offset = offset
+        self._handle = handle
+
+    @classmethod
+    def create(cls, fs: FileSystem, path: str, sequence: int) -> "LogWriter":
+        """Create a fresh log file and durably write its header record."""
+        handle = fs.create(path)
+        header = frame(encode_header(sequence))
+        handle.write(header)
+        handle.flush()
+        handle.sync()
+        return cls(fs, path, handle, sequence, len(header))
+
+    @classmethod
+    def reopen(cls, fs: FileSystem, path: str, sequence: int,
+               offset: int) -> "LogWriter":
+        """Continue appending to an existing, fully-valid log file."""
+        handle = fs.open_append(path)
+        return cls(fs, path, handle, sequence, offset)
+
+    def append(self, payload: bytes) -> int:
+        """Buffer one framed record; returns its start offset."""
+        framed = frame(payload)
+        start = self.offset
+        self._handle.write(framed)
+        self.offset += len(framed)
+        return start
+
+    def commit(self) -> None:
+        self._handle.flush()
+        self._handle.sync()
+
+    def close(self) -> None:
+        self._handle.close()

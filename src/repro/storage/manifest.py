@@ -1,0 +1,197 @@
+"""The manifest: the atomically-swapped checkpoint root of a store.
+
+``MANIFEST`` is a single checksummed frame whose payload is an **OSON
+image** of the checkpoint document — the store's own document format is
+used for its metadata, so the same static verifier
+(:func:`repro.analysis.oson_verifier.verify_oson`) that guards recovered
+documents also guards the checkpoint itself.  The document pins:
+
+* ``segments`` — the sealed log files, in apply order, each with the
+  byte length of its valid prefix (bytes past it are ignored slack from
+  a torn pre-seal tail);
+* ``wal`` — the active log file receiving new commits;
+* ``next_doc_id`` / ``doc_count`` — id allocation floor and live count;
+* ``dataguide`` — the serialized DataGuide (documents seen + every
+  path entry), so schema metadata survives restart without a rescan.
+
+Protocol: write ``MANIFEST.tmp``, flush, fsync, then atomically
+``replace`` onto ``MANIFEST``.  A crash anywhere leaves either the old
+or the new manifest intact; recovery additionally applies any log files
+with a sequence number above the manifest's horizon, which closes the
+checkpoint window (new WAL created, manifest not yet swapped).
+"""
+
+from __future__ import annotations
+
+import posixpath
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity, has_errors
+from repro.analysis.oson_verifier import verify_oson
+from repro.core.dataguide.builder import DataGuideBuilder
+from repro.core.dataguide.model import PathEntry
+from repro.core.oson import decode as oson_decode
+from repro.core.oson import encode as oson_encode
+from repro.errors import OsonError, StorageError
+from repro.storage.files import FileSystem
+from repro.storage.framing import first_frame, frame
+
+MANIFEST_NAME = "MANIFEST"
+MANIFEST_TMP = "MANIFEST.tmp"
+FORMAT_NAME = "repro-collection-store"
+FORMAT_VERSION = 1
+
+
+def manifest_path(directory: str) -> str:
+    return posixpath.join(directory, MANIFEST_NAME)
+
+
+# -- DataGuide (de)serialization --------------------------------------------
+
+
+def dataguide_to_document(builder: DataGuideBuilder) -> Dict[str, Any]:
+    entries = []
+    for entry in sorted(builder.entries(), key=lambda e: e.key):
+        entries.append({
+            "path": entry.path,
+            "kind": entry.kind,
+            "scalar_type": entry.scalar_type,
+            "in_array": entry.in_array,
+            "max_length": entry.max_length,
+            "frequency": entry.frequency,
+            "null_count": entry.null_count,
+            "min_value": entry.min_value,
+            "max_value": entry.max_value,
+        })
+    return {"documents": builder.documents_seen, "entries": entries}
+
+
+def dataguide_from_document(doc: Dict[str, Any]) -> DataGuideBuilder:
+    builder = DataGuideBuilder()
+    builder.documents_seen = int(doc.get("documents", 0))
+    for raw in doc.get("entries", ()):
+        entry = PathEntry(
+            path=raw["path"],
+            kind=raw["kind"],
+            scalar_type=raw.get("scalar_type"),
+            in_array=bool(raw.get("in_array", False)),
+            max_length=int(raw.get("max_length", 0)),
+            frequency=int(raw.get("frequency", 0)),
+            null_count=int(raw.get("null_count", 0)),
+            min_value=raw.get("min_value"),
+            max_value=raw.get("max_value"),
+        )
+        builder._entries[entry.key] = entry
+    return builder
+
+
+def structural_signature(builder: DataGuideBuilder) -> set:
+    """The structure-bearing projection of a DataGuide — what must match
+    between a recovered guide and a from-scratch rebuild.  Statistics
+    (frequency, extremes) are additive and legitimately differ once
+    deletes or quarantines remove documents."""
+    return {(e.path, e.kind, e.scalar_type, e.in_array, e.max_length)
+            for e in builder.entries()}
+
+
+# -- manifest document -------------------------------------------------------
+
+
+def build_manifest(segments: List[Tuple[str, int]], wal_name: str,
+                   next_doc_id: int, doc_count: int,
+                   builder: DataGuideBuilder) -> Dict[str, Any]:
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "segments": [{"name": name, "length": length}
+                     for name, length in segments],
+        "wal": wal_name,
+        "next_doc_id": next_doc_id,
+        "doc_count": doc_count,
+        "dataguide": dataguide_to_document(builder),
+    }
+
+
+def write_manifest(fs: FileSystem, directory: str,
+                   document: Dict[str, Any]) -> None:
+    """Durably publish a new manifest via write-sync-replace."""
+    tmp = posixpath.join(directory, MANIFEST_TMP)
+    handle = fs.create(tmp)
+    handle.write(frame(oson_encode(document)))
+    handle.flush()
+    handle.sync()
+    handle.close()
+    fs.replace(tmp, manifest_path(directory))
+
+
+def read_manifest(fs: FileSystem, directory: str
+                  ) -> Tuple[Optional[Dict[str, Any]], List[Diagnostic]]:
+    """Load and verify the manifest; (None, diagnostics) when absent or
+    unusable — never raises on corruption."""
+    path = manifest_path(directory)
+    if not fs.exists(path):
+        return None, [Diagnostic("storage.manifest.missing",
+                                 "no MANIFEST file", Severity.WARNING,
+                                 path=path)]
+    data = fs.read_bytes(path)
+    payload = first_frame(data)
+    if payload is None:
+        return None, [Diagnostic("storage.manifest.frame",
+                                 "MANIFEST contains no valid frame",
+                                 path=path)]
+    diagnostics = verify_oson(payload)
+    if has_errors(diagnostics):
+        return None, [Diagnostic("storage.manifest.image",
+                                 "MANIFEST checkpoint image fails OSON "
+                                 "verification", path=path)] + diagnostics
+    try:
+        document = oson_decode(payload)
+    except OsonError as exc:
+        return None, [Diagnostic("storage.manifest.decode",
+                                 f"MANIFEST image undecodable: {exc}",
+                                 path=path)]
+    problems = _validate_shape(document, path)
+    if problems:
+        return None, problems
+    return document, []
+
+
+def _validate_shape(document: Any, path: str) -> List[Diagnostic]:
+    def bad(message: str) -> List[Diagnostic]:
+        return [Diagnostic("storage.manifest.shape", message, path=path)]
+
+    if not isinstance(document, dict):
+        return bad("manifest root is not an object")
+    if document.get("format") != FORMAT_NAME:
+        return bad(f"unexpected format marker {document.get('format')!r}")
+    if document.get("version") != FORMAT_VERSION:
+        return bad(f"unsupported manifest version "
+                   f"{document.get('version')!r}")
+    segments = document.get("segments")
+    if not isinstance(segments, list):
+        return bad("manifest 'segments' is not a list")
+    for entry in segments:
+        if (not isinstance(entry, dict)
+                or not isinstance(entry.get("name"), str)
+                or not isinstance(entry.get("length"), int)):
+            return bad("manifest segment entries need a name and length")
+    if not isinstance(document.get("wal"), str):
+        return bad("manifest 'wal' is not a file name")
+    for key in ("next_doc_id", "doc_count"):
+        if not isinstance(document.get(key), int):
+            return bad(f"manifest {key!r} is not an integer")
+    if not isinstance(document.get("dataguide"), dict):
+        return bad("manifest 'dataguide' is not an object")
+    return []
+
+
+def manifest_horizon(document: Dict[str, Any]) -> int:
+    """The highest log sequence number the manifest references."""
+    from repro.storage.log import parse_log_name
+    names = [seg["name"] for seg in document["segments"]]
+    names.append(document["wal"])
+    sequences = [parse_log_name(name) for name in names]
+    known = [s for s in sequences if s is not None]
+    if not known:
+        raise StorageError("manifest references no parseable log names")
+    return max(known)

@@ -1,0 +1,407 @@
+"""Verified crash recovery for the durable collection store.
+
+Recovery turns whatever bytes survived a crash back into a consistent,
+openable store, *degrading gracefully* instead of refusing:
+
+1. load the manifest (missing/corrupt → degraded mode: every log file
+   found in the directory is applied in sequence order);
+2. replay sealed segments over their recorded valid length, then the
+   active WAL, then any log files *above* the manifest's sequence
+   horizon (the checkpoint-in-flight window);
+3. every recovered insert/update image is run through
+   :func:`repro.analysis.oson_verifier.verify_oson`; images that fail
+   verification — and records whose frames fail their CRC — are
+   **quarantined** with structured diagnostics rather than aborting
+   recovery or silently vanishing;
+4. the DataGuide is rebuilt from the surviving documents and compared
+   against the manifest's serialized guide (``revalidated`` when the
+   structural signature matches, ``rebuilt-*`` otherwise).
+
+A torn tail on the *active* WAL is the normal signature of a crash
+mid-append: the valid prefix is kept, the tail is reported, and the
+next checkpoint seals the file at its valid length.  Torn frames are
+unacknowledged by construction (acknowledgement requires fsync), so
+truncating them loses no committed operation.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity, has_errors
+from repro.analysis.oson_verifier import verify_oson
+from repro.core.dataguide.builder import DataGuideBuilder
+from repro.core.oson import decode as oson_decode
+from repro.errors import OsonError, StorageError
+from repro.storage import log as logfmt
+from repro.storage import manifest as manifestfmt
+from repro.storage.files import FileSystem
+from repro.storage.framing import scan_frames
+
+
+@dataclass
+class QuarantinedRecord:
+    """A record or document recovery preserved instead of applying.
+
+    ``doc_id`` is None when the damage made even the operation prefix
+    unreadable; ``superseded`` marks quarantines that did not cost any
+    live data (an older good version of the document survived)."""
+
+    source: str
+    offset: int
+    reason: str
+    doc_id: Optional[int] = None
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    image: bytes = b""
+    superseded: bool = False
+
+    def render(self) -> str:
+        who = f"doc {self.doc_id}" if self.doc_id is not None else "record"
+        extra = " (older version survived)" if self.superseded else ""
+        return (f"{self.source} @ byte {self.offset}: {who} quarantined: "
+                f"{self.reason}{extra}")
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery found and decided."""
+
+    manifest_status: str = "ok"        # ok | missing | corrupt
+    dataguide_status: str = "rebuilt"  # revalidated | rebuilt | rebuilt-stale
+    segments_scanned: int = 0
+    records_applied: int = 0
+    documents: int = 0
+    torn_tail_bytes: int = 0
+    quarantined: List[QuarantinedRecord] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return (self.manifest_status == "ok" and not self.quarantined
+                and not has_errors(self.diagnostics))
+
+    def summary(self) -> str:
+        lines = [
+            f"manifest: {self.manifest_status}",
+            f"segments scanned: {self.segments_scanned}",
+            f"records applied: {self.records_applied}",
+            f"documents live: {self.documents}",
+            f"dataguide: {self.dataguide_status}",
+        ]
+        if self.torn_tail_bytes:
+            lines.append(f"torn tail truncated: {self.torn_tail_bytes} bytes")
+        if self.quarantined:
+            lines.append(f"quarantined records: {len(self.quarantined)}")
+            lines.extend("  " + q.render() for q in self.quarantined)
+        errors = [d for d in self.diagnostics
+                  if d.severity is Severity.ERROR]
+        if errors:
+            lines.append(f"error diagnostics: {len(errors)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RecoveredState:
+    """Everything the store needs to resume serving."""
+
+    docs: Dict[int, bytes]
+    builder: DataGuideBuilder
+    next_doc_id: int
+    max_sequence: int
+    wal_name: Optional[str]
+    wal_valid_length: int
+    wal_reusable: bool
+    sources: List[Tuple[str, int]]  # (name, valid length) in apply order
+    report: RecoveryReport
+
+
+def recover(fs: FileSystem, directory: str,
+            verify_documents: bool = True) -> RecoveredState:
+    """Rebuild store state from a directory; never raises on corrupt
+    data (only on a directory that is not a store at all)."""
+    report = RecoveryReport()
+    manifest_doc, manifest_diags = manifestfmt.read_manifest(fs, directory)
+    report.diagnostics.extend(manifest_diags)
+
+    log_files = _discover_logs(fs, directory)
+    if manifest_doc is None:
+        if not log_files:
+            raise StorageError(
+                f"{directory} is not a collection store (no manifest, "
+                f"no log files)")
+        report.manifest_status = (
+            "missing" if any(d.rule == "storage.manifest.missing"
+                             for d in manifest_diags) else "corrupt")
+        sources = [(name, None) for _, name in log_files]
+        wal_name = log_files[-1][1]
+    else:
+        sources, wal_name = _sources_from_manifest(
+            fs, directory, manifest_doc, log_files, report)
+
+    docs: Dict[int, bytes] = {}
+    id_floor = _IdFloor()
+    applied_sources: List[Tuple[str, int]] = []
+    for position, (name, pinned_length) in enumerate(sources):
+        is_active_wal = name == wal_name and position == len(sources) - 1
+        valid_length = _apply_log(fs, directory, name, pinned_length,
+                                  is_active_wal, docs, report,
+                                  verify_documents, id_floor)
+        if valid_length is None:
+            continue
+        applied_sources.append((name, valid_length))
+        report.segments_scanned += 1
+
+    # ids seen in any applied record (including deletes/quarantines)
+    # keep the allocation floor monotonic
+    next_doc_id = id_floor.max_seen + 1
+    if manifest_doc is not None:
+        next_doc_id = max(next_doc_id, manifest_doc["next_doc_id"])
+    for quarantined in report.quarantined:
+        if quarantined.doc_id is not None:
+            next_doc_id = max(next_doc_id, quarantined.doc_id + 1)
+
+    builder = _rebuild_dataguide(docs, report, verify_documents)
+    _revalidate_dataguide(manifest_doc, builder, report)
+
+    report.documents = len(docs)
+    wal_valid_length = applied_sources[-1][1] if applied_sources else 0
+    wal_reusable = bool(
+        applied_sources
+        and applied_sources[-1][0] == wal_name
+        and manifest_doc is not None
+        and report.manifest_status == "ok"
+        and report.torn_tail_bytes == 0
+        and wal_valid_length == fs.file_size(
+            posixpath.join(directory, wal_name))
+        and not report.quarantined)
+    max_sequence = max((seq for seq, _ in log_files), default=0)
+    return RecoveredState(
+        docs=docs,
+        builder=builder,
+        next_doc_id=next_doc_id,
+        max_sequence=max_sequence,
+        wal_name=wal_name,
+        wal_valid_length=wal_valid_length,
+        wal_reusable=wal_reusable,
+        sources=applied_sources,
+        report=report,
+    )
+
+
+# -- source discovery --------------------------------------------------------
+
+
+def _discover_logs(fs: FileSystem, directory: str) -> List[Tuple[int, str]]:
+    found = []
+    for name in fs.listdir(directory):
+        sequence = logfmt.parse_log_name(name)
+        if sequence is not None:
+            found.append((sequence, name))
+    return sorted(found)
+
+
+def _sources_from_manifest(fs: FileSystem, directory: str,
+                           manifest_doc: Dict[str, Any],
+                           log_files: List[Tuple[int, str]],
+                           report: RecoveryReport
+                           ) -> Tuple[List[Tuple[str, Optional[int]]], str]:
+    sources: List[Tuple[str, Optional[int]]] = []
+    for segment in manifest_doc["segments"]:
+        name, length = segment["name"], segment["length"]
+        if not fs.exists(posixpath.join(directory, name)):
+            report.diagnostics.append(Diagnostic(
+                "storage.recover.missing-segment",
+                f"manifest references missing segment {name}",
+                path=name))
+            continue
+        sources.append((name, length))
+    wal_name = manifest_doc["wal"]
+    if fs.exists(posixpath.join(directory, wal_name)):
+        sources.append((wal_name, None))
+    else:
+        report.diagnostics.append(Diagnostic(
+            "storage.recover.missing-wal",
+            f"manifest references missing WAL {wal_name}",
+            Severity.WARNING, path=wal_name))
+    # logs above the manifest horizon: a checkpoint crashed between
+    # creating the new WAL and swapping the manifest
+    horizon = manifestfmt.manifest_horizon(manifest_doc)
+    referenced = {seg["name"] for seg in manifest_doc["segments"]}
+    referenced.add(wal_name)
+    for sequence, name in log_files:
+        if sequence > horizon and name not in referenced:
+            report.diagnostics.append(Diagnostic(
+                "storage.recover.post-checkpoint-log",
+                f"applying {name}: above the manifest's sequence "
+                f"horizon (checkpoint was in flight)",
+                Severity.WARNING, path=name))
+            sources.append((name, None))
+            wal_name = name
+    return sources, wal_name
+
+
+# -- log application ---------------------------------------------------------
+
+
+class _IdFloor:
+    """Highest document id seen in any applied record — deletes
+    included, so a deleted id is never reallocated after restart."""
+
+    __slots__ = ("max_seen",)
+
+    def __init__(self) -> None:
+        self.max_seen = -1
+
+    def saw(self, doc_id: int) -> None:
+        if doc_id > self.max_seen:
+            self.max_seen = doc_id
+
+
+def _apply_log(fs: FileSystem, directory: str, name: str,
+               pinned_length: Optional[int], is_active_wal: bool,
+               docs: Dict[int, bytes], report: RecoveryReport,
+               verify_documents: bool, id_floor: _IdFloor) -> Optional[int]:
+    path = posixpath.join(directory, name)
+    try:
+        data = fs.read_bytes(path)
+    except (StorageError, OSError) as exc:
+        report.diagnostics.append(Diagnostic(
+            "storage.recover.unreadable",
+            f"cannot read {name}: {exc}", path=name))
+        return None
+    window = data if pinned_length is None else data[:pinned_length]
+    if pinned_length is not None and len(data) > pinned_length:
+        report.diagnostics.append(Diagnostic(
+            "storage.recover.sealed-slack",
+            f"{len(data) - pinned_length} bytes past the sealed length "
+            f"are ignored", Severity.WARNING, path=name))
+    scan = scan_frames(window)
+    for diagnostic in scan.diagnostics:
+        report.diagnostics.append(Diagnostic(
+            diagnostic.rule, diagnostic.message, diagnostic.severity,
+            offset=diagnostic.offset, path=name))
+    if scan.torn and is_active_wal:
+        report.torn_tail_bytes += len(window) - scan.consumed
+
+    saw_header = False
+    for found in scan.frames:
+        if not found.valid:
+            _quarantine_frame(name, found.offset, found.payload,
+                              docs, report)
+            continue
+        try:
+            record = logfmt.decode_record(found.payload)
+        except StorageError as exc:
+            report.quarantined.append(QuarantinedRecord(
+                source=name, offset=found.offset,
+                reason=f"unreadable record: {exc}",
+                image=found.payload))
+            continue
+        if record.op == logfmt.OP_LOG_HEADER:
+            saw_header = True
+            expected = logfmt.parse_log_name(name)
+            if expected is not None and record.sequence != expected:
+                report.diagnostics.append(Diagnostic(
+                    "storage.recover.sequence-mismatch",
+                    f"log header claims sequence {record.sequence} but "
+                    f"file name says {expected}", Severity.WARNING,
+                    path=name, offset=found.offset))
+            continue
+        _apply_record(name, found.offset, record, docs, report,
+                      verify_documents, id_floor)
+    if scan.frames and not saw_header:
+        report.diagnostics.append(Diagnostic(
+            "storage.recover.no-header",
+            "log file has no surviving header record",
+            Severity.WARNING, path=name))
+    return scan.consumed if is_active_wal else len(window)
+
+
+def _apply_record(source: str, offset: int, record: "logfmt.LogRecord",
+                  docs: Dict[int, bytes], report: RecoveryReport,
+                  verify_documents: bool, id_floor: _IdFloor) -> None:
+    id_floor.saw(record.doc_id)
+    if record.op == logfmt.OP_DELETE:
+        docs.pop(record.doc_id, None)
+        report.records_applied += 1
+        return
+    if verify_documents:
+        diagnostics = verify_oson(record.image)
+        if has_errors(diagnostics):
+            report.quarantined.append(QuarantinedRecord(
+                source=source, offset=offset, doc_id=record.doc_id,
+                reason="document image fails OSON verification",
+                diagnostics=diagnostics, image=record.image,
+                superseded=record.doc_id in docs))
+            return
+    docs[record.doc_id] = record.image
+    report.records_applied += 1
+
+
+def _quarantine_frame(source: str, offset: int, payload: bytes,
+                      docs: Dict[int, bytes],
+                      report: RecoveryReport) -> None:
+    """A frame whose CRC failed: attribute it to a document if the
+    operation prefix is still readable, then quarantine."""
+    doc_id = None
+    superseded = False
+    try:
+        record = logfmt.decode_record(payload)
+    except StorageError:
+        record = None
+    if record is not None and record.op != logfmt.OP_LOG_HEADER:
+        doc_id = record.doc_id
+        superseded = doc_id in docs
+    report.quarantined.append(QuarantinedRecord(
+        source=source, offset=offset, doc_id=doc_id,
+        reason="frame checksum mismatch", image=payload,
+        superseded=superseded))
+
+
+# -- DataGuide rebuild / revalidation ----------------------------------------
+
+
+def _rebuild_dataguide(docs: Dict[int, bytes], report: RecoveryReport,
+                       verify_documents: bool) -> DataGuideBuilder:
+    builder = DataGuideBuilder()
+    undecodable = []
+    for doc_id in sorted(docs):
+        try:
+            builder.add(oson_decode(docs[doc_id]))
+        except OsonError as exc:
+            # only reachable with verify_documents=False: the verifier's
+            # acceptance implies decodability (differential-tested)
+            undecodable.append((doc_id, exc))
+    for doc_id, exc in undecodable:
+        report.quarantined.append(QuarantinedRecord(
+            source="<memory>", offset=-1, doc_id=doc_id,
+            reason=f"image undecodable during DataGuide rebuild: {exc}",
+            image=docs.pop(doc_id)))
+    return builder
+
+
+def _revalidate_dataguide(manifest_doc: Optional[Dict[str, Any]],
+                          builder: DataGuideBuilder,
+                          report: RecoveryReport) -> None:
+    if manifest_doc is None:
+        report.dataguide_status = "rebuilt"
+        return
+    stored = manifestfmt.dataguide_from_document(manifest_doc["dataguide"])
+    stored_signature = manifestfmt.structural_signature(stored)
+    rebuilt_signature = manifestfmt.structural_signature(builder)
+    if stored_signature == rebuilt_signature:
+        report.dataguide_status = "revalidated"
+    elif rebuilt_signature <= stored_signature:
+        # additive guide legitimately keeps paths of deleted (or
+        # quarantined, or WAL-superseded) documents
+        report.dataguide_status = "rebuilt-stale"
+    else:
+        report.dataguide_status = "rebuilt"
+        report.diagnostics.append(Diagnostic(
+            "storage.recover.dataguide-behind",
+            f"{len(rebuilt_signature - stored_signature)} path shapes "
+            f"in the collection were missing from the checkpointed "
+            f"DataGuide (WAL ran ahead of the checkpoint)",
+            Severity.WARNING))

@@ -1,0 +1,286 @@
+"""The crash-safe durable collection store.
+
+A :class:`CollectionStore` keeps a collection of JSON documents as OSON
+images with full durability:
+
+* every ``insert``/``update``/``delete`` appends one checksummed record
+  to the write-ahead log and is **acknowledged only after fsync** — an
+  acknowledged operation survives any crash;
+* ``checkpoint`` seals the WAL into a segment (metadata-only: the
+  manifest records the file and its valid length; no bytes move) and
+  atomically swaps a new manifest pinning the segment list, the fresh
+  WAL and the serialized DataGuide;
+* ``compact`` rewrites only the live documents into one fresh segment
+  and drops superseded log files;
+* opening runs verified recovery (:mod:`repro.storage.recovery`):
+  corrupt records are quarantined with diagnostics, never fatal, and
+  the DataGuide is rebuilt or revalidated.
+
+All I/O flows through the injectable :class:`~repro.storage.files
+.FileSystem`, which is what lets the fault harness
+(:mod:`repro.storage.faults`) prove the crash-consistency claim at
+every write/flush/sync boundary.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.dataguide.builder import DataGuideBuilder
+from repro.core.dataguide.guide import DataGuide
+from repro.core.oson import decode as oson_decode
+from repro.core.oson import encode as oson_encode
+from repro.errors import StorageError
+from repro.storage import log as logfmt
+from repro.storage import manifest as manifestfmt
+from repro.storage.files import FileSystem, OsFileSystem
+from repro.storage.log import LogWriter
+from repro.storage.recovery import (QuarantinedRecord, RecoveredState,
+                                    RecoveryReport, recover)
+
+
+class CollectionStore:
+    """A durable, crash-recoverable JSON document collection."""
+
+    def __init__(self, directory: str, fs: FileSystem,
+                 docs: Dict[int, bytes], builder: DataGuideBuilder,
+                 next_doc_id: int, wal: LogWriter,
+                 sealed: List[Tuple[str, int]],
+                 recovery: Optional[RecoveryReport]) -> None:
+        self._directory = directory
+        self._fs = fs
+        self._docs = docs
+        self._builder = builder
+        self._next_doc_id = next_doc_id
+        self._wal = wal
+        self._sealed = sealed  # (name, valid length) in apply order
+        self.recovery = recovery
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, directory: str,
+               fs: Optional[FileSystem] = None) -> "CollectionStore":
+        """Initialize an empty store in ``directory``."""
+        fs = fs or OsFileSystem()
+        fs.ensure_dir(directory)
+        if fs.exists(manifestfmt.manifest_path(directory)):
+            raise StorageError(
+                f"{directory} already contains a collection store")
+        wal = LogWriter.create(
+            fs, posixpath.join(directory, logfmt.log_name(1)), 1)
+        store = cls(directory, fs, {}, DataGuideBuilder(), 0, wal, [],
+                    recovery=None)
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def open(cls, directory: str, fs: Optional[FileSystem] = None,
+             verify_documents: bool = True) -> "CollectionStore":
+        """Open with verified recovery; corruption quarantines, never
+        raises.  The recovery report is available as ``store.recovery``."""
+        fs = fs or OsFileSystem()
+        state = recover(fs, directory, verify_documents=verify_documents)
+        store = cls._resume(directory, fs, state)
+        return store
+
+    @classmethod
+    def open_or_create(cls, directory: str,
+                       fs: Optional[FileSystem] = None) -> "CollectionStore":
+        fs = fs or OsFileSystem()
+        fs.ensure_dir(directory)
+        has_logs = any(logfmt.parse_log_name(name) is not None
+                       for name in fs.listdir(directory))
+        if fs.exists(manifestfmt.manifest_path(directory)) or has_logs:
+            return cls.open(directory, fs=fs)
+        return cls.create(directory, fs=fs)
+
+    @classmethod
+    def _resume(cls, directory: str, fs: FileSystem,
+                state: RecoveredState) -> "CollectionStore":
+        if state.wal_reusable and state.wal_name is not None:
+            # clean shutdown fast path: keep appending to the same WAL,
+            # manifest already points at it
+            wal = LogWriter.reopen(
+                fs, posixpath.join(directory, state.wal_name),
+                logfmt.parse_log_name(state.wal_name) or 0,
+                state.wal_valid_length)
+            sealed = state.sources[:-1]
+            return cls(directory, fs, state.docs, state.builder,
+                       state.next_doc_id, wal, sealed, state.report)
+        # otherwise: seal everything recovered (each at its valid
+        # length), start a fresh WAL, publish a new manifest
+        sequence = state.max_sequence + 1
+        wal = LogWriter.create(
+            fs, posixpath.join(directory, logfmt.log_name(sequence)),
+            sequence)
+        store = cls(directory, fs, state.docs, state.builder,
+                    state.next_doc_id, wal, list(state.sources),
+                    state.report)
+        store._write_manifest()
+        return store
+
+    def close(self) -> None:
+        if not self._closed:
+            self._wal.commit()
+            self._wal.close()
+            self._closed = True
+
+    def __enter__(self) -> "CollectionStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    @property
+    def quarantine(self) -> List[QuarantinedRecord]:
+        return list(self.recovery.quarantined) if self.recovery else []
+
+    def _live(self) -> None:
+        if self._closed:
+            raise StorageError("store is closed")
+
+    # -- DML (ack = WAL record fsynced) ------------------------------------
+
+    def insert(self, document: Any) -> int:
+        """Durably insert; returns the new document id once the WAL
+        record is fsynced (the acknowledgement point)."""
+        self._live()
+        image = oson_encode(document)
+        doc_id = self._next_doc_id
+        self._wal.append(logfmt.encode_record(logfmt.OP_INSERT, doc_id,
+                                              image))
+        self._wal.commit()
+        self._next_doc_id = doc_id + 1
+        self._docs[doc_id] = image
+        self._builder.add(document)
+        return doc_id
+
+    def insert_many(self, documents: Any) -> List[int]:
+        return [self.insert(document) for document in documents]
+
+    def update(self, doc_id: int, document: Any) -> None:
+        self._live()
+        if doc_id not in self._docs:
+            raise StorageError(f"no document {doc_id} to update")
+        image = oson_encode(document)
+        self._wal.append(logfmt.encode_record(logfmt.OP_UPDATE, doc_id,
+                                              image))
+        self._wal.commit()
+        self._docs[doc_id] = image
+        self._builder.add(document)
+
+    def delete(self, doc_id: int) -> None:
+        self._live()
+        if doc_id not in self._docs:
+            raise StorageError(f"no document {doc_id} to delete")
+        self._wal.append(logfmt.encode_record(logfmt.OP_DELETE, doc_id))
+        self._wal.commit()
+        del self._docs[doc_id]
+        # the DataGuide stays additive on delete (paper section 3.4);
+        # recovery and compaction shrink it by rebuilding
+
+    # -- reads -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._docs
+
+    def doc_ids(self) -> List[int]:
+        return sorted(self._docs)
+
+    def get(self, doc_id: int) -> Any:
+        try:
+            image = self._docs[doc_id]
+        except KeyError:
+            raise StorageError(f"no document {doc_id}") from None
+        return oson_decode(image)
+
+    def image(self, doc_id: int) -> bytes:
+        try:
+            return self._docs[doc_id]
+        except KeyError:
+            raise StorageError(f"no document {doc_id}") from None
+
+    def documents(self) -> Iterator[Tuple[int, Any]]:
+        for doc_id in sorted(self._docs):
+            yield doc_id, oson_decode(self._docs[doc_id])
+
+    def dataguide(self) -> DataGuide:
+        return self._builder.guide()
+
+    # -- checkpoint / compaction -------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Seal the WAL into a segment and publish a new manifest."""
+        self._live()
+        self._wal.commit()
+        sealed_name = posixpath.basename(self._wal.path)
+        sealed_length = self._wal.offset
+        self._wal.close()
+        self._sealed.append((sealed_name, sealed_length))
+        sequence = self._wal.sequence + 1
+        self._wal = LogWriter.create(
+            self._fs, posixpath.join(self._directory,
+                                     logfmt.log_name(sequence)), sequence)
+        self._write_manifest()
+
+    def compact(self) -> int:
+        """Rewrite only the live documents into one fresh segment, then
+        drop every superseded log file.  Returns bytes reclaimed."""
+        self._live()
+        self._wal.commit()
+        old_files = [name for name, _ in self._sealed]
+        old_files.append(posixpath.basename(self._wal.path))
+        reclaimed = sum(self._fs.file_size(
+            posixpath.join(self._directory, name)) for name in old_files)
+        self._wal.close()
+
+        sequence = self._wal.sequence + 1
+        segment = LogWriter.create(
+            self._fs, posixpath.join(self._directory,
+                                     logfmt.log_name(sequence)), sequence)
+        for doc_id in sorted(self._docs):
+            segment.append(logfmt.encode_record(
+                logfmt.OP_INSERT, doc_id, self._docs[doc_id]))
+        segment.commit()
+        segment.close()
+
+        self._wal = LogWriter.create(
+            self._fs, posixpath.join(self._directory,
+                                     logfmt.log_name(sequence + 1)),
+            sequence + 1)
+        # compaction rebuilds the DataGuide over live documents only —
+        # the one sanctioned shrink point
+        builder = DataGuideBuilder()
+        for doc_id in sorted(self._docs):
+            builder.add(oson_decode(self._docs[doc_id]))
+        self._builder = builder
+        self._sealed = [(posixpath.basename(segment.path),
+                         segment.offset)]
+        self._write_manifest()
+        for name in old_files:
+            self._fs.remove(posixpath.join(self._directory, name))
+        return max(0, reclaimed - segment.offset)
+
+    def _write_manifest(self) -> None:
+        document = manifestfmt.build_manifest(
+            self._sealed, posixpath.basename(self._wal.path),
+            self._next_doc_id, len(self._docs), self._builder)
+        manifestfmt.write_manifest(self._fs, self._directory, document)
+
+    # -- introspection -----------------------------------------------------
+
+    def storage_files(self) -> List[str]:
+        """Log files in apply order (sealed segments then active WAL)."""
+        names = [name for name, _ in self._sealed]
+        names.append(posixpath.basename(self._wal.path))
+        return names

@@ -59,6 +59,65 @@ class TestScan:
         assert len(list(table.scan())) == 4  # no reload step
 
 
+class TestErrorPaths:
+    """Failure-mode contract (ISSUE satellite): TOCTOU re-check,
+    skip_errors accounting, blank lines, BOM tolerance."""
+
+    def test_file_deleted_between_scans(self, jsonl):
+        import os
+        table = ExternalJsonTable(jsonl)
+        assert len(list(table.scan())) == 3
+        os.remove(jsonl)
+        with pytest.raises(EngineError) as exc_info:
+            list(table.scan())
+        assert jsonl in str(exc_info.value)  # error names the path
+
+    def test_missing_file_error_names_path(self):
+        with pytest.raises(EngineError) as exc_info:
+            ExternalJsonTable("/nope/missing.jsonl")
+        assert "/nope/missing.jsonl" in str(exc_info.value)
+
+    def test_malformed_line_error_names_path_and_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\n{broken\n', encoding="utf-8")
+        table = ExternalJsonTable(str(path))
+        with pytest.raises(EngineError) as exc_info:
+            list(table.scan())
+        assert str(path) in str(exc_info.value)
+        assert ":2:" in str(exc_info.value)
+
+    def test_skipped_count_tracks_each_scan(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\n{broken\nnot json either\n{"ok": 2}\n',
+                        encoding="utf-8")
+        table = ExternalJsonTable(str(path), skip_errors=True)
+        assert table.skipped_count == 0
+        assert len(list(table.scan())) == 2
+        assert table.skipped_count == 2
+        # the counter resets per scan, it does not accumulate
+        path.write_text('{"ok": 1}\n{broken\n', encoding="utf-8")
+        assert len(list(table.scan())) == 1
+        assert table.skipped_count == 1
+
+    def test_blank_lines_are_not_counted_as_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"a": 1}\n\n   \n{"b": 2}\n', encoding="utf-8")
+        table = ExternalJsonTable(str(path), skip_errors=True)
+        rows = list(table.scan())
+        assert [r["LINE"] for r in rows] == [1, 4]
+        assert table.skipped_count == 0
+
+    def test_utf8_bom_first_line_parses(self, tmp_path):
+        path = tmp_path / "bom.jsonl"
+        path.write_bytes(b'\xef\xbb\xbf{"first": 1}\n{"second": 2}\n')
+        table = ExternalJsonTable(str(path))
+        rows = list(table.scan())
+        assert len(rows) == 2
+        assert rows[0]["LINE"] == 1
+        from repro.jsontext import loads
+        assert loads(rows[0]["JDOC"]) == {"first": 1}
+
+
 class TestInSituQuerying:
     def test_query_over_external_table(self, jsonl):
         rows = (Query(ExternalJsonTable(jsonl))

@@ -1,0 +1,145 @@
+"""Checksummed frame scanning: roundtrips, torn tails, resync."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.framing import (FRAME_MAGIC, HEADER_SIZE, MAX_PAYLOAD,
+                                   first_frame, frame, scan_frames)
+
+PAYLOADS = [b"alpha", b"", b"b" * 300, b"\x00\xff" * 17]
+
+
+def concat(payloads):
+    return b"".join(frame(p) for p in payloads)
+
+
+class TestRoundtrip:
+    def test_single_frame(self):
+        data = frame(b"hello")
+        scan = scan_frames(data)
+        assert [f.payload for f in scan.valid_frames] == [b"hello"]
+        assert scan.consumed == len(data)
+        assert not scan.torn
+        assert not scan.diagnostics
+
+    def test_many_frames_with_offsets(self):
+        data = concat(PAYLOADS)
+        scan = scan_frames(data)
+        assert [f.payload for f in scan.frames] == PAYLOADS
+        expected_offset = 0
+        for found, payload in zip(scan.frames, PAYLOADS):
+            assert found.offset == expected_offset
+            expected_offset += HEADER_SIZE + len(payload)
+        assert scan.consumed == len(data)
+
+    def test_base_offset_shifts_reported_positions(self):
+        scan = scan_frames(frame(b"x"), base_offset=1000)
+        assert scan.frames[0].offset == 1000
+
+    def test_empty_input(self):
+        scan = scan_frames(b"")
+        assert not scan.frames and not scan.torn and scan.consumed == 0
+
+    def test_oversized_payload_refused_at_write_time(self):
+        with pytest.raises(StorageError):
+            frame(b"\x00" * (MAX_PAYLOAD + 1))
+
+
+class TestTornTail:
+    """A crash mid-append leaves an incomplete last frame — a WARNING
+    (expected crash signature), never an ERROR."""
+
+    def test_torn_header(self):
+        data = concat(PAYLOADS) + FRAME_MAGIC[:2]
+        scan = scan_frames(data)
+        assert scan.torn
+        assert [f.payload for f in scan.frames] == PAYLOADS
+        assert scan.consumed == len(concat(PAYLOADS))
+        (diag,) = scan.diagnostics
+        assert diag.rule == "storage.frame.torn-header"
+        assert diag.severity.name == "WARNING"
+
+    def test_torn_payload(self):
+        whole = frame(b"z" * 64)
+        data = concat(PAYLOADS) + whole[:-10]
+        scan = scan_frames(data)
+        assert scan.torn
+        assert scan.consumed == len(concat(PAYLOADS))
+        (diag,) = scan.diagnostics
+        assert diag.rule == "storage.frame.torn-payload"
+        assert diag.severity.name == "WARNING"
+
+    def test_every_truncation_point_is_torn_or_clean(self):
+        data = concat(PAYLOADS)
+        boundaries = set()
+        offset = 0
+        for payload in PAYLOADS:
+            offset += HEADER_SIZE + len(payload)
+            boundaries.add(offset)
+        for cut in range(len(data) + 1):
+            scan = scan_frames(data[:cut])
+            if cut in boundaries or cut == 0:
+                assert not scan.torn and not scan.diagnostics, cut
+            else:
+                assert scan.torn, cut
+            # never an ERROR: truncation is always a recognizable tear
+            assert all(d.severity.name == "WARNING"
+                       for d in scan.diagnostics), cut
+
+
+class TestCorruption:
+    def test_bitflip_in_payload_fails_crc_but_resyncs(self):
+        data = bytearray(concat(PAYLOADS))
+        # flip a bit inside the third frame's payload
+        target = 2 * HEADER_SIZE + len(PAYLOADS[0]) + len(
+            PAYLOADS[1]) + HEADER_SIZE + 5
+        data[target] ^= 0x10
+        scan = scan_frames(bytes(data))
+        assert [f.payload for f in scan.valid_frames] == [
+            PAYLOADS[0], PAYLOADS[1], PAYLOADS[3]]
+        assert len(scan.corrupt_frames) == 1
+        assert any(d.rule == "storage.frame.crc" for d in scan.diagnostics)
+        # the clean prefix ends before the damaged frame
+        assert scan.consumed == (2 * HEADER_SIZE + len(PAYLOADS[0])
+                                 + len(PAYLOADS[1]))
+
+    def test_garbage_prefix_resyncs_to_first_magic(self):
+        data = b"\x01\x02\x03garbage" + concat(PAYLOADS)
+        scan = scan_frames(data)
+        assert [f.payload for f in scan.frames] == PAYLOADS
+        assert any(d.rule == "storage.frame.resync"
+                   for d in scan.diagnostics)
+        assert scan.consumed == 0  # no clean prefix
+
+    def test_bad_length_field_resyncs(self):
+        first = bytearray(frame(b"damaged-length"))
+        first[4:8] = (0x0FFFFFFF).to_bytes(4, "little")  # huge claim
+        data = bytes(first) + concat([b"survivor"])
+        scan = scan_frames(data)
+        assert [f.payload for f in scan.valid_frames] == [b"survivor"]
+        assert any(d.rule == "storage.frame.bad-length"
+                   for d in scan.diagnostics)
+
+    def test_implausible_length_with_no_resync_is_error(self):
+        first = bytearray(frame(b"x"))
+        first[4:8] = (MAX_PAYLOAD + 5).to_bytes(4, "little")
+        scan = scan_frames(bytes(first[:HEADER_SIZE]))
+        assert not scan.torn
+        assert any(d.rule == "storage.frame.bad-length"
+                   and d.severity.name == "ERROR"
+                   for d in scan.diagnostics)
+
+    def test_corrupt_frame_keeps_untrusted_payload_for_attribution(self):
+        data = bytearray(frame(b"attributable"))
+        data[-1] ^= 0xFF
+        scan = scan_frames(bytes(data))
+        (bad,) = scan.corrupt_frames
+        assert bad.payload == b"attributabl" + bytes([data[-1]])
+
+
+def test_first_frame_skips_corrupt_frames():
+    damaged = bytearray(frame(b"bad"))
+    damaged[-1] ^= 1
+    data = bytes(damaged) + frame(b"good")
+    assert first_frame(data) == b"good"
+    assert first_frame(b"not a store file") is None

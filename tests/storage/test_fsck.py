@@ -1,0 +1,190 @@
+"""Offline integrity checking and its CLI surfaces.
+
+`repro.storage.fsck` is the one verification code path shared by
+``python -m repro.tools.store fsck`` and ``python -m repro.analysis
+verify`` — these tests drive all three entries over the same stores,
+including real on-disk ones (OsFileSystem)."""
+
+import json
+import posixpath
+
+from repro.analysis import cli as analysis_cli
+from repro.analysis.diagnostics import has_errors
+from repro.storage import CollectionStore, MemoryFileSystem, fsck
+from repro.storage.files import OsFileSystem
+from repro.storage.fsck import is_store_file, verify_store_file
+from repro.storage.framing import frame
+from repro.storage.manifest import MANIFEST_NAME
+from repro.tools import store as store_cli
+
+
+def make_store(fs, directory="db"):
+    store = CollectionStore.create(directory, fs=fs)
+    store.insert_many([
+        {"po": {"id": 1, "items": [{"sku": "A"}]}},
+        {"po": {"id": 2}},
+    ])
+    store.checkpoint()
+    store.insert({"event": {"kind": "x"}})
+    store.close()
+    return store
+
+
+class TestVerifyStoreFile:
+    def test_sniffs_store_files(self):
+        fs = MemoryFileSystem()
+        make_store(fs)
+        for name in fs.listdir("db"):
+            data = fs.read_bytes(posixpath.join("db", name))
+            assert is_store_file(data), name
+        assert not is_store_file(b"\x00\x01plainly not")
+
+    def test_clean_files_have_no_errors(self):
+        fs = MemoryFileSystem()
+        make_store(fs)
+        for name in fs.listdir("db"):
+            data = fs.read_bytes(posixpath.join("db", name))
+            diagnostics = verify_store_file(data, path=name)
+            assert not has_errors(diagnostics), (name, diagnostics)
+
+    def test_detects_bitflip_with_file_attribution(self):
+        fs = MemoryFileSystem()
+        make_store(fs)
+        name = "log-00000001.log"
+        data = bytearray(fs.read_bytes(posixpath.join("db", name)))
+        data[len(data) // 2] ^= 0x20
+        diagnostics = verify_store_file(bytes(data), path=name)
+        assert has_errors(diagnostics)
+        assert all(d.path == name for d in diagnostics)
+
+    def test_sealed_length_flags_slack(self):
+        data = frame(b"\x03" + (5).to_bytes(8, "little"))  # delete record
+        padded = data + b"junk past seal"
+        diagnostics = verify_store_file(padded, sealed_length=len(data))
+        assert any(d.rule == "storage.fsck.sealed-slack"
+                   for d in diagnostics)
+        assert not has_errors(diagnostics)  # slack is a warning
+
+
+class TestFsck:
+    def test_clean_store(self):
+        fs = MemoryFileSystem()
+        make_store(fs)
+        assert not has_errors(fsck(fs, "db"))
+
+    def test_missing_referenced_segment(self):
+        fs = MemoryFileSystem()
+        make_store(fs)
+        fs.remove(posixpath.join("db", "log-00000001.log"))
+        diagnostics = fsck(fs, "db")
+        assert any(d.rule == "storage.fsck.missing" for d in diagnostics)
+
+    def test_orphan_log_above_horizon_is_warned_and_verified(self):
+        fs = MemoryFileSystem()
+        make_store(fs)
+        handle = fs.create(posixpath.join("db", "log-00000099.log"))
+        handle.write(frame(b"\x00RLOG1" + (99).to_bytes(4, "little")))
+        handle.sync()
+        handle.close()
+        diagnostics = fsck(fs, "db")
+        assert any(d.rule == "storage.fsck.orphan-log"
+                   for d in diagnostics)
+
+    def test_corrupt_manifest_reported(self):
+        fs = MemoryFileSystem()
+        make_store(fs)
+        fs.mutate_durable(posixpath.join("db", MANIFEST_NAME),
+                          lambda d: d[:8] + b"\xff" * 8 + d[16:])
+        assert has_errors(fsck(fs, "db"))
+
+
+class TestStoreCli:
+    """python -m repro.tools.store against a real on-disk store."""
+
+    def seed(self, tmp_path):
+        directory = str(tmp_path / "db")
+        make_store(OsFileSystem(), directory)
+        return directory
+
+    def test_open_prints_report(self, tmp_path, capsys):
+        directory = self.seed(tmp_path)
+        assert store_cli.main(["open", directory]) == 0
+        out = capsys.readouterr().out
+        assert "documents live: 3" in out
+        assert "dataguide paths:" in out
+
+    def test_open_json(self, tmp_path, capsys):
+        directory = self.seed(tmp_path)
+        assert store_cli.main(["--json", "open", directory]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["documents"] == 3
+        assert payload["manifest"] == "ok"
+
+    def test_open_non_store_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert store_cli.main(["open", str(empty)]) == 1
+        assert "cannot open" in capsys.readouterr().err
+
+    def test_fsck_clean_and_after_damage(self, tmp_path, capsys):
+        directory = self.seed(tmp_path)
+        assert store_cli.main(["fsck", directory]) == 0
+        assert "store clean" in capsys.readouterr().out
+        segment = tmp_path / "db" / "log-00000001.log"
+        blob = bytearray(segment.read_bytes())
+        blob[len(blob) // 2] ^= 0x08
+        segment.write_bytes(bytes(blob))
+        assert store_cli.main(["fsck", directory]) == 1
+
+    def test_fsck_missing_directory_is_a_clean_error(self, tmp_path,
+                                                     capsys):
+        missing = str(tmp_path / "never-created")
+        assert store_cli.main(["fsck", missing]) == 1
+        err = capsys.readouterr().err
+        assert "cannot fsck" in err
+        assert "never-created" in err
+
+    def test_fsck_is_read_only(self, tmp_path):
+        directory = self.seed(tmp_path)
+        before = {p.name: p.read_bytes()
+                  for p in (tmp_path / "db").iterdir()}
+        store_cli.main(["fsck", directory])
+        after = {p.name: p.read_bytes()
+                 for p in (tmp_path / "db").iterdir()}
+        assert before == after
+
+    def test_compact(self, tmp_path, capsys):
+        directory = self.seed(tmp_path)
+        assert store_cli.main(["compact", directory]) == 0
+        assert "compacted to 3 live documents" in capsys.readouterr().out
+        assert store_cli.main(["fsck", directory]) == 0
+
+
+class TestAnalysisVerifyIntegration:
+    """``python -m repro.analysis verify`` sniffs store files and shares
+    the fsck code path (the CI satellite)."""
+
+    def test_verify_accepts_store_directory(self, tmp_path, capsys):
+        directory = str(tmp_path / "db")
+        make_store(OsFileSystem(), directory)
+        assert analysis_cli.main(["verify", directory]) == 0
+        out = capsys.readouterr().out
+        assert "store image ok" in out
+
+    def test_verify_flags_damaged_store_file(self, tmp_path, capsys):
+        directory = tmp_path / "db"
+        make_store(OsFileSystem(), str(directory))
+        segment = directory / "log-00000001.log"
+        blob = bytearray(segment.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        segment.write_bytes(bytes(blob))
+        assert analysis_cli.main(["verify", str(segment)]) == 1
+        assert "storage.frame" in capsys.readouterr().out
+
+    def test_forced_store_format(self, tmp_path, capsys):
+        directory = tmp_path / "db"
+        make_store(OsFileSystem(), str(directory))
+        manifest = directory / "MANIFEST"
+        assert analysis_cli.main(
+            ["verify", "--format", "store", str(manifest)]) == 0
+        capsys.readouterr()

@@ -1,0 +1,193 @@
+"""CollectionStore lifecycle: DML, checkpoint, compaction, reopen."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import CollectionStore, MemoryFileSystem
+from repro.storage.manifest import structural_signature
+
+
+@pytest.fixture
+def fs():
+    return MemoryFileSystem()
+
+
+DOCS = [
+    {"po": {"id": 1, "items": [{"sku": "A"}], "total": Decimal("10.50")}},
+    {"po": {"id": 2, "rush": True}},
+    {"event": {"tags": ["x", "y"], "level": 3}},
+]
+
+
+class TestLifecycle:
+    def test_insert_get_roundtrip(self, fs):
+        store = CollectionStore.create("db", fs=fs)
+        ids = store.insert_many(DOCS)
+        assert ids == [0, 1, 2]
+        assert len(store) == 3
+        for doc_id, doc in zip(ids, DOCS):
+            assert doc_id in store
+            assert store.get(doc_id) == doc
+        store.close()
+
+    def test_create_refuses_existing_store(self, fs):
+        CollectionStore.create("db", fs=fs).close()
+        with pytest.raises(StorageError):
+            CollectionStore.create("db", fs=fs)
+
+    def test_open_missing_directory_raises(self, fs):
+        with pytest.raises(StorageError):
+            CollectionStore.open("nowhere", fs=fs)
+
+    def test_open_or_create_then_reopen(self, fs):
+        store = CollectionStore.open_or_create("db", fs=fs)
+        doc_id = store.insert(DOCS[0])
+        store.close()
+        again = CollectionStore.open_or_create("db", fs=fs)
+        assert again.get(doc_id) == DOCS[0]
+        again.close()
+
+    def test_update_and_delete(self, fs):
+        with CollectionStore.create("db", fs=fs) as store:
+            ids = store.insert_many(DOCS)
+            store.update(ids[0], {"po": {"id": 1, "status": "done"}})
+            store.delete(ids[1])
+            assert store.get(ids[0]) == {"po": {"id": 1, "status": "done"}}
+            assert ids[1] not in store
+            assert store.doc_ids() == [ids[0], ids[2]]
+
+    def test_update_delete_unknown_id_raise(self, fs):
+        with CollectionStore.create("db", fs=fs) as store:
+            with pytest.raises(StorageError):
+                store.update(99, {})
+            with pytest.raises(StorageError):
+                store.delete(99)
+            with pytest.raises(StorageError):
+                store.get(99)
+
+    def test_closed_store_refuses_dml(self, fs):
+        store = CollectionStore.create("db", fs=fs)
+        store.close()
+        with pytest.raises(StorageError):
+            store.insert({"a": 1})
+
+    def test_doc_ids_never_reused_after_delete_and_reopen(self, fs):
+        store = CollectionStore.create("db", fs=fs)
+        first = store.insert(DOCS[0])
+        store.delete(first)
+        store.close()
+        again = CollectionStore.open("db", fs=fs)
+        assert again.insert(DOCS[1]) > first
+        again.close()
+
+
+class TestDurability:
+    def test_acknowledged_insert_is_synced(self, fs):
+        store = CollectionStore.create("db", fs=fs)
+        store.insert(DOCS[0])
+        # recovery over only the durable bytes must see the document
+        survivor = CollectionStore.open("db", fs=fs.durable_state())
+        assert survivor.get(0) == DOCS[0]
+        survivor.close()
+        store.close()
+
+    def test_clean_reopen_reuses_wal(self, fs):
+        store = CollectionStore.create("db", fs=fs)
+        store.insert_many(DOCS)
+        files_before = store.storage_files()
+        store.close()
+        again = CollectionStore.open("db", fs=fs)
+        assert again.storage_files() == files_before
+        assert again.recovery.clean
+        again.close()
+
+    def test_decimal_fidelity_through_restart(self, fs):
+        store = CollectionStore.create("db", fs=fs)
+        doc_id = store.insert(DOCS[0])
+        store.close()
+        again = CollectionStore.open("db", fs=fs)
+        total = again.get(doc_id)["po"]["total"]
+        assert total == Decimal("10.50") and isinstance(total, Decimal)
+        again.close()
+
+
+class TestCheckpoint:
+    def test_checkpoint_seals_wal_and_rolls_sequence(self, fs):
+        store = CollectionStore.create("db", fs=fs)
+        store.insert_many(DOCS)
+        assert store.storage_files() == ["log-00000001.log"]
+        store.checkpoint()
+        assert store.storage_files() == ["log-00000001.log",
+                                         "log-00000002.log"]
+        store.insert({"late": 1})
+        store.close()
+        again = CollectionStore.open("db", fs=fs)
+        assert len(again) == 4
+        again.close()
+
+    def test_checkpointed_dataguide_revalidates(self, fs):
+        store = CollectionStore.create("db", fs=fs)
+        store.insert_many(DOCS)
+        store.checkpoint()
+        store.close()
+        again = CollectionStore.open("db", fs=fs)
+        assert again.recovery.dataguide_status == "revalidated"
+        again.close()
+
+    def test_dataguide_persists_across_restart(self, fs):
+        store = CollectionStore.create("db", fs=fs)
+        store.insert_many(DOCS)
+        signature = structural_signature(store._builder)
+        store.checkpoint()
+        store.close()
+        again = CollectionStore.open("db", fs=fs)
+        assert structural_signature(again._builder) == signature
+        paths = {e.path for e in again._builder.entries()}
+        assert "$.po.items[*].sku" in paths or "$.po.items.sku" in paths
+        again.close()
+
+
+class TestCompaction:
+    def test_compact_drops_dead_versions_and_old_files(self, fs):
+        store = CollectionStore.create("db", fs=fs)
+        ids = store.insert_many(DOCS)
+        for _ in range(5):
+            store.update(ids[0], {"po": {"id": 1, "rev": _}})
+        store.delete(ids[1])
+        store.checkpoint()
+        reclaimed = store.compact()
+        assert reclaimed > 0
+        assert len(store.storage_files()) == 2  # one segment + fresh WAL
+        listed = fs.listdir("db")
+        assert [n for n in listed if n.endswith(".log")] == sorted(
+            store.storage_files())
+        assert store.doc_ids() == [ids[0], ids[2]]
+        store.close()
+
+    def test_compact_shrinks_dataguide(self, fs):
+        store = CollectionStore.create("db", fs=fs)
+        doc_id = store.insert({"ghost": {"gone": 1}})
+        store.insert(DOCS[0])
+        store.delete(doc_id)
+        # additive guide still remembers the deleted shape...
+        assert any(e.path.startswith("$.ghost")
+                   for e in store._builder.entries())
+        store.compact()
+        # ...compaction is the sanctioned shrink point
+        assert not any(e.path.startswith("$.ghost")
+                       for e in store._builder.entries())
+        store.close()
+
+    def test_compacted_store_reopens_identically(self, fs):
+        store = CollectionStore.create("db", fs=fs)
+        ids = store.insert_many(DOCS)
+        store.delete(ids[2])
+        store.compact()
+        contents = dict(store.documents())
+        store.close()
+        again = CollectionStore.open("db", fs=fs)
+        assert dict(again.documents()) == contents
+        assert again.recovery.clean
+        again.close()

@@ -89,3 +89,52 @@ class TestBinaryFormatErrors:
         assert diagnostics
         assert all(d.offset is None or 0 <= d.offset <= len(img)
                    for d in diagnostics)
+
+
+class TestPickling:
+    """Exceptions must survive a pickle roundtrip without losing their
+    positional context (ISSUE satellite: multiprocessing re-raises
+    worker exceptions by pickling them)."""
+
+    def roundtrip(self, error):
+        import pickle
+        return pickle.loads(pickle.dumps(error))
+
+    def test_json_parse_error_keeps_position(self):
+        clone = self.roundtrip(errors.JsonParseError("bad token", 17))
+        assert isinstance(clone, errors.JsonParseError)
+        assert clone.position == 17
+        assert "17" in str(clone)
+
+    def test_path_syntax_error_keeps_position(self):
+        clone = self.roundtrip(errors.PathSyntaxError("bad step", 3))
+        assert clone.position == 3
+
+    def test_binary_format_errors_keep_offset(self):
+        for cls in (errors.BinaryFormatError, errors.BsonError,
+                    errors.OsonError, errors.OsonUpdateError):
+            clone = self.roundtrip(cls("damaged", offset=42))
+            assert type(clone) is cls
+            assert clone.offset == 42
+            assert "(at byte 42)" in str(clone)
+
+    def test_message_not_doubled_by_roundtrip(self):
+        # the str() suffix ("at position N") must not accumulate when
+        # the reconstructed message is formatted again
+        error = errors.JsonParseError("bad", 5)
+        clone = self.roundtrip(self.roundtrip(error))
+        assert str(clone) == str(error)
+
+    def test_defaults_survive(self):
+        clone = self.roundtrip(errors.OsonError("plain"))
+        assert clone.offset == -1
+        assert str(clone) == "plain"
+
+    def test_raised_decoder_error_roundtrips(self):
+        from repro.core.oson import decode, encode
+        img = encode({"a": "payload"})
+        with pytest.raises(errors.OsonError) as exc_info:
+            decode(img[:-4])
+        clone = self.roundtrip(exc_info.value)
+        assert str(clone) == str(exc_info.value)
+        assert clone.offset == exc_info.value.offset
