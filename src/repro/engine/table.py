@@ -161,19 +161,27 @@ class Table:
                changes: dict[str, Any]) -> int:
         """Update matching rows in place (replace semantics: delete+insert
         listeners fire so indexes stay in sync)."""
+        coerced: dict[str, Any] = {}
+        for key, value in changes.items():
+            column = self.column(key)
+            if column.is_virtual:
+                raise EngineError(f"cannot update virtual column {key!r}")
+            coerced[key] = column.sql_type.coerce(value)
         updated = 0
         for row in self._rows:
             if not predicate(row):
                 continue
+            # validate against a copy before any side effect: once the
+            # delete listeners fire, backing state (indexes, durable
+            # documents) is already gone, so a constraint failure after
+            # that point would strand the row
+            candidate = dict(row)
+            candidate.update(coerced)
+            for constraint in self._constraints:
+                constraint.check(candidate)
             for listener in self._delete_listeners:
                 listener(row)
-            for key, value in changes.items():
-                column = self.column(key)
-                if column.is_virtual:
-                    raise EngineError(f"cannot update virtual column {key!r}")
-                row[key] = column.sql_type.coerce(value)
-            for constraint in self._constraints:
-                constraint.check(row)
+            row.update(coerced)
             for listener in self._insert_listeners:
                 listener(row)
             updated += 1

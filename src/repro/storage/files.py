@@ -7,11 +7,20 @@ implementations:
 
 * :class:`OsFileSystem` — the real thing: buffered appends, ``flush``
   maps to file-object flush, ``sync`` to ``os.fsync``, ``replace`` to
-  the atomic ``os.replace``;
+  the atomic ``os.replace`` followed by an fsync of the parent
+  directory (rename atomicity alone does not make the new name
+  durable on POSIX);
 * :class:`MemoryFileSystem` — an in-memory model with explicit
   durability semantics: bytes written but not yet synced live in a
   per-file ``pending`` buffer that a simulated crash discards (or
   tears), while ``sync`` promotes them to the durable image.
+
+Known model divergence: the memory model treats *directory entries*
+(create/replace/remove) as atomic **and immediately durable**, so the
+fault harness cannot exercise a crash that loses a rename or a newly
+created file the way real POSIX can before the parent directory is
+fsynced.  :class:`OsFileSystem` closes that gap on real disks by
+fsyncing the parent directory after every create/replace/remove.
 
 The store only ever *appends* to log files and atomically replaces the
 manifest, so the interface is deliberately tiny — there is no seek, no
@@ -81,6 +90,27 @@ class FileSystem:
 # -- real files --------------------------------------------------------------
 
 
+def _fsync_dir(path: str) -> None:
+    """Make a directory-entry change (create/rename/unlink) durable.
+
+    POSIX only guarantees a new name survives a crash once the *parent
+    directory* is fsynced; ``os.replace`` alone is atomic but not
+    durable.  Platforms that cannot open a directory for fsync (e.g.
+    Windows) are skipped — there is no portable equivalent.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(path or ".", flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # lint: ignore[silent-except] fs without dir fsync (best-effort durability upgrade)
+        pass
+    finally:
+        os.close(fd)
+
+
 class _OsFileHandle(FileHandle):
     def __init__(self, handle) -> None:
         self._handle = handle
@@ -106,7 +136,9 @@ class OsFileSystem(FileSystem):
     """The durable store's default backend: real OS files."""
 
     def create(self, path: str) -> FileHandle:
-        return _OsFileHandle(open(path, "wb"))
+        handle = _OsFileHandle(open(path, "wb"))
+        _fsync_dir(os.path.dirname(path))
+        return handle
 
     def open_append(self, path: str) -> FileHandle:
         return _OsFileHandle(open(path, "ab"))
@@ -126,9 +158,11 @@ class OsFileSystem(FileSystem):
 
     def replace(self, src: str, dst: str) -> None:
         os.replace(src, dst)
+        _fsync_dir(os.path.dirname(dst))
 
     def remove(self, path: str) -> None:
         os.remove(path)
+        _fsync_dir(os.path.dirname(path))
 
     def ensure_dir(self, path: str) -> None:
         os.makedirs(path, exist_ok=True)
@@ -234,7 +268,9 @@ class MemoryFileSystem(FileSystem):
         if entry is None:
             raise StorageError(f"no such file: {src}")
         # modeled as atomic and immediately durable (the store writes
-        # and syncs the source before every replace)
+        # and syncs the source before every replace); real POSIX needs
+        # a parent-directory fsync for the durability half — see the
+        # module docstring on this divergence
         entry.synced.extend(entry.pending)
         entry.pending.clear()
         self._files[dst] = entry

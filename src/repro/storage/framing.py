@@ -66,8 +66,14 @@ class FrameScan:
 
     frames: List[ScannedFrame] = field(default_factory=list)
     diagnostics: List[Diagnostic] = field(default_factory=list)
-    #: end offset of the unbroken valid prefix (safe seal length)
+    #: end offset of the unbroken valid prefix
     consumed: int = 0
+    #: seal length: the whole run except a trailing *torn tail*, which
+    #: is unacknowledged by construction and safe to truncate.  Corrupt
+    #: frames (damaged durable bytes) stay inside this boundary so a
+    #: seal never silently discards them — every later scan of the
+    #: sealed run re-reports them.
+    sealable: int = 0
     #: True when the run ends in an incomplete frame (crash signature)
     torn: bool = False
 
@@ -89,6 +95,7 @@ def scan_frames(data: bytes, base_offset: int = 0) -> FrameScan:
     scan = FrameScan()
     offset = 0
     n = len(data)
+    scan.sealable = n
     clean_prefix = True
 
     def report(rule: str, message: str, at: int,
@@ -99,6 +106,7 @@ def scan_frames(data: bytes, base_offset: int = 0) -> FrameScan:
     while offset < n:
         if offset + HEADER_SIZE > n:
             scan.torn = True
+            scan.sealable = offset
             report("storage.frame.torn-header",
                    f"{n - offset} trailing bytes are shorter than a "
                    f"frame header (torn tail)", offset,
@@ -125,6 +133,7 @@ def scan_frames(data: bytes, base_offset: int = 0) -> FrameScan:
             if resync < 0:
                 if end > n and length <= MAX_PAYLOAD:
                     scan.torn = True
+                    scan.sealable = offset
                     report("storage.frame.torn-payload",
                            f"frame claims {length} payload bytes but "
                            f"only {n - offset - HEADER_SIZE} remain "

@@ -167,15 +167,16 @@ def recover(fs: FileSystem, directory: str,
 
     report.documents = len(docs)
     wal_valid_length = applied_sources[-1][1] if applied_sources else 0
+    # reuse the WAL only after a fully clean recovery (clean manifest,
+    # no quarantine, no error diagnostics): appending after surviving
+    # garbage would rely on resync to find the new records again
     wal_reusable = bool(
         applied_sources
         and applied_sources[-1][0] == wal_name
-        and manifest_doc is not None
-        and report.manifest_status == "ok"
+        and report.clean
         and report.torn_tail_bytes == 0
         and wal_valid_length == fs.file_size(
-            posixpath.join(directory, wal_name))
-        and not report.quarantined)
+            posixpath.join(directory, wal_name)))
     max_sequence = max((seq for seq, _ in log_files), default=0)
     return RecoveredState(
         docs=docs,
@@ -283,7 +284,7 @@ def _apply_log(fs: FileSystem, directory: str, name: str,
             diagnostic.rule, diagnostic.message, diagnostic.severity,
             offset=diagnostic.offset, path=name))
     if scan.torn and is_active_wal:
-        report.torn_tail_bytes += len(window) - scan.consumed
+        report.torn_tail_bytes += len(window) - scan.sealable
 
     saw_header = False
     for found in scan.frames:
@@ -316,7 +317,14 @@ def _apply_log(fs: FileSystem, directory: str, name: str,
             "storage.recover.no-header",
             "log file has no surviving header record",
             Severity.WARNING, path=name))
-    return scan.consumed if is_active_wal else len(window)
+    # seal the active WAL at scan.sealable — the whole scanned run minus
+    # only a trailing torn tail.  Sealing at the *clean-prefix* end
+    # instead would silently drop valid records applied after a corrupt
+    # frame on the next open (they'd be live in memory now but outside
+    # the manifest's pinned length).  Keeping corrupt frames inside the
+    # seal means every later open re-quarantines them: damage to
+    # acknowledged data is never reported once and then forgotten.
+    return scan.sealable if is_active_wal else len(window)
 
 
 def _apply_record(source: str, offset: int, record: "logfmt.LogRecord",

@@ -66,7 +66,12 @@ class CollectionStore:
         """Initialize an empty store in ``directory``."""
         fs = fs or OsFileSystem()
         fs.ensure_dir(directory)
-        if fs.exists(manifestfmt.manifest_path(directory)):
+        # log files without a manifest are a crash-degraded store (crash
+        # during initial create, or manifest corruption) that recovery
+        # can still read — creating over them would truncate that data
+        has_logs = any(logfmt.parse_log_name(name) is not None
+                       for name in fs.listdir(directory))
+        if fs.exists(manifestfmt.manifest_path(directory)) or has_logs:
             raise StorageError(
                 f"{directory} already contains a collection store")
         wal = LogWriter.create(
@@ -238,10 +243,6 @@ class CollectionStore:
         drop every superseded log file.  Returns bytes reclaimed."""
         self._live()
         self._wal.commit()
-        old_files = [name for name, _ in self._sealed]
-        old_files.append(posixpath.basename(self._wal.path))
-        reclaimed = sum(self._fs.file_size(
-            posixpath.join(self._directory, name)) for name in old_files)
         self._wal.close()
 
         sequence = self._wal.sequence + 1
@@ -267,8 +268,22 @@ class CollectionStore:
         self._sealed = [(posixpath.basename(segment.path),
                          segment.offset)]
         self._write_manifest()
-        for name in old_files:
-            self._fs.remove(posixpath.join(self._directory, name))
+        # GC every unreferenced log at or below the new horizon: the
+        # files this compaction superseded, plus orphans left by an
+        # earlier compaction that crashed after publishing its manifest
+        # but before its own remove sweep
+        referenced = {name for name, _ in self._sealed}
+        referenced.add(posixpath.basename(self._wal.path))
+        horizon = self._wal.sequence
+        reclaimed = 0
+        for name in self._fs.listdir(self._directory):
+            log_sequence = logfmt.parse_log_name(name)
+            if (log_sequence is None or name in referenced
+                    or log_sequence > horizon):
+                continue
+            path = posixpath.join(self._directory, name)
+            reclaimed += self._fs.file_size(path)
+            self._fs.remove(path)
         return max(0, reclaimed - segment.offset)
 
     def _write_manifest(self) -> None:

@@ -70,6 +70,42 @@ class TestWriteThrough:
                                     fs=fs)
         assert [r["NAME"] for r in restored.scan()] == ["grace"]
 
+    def test_failed_update_leaves_row_and_document_intact(self, fs):
+        """A coercion/constraint failure during update must surface
+        *before* the delete listener fires — otherwise the backing
+        document is already gone and the row is lost on restart."""
+        _, table = make_db(fs)
+        table.insert({"ID": 1, "NAME": "ada"})
+        with pytest.raises(EngineError):
+            table.update(lambda r: r["ID"] == 1, {"NAME": "x" * 99})
+        (row,) = list(table.scan())
+        assert row["NAME"] == "ada"
+        # the row still has its backing document: deletable, durable
+        table.close()
+        db2 = Database()
+        restored = db2.create_table("T", columns(), durable="t_store",
+                                    fs=fs)
+        assert [r["NAME"] for r in restored.scan()] == ["ada"]
+        assert restored.delete(lambda r: True) == 1
+
+    def test_failed_constraint_update_leaves_document_intact(self, fs):
+        _, table = make_db(fs)
+        table.insert({"ID": 1, "NAME": "ada"})
+
+        class NameNotNull:
+            def check(self, row):
+                if row.get("NAME") is None:
+                    raise EngineError("NAME must not be NULL")
+
+        table.add_constraint(NameNotNull())
+        with pytest.raises(EngineError):
+            table.update(lambda r: r["ID"] == 1, {"NAME": None})
+        table.close()
+        db2 = Database()
+        restored = db2.create_table("T", columns(), durable="t_store",
+                                    fs=fs)
+        assert [r["NAME"] for r in restored.scan()] == ["ada"]
+
     def test_raw_bytes_roundtrip(self, fs):
         _, table = make_db(fs)
         payload = bytes(range(32))

@@ -18,7 +18,9 @@ the surviving durable bytes.  The oracle:
   for by a quarantined record or an explicit corruption diagnostic;
 * the recovered DataGuide structurally equals a from-scratch rebuild
   over the surviving documents;
-* the recovered store stays writable.
+* the recovered store stays writable, and a **second reopen** serves
+  exactly what the first recovery served (the seal written during
+  recovery loses nothing and keeps re-reporting quarantined damage).
 
 The seed is logged so CI failures are reproducible:
 ``REPRO_FAULT_SEED=<n> python -m pytest tests/storage/test_fault_sweep.py``.
@@ -167,7 +169,21 @@ def check_recovered(case, outcome):
     # the store must stay writable after any recovery
     new_id = store.insert({"post": {"recovery": True}})
     assert store.get(new_id) == {"post": {"recovery": True}}
+    surviving = {doc_id: store.get(doc_id) for doc_id in store.doc_ids()}
     store.close()
+
+    # double restart: everything the first recovery served must still
+    # be served by the next open — the seal written during the first
+    # recovery may not silently drop records it just applied, and
+    # quarantined damage must be re-reported, not forgotten
+    second = CollectionStore.open(DIR, fs=durable)
+    assert ({doc_id: second.get(doc_id)
+             for doc_id in second.doc_ids()} == surviving), (
+        f"{context}: documents changed between first and second reopen")
+    if report.quarantined:
+        assert second.recovery.quarantined, (
+            f"{context}: quarantine vanished on the second reopen")
+    second.close()
 
 
 @pytest.fixture(scope="module")

@@ -87,6 +87,32 @@ class TestTornTail:
                        for d in scan.diagnostics), cut
 
 
+class TestSealable:
+    """``sealable`` is the seal length: the whole run minus only a
+    trailing torn tail.  Corrupt durable bytes stay *inside* it, so a
+    seal never silently discards damaged acknowledged data."""
+
+    def test_clean_run_is_fully_sealable(self):
+        data = concat(PAYLOADS)
+        assert scan_frames(data).sealable == len(data)
+
+    def test_torn_tail_is_excluded(self):
+        clean = concat(PAYLOADS)
+        assert scan_frames(clean + frame(b"z" * 64)[:-10]).sealable == \
+            len(clean)
+        assert scan_frames(clean + FRAME_MAGIC[:2]).sealable == len(clean)
+
+    def test_corrupt_frame_and_resynced_records_stay_inside_seal(self):
+        data = bytearray(concat(PAYLOADS))
+        target = (2 * HEADER_SIZE + len(PAYLOADS[0]) + len(PAYLOADS[1])
+                  + HEADER_SIZE + 5)
+        data[target] ^= 0x10
+        scan = scan_frames(bytes(data))
+        assert scan.sealable == len(data)
+        # the clean prefix ends at the damage, but the seal must not
+        assert scan.consumed < scan.sealable
+
+
 class TestCorruption:
     def test_bitflip_in_payload_fails_crc_but_resyncs(self):
         data = bytearray(concat(PAYLOADS))

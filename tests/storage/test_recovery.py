@@ -9,6 +9,7 @@ import pytest
 from repro.core.dataguide.builder import DataGuideBuilder
 from repro.errors import StorageError
 from repro.storage import CollectionStore, MemoryFileSystem, recover
+from repro.storage.framing import HEADER_SIZE, scan_frames
 from repro.storage.manifest import MANIFEST_NAME, structural_signature
 
 DOCS = [
@@ -128,6 +129,48 @@ class TestQuarantine:
         assert any(q.superseded is False or q.superseded is True
                    for q in again.recovery.quarantined)
         again.close()
+
+
+class TestSealAfterCorruption:
+    def test_records_after_corrupt_frame_survive_double_restart(self):
+        """Insert A, B, C (all fsynced), flip one bit in B's frame: the
+        first open serves {A, C} with B quarantined, and — because the
+        recovered WAL is sealed past the resynced records, not at the
+        clean-prefix end — so does every open after it."""
+        fs = MemoryFileSystem()
+        store = CollectionStore.create("db", fs=fs)
+        ids = store.insert_many(DOCS)
+        store.close()
+
+        wal = posixpath.join("db", "log-00000001.log")
+        frames = scan_frames(fs.durable_bytes(wal)).frames
+        # frames: [header, A, B, C]; flip a bit inside B's image bytes
+        # (past the 9-byte op + doc-id prefix, so attribution survives)
+        target = frames[2].offset + HEADER_SIZE + 9 + 2
+
+        def flip(data):
+            mutated = bytearray(data)
+            mutated[target] ^= 0x20
+            return bytes(mutated)
+
+        fs.mutate_durable(wal, flip)
+
+        first = reopen(fs)
+        assert first.doc_ids() == [ids[0], ids[2]]
+        assert {q.doc_id for q in first.recovery.quarantined} == {ids[1]}
+        survivors = {d: first.get(d) for d in first.doc_ids()}
+        first.close()
+
+        second = reopen(fs)
+        assert {d: second.get(d) for d in second.doc_ids()} == survivors
+        # the corrupt frame stayed inside the seal: the damage is
+        # re-reported, never silently forgotten
+        assert {q.doc_id for q in second.recovery.quarantined} == {ids[1]}
+        second.close()
+
+        third = reopen(fs)
+        assert {d: third.get(d) for d in third.doc_ids()} == survivors
+        third.close()
 
 
 class TestCheckpointWindow:

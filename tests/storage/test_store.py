@@ -1,12 +1,13 @@
 """CollectionStore lifecycle: DML, checkpoint, compaction, reopen."""
 
+import posixpath
 from decimal import Decimal
 
 import pytest
 
 from repro.errors import StorageError
 from repro.storage import CollectionStore, MemoryFileSystem
-from repro.storage.manifest import structural_signature
+from repro.storage.manifest import MANIFEST_NAME, structural_signature
 
 
 @pytest.fixture
@@ -36,6 +37,21 @@ class TestLifecycle:
         CollectionStore.create("db", fs=fs).close()
         with pytest.raises(StorageError):
             CollectionStore.create("db", fs=fs)
+
+    def test_create_refuses_logs_without_manifest(self, fs):
+        """A directory with log files but no manifest is a
+        crash-degraded store recovery can still read — create must not
+        truncate it."""
+        store = CollectionStore.create("db", fs=fs)
+        doc_id = store.insert(DOCS[0])
+        store.close()
+        fs.remove(posixpath.join("db", MANIFEST_NAME))
+        with pytest.raises(StorageError):
+            CollectionStore.create("db", fs=fs)
+        # open_or_create routes to recovery instead
+        again = CollectionStore.open_or_create("db", fs=fs)
+        assert again.get(doc_id) == DOCS[0]
+        again.close()
 
     def test_open_missing_directory_raises(self, fs):
         with pytest.raises(StorageError):
@@ -164,6 +180,23 @@ class TestCompaction:
         assert [n for n in listed if n.endswith(".log")] == sorted(
             store.storage_files())
         assert store.doc_ids() == [ids[0], ids[2]]
+        store.close()
+
+    def test_compact_reclaims_orphans_below_horizon(self, fs):
+        """An earlier compaction that crashed between publishing its
+        manifest and its remove sweep leaves unreferenced logs below
+        the horizon; the next compaction garbage-collects them."""
+        store = CollectionStore.create("db", fs=fs)
+        store.insert_many(DOCS)
+        orphan = posixpath.join("db", "log-00000000.log")
+        handle = fs.create(orphan)
+        handle.write(b"superseded by a crashed compaction")
+        handle.sync()
+        handle.close()
+        store.compact()
+        assert not fs.exists(orphan)
+        listed = [n for n in fs.listdir("db") if n.endswith(".log")]
+        assert listed == sorted(store.storage_files())
         store.close()
 
     def test_compact_shrinks_dataguide(self, fs):
