@@ -6,9 +6,18 @@ assertions encode the *shape* each artefact must reproduce (who wins, by
 roughly what factor).  Scales can be raised via environment variables:
 
     REPRO_BENCH_SCALE      multiplier on document counts (default 1.0)
+    REPRO_BENCH_RESULTS    output path for the machine-readable results
+                           file (default BENCH_results.json in the cwd)
+
+Besides the human-readable tables, every benchmark run emits
+``BENCH_results.json``: raw timings and ratios recorded via
+:func:`record`, the cache/dispatch counter snapshot, and run metadata.
+CI uploads the file as an artifact so perf history survives the job.
 """
 
+import json
 import os
+import platform
 import sys
 
 import pytest
@@ -16,9 +25,55 @@ import pytest
 #: global scale knob for document counts
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
+#: where the machine-readable results land
+RESULTS_PATH = os.environ.get("REPRO_BENCH_RESULTS", "BENCH_results.json")
+
 
 def scaled(count: int, minimum: int = 1) -> int:
     return max(minimum, int(count * SCALE))
+
+
+#: dataset generation is deterministic; this seed parameterizes the only
+#: sampled stage (dataguide sampling) and is recorded for reproducibility
+DATA_SEED = 42
+
+#: accumulated machine-readable results: section -> name -> value
+RESULTS = {}
+
+
+def record(section: str, name: str, value) -> None:
+    """Record one measurement for ``BENCH_results.json``.
+
+    ``value`` must be JSON-serializable (numbers, strings, dicts of
+    those).  Re-recording the same (section, name) overwrites, so a
+    fixture shared by several tests records its table once.
+    """
+    RESULTS.setdefault(section, {})[name] = value
+
+
+def _write_results() -> None:
+    if not RESULTS:
+        return
+    from repro.core.counters import snapshot_all
+
+    payload = {
+        "meta": {
+            "scale": SCALE,
+            "seed": DATA_SEED,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "counters": snapshot_all(),
+        "results": RESULTS,
+    }
+    with open(RESULTS_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nbenchmark results written to {RESULTS_PATH}", file=sys.stderr)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    _write_results()
 
 
 _REPORTED = set()

@@ -7,14 +7,16 @@ same work both ways, verifying the choice actually pays:
 2. single-row look-back resolver  vs  per-document dictionary search;
 3. lazy offset DOM evaluation     vs  materialize-to-dict then evaluate;
 4. JSON_EXISTS predicate pushdown vs  expand-then-filter;
-5. shared-dictionary set encoding vs  self-contained documents (memory).
+5. shared-dictionary set encoding vs  self-contained documents (memory);
+6. the full PR-3 fast path (navigation VM + caches + morsel batching)
+   vs the pre-PR configuration (DOM evaluation, cold caches, row mode).
 """
 
 import time
 
 import pytest
 
-from benchmarks.conftest import report, scaled
+from benchmarks.conftest import SCALE, record, report, scaled
 from repro.core.oson import (
     CompiledFieldName,
     FieldIdResolver,
@@ -23,7 +25,7 @@ from repro.core.oson import (
     encode,
 )
 from repro.core.oson.hashing import field_name_hash
-from repro.sqljson.adapters import DictAdapter, OsonAdapter
+from repro.sqljson.adapters import DictAdapter
 from repro.sqljson.operators import json_value
 from repro.sqljson.path.evaluator import PathEvaluator
 from repro.sqljson.path.parser import compile_path
@@ -107,6 +109,8 @@ def test_ablation1_shape(benchmark, wide_object):
            [f"binary search: {binary * 1000:.1f} ms",
             f"linear scan:   {linear * 1000:.1f} ms "
             f"({linear / binary:.1f}x slower)"])
+    record("ablation1", "binary_search_ms", binary * 1000)
+    record("ablation1", "linear_scan_ms", linear * 1000)
     assert binary < linear
 
 
@@ -147,6 +151,7 @@ def test_ablation2_lookback_hits(benchmark, oson_docs):
     report("Ablation 2 — single-row look-back",
            [f"lookups: {resolver.lookups}, look-back hits: "
             f"{resolver.lookback_hits} ({100 * hit_rate:.1f}%)"])
+    record("ablation2", "lookback_hit_rate", hit_rate)
     assert hit_rate > 0.95
 
 
@@ -194,6 +199,8 @@ def test_ablation3_shape(benchmark, oson_docs):
            [f"lazy offset DOM:   {lazy_time * 1000:.1f} ms",
             f"materialize first: {full_time * 1000:.1f} ms "
             f"({full_time / lazy_time:.1f}x slower)"])
+    record("ablation3", "lazy_dom_ms", lazy_time * 1000)
+    record("ablation3", "materialize_first_ms", full_time * 1000)
     assert lazy_time < full_time
 
 
@@ -215,7 +222,17 @@ def dmdv_view(documents):
         "partno"]
 
 
-def test_ablation4_with_pushdown(benchmark, dmdv_view):
+@pytest.fixture
+def no_row_cache():
+    """Ablation 4 measures pushdown vs expand-then-filter; the DMDV row
+    cache would serve both sides and hide the effect, so it sits out."""
+    from repro.core.counters import restore_caches_enabled, set_caches_enabled
+    previous = set_caches_enabled(False, names=["sqljson.jsontable_rows"])
+    yield
+    restore_caches_enabled(previous)
+
+
+def test_ablation4_with_pushdown(benchmark, dmdv_view, no_row_cache):
     from repro.engine import Query, expr
     view, partno = dmdv_view
 
@@ -226,7 +243,7 @@ def test_ablation4_with_pushdown(benchmark, dmdv_view):
     assert len(rows) >= 1
 
 
-def test_ablation4_without_pushdown(benchmark, dmdv_view):
+def test_ablation4_without_pushdown(benchmark, dmdv_view, no_row_cache):
     view, partno = dmdv_view
 
     def run():
@@ -237,7 +254,7 @@ def test_ablation4_without_pushdown(benchmark, dmdv_view):
     assert len(rows) >= 1
 
 
-def test_ablation4_shape(benchmark, dmdv_view):
+def test_ablation4_shape(benchmark, dmdv_view, no_row_cache):
     from repro.engine import Query, expr
     view, partno = dmdv_view
     benchmark.pedantic(lambda: None, rounds=1)  # shape check, not a timing
@@ -252,6 +269,8 @@ def test_ablation4_shape(benchmark, dmdv_view):
            [f"pushdown:           {pushed_time * 1000:.1f} ms",
             f"expand-then-filter: {scan_time * 1000:.1f} ms "
             f"({scan_time / pushed_time:.1f}x slower)"])
+    record("ablation4", "pushdown_ms", pushed_time * 1000)
+    record("ablation4", "expand_then_filter_ms", scan_time * 1000)
     assert pushed_time < scan_time
 
 
@@ -272,4 +291,115 @@ def test_ablation5_set_encoding_memory(benchmark, documents):
            [f"self-contained: {self_contained:,} B",
             f"shared dict:    {shared:,} B "
             f"({100 * (1 - shared / self_contained):.0f}% saved)"])
+    record("ablation5", "self_contained_bytes", self_contained)
+    record("ablation5", "shared_dict_bytes", shared)
     assert shared < self_contained
+
+
+# -- 6. PR-3 fast path: navigation VM + caches + morsel execution -------------
+
+
+def _run_olap(view, partno, partnos, mode):
+    """A Figure-3-style OLAP round over the item DMDV: filtered group-by
+    (q3 shape), IN-list projection (q5 shape), and a grouped SUM (q7
+    shape)."""
+    from repro.engine import Query, expr
+    q3 = (Query(view).mode(mode)
+          .where(expr.Col("partno") == partno)
+          .group_by(["costcenter"], n=expr.COUNT())
+          .rows())
+    q5 = (Query(view).mode(mode)
+          .where(expr.Col("partno").in_(partnos))
+          .select("reference", "itemno", "partno", "description")
+          .rows())
+    q7 = (Query(view).mode(mode)
+          .group_by(["costcenter"], n=expr.COUNT(),
+                    total=expr.SUM(expr.Col("quantity")))
+          .rows())
+    return q3, q5, q7
+
+
+#: the caches the pre-PR engine did not have; the path-parse cache stays
+#: enabled in the ablated run because the seed engine already memoized
+#: path compilation
+_PR3_CACHES = ["oson.document", "oson.dictionary_intern",
+               "sqljson.oson_adapter", "sqljson.jsontable_rows"]
+
+ROUNDS = 3
+
+
+def _ablation6_setup(dmdv_view, documents):
+    view, partno = dmdv_view
+    items = documents[0]["purchaseOrder"]["items"]
+    partnos = sorted({item["partno"] for item in items})[:3] + [partno]
+    return view, partno, partnos
+
+
+def test_ablation6_fast_path(benchmark, dmdv_view, documents):
+    view, partno, partnos = _ablation6_setup(dmdv_view, documents)
+    results = benchmark(_run_olap, view, partno, partnos, "morsel")
+    assert all(len(part) >= 1 for part in results)
+
+
+def test_ablation6_ablated(benchmark, dmdv_view, documents):
+    from repro.core.counters import restore_caches_enabled, set_caches_enabled
+    from repro.core.oson import set_navigation_enabled
+    view, partno, partnos = _ablation6_setup(dmdv_view, documents)
+    previous = set_caches_enabled(False, names=_PR3_CACHES)
+    set_navigation_enabled(False)
+    try:
+        results = benchmark(_run_olap, view, partno, partnos, "row")
+    finally:
+        set_navigation_enabled(True)
+        restore_caches_enabled(previous)
+    assert all(len(part) >= 1 for part in results)
+
+
+def test_ablation6_shape(benchmark, dmdv_view, documents):
+    """The PR's acceptance gate: the full fast path (partial-decode
+    navigation + interned dictionaries/documents + morsel batching) must
+    beat the pre-PR configuration by a clear margin on an OLAP round."""
+    from repro.core.counters import (
+        counters_for,
+        restore_caches_enabled,
+        set_caches_enabled,
+    )
+    from repro.core.oson import set_navigation_enabled
+    view, partno, partnos = _ablation6_setup(dmdv_view, documents)
+    benchmark.pedantic(lambda: None, rounds=1)  # shape check, not a timing
+
+    _run_olap(view, partno, partnos, "morsel")  # warm caches / dispatch
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        fast = _run_olap(view, partno, partnos, "morsel")
+    fast_time = time.perf_counter() - start
+
+    previous = set_caches_enabled(False, names=_PR3_CACHES)
+    set_navigation_enabled(False)
+    try:
+        start = time.perf_counter()
+        for _ in range(ROUNDS):
+            slow = _run_olap(view, partno, partnos, "row")
+        slow_time = time.perf_counter() - start
+    finally:
+        set_navigation_enabled(True)
+        restore_caches_enabled(previous)
+
+    assert fast == slow  # byte-identical results, only the speed differs
+    ratio = slow_time / fast_time
+    filter_hits = counters_for("engine.morsel_filter").hits
+    report("Ablation 6 — PR-3 fast path vs pre-PR configuration",
+           [f"fast (nav + caches + morsel): {fast_time * 1000:.1f} ms",
+            f"ablated (DOM + cold + row):   {slow_time * 1000:.1f} ms "
+            f"({ratio:.1f}x slower)",
+            f"morsel filter vector batches: {filter_hits}"])
+    record("ablation6", "fast_ms", fast_time * 1000)
+    record("ablation6", "ablated_ms", slow_time * 1000)
+    record("ablation6", "speedup", ratio)
+    record("ablation6", "rounds", ROUNDS)
+    # margin-asserted acceptance gate; tiny CI scales only get a weak gate
+    # because fixed per-query overhead dominates sub-millisecond scans
+    floor = 3.0 if SCALE >= 1.0 else 1.2
+    assert ratio > floor, f"fast path speedup {ratio:.2f}x <= {floor}x"
+
+

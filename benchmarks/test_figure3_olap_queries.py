@@ -12,7 +12,7 @@ The paper's shape:
 
 import pytest
 
-from benchmarks.conftest import report, scaled
+from benchmarks.conftest import record, report, scaled
 from repro import bson
 from repro.core.oson import encode as oson_encode
 from repro.engine import Column, Database, NUMBER, CLOB
@@ -94,6 +94,12 @@ def timing_table(setup):
         ratio = times[(qid, "json")] / times[(qid, "oson")]
         lines.append(f"{qid:<6}{cells}{ratio:>12.1f}")
     report(f"Figure 3 — query time (ms), {N} documents", lines)
+    record("figure3", "n_documents", N)
+    for qid in QUERIES:
+        record("figure3", qid, {
+            "ms": {s: times[(qid, s)] * 1000 for s in STORAGES},
+            "json_over_oson": times[(qid, "json")] / times[(qid, "oson")],
+        })
     _assert_shape(times)
     return times
 

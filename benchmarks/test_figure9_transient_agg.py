@@ -13,7 +13,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import report, scaled
+from benchmarks.conftest import record, report, scaled
 from repro.core.dataguide import json_dataguide_agg
 from repro.core.dataguide.persistent import PersistentDataGuide
 from repro.jsontext import dumps, loads
@@ -50,6 +50,10 @@ def timing_table(texts):
                  "99% transient; paper: +27%)")
     report(f"Figure 9 — transient DataGuide aggregation, {N} documents",
            lines)
+    record("figure9", "n_documents", N)
+    for pct in SAMPLES:
+        record("figure9", f"sample_{pct}_ms", times[pct] * 1000)
+    record("figure9", "persistent_ms", times["persistent"] * 1000)
     _assert_shape(times)
     return times
 

@@ -15,6 +15,7 @@ from repro.analysis.lint.rules.exceptions import (
     RaiseBuiltinRule,
     SilentExceptRule,
 )
+from repro.analysis.lint.rules.hotpath import DomMaterializeRule
 from repro.analysis.lint.rules.imports import UnusedImportRule
 
 ALL_RULES = [
@@ -26,12 +27,14 @@ ALL_RULES = [
     ExhaustiveDispatchRule(),
     UnusedImportRule(),
     AssertRule(),
+    DomMaterializeRule(),
 ]
 
 __all__ = [
     "ALL_RULES",
     "AssertRule",
     "BroadExceptRule",
+    "DomMaterializeRule",
     "ExhaustiveDispatchRule",
     "MutableDefaultRule",
     "RaiseBuiltinRule",

@@ -1,0 +1,60 @@
+"""DOM-materialization rule for the SQL/JSON operator hot paths.
+
+The whole point of the partial-decode navigation VM (DESIGN.md,
+"execution model") is that evaluating ``$.a.b[2].c`` over an OSON image
+never builds a Python DOM.  A stray ``materialize(...)`` / ``decode``
+call inside the operator pipeline silently reintroduces the full decode
+the paper's section 5.1 engine avoids — correctness tests keep passing
+while the OSON-vs-TEXT performance shape collapses.  Any such call in
+the operator, evaluator or JSON_TABLE modules must therefore carry a
+justification pragma::
+
+    out.append(adapter.materialize(node))  # lint: ignore[dom-materialize] output values must decode
+
+Output-side materialization (returning a selected subtree to the user)
+is legitimate; per-document materialization *before* navigation is the
+bug this rule exists to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.lint.engine import LintRule, ModuleContext
+
+#: callables that expand a binary image into a Python DOM
+_MATERIALIZERS = frozenset({"materialize", "decode"})
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+class DomMaterializeRule(LintRule):
+    """DOM materialization in operator hot paths needs a justification."""
+
+    rule_id = "dom-materialize"
+    description = ("operator hot paths must navigate, not materialize; "
+                   "justified exceptions carry a pragma")
+    scopes = ("repro/sqljson/operators", "repro/sqljson/path/evaluator",
+              "repro/sqljson/json_table", "repro/engine/view")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in _MATERIALIZERS:
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    f"hot-path call to {name}() builds a DOM; navigate "
+                    "the image instead, or justify with "
+                    "# lint: ignore[dom-materialize] <why>",
+                    node)

@@ -1,0 +1,226 @@
+"""Cache instrumentation: named hit/miss/eviction counters and bounded maps.
+
+Every cache on the query hot path — the path-compilation memo, the OSON
+document/adapter cache, the interned dictionary-segment cache, the
+field-id resolution look-back — registers a :class:`CacheCounters`
+record here, so benchmarks and the ``BENCH_results.json`` emitter can
+report hit rates for one run without reaching into each subsystem.
+
+:class:`BoundedCache` is the shared bounded-LRU building block: an
+insertion-capped ordered map that counts hits, misses and evictions and
+can be disabled wholesale (the ablation benchmarks measure the pre-cache
+baseline that way).  :class:`IdentityCache` is the variant keyed by
+object identity for unhashable or large keys (raw document buffers): it
+pins a strong reference to the key object so a recycled ``id()`` can
+never alias a dead key.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, Optional
+
+
+class CacheCounters:
+    """Hit/miss/eviction tally for one named cache."""
+
+    __slots__ = ("name", "hits", "misses", "evictions")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate(), 4),
+        }
+
+    def __repr__(self) -> str:
+        return (f"CacheCounters({self.name!r}, hits={self.hits}, "
+                f"misses={self.misses}, evictions={self.evictions})")
+
+
+#: global registry: cache name -> counters record
+_REGISTRY: Dict[str, CacheCounters] = {}
+
+
+def counters_for(name: str) -> CacheCounters:
+    """Return (registering on first use) the counters record for ``name``."""
+    record = _REGISTRY.get(name)
+    if record is None:
+        record = CacheCounters(name)
+        _REGISTRY[name] = record
+    return record
+
+
+def registered() -> Iterator[CacheCounters]:
+    return iter(_REGISTRY.values())
+
+
+def snapshot_all() -> Dict[str, Dict[str, Any]]:
+    """One JSON-ready dict of every registered cache's counters."""
+    return {name: record.snapshot()
+            for name, record in sorted(_REGISTRY.items())}
+
+
+def reset_all() -> None:
+    for record in _REGISTRY.values():
+        record.reset()
+
+
+#: cache name -> live cache object (BoundedCache / IdentityCache); lets
+#: the ablation harness flip ``enabled`` on a subsystem's caches without
+#: importing each owning module's private global
+_CACHES: Dict[str, Any] = {}
+
+
+def cache_named(name: str) -> Optional[Any]:
+    """The live cache registered under ``name``, or None."""
+    return _CACHES.get(name)
+
+
+def set_caches_enabled(enabled: bool, names: Optional[Any] = None
+                       ) -> Dict[str, bool]:
+    """Enable/disable registered caches; returns the previous ``enabled``
+    flags so callers can restore them (``names=None`` means all)."""
+    selected = _CACHES if names is None else {
+        name: _CACHES[name] for name in names if name in _CACHES}
+    previous = {name: cache.enabled for name, cache in selected.items()}
+    for cache in selected.values():
+        cache.enabled = enabled
+    return previous
+
+
+def restore_caches_enabled(previous: Dict[str, bool]) -> None:
+    for name, enabled in previous.items():
+        cache = _CACHES.get(name)
+        if cache is not None:
+            cache.enabled = enabled
+
+
+class BoundedCache:
+    """A bounded LRU map with registered counters.
+
+    ``get`` returns ``None`` for a miss (values must therefore never be
+    ``None``); ``put`` evicts the least recently used entry once
+    ``maxsize`` is reached.  Setting ``enabled = False`` turns the cache
+    into a pass-through (every get misses, puts are dropped) without
+    unregistering its counters — the ablation benchmarks flip this to
+    measure the uncached baseline.
+    """
+
+    __slots__ = ("counters", "maxsize", "enabled", "_entries")
+
+    def __init__(self, name: str, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"cache {name} needs a positive maxsize")
+        self.counters = counters_for(name)
+        self.maxsize = maxsize
+        self.enabled = True
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+        _CACHES[name] = self
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Any) -> Optional[Any]:
+        if not self.enabled:
+            self.counters.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.counters.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.counters.hits += 1
+        return entry
+
+    def put(self, key: Any, value: Any) -> None:
+        if not self.enabled:
+            return
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            entries[key] = value
+            return
+        if len(entries) >= self.maxsize:
+            entries.popitem(last=False)
+            self.counters.evictions += 1
+        entries[key] = value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class IdentityCache:
+    """A bounded LRU map keyed by object identity.
+
+    Used for caches whose natural key is a large immutable buffer (OSON
+    images): hashing the bytes on every probe would cost O(len), so the
+    key is ``id(obj)`` and each entry pins the key object itself.  The
+    pinned reference keeps the id from being recycled while the entry
+    lives; a stale-id probe can therefore never return another object's
+    value (the ``is`` check is structural, not defensive).
+    """
+
+    __slots__ = ("counters", "maxsize", "enabled", "_entries")
+
+    def __init__(self, name: str, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"cache {name} needs a positive maxsize")
+        self.counters = counters_for(name)
+        self.maxsize = maxsize
+        self.enabled = True
+        self._entries: OrderedDict[int, tuple[Any, Any]] = OrderedDict()
+        _CACHES[name] = self
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, obj: Any) -> Optional[Any]:
+        if not self.enabled:
+            self.counters.misses += 1
+            return None
+        key = id(obj)
+        entry = self._entries.get(key)
+        if entry is None or entry[0] is not obj:
+            self.counters.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.counters.hits += 1
+        return entry[1]
+
+    def put(self, obj: Any, value: Any) -> None:
+        if not self.enabled:
+            return
+        entries = self._entries
+        key = id(obj)
+        if key in entries:
+            entries.move_to_end(key)
+            entries[key] = (obj, value)
+            return
+        if len(entries) >= self.maxsize:
+            entries.popitem(last=False)
+            self.counters.evictions += 1
+        entries[key] = (obj, value)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -8,16 +8,29 @@ scalar value segment.  Public surface:
 * :class:`OsonDocument` — lazy offset-navigated DOM;
 * :class:`CompiledFieldName` / :class:`FieldIdResolver` — the hash
   precomputation and single-row look-back optimizations;
+* :func:`navigate` / :class:`NavProgram` — compiled partial-decode path
+  navigation straight over the binary image (no DOM);
+* :func:`cached_document` — identity-keyed decoded-document cache;
 * :class:`OsonUpdater` — partial leaf-scalar updates;
 * :mod:`~repro.core.oson.stats` — segment size accounting (Tables 10/11);
 * :class:`SharedDictionaryStore` — the section-7 set-encoding prototype.
 """
 
-from repro.core.oson.cache import CompiledFieldName, FieldIdResolver
+from repro.core.oson.cache import (
+    CompiledFieldName,
+    FieldIdResolver,
+    cached_document,
+)
 from repro.core.oson.decoder import OsonDocument, decode
 from repro.core.oson.dictionary import FieldDictionary
 from repro.core.oson.encoder import encode
 from repro.core.oson.hashing import field_name_hash
+from repro.core.oson.navigate import (
+    NavProgram,
+    navigate,
+    navigation_enabled,
+    set_navigation_enabled,
+)
 from repro.core.oson.set_encoding import SharedDictionaryStore
 from repro.core.oson.update import OsonUpdater
 
@@ -28,7 +41,12 @@ __all__ = [
     "FieldDictionary",
     "CompiledFieldName",
     "FieldIdResolver",
+    "NavProgram",
     "OsonUpdater",
     "SharedDictionaryStore",
+    "cached_document",
     "field_name_hash",
+    "navigate",
+    "navigation_enabled",
+    "set_navigation_enabled",
 ]

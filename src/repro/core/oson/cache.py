@@ -14,8 +14,9 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
+from repro.core.counters import IdentityCache
 from repro.core.oson.decoder import OsonDocument
 from repro.core.oson.hashing import field_name_hash
 
@@ -27,12 +28,13 @@ _ABSENT = -1
 class CompiledFieldName:
     """A field name with its hash precomputed at path-compile time."""
 
-    __slots__ = ("name", "hash", "_cached_id")
+    __slots__ = ("name", "hash", "_cached_id", "_cached_generation")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.hash = field_name_hash(name)
         self._cached_id = _UNRESOLVED
+        self._cached_generation = 0  # dictionary generations start at 1
 
     def __repr__(self) -> str:
         return f"CompiledFieldName({self.name!r}, hash=0x{self.hash:08x})"
@@ -56,20 +58,53 @@ class FieldIdResolver:
     def resolve(self, doc: OsonDocument, compiled: CompiledFieldName) -> Optional[int]:
         """Return ``compiled``'s field id in ``doc``, or None if absent."""
         self.lookups += 1
+        dictionary = doc.dictionary
         cached = compiled._cached_id
+        if compiled._cached_generation == dictionary.generation:
+            # generation fast path: interned dictionaries share one object
+            # per distinct segment, so a matching generation proves the
+            # cached resolution — including a cached *absence*, which the
+            # (hash, name) look-back below can never validate
+            self.lookback_hits += 1
+            return None if cached < 0 else cached
         if cached >= 0:
             # look-back validation: same id, same hash, same name?
             # (reads the dictionary arrays directly — this check runs once
             # per field reference per document and must stay cheap)
-            dictionary = doc.dictionary
             hashes = dictionary.hashes
             if (cached < len(hashes)
                     and hashes[cached] == compiled.hash
                     and dictionary.names[cached] == compiled.name):
                 self.lookback_hits += 1
+                compiled._cached_generation = dictionary.generation
                 return cached
         # cache miss (or cached-as-absent, which cannot be validated cheaply):
         # fall back to the binary search over the sorted hash-id array
         field_id = doc.field_id(compiled.name, compiled.hash)
         compiled._cached_id = _ABSENT if field_id is None else field_id
+        compiled._cached_generation = dictionary.generation
         return field_id
+
+
+#: decoded documents keyed by buffer identity: OLAP queries walk the same
+#: OSON images over and over (json_exists pushdown + json_table expansion
+#: per query), and header+dictionary parsing per touch used to dominate
+_DOCUMENTS = IdentityCache("oson.document", maxsize=1024)
+
+
+def cached_document(data: Union[bytes, "OsonDocument"]) -> OsonDocument:
+    """An :class:`OsonDocument` over ``data``, cached by buffer identity.
+
+    Only immutable ``bytes`` are cached (a ``bytearray`` could be mutated
+    behind the cache's back); the cache holds strong references, bounded
+    by LRU eviction.
+    """
+    if isinstance(data, OsonDocument):
+        return data
+    if type(data) is not bytes:
+        return OsonDocument(bytes(data))
+    doc = _DOCUMENTS.get(data)
+    if doc is None:
+        doc = OsonDocument(data)
+        _DOCUMENTS.put(data, doc)
+    return doc

@@ -10,24 +10,39 @@ string compare — exactly the paper's procedure.
 
 from __future__ import annotations
 
+import itertools
 import struct
 from bisect import bisect_left
 from typing import Iterable, Optional, Sequence
 
+from repro.core.counters import BoundedCache
 from repro.core.oson.hashing import field_name_hash
 from repro.errors import OsonError
 
 _ENTRY = struct.Struct("<IB")  # hash, name length (offsets are cumulative)
 
+#: monotonic generation stamps: two FieldDictionary objects share a
+#: generation number iff they are the same object, so a generation
+#: comparison substitutes for the (hash, name) look-back validation in
+#: :class:`repro.core.oson.cache.FieldIdResolver`
+_generations = itertools.count(1)
+
+#: interned dictionaries keyed by the raw segment bytes: documents of a
+#: structurally homogeneous collection carry byte-identical dictionary
+#: segments, so decoding a stream of them parses the segment once and
+#: every document shares one (same-generation) dictionary object
+_INTERNED = BoundedCache("oson.dictionary_intern", maxsize=256)
+
 
 class FieldDictionary:
     """In-memory form of the dictionary segment."""
 
-    __slots__ = ("hashes", "names", "_id_by_name")
+    __slots__ = ("hashes", "names", "generation", "_id_by_name")
 
     def __init__(self, hashes: Sequence[int], names: Sequence[str]) -> None:
         self.hashes = list(hashes)
         self.names = list(names)
+        self.generation = next(_generations)
         self._id_by_name: Optional[dict[str, int]] = None
 
     # -- construction ----------------------------------------------------
@@ -102,7 +117,14 @@ class FieldDictionary:
 
     @classmethod
     def from_bytes(cls, buffer: bytes, start: int) -> tuple["FieldDictionary", int]:
-        """Parse a dictionary segment; returns (dictionary, end offset)."""
+        """Parse a dictionary segment; returns (dictionary, end offset).
+
+        Parsed dictionaries are interned by their raw segment bytes:
+        byte-identical segments (every document of a homogeneous
+        collection) yield the *same* dictionary object, which both skips
+        the name decoding and gives downstream field-id caches a stable
+        ``generation`` to key on.
+        """
         if start + 2 > len(buffer):
             raise OsonError("truncated dictionary segment")
         (count,) = struct.unpack_from("<H", buffer, start)
@@ -117,17 +139,24 @@ class FieldDictionary:
             hashes.append(name_hash)
             lengths.append(name_len)
             pos += _ENTRY.size
+        blob_end = entries_end + sum(lengths)
+        if blob_end > len(buffer):
+            raise OsonError("dictionary name blob truncated",
+                            offset=entries_end)
+        segment = bytes(buffer[start:blob_end])
+        interned = _INTERNED.get(segment)
+        if interned is not None:
+            return interned, blob_end
         names = []
         cursor = entries_end
         for name_len in lengths:
             end = cursor + name_len
-            if end > len(buffer):
-                raise OsonError("dictionary name blob truncated",
-                                offset=cursor)
             try:
                 names.append(buffer[cursor:end].decode("utf-8"))
             except UnicodeDecodeError as exc:
                 raise OsonError("dictionary field name is not valid UTF-8",
                                 offset=cursor) from exc
             cursor = end
-        return cls(hashes, names), cursor
+        dictionary = cls(hashes, names)
+        _INTERNED.put(segment, dictionary)
+        return dictionary, cursor

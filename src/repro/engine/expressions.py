@@ -13,12 +13,19 @@ queries can push predicates down onto JSON columns of any encoding.
 
 from __future__ import annotations
 
+import operator
+
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
+from repro.core.counters import counters_for
 from repro.errors import QueryError
 from repro.sqljson.operators import json_exists, json_value
 
 Row = dict
+
+#: per-query expression compilation: a hit means the tree had already
+#: been lowered to a closure and the executor reused it
+_COMPILE = counters_for("engine.expr_compile")
 
 
 class Expression:
@@ -26,6 +33,28 @@ class Expression:
 
     def evaluate(self, row: Row) -> Any:
         raise NotImplementedError
+
+    def compile(self) -> Callable[[Row], Any]:
+        """Lower this tree to a per-row closure.
+
+        Subclasses specialize to remove the per-row dispatch on ``self``
+        (operator lookup, attribute hops); the default interprets the
+        tree, so an un-specialized node is merely not faster, never
+        wrong.
+        """
+        return self.evaluate
+
+    def compiled(self) -> Callable[[Row], Any]:
+        """Memoized :meth:`compile` — one closure per expression tree,
+        built the first time an executor hoists it out of its row loop."""
+        fn = self.__dict__.get("_compiled_fn")
+        if fn is not None:
+            _COMPILE.hits += 1
+            return fn
+        _COMPILE.misses += 1
+        fn = self.compile()
+        self.__dict__["_compiled_fn"] = fn
+        return fn
 
     def sql(self) -> str:
         raise NotImplementedError
@@ -98,6 +127,10 @@ class Literal(Expression):
     def evaluate(self, row: Row) -> Any:
         return self.value
 
+    def compile(self) -> Callable[[Row], Any]:
+        value = self.value
+        return lambda row: value
+
     def sql(self) -> str:
         if self.value is None:
             return "NULL"
@@ -119,6 +152,17 @@ class Col(Expression):
             raise QueryError(f"unknown column {self.name!r}")
         return row[self.name]
 
+    def compile(self) -> Callable[[Row], Any]:
+        name = self.name
+
+        def fetch(row: Row) -> Any:
+            try:
+                return row[name]
+            except KeyError:
+                raise QueryError(f"unknown column {name!r}") from None
+
+        return fetch
+
     def sql(self) -> str:
         return self.name
 
@@ -134,6 +178,9 @@ class Aliased(Expression):
 
     def evaluate(self, row: Row) -> Any:
         return self.inner.evaluate(row)
+
+    def compile(self) -> Callable[[Row], Any]:
+        return self.inner.compiled()
 
     def sql(self) -> str:
         return f"{self.inner.sql()} AS {self.alias}"
@@ -163,12 +210,35 @@ class Arithmetic(Expression):
             return None
         return self._OPS[self.op](left, right)
 
+    def compile(self) -> Callable[[Row], Any]:
+        apply = self._OPS[self.op]
+        left = self.left.compiled()
+        right = self.right.compiled()
+
+        def fn(row: Row) -> Any:
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return None
+            return apply(a, b)
+
+        return fn
+
     def sql(self) -> str:
         return f"({self.left.sql()} {self.op} {self.right.sql()})"
 
 
 class Comparison(Expression):
     __slots__ = ("op", "left", "right")
+
+    _COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+        "=": operator.eq,
+        "<>": operator.ne,
+        "<": operator.lt,
+        "<=": operator.le,
+        ">": operator.gt,
+        ">=": operator.ge,
+    }
 
     def __init__(self, op: str, left: Expression, right: Expression) -> None:
         self.op = op
@@ -197,6 +267,27 @@ class Comparison(Expression):
             return None
         raise QueryError(f"unknown comparison {self.op!r}")
 
+    def compile(self) -> Callable[[Row], Any]:
+        comparator = self._COMPARATORS.get(self.op)
+        if comparator is None:
+            # unknown operator: keep the interpreted path so the error
+            # still surfaces per row, exactly where evaluate() raises it
+            return self.evaluate
+        left = self.left.compiled()
+        right = self.right.compiled()
+
+        def fn(row: Row) -> Any:
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return None
+            try:
+                return comparator(a, b)
+            except TypeError:
+                return None
+
+        return fn
+
     def sql(self) -> str:
         return f"{self.left.sql()} {self.op} {self.right.sql()}"
 
@@ -216,6 +307,21 @@ class And(Expression):
             if value is None:
                 result = None
         return result
+
+    def compile(self) -> Callable[[Row], Any]:
+        parts = [p.compiled() for p in self.parts]
+
+        def fn(row: Row) -> Any:
+            result: Any = True
+            for part in parts:
+                value = part(row)
+                if value is False:
+                    return False
+                if value is None:
+                    result = None
+            return result
+
+        return fn
 
     def sql(self) -> str:
         return " AND ".join(p.sql() for p in self.parts)
@@ -237,6 +343,21 @@ class Or(Expression):
                 result = None
         return result
 
+    def compile(self) -> Callable[[Row], Any]:
+        parts = [p.compiled() for p in self.parts]
+
+        def fn(row: Row) -> Any:
+            result: Any = False
+            for part in parts:
+                value = part(row)
+                if value is True:
+                    return True
+                if value is None:
+                    result = None
+            return result
+
+        return fn
+
     def sql(self) -> str:
         return "(" + " OR ".join(p.sql() for p in self.parts) + ")"
 
@@ -252,6 +373,17 @@ class Not(Expression):
         if value is None:
             return None
         return not value
+
+    def compile(self) -> Callable[[Row], Any]:
+        inner = self.inner.compiled()
+
+        def fn(row: Row) -> Any:
+            value = inner(row)
+            if value is None:
+                return None
+            return not value
+
+        return fn
 
     def sql(self) -> str:
         return f"NOT ({self.inner.sql()})"
@@ -269,6 +401,18 @@ class InList(Expression):
         if value is None:
             return None
         return value in self.values
+
+    def compile(self) -> Callable[[Row], Any]:
+        operand = self.operand.compiled()
+        values = self.values
+
+        def fn(row: Row) -> Any:
+            value = operand(row)
+            if value is None:
+                return None
+            return value in values
+
+        return fn
 
     def sql(self) -> str:
         rendered = ", ".join(Literal(v).sql() for v in self.values)
@@ -295,6 +439,18 @@ class Like(Expression):
             return None
         return bool(self._regex.match(str(value)))
 
+    def compile(self) -> Callable[[Row], Any]:
+        operand = self.operand.compiled()
+        match = self._regex.match
+
+        def fn(row: Row) -> Any:
+            value = operand(row)
+            if value is None:
+                return None
+            return bool(match(str(value)))
+
+        return fn
+
     def sql(self) -> str:
         return f"{self.operand.sql()} LIKE {Literal(self.pattern).sql()}"
 
@@ -309,6 +465,16 @@ class IsNull(Expression):
     def evaluate(self, row: Row) -> Any:
         is_null = self.operand.evaluate(row) is None
         return is_null if self.expect_null else not is_null
+
+    def compile(self) -> Callable[[Row], Any]:
+        operand = self.operand.compiled()
+        expect_null = self.expect_null
+
+        def fn(row: Row) -> Any:
+            is_null = operand(row) is None
+            return is_null if expect_null else not is_null
+
+        return fn
 
     def sql(self) -> str:
         suffix = "IS NULL" if self.expect_null else "IS NOT NULL"
@@ -331,6 +497,18 @@ class Func(Expression):
         if any(v is None for v in values):
             return None
         return self.fn(*values)
+
+    def compile(self) -> Callable[[Row], Any]:
+        args = [a.compiled() for a in self.args]
+        call = self.fn
+
+        def fn(row: Row) -> Any:
+            values = [a(row) for a in args]
+            if any(v is None for v in values):
+                return None
+            return call(*values)
+
+        return fn
 
     def sql(self) -> str:
         return f"{self.name}({', '.join(a.sql() for a in self.args)})"
@@ -414,6 +592,19 @@ class JsonValueExpr(Expression):
             return None
         return json_value(data, self.path, returning=self.returning)
 
+    def compile(self) -> Callable[[Row], Any]:
+        column = self.column.compiled()
+        path = self.path
+        returning = self.returning
+
+        def fn(row: Row) -> Any:
+            data = column(row)
+            if data is None:
+                return None
+            return json_value(data, path, returning=returning)
+
+        return fn
+
     def sql(self) -> str:
         returning = f" RETURNING {self.returning}" if self.returning else ""
         return f"JSON_VALUE({self.column.sql()}, '{self.path}'{returning})"
@@ -433,6 +624,18 @@ class JsonExistsExpr(Expression):
         if data is None:
             return False
         return json_exists(data, self.path)
+
+    def compile(self) -> Callable[[Row], Any]:
+        column = self.column.compiled()
+        path = self.path
+
+        def fn(row: Row) -> Any:
+            data = column(row)
+            if data is None:
+                return False
+            return json_exists(data, path)
+
+        return fn
 
     def sql(self) -> str:
         return f"JSON_EXISTS({self.column.sql()}, '{self.path}')"
@@ -474,10 +677,11 @@ class CountAgg(Aggregate):
     class _State(AggregateState):
         def __init__(self, operand: Optional[Expression]) -> None:
             self.operand = operand
+            self._fn = None if operand is None else operand.compiled()
             self.count = 0
 
         def step(self, row: Row) -> None:
-            if self.operand is None or self.operand.evaluate(row) is not None:
+            if self._fn is None or self._fn(row) is not None:
                 self.count += 1
 
         def final(self) -> Any:
@@ -493,10 +697,11 @@ class SumAgg(Aggregate):
     class _State(AggregateState):
         def __init__(self, operand: Expression) -> None:
             self.operand = operand
+            self._fn = operand.compiled()
             self.total: Any = None
 
         def step(self, row: Row) -> None:
-            value = self.operand.evaluate(row)
+            value = self._fn(row)
             if value is None:
                 return
             self.total = value if self.total is None else self.total + value
@@ -516,11 +721,12 @@ class AvgAgg(Aggregate):
     class _State(AggregateState):
         def __init__(self, operand: Expression) -> None:
             self.operand = operand
+            self._fn = operand.compiled()
             self.total: Any = 0
             self.count = 0
 
         def step(self, row: Row) -> None:
-            value = self.operand.evaluate(row)
+            value = self._fn(row)
             if value is None:
                 return
             self.total += value
@@ -542,11 +748,12 @@ class _ExtremeAgg(Aggregate):
         def __init__(self, operand: Expression,
                      better: Callable[[Any, Any], bool]) -> None:
             self.operand = operand
+            self._fn = operand.compiled()
             self.better = better
             self.current: Any = None
 
         def step(self, row: Row) -> None:
-            value = self.operand.evaluate(row)
+            value = self._fn(row)
             if value is None:
                 return
             if self.current is None or self.better(value, self.current):

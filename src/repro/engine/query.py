@@ -18,6 +18,8 @@ renders the logical plan as text.
 
 from __future__ import annotations
 
+import os
+
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.engine import executor
@@ -56,6 +58,35 @@ def _pushable_conjuncts(expression: Expression) -> list[tuple[str, str, list]]:
 Row = dict
 Source = Union["Query", Iterable[Row], Callable[[], Iterator[Row]]]
 
+#: execution modes: "morsel" batches rows and dispatches vectorizable
+#: work to the numpy kernels; "row" is the tuple-at-a-time interpreter
+_VALID_MODES = ("morsel", "row")
+
+
+def _initial_mode() -> str:
+    mode = os.environ.get("REPRO_EXEC_MODE", "morsel")
+    return mode if mode in _VALID_MODES else "morsel"
+
+
+_DEFAULT_MODE = _initial_mode()
+
+
+def default_mode() -> str:
+    """The session-wide execution mode used by plans without an explicit
+    :meth:`Query.mode` (initialized from ``REPRO_EXEC_MODE``)."""
+    return _DEFAULT_MODE
+
+
+def set_default_mode(mode: str) -> str:
+    """Set the session-wide execution mode; returns the previous one so
+    ablation harnesses can restore it."""
+    global _DEFAULT_MODE
+    if mode not in _VALID_MODES:
+        raise QueryError(f"unknown execution mode {mode!r}")
+    previous = _DEFAULT_MODE
+    _DEFAULT_MODE = mode
+    return previous
+
 
 def _iterate_source(source: Any) -> Iterator[Row]:
     if isinstance(source, Query):
@@ -75,12 +106,25 @@ class Query:
     def __init__(self, source: Source) -> None:
         self._source = source
         self._ops: list[tuple[str, tuple]] = []
+        self._mode: Optional[str] = None
 
     # -- builder -------------------------------------------------------------
 
     def _with(self, op: str, *args: Any) -> "Query":
         clone = Query(self._source)
         clone._ops = self._ops + [(op, args)]
+        clone._mode = self._mode
+        return clone
+
+    def mode(self, mode: str) -> "Query":
+        """Pin this plan's execution mode: ``"morsel"`` (batched,
+        kernel-dispatching) or ``"row"`` (tuple-at-a-time) — the ablation
+        benchmarks toggle this for before/after measurements."""
+        if mode not in _VALID_MODES:
+            raise QueryError(f"unknown execution mode {mode!r}")
+        clone = Query(self._source)
+        clone._ops = list(self._ops)
+        clone._mode = mode
         return clone
 
     def where(self, predicate: Expression) -> "Query":
@@ -163,20 +207,27 @@ class Query:
         return sum(1 for _ in self._execute())
 
     def _execute(self) -> Iterator[Row]:
+        morsel = (self._mode or _DEFAULT_MODE) == "morsel"
         rows = self._pushdown_source()
         if rows is None:
             rows = _iterate_source(self._source)
         for op, args in self._ops:
             if op == "where":
-                rows = executor.filter_rows(rows, args[0])
+                rows = (executor.filter_rows_morsel(rows, args[0]) if morsel
+                        else executor.filter_rows(rows, args[0]))
             elif op == "select":
-                rows = executor.project(rows, args[0])
+                rows = (executor.project_morsel(rows, args[0]) if morsel
+                        else executor.project(rows, args[0]))
             elif op == "join":
                 other, left_key, right_key, how = args
-                rows = executor.hash_join(rows, _iterate_source(other),
-                                          left_key, right_key, how)
+                join = (executor.hash_join_morsel if morsel
+                        else executor.hash_join)
+                rows = join(rows, _iterate_source(other),
+                            left_key, right_key, how)
             elif op == "group_by":
-                rows = executor.group_by(rows, args[0], args[1])
+                rows = (executor.group_by_morsel(rows, args[0], args[1])
+                        if morsel else executor.group_by(rows, args[0],
+                                                         args[1]))
             elif op == "window":
                 rows = iter(executor.window(rows, args[0], args[1], args[2]))
             elif op == "order_by":

@@ -28,8 +28,9 @@ from repro.bson.decoder import (
     KIND_OBJECT,
     KIND_SCALAR,
 )
+from repro.core.counters import IdentityCache
 from repro.core.oson import constants as oson_constants
-from repro.core.oson.cache import CompiledFieldName, FieldIdResolver
+from repro.core.oson.cache import CompiledFieldName, FieldIdResolver, cached_document
 from repro.core.oson.decoder import OsonDocument
 
 #: adapter-level node kinds
@@ -227,6 +228,13 @@ class BsonAdapter:
         return node.materialize()
 
 
+#: OSON adapters cached by buffer identity: an OLAP query touches the
+#: same image once per pushdown predicate plus once per JSON_TABLE
+#: expansion, and each touch used to re-parse the header+dictionary and
+#: rebuild the adapter
+_OSON_ADAPTERS = IdentityCache("sqljson.oson_adapter", maxsize=1024)
+
+
 def adapter_for(value: Any) -> Any:
     """Pick an adapter for a JSON input of any supported physical form:
     OSON bytes, BSON bytes, JSON text, OsonDocument, or Python values."""
@@ -237,6 +245,12 @@ def adapter_for(value: Any) -> Any:
     if isinstance(value, (bytes, bytearray)):
         data = bytes(value)
         if data[:4] == oson_constants.MAGIC:
+            if data is value:  # immutable input: safe to cache by identity
+                adapter = _OSON_ADAPTERS.get(data)
+                if adapter is None:
+                    adapter = OsonAdapter(cached_document(data))
+                    _OSON_ADAPTERS.put(data, adapter)
+                return adapter
             return OsonAdapter(OsonDocument(data))
         return BsonAdapter(BsonDocument(data))
     if isinstance(value, str):

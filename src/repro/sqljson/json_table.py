@@ -33,9 +33,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional, Sequence, Union
 
+from repro.core.counters import BoundedCache
 from repro.errors import QueryError, ReproError
-from repro.sqljson.adapters import SCALAR, adapter_for
+from repro.sqljson.adapters import SCALAR, OsonAdapter, adapter_for
 from repro.sqljson.operators import make_coercer
+from repro.sqljson.path import ast as path_ast
 from repro.sqljson.path.evaluator import PathEvaluator, _Computed
 from repro.sqljson.path.parser import compile_path
 
@@ -66,11 +68,39 @@ def _join_paths(prefix: str, relative: str) -> str:
     return prefix + suffix
 
 
+def _common_member_prefix(paths: Sequence[path_ast.JsonPath]) -> int:
+    """Length of the longest run of identical leading member steps shared
+    by every path (0 unless at least two lax paths share one)."""
+    if len(paths) < 2:
+        return 0
+    if any(p.mode != path_ast.LAX for p in paths):
+        return 0  # strict evaluation order is observable through errors
+    limit = min(len(p.steps) for p in paths)
+    depth = 0
+    while depth < limit:
+        lead = paths[0].steps[depth]
+        if not isinstance(lead, path_ast.MemberStep):
+            break
+        if any(not isinstance(p.steps[depth], path_ast.MemberStep)
+               or p.steps[depth].name != lead.name for p in paths[1:]):
+            break
+        depth += 1
+    return depth
+
+
 class _CompiledNode:
     """A row-generation node: its path evaluator, scalar columns and
-    compiled nested children."""
+    compiled nested children.
 
-    __slots__ = ("evaluator", "columns", "children", "absolute_paths")
+    Scalar column paths that share a leading member chain (e.g. the five
+    ``$.purchaseOrder.*`` master columns of the PO views) are factored:
+    the shared prefix navigates **once per row** into ``prefix_evaluator``
+    and each column keeps only its suffix — previously every column
+    re-walked the common prefix from the row context.
+    """
+
+    __slots__ = ("evaluator", "columns", "children", "absolute_paths",
+                 "prefix_evaluator")
 
     def __init__(self, row_path: str,
                  columns: Sequence[Union[ColumnDef, NestedPath]],
@@ -84,16 +114,12 @@ class _CompiledNode:
         # both the path and the RETURNING type compile once per view
         self.columns: list[tuple[str, PathEvaluator, Any]] = []
         self.children: list[_CompiledNode] = []
+        scalar_defs: list[ColumnDef] = []
         for item in columns:
             if isinstance(item, ColumnDef):
-                relative = item.resolved_path()
-                self.columns.append((
-                    item.name,
-                    PathEvaluator(compile_path(relative)),
-                    make_coercer(item.sql_type),
-                ))
+                scalar_defs.append(item)
                 self.absolute_paths[item.name] = _join_paths(
-                    absolute_prefix, relative)
+                    absolute_prefix, item.resolved_path())
             elif isinstance(item, NestedPath):
                 child = _CompiledNode(
                     item.path, item.columns,
@@ -102,12 +128,39 @@ class _CompiledNode:
                 self.absolute_paths.update(child.absolute_paths)
             else:
                 raise QueryError(f"bad JSON_TABLE column spec: {item!r}")
+        compiled_paths = [compile_path(d.resolved_path()) for d in scalar_defs]
+        shared = _common_member_prefix(compiled_paths)
+        self.prefix_evaluator: Optional[PathEvaluator] = None
+        if shared:
+            lead = compiled_paths[0]
+            self.prefix_evaluator = PathEvaluator(
+                path_ast.JsonPath(lead.steps[:shared], lead.mode))
+        for definition, compiled in zip(scalar_defs, compiled_paths):
+            if shared:
+                compiled = path_ast.JsonPath(compiled.steps[shared:],
+                                             compiled.mode)
+            self.columns.append((
+                definition.name,
+                PathEvaluator(compiled),
+                make_coercer(definition.sql_type),
+            ))
 
     def column_names(self) -> list[str]:
         names = [name for name, _evaluator, _coercer in self.columns]
         for child in self.children:
             names.extend(child.column_names())
         return names
+
+
+#: in-memory DMDV materialization (sections 3.3.2 / 6.2): the JSON_TABLE
+#: expansion of an immutable OSON image is a pure function of
+#: (table definition, image), so expansions are memoized per
+#: (JsonTable, adapter) identity.  Both objects are pinned inside the
+#: entry, which keeps the ids stable for the entry's lifetime; a new
+#: image (document update) is a new bytes object and therefore a new
+#: adapter, so staleness is impossible.  TEXT documents are deliberately
+#: excluded: the paper's TEXT cost model re-parses per operator.
+_ROW_CACHE = BoundedCache("sqljson.jsontable_rows", maxsize=4096)
 
 
 class JsonTable:
@@ -129,7 +182,15 @@ class JsonTable:
 
     def rows(self, data: Any) -> list[dict[str, Any]]:
         """All output rows for one document, as name -> value dicts."""
-        adapter = adapter_for(data)
+        return self.rows_with_adapter(adapter_for(data))
+
+    def rows_with_adapter(self, adapter: Any) -> list[dict[str, Any]]:
+        """Like :meth:`rows` for a pre-built adapter — scans that apply
+        several operators per document (JSON_EXISTS pushdown followed by
+        expansion) build the adapter once and reuse it here."""
+        cached = self.cached_rows(adapter)
+        if cached is not None:
+            return cached
         out: list[dict[str, Any]] = []
         for context in self._root.evaluator.select(adapter):
             if isinstance(context, _Computed):
@@ -138,7 +199,22 @@ class JsonTable:
                 row = dict.fromkeys(self.column_names)
                 row.update(partial)
                 out.append(row)
+        if type(adapter) is OsonAdapter:
+            # store a private copy: callers may mutate the rows they get
+            _ROW_CACHE.put((id(self), id(adapter)),
+                           (adapter, [dict(row) for row in out], self))
         return out
+
+    def cached_rows(self, adapter: Any) -> Optional[list[dict[str, Any]]]:
+        """The memoized expansion for an immutable binary adapter, or
+        None.  Scans use this to skip even the JSON_EXISTS pushdown probe
+        (the engine's residual WHERE keeps results exact)."""
+        if type(adapter) is not OsonAdapter:
+            return None
+        cached = _ROW_CACHE.get((id(self), id(adapter)))
+        if cached is not None and cached[0] is adapter:
+            return [dict(row) for row in cached[1]]
+        return None
 
     def iter_rows(self, documents: Any) -> Iterator[dict[str, Any]]:
         """Rows across an iterable of documents."""
@@ -154,10 +230,32 @@ class JsonTable:
     def _expand(self, adapter: Any, context: Any,
                 node: _CompiledNode) -> list[dict[str, Any]]:
         base: dict[str, Any] = {}
+        if node.prefix_evaluator is not None:
+            # shared-prefix factoring: navigate the common member chain
+            # once, then each column only walks its suffix.  Sequential
+            # step application distributes over the node list, so the
+            # concatenation of per-prefix-node suffix results is exactly
+            # the full path's result.
+            contexts = node.prefix_evaluator.select_from(adapter, context)
+            for name, evaluator, coercer in node.columns:
+                if len(contexts) == 1:
+                    base[name] = _column_value(
+                        adapter, contexts[0], evaluator, coercer)
+                else:
+                    base[name] = _column_value_multi(
+                        adapter, contexts, evaluator, coercer)
+            if not node.children:
+                return [base]
+            return self._expand_children(adapter, context, node, base)
         for name, evaluator, coercer in node.columns:
             base[name] = _column_value(adapter, context, evaluator, coercer)
         if not node.children:
             return [base]
+        return self._expand_children(adapter, context, node, base)
+
+    def _expand_children(self, adapter: Any, context: Any,
+                         node: _CompiledNode,
+                         base: dict[str, Any]) -> list[dict[str, Any]]:
         rows: list[dict[str, Any]] = []
         for child in node.children:
             # left outer join of this child's rows against the parent
@@ -183,7 +281,29 @@ def _column_value(adapter: Any, context: Any, evaluator: PathEvaluator,
     nodes = evaluator.select_from(adapter, context)
     if len(nodes) != 1:
         return None
-    node = nodes[0]
+    return _node_value(adapter, nodes[0], coercer)
+
+
+def _column_value_multi(adapter: Any, contexts: Sequence[Any],
+                        evaluator: PathEvaluator, coercer: Any) -> Any:
+    """Column value over factored prefix nodes: the suffix path runs from
+    each prefix node and the results concatenate (order preserved), which
+    is exactly what the unfactored full path would have selected."""
+    selected: Optional[Any] = None
+    count = 0
+    for context in contexts:
+        nodes = evaluator.select_from(adapter, context)
+        count += len(nodes)
+        if count > 1:
+            return None
+        if nodes:
+            selected = nodes[0]
+    if count != 1:
+        return None
+    return _node_value(adapter, selected, coercer)
+
+
+def _node_value(adapter: Any, node: Any, coercer: Any) -> Any:
     if isinstance(node, _Computed):
         value = node.value
     elif adapter.kind(node) == SCALAR:

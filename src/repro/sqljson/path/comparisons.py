@@ -1,0 +1,52 @@
+"""SQL/JSON filter-comparison semantics, shared by both path engines.
+
+The DOM evaluator (:mod:`repro.sqljson.path.evaluator`) and the compiled
+navigation programs (:mod:`repro.sqljson.path.compiler`) must agree
+bit-for-bit on filter predicates, so the comparison kernel lives here:
+existential comparisons where JSON null only equals null, booleans only
+compare with booleans, and any cross-type comparison is simply unknown
+(true only under ``!=``), never an error.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import Any
+
+from repro.errors import PathEvaluationError
+
+NUMERIC_TYPES = (int, float, Decimal)
+
+
+def compare(op: str, left: Any, right: Any) -> bool:
+    """One SQL/JSON filter comparison between two selected values."""
+    if left is None or right is None:
+        if op == "==":
+            return left is None and right is None
+        if op in ("!=", "<>"):
+            return (left is None) != (right is None)
+        return False
+    if isinstance(left, bool) or isinstance(right, bool):
+        if not (isinstance(left, bool) and isinstance(right, bool)):
+            return op in ("!=", "<>")
+        pass  # booleans compare as booleans below
+    elif isinstance(left, NUMERIC_TYPES) != isinstance(right, NUMERIC_TYPES):
+        return op in ("!=", "<>")
+    elif isinstance(left, str) != isinstance(right, str):
+        return op in ("!=", "<>")
+    try:
+        if op == "==":
+            return left == right
+        if op in ("!=", "<>"):
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise PathEvaluationError(f"unknown comparison operator {op!r}")

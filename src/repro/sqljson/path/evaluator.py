@@ -21,12 +21,16 @@ Semantics follow the SQL/JSON standard as the paper uses it:
 
 from __future__ import annotations
 
-from decimal import Decimal
 from typing import Any, Iterable, Iterator, Optional
 
+from repro.core.oson.navigate import navigate as _navigate
+from repro.core.oson.navigate import navigation_enabled as _navigation_enabled
 from repro.errors import PathEvaluationError
-from repro.sqljson.adapters import ARRAY, MISSING, OBJECT, SCALAR
+from repro.sqljson.adapters import ARRAY, MISSING, OBJECT, SCALAR, OsonAdapter
 from repro.sqljson.path import ast
+from repro.sqljson.path.comparisons import NUMERIC_TYPES as _NUMERIC
+from repro.sqljson.path.comparisons import compare as _compare
+from repro.sqljson.path.compiler import compile_nav
 
 
 class _Computed:
@@ -52,7 +56,8 @@ def evaluator_for(path: "ast.JsonPath") -> "PathEvaluator":
 class PathEvaluator:
     """A compiled, reusable evaluator for one path expression."""
 
-    __slots__ = ("path", "_strict", "_fast_members", "_fast_wildcard")
+    __slots__ = ("path", "_strict", "_fast_members", "_fast_wildcard",
+                 "_nav_program")
 
     def __init__(self, path: ast.JsonPath) -> None:
         for i, step in enumerate(path.steps):
@@ -61,6 +66,10 @@ class PathEvaluator:
                     f"item method .{step.method}() must be the final path step")
         self.path = path
         self._strict = path.mode == ast.STRICT
+        # partial-decode fast path: lax member/array/filter paths compile
+        # to a navigation program executed directly over OSON images —
+        # no DOM, no per-step adapter dispatch (None when not navigable)
+        self._nav_program = compile_nav(path)
         # fast path: lax member-only chains (optionally ending in [*]) are
         # the bulk of JSON_TABLE column paths; they navigate with direct
         # adapter.get_field calls, no per-step list building
@@ -89,6 +98,14 @@ class PathEvaluator:
     def select_from(self, adapter: Any, context: Any) -> list[Any]:
         """Like :meth:`select` but rooted at an explicit context node —
         used by JSON_TABLE, whose column paths are relative to row nodes."""
+        if (self._nav_program is not None
+                and type(adapter) is OsonAdapter
+                and _navigation_enabled()):
+            # partial decode: run the compiled program straight over the
+            # binary image; results are the same tree-offset node handles
+            # the adapter route produces
+            return _navigate(adapter.doc, self._nav_program, context,
+                             adapter._resolver)
         if self._fast_members is not None:
             result = self._select_fast(adapter, context)
             if result is not None:
@@ -126,6 +143,7 @@ class PathEvaluator:
             elif adapter.kind(node) == SCALAR:
                 out.append(adapter.scalar(node))
             else:
+                # lint: ignore[dom-materialize] output side: selected containers must decode to be returned
                 out.append(adapter.materialize(node))
         return out
 
@@ -354,40 +372,8 @@ def _operand_values(adapter: Any, context: Any, operand: ast.Operand,
     return values
 
 
-_NUMERIC = (int, float, Decimal)
-
-
-def _compare(op: str, left: Any, right: Any) -> bool:
-    if left is None or right is None:
-        if op == "==":
-            return left is None and right is None
-        if op in ("!=", "<>"):
-            return (left is None) != (right is None)
-        return False
-    if isinstance(left, bool) or isinstance(right, bool):
-        if not (isinstance(left, bool) and isinstance(right, bool)):
-            return op in ("!=", "<>")
-        pass  # booleans compare as booleans below
-    elif isinstance(left, _NUMERIC) != isinstance(right, _NUMERIC):
-        return op in ("!=", "<>")
-    elif isinstance(left, str) != isinstance(right, str):
-        return op in ("!=", "<>")
-    try:
-        if op == "==":
-            return left == right
-        if op in ("!=", "<>"):
-            return left != right
-        if op == "<":
-            return left < right
-        if op == "<=":
-            return left <= right
-        if op == ">":
-            return left > right
-        if op == ">=":
-            return left >= right
-    except TypeError:
-        return False
-    raise PathEvaluationError(f"unknown comparison operator {op!r}")
+# _compare / _NUMERIC live in repro.sqljson.path.comparisons (imported
+# above) so the compiled navigation programs share the exact kernel
 
 
 # ------------------------------------------------------------------ helpers

@@ -8,8 +8,7 @@ section 4.2.1.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
+from repro.core.counters import BoundedCache
 from repro.errors import PathSyntaxError
 from repro.sqljson.path import ast
 from repro.sqljson.path.lexer import Token, TokenType, tokenize_path
@@ -20,11 +19,20 @@ def parse_path(text: str) -> ast.JsonPath:
     return _Parser(tokenize_path(text), text).parse()
 
 
-@lru_cache(maxsize=4096)
+#: bounded, instrumented replacement for the old ``lru_cache(4096)``:
+#: same capacity, but hit/miss/eviction counters surface through
+#: ``repro.core.counters`` alongside every other hot-path cache
+_COMPILED = BoundedCache("sqljson.path_parse", maxsize=4096)
+
+
 def compile_path(text: str) -> ast.JsonPath:
     """Parse with memoization; the cached AST carries precomputed
     field-name hashes, so repeated queries skip both parsing and hashing."""
-    return parse_path(text)
+    path = _COMPILED.get(text)
+    if path is None:
+        path = parse_path(text)
+        _COMPILED.put(text, path)
+    return path
 
 
 class _Parser:

@@ -365,6 +365,53 @@ class TestPragmas:
         assert "broad-except" in rules_of(lint(src))
 
 
+class TestDomMaterialize:
+    HOT_PATH = "src/repro/sqljson/operators.py"
+
+    def test_flags_materialize_in_hot_path(self):
+        src = """
+        def json_value_slow(adapter, node):
+            return adapter.materialize(node)
+        """
+        assert "dom-materialize" in rules_of(lint(src, self.HOT_PATH))
+
+    def test_flags_bare_decode_call(self):
+        src = """
+        def json_value_slow(doc):
+            return decode(doc)
+        """
+        assert "dom-materialize" in rules_of(lint(src, self.HOT_PATH))
+
+    def test_justified_pragma_suppresses(self):
+        src = """
+        def values(adapter, node):
+            # lint: ignore[dom-materialize] output values must decode
+            return adapter.materialize(node)
+        """
+        assert "dom-materialize" not in rules_of(lint(src, self.HOT_PATH))
+
+    def test_navigation_is_clean(self):
+        src = """
+        def json_value_fast(doc, program, resolver):
+            nodes = navigate(doc, program, resolver=resolver)
+            return [doc.scalar_value(n) for n in nodes]
+        """
+        assert "dom-materialize" not in rules_of(lint(src, self.HOT_PATH))
+
+    def test_adapter_and_decoder_modules_are_out_of_scope(self):
+        src = """
+        def materialize_all(adapter, node):
+            return adapter.materialize(node)
+        """
+        for path in ("src/repro/sqljson/adapters.py",
+                     "src/repro/core/oson/decoder.py"):
+            assert "dom-materialize" not in rules_of(lint(src, path))
+
+    def test_shipped_hot_paths_are_clean_or_justified(self):
+        diagnostics = LintEngine().lint_paths(["src/repro/sqljson"])
+        assert "dom-materialize" not in rules_of(diagnostics)
+
+
 class TestEngineMechanics:
     def test_syntax_error_is_reported_not_raised(self):
         diagnostics = lint("def f(:\n")

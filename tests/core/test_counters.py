@@ -1,0 +1,112 @@
+"""Unit tests for the cache instrumentation registry."""
+
+import pytest
+
+from repro.core.counters import (
+    BoundedCache,
+    IdentityCache,
+    cache_named,
+    counters_for,
+    restore_caches_enabled,
+    set_caches_enabled,
+    snapshot_all,
+)
+
+
+class TestCounters:
+    def test_registry_returns_same_record(self):
+        a = counters_for("test.same")
+        b = counters_for("test.same")
+        assert a is b
+
+    def test_hit_rate_and_snapshot(self):
+        record = counters_for("test.rate")
+        record.reset()
+        record.hits = 3
+        record.misses = 1
+        assert record.lookups == 4
+        assert record.hit_rate() == 0.75
+        snap = record.snapshot()
+        assert snap["hits"] == 3 and snap["hit_rate"] == 0.75
+        assert "test.rate" in snapshot_all()
+
+    def test_zero_lookups_hit_rate(self):
+        record = counters_for("test.zero")
+        record.reset()
+        assert record.hit_rate() == 0.0
+
+
+class TestBoundedCache:
+    def test_lru_eviction_counts(self):
+        cache = BoundedCache("test.lru", maxsize=2)
+        cache.counters.reset()
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now LRU
+        cache.put("c", 3)           # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.counters.evictions == 1
+        assert cache.counters.misses == 1
+        assert cache.counters.hits == 3
+
+    def test_disabled_is_passthrough(self):
+        cache = BoundedCache("test.disabled", maxsize=4)
+        cache.put("a", 1)
+        cache.enabled = False
+        assert cache.get("a") is None
+        cache.put("b", 2)
+        cache.enabled = True
+        assert cache.get("b") is None  # the disabled put was dropped
+        assert cache.get("a") == 1
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            BoundedCache("test.bad", maxsize=0)
+
+
+class TestIdentityCache:
+    def test_keyed_by_identity_not_equality(self):
+        cache = IdentityCache("test.identity", maxsize=4)
+        key_a = b"same-bytes"
+        # bytes(bytes) returns the same object in CPython; round-trip
+        # through bytearray to get an equal-but-distinct key
+        key_b = bytes(bytearray(key_a))
+        assert key_b == key_a and key_b is not key_a
+        cache.put(key_a, "A")
+        assert cache.get(key_a) == "A"
+        assert cache.get(key_b) is None
+
+    def test_entry_pins_key_object(self):
+        cache = IdentityCache("test.pin", maxsize=2)
+        key = bytes(bytearray(b"pinned"))
+        cache.put(key, 1)
+        key_id = id(key)
+        del key
+        # the entry still holds the only reference, so the id cannot be
+        # recycled into a colliding new object while the entry lives
+        entry = cache._entries[key_id]
+        assert entry[1] == 1 and id(entry[0]) == key_id
+
+
+class TestEnableToggle:
+    def test_cache_named_finds_live_caches(self):
+        cache = BoundedCache("test.named", maxsize=2)
+        assert cache_named("test.named") is cache
+
+    def test_set_and_restore_selected(self):
+        a = BoundedCache("test.toggle_a", maxsize=2)
+        b = BoundedCache("test.toggle_b", maxsize=2)
+        previous = set_caches_enabled(False, names=["test.toggle_a"])
+        assert previous == {"test.toggle_a": True}
+        assert a.enabled is False and b.enabled is True
+        restore_caches_enabled(previous)
+        assert a.enabled is True
+
+    def test_hot_path_caches_are_registered(self):
+        # importing the sqljson stack registers every hot-path cache
+        import repro.sqljson.adapters  # noqa: F401
+        for name in ("sqljson.path_parse", "sqljson.oson_adapter",
+                     "oson.document", "oson.dictionary_intern"):
+            assert cache_named(name) is not None, name

@@ -1,0 +1,143 @@
+"""Unit tests for the OSON partial-decode navigation VM."""
+
+import pytest
+
+from repro.core.oson import (
+    NavProgram,
+    OsonDocument,
+    encode,
+    navigate,
+    navigation_enabled,
+    set_navigation_enabled,
+)
+from repro.core.oson.cache import CompiledFieldName
+from repro.core.oson.navigate import OP_FIELD, OP_INDEX, OP_WILD
+from repro.errors import OsonError
+
+DOC = {
+    "purchaseOrder": {
+        "id": 7,
+        "items": [
+            {"partno": "p1", "price": 10},
+            {"partno": "p2", "price": 20},
+            {"partno": "p3"},
+        ],
+    },
+    "empty": [],
+}
+
+
+@pytest.fixture()
+def doc():
+    return OsonDocument(encode(DOC))
+
+
+def _member_chain(*names):
+    return NavProgram(tuple((OP_FIELD, CompiledFieldName(n)) for n in names))
+
+
+def test_member_chain_hits_scalar(doc):
+    program = _member_chain("purchaseOrder", "id")
+    nodes = navigate(doc, program)
+    assert len(nodes) == 1
+    assert doc.scalar_value(nodes[0]) == 7
+
+
+def test_member_chain_specializes(doc):
+    assert _member_chain("purchaseOrder", "id").chain is not None
+
+
+def test_absent_field_is_empty(doc):
+    assert navigate(doc, _member_chain("purchaseOrder", "nope")) == []
+    # a name absent from the whole dictionary short-circuits immediately
+    assert navigate(doc, _member_chain("never_seen_anywhere")) == []
+
+
+def test_member_on_scalar_is_empty(doc):
+    program = _member_chain("purchaseOrder", "id", "deeper")
+    assert navigate(doc, program) == []
+
+
+def test_index_chain(doc):
+    program = NavProgram((
+        (OP_FIELD, CompiledFieldName("purchaseOrder")),
+        (OP_FIELD, CompiledFieldName("items")),
+        (OP_INDEX, ((1, None, False, False),)),
+        (OP_FIELD, CompiledFieldName("partno")),
+    ))
+    assert program.chain is not None  # single absolute index specializes
+    nodes = navigate(doc, program)
+    assert [doc.scalar_value(n) for n in nodes] == ["p2"]
+
+
+def test_wildcard_unnests_array(doc):
+    program = NavProgram((
+        (OP_FIELD, CompiledFieldName("purchaseOrder")),
+        (OP_FIELD, CompiledFieldName("items")),
+        (OP_WILD,),
+        (OP_FIELD, CompiledFieldName("partno")),
+    ))
+    assert program.chain is None
+    nodes = navigate(doc, program)
+    assert [doc.scalar_value(n) for n in nodes] == ["p1", "p2", "p3"]
+
+
+def test_lax_member_unnests_object_elements(doc):
+    # lax semantics: .partno over the items *array* unnests one level
+    program = NavProgram((
+        (OP_FIELD, CompiledFieldName("purchaseOrder")),
+        (OP_FIELD, CompiledFieldName("items")),
+        (OP_FIELD, CompiledFieldName("price")),
+    ))
+    nodes = navigate(doc, program)
+    assert [doc.scalar_value(n) for n in nodes] == [10, 20]
+
+
+def test_index_out_of_range_drops(doc):
+    program = NavProgram((
+        (OP_FIELD, CompiledFieldName("empty")),
+        (OP_INDEX, ((0, None, False, False),)),
+    ))
+    assert navigate(doc, program) == []
+
+
+def test_index_on_scalar_survives_only_zero(doc):
+    base = ((OP_FIELD, CompiledFieldName("purchaseOrder")),
+            (OP_FIELD, CompiledFieldName("id")))
+    zero = NavProgram(base + ((OP_INDEX, ((0, None, False, False),)),))
+    one = NavProgram(base + ((OP_INDEX, ((1, None, False, False),)),))
+    assert len(navigate(doc, zero)) == 1
+    assert navigate(doc, one) == []
+
+
+def test_last_relative_and_ranges(doc):
+    def run(subscripts):
+        program = NavProgram((
+            (OP_FIELD, CompiledFieldName("purchaseOrder")),
+            (OP_FIELD, CompiledFieldName("items")),
+            (OP_INDEX, subscripts),
+            (OP_FIELD, CompiledFieldName("partno")),
+        ))
+        return [doc.scalar_value(n) for n in navigate(doc, program)]
+
+    assert run(((0, None, True, False),)) == ["p3"]       # [last]
+    assert run(((1, None, True, False),)) == ["p2"]       # [last-1]
+    assert run(((0, 1, False, False),)) == ["p1", "p2"]   # [0 to 1]
+    assert run(((0, 0, False, True),)) == ["p1", "p2", "p3"]  # [0 to last]
+    assert run(((0, None, False, False), (2, None, False, False))) \
+        == ["p1", "p3"]                                    # [0, 2]
+
+
+def test_unknown_opcode_raises(doc):
+    program = NavProgram((("bogus",),))
+    with pytest.raises(OsonError):
+        navigate(doc, program)
+
+
+def test_enable_toggle_roundtrip():
+    assert navigation_enabled() is True
+    previous = set_navigation_enabled(False)
+    assert previous is True
+    assert navigation_enabled() is False
+    set_navigation_enabled(previous)
+    assert navigation_enabled() is True

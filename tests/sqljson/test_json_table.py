@@ -189,3 +189,58 @@ class TestRowSource:
     def test_iter_rows(self):
         rows = list(po_table().iter_rows([PO_DOC, PO_DOC]))
         assert len(rows) == 8
+
+
+class TestDmdvRowCache:
+    """The bounded memoization of OSON expansions (the in-memory DMDV)."""
+
+    def test_oson_expansion_is_cached(self):
+        from repro.core.counters import cache_named
+        from repro.sqljson.adapters import adapter_for
+        cache = cache_named("sqljson.jsontable_rows")
+        cache.counters.reset()
+        table = po_table()
+        adapter = adapter_for(oson_encode(PO_DOC))
+        first = table.rows_with_adapter(adapter)
+        second = table.rows_with_adapter(adapter)
+        assert first == second
+        assert cache.counters.hits >= 1
+
+    def test_cached_rows_are_private_copies(self):
+        from repro.sqljson.adapters import adapter_for
+        table = po_table()
+        adapter = adapter_for(oson_encode(PO_DOC))
+        first = table.rows_with_adapter(adapter)
+        first[0]["id"] = "corrupted"
+        second = table.rows_with_adapter(adapter)
+        assert second[0]["id"] == 1
+
+    def test_text_documents_are_not_cached(self):
+        table = po_table()
+        assert table.cached_rows(dumps(PO_DOC)) is None
+
+    def test_distinct_tables_do_not_share_entries(self):
+        from repro.sqljson.adapters import adapter_for
+        adapter = adapter_for(oson_encode(PO_DOC))
+        wide = po_table()
+        narrow = JsonTable("$", [ColumnDef("id", "number",
+                                           "$.purchaseOrder.id")])
+        assert len(wide.rows_with_adapter(adapter)[0]) == 8
+        assert narrow.rows_with_adapter(adapter) == [{"id": 1}]
+
+    def test_disabled_cache_recomputes(self):
+        from repro.core.counters import (
+            restore_caches_enabled,
+            set_caches_enabled,
+        )
+        from repro.sqljson.adapters import adapter_for
+        table = po_table()
+        adapter = adapter_for(oson_encode(PO_DOC))
+        previous = set_caches_enabled(
+            False, names=["sqljson.jsontable_rows"])
+        try:
+            rows = table.rows_with_adapter(adapter)
+            assert table.cached_rows(adapter) is None
+            assert rows == table.rows_with_adapter(adapter)
+        finally:
+            restore_caches_enabled(previous)

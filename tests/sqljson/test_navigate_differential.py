@@ -1,0 +1,134 @@
+"""Differential tests: the OSON navigation VM vs the DOM path evaluator.
+
+The partial-decode fast path (:mod:`repro.core.oson.navigate`) must
+return byte-identical results to the adapter-walking evaluator for every
+path it claims to support — node offset lists compare with ``==`` over
+ints, so equality here *is* byte identity.  Documents and paths are
+drawn from a shared small alphabet so member steps, filters and
+comparisons actually collide with document content instead of testing
+the empty result forever.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.oson import OsonDocument, encode, set_navigation_enabled
+from repro.sqljson.adapters import OsonAdapter
+from repro.sqljson.path.compiler import compile_nav
+from repro.sqljson.path.evaluator import PathEvaluator
+from repro.sqljson.path.parser import compile_path
+
+# -- strategies ----------------------------------------------------------------
+
+_KEYS = st.sampled_from(["a", "b", "c", "d"])
+
+_SCALARS = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-3, max_value=4),
+    st.sampled_from([0.5, 2.0, -1.25]),
+    st.sampled_from(["x", "a", "ab", ""]),
+)
+
+_VALUES = st.recursive(
+    _SCALARS,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(_KEYS, children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+_DOCUMENTS = st.dictionaries(_KEYS, _VALUES, max_size=4)
+
+_MEMBER = _KEYS.map(lambda k: f".{k}")
+
+_SUBSCRIPT = st.one_of(
+    st.integers(min_value=0, max_value=3).map(lambda i: f"[{i}]"),
+    st.just("[*]"),
+    st.just("[last]"),
+    st.integers(min_value=0, max_value=2).map(lambda i: f"[last-{i}]"),
+    st.tuples(st.integers(0, 2), st.integers(0, 3)).map(
+        lambda t: f"[{t[0]} to {t[1]}]"),
+    st.tuples(st.integers(0, 2), st.integers(0, 2)).map(
+        lambda t: f"[{t[0]}, {t[1]}]"),
+    st.integers(min_value=0, max_value=2).map(
+        lambda i: f"[{i} to last]"),
+)
+
+_FILTER = st.one_of(
+    _KEYS.map(lambda k: f"?(@.{k} == 1)"),
+    _KEYS.map(lambda k: f'?(@.{k} == "x")'),
+    _KEYS.map(lambda k: f"?(@.{k} == null)"),
+    _KEYS.map(lambda k: f"?(@.{k} == true)"),
+    _KEYS.map(lambda k: f"?(@.{k} > 0)"),
+    _KEYS.map(lambda k: f"?(@.{k} <= 2)"),
+    _KEYS.map(lambda k: f"?(exists(@.{k}))"),
+    st.tuples(_KEYS, _KEYS).map(
+        lambda t: f"?(@.{t[0]} > 0 && @.{t[1]} < 3)"),
+    st.tuples(_KEYS, _KEYS).map(
+        lambda t: f'?(@.{t[0]} == 2 || @.{t[1]} == "a")'),
+    _KEYS.map(lambda k: f"?(!(@.{k} == null))"),
+    _KEYS.map(lambda k: f'?(@.{k} starts with "a")'),
+    _KEYS.map(lambda k: f'?(@.{k} has substring "b")'),
+    st.tuples(_KEYS, _KEYS).map(
+        lambda t: f"?(@.{t[0]}[0] == @.{t[1]})"),
+)
+
+_PATHS = st.lists(st.one_of(_MEMBER, _SUBSCRIPT, _FILTER),
+                  max_size=4).map(lambda parts: "$" + "".join(parts))
+
+
+def _both_ways(adapter: OsonAdapter, evaluator: PathEvaluator):
+    previous = set_navigation_enabled(False)
+    try:
+        slow = evaluator.select_from(adapter, adapter.root)
+    finally:
+        set_navigation_enabled(previous)
+    fast = evaluator.select_from(adapter, adapter.root)
+    return fast, slow
+
+
+@settings(max_examples=300, deadline=None)
+@given(doc=_DOCUMENTS, path=_PATHS)
+def test_navigate_matches_dom_evaluator(doc, path):
+    adapter = OsonAdapter(OsonDocument(encode(doc)))
+    evaluator = PathEvaluator(compile_path(path))
+    fast, slow = _both_ways(adapter, evaluator)
+    assert fast == slow, (path, doc)
+
+
+@settings(max_examples=150, deadline=None)
+@given(doc=_DOCUMENTS, path=_PATHS)
+def test_supported_paths_actually_compile(doc, path):
+    """Guard against the fast path silently rotting: every generated
+    path shape above is inside the VM's supported subset, so the
+    compiler must produce a program (the differential test would be
+    vacuous otherwise)."""
+    program = compile_nav(compile_path(path))
+    assert program is not None, path
+
+
+@settings(max_examples=150, deadline=None)
+@given(doc=_DOCUMENTS, path=_PATHS)
+def test_navigate_values_match(doc, path):
+    """Materialized values agree too (exercises the scalar/subtree
+    decode that follows navigation)."""
+    adapter = OsonAdapter(OsonDocument(encode(doc)))
+    evaluator = PathEvaluator(compile_path(path))
+    previous = set_navigation_enabled(False)
+    try:
+        slow = evaluator.values(adapter)
+    finally:
+        set_navigation_enabled(previous)
+    fast = evaluator.values(adapter)
+    assert fast == slow, (path, doc)
+
+
+def test_unsupported_shapes_fall_back():
+    """Strict mode, descendants, wildcards members and item methods stay
+    on the DOM evaluator (compile_nav returns None) — and both paths
+    still agree there because they are the same code."""
+    for text in ("strict $.a.b", "$..a", "$.*", "$.a.size()",
+                 "$.a.type()"):
+        assert compile_nav(compile_path(text)) is None, text
