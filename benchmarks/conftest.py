@@ -28,6 +28,11 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 #: where the machine-readable results land
 RESULTS_PATH = os.environ.get("REPRO_BENCH_RESULTS", "BENCH_results.json")
 
+#: where the observability exports land (CI uploads both next to
+#: BENCH_results.json; ``python -m repro.tools.obs`` renders them)
+OBS_TRACE_PATH = os.environ.get("REPRO_OBS_TRACE", "OBS_trace.json")
+OBS_METRICS_PATH = os.environ.get("REPRO_OBS_METRICS", "OBS_metrics.json")
+
 
 def scaled(count: int, minimum: int = 1) -> int:
     return max(minimum, int(count * SCALE))
@@ -72,8 +77,30 @@ def _write_results() -> None:
     print(f"\nbenchmark results written to {RESULTS_PATH}", file=sys.stderr)
 
 
+def _write_obs_exports() -> None:
+    """Dump the session's trace ring and metrics registry.
+
+    Spans drained by individual tests are gone by design; whatever is
+    left in the ring (e.g. the traced Figure 3 pass from
+    ``test_obs_overhead.py``) becomes the artifact.  Both payloads are
+    schema-validated by ``python -m repro.tools.obs validate`` in CI.
+    """
+    from repro.obs import export_traces
+    from repro.obs.metrics import snapshot_metrics
+
+    with open(OBS_TRACE_PATH, "w", encoding="utf-8") as fh:
+        json.dump(export_traces(drain=False), fh, indent=2)
+        fh.write("\n")
+    with open(OBS_METRICS_PATH, "w", encoding="utf-8") as fh:
+        json.dump(snapshot_metrics(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"observability exports written to {OBS_TRACE_PATH} and "
+          f"{OBS_METRICS_PATH}", file=sys.stderr)
+
+
 def pytest_sessionfinish(session, exitstatus):
     _write_results()
+    _write_obs_exports()
 
 
 _REPORTED = set()

@@ -71,6 +71,8 @@ class Diagnostic:
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
+        if self.context:
+            out["context"] = dict(self.context)
         return out
 
 

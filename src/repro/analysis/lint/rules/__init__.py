@@ -15,7 +15,7 @@ from repro.analysis.lint.rules.exceptions import (
     RaiseBuiltinRule,
     SilentExceptRule,
 )
-from repro.analysis.lint.rules.hotpath import DomMaterializeRule
+from repro.analysis.lint.rules.hotpath import DirectTimeRule, DomMaterializeRule
 from repro.analysis.lint.rules.imports import UnusedImportRule
 
 ALL_RULES = [
@@ -28,12 +28,14 @@ ALL_RULES = [
     UnusedImportRule(),
     AssertRule(),
     DomMaterializeRule(),
+    DirectTimeRule(),
 ]
 
 __all__ = [
     "ALL_RULES",
     "AssertRule",
     "BroadExceptRule",
+    "DirectTimeRule",
     "DomMaterializeRule",
     "ExhaustiveDispatchRule",
     "MutableDefaultRule",

@@ -58,3 +58,46 @@ class DomMaterializeRule(LintRule):
                     "the image instead, or justify with "
                     "# lint: ignore[dom-materialize] <why>",
                     node)
+
+
+class DirectTimeRule(LintRule):
+    """Instrumented modules must take timestamps through the tracer.
+
+    Every module wired into :mod:`repro.obs` reports wall time through
+    span records, and EXPLAIN ANALYZE diffs those records — a direct
+    ``time.perf_counter()`` (or any other ``time.*`` call) in one of
+    these modules produces measurements the trace export cannot see and
+    silently diverges from the project clock
+    (:data:`repro.obs.trace.monotonic`).  Sleeping in a hot path is
+    worse still.  Only ``repro/obs`` itself may touch :mod:`time`.
+    """
+
+    rule_id = "direct-time"
+    description = ("instrumented modules must use repro.obs.trace."
+                   "monotonic, never time.* directly")
+    scopes = ("repro/engine/executor", "repro/engine/query",
+              "repro/sqljson/json_table", "repro/sqljson/operators",
+              "repro/core/oson/navigate", "repro/core/oson/cache",
+              "repro/storage/log", "repro/storage/recovery",
+              "repro/imc/store")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and \
+                    isinstance(node.value, ast.Name) and \
+                    node.value.id == "time":
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    f"direct time.{node.attr} in an instrumented module; "
+                    "use repro.obs.trace.monotonic (or a span) so the "
+                    "measurement lands in the trace export",
+                    node)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                names = [a.name for a in node.names]
+                module = getattr(node, "module", None)
+                if "time" in names or module == "time":
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        "instrumented modules must not import time; "
+                        "repro.obs.trace.monotonic is the project clock",
+                        node)

@@ -35,7 +35,7 @@ import struct
 from decimal import Decimal, InvalidOperation
 from typing import List, Optional
 
-from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.diagnostics import Diagnostic, Severity, has_errors
 from repro.core.oson import constants as c
 from repro.core.oson.hashing import field_name_hash
 
@@ -66,9 +66,11 @@ class _OsonVerifier:
         self.diagnostics.append(Diagnostic(rule, message, Severity.ERROR,
                                            offset=offset))
 
-    def warn(self, rule: str, message: str, offset: int) -> None:
+    def warn(self, rule: str, message: str, offset: int,
+             context: Optional[dict] = None) -> None:
         self.diagnostics.append(Diagnostic(rule, message, Severity.WARNING,
-                                           offset=offset))
+                                           offset=offset,
+                                           context=context or {}))
 
     # -- driver ------------------------------------------------------------
 
@@ -203,16 +205,27 @@ class _OsonVerifier:
                 lo, hi = extent
                 for i in range(lo, hi):
                     tree_mask[i] = 1
-        slack = tree_mask.count(0)
-        if slack and not self.diagnostics:
-            self.warn("oson.tree.slack",
-                      f"{slack} tree bytes not referenced by any node "
-                      "reachable from the root", self.tree_start)
-        vslack = value_mask.count(0)
-        if vslack and not self.diagnostics:
-            self.warn("oson.value.slack",
-                      f"{vslack} value bytes not referenced by any scalar",
-                      self.value_start)
+        # Slack is a *diagnostic*, never an error: in-place partial
+        # updates legitimately strand bytes (a grown scalar is rewritten
+        # at the buffer end and its old slot goes dead), so partially-
+        # updated images must stay accepted.  Report it whenever the walk
+        # completed — only prior ERRORs make the coverage masks
+        # unreliable (the walk bails out of damaged subtrees, leaving
+        # reachable bytes unmarked); earlier WARNINGs must not suppress
+        # the report.
+        if not has_errors(self.diagnostics):
+            slack = tree_mask.count(0)
+            if slack:
+                self.warn("oson.tree.slack",
+                          f"{slack} tree bytes not referenced by any node "
+                          "reachable from the root", self.tree_start,
+                          context={"wasted_bytes": slack})
+            vslack = value_mask.count(0)
+            if vslack:
+                self.warn("oson.value.slack",
+                          f"{vslack} value bytes not referenced by any "
+                          "scalar", self.value_start,
+                          context={"wasted_bytes": vslack})
 
     def check_node(self, node, tree_len, value_len, tree_mask, value_mask,
                    check_field_ids, stack):

@@ -5,6 +5,9 @@ document/adapter cache, the interned dictionary-segment cache, the
 field-id resolution look-back — registers a :class:`CacheCounters`
 record here, so benchmarks and the ``BENCH_results.json`` emitter can
 report hit rates for one run without reaching into each subsystem.
+The whole registry also feeds the unified observability export: it is
+registered as the ``cache_counters`` provider section of
+:func:`repro.obs.metrics.snapshot_metrics`.
 
 :class:`BoundedCache` is the shared bounded-LRU building block: an
 insertion-capped ordered map that counts hits, misses and evictions and
@@ -13,24 +16,60 @@ baseline that way).  :class:`IdentityCache` is the variant keyed by
 object identity for unhashable or large keys (raw document buffers): it
 pins a strong reference to the key object so a recycled ``id()`` can
 never alias a dead key.
+
+**Thread safety.**  Tracing hooks and future sharded executors probe
+these caches from worker threads, so every mutation is serialized:
+
+* registry lookups (``counters_for`` / ``cache_named``) take a lock-free
+  dict-read fast path and fall into a double-checked locked insert only
+  on first registration — the unsynchronized check-then-insert this code
+  used to do could register two records for one name and silently drop
+  half the tallies;
+* counter increments go through locked ``record_*`` methods (a bare
+  ``hits += 1`` is a read-modify-write the GIL may interleave);
+* ``get``/``put``/``clear`` hold the cache's lock for their whole
+  critical section — an LRU probe mutates the map (``move_to_end``), so
+  there is no safe lock-free read of the entries themselves.  The only
+  lock-free read on the probe path is the ``enabled`` flag check.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Iterator, Optional
 
+from repro.obs import metrics as _obs_metrics
+
 
 class CacheCounters:
-    """Hit/miss/eviction tally for one named cache."""
+    """Hit/miss/eviction tally for one named cache.
 
-    __slots__ = ("name", "hits", "misses", "evictions")
+    Increments must go through the ``record_*`` methods, which serialize
+    under the record's lock; the attributes stay public for reads and
+    for single-threaded test setup.
+    """
+
+    __slots__ = ("name", "hits", "misses", "evictions", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lock = threading.Lock()
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
+    def record_eviction(self) -> None:
+        with self._lock:
+            self.evictions += 1
 
     @property
     def lookups(self) -> int:
@@ -41,9 +80,10 @@ class CacheCounters:
         return self.hits / total if total else 0.0
 
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def snapshot(self) -> Dict[str, Any]:
         return {
@@ -58,31 +98,41 @@ class CacheCounters:
                 f"misses={self.misses}, evictions={self.evictions})")
 
 
+#: guards first registration in both registries below; steady-state
+#: lookups read the dicts without it
+_REGISTRY_LOCK = threading.Lock()
+
 #: global registry: cache name -> counters record
 _REGISTRY: Dict[str, CacheCounters] = {}
 
 
 def counters_for(name: str) -> CacheCounters:
     """Return (registering on first use) the counters record for ``name``."""
-    record = _REGISTRY.get(name)
+    record = _REGISTRY.get(name)  # lock-free fast path
     if record is None:
-        record = CacheCounters(name)
-        _REGISTRY[name] = record
+        with _REGISTRY_LOCK:
+            record = _REGISTRY.get(name)  # double-checked under the lock
+            if record is None:
+                record = CacheCounters(name)
+                _REGISTRY[name] = record
     return record
 
 
 def registered() -> Iterator[CacheCounters]:
-    return iter(_REGISTRY.values())
+    with _REGISTRY_LOCK:
+        records = list(_REGISTRY.values())
+    return iter(records)
 
 
 def snapshot_all() -> Dict[str, Dict[str, Any]]:
     """One JSON-ready dict of every registered cache's counters."""
-    return {name: record.snapshot()
-            for name, record in sorted(_REGISTRY.items())}
+    with _REGISTRY_LOCK:
+        items = sorted(_REGISTRY.items())
+    return {name: record.snapshot() for name, record in items}
 
 
 def reset_all() -> None:
-    for record in _REGISTRY.values():
+    for record in registered():
         record.reset()
 
 
@@ -101,8 +151,9 @@ def set_caches_enabled(enabled: bool, names: Optional[Any] = None
                        ) -> Dict[str, bool]:
     """Enable/disable registered caches; returns the previous ``enabled``
     flags so callers can restore them (``names=None`` means all)."""
-    selected = _CACHES if names is None else {
-        name: _CACHES[name] for name in names if name in _CACHES}
+    with _REGISTRY_LOCK:
+        selected = dict(_CACHES) if names is None else {
+            name: _CACHES[name] for name in names if name in _CACHES}
     previous = {name: cache.enabled for name, cache in selected.items()}
     for cache in selected.values():
         cache.enabled = enabled
@@ -116,6 +167,11 @@ def restore_caches_enabled(previous: Dict[str, bool]) -> None:
             cache.enabled = enabled
 
 
+def _register_cache(name: str, cache: Any) -> None:
+    with _REGISTRY_LOCK:
+        _CACHES[name] = cache
+
+
 class BoundedCache:
     """A bounded LRU map with registered counters.
 
@@ -125,9 +181,12 @@ class BoundedCache:
     into a pass-through (every get misses, puts are dropped) without
     unregistering its counters — the ablation benchmarks flip this to
     measure the uncached baseline.
+
+    All entry access is serialized under one per-cache lock (see the
+    module docstring); the ``enabled`` check stays outside it.
     """
 
-    __slots__ = ("counters", "maxsize", "enabled", "_entries")
+    __slots__ = ("counters", "maxsize", "enabled", "_entries", "_lock")
 
     def __init__(self, name: str, maxsize: int) -> None:
         if maxsize <= 0:
@@ -136,38 +195,42 @@ class BoundedCache:
         self.maxsize = maxsize
         self.enabled = True
         self._entries: OrderedDict[Any, Any] = OrderedDict()
-        _CACHES[name] = self
+        self._lock = threading.Lock()
+        _register_cache(name, self)
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, key: Any) -> Optional[Any]:
         if not self.enabled:
-            self.counters.misses += 1
+            self.counters.record_miss()
             return None
-        entry = self._entries.get(key)
-        if entry is None:
-            self.counters.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.counters.hits += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.counters.record_miss()
+                return None
+            self._entries.move_to_end(key)
+        self.counters.record_hit()
         return entry
 
     def put(self, key: Any, value: Any) -> None:
         if not self.enabled:
             return
-        entries = self._entries
-        if key in entries:
-            entries.move_to_end(key)
+        with self._lock:
+            entries = self._entries
+            if key in entries:
+                entries.move_to_end(key)
+                entries[key] = value
+                return
+            if len(entries) >= self.maxsize:
+                entries.popitem(last=False)
+                self.counters.record_eviction()
             entries[key] = value
-            return
-        if len(entries) >= self.maxsize:
-            entries.popitem(last=False)
-            self.counters.evictions += 1
-        entries[key] = value
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 class IdentityCache:
@@ -179,9 +242,11 @@ class IdentityCache:
     pinned reference keeps the id from being recycled while the entry
     lives; a stale-id probe can therefore never return another object's
     value (the ``is`` check is structural, not defensive).
+
+    Locking mirrors :class:`BoundedCache`.
     """
 
-    __slots__ = ("counters", "maxsize", "enabled", "_entries")
+    __slots__ = ("counters", "maxsize", "enabled", "_entries", "_lock")
 
     def __init__(self, name: str, maxsize: int) -> None:
         if maxsize <= 0:
@@ -190,37 +255,50 @@ class IdentityCache:
         self.maxsize = maxsize
         self.enabled = True
         self._entries: OrderedDict[int, tuple[Any, Any]] = OrderedDict()
-        _CACHES[name] = self
+        self._lock = threading.Lock()
+        _register_cache(name, self)
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, obj: Any) -> Optional[Any]:
         if not self.enabled:
-            self.counters.misses += 1
+            self.counters.record_miss()
             return None
         key = id(obj)
-        entry = self._entries.get(key)
-        if entry is None or entry[0] is not obj:
-            self.counters.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.counters.hits += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry[0] is not obj:
+                self.counters.record_miss()
+                return None
+            self._entries.move_to_end(key)
+        self.counters.record_hit()
         return entry[1]
 
     def put(self, obj: Any, value: Any) -> None:
         if not self.enabled:
             return
-        entries = self._entries
         key = id(obj)
-        if key in entries:
-            entries.move_to_end(key)
+        with self._lock:
+            entries = self._entries
+            if key in entries:
+                entries.move_to_end(key)
+                entries[key] = (obj, value)
+                return
+            if len(entries) >= self.maxsize:
+                entries.popitem(last=False)
+                self.counters.record_eviction()
             entries[key] = (obj, value)
-            return
-        if len(entries) >= self.maxsize:
-            entries.popitem(last=False)
-            self.counters.evictions += 1
-        entries[key] = (obj, value)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+
+def _counters_provider() -> Dict[str, Dict[str, Any]]:
+    return snapshot_all()
+
+
+# unify the cache registry into the observability export: one
+# snapshot_metrics() call reports engine metrics AND cache hit rates
+_obs_metrics.register_provider("cache_counters", _counters_provider)

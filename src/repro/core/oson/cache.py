@@ -19,6 +19,7 @@ from typing import Optional, Union
 from repro.core.counters import IdentityCache
 from repro.core.oson.decoder import OsonDocument
 from repro.core.oson.hashing import field_name_hash
+from repro.obs import metrics as _metrics
 
 #: sentinel distinguishing "not cached" from "cached as absent"
 _UNRESOLVED = -2
@@ -91,6 +92,10 @@ class FieldIdResolver:
 #: per query), and header+dictionary parsing per touch used to dominate
 _DOCUMENTS = IdentityCache("oson.document", maxsize=1024)
 
+#: header+dictionary parses actually performed (the cost the document
+#: cache exists to avoid); EXPLAIN ANALYZE reports this per operator
+_DECODES = _metrics.counter("oson.document.decodes")
+
 
 def cached_document(data: Union[bytes, "OsonDocument"]) -> OsonDocument:
     """An :class:`OsonDocument` over ``data``, cached by buffer identity.
@@ -102,9 +107,11 @@ def cached_document(data: Union[bytes, "OsonDocument"]) -> OsonDocument:
     if isinstance(data, OsonDocument):
         return data
     if type(data) is not bytes:
+        _DECODES.inc()
         return OsonDocument(bytes(data))
     doc = _DOCUMENTS.get(data)
     if doc is None:
+        _DECODES.inc()
         doc = OsonDocument(data)
         _DOCUMENTS.put(data, doc)
     return doc

@@ -39,11 +39,18 @@ from repro.core.oson import constants as c
 from repro.core.oson.cache import FieldIdResolver
 from repro.core.oson.decoder import OsonDocument
 from repro.errors import OsonError
+from repro.obs import metrics as _metrics
 
 OP_FIELD = "field"
 OP_INDEX = "index"
 OP_WILD = "wild"
 OP_FILTER = "filter"
+
+#: EXPLAIN ANALYZE signal: how often the single-live-node chain walk
+#: handled a program vs. falling back to the general list interpreter
+#: (lax unnesting forces the fallback even on chain-shaped programs)
+_CHAIN_WALKS = _metrics.counter("oson.navigate.chain_walks")
+_GENERAL_RUNS = _metrics.counter("oson.navigate.general_runs")
 
 #: module-level kill switch for the before/after ablation benchmarks:
 #: with navigation disabled every path evaluation takes the DOM-adapter
@@ -119,7 +126,9 @@ def navigate(doc: OsonDocument, program: NavProgram,
     if chain is not None:
         result = _walk_chain(doc, chain, node, resolver)
         if result is not _UNNEST:
+            _CHAIN_WALKS.inc()
             return result
+    _GENERAL_RUNS.inc()
     return _run(doc, program.ops, [node], resolver)
 
 

@@ -25,6 +25,7 @@ from typing import Any, Iterable, Iterator, Optional, Sequence
 import numpy as np
 
 from repro.core.counters import counters_for
+from repro.obs import metrics as _metrics
 from repro.engine.expressions import (
     Aggregate,
     Aliased,
@@ -235,6 +236,12 @@ _EXACT_SUM_INT = 2 ** 31
 
 _VECTOR_OPS = frozenset(kernels._COMPARATORS)
 
+#: morsel shape observability: batch count plus a fixed-bucket row-count
+#: distribution (EXPLAIN ANALYZE uses these to show batch vs row mode)
+_MORSEL_BATCHES = _metrics.counter("engine.morsel.batches")
+_MORSEL_ROWS = _metrics.histogram(
+    "engine.morsel.batch_rows", boundaries=(16, 64, 256, 1024))
+
 
 def _morsels(rows: Iterable[Row], size: int = MORSEL_SIZE
              ) -> Iterator[list[Row]]:
@@ -242,9 +249,13 @@ def _morsels(rows: Iterable[Row], size: int = MORSEL_SIZE
     for row in rows:
         batch.append(row)
         if len(batch) >= size:
+            _MORSEL_BATCHES.inc()
+            _MORSEL_ROWS.observe(len(batch))
             yield batch
             batch = []
     if batch:
+        _MORSEL_BATCHES.inc()
+        _MORSEL_ROWS.observe(len(batch))
         yield batch
 
 
@@ -364,12 +375,12 @@ def filter_rows_morsel(rows: Iterable[Row],
     for morsel in _morsels(rows):
         mask = _vector_mask(conjuncts, morsel) if conjuncts else None
         if mask is not None:
-            _FILTER_DISPATCH.hits += 1
+            _FILTER_DISPATCH.record_hit()
             for row, keep in zip(morsel, mask):
                 if keep:
                     yield row
         else:
-            _FILTER_DISPATCH.misses += 1
+            _FILTER_DISPATCH.record_miss()
             for row in morsel:
                 if fn(row) is True:
                     yield row
@@ -543,9 +554,9 @@ def group_by_morsel(rows: Iterable[Row],
     for morsel in _morsels(rows):
         if plan is not None and _fold_group_morsel(plan, morsel, groups,
                                                    aggregates, key_output):
-            _GROUP_DISPATCH.hits += 1
+            _GROUP_DISPATCH.record_hit()
             continue
-        _GROUP_DISPATCH.misses += 1
+        _GROUP_DISPATCH.record_miss()
         for row in morsel:
             key = tuple(fn(row) for fn in key_fns)
             entry = _group_entry(

@@ -49,9 +49,9 @@ class Expression:
         built the first time an executor hoists it out of its row loop."""
         fn = self.__dict__.get("_compiled_fn")
         if fn is not None:
-            _COMPILE.hits += 1
+            _COMPILE.record_hit()
             return fn
-        _COMPILE.misses += 1
+        _COMPILE.record_miss()
         fn = self.compile()
         self.__dict__["_compiled_fn"] = fn
         return fn

@@ -55,6 +55,20 @@ def _pushable_conjuncts(expression: Expression) -> list[tuple[str, str, list]]:
         return [(expression.operand.name, "=", list(expression.values))]
     return []
 
+def _cache_deltas(before: dict, after: dict) -> dict:
+    """Non-zero per-cache hit/miss/eviction changes between two
+    :func:`repro.core.counters.snapshot_all` snapshots."""
+    deltas: dict = {}
+    for name, snap in after.items():
+        prior = before.get(name, {})
+        changed = {key: snap.get(key, 0) - prior.get(key, 0)
+                   for key in ("hits", "misses", "evictions")}
+        changed = {key: value for key, value in changed.items() if value}
+        if changed:
+            deltas[name] = changed
+    return deltas
+
+
 Row = dict
 Source = Union["Query", Iterable[Row], Callable[[], Iterator[Row]]]
 
@@ -212,35 +226,39 @@ class Query:
         if rows is None:
             rows = _iterate_source(self._source)
         for op, args in self._ops:
-            if op == "where":
-                rows = (executor.filter_rows_morsel(rows, args[0]) if morsel
-                        else executor.filter_rows(rows, args[0]))
-            elif op == "select":
-                rows = (executor.project_morsel(rows, args[0]) if morsel
-                        else executor.project(rows, args[0]))
-            elif op == "join":
-                other, left_key, right_key, how = args
-                join = (executor.hash_join_morsel if morsel
-                        else executor.hash_join)
-                rows = join(rows, _iterate_source(other),
-                            left_key, right_key, how)
-            elif op == "group_by":
-                rows = (executor.group_by_morsel(rows, args[0], args[1])
-                        if morsel else executor.group_by(rows, args[0],
-                                                         args[1]))
-            elif op == "window":
-                rows = iter(executor.window(rows, args[0], args[1], args[2]))
-            elif op == "order_by":
-                rows = iter(executor.sort(rows, args[0]))
-            elif op == "distinct":
-                rows = executor.distinct(rows)
-            elif op == "limit":
-                rows = executor.limit(rows, args[0])
-            elif op == "union_all":
-                rows = executor.union_all([rows, _iterate_source(args[0])])
-            else:
-                raise QueryError(f"unknown operation {op!r}")
+            rows = self._apply_op(rows, op, args, morsel)
         return rows
+
+    def _apply_op(self, rows: Iterator[Row], op: str, args: tuple,
+                  morsel: bool) -> Iterator[Row]:
+        """Apply one pipeline operation to a row stream (shared by lazy
+        execution and the stage-at-a-time profiler)."""
+        if op == "where":
+            return (executor.filter_rows_morsel(rows, args[0]) if morsel
+                    else executor.filter_rows(rows, args[0]))
+        if op == "select":
+            return (executor.project_morsel(rows, args[0]) if morsel
+                    else executor.project(rows, args[0]))
+        if op == "join":
+            other, left_key, right_key, how = args
+            join = (executor.hash_join_morsel if morsel
+                    else executor.hash_join)
+            return join(rows, _iterate_source(other),
+                        left_key, right_key, how)
+        if op == "group_by":
+            return (executor.group_by_morsel(rows, args[0], args[1])
+                    if morsel else executor.group_by(rows, args[0], args[1]))
+        if op == "window":
+            return iter(executor.window(rows, args[0], args[1], args[2]))
+        if op == "order_by":
+            return iter(executor.sort(rows, args[0]))
+        if op == "distinct":
+            return executor.distinct(rows)
+        if op == "limit":
+            return executor.limit(rows, args[0])
+        if op == "union_all":
+            return executor.union_all([rows, _iterate_source(args[0])])
+        raise QueryError(f"unknown operation {op!r}")
 
     def _pushdown_source(self) -> Optional[Iterator[Row]]:
         """Predicate pushdown onto JSON_TABLE views (paper section 6.3).
@@ -269,32 +287,151 @@ class Query:
 
     # -- introspection ----------------------------------------------------------
 
-    def explain(self) -> str:
-        """Human-readable logical plan, one operator per line."""
-        source_name = getattr(self._source, "name", type(self._source).__name__)
-        lines = [f"SCAN {source_name}"]
-        for op, args in self._ops:
-            if op == "where":
-                lines.append(f"FILTER {args[0].sql()}")
-            elif op == "select":
-                rendered = ", ".join(f"{e.sql()} AS {n}" for n, e in args[0])
-                lines.append(f"PROJECT {rendered}")
-            elif op == "join":
-                lines.append(f"HASH JOIN ({args[3]}) ON {args[1]} = {args[2]}")
-            elif op == "group_by":
-                keys = ", ".join(n for n, _e in args[0]) or "()"
-                aggs = ", ".join(f"{a.sql()} AS {alias}" for alias, a in args[1])
-                lines.append(f"HASH GROUP BY {keys} AGG {aggs}")
-            elif op == "window":
-                lines.append(f"WINDOW {args[0]}")
-            elif op == "order_by":
-                keys = ", ".join(
-                    e.sql() + (" DESC" if d else "") for e, d in args[0])
-                lines.append(f"SORT {keys}")
-            elif op == "distinct":
-                lines.append("DISTINCT")
-            elif op == "limit":
-                lines.append(f"LIMIT {args[0]}")
-            elif op == "union_all":
-                lines.append("UNION ALL")
+    #: operations with distinct morsel-batched implementations; the rest
+    #: run the same code in either mode
+    _BATCHED_OPS = frozenset(("where", "select", "join", "group_by"))
+
+    def _op_label(self, op: str, args: tuple) -> str:
+        if op == "where":
+            return f"FILTER {args[0].sql()}"
+        if op == "select":
+            rendered = ", ".join(f"{e.sql()} AS {n}" for n, e in args[0])
+            return f"PROJECT {rendered}"
+        if op == "join":
+            return f"HASH JOIN ({args[3]}) ON {args[1]} = {args[2]}"
+        if op == "group_by":
+            keys = ", ".join(n for n, _e in args[0]) or "()"
+            aggs = ", ".join(f"{a.sql()} AS {alias}" for alias, a in args[1])
+            return f"HASH GROUP BY {keys} AGG {aggs}"
+        if op == "window":
+            return f"WINDOW {args[0]}"
+        if op == "order_by":
+            keys = ", ".join(
+                e.sql() + (" DESC" if d else "") for e, d in args[0])
+            return f"SORT {keys}"
+        if op == "distinct":
+            return "DISTINCT"
+        if op == "limit":
+            return f"LIMIT {args[0]}"
+        if op == "union_all":
+            return "UNION ALL"
+        return op.upper()
+
+    def profile(self) -> dict:
+        """Execute with per-operator attribution (the EXPLAIN ANALYZE
+        engine).
+
+        Runs the pipeline one stage at a time with materialized
+        intermediates, so each stage's wall time, row counts, metric
+        deltas, and cache hit/miss deltas are attributed exactly to the
+        operator that caused them (lazy chaining would smear upstream
+        work into whichever stage pulled the rows).  Tracing is
+        force-enabled for the duration so the query's span tree lands in
+        the ring buffer for :func:`repro.obs.trace.export_traces`.
+
+        Returns ``{"mode", "elapsed_ms", "rows", "stages": [...]}``;
+        each stage carries ``label``, ``op``, ``mode``, ``rows_in``,
+        ``rows_out``, ``elapsed_ms``, ``metrics`` (non-zero metric
+        deltas), and ``caches`` (non-zero cache-counter deltas).
+        """
+        from repro.core import counters as _cache_counters
+        from repro.obs import metrics as _obs_metrics
+        from repro.obs import trace as _obs_trace
+
+        morsel = (self._mode or _DEFAULT_MODE) == "morsel"
+        mode_name = "morsel" if morsel else "row"
+        source_name = getattr(self._source, "name",
+                              type(self._source).__name__)
+        stages: list[dict] = []
+
+        def run_stage(label: str, op: str, produce) -> list[Row]:
+            metrics_before = _obs_metrics.snapshot_metrics()
+            caches_before = _cache_counters.snapshot_all()
+            start = _obs_trace.monotonic()
+            with _obs_trace.span("operator", op=label) as stage_span:
+                out = list(produce())
+                stage_span.record("rows_out", len(out))
+            elapsed = (_obs_trace.monotonic() - start) * 1000.0
+            stage_mode = (mode_name if op == "scan"
+                          or op in self._BATCHED_OPS else "row")
+            stages.append({
+                "label": label,
+                "op": op,
+                "mode": stage_mode,
+                "rows_in": stages[-1]["rows_out"] if stages else None,
+                "rows_out": len(out),
+                "elapsed_ms": elapsed,
+                "metrics": _obs_metrics.metric_deltas(
+                    metrics_before, _obs_metrics.snapshot_metrics()),
+                "caches": _cache_deltas(caches_before,
+                                        _cache_counters.snapshot_all()),
+            })
+            return out
+
+        previous_tracing = _obs_trace.set_tracing_enabled(True)
+        start = _obs_trace.monotonic()
+        try:
+            with _obs_trace.span("query", mode=mode_name,
+                                 source=source_name) as query_span:
+                def scan():
+                    pushed = self._pushdown_source()
+                    if pushed is not None:
+                        stages_label[0] = f"SCAN {source_name} (pushdown)"
+                        return pushed
+                    return _iterate_source(self._source)
+
+                stages_label = [f"SCAN {source_name}"]
+                rows = run_stage(stages_label[0], "scan", scan)
+                stages[-1]["label"] = stages_label[0]
+                for op, args in self._ops:
+                    current = rows
+                    rows = run_stage(
+                        self._op_label(op, args), op,
+                        lambda: self._apply_op(iter(current), op, args,
+                                               morsel))
+                query_span.record("rows_out", len(rows))
+        finally:
+            _obs_trace.set_tracing_enabled(previous_tracing)
+        total = (_obs_trace.monotonic() - start) * 1000.0
+        return {"mode": mode_name, "elapsed_ms": total,
+                "rows": rows, "stages": stages}
+
+    def explain(self, analyze: bool = False) -> str:
+        """Human-readable plan, one operator per line.
+
+        With ``analyze=True`` the query is executed via :meth:`profile`
+        and each line carries the stage's observed rows in/out, wall
+        time, and execution mode, followed by indented non-zero metric
+        and cache-counter deltas.
+        """
+        if not analyze:
+            source_name = getattr(self._source, "name",
+                                  type(self._source).__name__)
+            lines = [f"SCAN {source_name}"]
+            lines.extend(self._op_label(op, args) for op, args in self._ops)
+            return "\n".join(lines)
+        result = self.profile()
+        lines = [f"EXPLAIN ANALYZE (mode={result['mode']}, "
+                 f"rows={len(result['rows'])}, "
+                 f"total={result['elapsed_ms']:.3f}ms)"]
+        for stage in result["stages"]:
+            rows_in = ("" if stage["rows_in"] is None
+                       else f"rows_in={stage['rows_in']} ")
+            lines.append(
+                f"{stage['label']}  "
+                f"[{rows_in}rows_out={stage['rows_out']} "
+                f"{stage['elapsed_ms']:.3f}ms mode={stage['mode']}]")
+            for name in sorted(stage["metrics"]):
+                delta = stage["metrics"][name]
+                if isinstance(delta, dict):  # histogram delta
+                    rendered = (f"{delta['count']} obs / "
+                                f"{delta['sum']:.3f} total")
+                else:
+                    rendered = str(delta)
+                lines.append(f"    metric {name}: {rendered}")
+            for name in sorted(stage["caches"]):
+                delta = stage["caches"][name]
+                rendered = " ".join(f"{k}=+{v}" for k, v in
+                                    sorted(delta.items()))
+                lines.append(f"    cache {name}: {rendered}")
         return "\n".join(lines)

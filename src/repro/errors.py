@@ -13,6 +13,28 @@ class ReproError(Exception):
     """Base class for every error raised by the repro library."""
 
 
+class JsonSerializeError(ReproError):
+    """A Python value cannot be represented as JSON text.
+
+    Raised by :func:`repro.jsontext.dumps` for non-finite floats
+    (NaN/Infinity have no JSON literal), non-string object keys, and
+    unsupported Python types.  ``json_type`` names the offending Python
+    type when the problem is a type rather than a value.
+    """
+
+    def __init__(self, message: str, json_type: "str | None" = None) -> None:
+        self._raw_message = message
+        if json_type is not None:
+            message = f"{message} (python type {json_type})"
+        super().__init__(message)
+        self.json_type = json_type
+
+    def __reduce__(self):
+        # keep json_type across pickling and avoid doubling the
+        # "(python type T)" suffix — same contract as JsonParseError
+        return (type(self), (self._raw_message, self.json_type))
+
+
 class JsonParseError(ReproError):
     """Malformed JSON text.
 

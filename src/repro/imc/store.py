@@ -13,6 +13,13 @@ from typing import Optional, Sequence
 from repro.engine.table import Table
 from repro.errors import CatalogError
 from repro.imc.columns import ColumnVector
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+#: population runs and the store's resident vector bytes (a gauge:
+#: evictions move it back down)
+_POPULATES = _metrics.counter("imc.populates")
+_RESIDENT_BYTES = _metrics.gauge("imc.resident_bytes")
 
 
 class IMCStore:
@@ -33,12 +40,17 @@ class IMCStore:
         for name in names:
             table.column(name)  # raises CatalogError for unknown columns
         vectors: list[ColumnVector] = []
-        materialized = list(table.scan())  # computes virtual columns
-        for name in names:
-            values = [row.get(name) for row in materialized]
-            vector = ColumnVector.from_values(name, values)
-            self._segments[(table.name, name)] = vector
-            vectors.append(vector)
+        with _trace.span("imc.populate", table=table.name) as s:
+            materialized = list(table.scan())  # computes virtual columns
+            for name in names:
+                values = [row.get(name) for row in materialized]
+                vector = ColumnVector.from_values(name, values)
+                self._segments[(table.name, name)] = vector
+                vectors.append(vector)
+            s.record("rows", len(materialized))
+            s.record("columns", len(names))
+        _POPULATES.inc()
+        _RESIDENT_BYTES.set(self.memory_bytes())
         return vectors
 
     def column(self, table_name: str, column_name: str) -> ColumnVector:
@@ -55,9 +67,10 @@ class IMCStore:
     def evict(self, table_name: str, column_name: Optional[str] = None) -> None:
         if column_name is not None:
             self._segments.pop((table_name, column_name), None)
-            return
-        for key in [k for k in self._segments if k[0] == table_name]:
-            del self._segments[key]
+        else:
+            for key in [k for k in self._segments if k[0] == table_name]:
+                del self._segments[key]
+        _RESIDENT_BYTES.set(self.memory_bytes())
 
     def memory_bytes(self) -> int:
         return sum(v.memory_bytes() for v in self._segments.values())

@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 from typing import Any
 
+from repro.errors import JsonSerializeError
+
 _ESCAPE_MAP = {
     '"': '\\"',
     "\\": "\\\\",
@@ -37,8 +39,7 @@ def _escape_string(value: str) -> str:
 
 def _format_number(value: float) -> str:
     if math.isnan(value) or math.isinf(value):
-        # lint: ignore[raise-builtin] mirrors the stdlib json.dumps contract
-        raise ValueError("JSON cannot represent NaN or Infinity")
+        raise JsonSerializeError("JSON cannot represent NaN or Infinity")
     if value == int(value) and abs(value) < 1e16:
         # keep a trailing ".0" so floats round-trip as floats
         return f"{value:.1f}"
@@ -75,8 +76,8 @@ def _emit(value: Any):
         first = True
         for key, item in value.items():
             if not isinstance(key, str):
-                # lint: ignore[raise-builtin] mirrors the stdlib json.dumps contract
-                raise TypeError(f"JSON object keys must be strings, got {type(key).__name__}")
+                raise JsonSerializeError("JSON object keys must be strings",
+                                         json_type=type(key).__name__)
             if not first:
                 yield ","
             first = False
@@ -94,8 +95,8 @@ def _emit(value: Any):
             yield from _emit(item)
         yield "]"
     else:
-        # lint: ignore[raise-builtin] mirrors the stdlib json.dumps contract
-        raise TypeError(f"cannot serialize {type(value).__name__} to JSON")
+        raise JsonSerializeError("cannot serialize value to JSON",
+                                 json_type=type(value).__name__)
 
 
 def _emit_pretty(value: Any, indent: int, depth: int):

@@ -1,0 +1,162 @@
+"""Published JSON schemas for obs exports, with a zero-dep validator.
+
+The trace and metrics export formats are part of the project's public
+surface: CI uploads them as artifacts, EXPERIMENTS.md tells readers how
+to line them up with ``BENCH_results.json``, and future sharding/async
+PRs report through the same shapes.  The schemas below are ordinary
+JSON-Schema documents (draft-07 subset); :func:`validate` implements
+exactly the subset the schemas use — ``type``, ``required``,
+``properties``, ``additionalProperties``, ``items``, ``enum``,
+``minimum`` — so no third-party dependency is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "TRACE_SCHEMA",
+    "validate",
+    "validate_metrics_export",
+    "validate_trace_export",
+]
+
+_SPAN_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["span_id", "name", "elapsed_ms"],
+    "properties": {
+        "span_id": {"type": "integer", "minimum": 1},
+        "name": {"type": "string"},
+        "elapsed_ms": {"type": "number", "minimum": 0},
+        "attrs": {"type": "object"},
+        "counters": {
+            "type": "object",
+            "additionalProperties": {"type": "number"},
+        },
+        "children": {"type": "array", "items": {"$ref": "#span"}},
+        "dropped_children": {"type": "integer", "minimum": 1},
+    },
+    "additionalProperties": False,
+}
+
+TRACE_SCHEMA: Dict[str, Any] = {
+    "$id": "repro.obs.trace/v1",
+    "type": "object",
+    "required": ["schema", "spans"],
+    "properties": {
+        "schema": {"enum": ["repro.obs.trace/v1"]},
+        "spans": {"type": "array", "items": {"$ref": "#span"}},
+    },
+    "additionalProperties": False,
+    "definitions": {"span": _SPAN_SCHEMA},
+}
+
+_INSTRUMENT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["type"],
+    "properties": {
+        "type": {"enum": ["counter", "gauge", "histogram"]},
+        "value": {"type": "number"},
+        "boundaries": {"type": "array", "items": {"type": "number"}},
+        "counts": {"type": "array", "items": {"type": "integer"}},
+        "sum": {"type": "number"},
+        "count": {"type": "integer", "minimum": 0},
+    },
+    "additionalProperties": False,
+}
+
+METRICS_SCHEMA: Dict[str, Any] = {
+    "$id": "repro.obs.metrics/v1",
+    "type": "object",
+    "required": ["schema", "metrics"],
+    "properties": {
+        "schema": {"enum": ["repro.obs.metrics/v1"]},
+        "metrics": {
+            "type": "object",
+            "additionalProperties": {"$ref": "#instrument"},
+        },
+        "providers": {"type": "object"},
+    },
+    "additionalProperties": False,
+    "definitions": {"instrument": _INSTRUMENT_SCHEMA},
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+#: internal ``$ref`` targets: "#name" -> schema fragment
+_REFS = {
+    "#span": _SPAN_SCHEMA,
+    "#instrument": _INSTRUMENT_SCHEMA,
+}
+
+
+def validate(value: Any, schema: Dict[str, Any],
+             path: str = "$") -> List[str]:
+    """Validate ``value`` against the supported JSON-Schema subset.
+
+    Returns a list of human-readable problems (empty = valid); never
+    raises on malformed input, mirroring the verifier contract of
+    :mod:`repro.analysis`.
+    """
+    problems: List[str] = []
+    ref = schema.get("$ref")
+    if ref is not None:
+        target = _REFS.get(ref)
+        if target is None:
+            return [f"{path}: unresolvable $ref {ref!r}"]
+        return validate(value, target, path)
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            problems.append(f"{path}: {value!r} not in {schema['enum']}")
+        return problems
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = _TYPES[expected]
+        if not isinstance(value, python_type) or (
+                expected in ("integer", "number")
+                and isinstance(value, bool)):
+            problems.append(
+                f"{path}: expected {expected}, got {type(value).__name__}")
+            return problems
+    minimum = schema.get("minimum")
+    if minimum is not None and isinstance(value, (int, float)) \
+            and value < minimum:
+        problems.append(f"{path}: {value} below minimum {minimum}")
+    if isinstance(value, dict):
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties")
+        for name in schema.get("required", ()):
+            if name not in value:
+                problems.append(f"{path}: missing required key {name!r}")
+        for key, item in value.items():
+            if key in properties:
+                problems.extend(validate(item, properties[key],
+                                         f"{path}.{key}"))
+            elif additional is False:
+                problems.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(additional, dict):
+                problems.extend(validate(item, additional,
+                                         f"{path}.{key}"))
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            problems.extend(validate(item, schema["items"],
+                                     f"{path}[{index}]"))
+    return problems
+
+
+def validate_trace_export(payload: Any) -> List[str]:
+    """Problems in a :func:`repro.obs.trace.export_traces` payload."""
+    return validate(payload, TRACE_SCHEMA)
+
+
+def validate_metrics_export(payload: Any) -> List[str]:
+    """Problems in a :func:`repro.obs.metrics.snapshot_metrics` payload."""
+    return validate(payload, METRICS_SCHEMA)

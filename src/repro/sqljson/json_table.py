@@ -35,6 +35,8 @@ from typing import Any, Iterator, Optional, Sequence, Union
 
 from repro.core.counters import BoundedCache
 from repro.errors import QueryError, ReproError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sqljson.adapters import SCALAR, OsonAdapter, adapter_for
 from repro.sqljson.operators import make_coercer
 from repro.sqljson.path import ast as path_ast
@@ -162,6 +164,12 @@ class _CompiledNode:
 #: excluded: the paper's TEXT cost model re-parses per operator.
 _ROW_CACHE = BoundedCache("sqljson.jsontable_rows", maxsize=4096)
 
+#: documents actually expanded (cache misses) and rows they produced;
+#: together with the ``sqljson.jsontable_rows`` cache counters these
+#: give EXPLAIN ANALYZE the DMDV effectiveness picture per operator
+_DOCS_EXPANDED = _metrics.counter("sqljson.jsontable.docs_expanded")
+_ROWS_PRODUCED = _metrics.counter("sqljson.jsontable.rows_produced")
+
 
 class JsonTable:
     """The JSON_TABLE virtual table over one JSON column."""
@@ -199,6 +207,9 @@ class JsonTable:
                 row = dict.fromkeys(self.column_names)
                 row.update(partial)
                 out.append(row)
+        _DOCS_EXPANDED.inc()
+        _ROWS_PRODUCED.inc(len(out))
+        _trace.current_span().record("jsontable_rows", len(out))
         if type(adapter) is OsonAdapter:
             # store a private copy: callers may mutate the rows they get
             _ROW_CACHE.put((id(self), id(adapter)),

@@ -20,6 +20,7 @@ from typing import Any, Optional
 
 from repro.errors import PathEvaluationError
 from repro.jsontext import dumps
+from repro.obs import metrics as _metrics
 from repro.sqljson.adapters import SCALAR, adapter_for
 from repro.sqljson.path.evaluator import _Computed, evaluator_for
 from repro.sqljson.path.parser import compile_path
@@ -28,6 +29,12 @@ from repro.sqljson.path.streaming import stream_exists, stream_select
 #: ``on_error`` behaviours
 NULL_ON_ERROR = "null"
 ERROR_ON_ERROR = "error"
+
+#: per-operator invocation counts for the unified metrics export
+_JSON_VALUE_CALLS = _metrics.counter("sqljson.operators.json_value")
+_JSON_QUERY_CALLS = _metrics.counter("sqljson.operators.json_query")
+_JSON_EXISTS_CALLS = _metrics.counter("sqljson.operators.json_exists")
+_TEXTCONTAINS_CALLS = _metrics.counter("sqljson.operators.json_textcontains")
 
 _RETURNING_RE = re.compile(r"^\s*(\w+)\s*(?:\(\s*(\d+)\s*\))?\s*$", re.IGNORECASE)
 
@@ -40,6 +47,7 @@ def json_value(data: Any, path: str, returning: Optional[str] = None,
     or selects more than one item — unless ``on_error="error"``, in which
     case those conditions raise :class:`~repro.errors.PathEvaluationError`.
     """
+    _JSON_VALUE_CALLS.inc()
     compiled = compile_path(path)
     try:
         if isinstance(data, str):
@@ -83,6 +91,7 @@ def json_query(data: Any, path: str, wrapper: bool = False,
     ``wrapper=False`` exactly one match must be a container.  ``as_text``
     serializes the result back to compact JSON text.
     """
+    _JSON_QUERY_CALLS.inc()
     compiled = compile_path(path)
     try:
         if isinstance(data, str):
@@ -113,6 +122,7 @@ def json_query(data: Any, path: str, wrapper: bool = False,
 
 def json_exists(data: Any, path: str) -> bool:
     """True if the path selects at least one item in the document."""
+    _JSON_EXISTS_CALLS.inc()
     compiled = compile_path(path)
     try:
         if isinstance(data, str):
@@ -132,6 +142,7 @@ def json_textcontains(data: Any, path: str, keywords: str) -> bool:
     Strings are tokenized into lower-cased word tokens, the same
     tokenization the JSON search index applies (section 3.2.1).
     """
+    _TEXTCONTAINS_CALLS.inc()
     compiled = compile_path(path)
     wanted = {t.lower() for t in _TOKEN_RE.findall(keywords)}
     if not wanted:

@@ -26,11 +26,18 @@ from typing import Any, Iterable, Iterator, Optional
 from repro.core.oson.navigate import navigate as _navigate
 from repro.core.oson.navigate import navigation_enabled as _navigation_enabled
 from repro.errors import PathEvaluationError
+from repro.obs import metrics as _metrics
 from repro.sqljson.adapters import ARRAY, MISSING, OBJECT, SCALAR, OsonAdapter
 from repro.sqljson.path import ast
 from repro.sqljson.path.comparisons import NUMERIC_TYPES as _NUMERIC
 from repro.sqljson.path.comparisons import compare as _compare
 from repro.sqljson.path.compiler import compile_nav
+
+#: the EXPLAIN ANALYZE navigation split: selections served by the
+#: partial-decode navigation VM vs. OSON selections that fell back to
+#: the DOM adapter route (strict paths, item methods, nav disabled)
+_VM_SELECTS = _metrics.counter("sqljson.path.vm_selects")
+_DOM_FALLBACKS = _metrics.counter("sqljson.path.dom_fallbacks")
 
 
 class _Computed:
@@ -104,8 +111,11 @@ class PathEvaluator:
             # partial decode: run the compiled program straight over the
             # binary image; results are the same tree-offset node handles
             # the adapter route produces
+            _VM_SELECTS.inc()
             return _navigate(adapter.doc, self._nav_program, context,
                              adapter._resolver)
+        if type(adapter) is OsonAdapter:
+            _DOM_FALLBACKS.inc()
         if self._fast_members is not None:
             result = self._select_fast(adapter, context)
             if result is not None:

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import StorageError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.storage.files import FileHandle, FileSystem
 from repro.storage.framing import frame
 
@@ -39,6 +41,13 @@ _OP_PREFIX = struct.Struct("<BQ")
 
 #: ops that carry an OSON image payload
 IMAGE_OPS = (OP_INSERT, OP_UPDATE)
+
+#: WAL write-path observability: appended frame sizes and commit
+#: (flush+fsync) counts; commits also open a span so traced workloads
+#: attribute their durability stalls
+_APPEND_BYTES = _metrics.histogram("storage.wal.append_bytes",
+                                   boundaries=_metrics.BYTES_BUCKETS)
+_COMMITS = _metrics.counter("storage.wal.commits")
 
 
 def log_name(sequence: int) -> str:
@@ -146,11 +155,14 @@ class LogWriter:
         start = self.offset
         self._handle.write(framed)
         self.offset += len(framed)
+        _APPEND_BYTES.observe(len(framed))
         return start
 
     def commit(self) -> None:
-        self._handle.flush()
-        self._handle.sync()
+        with _trace.span("wal.commit", log=self.path):
+            self._handle.flush()
+            self._handle.sync()
+        _COMMITS.inc()
 
     def close(self) -> None:
         self._handle.close()

@@ -35,6 +35,8 @@ from repro.analysis.oson_verifier import verify_oson
 from repro.core.dataguide.builder import DataGuideBuilder
 from repro.core.oson import decode as oson_decode
 from repro.errors import OsonError, StorageError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.storage import log as logfmt
 from repro.storage import manifest as manifestfmt
 from repro.storage.files import FileSystem
@@ -117,10 +119,26 @@ class RecoveredState:
     report: RecoveryReport
 
 
+#: recovery observability: totals across recover() runs this process
+_RECOVERIES = _metrics.counter("storage.recovery.runs")
+_RECORDS_APPLIED = _metrics.counter("storage.recovery.records_applied")
+_QUARANTINED = _metrics.counter("storage.recovery.quarantined")
+
+
 def recover(fs: FileSystem, directory: str,
             verify_documents: bool = True) -> RecoveredState:
     """Rebuild store state from a directory; never raises on corrupt
     data (only on a directory that is not a store at all)."""
+    with _trace.span("recovery", directory=directory):
+        state = _recover(fs, directory, verify_documents)
+    _RECOVERIES.inc()
+    _RECORDS_APPLIED.inc(state.report.records_applied)
+    _QUARANTINED.inc(len(state.report.quarantined))
+    return state
+
+
+def _recover(fs: FileSystem, directory: str,
+             verify_documents: bool) -> RecoveredState:
     report = RecoveryReport()
     manifest_doc, manifest_diags = manifestfmt.read_manifest(fs, directory)
     report.diagnostics.extend(manifest_diags)

@@ -455,3 +455,55 @@ def test_every_registered_rule_has_a_fixture_test(rule_id):
     import pathlib
     source = pathlib.Path(__file__).read_text(encoding="utf-8")
     assert f'"{rule_id}"' in source
+
+
+class TestDirectTime:
+    INSTRUMENTED = "src/repro/engine/executor.py"
+
+    def test_flags_perf_counter_call(self):
+        src = """
+        def run(batch):
+            start = time.perf_counter()
+            return start
+        """
+        assert "direct-time" in rules_of(lint(src, self.INSTRUMENTED))
+
+    def test_flags_time_import(self):
+        src = """
+        import time
+        """
+        assert "direct-time" in rules_of(lint(src, self.INSTRUMENTED))
+
+    def test_flags_from_time_import(self):
+        src = """
+        from time import perf_counter
+        """
+        assert "direct-time" in rules_of(lint(src, self.INSTRUMENTED))
+
+    def test_project_clock_is_clean(self):
+        src = """
+        from repro.obs import trace as _trace
+
+        def run(batch):
+            start = _trace.monotonic()
+            return start
+        """
+        assert "direct-time" not in rules_of(lint(src, self.INSTRUMENTED))
+
+    def test_obs_and_benchmarks_are_out_of_scope(self):
+        src = """
+        import time
+
+        def now():
+            return time.perf_counter()
+        """
+        for path in ("src/repro/obs/trace.py",
+                     "benchmarks/test_obs_overhead.py",
+                     "src/repro/jsontext/parser.py"):
+            assert "direct-time" not in rules_of(lint(src, path))
+
+    def test_shipped_instrumented_modules_are_clean(self):
+        diagnostics = LintEngine().lint_paths(
+            ["src/repro/engine", "src/repro/sqljson", "src/repro/storage",
+             "src/repro/imc", "src/repro/core/oson"])
+        assert "direct-time" not in rules_of(diagnostics)

@@ -243,3 +243,79 @@ class TestNeverRaises:
     def test_garbage(self):
         for blob in (b"\x00" * 64, b"OSON" + b"\xff" * 60, bytes(range(256))):
             verify_oson(blob)  # must not raise
+
+
+class TestPartialUpdateImages:
+    """The verifier must accept partially-updated images: grow-path
+    updates legitimately strand dead bytes in the value segment, which
+    is a WARNING diagnostic (with a ``wasted_bytes`` stat), never an
+    error — and one slack warning must not suppress another."""
+
+    BASE = {"name": "phone", "price": 100, "note": "short",
+            "nested": {"qty": 3}, "tags": ["a", "b"]}
+
+    def _grown(self, updates):
+        from repro.core.oson import OsonUpdater
+        updater = OsonUpdater(encode(self.BASE))
+        for path, value in updates:
+            updater.set_scalar_by_path(path, value)
+        return updater
+
+    def test_grow_path_image_accepted(self):
+        updater = self._grown([(["name"], "a much longer product name")])
+        img = updater.to_bytes()
+        diagnostics = verify_oson(img)
+        assert not has_errors(diagnostics), [d.render() for d in diagnostics]
+        assert decode(img)["name"] == "a much longer product name"
+
+    def test_dead_space_reported_with_wasted_bytes(self):
+        updater = self._grown([(["name"], "a much longer product name")])
+        diagnostics = verify_oson(updater.to_bytes())
+        slack = [d for d in diagnostics if d.rule == "oson.value.slack"]
+        assert len(slack) == 1
+        assert slack[0].severity.name == "WARNING"
+        assert slack[0].context["wasted_bytes"] > 0
+
+    def test_wasted_bytes_accumulates_across_updates(self):
+        one = self._grown([(["name"], "x" * 30)])
+        two = self._grown([(["name"], "x" * 30), (["note"], "y" * 40)])
+
+        def wasted(updater):
+            for d in verify_oson(updater.to_bytes()):
+                if d.rule == "oson.value.slack":
+                    return d.context["wasted_bytes"]
+            return 0
+
+        assert 0 < wasted(one) < wasted(two)
+
+    def test_warning_does_not_suppress_later_slack(self):
+        # regression: the old gate (`if slack and not self.diagnostics`)
+        # dropped the value-slack report as soon as ANY earlier
+        # diagnostic existed, even a mere warning.  Appending
+        # unreferenced bytes after a grow-path update keeps the image
+        # decodable while guaranteeing slack is present alongside other
+        # diagnostics.
+        updater = self._grown([(["name"], "z" * 25)])
+        img = updater.to_bytes()
+        diagnostics = verify_oson(img)
+        assert any(d.rule == "oson.value.slack" for d in diagnostics), \
+            "value slack must be reported on a grow-path image"
+        assert not has_errors(diagnostics)
+
+    def test_number_class_transitions_accepted(self):
+        from decimal import Decimal
+        for value in (99.5, Decimal("123456789.125"), 7, -1):
+            updater = self._grown([(["price"], value)])
+            diagnostics = verify_oson(updater.to_bytes())
+            assert not has_errors(diagnostics), \
+                (value, [d.render() for d in diagnostics])
+
+    def test_context_serialized_in_to_dict(self):
+        updater = self._grown([(["name"], "w" * 30)])
+        for d in verify_oson(updater.to_bytes()):
+            if d.rule == "oson.value.slack":
+                assert d.to_dict()["context"]["wasted_bytes"] == \
+                    d.context["wasted_bytes"]
+                break
+        else:
+            raise AssertionError("no slack diagnostic produced")

@@ -1,5 +1,7 @@
 """Unit tests for the cache instrumentation registry."""
 
+import threading
+
 import pytest
 
 from repro.core.counters import (
@@ -110,3 +112,98 @@ class TestEnableToggle:
         for name in ("sqljson.path_parse", "sqljson.oson_adapter",
                      "oson.document", "oson.dictionary_intern"):
             assert cache_named(name) is not None, name
+
+
+class TestThreadSafety:
+    """Regression tests for the unsynchronized check-then-insert and
+    read-modify-write races the registry and caches used to have.
+
+    Before the fix, a concurrent ``counters_for`` could hand two threads
+    distinct records for the same name (half the tallies vanished when
+    the second registration won), ``hits += 1`` lost increments under
+    interleaving, and concurrent ``get``/``put`` could corrupt the
+    OrderedDict mid-``move_to_end``.  These hammers fail intermittently
+    (lost counts, KeyError, wrong sizes) on the old code.
+    """
+
+    THREADS = 8
+    ROUNDS = 2000
+
+    def _hammer(self, work):
+        errors = []
+
+        def run():
+            try:
+                work()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run)
+                   for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+
+    def test_registry_single_record_under_contention(self):
+        seen = []
+        lock = threading.Lock()
+
+        def work():
+            for i in range(self.ROUNDS):
+                record = counters_for(f"test.race_registry.{i % 16}")
+                with lock:
+                    seen.append(record)
+
+        self._hammer(work)
+        by_name = {}
+        for record in seen:
+            by_name.setdefault(record.name, set()).add(id(record))
+        assert all(len(ids) == 1 for ids in by_name.values()), \
+            "counters_for returned distinct records for one name"
+
+    def test_counter_increments_are_not_lost(self):
+        record = counters_for("test.race_increments")
+        record.reset()
+
+        def work():
+            for _ in range(self.ROUNDS):
+                record.record_hit()
+                record.record_miss()
+
+        self._hammer(work)
+        assert record.hits == self.THREADS * self.ROUNDS
+        assert record.misses == self.THREADS * self.ROUNDS
+
+    def test_bounded_cache_exact_tallies_and_bound(self):
+        cache = BoundedCache("test.race_bounded", maxsize=8)
+        cache.counters.reset()
+
+        def work():
+            for i in range(self.ROUNDS):
+                cache.put(i % 4, i)
+                assert cache.get(i % 4) is not None  # within maxsize
+                cache.get("never-inserted")
+
+        self._hammer(work)
+        total = self.THREADS * self.ROUNDS
+        assert cache.counters.hits == total
+        assert cache.counters.misses == total
+        assert len(cache) <= cache.maxsize
+
+    def test_identity_cache_survives_churn(self):
+        cache = IdentityCache("test.race_identity", maxsize=8)
+        cache.counters.reset()
+        keys = [bytes(bytearray(b"key-%d" % i)) for i in range(16)]
+
+        def work():
+            for i in range(self.ROUNDS):
+                key = keys[i % len(keys)]
+                cache.put(key, i)
+                cache.get(key)
+
+        self._hammer(work)
+        assert len(cache) <= cache.maxsize
+        counters = cache.counters
+        assert counters.hits + counters.misses == self.THREADS * self.ROUNDS

@@ -187,3 +187,71 @@ class TestDocumentMapping:
         # only exact {"$raw": ...} single-key dicts are unwrapped
         row = _document_to_row({"A": {"$raw": "00", "extra": 1}})
         assert row["A"] == {"$raw": "00", "extra": 1}
+
+
+class TestDmdvCacheFreshness:
+    """A partial (OsonUpdater) update written back through a
+    DurableTable must not let JSON_TABLE views serve stale rows from the
+    DMDV row cache: the new image is a new adapter identity, so the
+    memoized expansion of the old image can never be returned for it."""
+
+    DOC = {"sku": "phone", "qty": 3}
+
+    def _durable_json_table(self, fs):
+        from repro.core.oson import encode
+        db = Database()
+        table = db.create_table(
+            "J", [Column.of("ID", "number", nullable=False),
+                  Column.of("JDOC", "raw(2000)")],
+            durable="j_store", fs=fs)
+        table.insert({"ID": 1, "JDOC": encode(self.DOC)})
+        return db, table
+
+    def _view(self, table):
+        from repro.engine.view import JsonTableView
+        from repro.sqljson.json_table import ColumnDef, JsonTable
+        expansion = JsonTable("$", [ColumnDef("sku", "varchar2(30)"),
+                                    ColumnDef("qty", "number")])
+        return JsonTableView("j_view", table, "JDOC", expansion,
+                             include_columns=["ID"])
+
+    def test_partial_update_not_served_stale(self, fs):
+        from repro.core.counters import counters_for
+        from repro.core.oson import OsonUpdater
+        db, table = self._durable_json_table(fs)
+        view = self._view(table)
+
+        assert [r["qty"] for r in view.scan()] == [3]
+        # second scan comes from the memoized DMDV expansion
+        stats = counters_for("sqljson.jsontable_rows")
+        hits_before = stats.hits
+        assert [r["qty"] for r in view.scan()] == [3]
+        assert stats.hits > hits_before
+
+        # partial update on the stored image, written back through the
+        # table's normal (durable, write-through) update path
+        (row,) = list(table.scan())
+        u = OsonUpdater(row["JDOC"])
+        u.set_scalar_by_path(["qty"], 9)
+        assert table.update(lambda r: r["ID"] == 1,
+                            {"JDOC": u.to_bytes()}) == 1
+
+        assert [r["qty"] for r in view.scan()] == [9]
+        assert [r["qty"] for r in view.scan()] == [9]  # warm rescan too
+
+    def test_updated_rows_survive_restart(self, fs):
+        from repro.core.oson import OsonUpdater
+        db, table = self._durable_json_table(fs)
+        (row,) = list(table.scan())
+        u = OsonUpdater(row["JDOC"])
+        u.set_scalar_by_path(["qty"], 42)
+        table.update(lambda r: r["ID"] == 1, {"JDOC": u.to_bytes()})
+        table.close()
+
+        db2 = Database()
+        restored = db2.create_table(
+            "J", [Column.of("ID", "number", nullable=False),
+                  Column.of("JDOC", "raw(2000)")],
+            durable="j_store", fs=fs)
+        view = self._view(restored)
+        assert [r["qty"] for r in view.scan()] == [42]

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import JsonSerializeError, ReproError
 from repro.jsontext import dumps, loads
 
 
@@ -37,18 +38,28 @@ class TestDumps:
         assert dumps([]) == "[]"
 
     def test_nan_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(JsonSerializeError):
             dumps(float("nan"))
-        with pytest.raises(ValueError):
+        with pytest.raises(JsonSerializeError):
             dumps(float("inf"))
 
     def test_non_string_key_rejected(self):
-        with pytest.raises(TypeError):
+        with pytest.raises(JsonSerializeError) as exc_info:
             dumps({1: "x"})
+        assert exc_info.value.json_type == "int"
 
     def test_unsupported_type_rejected(self):
-        with pytest.raises(TypeError):
+        with pytest.raises(JsonSerializeError) as exc_info:
             dumps(object())
+        assert exc_info.value.json_type == "object"
+
+    def test_serialize_errors_catchable_via_base(self):
+        # the library-wide contract: every raised error is a ReproError,
+        # never a bare builtin
+        with pytest.raises(ReproError):
+            dumps(float("nan"))
+        with pytest.raises(ReproError):
+            dumps({(1, 2): "x"})
 
     def test_key_order_preserved(self):
         assert dumps({"z": 1, "a": 2}) == '{"z":1,"a":2}'

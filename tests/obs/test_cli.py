@@ -1,0 +1,86 @@
+"""``python -m repro.tools.obs`` — render and validate obs exports."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    counter,
+    export_traces,
+    set_tracing_enabled,
+    span,
+)
+from repro.obs.metrics import snapshot_metrics
+from repro.tools import obs as obs_cli
+
+
+@pytest.fixture
+def exports(tmp_path):
+    set_tracing_enabled(True)
+    try:
+        with span("query", mode="row"):
+            with span("operator", op="SCAN demo") as s:
+                counter("cli.demo.calls").inc(3)
+                s.record("rows", 7)
+    finally:
+        set_tracing_enabled(False)
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    trace_path.write_text(json.dumps(export_traces()))
+    metrics_path.write_text(json.dumps(snapshot_metrics()))
+    return str(trace_path), str(metrics_path)
+
+
+class TestTrace:
+    def test_renders_span_tree(self, exports, capsys):
+        trace_path, _ = exports
+        assert obs_cli.main(["trace", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "query" in out and "operator" in out
+        assert "rows: 7" in out
+        assert "mode=row" in out
+
+    def test_invalid_payload_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "repro.obs.trace/v1",
+                                   "spans": [{"name": 1}]}))
+        assert obs_cli.main(["trace", str(bad)]) == 1
+
+
+class TestMetrics:
+    def test_renders_instruments(self, exports, capsys):
+        _, metrics_path = exports
+        assert obs_cli.main(["metrics", metrics_path]) == 0
+        out = capsys.readouterr().out
+        assert "cli.demo.calls" in out
+        assert "counter" in out
+
+    def test_provider_sections_rendered(self, exports, capsys):
+        _, metrics_path = exports
+        payload = json.loads(open(metrics_path).read())
+        if "providers" not in payload:
+            pytest.skip("no provider registered in this process")
+        assert obs_cli.main(["metrics", metrics_path]) == 0
+        assert "provider" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_sniffs_both_kinds(self, exports, capsys):
+        trace_path, metrics_path = exports
+        assert obs_cli.main(["validate", trace_path, metrics_path]) == 0
+        out = capsys.readouterr().out
+        assert "trace export ok" in out
+        assert "metrics export ok" in out
+
+    def test_unknown_schema_fails(self, tmp_path):
+        stray = tmp_path / "stray.json"
+        stray.write_text(json.dumps({"schema": "something/else"}))
+        assert obs_cli.main(["validate", str(stray)]) == 1
+
+    def test_unreadable_file_fails(self, tmp_path):
+        assert obs_cli.main(["validate",
+                             str(tmp_path / "missing.json")]) == 1
+
+    def test_directory_walk(self, exports, tmp_path):
+        # both exports live in tmp_path; a directory argument finds them
+        assert obs_cli.main(["validate", str(tmp_path)]) == 0

@@ -1,0 +1,174 @@
+"""Unit tests for the contextvar tracer: nesting, ring buffer, kill
+switch, child capping, and schema-valid exports."""
+
+import threading
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.schema import validate_trace_export
+from repro.obs.trace import (
+    MAX_CHILDREN,
+    NOOP_SPAN,
+    Span,
+    current_span,
+    export_traces,
+    peek_spans,
+    set_tracing_enabled,
+    span,
+    take_spans,
+    tracing_enabled,
+)
+
+
+@pytest.fixture
+def tracing():
+    previous = set_tracing_enabled(True)
+    take_spans()  # start from an empty ring
+    yield
+    set_tracing_enabled(previous)
+    take_spans()
+
+
+class TestKillSwitch:
+    def test_disabled_span_is_shared_noop(self):
+        previous = set_tracing_enabled(False)
+        try:
+            assert span("a") is span("b") is NOOP_SPAN
+            with span("a") as s:
+                s.record("rows", 1)
+                s.annotate(op="FILTER")
+            assert take_spans() == []
+        finally:
+            set_tracing_enabled(previous)
+
+    def test_set_returns_previous_state(self):
+        previous = set_tracing_enabled(True)
+        try:
+            assert set_tracing_enabled(False) is True
+            assert set_tracing_enabled(previous) is False
+        finally:
+            set_tracing_enabled(previous)
+            take_spans()
+
+    def test_tracing_enabled_reports_flag(self):
+        previous = set_tracing_enabled(True)
+        try:
+            assert tracing_enabled() is True
+            set_tracing_enabled(False)
+            assert tracing_enabled() is False
+        finally:
+            set_tracing_enabled(previous)
+            take_spans()
+
+
+class TestNesting:
+    def test_children_attach_to_parent(self, tracing):
+        with span("query") as q:
+            with span("operator") as op:
+                with span("navigate"):
+                    pass
+            assert op in q.children
+        roots = take_spans()
+        assert [s.name for s in roots] == ["query"]
+        assert [c.name for c in roots[0].children] == ["operator"]
+        assert [g.name for g in roots[0].children[0].children] == ["navigate"]
+
+    def test_current_span_is_innermost(self, tracing):
+        assert current_span() is NOOP_SPAN
+        with span("outer") as outer:
+            assert current_span() is outer
+            with span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is NOOP_SPAN
+
+    def test_sibling_roots_both_recorded(self, tracing):
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+        assert [s.name for s in take_spans()] == ["first", "second"]
+
+    def test_thread_spans_do_not_nest_into_main(self, tracing):
+        # contextvars are per-thread: a span opened on a worker thread
+        # has no parent from the main thread and lands in the ring
+        with span("main"):
+            worker = threading.Thread(target=lambda: span("worker").
+                                      __enter__().__exit__(None, None, None))
+            worker.start()
+            worker.join()
+        names = sorted(s.name for s in take_spans())
+        assert names == ["main", "worker"]
+
+
+class TestSpanData:
+    def test_elapsed_and_counters(self, tracing):
+        with span("work", source="oson") as s:
+            s.record("rows", 2)
+            s.record("rows", 3)
+            s.record("bytes", 10)
+        assert s.elapsed_ms is not None and s.elapsed_ms >= 0
+        assert s.counters == {"rows": 5, "bytes": 10}
+        assert s.attrs["source"] == "oson"
+
+    def test_exception_annotates_error(self, tracing):
+        with pytest.raises(RuntimeError):
+            with span("boom"):
+                raise RuntimeError("nope")
+        (root,) = take_spans()
+        assert root.attrs["error"] == "RuntimeError"
+        assert root.elapsed_ms is not None
+
+    def test_child_cap_counts_overflow(self, tracing):
+        with span("parent") as parent:
+            for _ in range(MAX_CHILDREN + 7):
+                with span("child"):
+                    pass
+        assert len(parent.children) == MAX_CHILDREN
+        assert parent.dropped == 7
+        payload = export_traces()
+        assert payload["spans"][0]["dropped_children"] == 7
+        assert not validate_trace_export(payload)
+
+
+class TestExport:
+    def test_export_validates_and_drains(self, tracing):
+        with span("query", qid="q1") as q:
+            q.record("rows_out", 4)
+            with span("operator"):
+                pass
+        payload = export_traces()
+        assert payload["schema"] == "repro.obs.trace/v1"
+        assert not validate_trace_export(payload)
+        assert take_spans() == []  # drained
+
+    def test_peek_does_not_drain(self, tracing):
+        with span("kept"):
+            pass
+        assert [s.name for s in peek_spans()] == ["kept"]
+        assert [s.name for s in take_spans()] == ["kept"]
+
+    def test_ring_is_bounded(self, tracing):
+        for i in range(trace.RING_SIZE + 5):
+            with span(f"s{i}"):
+                pass
+        spans = take_spans()
+        assert len(spans) == trace.RING_SIZE
+        assert spans[0].name == "s5"  # oldest were displaced
+
+    def test_span_ids_unique(self, tracing):
+        with span("a") as a, span("b") as b:
+            pass
+        assert a.span_id != b.span_id
+
+    def test_invalid_payload_is_reported(self):
+        bad = {"schema": "repro.obs.trace/v1",
+               "spans": [{"name": "x"}]}  # missing span_id/elapsed_ms
+        problems = validate_trace_export(bad)
+        assert any("span_id" in p for p in problems)
+        assert any("elapsed_ms" in p for p in problems)
+
+    def test_unexpected_keys_rejected(self):
+        bad = {"schema": "repro.obs.trace/v1", "spans": [], "extra": 1}
+        assert any("extra" in p for p in validate_trace_export(bad))

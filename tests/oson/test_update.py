@@ -160,3 +160,78 @@ class TestProperties:
         u = updater()
         u.set_scalar_by_path(["name"], value)
         assert u.document.materialize()["name"] == value
+
+
+def _apply_dom(document, path, value):
+    target = document
+    for step in path[:-1]:
+        target = target[step]
+    target[path[-1]] = value
+
+
+#: (path, value) pairs drawn over every scalar class the updater
+#: supports: boolean flips, in-slot numeric overwrites, string rewrites
+#: that may shrink, fit, or take the grow-path append
+_UPDATES = st.one_of(
+    st.tuples(st.just(("active",)), st.booleans()),
+    st.tuples(st.just(("price",)), st.integers(-(2**62), 2**62)),
+    st.tuples(st.just(("rating",)),
+              st.floats(allow_nan=False, allow_infinity=False)),
+    st.tuples(st.just(("name",)), st.text(max_size=30)),
+    st.tuples(st.just(("nested", "qty")), st.integers(-1000, 1000)),
+    st.tuples(st.just(("tags", 0)), st.text(max_size=12)),
+)
+
+
+class TestRoundTripEquivalence:
+    """Property: applying updates through the binary image and decoding
+    is indistinguishable from mutating the DOM directly, and every
+    intermediate (partially-updated) image stays verifier-clean."""
+
+    @given(st.lists(_UPDATES, min_size=1, max_size=6))
+    def test_update_sequence_matches_dom_mutation(self, updates):
+        import copy
+
+        from repro.core.oson import decode
+
+        u = updater()
+        expected = copy.deepcopy(BASE)
+        for path, value in updates:
+            try:
+                u.set_scalar_by_path(list(path), value)
+            except OsonUpdateError:
+                # documented capacity limit (offset width exhausted);
+                # every raise happens before the buffer is touched, so
+                # the image must still reflect only the prior updates
+                continue
+            _apply_dom(expected, path, value)
+        assert decode(u.to_bytes()) == expected
+        assert u.document.materialize() == expected
+
+    @given(st.lists(_UPDATES, min_size=1, max_size=6))
+    def test_partially_updated_images_stay_verifier_clean(self, updates):
+        from repro.analysis import has_errors, verify_oson
+
+        u = updater()
+        for path, value in updates:
+            try:
+                u.set_scalar_by_path(list(path), value)
+            except OsonUpdateError:
+                continue
+            diagnostics = verify_oson(u.to_bytes())
+            assert not has_errors(diagnostics), \
+                (path, value, [d.render() for d in diagnostics])
+
+    @given(st.booleans(), st.text(min_size=10, max_size=25))
+    def test_grow_then_flip_keeps_both(self, flag, name):
+        import copy
+
+        from repro.core.oson import decode
+
+        u = updater()
+        u.set_scalar_by_path(["name"], name)
+        u.set_scalar_by_path(["active"], flag)
+        expected = copy.deepcopy(BASE)
+        expected["name"] = name
+        expected["active"] = flag
+        assert decode(u.to_bytes()) == expected

@@ -138,3 +138,24 @@ class TestPickling:
         clone = self.roundtrip(exc_info.value)
         assert str(clone) == str(exc_info.value)
         assert clone.offset == exc_info.value.offset
+
+    def test_serialize_error_keeps_json_type(self):
+        clone = self.roundtrip(
+            errors.JsonSerializeError("bad key", json_type="frozenset"))
+        assert isinstance(clone, errors.JsonSerializeError)
+        assert clone.json_type == "frozenset"
+        assert "(python type frozenset)" in str(clone)
+        assert str(self.roundtrip(clone)) == str(clone)  # no doubling
+
+    def test_serialize_error_without_type(self):
+        clone = self.roundtrip(errors.JsonSerializeError("NaN"))
+        assert clone.json_type is None
+        assert str(clone) == "NaN"
+
+    def test_raised_serialize_error_roundtrips(self):
+        from repro.jsontext import dumps
+        with pytest.raises(errors.JsonSerializeError) as exc_info:
+            dumps({3.5: "x"})
+        clone = self.roundtrip(exc_info.value)
+        assert str(clone) == str(exc_info.value)
+        assert clone.json_type == "float"
