@@ -2,8 +2,9 @@
 
 Subcommands::
 
-    python -m repro.analysis verify IMAGE [IMAGE...]   # files or dirs
-    python -m repro.analysis lint PATH [PATH...]       # .py files or dirs
+    python -m repro.analysis verify IMAGE [IMAGE...]      # files or dirs
+    python -m repro.analysis lint PATH [PATH...]          # .py files or dirs
+    python -m repro.analysis concurrency PATH [PATH...]   # lock discipline
 
 ``verify`` sniffs each file's format from its magic: OSON images, and
 durable-store files (``log-*.log`` segments/WALs and ``MANIFEST``,
@@ -24,10 +25,25 @@ from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.bson_verifier import verify_bson
-from repro.analysis.diagnostics import Diagnostic, has_errors
+from repro.analysis.diagnostics import Diagnostic, Severity, has_errors
 from repro.analysis.lint.engine import LintEngine
 from repro.analysis.oson_verifier import verify_oson
 from repro.core.oson.constants import MAGIC as OSON_MAGIC
+
+
+def _summary(diagnostics: Sequence[Diagnostic],
+             engine: Optional[LintEngine] = None) -> dict:
+    """Severity tallies (+ suppression drift, when an engine ran)."""
+    counts = {severity.name.lower(): 0 for severity in Severity}
+    for diag in diagnostics:
+        counts[diag.severity.name.lower()] += 1
+    summary = dict(counts)
+    if engine is not None:
+        summary["files"] = engine.stats.get("files", 0)
+        summary["suppressed"] = engine.stats.get("suppressed", 0)
+        summary["suppressed_rules"] = dict(
+            sorted(engine.stats.get("suppressed_rules", {}).items()))
+    return summary
 
 
 def _iter_image_files(paths: Sequence[str]) -> Iterator[Path]:
@@ -102,9 +118,30 @@ def cmd_lint(args: argparse.Namespace) -> int:
     report: List[dict] = []
     _emit(report, ((d.path or "", d) for d in diagnostics), args.json)
     if args.json:
-        print(json.dumps({"diagnostics": report}, indent=2))
+        timings = {rule: round(ms, 3) for rule, ms
+                   in sorted(engine.rule_timings_ms.items())}
+        print(json.dumps({"diagnostics": report,
+                          "summary": _summary(diagnostics, engine),
+                          "timings_ms": timings}, indent=2))
     elif not diagnostics:
         print("lint clean")
+    return 1 if has_errors(diagnostics) else 0
+
+
+def cmd_concurrency(args: argparse.Namespace) -> int:
+    # imported lazily for symmetry with the other subcommands; the
+    # concurrency package pulls in the whole rule catalog
+    from repro.analysis.concurrency import check_paths
+    diagnostics, analyzer = check_paths(args.paths)
+    report: List[dict] = []
+    _emit(report, ((d.path or "", d) for d in diagnostics), args.json)
+    if args.json:
+        print(json.dumps({"diagnostics": report,
+                          "summary": _summary(diagnostics),
+                          "lock_graph": analyzer.graph()}, indent=2))
+    elif not diagnostics:
+        print(f"concurrency clean "
+              f"({len(analyzer.graph())} order edges, no cycles)")
     return 1 if has_errors(diagnostics) else 0
 
 
@@ -128,6 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="+",
                       help=".py files or directories to lint")
     lint.set_defaults(func=cmd_lint)
+    concurrency = commands.add_parser(
+        "concurrency",
+        help="lock-discipline and lock-order static analysis")
+    concurrency.add_argument("paths", nargs="+",
+                             help=".py files or directories to analyze")
+    concurrency.set_defaults(func=cmd_concurrency)
     return parser
 
 

@@ -1,0 +1,88 @@
+"""Concurrency-correctness tooling: static lock discipline + sanitizer.
+
+The static prong (:mod:`.guards`, :mod:`.order`) runs over the shared
+AST lint engine: :class:`~repro.analysis.concurrency.guards.GuardedMutationRule`
+enforces the ``# guarded-by:`` / :func:`guarded_by` annotation
+convention per module, and
+:class:`~repro.analysis.concurrency.order.LockOrderAnalyzer` builds the
+whole-program lock-acquisition-order graph and rejects cycles.  The
+dynamic prong is the runtime lock sanitizer, re-exported here as
+:mod:`.sanitizer` (the implementation lives in :mod:`repro.obs.locks`
+so the bottom-of-stack obs modules can use it without an import cycle).
+
+Both prongs surface through ``python -m repro.analysis concurrency``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.engine import LintEngine, ModuleContext
+from repro.analysis.concurrency.guards import GuardedMutationRule
+from repro.analysis.concurrency.order import LockOrderAnalyzer
+
+__all__ = [
+    "GuardedMutationRule",
+    "LockOrderAnalyzer",
+    "check_paths",
+    "guarded_by",
+]
+
+
+def guarded_by(*locknames: str):
+    """Declare that the decorated function runs with the named lock(s)
+    held by every caller.
+
+    A no-op at runtime; the static pass treats the locks as held for
+    the whole body, and the lock-order graph adds edges from them to
+    any lock acquired inside.
+    """
+
+    def decorate(func):
+        func.__guarded_by__ = locknames
+        return func
+
+    return decorate
+
+
+def check_paths(paths: Iterable[str]
+                ) -> Tuple[List[Diagnostic], LockOrderAnalyzer]:
+    """Run the full static concurrency analysis over files/trees.
+
+    Returns (diagnostics, analyzer) — the analyzer is kept so the CLI
+    can export the order graph.  Unlike ``lint``, this pass runs only
+    the concurrency rules, so it deliberately does not report stale or
+    unjustified pragmas: pragmas for the other lint rules are not stale
+    just because those rules did not run here.
+    """
+    engine = LintEngine(rules=[GuardedMutationRule()])
+    analyzer = LockOrderAnalyzer()
+    diagnostics: List[Diagnostic] = []
+    for path in LintEngine._iter_files(paths):
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            diagnostics.append(Diagnostic(
+                "lint.io", f"cannot read source: {exc}",
+                Severity.ERROR, path=str(path)))
+            continue
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            diagnostics.append(Diagnostic(
+                "lint.syntax", f"syntax error: {exc.msg}",
+                Severity.ERROR, path=path, line=exc.lineno,
+                column=exc.offset))
+            continue
+        ctx = ModuleContext(path, source, tree)
+        engine.stats["files"] = int(engine.stats.get("files", 0)) + 1
+        found, _used = engine.apply_rules(ctx, engine.rules)
+        diagnostics.extend(found)
+        analyzer.add_module(ctx)
+    diagnostics.extend(analyzer.finish())
+    diagnostics.sort(key=lambda d: (d.path or "", d.line or 0,
+                                    d.column or 0, d.rule))
+    return diagnostics, analyzer

@@ -1,0 +1,408 @@
+"""Static lock-discipline rule: shared state mutated under its lock.
+
+Two sources of truth feed the check:
+
+* **Annotations** — a ``# guarded-by: <lock>`` comment on (or on the
+  line above) an attribute or module-global assignment, or a
+  ``@guarded_by("<lock>")`` decorator declaring that the lock is held
+  for a whole function.  Annotated state is checked strictly: every
+  mutation outside a ``with <lock>:`` region is an ERROR.
+* **Inference** — a class whose ``__init__`` creates both a lock
+  attribute and a mutable-container attribute (or a module that pairs a
+  module-level lock with a mutable global) is assumed to *intend* the
+  lock to guard the container.  Inference only fires on **inconsistent**
+  usage: at least one mutation under the lock and at least one without
+  it.  All-guarded code is silent (correct) and all-unguarded code is
+  silent too (a deliberately unsynchronized class is not a bug — until
+  someone locks half of it).
+
+Mutation detection is depth-1 by design: rebinding (``self.x = ...``,
+``global``-declared ``NAME = ...``), subscript stores/deletes, augmented
+assignment, and calls of well-known mutating methods
+(``append``/``update``/``setdefault``/...) on the name itself.  Aliasing
+(``entries = self._entries; entries[k] = v``) and nested function bodies
+are documented misses, never false positives.  ``__init__`` bodies,
+class bodies, and module top-level statements are construction and
+exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.lint.engine import LintRule, ModuleContext
+
+#: methods that mutate their receiver in place
+MUTATOR_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "extendleft", "insert", "move_to_end", "pop", "popitem", "remove",
+    "rotate", "setdefault", "sort", "update", "write", "push",
+})
+
+#: constructors whose result is treated as a lock in inference
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "make_lock", "make_rlock",
+                             "allocate_lock"})
+
+#: constructors whose result is treated as shared mutable state
+_CONTAINER_FACTORIES = frozenset({"dict", "list", "set", "OrderedDict",
+                                  "defaultdict", "deque", "Counter"})
+
+_MATCH = getattr(ast, "Match", None)
+
+
+def _lock_name(expr: ast.AST) -> Optional[str]:
+    """Normalized lock name for a ``with`` context expression.
+
+    ``self._lock`` and ``store._lock`` both normalize to ``_lock``;
+    a bare ``_STATE_LOCK`` stays as is.  Anything fancier (calls,
+    subscripts) is not a recognizable lock expression.
+    """
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _decorator_locks(func: ast.AST) -> Set[str]:
+    """Locks declared held for the whole function via @guarded_by."""
+    held: Set[str] = set()
+    for decorator in getattr(func, "decorator_list", []):
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = _lock_name(decorator.func)
+        if name != "guarded_by":
+            continue
+        for arg in decorator.args:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                held.add(arg.value.split(".")[-1])
+    return held
+
+
+def _is_factory_call(expr: ast.AST, factories: frozenset) -> bool:
+    if isinstance(expr, (ast.Dict, ast.List, ast.Set)):
+        return factories is _CONTAINER_FACTORIES
+    if not isinstance(expr, ast.Call):
+        return False
+    name = _lock_name(expr.func)
+    return name in factories
+
+
+class _Mutation:
+    """One mutation site: (owner kind, name, AST node, locks held)."""
+
+    __slots__ = ("name", "node", "held", "function")
+
+    def __init__(self, name: str, node: ast.AST, held: Set[str],
+                 function: str) -> None:
+        self.name = name
+        self.node = node
+        self.held = held
+        self.function = function
+
+
+def _local_bindings(func: ast.AST) -> Set[str]:
+    """Names the function binds locally (params + non-global stores)."""
+    declared_global: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_global.update(node.names)
+    bound: Set[str] = set()
+    args = func.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+        bound.add(arg.arg)
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Name)
+                and isinstance(node.ctx, (ast.Store, ast.Del))
+                and node.id not in declared_global):
+            bound.add(node.id)
+    return bound - declared_global
+
+
+def _collect_function_mutations(func: ast.AST) -> List[_Mutation]:
+    """Mutations of ``self.<attr>`` and module globals in one function,
+    each tagged with the set of locks held at that point.
+
+    The walk tracks ``with`` nesting through compound statements; nested
+    function definitions are skipped (they run later, under unknown
+    locking).
+    """
+    mutations: List[_Mutation] = []
+    locals_bound = _local_bindings(func)
+    base_held = _decorator_locks(func)
+
+    def visit_block(body: Sequence[ast.stmt], held: Set[str]) -> None:
+        for stmt in body:
+            visit_stmt(stmt, held)
+
+    def visit_stmt(stmt: ast.stmt, held: Set[str]) -> None:
+        if isinstance(stmt, ast.With):
+            inner = set(held)
+            for item in stmt.items:
+                name = _lock_name(item.context_expr)
+                if name:
+                    inner.add(name)
+            visit_block(stmt.body, inner)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # deferred execution: locking context unknown
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            scan_expressions(stmt.target, held)
+            scan_expressions(stmt.iter, held)
+            visit_block(stmt.body, held)
+            visit_block(stmt.orelse, held)
+            return
+        if isinstance(stmt, ast.While):
+            scan_expressions(stmt.test, held)
+            visit_block(stmt.body, held)
+            visit_block(stmt.orelse, held)
+            return
+        if isinstance(stmt, ast.If):
+            scan_expressions(stmt.test, held)
+            visit_block(stmt.body, held)
+            visit_block(stmt.orelse, held)
+            return
+        if _MATCH is not None and isinstance(stmt, _MATCH):
+            scan_expressions(stmt.subject, held)
+            for case in stmt.cases:
+                visit_block(case.body, held)
+            return
+        if isinstance(stmt, ast.Try):
+            visit_block(stmt.body, held)
+            for handler in stmt.handlers:
+                visit_block(handler.body, held)
+            visit_block(stmt.orelse, held)
+            visit_block(stmt.finalbody, held)
+            return
+        scan_expressions(stmt, held)
+
+    def scan_expressions(root: ast.AST, held: Set[str]) -> None:
+        for node in ast.walk(root):
+            target = _mutation_target(node)
+            if target is not None:
+                mutations.append(_Mutation(
+                    target, node, set(held), func.name))
+
+    def _mutation_target(node: ast.AST) -> Optional[str]:
+        # rebinds and deletes (Store/Del context covers Assign,
+        # AugAssign and `for` targets alike) plus subscript stores on
+        # self.attr / module globals
+        if isinstance(node, (ast.Attribute, ast.Name, ast.Subscript)):
+            if not isinstance(node.ctx, (ast.Store, ast.Del)):
+                return None
+            return _owner_of(node.value if isinstance(node, ast.Subscript)
+                             else node)
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if (isinstance(fn, ast.Attribute)
+                    and fn.attr in MUTATOR_METHODS):
+                return _owner_of(fn.value)
+        return None
+
+    def _owner_of(expr: ast.AST) -> Optional[str]:
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"):
+            return "self." + expr.attr
+        if isinstance(expr, ast.Name):
+            # a bare rebind only touches the module global when the
+            # function says `global NAME`; container mutation through
+            # the name does, unless the name is a local binding
+            if expr.id in locals_bound:
+                return None
+            return expr.id
+        return None
+
+    visit_block(func.body, base_held)
+    return mutations
+
+
+def _guard_for(ctx: ModuleContext, lineno: int) -> Optional[str]:
+    """guarded-by annotation attached to ``lineno``: a trailing comment
+    on the line itself, or a comment-only line directly above (a
+    trailing comment on the *previous statement's* line annotates that
+    statement, not this one)."""
+    lock = ctx.guard_comments.get(lineno)
+    if lock is not None:
+        return lock
+    lock = ctx.guard_comments.get(lineno - 1)
+    if lock is not None and lineno - 2 < len(ctx.lines):
+        above = ctx.lines[lineno - 2].lstrip()
+        if above.startswith("#"):
+            return lock
+    return None
+
+
+class GuardedMutationRule(LintRule):
+    """Mutating guarded shared state requires holding its lock."""
+
+    rule_id = "guarded-mutation"
+    description = ("annotated or lock-paired shared state is only "
+                   "mutated while holding its lock")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        yield from self._check_module_globals(ctx)
+        for node in ctx.nodes(ast.ClassDef):
+            yield from self._check_class(ctx, node)
+
+    # -- module globals ----------------------------------------------------
+
+    def _module_state(self, ctx: ModuleContext) -> Tuple[
+            Dict[str, str], Set[str], Set[str]]:
+        """(annotated globals -> lock, module lock names, inferred
+        mutable globals) from top-level assignments."""
+        annotated: Dict[str, str] = {}
+        lock_names: Set[str] = set()
+        containers: Set[str] = set()
+        for stmt in ctx.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names:
+                continue
+            guard = _guard_for(ctx, stmt.lineno)
+            for name in names:
+                if guard:
+                    annotated[name] = guard
+                if _is_factory_call(value, _LOCK_FACTORIES):
+                    lock_names.add(name)
+                elif _is_factory_call(value, _CONTAINER_FACTORIES):
+                    containers.add(name)
+        return annotated, lock_names, containers
+
+    def _check_module_globals(self, ctx: ModuleContext
+                              ) -> Iterable[Diagnostic]:
+        annotated, lock_names, containers = self._module_state(ctx)
+        inferred = containers - set(annotated) - lock_names
+        if not annotated and not inferred:
+            return
+        mutations: List[_Mutation] = []
+        for func in self._all_functions(ctx):
+            mutations.extend(_collect_function_mutations(func))
+        for mutation in mutations:
+            guard = annotated.get(mutation.name)
+            if guard and guard not in mutation.held:
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    f"global {mutation.name!r} is guarded-by "
+                    f"{guard!r} but mutated in {mutation.function}() "
+                    f"without holding it", mutation.node)
+        if lock_names:
+            yield from self._inconsistent(
+                ctx, inferred, lock_names, mutations, kind="global")
+
+    # -- class attributes --------------------------------------------------
+
+    def _check_class(self, ctx: ModuleContext,
+                     cls: ast.ClassDef) -> Iterable[Diagnostic]:
+        annotated: Dict[str, str] = {}
+        lock_attrs: Set[str] = set()
+        container_attrs: Set[str] = set()
+        for stmt in cls.body:
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                guard = _guard_for(ctx, stmt.lineno)
+                if guard:
+                    annotated["self." + stmt.target.id] = guard
+        init = next((s for s in cls.body
+                     if isinstance(s, ast.FunctionDef)
+                     and s.name == "__init__"), None)
+        if init is not None:
+            for node in ast.walk(init):
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif (isinstance(node, ast.AnnAssign)
+                        and node.value is not None):
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                for target in targets:
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    attr = "self." + target.attr
+                    guard = _guard_for(ctx, node.lineno)
+                    if guard:
+                        annotated[attr] = guard
+                    if _is_factory_call(value, _LOCK_FACTORIES):
+                        lock_attrs.add(target.attr)
+                    elif _is_factory_call(value, _CONTAINER_FACTORIES):
+                        container_attrs.add(attr)
+        if not annotated and not (lock_attrs and container_attrs):
+            return
+        mutations: List[_Mutation] = []
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue  # construction: the instance is not shared yet
+            mutations.extend(_collect_function_mutations(method))
+        for mutation in mutations:
+            guard = annotated.get(mutation.name)
+            if guard and guard not in mutation.held:
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    f"{cls.name}.{mutation.name[5:]} is guarded-by "
+                    f"{guard!r} but mutated in "
+                    f"{mutation.function}() without holding it",
+                    mutation.node)
+        inferred = container_attrs - set(annotated)
+        yield from self._inconsistent(
+            ctx, inferred, lock_attrs, mutations, kind=cls.name)
+
+    # -- shared ------------------------------------------------------------
+
+    def _inconsistent(self, ctx: ModuleContext, inferred: Set[str],
+                      lock_names: Set[str], mutations: List[_Mutation],
+                      kind: str) -> Iterable[Diagnostic]:
+        """Flag unguarded mutations of a lock-paired container when at
+        least one other mutation of it does hold a paired lock."""
+        if not inferred or not lock_names:
+            return
+        for name in sorted(inferred):
+            sites = [m for m in mutations if m.name == name]
+            guarded = [m for m in sites if m.held & lock_names]
+            unguarded = [m for m in sites if not (m.held & lock_names)]
+            if not guarded or not unguarded:
+                continue
+            witness = guarded[0]
+            witness_lock = sorted(witness.held & lock_names)[0]
+            for mutation in unguarded:
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    f"inconsistent locking in {kind}: {mutation.name!r} "
+                    f"is mutated under {witness_lock!r} in "
+                    f"{witness.function}() (line {witness.node.lineno}) "
+                    f"but without it in {mutation.function}()",
+                    mutation.node)
+
+    @staticmethod
+    def _all_functions(ctx: ModuleContext) -> List[ast.AST]:
+        """Every function/method in the module (not nested defs)."""
+        out: List[ast.AST] = []
+
+        def scan(body: Sequence[ast.stmt]) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    out.append(stmt)
+                elif isinstance(stmt, ast.ClassDef):
+                    scan(stmt.body)
+
+        scan(ctx.tree.body)
+        return out

@@ -1,0 +1,379 @@
+"""Whole-program lock-acquisition-order graph with cycle detection.
+
+Every function in every analyzed module is walked once, tracking the
+``with``-statement lock nesting.  Acquiring lock ``B`` while ``A`` is
+held adds the directed edge ``A -> B`` (witnessed by file:line).  After
+all modules are added, :meth:`LockOrderAnalyzer.finish` condenses the
+graph into strongly connected components: any component with more than
+one lock means two code paths acquire the same pair of locks in
+opposite orders — a potential deadlock — and is reported as a
+``lock-order`` ERROR listing the cycle with one witness per edge.
+
+Lock identity is canonicalized so order is tracked across modules:
+
+* ``with NAME:`` at module scope          -> ``pkg.module.NAME``
+* ``with self.attr:`` inside ``class C``  -> ``pkg.module.C.attr``
+* ``with alias.NAME:`` where ``alias`` was imported -> the *imported*
+  module's canonical name, so ``locks._STATE_LOCK`` referenced from
+  another module unifies with its home definition.
+
+Anything unresolvable (calls, subscripts, attributes of plain objects)
+is skipped — missed edges degrade coverage, they never fabricate a
+cycle.  Acquiring a lock already held on the same path is reported as
+``lock-reacquire`` when the lock is known to be created non-reentrant
+(``threading.Lock()`` / ``make_lock``); locks of unknown kind get the
+benefit of the doubt.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.engine import ModuleContext
+
+#: factory callables creating a NON-reentrant lock
+_PLAIN_LOCK_FACTORIES = frozenset({"Lock", "make_lock", "allocate_lock"})
+#: factory callables creating a reentrant lock
+_RLOCK_FACTORIES = frozenset({"RLock", "make_rlock"})
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a source path (``src/`` prefix dropped)."""
+    parts = list(PurePosixPath(path.replace("\\", "/")).with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part not in (".", ""))
+
+
+class _Edge:
+    __slots__ = ("first", "second", "path", "line")
+
+    def __init__(self, first: str, second: str, path: str,
+                 line: int) -> None:
+        self.first = first
+        self.second = second
+        self.path = path
+        self.line = line
+
+    @property
+    def witness(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+class LockOrderAnalyzer:
+    """Accumulates per-module lock usage; reports order cycles."""
+
+    def __init__(self) -> None:
+        # (first, second) -> first witness edge
+        self.edges: Dict[Tuple[str, str], _Edge] = {}
+        # canonical lock name -> "Lock" | "RLock"
+        self.lock_kinds: Dict[str, str] = {}
+        # re-acquisitions of an already-held lock, resolved at finish
+        self._reacquires: List[Tuple[str, str, int, str]] = []
+        self._contexts: Dict[str, ModuleContext] = {}
+
+    # -- collection --------------------------------------------------------
+
+    def add_module(self, ctx: ModuleContext) -> None:
+        module = module_name_for(ctx.path)
+        self._contexts[ctx.path] = ctx
+        imports = self._import_map(ctx)
+        self._collect_creations(ctx, module)
+        for cls, func in self._functions(ctx):
+            self._walk_function(ctx, module, cls, func, imports)
+
+    @staticmethod
+    def _import_map(ctx: ModuleContext) -> Dict[str, str]:
+        """Local alias -> imported dotted module name."""
+        aliases: Dict[str, str] = {}
+        for node in ctx.nodes(ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                aliases[bound] = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+        for node in ctx.nodes(ast.ImportFrom):
+            if not node.module or node.level:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+        return aliases
+
+    def _collect_creations(self, ctx: ModuleContext, module: str) -> None:
+        """Record which canonical locks are plain vs reentrant."""
+        for stmt in ctx.tree.body:
+            name = self._assigned_lock(stmt)
+            if name:
+                self.lock_kinds[f"{module}.{name[0]}"] = name[1]
+        for cls in ctx.nodes(ast.ClassDef):
+            for node in ast.walk(cls):
+                if not isinstance(node, ast.Assign):
+                    continue
+                kind = self._lock_kind(node.value)
+                if kind is None:
+                    continue
+                for target in node.targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        canonical = f"{module}.{cls.name}.{target.attr}"
+                        self.lock_kinds[canonical] = kind
+
+    def _assigned_lock(self, stmt: ast.stmt) -> Optional[Tuple[str, str]]:
+        if not isinstance(stmt, ast.Assign):
+            return None
+        kind = self._lock_kind(stmt.value)
+        if kind is None:
+            return None
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                return target.id, kind
+        return None
+
+    @staticmethod
+    def _lock_kind(expr: ast.AST) -> Optional[str]:
+        if not isinstance(expr, ast.Call):
+            return None
+        func = expr.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        if name in _PLAIN_LOCK_FACTORIES:
+            return "Lock"
+        if name in _RLOCK_FACTORIES:
+            return "RLock"
+        return None
+
+    @staticmethod
+    def _functions(ctx: ModuleContext
+                   ) -> List[Tuple[Optional[str], ast.AST]]:
+        out: List[Tuple[Optional[str], ast.AST]] = []
+
+        def scan(body, cls: Optional[str]) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    out.append((cls, stmt))
+                    scan(stmt.body, cls)  # nested defs share the class
+                elif isinstance(stmt, ast.ClassDef):
+                    scan(stmt.body, stmt.name)
+
+        scan(ctx.tree.body, None)
+        return out
+
+    def _canonical(self, expr: ast.AST, module: str, cls: Optional[str],
+                   imports: Dict[str, str]) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            return f"{module}.{expr.id}"
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value,
+                                                          ast.Name):
+            base = expr.value.id
+            if base == "self":
+                if cls is None:
+                    return None
+                return f"{module}.{cls}.{expr.attr}"
+            if base in imports:
+                return f"{imports[base]}.{expr.attr}"
+        return None  # attribute of a plain object, call, subscript, ...
+
+    def _walk_function(self, ctx: ModuleContext, module: str,
+                       cls: Optional[str], func: ast.AST,
+                       imports: Dict[str, str]) -> None:
+        base_held: List[Tuple[str, int]] = []
+        for decorator in getattr(func, "decorator_list", []):
+            if (isinstance(decorator, ast.Call)
+                    and self._decorator_name(decorator) == "guarded_by"):
+                for arg in decorator.args:
+                    if (isinstance(arg, ast.Constant)
+                            and isinstance(arg.value, str)):
+                        leaf = arg.value.split(".")[-1]
+                        scope = f"{module}.{cls}" if cls else module
+                        base_held.append((f"{scope}.{leaf}",
+                                          decorator.lineno))
+
+        def visit(body, held: List[Tuple[str, int]]) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                    continue  # handled as their own entry
+                if isinstance(stmt, ast.With):
+                    inner = list(held)
+                    for item in stmt.items:
+                        name = self._canonical(item.context_expr, module,
+                                               cls, imports)
+                        if name is None:
+                            continue
+                        self._acquire(ctx, name, inner, stmt.lineno)
+                        inner.append((name, stmt.lineno))
+                    visit(stmt.body, inner)
+                    continue
+                for attr in ("body", "orelse", "finalbody"):
+                    visit(getattr(stmt, attr, []) or [], held)
+                for handler in getattr(stmt, "handlers", []) or []:
+                    visit(handler.body, held)
+                if _MATCH is not None and isinstance(stmt, _MATCH):
+                    for case in stmt.cases:
+                        visit(case.body, held)
+
+        visit(func.body, base_held)
+
+    def _acquire(self, ctx: ModuleContext, name: str,
+                 held: List[Tuple[str, int]], line: int) -> None:
+        held_names = [h[0] for h in held]
+        if name in held_names:
+            self._reacquires.append((name, ctx.path, line,
+                                     held[held_names.index(name)][0]))
+            return
+        for outer, _outer_line in held:
+            if outer == name:
+                continue
+            key = (outer, name)
+            if key not in self.edges:
+                self.edges[key] = _Edge(outer, name, ctx.path, line)
+
+    @staticmethod
+    def _decorator_name(decorator: ast.Call) -> Optional[str]:
+        func = decorator.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    # -- reporting ---------------------------------------------------------
+
+    def finish(self) -> List[Diagnostic]:
+        diagnostics = []
+        diagnostics.extend(self._cycle_diagnostics())
+        diagnostics.extend(self._reacquire_diagnostics())
+        kept = []
+        for diag in diagnostics:
+            ctx = self._contexts.get(diag.path or "")
+            if ctx is not None and ctx.is_suppressed(diag.rule, diag.line):
+                continue
+            kept.append(diag)
+        return kept
+
+    def _cycle_diagnostics(self) -> Iterable[Diagnostic]:
+        adjacency: Dict[str, List[str]] = {}
+        for first, second in self.edges:
+            adjacency.setdefault(first, []).append(second)
+            adjacency.setdefault(second, [])
+        reported: Set[frozenset] = set()
+        for component in _tarjan_sccs(adjacency):
+            if len(component) < 2:
+                continue
+            key = frozenset(component)
+            if key in reported:
+                continue
+            reported.add(key)
+            cycle = self._cycle_within(component)
+            steps = []
+            for index, lock in enumerate(cycle):
+                nxt = cycle[(index + 1) % len(cycle)]
+                edge = self.edges[(lock, nxt)]
+                steps.append(f"{lock} -> {nxt} at {edge.witness}")
+            anchor = self.edges[(cycle[0], cycle[1 % len(cycle)])]
+            yield Diagnostic(
+                "lock-order",
+                "lock acquisition order cycle (potential deadlock): "
+                + "; ".join(steps),
+                Severity.ERROR, path=anchor.path, line=anchor.line)
+
+    def _cycle_within(self, component: Set[str]) -> List[str]:
+        """One concrete cycle through an SCC (DFS back to the start)."""
+        start = sorted(component)[0]
+        stack = [(start, [start])]
+        seen = set()
+        while stack:
+            node, trail = stack.pop()
+            for first, second in self.edges:
+                if first != node or second not in component:
+                    continue
+                if second == start:
+                    return trail
+                if second in seen:
+                    continue
+                seen.add(second)
+                stack.append((second, trail + [second]))
+        return sorted(component)  # unreachable for a real SCC
+
+    def _reacquire_diagnostics(self) -> Iterable[Diagnostic]:
+        seen: Set[Tuple[str, str, int]] = set()
+        for name, path, line, _held in self._reacquires:
+            if self.lock_kinds.get(name) != "Lock":
+                continue  # reentrant or unknown: benefit of the doubt
+            key = (name, path, line)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield Diagnostic(
+                "lock-reacquire",
+                f"non-reentrant lock {name} acquired while already "
+                f"held on the same path (self-deadlock)",
+                Severity.ERROR, path=path, line=line)
+
+    def graph(self) -> List[Dict[str, str]]:
+        """JSON-ready edge list for the CLI ``--json`` output."""
+        return [{"first": edge.first, "second": edge.second,
+                 "witness": edge.witness}
+                for edge in sorted(self.edges.values(),
+                                   key=lambda e: (e.first, e.second))]
+
+
+_MATCH = getattr(ast, "Match", None)
+
+
+def _tarjan_sccs(adjacency: Dict[str, List[str]]) -> List[Set[str]]:
+    """Iterative Tarjan strongly-connected components."""
+    index_of: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[Set[str]] = []
+    counter = [0]
+
+    for root in adjacency:
+        if root in index_of:
+            continue
+        work = [(root, iter(adjacency[root]))]
+        index_of[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, neighbours = work[-1]
+            advanced = False
+            for neighbour in neighbours:
+                if neighbour not in index_of:
+                    index_of[neighbour] = low[neighbour] = counter[0]
+                    counter[0] += 1
+                    stack.append(neighbour)
+                    on_stack.add(neighbour)
+                    work.append((neighbour, iter(adjacency[neighbour])))
+                    advanced = True
+                    break
+                if neighbour in on_stack:
+                    low[node] = min(low[node], index_of[neighbour])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component: Set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components

@@ -1,0 +1,42 @@
+"""Public facade for the runtime lock sanitizer.
+
+The implementation lives in :mod:`repro.obs.locks` — at the very bottom
+of the stack, importing only the standard library — so that
+``repro.obs.metrics``/``trace`` and ``repro.core.counters`` can create
+their locks through the factory without an import cycle.  Tooling and
+tests should import the sanitizer from here; see the module docstring
+of :mod:`repro.obs.locks` for semantics and the report schema
+(``repro.obs.locksan/v1``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.locks import (
+    MAX_REPORTS,
+    SanitizedLock,
+    hold_threshold_ms,
+    make_lock,
+    make_rlock,
+    note_blocking_io,
+    report,
+    reset,
+    sanitizer_enabled,
+    sanitizer_provider,
+    set_hold_threshold_ms,
+    set_sanitizer_enabled,
+)
+
+__all__ = [
+    "MAX_REPORTS",
+    "SanitizedLock",
+    "hold_threshold_ms",
+    "make_lock",
+    "make_rlock",
+    "note_blocking_io",
+    "report",
+    "reset",
+    "sanitizer_enabled",
+    "sanitizer_provider",
+    "set_hold_threshold_ms",
+    "set_sanitizer_enabled",
+]

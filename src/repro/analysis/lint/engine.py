@@ -22,17 +22,30 @@ from __future__ import annotations
 import ast
 import io
 import re
+import time
 import tokenize
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence, Set,
+                    Tuple, Type)
 
 from repro.analysis.diagnostics import Diagnostic, Severity
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*ignore\[([^\]]+)\](.*)")
 
+#: shared-state annotation scanned alongside pragmas; the concurrency
+#: rules (repro.analysis.concurrency) consume it through
+#: ``ModuleContext.guard_comments``
+_GUARD_RE = re.compile(r"#\s*guarded-by:\s*(?:self\.)?([A-Za-z_]\w*)")
+
 
 class ModuleContext:
-    """One parsed source module handed to each rule."""
+    """One parsed source module handed to each rule.
+
+    The module is tokenized once (pragma and ``guarded-by`` comments)
+    and its AST walked once; rules read the shared per-node-type index
+    through :meth:`nodes` instead of re-walking the tree, which is what
+    keeps a full-rule-set lint pass a single traversal per file.
+    """
 
     def __init__(self, path: str, source: str, tree: ast.Module) -> None:
         self.path = path
@@ -41,11 +54,29 @@ class ModuleContext:
         self.lines = source.splitlines()
         # line number -> set of suppressed rule ids on that line
         self.suppressions: Dict[int, Set[str]] = {}
+        # line number -> lock name from a "# guarded-by: <lock>" comment
+        self.guard_comments: Dict[int, str] = {}
         self.pragma_diagnostics: List[Diagnostic] = []
         self._scan_pragmas()
+        self._by_type: Dict[type, List[ast.AST]] = {}
+        for node in ast.walk(tree):
+            self._by_type.setdefault(type(node), []).append(node)
+
+    def nodes(self, *types: Type[ast.AST]) -> List[ast.AST]:
+        """Every node of the given AST types, from the shared one-pass
+        index (same breadth-first order ``ast.walk`` would yield)."""
+        if len(types) == 1:
+            return self._by_type.get(types[0], [])
+        out: List[ast.AST] = []
+        for node_type in types:
+            out.extend(self._by_type.get(node_type, []))
+        return out
 
     def _scan_pragmas(self) -> None:
         for lineno, comment in self._iter_comments():
+            guard = _GUARD_RE.search(comment)
+            if guard:
+                self.guard_comments[lineno] = guard.group(1)
             match = _PRAGMA_RE.search(comment)
             if not match:
                 continue
@@ -120,19 +151,31 @@ class LintRule:
 
 
 class LintEngine:
-    """Runs a rule set over source files and aggregates diagnostics."""
+    """Runs a rule set over source files and aggregates diagnostics.
+
+    Each file is parsed and indexed once; every applicable rule then
+    runs over the shared :class:`ModuleContext`.  The engine keeps
+    per-rule wall-time totals in ``rule_timings_ms`` and suppression
+    tallies in ``stats`` — both are reset by :meth:`lint_paths` and
+    surfaced through ``python -m repro.analysis lint --json``.
+    """
 
     def __init__(self, rules: Optional[Sequence[LintRule]] = None) -> None:
         if rules is None:
             from repro.analysis.lint.rules import ALL_RULES
             rules = ALL_RULES
         self.rules = list(rules)
+        self.rule_timings_ms: Dict[str, float] = {}
+        self.stats: Dict[str, object] = {
+            "files": 0, "suppressed": 0, "suppressed_rules": {}}
 
     # -- entry points ------------------------------------------------------
 
     def lint_paths(self, paths: Iterable[str]) -> List[Diagnostic]:
         """Lint files and directory trees; directories are walked for
         ``*.py`` files (hidden directories skipped)."""
+        self.rule_timings_ms = {}
+        self.stats = {"files": 0, "suppressed": 0, "suppressed_rules": {}}
         diagnostics: List[Diagnostic] = []
         for path in self._iter_files(paths):
             diagnostics.extend(self.lint_file(path))
@@ -157,17 +200,9 @@ class LintEngine:
                                Severity.ERROR, path=path, line=exc.lineno,
                                column=exc.offset)]
         ctx = ModuleContext(path, source, tree)
-        found: List[Diagnostic] = list(ctx.pragma_diagnostics)
-        used_pragma_lines: Set[int] = set()
-        for rule in self.rules:
-            if not rule.applies_to(path):
-                continue
-            for diag in rule.check(ctx):
-                pragma_line = ctx.suppression_line(diag.rule, diag.line)
-                if pragma_line is not None:
-                    used_pragma_lines.add(pragma_line)
-                    continue
-                found.append(diag)
+        self.stats["files"] = int(self.stats.get("files", 0)) + 1
+        found, used_pragma_lines = self.apply_rules(ctx, self.rules)
+        found = list(ctx.pragma_diagnostics) + found
         for lineno in ctx.suppressions:
             if lineno not in used_pragma_lines:
                 found.append(Diagnostic(
@@ -175,6 +210,38 @@ class LintEngine:
                     "suppression pragma matches no finding (stale?)",
                     Severity.WARNING, path=path, line=lineno))
         return found
+
+    def apply_rules(self, ctx: ModuleContext, rules: Sequence[LintRule]
+                    ) -> Tuple[List[Diagnostic], Set[int]]:
+        """Run ``rules`` over one module context, filtering suppressed
+        findings; returns (diagnostics, pragma lines that fired).
+
+        This is the shared core between :meth:`lint_source` (which
+        additionally reports unjustified and stale pragmas) and the
+        concurrency checker, which runs a rule subset and must not call
+        pragmas for *other* rules stale.
+        """
+        found: List[Diagnostic] = []
+        used_pragma_lines: Set[int] = set()
+        suppressed_rules = self.stats.setdefault("suppressed_rules", {})
+        for rule in rules:
+            if not rule.applies_to(ctx.path):
+                continue
+            start = time.perf_counter()
+            for diag in rule.check(ctx):
+                pragma_line = ctx.suppression_line(diag.rule, diag.line)
+                if pragma_line is not None:
+                    used_pragma_lines.add(pragma_line)
+                    self.stats["suppressed"] = \
+                        int(self.stats.get("suppressed", 0)) + 1
+                    suppressed_rules[diag.rule] = \
+                        suppressed_rules.get(diag.rule, 0) + 1
+                    continue
+                found.append(diag)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            self.rule_timings_ms[rule.rule_id] = \
+                self.rule_timings_ms.get(rule.rule_id, 0.0) + elapsed_ms
+        return found, used_pragma_lines
 
     # -- helpers -----------------------------------------------------------
 

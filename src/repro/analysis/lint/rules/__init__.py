@@ -17,6 +17,7 @@ from repro.analysis.lint.rules.exceptions import (
 )
 from repro.analysis.lint.rules.hotpath import DirectTimeRule, DomMaterializeRule
 from repro.analysis.lint.rules.imports import UnusedImportRule
+from repro.analysis.concurrency.guards import GuardedMutationRule
 
 ALL_RULES = [
     BroadExceptRule(),
@@ -29,6 +30,7 @@ ALL_RULES = [
     AssertRule(),
     DomMaterializeRule(),
     DirectTimeRule(),
+    GuardedMutationRule(),
 ]
 
 __all__ = [
@@ -38,6 +40,7 @@ __all__ = [
     "DirectTimeRule",
     "DomMaterializeRule",
     "ExhaustiveDispatchRule",
+    "GuardedMutationRule",
     "MutableDefaultRule",
     "RaiseBuiltinRule",
     "SilentExceptRule",

@@ -24,9 +24,8 @@ class AssertRule(LintRule):
     scopes = ("src/repro",)
 
     def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Assert):
-                yield ctx.diagnostic(
+        for node in ctx.nodes(ast.Assert):
+            yield ctx.diagnostic(
                     self.rule_id,
                     "assert is stripped under 'python -O' — raise a repro "
                     "error instead", node)

@@ -46,11 +46,10 @@ class UnguardedReadRule(LintRule):
     scopes = ("repro/core/oson", "repro/bson", "repro/jsontext")
 
     def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                diag = self._check_function(ctx, node)
-                if diag is not None:
-                    yield diag
+        for node in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+            diag = self._check_function(ctx, node)
+            if diag is not None:
+                yield diag
 
     def _check_function(self, ctx: ModuleContext,
                         func: ast.AST) -> Optional[Diagnostic]:

@@ -29,9 +29,7 @@ class MutableDefaultRule(LintRule):
     description = "no mutable default argument values"
 
     def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
+        for node in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
             defaults = list(node.args.defaults)
             defaults.extend(d for d in node.args.kw_defaults
                             if d is not None)

@@ -97,9 +97,7 @@ class ExhaustiveDispatchRule(LintRule):
     # -- chain analysis ----------------------------------------------------
 
     def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
+        for node in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
             yield from self._check_body(ctx, node.name, node.body)
 
     def _check_body(self, ctx: ModuleContext, func_name: str,

@@ -46,9 +46,7 @@ class BroadExceptRule(LintRule):
     description = "no broad or bare exception handlers"
 
     def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.ExceptHandler):
-                continue
+        for node in ctx.nodes(ast.ExceptHandler):
             if node.type is None:
                 yield ctx.diagnostic(
                     self.rule_id, "bare 'except:' catches everything "
@@ -70,10 +68,8 @@ class SilentExceptRule(LintRule):
     description = "no handlers that silently discard the exception"
 
     def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if (isinstance(node, ast.ExceptHandler)
-                    and len(node.body) == 1
-                    and isinstance(node.body[0], ast.Pass)):
+        for node in ctx.nodes(ast.ExceptHandler):
+            if len(node.body) == 1 and isinstance(node.body[0], ast.Pass):
                 yield ctx.diagnostic(
                     self.rule_id,
                     "handler silently discards the exception — handle it "
@@ -93,8 +89,8 @@ class RaiseBuiltinRule(LintRule):
     scopes = ("repro/core/oson", "repro/bson", "repro/jsontext")
 
     def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Raise) or node.exc is None:
+        for node in ctx.nodes(ast.Raise):
+            if node.exc is None:
                 continue
             exc = node.exc
             if isinstance(exc, ast.Call):

@@ -47,9 +47,7 @@ class DomMaterializeRule(LintRule):
               "repro/sqljson/json_table", "repro/engine/view")
 
     def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in ctx.nodes(ast.Call):
             name = _call_name(node)
             if name in _MATERIALIZERS:
                 yield ctx.diagnostic(
@@ -82,22 +80,20 @@ class DirectTimeRule(LintRule):
               "repro/imc/store")
 
     def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Attribute) and \
-                    isinstance(node.value, ast.Name) and \
-                    node.value.id == "time":
+        for node in ctx.nodes(ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "time":
                 yield ctx.diagnostic(
                     self.rule_id,
                     f"direct time.{node.attr} in an instrumented module; "
                     "use repro.obs.trace.monotonic (or a span) so the "
                     "measurement lands in the trace export",
                     node)
-            elif isinstance(node, (ast.Import, ast.ImportFrom)):
-                names = [a.name for a in node.names]
-                module = getattr(node, "module", None)
-                if "time" in names or module == "time":
-                    yield ctx.diagnostic(
-                        self.rule_id,
-                        "instrumented modules must not import time; "
-                        "repro.obs.trace.monotonic is the project clock",
-                        node)
+        for node in ctx.nodes(ast.Import, ast.ImportFrom):
+            names = [a.name for a in node.names]
+            module = getattr(node, "module", None)
+            if "time" in names or module == "time":
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    "instrumented modules must not import time; "
+                    "repro.obs.trace.monotonic is the project clock",
+                    node)

@@ -1,4 +1,21 @@
-"""Unused-import rule (pyflakes-class)."""
+"""Unused-import rule (pyflakes-class).
+
+Beyond plain name references, three re-export/typing idioms count as
+uses so they no longer need pragmas:
+
+* names listed in ``__all__`` — whether assigned (``__all__ = [...]``),
+  extended (``__all__ += [...]``) or grown in place
+  (``__all__.extend([...])`` / ``.append(...)``);
+* imports inside an ``if TYPE_CHECKING:`` block whose names appear in
+  *string* annotations (``def f(x: "Table") -> "Guide"``) — with
+  ``from __future__ import annotations`` the unquoted form is already a
+  plain ``Name`` node, but quoted forward references only exist inside
+  string constants, so annotation strings are parsed and their names
+  collected;
+* a TYPE_CHECKING import that is referenced nowhere at all is still
+  flagged — the exemption is for the annotation-only usage pattern,
+  not for the block.
+"""
 
 from __future__ import annotations
 
@@ -9,46 +26,91 @@ from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.lint.engine import LintRule, ModuleContext
 
 
-def _collect_bindings(tree: ast.Module) -> Dict[str, Tuple[ast.AST, str]]:
+def _collect_bindings(ctx: ModuleContext) -> Dict[str, Tuple[ast.AST, str]]:
     """Map bound name -> (import node, dotted source) for every import."""
     bindings: Dict[str, Tuple[ast.AST, str]] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                bound = alias.asname or alias.name.split(".")[0]
-                bindings[bound] = (node, alias.name)
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
+    for node in ctx.nodes(ast.Import):
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            bindings[bound] = (node, alias.name)
+    for node in ctx.nodes(ast.ImportFrom):
+        if node.module == "__future__":
+            continue
+        for alias in node.names:
+            if alias.name == "*":
                 continue
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                bound = alias.asname or alias.name
-                bindings[bound] = (node, alias.name)
+            bound = alias.asname or alias.name
+            bindings[bound] = (node, alias.name)
     return bindings
 
 
-def _collect_uses(tree: ast.Module) -> Set[str]:
+def _string_elements(node: ast.AST) -> Iterable[str]:
+    """String constants anywhere under ``node`` (list/tuple elements)."""
+    for element in ast.walk(node):
+        if (isinstance(element, ast.Constant)
+                and isinstance(element.value, str)):
+            yield element.value
+
+
+def _is_all_target(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id == "__all__"
+
+
+def _collect_uses(ctx: ModuleContext) -> Set[str]:
     used: Set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            used.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            # "a.b.c" used as a bare attribute chain rooted at a Name is
-            # already covered by the root's Name node
+    for node in ctx.nodes(ast.Name):
+        used.add(node.id)
+    # __all__ re-exports: plain assignment, augmented assignment, and
+    # in-place growth via extend/append
+    for node in ctx.nodes(ast.Assign):
+        if any(_is_all_target(t) for t in node.targets):
+            used.update(_string_elements(node.value))
+    for node in ctx.nodes(ast.AugAssign):
+        if _is_all_target(node.target):
+            used.update(_string_elements(node.value))
+    for node in ctx.nodes(ast.Call):
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in ("extend", "append")
+                and _is_all_target(func.value)):
+            for arg in node.args:
+                used.update(_string_elements(arg))
+    # quoted forward references: parse string annotations and count
+    # every dotted-name root they mention
+    for text in _annotation_strings(ctx):
+        try:
+            parsed = ast.parse(text, mode="eval")
+        except SyntaxError:
             continue
-        elif (isinstance(node, ast.Assign)
-              and any(isinstance(t, ast.Name) and t.id == "__all__"
-                      for t in node.targets)):
-            for element in ast.walk(node.value):
-                if (isinstance(element, ast.Constant)
-                        and isinstance(element.value, str)):
-                    used.add(element.value)
+        for name in ast.walk(parsed):
+            if isinstance(name, ast.Name):
+                used.add(name.id)
     return used
 
 
+def _annotation_strings(ctx: ModuleContext) -> Iterable[str]:
+    for node in ctx.nodes(ast.AnnAssign):
+        yield from _constant_strings(node.annotation)
+    for node in ctx.nodes(ast.arg):
+        if node.annotation is not None:
+            yield from _constant_strings(node.annotation)
+    for node in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+        if node.returns is not None:
+            yield from _constant_strings(node.returns)
+
+
+def _constant_strings(annotation: ast.AST) -> Iterable[str]:
+    """String constants inside one annotation expression — the whole
+    annotation when quoted, or quoted arguments of e.g. Optional[...]"""
+    for element in ast.walk(annotation):
+        if (isinstance(element, ast.Constant)
+                and isinstance(element.value, str)):
+            yield element.value
+
+
 class UnusedImportRule(LintRule):
-    """Imported names must be used (or re-exported via ``__all__``).
+    """Imported names must be used, re-exported via ``__all__``, or
+    referenced from (possibly quoted) type annotations.
 
     ``__init__.py`` files are skipped entirely — re-exporting is their
     purpose and the convention predates ``__all__`` in parts of the
@@ -61,8 +123,8 @@ class UnusedImportRule(LintRule):
     def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
         if ctx.path.replace("\\", "/").endswith("__init__.py"):
             return
-        used = _collect_uses(ctx.tree)
-        for bound, (node, source) in _collect_bindings(ctx.tree).items():
+        used = _collect_uses(ctx)
+        for bound, (node, source) in _collect_bindings(ctx).items():
             if bound not in used:
                 yield ctx.diagnostic(
                     self.rule_id,

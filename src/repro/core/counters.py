@@ -35,10 +35,10 @@ these caches from worker threads, so every mutation is serialized:
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Any, Dict, Iterator, Optional
 
+from repro.obs import locks as _locks
 from repro.obs import metrics as _obs_metrics
 
 
@@ -54,10 +54,10 @@ class CacheCounters:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self._lock = threading.Lock()
+        self.hits = 0        # guarded-by: _lock
+        self.misses = 0      # guarded-by: _lock
+        self.evictions = 0   # guarded-by: _lock
+        self._lock = _locks.make_lock(f"core.counters.{name}")
 
     def record_hit(self) -> None:
         with self._lock:
@@ -100,9 +100,9 @@ class CacheCounters:
 
 #: guards first registration in both registries below; steady-state
 #: lookups read the dicts without it
-_REGISTRY_LOCK = threading.Lock()
+_REGISTRY_LOCK = _locks.make_lock("core.counters.registry")
 
-#: global registry: cache name -> counters record
+#: global registry: cache name -> counters record  # guarded-by: _REGISTRY_LOCK
 _REGISTRY: Dict[str, CacheCounters] = {}
 
 
@@ -139,6 +139,7 @@ def reset_all() -> None:
 #: cache name -> live cache object (BoundedCache / IdentityCache); lets
 #: the ablation harness flip ``enabled`` on a subsystem's caches without
 #: importing each owning module's private global
+# guarded-by: _REGISTRY_LOCK
 _CACHES: Dict[str, Any] = {}
 
 
@@ -194,8 +195,9 @@ class BoundedCache:
         self.counters = counters_for(name)
         self.maxsize = maxsize
         self.enabled = True
+        # guarded-by: _lock
         self._entries: OrderedDict[Any, Any] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = _locks.make_lock(f"core.counters.cache.{name}")
         _register_cache(name, self)
 
     def __len__(self) -> int:
@@ -254,8 +256,9 @@ class IdentityCache:
         self.counters = counters_for(name)
         self.maxsize = maxsize
         self.enabled = True
+        # guarded-by: _lock
         self._entries: OrderedDict[int, tuple[Any, Any]] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = _locks.make_lock(f"core.counters.cache.{name}")
         _register_cache(name, self)
 
     def __len__(self) -> int:

@@ -24,8 +24,9 @@ onto locked instruments.
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs import locks as _locks
 
 __all__ = [
     "Counter",
@@ -59,8 +60,8 @@ class Counter:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._lock = threading.Lock()
-        self._value = 0
+        self._lock = _locks.make_lock(f"obs.metrics.{name}")
+        self._value = 0  # guarded-by: _lock
 
     def inc(self, amount: int = 1) -> None:
         with self._lock:
@@ -88,8 +89,8 @@ class Gauge:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._lock = threading.Lock()
-        self._value: float = 0
+        self._lock = _locks.make_lock(f"obs.metrics.{name}")
+        self._value: float = 0  # guarded-by: _lock
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -132,10 +133,10 @@ class Histogram:
                 f"histogram {name} needs strictly ascending boundaries")
         self.name = name
         self.boundaries = bounds
-        self._lock = threading.Lock()
-        self._counts = [0] * (len(bounds) + 1)
-        self._sum = 0.0
-        self._count = 0
+        self._lock = _locks.make_lock(f"obs.metrics.{name}")
+        self._counts = [0] * (len(bounds) + 1)  # guarded-by: _lock
+        self._sum = 0.0    # guarded-by: _lock
+        self._count = 0    # guarded-by: _lock
 
     def observe(self, value: float) -> None:
         index = self._bucket_index(value)
@@ -182,13 +183,16 @@ class Histogram:
         return f"Histogram({self.name!r}, count={self._count})"
 
 
-_REGISTRY_LOCK = threading.Lock()
+_REGISTRY_LOCK = _locks.make_lock("obs.metrics.registry")
+
+#: registered instruments  # guarded-by: _REGISTRY_LOCK
 _INSTRUMENTS: Dict[str, Any] = {}
 
 #: snapshot providers: name -> zero-arg callable returning a JSON-ready
 #: dict merged into the export under that section name.  This is how
 #: repro.core.counters (cache hit/miss registry) joins the unified
 #: export without moving its unlocked hot-path tallies.
+# guarded-by: _REGISTRY_LOCK
 _PROVIDERS: Dict[str, Callable[[], Dict[str, Any]]] = {}
 
 _KINDS = {"counter": Counter, "gauge": Gauge}
@@ -301,3 +305,9 @@ def find_metric(name: str) -> Optional[Any]:
 def metric_names() -> List[str]:
     with _REGISTRY_LOCK:
         return sorted(_INSTRUMENTS)
+
+
+# the lock sanitizer's summary joins the unified export; registered
+# here (not from repro.obs.locks) so the bottom-of-stack locks module
+# keeps its zero-dependency layering
+register_provider("lock_sanitizer", _locks.sanitizer_provider)

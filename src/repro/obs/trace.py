@@ -25,11 +25,12 @@ from __future__ import annotations
 
 import itertools
 import os
-import threading
 import time
 from collections import deque
 from contextvars import ContextVar
 from typing import Any, Dict, List, Optional
+
+from repro.obs import locks as _locks
 
 __all__ = [
     "MAX_CHILDREN",
@@ -60,8 +61,18 @@ _CURRENT: ContextVar[Optional["Span"]] = ContextVar("repro_obs_span",
 
 _ids = itertools.count(1)
 
-_RING_LOCK = threading.Lock()
+_RING_LOCK = _locks.make_lock("obs.trace.ring")
+
+#: completed root spans  # guarded-by: _RING_LOCK
 _RING: deque = deque(maxlen=RING_SIZE)
+
+#: serializes child attachment on span close.  Worker threads that run
+#: under a copied context share one parent Span object, so the
+#: child-cap check-then-append (and the ``dropped`` tally) race without
+#: it.  Module-level because the parent is reached through a local
+#: alias; contention is nil — tracing is off by default and attach is
+#: a few list ops.
+_ATTACH_LOCK = _locks.make_lock("obs.trace.attach")
 
 
 def set_tracing_enabled(enabled: bool) -> bool:
@@ -97,8 +108,8 @@ class Span:
         self.name = name
         self.attrs = attrs or {}
         self.counters: Dict[str, float] = {}
-        self.children: List["Span"] = []
-        self.dropped = 0
+        self.children: List["Span"] = []  # guarded-by: _ATTACH_LOCK
+        self.dropped = 0                  # guarded-by: _ATTACH_LOCK
         self.elapsed_ms: Optional[float] = None
         self._start: float = 0.0
         self._token = None
@@ -125,10 +136,11 @@ class Span:
         if token is not None:
             _CURRENT.reset(token)
         if isinstance(parent, Span):
-            if len(parent.children) < MAX_CHILDREN:
-                parent.children.append(self)
-            else:
-                parent.dropped += 1
+            with _ATTACH_LOCK:
+                if len(parent.children) < MAX_CHILDREN:
+                    parent.children.append(self)
+                else:
+                    parent.dropped += 1
         else:
             with _RING_LOCK:
                 _RING.append(self)

@@ -33,6 +33,7 @@ import os
 from typing import Dict, List
 
 from repro.errors import StorageError
+from repro.obs import locks as _locks
 
 
 class FileHandle:
@@ -122,6 +123,7 @@ class _OsFileHandle(FileHandle):
         self._handle.flush()
 
     def sync(self) -> None:
+        _locks.note_blocking_io("fsync")
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
@@ -210,6 +212,9 @@ class _MemFileHandle(FileHandle):
         self._file()
 
     def sync(self) -> None:
+        # the memory model has no real fsync, but it keeps the
+        # sanitizer's lock-held-across-IO check honest in tests
+        _locks.note_blocking_io("fsync")
         entry = self._file()
         entry.synced.extend(entry.pending)
         entry.pending.clear()

@@ -32,6 +32,7 @@ from repro.core.dataguide.guide import DataGuide
 from repro.core.oson import decode as oson_decode
 from repro.core.oson import encode as oson_encode
 from repro.errors import StorageError
+from repro.obs import locks as _locks
 from repro.storage import log as logfmt
 from repro.storage import manifest as manifestfmt
 from repro.storage.files import FileSystem, OsFileSystem
@@ -50,13 +51,20 @@ class CollectionStore:
                  recovery: Optional[RecoveryReport]) -> None:
         self._directory = directory
         self._fs = fs
-        self._docs = docs
-        self._builder = builder
-        self._next_doc_id = next_doc_id
-        self._wal = wal
-        self._sealed = sealed  # (name, valid length) in apply order
+        self._docs = docs                  # guarded-by: _lock
+        self._builder = builder            # guarded-by: _lock
+        self._next_doc_id = next_doc_id    # guarded-by: _lock
+        self._wal = wal                    # guarded-by: _lock
+        # (name, valid length) in apply order  # guarded-by: _lock
+        self._sealed = sealed
         self.recovery = recovery
-        self._closed = False
+        self._closed = False               # guarded-by: _lock
+        # serializes all mutation (DML, checkpoint, compact, close);
+        # reads stay lock-free for the single-session engine of today.
+        # allow_io: covering our own WAL fsync is the documented design
+        # until group commit (ROADMAP item 1) — the sanitizer tracks
+        # this lock's ordering but exempts it from io-under-lock.
+        self._lock = _locks.make_lock("storage.store", allow_io=True)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -128,10 +136,11 @@ class CollectionStore:
         return store
 
     def close(self) -> None:
-        if not self._closed:
-            self._wal.commit()
-            self._wal.close()
-            self._closed = True
+        with self._lock:
+            if not self._closed:
+                self._wal.commit()
+                self._wal.close()
+                self._closed = True
 
     def __enter__(self) -> "CollectionStore":
         return self
@@ -156,40 +165,43 @@ class CollectionStore:
     def insert(self, document: Any) -> int:
         """Durably insert; returns the new document id once the WAL
         record is fsynced (the acknowledgement point)."""
-        self._live()
-        image = oson_encode(document)
-        doc_id = self._next_doc_id
-        self._wal.append(logfmt.encode_record(logfmt.OP_INSERT, doc_id,
-                                              image))
-        self._wal.commit()
-        self._next_doc_id = doc_id + 1
-        self._docs[doc_id] = image
-        self._builder.add(document)
-        return doc_id
+        with self._lock:
+            self._live()
+            image = oson_encode(document)
+            doc_id = self._next_doc_id
+            self._wal.append(logfmt.encode_record(logfmt.OP_INSERT, doc_id,
+                                                  image))
+            self._wal.commit()
+            self._next_doc_id = doc_id + 1
+            self._docs[doc_id] = image
+            self._builder.add(document)
+            return doc_id
 
     def insert_many(self, documents: Any) -> List[int]:
         return [self.insert(document) for document in documents]
 
     def update(self, doc_id: int, document: Any) -> None:
-        self._live()
-        if doc_id not in self._docs:
-            raise StorageError(f"no document {doc_id} to update")
-        image = oson_encode(document)
-        self._wal.append(logfmt.encode_record(logfmt.OP_UPDATE, doc_id,
-                                              image))
-        self._wal.commit()
-        self._docs[doc_id] = image
-        self._builder.add(document)
+        with self._lock:
+            self._live()
+            if doc_id not in self._docs:
+                raise StorageError(f"no document {doc_id} to update")
+            image = oson_encode(document)
+            self._wal.append(logfmt.encode_record(logfmt.OP_UPDATE, doc_id,
+                                                  image))
+            self._wal.commit()
+            self._docs[doc_id] = image
+            self._builder.add(document)
 
     def delete(self, doc_id: int) -> None:
-        self._live()
-        if doc_id not in self._docs:
-            raise StorageError(f"no document {doc_id} to delete")
-        self._wal.append(logfmt.encode_record(logfmt.OP_DELETE, doc_id))
-        self._wal.commit()
-        del self._docs[doc_id]
-        # the DataGuide stays additive on delete (paper section 3.4);
-        # recovery and compaction shrink it by rebuilding
+        with self._lock:
+            self._live()
+            if doc_id not in self._docs:
+                raise StorageError(f"no document {doc_id} to delete")
+            self._wal.append(logfmt.encode_record(logfmt.OP_DELETE, doc_id))
+            self._wal.commit()
+            del self._docs[doc_id]
+            # the DataGuide stays additive on delete (paper section
+            # 3.4); recovery and compaction shrink it by rebuilding
 
     # -- reads -------------------------------------------------------------
 
@@ -226,65 +238,68 @@ class CollectionStore:
 
     def checkpoint(self) -> None:
         """Seal the WAL into a segment and publish a new manifest."""
-        self._live()
-        self._wal.commit()
-        sealed_name = posixpath.basename(self._wal.path)
-        sealed_length = self._wal.offset
-        self._wal.close()
-        self._sealed.append((sealed_name, sealed_length))
-        sequence = self._wal.sequence + 1
-        self._wal = LogWriter.create(
-            self._fs, posixpath.join(self._directory,
-                                     logfmt.log_name(sequence)), sequence)
-        self._write_manifest()
+        with self._lock:
+            self._live()
+            self._wal.commit()
+            sealed_name = posixpath.basename(self._wal.path)
+            sealed_length = self._wal.offset
+            self._wal.close()
+            self._sealed.append((sealed_name, sealed_length))
+            sequence = self._wal.sequence + 1
+            self._wal = LogWriter.create(
+                self._fs, posixpath.join(self._directory,
+                                         logfmt.log_name(sequence)),
+                sequence)
+            self._write_manifest()
 
     def compact(self) -> int:
         """Rewrite only the live documents into one fresh segment, then
         drop every superseded log file.  Returns bytes reclaimed."""
-        self._live()
-        self._wal.commit()
-        self._wal.close()
+        with self._lock:
+            self._live()
+            self._wal.commit()
+            self._wal.close()
 
-        sequence = self._wal.sequence + 1
-        segment = LogWriter.create(
-            self._fs, posixpath.join(self._directory,
-                                     logfmt.log_name(sequence)), sequence)
-        for doc_id in sorted(self._docs):
-            segment.append(logfmt.encode_record(
-                logfmt.OP_INSERT, doc_id, self._docs[doc_id]))
-        segment.commit()
-        segment.close()
+            sequence = self._wal.sequence + 1
+            segment = LogWriter.create(
+                self._fs, posixpath.join(self._directory,
+                                         logfmt.log_name(sequence)), sequence)
+            for doc_id in sorted(self._docs):
+                segment.append(logfmt.encode_record(
+                    logfmt.OP_INSERT, doc_id, self._docs[doc_id]))
+            segment.commit()
+            segment.close()
 
-        self._wal = LogWriter.create(
-            self._fs, posixpath.join(self._directory,
-                                     logfmt.log_name(sequence + 1)),
-            sequence + 1)
-        # compaction rebuilds the DataGuide over live documents only —
-        # the one sanctioned shrink point
-        builder = DataGuideBuilder()
-        for doc_id in sorted(self._docs):
-            builder.add(oson_decode(self._docs[doc_id]))
-        self._builder = builder
-        self._sealed = [(posixpath.basename(segment.path),
-                         segment.offset)]
-        self._write_manifest()
-        # GC every unreferenced log at or below the new horizon: the
-        # files this compaction superseded, plus orphans left by an
-        # earlier compaction that crashed after publishing its manifest
-        # but before its own remove sweep
-        referenced = {name for name, _ in self._sealed}
-        referenced.add(posixpath.basename(self._wal.path))
-        horizon = self._wal.sequence
-        reclaimed = 0
-        for name in self._fs.listdir(self._directory):
-            log_sequence = logfmt.parse_log_name(name)
-            if (log_sequence is None or name in referenced
-                    or log_sequence > horizon):
-                continue
-            path = posixpath.join(self._directory, name)
-            reclaimed += self._fs.file_size(path)
-            self._fs.remove(path)
-        return max(0, reclaimed - segment.offset)
+            self._wal = LogWriter.create(
+                self._fs, posixpath.join(self._directory,
+                                         logfmt.log_name(sequence + 1)),
+                sequence + 1)
+            # compaction rebuilds the DataGuide over live documents only —
+            # the one sanctioned shrink point
+            builder = DataGuideBuilder()
+            for doc_id in sorted(self._docs):
+                builder.add(oson_decode(self._docs[doc_id]))
+            self._builder = builder
+            self._sealed = [(posixpath.basename(segment.path),
+                             segment.offset)]
+            self._write_manifest()
+            # GC every unreferenced log at or below the new horizon: the
+            # files this compaction superseded, plus orphans left by an
+            # earlier compaction that crashed after publishing its manifest
+            # but before its own remove sweep
+            referenced = {name for name, _ in self._sealed}
+            referenced.add(posixpath.basename(self._wal.path))
+            horizon = self._wal.sequence
+            reclaimed = 0
+            for name in self._fs.listdir(self._directory):
+                log_sequence = logfmt.parse_log_name(name)
+                if (log_sequence is None or name in referenced
+                        or log_sequence > horizon):
+                    continue
+                path = posixpath.join(self._directory, name)
+                reclaimed += self._fs.file_size(path)
+                self._fs.remove(path)
+            return max(0, reclaimed - segment.offset)
 
     def _write_manifest(self) -> None:
         document = manifestfmt.build_manifest(

@@ -1,0 +1,46 @@
+"""Known-bad fixture: blocking I/O and slow work under a lock.
+
+Runtime counterpart of the static fixtures: these functions only
+misbehave when executed, so they are caught by the lock sanitizer
+(``repro.analysis.concurrency.sanitizer``) rather than the static pass.
+Each function creates its locks through the sanitized factory; the
+tests enable the sanitizer, call them, and assert on the report.
+Deliberately buggy — never import this from product code.
+"""
+
+import time
+
+from repro.analysis.concurrency import sanitizer
+
+
+def fsync_under_lock():
+    """Holds a plain (non-exempt) lock across a blocking-I/O note."""
+    lock = sanitizer.make_lock("fixture.io_hold")
+    with lock:
+        sanitizer.note_blocking_io("fsync")
+
+
+def fsync_under_exempt_lock():
+    """allow_io locks are the documented exception — not reported."""
+    lock = sanitizer.make_lock("fixture.io_hold_exempt", allow_io=True)
+    with lock:
+        sanitizer.note_blocking_io("fsync")
+
+
+def inverted_runtime_order():
+    """Acquires a/b then b/a: a lock-order inversion at runtime."""
+    first = sanitizer.make_lock("fixture.order.first")
+    second = sanitizer.make_lock("fixture.order.second")
+    with first:
+        with second:
+            pass
+    with second:
+        with first:  # BAD: reverse of the edge recorded above
+            pass
+
+
+def slow_hold(hold_seconds):
+    """Holds a lock long enough to trip the long-hold threshold."""
+    lock = sanitizer.make_lock("fixture.slow_hold")
+    with lock:
+        time.sleep(hold_seconds)

@@ -1,0 +1,26 @@
+"""Known-bad fixture: AB/BA lock acquisition order (deadlock-prone).
+
+``transfer`` acquires ``LOCK_A`` before ``LOCK_B``; ``refund`` does the
+opposite, so two threads can deadlock holding one lock each.  The
+static lock-order graph must report the cycle; the runtime sanitizer
+reports the same inversion when both paths execute (even on a single
+thread).  Deliberately buggy — never import this from product code.
+"""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+BALANCES = {}
+
+
+def transfer(key):
+    with LOCK_A:
+        with LOCK_B:
+            BALANCES[key] = BALANCES.get(key, 0) + 1
+
+
+def refund(key):
+    with LOCK_B:
+        with LOCK_A:  # BAD: reverses transfer()'s A-then-B order
+            BALANCES[key] = BALANCES.get(key, 0) - 1

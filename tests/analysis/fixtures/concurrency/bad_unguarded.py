@@ -1,0 +1,40 @@
+"""Known-bad fixture: shared state mutated without its lock.
+
+Exercised by tests/analysis/test_concurrency_static.py, which asserts
+the exact diagnostics the static pass produces for each marked line.
+Deliberately buggy — never import this from product code.
+"""
+
+import threading
+
+REGISTRY = {}  # guarded-by: REGISTRY_LOCK
+REGISTRY_LOCK = threading.Lock()
+
+
+def register(name, value):
+    with REGISTRY_LOCK:
+        REGISTRY[name] = value
+
+
+def forget(name):
+    return REGISTRY.pop(name, None)  # BAD: annotated global, no lock
+
+
+class Tracker:
+    """Lock-paired container with one guarded and one unguarded path."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events = []
+        self._total = 0  # guarded-by: _lock
+
+    def record(self, event):
+        with self._lock:
+            self._events.append(event)
+            self._total += 1
+
+    def bump(self):
+        self._total += 1  # BAD: annotated attribute, lock not held
+
+    def drop(self, event):
+        self._events.remove(event)  # BAD: inconsistent locking (inferred)

@@ -86,3 +86,97 @@ class TestLint:
         target.write_text("x = 1  # lint: ignore[no-assert] stale note\n")
         assert main(["lint", str(target)]) == 0
         assert "warning" in capsys.readouterr().out
+
+    def test_json_summary_counts_severities_and_suppressions(
+            self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "import os  # lint: ignore[unused-import] fixture pin\n"
+            "def f(a=[]):\n"
+            "    return a\n")
+        stale = tmp_path / "stale.py"
+        stale.write_text("x = 1  # lint: ignore[no-assert] stale note\n")
+        assert main(["--json", "lint", str(tmp_path)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        summary = report["summary"]
+        assert summary["error"] == 1       # the mutable default
+        assert summary["warning"] == 1     # the stale pragma
+        assert summary["files"] == 2
+        assert summary["suppressed"] == 1
+        assert summary["suppressed_rules"] == {"unused-import": 1}
+
+    def test_json_reports_per_rule_timings(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("def f(x):\n    return x\n")
+        assert main(["--json", "lint", str(target)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        timings = report["timings_ms"]
+        assert "unused-import" in timings
+        assert "guarded-mutation" in timings
+        assert all(isinstance(ms, float) and ms >= 0
+                   for ms in timings.values())
+
+
+class TestConcurrency:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text(
+            "import threading\n"
+            "LOCK = threading.Lock()\n"
+            "STATE = {}  # guarded-by: LOCK\n"
+            "def good(key):\n"
+            "    with LOCK:\n"
+            "        STATE[key] = 1\n")
+        assert main(["concurrency", str(target)]) == 0
+        assert "concurrency clean" in capsys.readouterr().out
+
+    def test_unguarded_mutation_exits_one(self, tmp_path, capsys):
+        target = tmp_path / "unguarded.py"
+        target.write_text(
+            "import threading\n"
+            "LOCK = threading.Lock()\n"
+            "STATE = {}  # guarded-by: LOCK\n"
+            "def bad(key):\n"
+            "    STATE[key] = 1\n")
+        assert main(["concurrency", str(target)]) == 1
+        assert "guarded-mutation" in capsys.readouterr().out
+
+    def test_json_includes_summary_and_lock_graph(self, tmp_path, capsys):
+        target = tmp_path / "order.py"
+        target.write_text(
+            "import threading\n"
+            "A = threading.Lock()\n"
+            "B = threading.Lock()\n"
+            "def ab():\n"
+            "    with A:\n"
+            "        with B:\n"
+            "            pass\n"
+            "def ba():\n"
+            "    with B:\n"
+            "        with A:\n"
+            "            pass\n")
+        assert main(["--json", "concurrency", str(target)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["error"] == 1
+        (diag,) = report["diagnostics"]
+        assert diag["rule"] == "lock-order"
+        pairs = {(e["first"].rsplit(".", 1)[-1],
+                  e["second"].rsplit(".", 1)[-1])
+                 for e in report["lock_graph"]}
+        assert pairs == {("A", "B"), ("B", "A")}
+
+    def test_does_not_report_stale_pragmas_of_other_rules(
+            self, tmp_path, capsys):
+        # `lint` owns pragma hygiene; a concurrency run must not call a
+        # broad-except suppression stale just because that rule did not
+        # run here
+        target = tmp_path / "pragma.py"
+        target.write_text(
+            "try:\n"
+            "    x = 1\n"
+            "except Exception:  # lint: ignore[broad-except] cli guard\n"
+            "    x = 2\n")
+        assert main(["concurrency", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "stale" not in out
+        assert "lint.pragma" not in out

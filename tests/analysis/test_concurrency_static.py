@@ -1,0 +1,258 @@
+"""Static concurrency pass: guard discipline + lock-order graph.
+
+The known-bad fixtures under ``tests/analysis/fixtures/concurrency``
+are the acceptance contract: each must be reported with the exact
+rule, file and line asserted here.  The annotated product tree must
+stay clean — ``test_product_tree_is_clean`` is the regression gate for
+``python -m repro.analysis concurrency src/repro``.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.concurrency import check_paths
+from repro.analysis.concurrency.guards import GuardedMutationRule
+from repro.analysis.concurrency.order import (LockOrderAnalyzer,
+                                              module_name_for)
+from repro.analysis.diagnostics import Severity
+from repro.analysis.lint.engine import LintEngine, ModuleContext
+
+FIXTURES = Path(__file__).parent / "fixtures" / "concurrency"
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _lint(source: str, path: str = "mod.py"):
+    engine = LintEngine(rules=[GuardedMutationRule()])
+    ctx = ModuleContext(path, source, ast.parse(source))
+    found, _ = engine.apply_rules(ctx, engine.rules)
+    return found
+
+
+def _order(source: str, path: str = "mod.py"):
+    analyzer = LockOrderAnalyzer()
+    analyzer.add_module(ModuleContext(path, source, ast.parse(source)))
+    return analyzer
+
+
+class TestBadFixtures:
+    """Each known-bad fixture is caught with its exact diagnostics."""
+
+    def test_bad_unguarded_exact_diagnostics(self):
+        diagnostics, _ = check_paths([str(FIXTURES / "bad_unguarded.py")])
+        findings = [(d.rule, d.line) for d in diagnostics]
+        assert findings == [("guarded-mutation", 20),
+                            ("guarded-mutation", 37),
+                            ("guarded-mutation", 40)]
+        assert all(d.severity is Severity.ERROR for d in diagnostics)
+        by_line = {d.line: d.message for d in diagnostics}
+        assert "'REGISTRY' is guarded-by 'REGISTRY_LOCK'" in by_line[20]
+        assert "forget()" in by_line[20]
+        assert "Tracker._total is guarded-by '_lock'" in by_line[37]
+        assert "inconsistent locking in Tracker" in by_line[40]
+        assert "'self._events'" in by_line[40]
+
+    def test_bad_lock_order_cycle_reported(self):
+        diagnostics, analyzer = check_paths(
+            [str(FIXTURES / "bad_lock_order.py")])
+        orders = [d for d in diagnostics if d.rule == "lock-order"]
+        assert len(orders) == 1
+        diag = orders[0]
+        assert diag.severity is Severity.ERROR
+        assert "potential deadlock" in diag.message
+        assert "LOCK_A" in diag.message and "LOCK_B" in diag.message
+        # both AB and BA edges are in the graph with witnesses
+        edges = {(e["first"].rsplit(".", 1)[-1],
+                  e["second"].rsplit(".", 1)[-1])
+                 for e in analyzer.graph()}
+        assert ("LOCK_A", "LOCK_B") in edges
+        assert ("LOCK_B", "LOCK_A") in edges
+        # no guard findings: every BALANCES mutation holds some lock
+        assert not [d for d in diagnostics
+                    if d.rule == "guarded-mutation"]
+
+    def test_bad_io_hold_static_inversion(self):
+        # the io/hold fixture is primarily a sanitizer fixture, but its
+        # inverted_runtime_order() is also visible statically
+        diagnostics, _ = check_paths([str(FIXTURES / "bad_io_hold.py")])
+        assert [d.rule for d in diagnostics] == ["lock-order"]
+
+
+class TestProductTree:
+    def test_product_tree_is_clean(self):
+        diagnostics, _ = check_paths([str(SRC)])
+        assert diagnostics == [], [d.render() for d in diagnostics]
+
+    def test_product_tree_locks_have_known_kinds(self):
+        _, analyzer = check_paths([str(SRC)])
+        kinds = analyzer.lock_kinds
+        assert kinds.get("repro.obs.locks._STATE_LOCK") == "Lock"
+        assert kinds.get("repro.storage.store.CollectionStore._lock") \
+            == "Lock"
+
+
+class TestGuardAnnotations:
+    def test_annotated_global_mutation_without_lock(self):
+        found = _lint(
+            "import threading\n"
+            "LOCK = threading.Lock()\n"
+            "STATE = {}  # guarded-by: LOCK\n"
+            "def bad(k):\n"
+            "    STATE[k] = 1\n")
+        assert len(found) == 1
+        assert found[0].rule == "guarded-mutation"
+        assert found[0].line == 5
+
+    def test_annotation_on_own_line_above(self):
+        found = _lint(
+            "import threading\n"
+            "LOCK = threading.Lock()\n"
+            "# guarded-by: LOCK\n"
+            "STATE = {}\n"
+            "def bad(k):\n"
+            "    STATE.update({k: 1})\n")
+        assert [d.line for d in found] == [6]
+
+    def test_trailing_comment_does_not_leak_to_next_line(self):
+        # the guard on UNDER's line must not annotate FREE below it
+        found = _lint(
+            "import threading\n"
+            "LOCK = threading.Lock()\n"
+            "UNDER = {}  # guarded-by: LOCK\n"
+            "FREE = {}\n"
+            "def ok(k):\n"
+            "    FREE[k] = 1\n")
+        assert found == []
+
+    def test_with_lock_region_is_clean(self):
+        found = _lint(
+            "import threading\n"
+            "LOCK = threading.Lock()\n"
+            "STATE = {}  # guarded-by: LOCK\n"
+            "def good(k):\n"
+            "    with LOCK:\n"
+            "        STATE[k] = 1\n")
+        assert found == []
+
+    def test_guarded_by_decorator_counts_as_held(self):
+        found = _lint(
+            "import threading\n"
+            "from repro.analysis.concurrency import guarded_by\n"
+            "LOCK = threading.Lock()\n"
+            "STATE = {}  # guarded-by: LOCK\n"
+            "@guarded_by('LOCK')\n"
+            "def callee(k):\n"
+            "    STATE[k] = 1\n")
+        assert found == []
+
+    def test_local_shadow_is_not_a_global_mutation(self):
+        found = _lint(
+            "import threading\n"
+            "LOCK = threading.Lock()\n"
+            "STATE = {}  # guarded-by: LOCK\n"
+            "def local_only():\n"
+            "    STATE = {}\n"
+            "    STATE['k'] = 1\n"
+            "    return STATE\n")
+        assert found == []
+
+    def test_init_construction_is_exempt(self):
+        found = _lint(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._items = []  # guarded-by: _lock\n"
+            "        self._items.append(1)\n")
+        assert found == []
+
+    def test_pragma_suppression_applies(self):
+        found = _lint(
+            "import threading\n"
+            "LOCK = threading.Lock()\n"
+            "STATE = {}  # guarded-by: LOCK\n"
+            "def bench_reset(k):\n"
+            "    STATE[k] = 1  # lint: ignore[guarded-mutation] bench-only\n")
+        assert found == []
+
+    def test_all_unguarded_inference_is_silent(self):
+        # a lock-paired container with NO guarded mutation site is not
+        # flagged: inference needs inconsistency, not absence
+        found = _lint(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._items = []\n"
+            "    def a(self, x):\n"
+            "        self._items.append(x)\n"
+            "    def b(self):\n"
+            "        self._items.clear()\n")
+        assert found == []
+
+
+class TestLockOrder:
+    def test_no_cycle_for_consistent_order(self):
+        analyzer = _order(
+            "import threading\n"
+            "A = threading.Lock()\n"
+            "B = threading.Lock()\n"
+            "def f():\n"
+            "    with A:\n"
+            "        with B:\n"
+            "            pass\n"
+            "def g():\n"
+            "    with A:\n"
+            "        with B:\n"
+            "            pass\n")
+        assert analyzer.finish() == []
+        assert len(analyzer.graph()) == 1
+
+    def test_reacquire_of_plain_lock_is_reported(self):
+        analyzer = _order(
+            "import threading\n"
+            "A = threading.Lock()\n"
+            "def f():\n"
+            "    with A:\n"
+            "        with A:\n"
+            "            pass\n")
+        diags = analyzer.finish()
+        assert [d.rule for d in diags] == ["lock-reacquire"]
+        assert diags[0].line == 5
+        assert "self-deadlock" in diags[0].message
+
+    def test_reacquire_of_rlock_is_allowed(self):
+        analyzer = _order(
+            "import threading\n"
+            "A = threading.RLock()\n"
+            "def f():\n"
+            "    with A:\n"
+            "        with A:\n"
+            "            pass\n")
+        assert analyzer.finish() == []
+
+    def test_cross_module_edges_unify_via_imports(self):
+        analyzer = LockOrderAnalyzer()
+        home = (
+            "import threading\n"
+            "SHARED = threading.Lock()\n")
+        user = (
+            "import threading\n"
+            "from pkg import home\n"
+            "LOCAL = threading.Lock()\n"
+            "def f():\n"
+            "    with LOCAL:\n"
+            "        with home.SHARED:\n"
+            "            pass\n")
+        analyzer.add_module(ModuleContext(
+            "src/pkg/home.py", home, ast.parse(home)))
+        analyzer.add_module(ModuleContext(
+            "src/pkg/user.py", user, ast.parse(user)))
+        edges = analyzer.graph()
+        assert edges == [{"first": "pkg.user.LOCAL",
+                          "second": "pkg.home.SHARED",
+                          "witness": "src/pkg/user.py:6"}]
+
+    def test_module_name_for_strips_src_prefix(self):
+        assert module_name_for("src/repro/obs/locks.py") \
+            == "repro.obs.locks"
+        assert module_name_for("src/repro/obs/__init__.py") == "repro.obs"

@@ -292,6 +292,126 @@ class TestUnusedImport:
         assert "unused-import" not in rules_of(
             lint(src, "src/repro/core/oson/__init__.py"))
 
+    def test_all_augmented_assign_counts_as_use(self):
+        src = """
+        from repro.errors import OsonError
+        __all__ = []
+        __all__ += ["OsonError"]
+        """
+        assert "unused-import" not in rules_of(lint(src))
+
+    def test_all_extend_and_append_count_as_use(self):
+        src = """
+        from repro.errors import OsonError, StorageError
+        __all__ = []
+        __all__.extend(["OsonError"])
+        __all__.append("StorageError")
+        """
+        assert "unused-import" not in rules_of(lint(src))
+
+    def test_type_checking_import_used_in_string_annotation(self):
+        src = """
+        from typing import TYPE_CHECKING
+        if TYPE_CHECKING:
+            from repro.core.dataguide.guide import DataGuide
+
+        def f(guide: "DataGuide") -> "DataGuide":
+            return guide
+        """
+        assert "unused-import" not in rules_of(lint(src))
+
+    def test_quoted_annotation_inside_generic_counts_as_use(self):
+        src = """
+        from typing import TYPE_CHECKING, Optional
+        if TYPE_CHECKING:
+            from repro.core.dataguide.guide import DataGuide
+
+        def f(guide: Optional["DataGuide"]) -> None:
+            return None
+        """
+        assert "unused-import" not in rules_of(lint(src))
+
+    def test_type_checking_import_never_referenced_still_flagged(self):
+        src = """
+        from typing import TYPE_CHECKING
+        if TYPE_CHECKING:
+            from repro.core.dataguide.guide import DataGuide
+
+        def f(x):
+            return x
+        """
+        found = [d for d in lint(src) if d.rule == "unused-import"]
+        assert len(found) == 1
+        assert "'DataGuide'" in found[0].message
+
+
+class TestGuardedMutation:
+    """Smoke coverage for the concurrency guard rule through the full
+    engine; the deep fixtures live in test_concurrency_static.py."""
+
+    def test_flags_unguarded_mutation_of_annotated_global(self):
+        src = """
+        import threading
+        LOCK = threading.Lock()
+        STATE = {}  # guarded-by: LOCK
+
+        def bad(key):
+            STATE[key] = 1
+        """
+        found = [d for d in lint(src) if d.rule == "guarded-mutation"]
+        assert len(found) == 1
+        assert "guarded-by 'LOCK'" in found[0].message
+
+    def test_guarded_mutation_is_clean(self):
+        src = """
+        import threading
+        LOCK = threading.Lock()
+        STATE = {}  # guarded-by: LOCK
+
+        def good(key):
+            with LOCK:
+                STATE[key] = 1
+        """
+        assert "guarded-mutation" not in rules_of(lint(src))
+
+
+class TestEngineSinglePass:
+    def test_rule_timings_cover_every_applicable_rule(self):
+        engine = LintEngine()
+        engine.lint_paths([])  # reset, no files
+        assert engine.rule_timings_ms == {}
+        engine.lint_source("import os\n", BINARY_PATH)
+        assert set(engine.rule_timings_ms) == {
+            rule.rule_id for rule in ALL_RULES
+            if rule.applies_to(BINARY_PATH)}
+        assert all(ms >= 0 for ms in engine.rule_timings_ms.values())
+
+    def test_stats_count_files_and_suppressions(self):
+        engine = LintEngine()
+        engine.lint_source(
+            "import os  # lint: ignore[unused-import] fixture\n",
+            BINARY_PATH)
+        engine.lint_source("x = 1\n", BINARY_PATH)
+        assert engine.stats["files"] == 2
+        assert engine.stats["suppressed"] == 1
+        assert engine.stats["suppressed_rules"] == {"unused-import": 1}
+
+    def test_nodes_index_matches_fresh_walk(self):
+        import ast as ast_mod
+        from repro.analysis.lint.engine import ModuleContext
+        source = ("def f():\n"
+                  "    try:\n"
+                  "        return g()\n"
+                  "    except ValueError:\n"
+                  "        raise\n")
+        ctx = ModuleContext("m.py", source, ast_mod.parse(source))
+        walked = [n for n in ast_mod.walk(ctx.tree)
+                  if isinstance(n, ast_mod.Call)]
+        assert ctx.nodes(ast_mod.Call) == walked
+        assert ctx.nodes(ast_mod.Call, ast_mod.Raise) == \
+            walked + ctx.nodes(ast_mod.Raise)
+        assert ctx.nodes(ast_mod.AsyncFunctionDef) == []
+
 
 class TestNoAssert:
     def test_flags_assert_in_library_code(self):

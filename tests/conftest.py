@@ -1,0 +1,25 @@
+"""Shared pytest hooks.
+
+When the runtime lock sanitizer is enabled (``REPRO_SANITIZE=1``),
+every lock the product creates during the test session is instrumented;
+this hook writes the accumulated findings to ``SANITIZER_report.json``
+at session end so CI can upload the report as an artifact.  Without the
+env flag the hook is a no-op and no file is written.
+"""
+
+import json
+import pathlib
+
+
+def pytest_sessionfinish(session, exitstatus):
+    from repro.obs import locks
+
+    if not locks.sanitizer_enabled():
+        return
+    report = locks.report()
+    out = pathlib.Path("SANITIZER_report.json")
+    out.write_text(json.dumps(report, indent=2, sort_keys=True))
+    line = (f"lock sanitizer: {len(report['locks'])} locks, "
+            f"{sum(report['counts'].values())} findings "
+            f"-> {out}")
+    print(f"\n{line}")

@@ -1,0 +1,170 @@
+"""8-thread hammer tests for the obs metrics registry and trace ring.
+
+Counterpart of the counters hammer suite (tests/core/test_counters.py
+``TestThreadSafety``): these assert *exact* tallies, so a lost update,
+duplicate registration, or unsynchronized check-then-append fails the
+run rather than flaking silently.
+
+The span-attach hammer is the regression test for a real race: worker
+threads running under copied contexts share one parent ``Span`` object,
+and the pre-fix child-cap check-then-append could push past
+``MAX_CHILDREN`` and lose ``dropped`` increments.  With the attach lock
+``len(children) + dropped`` must equal the number of closed child spans
+exactly.
+"""
+
+import contextvars
+import threading
+
+from repro.obs import trace
+from repro.obs.metrics import counter, find_metric, gauge, histogram
+from repro.obs.trace import MAX_CHILDREN, RING_SIZE, Span, take_spans
+
+THREADS = 8
+ROUNDS = 2000
+
+
+def _hammer(work, threads=THREADS):
+    errors = []
+
+    def run():
+        try:
+            work()
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    pool = [threading.Thread(target=run) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert not errors, errors
+
+
+class TestMetricsRegistryHammer:
+    def test_registration_yields_one_instrument_per_name(self):
+        seen = []
+        lock = threading.Lock()
+
+        def work():
+            for i in range(ROUNDS):
+                instrument = counter(f"test.hammer.registry.{i % 16}")
+                with lock:
+                    seen.append(instrument)
+
+        _hammer(work)
+        by_name = {}
+        for instrument in seen:
+            by_name.setdefault(instrument.name, set()).add(id(instrument))
+        assert len(by_name) == 16
+        assert all(len(ids) == 1 for ids in by_name.values()), \
+            "registry handed out distinct instruments for one name"
+
+    def test_counter_increments_are_exact(self):
+        instrument = counter("test.hammer.counter")
+        instrument.reset()
+
+        def work():
+            for _ in range(ROUNDS):
+                instrument.inc()
+
+        _hammer(work)
+        assert instrument.value == THREADS * ROUNDS
+
+    def test_gauge_deltas_are_exact(self):
+        instrument = gauge("test.hammer.gauge")
+        instrument.reset()
+
+        def work():
+            for _ in range(ROUNDS):
+                instrument.add(1)
+
+        _hammer(work)
+        assert instrument.value == THREADS * ROUNDS
+
+    def test_histogram_observations_are_exact(self):
+        instrument = histogram("test.hammer.histogram", (1.0, 2.0))
+        instrument.reset()
+
+        def work():
+            for _ in range(ROUNDS):
+                instrument.observe(1.0)
+
+        _hammer(work)
+        total = THREADS * ROUNDS
+        assert instrument.count == total
+        assert instrument.sum == float(total)
+        assert sum(instrument.snapshot()["counts"]) == total
+
+    def test_mixed_kind_collision_raises_not_corrupts(self):
+        counter("test.hammer.kind")
+        failures = []
+        lock = threading.Lock()
+
+        def work():
+            for _ in range(200):
+                try:
+                    gauge("test.hammer.kind")
+                except ValueError:
+                    with lock:
+                        failures.append(1)
+
+        _hammer(work)
+        assert len(failures) == THREADS * 200
+        assert type(find_metric("test.hammer.kind")).__name__ == "Counter"
+
+
+class TestTraceHammer:
+    def setup_method(self):
+        self._previous = trace.set_tracing_enabled(True)
+        take_spans()
+
+    def teardown_method(self):
+        take_spans()
+        trace.set_tracing_enabled(self._previous)
+
+    def test_ring_bounded_under_concurrent_root_spans(self):
+        per_thread = 400
+
+        def work():
+            for i in range(per_thread):
+                with trace.span("hammer.root", index=i):
+                    pass
+
+        _hammer(work)
+        spans = take_spans()
+        assert 0 < len(spans) <= RING_SIZE
+        assert all(s.elapsed_ms is not None for s in spans)
+
+    def test_shared_parent_attach_is_exact(self):
+        # every worker runs under a context copied while the parent was
+        # current, so all of them attach children to the SAME Span
+        per_thread = 100
+        with Span("hammer.parent") as parent:
+            copies = [contextvars.copy_context()
+                      for _ in range(THREADS)]
+
+            def child_batch():
+                for i in range(per_thread):
+                    with trace.span("hammer.child", index=i):
+                        pass
+
+            errors = []
+
+            def run(ctx):
+                try:
+                    ctx.run(child_batch)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            pool = [threading.Thread(target=run, args=(ctx,))
+                    for ctx in copies]
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join()
+            assert not errors, errors
+        total = THREADS * per_thread
+        assert len(parent.children) == MAX_CHILDREN
+        assert len(parent.children) + parent.dropped == total
+        assert parent.dropped == total - MAX_CHILDREN
