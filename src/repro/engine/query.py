@@ -102,6 +102,13 @@ def set_default_mode(mode: str) -> str:
     return previous
 
 
+def _hooked(rows: Iterator[Row], hook: Callable[[Row], None]
+            ) -> Iterator[Row]:
+    for row in rows:
+        hook(row)
+        yield row
+
+
 def _iterate_source(source: Any) -> Iterator[Row]:
     if isinstance(source, Query):
         return iter(source.rows())
@@ -121,6 +128,7 @@ class Query:
         self._source = source
         self._ops: list[tuple[str, tuple]] = []
         self._mode: Optional[str] = None
+        self._row_hook: Optional[Callable[[Row], None]] = None
 
     # -- builder -------------------------------------------------------------
 
@@ -128,6 +136,7 @@ class Query:
         clone = Query(self._source)
         clone._ops = self._ops + [(op, args)]
         clone._mode = self._mode
+        clone._row_hook = self._row_hook
         return clone
 
     def mode(self, mode: str) -> "Query":
@@ -139,6 +148,19 @@ class Query:
         clone = Query(self._source)
         clone._ops = list(self._ops)
         clone._mode = mode
+        clone._row_hook = self._row_hook
+        return clone
+
+    def instrumented(self, hook: Callable[[Row], None]) -> "Query":
+        """Clone whose execution calls ``hook(row)`` for every source
+        row consumed and every result row produced.  The serving layer
+        uses this for cooperative cancellation and deadline checks: the
+        hook raising aborts the pipeline at the next row boundary, even
+        mid-way through a long scan feeding a blocking operator."""
+        clone = Query(self._source)
+        clone._ops = list(self._ops)
+        clone._mode = self._mode
+        clone._row_hook = hook
         return clone
 
     def where(self, predicate: Expression) -> "Query":
@@ -225,8 +247,12 @@ class Query:
         rows = self._pushdown_source()
         if rows is None:
             rows = _iterate_source(self._source)
+        if self._row_hook is not None:
+            rows = _hooked(rows, self._row_hook)
         for op, args in self._ops:
             rows = self._apply_op(rows, op, args, morsel)
+        if self._row_hook is not None and self._ops:
+            rows = _hooked(rows, self._row_hook)
         return rows
 
     def _apply_op(self, rows: Iterator[Row], op: str, args: tuple,

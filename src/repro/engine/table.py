@@ -110,8 +110,11 @@ class Table:
 
     # -- DML ---------------------------------------------------------------------
 
-    def insert(self, row: dict[str, Any]) -> dict[str, Any]:
-        """Insert one row: coerce types, run constraints, fire listeners.
+    def _prepare_insert(self, row: dict[str, Any]) -> dict[str, Any]:
+        """Validate one row for insert — coerce types, fill NULL
+        defaults, run constraints — without appending it or firing
+        listeners.  This is the staging half of an insert: batched
+        paths validate every row first, then commit them together.
 
         Unknown keys raise; missing stored columns default to NULL;
         virtual columns must not be supplied.
@@ -133,15 +136,25 @@ class Table:
                 stored[column.name] = None
         for constraint in self._constraints:
             constraint.check(stored)
+        return stored
+
+    def insert(self, row: dict[str, Any]) -> dict[str, Any]:
+        """Insert one row: coerce types, run constraints, fire listeners."""
+        stored = self._prepare_insert(row)
         self._rows.append(stored)
         for listener in self._insert_listeners:
             listener(stored)
         return stored
 
     def insert_many(self, rows: Sequence[dict[str, Any]]) -> int:
-        for row in rows:
-            self.insert(row)
-        return len(rows)
+        """Insert a batch, validating every row before the first lands:
+        a constraint failure anywhere leaves the table unchanged."""
+        prepared = [self._prepare_insert(row) for row in rows]
+        for stored in prepared:
+            self._rows.append(stored)
+            for listener in self._insert_listeners:
+                listener(stored)
+        return len(prepared)
 
     def delete(self, predicate: Callable[[dict], Any]) -> int:
         """Delete rows matching ``predicate``; returns the count removed."""
@@ -263,6 +276,49 @@ class DurableTable(Table):
         doc_id = self._store.insert(_row_to_document(row))
         self._row_doc_ids[id(row)] = doc_id
 
+    def insert_many(self, rows: Sequence[dict[str, Any]]) -> int:
+        """Insert a batch as **one** logical commit: every row is
+        validated first, then all of them go to the store in a single
+        group-commit batch (one WAL fsync, one acknowledgement) instead
+        of paying a durability round-trip per row."""
+        prepared = [self._prepare_insert(row) for row in rows]
+        if not prepared:
+            return 0
+        doc_ids = self._store.insert_many(
+            [_row_to_document(stored) for stored in prepared])
+        persist = self._persist_insert
+        for stored, doc_id in zip(prepared, doc_ids):
+            self._rows.append(stored)
+            self._row_doc_ids[id(stored)] = doc_id
+            for listener in self._insert_listeners:
+                # the batch already persisted; fire only the other
+                # listeners (index maintenance etc.)
+                if listener != persist:
+                    listener(stored)
+        return len(prepared)
+
+    def insert_pending(self, row: dict[str, Any]) -> Any:
+        """Stage one insert without waiting for durability: the row is
+        validated, applied to the heap and the secondary listeners, and
+        its document submitted to the store's group-commit pipeline.
+        Returns a commit handle — the insert is acknowledged only once
+        ``table.store.pipeline.wait(handle)`` returns.
+
+        This is the serving layer's write path: the caller serializes
+        heap mutation (this method) under its write lock but performs
+        the durability wait *outside* it, so many sessions' commits can
+        share one fsync.  Until the handle resolves, the row is visible
+        to live ``scan()`` but to no snapshot."""
+        stored = self._prepare_insert(row)
+        doc_id, handle = self._store.insert_async(_row_to_document(stored))
+        self._rows.append(stored)
+        self._row_doc_ids[id(stored)] = doc_id
+        persist = self._persist_insert
+        for listener in self._insert_listeners:
+            if listener != persist:
+                listener(stored)
+        return handle
+
     def _persist_delete(self, row: dict) -> None:
         doc_id = self._row_doc_ids.pop(id(row), None)
         if doc_id is None:
@@ -290,6 +346,29 @@ class DurableTable(Table):
                 row[name] = None
             self._rows.append(row)
             self._row_doc_ids[id(row)] = doc_id
+
+    # -- snapshot reads -----------------------------------------------------
+
+    def snapshot_scan(self, snapshot: Any = None
+                      ) -> Iterator[dict[str, Any]]:
+        """Scan rows from a pinned store snapshot instead of the live
+        heap: the iteration sees one consistent durable state no matter
+        how many commits land while it runs (long analytical scans
+        never observe a partial batch).  Pass a snapshot from
+        ``table.store.snapshot()`` to reuse one pin across several
+        scans; omit it to pin the current state."""
+        if snapshot is None:
+            snapshot = self._store.snapshot()
+        stored_names = {c.name for c in self._columns.values()
+                        if not c.is_virtual}
+        virtuals = [c for c in self._columns.values() if c.is_virtual]
+        for _, document in snapshot.documents():
+            row = _document_to_row(document)
+            for name in stored_names - set(row):
+                row[name] = None
+            for column in virtuals:
+                row[column.name] = column.expression.evaluate(row)
+            yield row
 
     def checkpoint(self) -> None:
         self._store.checkpoint()

@@ -146,3 +146,56 @@ class StorageError(ReproError):
 class IndexError_(ReproError):
     """JSON search index maintenance failure (named with a trailing underscore
     to avoid shadowing the builtin :class:`IndexError`)."""
+
+
+class ServeError(ReproError):
+    """Base class for serving-layer (session/cursor front-end) errors."""
+
+
+class Overloaded(ServeError):
+    """The admission queue is full: the request was shed *before*
+    consuming any execution resources (graceful degradation — one typed
+    refusal instead of slowing every admitted query down).
+
+    ``queue_depth`` is the depth observed at refusal; ``limit`` the
+    configured bound.  Retrying after backoff is the expected response.
+    """
+
+    def __init__(self, message: str, queue_depth: int = -1,
+                 limit: int = -1) -> None:
+        self._raw_message = message
+        if queue_depth >= 0 and limit >= 0:
+            message = f"{message} (queue {queue_depth}/{limit})"
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+    def __reduce__(self):
+        # see JsonParseError.__reduce__: rebuild from raw constructor
+        # arguments so the suffix is not doubled across pickling
+        return (type(self), (self._raw_message, self.queue_depth,
+                             self.limit))
+
+
+class QueryTimeout(ServeError):
+    """The per-query deadline elapsed.  ``elapsed_ms`` is how long the
+    query ran (queue wait included) before the timeout fired."""
+
+    def __init__(self, message: str, elapsed_ms: float = -1.0) -> None:
+        self._raw_message = message
+        if elapsed_ms >= 0:
+            message = f"{message} (after {elapsed_ms:.1f}ms)"
+        super().__init__(message)
+        self.elapsed_ms = elapsed_ms
+
+    def __reduce__(self):
+        return (type(self), (self._raw_message, self.elapsed_ms))
+
+
+class Cancelled(ServeError):
+    """The query was cancelled by its caller (``Cursor.cancel`` or the
+    session closing underneath it)."""
+
+
+class SessionClosed(ServeError):
+    """Operation on a closed session, cursor, or server."""

@@ -17,9 +17,9 @@ factory returns a :class:`SanitizedLock` that records, per thread:
   inversion** and produces a report with both witness locations;
 * **blocking I/O under a lock** — :func:`note_blocking_io` is called
   from the storage layer's fsync paths; holding any sanitized lock not
-  created with ``allow_io=True`` across it is reported (the
-  single-writer store lock is exempted explicitly: covering its own
-  WAL fsync is its documented design until group commit lands);
+  created with ``allow_io=True`` across it is reported (no product
+  lock is exempted: since group commit, every store fsync runs on the
+  commit pipeline's leader with no lock held);
 * **suspiciously long hold times** — a release after more than
   :func:`hold_threshold_ms` milliseconds is reported with the hold
   duration and the acquiring location.

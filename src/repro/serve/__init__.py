@@ -1,0 +1,26 @@
+"""Concurrent serving layer: sessions, cursors, admission control.
+
+``repro.serve`` turns the embedded engine into a multi-client front-end
+with the guarantees the paper's serving story needs:
+
+* snapshot-isolated reads — each :class:`~repro.serve.session.Session`
+  pins consistent :class:`~repro.storage.store.StoreSnapshot` versions,
+  so scans never observe a partially published commit batch;
+* acknowledged writes riding the group-commit WAL — many sessions'
+  commits share one fsync;
+* graceful degradation — a bounded admission queue sheds excess load
+  with typed :class:`~repro.errors.Overloaded` errors, and per-query
+  deadlines abort cooperatively with
+  :class:`~repro.errors.QueryTimeout` / :class:`~repro.errors.Cancelled`.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.session import CancelToken, Cursor, Server, Session
+
+__all__ = [
+    "AdmissionController",
+    "CancelToken",
+    "Cursor",
+    "Server",
+    "Session",
+]

@@ -1,0 +1,168 @@
+"""Bounded admission control: a queue with a hard depth limit in front
+of a small worker pool.
+
+Every request the serving layer executes — read queries and write
+statements alike — passes through an :class:`AdmissionController`.  The
+controller's one job is graceful degradation: when the system is
+saturated, new work is refused *immediately* with a typed
+:class:`~repro.errors.Overloaded` error instead of being queued without
+bound (which would turn overload into unbounded latency for every
+admitted request and, eventually, memory exhaustion).
+
+Design points:
+
+* **bounded queue** — ``queue_limit`` caps the number of requests
+  waiting for a worker; submissions beyond it are shed synchronously in
+  the caller's thread, before any execution resource is consumed.
+* **typed futures** — :meth:`submit` returns a
+  :class:`concurrent.futures.Future`, which is both the thread-blocking
+  wait primitive and the asyncio bridge (``asyncio.wrap_future``), so
+  one execution path serves synchronous and event-loop callers.
+* **observable** — queue wait is a histogram, sheds are a counter, and
+  current depth a gauge, all in the unified metrics registry; the
+  concurrency benchmark and CI smoke job read them straight out of
+  ``snapshot_metrics()``.
+
+Lock order: the controller's condition is a leaf — task callables run
+with no controller lock held, so whatever locks they take (the store
+lock, the commit pipeline's condition) never nest inside it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from repro.errors import Overloaded, SessionClosed
+from repro.obs import locks as _locks
+from repro.obs import metrics as _metrics
+from repro.obs.trace import monotonic
+
+__all__ = ["AdmissionController"]
+
+#: queue-depth histogram boundaries (requests waiting at admission time)
+_DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class AdmissionController:
+    """A bounded work queue drained by a fixed pool of daemon workers.
+
+    ``name`` scopes the metrics (``serve.<name>.*``) so the read lane
+    and the write lane report separately.
+    """
+
+    def __init__(self, name: str, workers: int = 4,
+                 queue_limit: int = 64) -> None:
+        if workers < 1:
+            raise ValueError(
+                f"admission controller {name!r} needs at least one worker")
+        if queue_limit < 1:
+            raise ValueError(
+                f"admission controller {name!r} needs a positive queue limit")
+        self.name = name
+        self.queue_limit = queue_limit
+        self._cond = threading.Condition(
+            _locks.make_lock(f"serve.admission.{name}"))
+        #: queued (task, future, enqueued_at)  # guarded-by: _cond
+        self._queue: Deque[Tuple[Callable[[], Any], Future, float]] = deque()
+        self._closed = False   # guarded-by: _cond
+        self._active = 0       # workers currently running a task  # guarded-by: _cond
+        self._wait_ms = _metrics.histogram(f"serve.{name}.queue_wait_ms")
+        self._depth = _metrics.histogram(f"serve.{name}.queue_depth",
+                                         _DEPTH_BUCKETS)
+        self._shed = _metrics.counter(f"serve.{name}.shed")
+        self._admitted = _metrics.counter(f"serve.{name}.admitted")
+        self._threads: List[threading.Thread] = []
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._run, name=f"repro-serve-{name}-{index}",
+                daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, task: Callable[[], Any]) -> "Future[Any]":
+        """Admit ``task`` or shed it.
+
+        Returns a future resolving to the task's result (or raising its
+        exception).  Raises :class:`~repro.errors.Overloaded`
+        synchronously when the queue is at its limit and
+        :class:`~repro.errors.SessionClosed` after :meth:`close`.
+        """
+        future: Future = Future()
+        with self._cond:
+            if self._closed:
+                raise SessionClosed(
+                    f"admission controller {self.name!r} is closed")
+            depth = len(self._queue)
+            if depth >= self.queue_limit:
+                self._shed.inc()
+                raise Overloaded(
+                    f"{self.name} lane saturated, request shed",
+                    depth, self.queue_limit)
+            self._depth.observe(depth)
+            self._queue.append((task, future, monotonic()))
+            self._cond.notify()
+        self._admitted.inc()
+        return future
+
+    @property
+    def depth(self) -> int:
+        """Current queue depth (racy read; for tests and dashboards)."""
+        return len(self._queue)
+
+    # -- worker loop -------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:
+                    return  # closed and drained
+                task, future, enqueued = self._queue.popleft()
+                self._active += 1
+            self._wait_ms.observe((monotonic() - enqueued) * 1000.0)
+            try:
+                # a future cancelled while queued never runs
+                if future.set_running_or_notify_cancel():
+                    try:
+                        result = task()
+                    except BaseException as error:  # lint: ignore[broad-except] the worker must survive any task failure; the error is delivered to the caller through the future
+                        future.set_exception(error)
+                    else:
+                        future.set_result(result)
+            finally:
+                with self._cond:
+                    self._active -= 1
+                    self._cond.notify_all()
+
+    # -- shutdown ----------------------------------------------------------
+
+    def drain(self) -> None:
+        """Block until the queue is empty and no task is running."""
+        with self._cond:
+            while self._queue or self._active:
+                self._cond.wait()
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop admitting work, fail everything still queued with
+        :class:`~repro.errors.SessionClosed`, and join the workers.
+        In-flight tasks finish; queued-but-unstarted ones never run."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            abandoned = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+        for _, future, _ in abandoned:
+            if future.set_running_or_notify_cancel():
+                future.set_exception(SessionClosed(
+                    f"admission controller {self.name!r} closed while "
+                    f"the request was queued"))
+        for thread in self._threads:
+            thread.join(timeout=timeout)

@@ -1,0 +1,451 @@
+"""Session/cursor serving front-end: snapshot reads, lane-separated
+execution, deadlines and cancellation.
+
+A :class:`Server` wraps one :class:`~repro.engine.catalog.Database` and
+exposes it to many concurrent clients through :class:`Session` objects:
+
+* **Reads run over pinned snapshots.**  The first statement that touches
+  a durable table pins that table's current
+  :class:`~repro.storage.store.StoreSnapshot`; every statement in the
+  session then sees that one consistent durable state until
+  :meth:`Session.refresh` (or one of the session's own writes) advances
+  the pin.  Long analytical scans therefore never observe a partially
+  published group-commit batch, and pins only ever move forward
+  (monotonic reads).
+* **Read-your-own-writes.**  A write is acknowledged only after its
+  group-commit batch is fsynced *and* published; the session re-pins the
+  written table on acknowledgement, so the very next read sees the
+  write.
+* **Two admission lanes.**  Read statements run on a multi-worker read
+  lane; writes funnel through a write lane whose workers serialize heap
+  mutation under one write lock but wait for durability *outside* it —
+  that overlap is what lets the group-commit leader batch many
+  sessions' fsyncs into one.
+* **Deadlines and cancellation are cooperative.**  A per-query deadline
+  (or :meth:`Cursor.cancel`) trips a :class:`CancelToken` that the
+  executing query polls at every row boundary via
+  ``Query.instrumented``; the query aborts with a typed
+  :class:`~repro.errors.QueryTimeout` / :class:`~repro.errors.Cancelled`
+  without leaving any shared state locked.
+* **asyncio-compatible.**  Every statement resolves through a
+  ``concurrent.futures.Future``; event-loop callers await
+  ``asyncio.wrap_future(cursor.as_future())`` instead of blocking.
+
+A Session (and its cursors) is a per-client object and is not itself
+thread-safe — exactly the DB-API connection contract.  The Server, the
+lanes, and the underlying store are the concurrent parts.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import CancelledError as FuturesCancelledError
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.engine.catalog import Database
+from repro.engine.query import Query
+from repro.engine.sql.parser import compile_sql
+from repro.engine.table import DurableTable
+from repro.errors import Cancelled, CatalogError, QueryTimeout, SessionClosed
+from repro.obs import locks as _locks
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.trace import monotonic
+from repro.serve.admission import AdmissionController
+
+__all__ = ["CancelToken", "Cursor", "Server", "Session"]
+
+_TIMEOUTS = _metrics.counter("serve.query.timeouts")
+_CANCELLED = _metrics.counter("serve.query.cancelled")
+_SESSIONS = _metrics.counter("serve.sessions.opened")
+_STATEMENTS = _metrics.counter("serve.statements")
+_WRITES = _metrics.counter("serve.writes")
+
+
+class CancelToken:
+    """Cooperative cancellation + deadline for one statement.
+
+    The executing query calls :meth:`check` at every row boundary; the
+    caller (or the session closing) flips :attr:`cancelled` from any
+    thread.  The flag is a single attribute write — atomic under the
+    GIL — so no lock is needed.
+    """
+
+    __slots__ = ("deadline", "started_at", "_cancelled")
+
+    def __init__(self, timeout_ms: Optional[float] = None) -> None:
+        self.started_at = monotonic()
+        self.deadline = (None if timeout_ms is None
+                         else self.started_at + timeout_ms / 1000.0)
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def elapsed_ms(self) -> float:
+        return (monotonic() - self.started_at) * 1000.0
+
+    def check(self) -> None:
+        """Raise the typed abort if the statement should stop now."""
+        if self._cancelled:
+            _CANCELLED.inc()
+            raise Cancelled("query cancelled")
+        if self.deadline is not None and monotonic() > self.deadline:
+            _TIMEOUTS.inc()
+            raise QueryTimeout("query deadline exceeded",
+                               self.elapsed_ms())
+
+
+class _SnapshotView:
+    """A Query source presenting one pinned snapshot of a durable table.
+
+    Delegates everything else (schema lookups, constraint inspection)
+    to the live table — only row production is redirected, which is the
+    part that must not move under a running scan."""
+
+    __slots__ = ("_table", "_snapshot", "name")
+
+    def __init__(self, table: DurableTable, snapshot: Any) -> None:
+        self._table = table
+        self._snapshot = snapshot
+        self.name = table.name
+
+    def scan(self) -> Iterator[dict]:
+        return self._table.snapshot_scan(self._snapshot)
+
+    def __getattr__(self, attr: str) -> Any:
+        return getattr(self._table, attr)
+
+
+class _SessionCatalog:
+    """The catalog facade handed to the SQL compiler: table references
+    resolve to the session's pinned snapshots, everything else falls
+    through to the real database."""
+
+    __slots__ = ("_session",)
+
+    def __init__(self, session: "Session") -> None:
+        self._session = session
+
+    def query(self, source_name: str) -> Query:
+        return self._session._query_source(source_name)
+
+
+class Cursor:
+    """One statement's handle: result access, deadline, cancellation.
+
+    DB-API-flavoured: :meth:`execute` returns ``self``; results come
+    from :meth:`fetchone` / :meth:`fetchall`.  :meth:`as_future`
+    exposes the underlying ``concurrent.futures.Future`` for asyncio
+    integration."""
+
+    def __init__(self, session: "Session") -> None:
+        self._session = session
+        self._future: Optional[Future] = None
+        self._token: Optional[CancelToken] = None
+        self._rows: Optional[List[dict]] = None
+        self._cursor_index = 0
+        self._closed = False
+
+    def execute(self, sql: str, params: Sequence[Any] = (),
+                timeout_ms: Optional[float] = None) -> "Cursor":
+        """Admit a SELECT statement onto the read lane.
+
+        Sheds synchronously with :class:`~repro.errors.Overloaded` when
+        the lane is saturated.  ``timeout_ms`` starts counting at
+        admission, so time spent waiting in the queue counts against
+        the deadline (a saturated server times out instead of silently
+        stretching latency)."""
+        if self._closed:
+            raise SessionClosed("cursor is closed")
+        self._rows = None
+        self._cursor_index = 0
+        token = CancelToken(timeout_ms)
+        self._token = token
+        self._future = self._session._submit_read(sql, params, token)
+        return self
+
+    def cancel(self) -> None:
+        """Cancel the running statement (safe from any thread); the
+        query aborts with :class:`~repro.errors.Cancelled` at its next
+        row boundary — or never starts, if it is still queued."""
+        if self._token is not None:
+            self._token.cancel()
+        if self._future is not None:
+            self._future.cancel()
+
+    def as_future(self) -> "Future[List[dict]]":
+        """The statement's ``concurrent.futures.Future``; asyncio
+        callers ``await asyncio.wrap_future(cursor.as_future())``."""
+        if self._future is None:
+            raise SessionClosed("no statement has been executed")
+        return self._future
+
+    def _resolve(self) -> List[dict]:
+        if self._future is None:
+            raise SessionClosed("no statement has been executed")
+        if self._rows is None:
+            try:
+                self._rows = self._future.result()
+            except FuturesCancelledError:
+                # cancelled while still queued: it never ran, so the
+                # token's typed error was never raised — translate here
+                _CANCELLED.inc()
+                raise Cancelled("query cancelled before it started"
+                                ) from None
+        return self._rows
+
+    def fetchall(self) -> List[dict]:
+        """All result rows (blocks until the statement finishes)."""
+        rows = self._resolve()
+        self._cursor_index = len(rows)
+        return list(rows)
+
+    def fetchone(self) -> Optional[dict]:
+        """The next result row, or ``None`` when exhausted."""
+        rows = self._resolve()
+        if self._cursor_index >= len(rows):
+            return None
+        row = rows[self._cursor_index]
+        self._cursor_index += 1
+        return row
+
+    def __iter__(self) -> Iterator[dict]:
+        """DB-API optional extension: iterate the remaining rows."""
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    @property
+    def rowcount(self) -> int:
+        return len(self._resolve())
+
+    def close(self) -> None:
+        self.cancel()
+        self._closed = True
+
+
+class Session:
+    """One client's window onto the database: pinned snapshots for
+    reads, acknowledged writes, cursors with deadlines."""
+
+    def __init__(self, server: "Server") -> None:
+        self._server = server
+        self._catalog = _SessionCatalog(self)
+        #: table name -> pinned StoreSnapshot; pins only move forward
+        self._pins: Dict[str, Any] = {}
+        self._cursors: List[Cursor] = []
+        self._closed = False
+        _SESSIONS.inc()
+
+    # -- snapshot pinning --------------------------------------------------
+
+    def _pin(self, name: str, table: DurableTable) -> Any:
+        snapshot = self._pins.get(name)
+        if snapshot is None:
+            snapshot = table.store.snapshot()
+            self._pins[name] = snapshot
+        return snapshot
+
+    def _advance_pin(self, name: str, table: DurableTable) -> None:
+        """Move a pin forward to the current published state (never
+        backward: monotonic reads even if a stale snapshot reference
+        races in)."""
+        current = table.store.snapshot()
+        pinned = self._pins.get(name)
+        if pinned is None or current.version >= pinned.version:
+            self._pins[name] = current
+
+    def refresh(self) -> None:
+        """Drop every pin; the next statement re-pins fresh state."""
+        self._pins.clear()
+
+    def snapshot_version(self, table_name: str) -> Optional[int]:
+        """The pinned snapshot version for ``table_name`` (None when the
+        session has not touched the table yet)."""
+        pinned = self._pins.get(table_name)
+        return None if pinned is None else pinned.version
+
+    def _query_source(self, source_name: str) -> Query:
+        db = self._server.db
+        try:
+            table = db.table(source_name)
+        except CatalogError:
+            return db.query(source_name)  # view, or raises CatalogError
+        if isinstance(table, DurableTable):
+            return Query(_SnapshotView(table, self._pin(source_name, table)))
+        return Query(table)
+
+    # -- reads -------------------------------------------------------------
+
+    def cursor(self) -> Cursor:
+        self._live()
+        cursor = Cursor(self)
+        self._cursors.append(cursor)
+        return cursor
+
+    def execute(self, sql: str, params: Sequence[Any] = (),
+                timeout_ms: Optional[float] = None) -> Cursor:
+        """Convenience: a fresh cursor with the statement admitted."""
+        return self.cursor().execute(sql, params, timeout_ms=timeout_ms)
+
+    def _submit_read(self, sql: str, params: Sequence[Any],
+                     token: CancelToken) -> Future:
+        self._live()
+        _STATEMENTS.inc()
+        # compile in the caller's thread: catalog resolution pins
+        # snapshots on session state, which only the owning thread may
+        # touch; the worker gets a fully bound plan
+        query = compile_sql(self._catalog, sql, list(params))
+        hooked = query.instrumented(lambda _row: token.check())
+
+        def run() -> List[dict]:
+            token.check()  # queue wait may already have eaten the deadline
+            with _trace.span("serve.query", statement=sql[:120]) as sp:
+                rows = hooked.rows()
+                sp.record("rows_out", len(rows))
+                sp.record("queue_plus_exec_ms", token.elapsed_ms())
+            return rows
+
+        return self._server.reads.submit(run)
+
+    # -- writes ------------------------------------------------------------
+
+    def insert(self, table_name: str, row: dict,
+               timeout_ms: Optional[float] = None) -> None:
+        """Durably insert one row; returns after the row's group-commit
+        batch is fsynced and published (so this session — and any new
+        snapshot — sees it)."""
+        self._apply_write(table_name, lambda table: [row], timeout_ms)
+
+    def insert_many(self, table_name: str, rows: Sequence[dict],
+                    timeout_ms: Optional[float] = None) -> None:
+        """Durably insert a batch as one commit (single fsync)."""
+        rows = list(rows)
+        if rows:
+            self._apply_write(table_name, lambda table: rows, timeout_ms)
+
+    def _apply_write(self, table_name: str,
+                     rows_for: Callable[[DurableTable], Sequence[dict]],
+                     timeout_ms: Optional[float]) -> None:
+        self._live()
+        _WRITES.inc()
+        table = self._server.db.table(table_name)
+        if not isinstance(table, DurableTable):
+            # transient tables have no durability to wait for; mutate
+            # them on the write lane for the same serialization
+            future = self._server.writes.submit(
+                lambda: [table.insert(row) for row in rows_for(table)])
+            self._wait_write(future, timeout_ms)
+            return
+        future = self._server.writes.submit(
+            lambda: self._server.durable_insert(table, rows_for(table)))
+        self._wait_write(future, timeout_ms)
+        self._advance_pin(table_name, table)
+
+    @staticmethod
+    def _wait_write(future: Future, timeout_ms: Optional[float]) -> None:
+        if timeout_ms is None:
+            future.result()
+            return
+        try:
+            future.result(timeout=timeout_ms / 1000.0)
+        except TimeoutError:
+            # the write itself still lands (durability is not revoked);
+            # only this acknowledgement wait gave up
+            _TIMEOUTS.inc()
+            raise QueryTimeout(
+                "write acknowledgement deadline exceeded",
+                timeout_ms) from None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _live(self) -> None:
+        if self._closed or self._server.closed:
+            raise SessionClosed("session is closed")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for cursor in self._cursors:
+            cursor.cancel()
+        self._pins.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+
+class Server:
+    """The concurrent front-end over one embedded database.
+
+    Owns the two admission lanes and the write lock, and switches every
+    durable table's commit pipeline into threaded (leader-upstairs)
+    mode so group commit batches across sessions."""
+
+    def __init__(self, db: Database, read_workers: int = 4,
+                 write_workers: int = 4, queue_limit: int = 64) -> None:
+        self.db = db
+        self.reads = AdmissionController("read", workers=read_workers,
+                                         queue_limit=queue_limit)
+        self.writes = AdmissionController("write", workers=write_workers,
+                                          queue_limit=queue_limit)
+        # serializes heap/index mutation across write workers; the
+        # durability wait happens OUTSIDE it (see durable_insert)
+        self._write_lock = _locks.make_lock("serve.write")
+        self._closed = False
+        for name in db.tables():
+            table = db.table(name)
+            if isinstance(table, DurableTable):
+                table.store.pipeline.start_thread()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def session(self) -> Session:
+        if self._closed:
+            raise SessionClosed("server is closed")
+        return Session(self)
+
+    def durable_insert(self, table: DurableTable,
+                       rows: Sequence[dict]) -> int:
+        """Write-lane body: stage every row's heap/index mutation under
+        the write lock, then wait for durability with **no lock held**.
+        Concurrent write workers therefore overlap their fsync waits,
+        and the commit pipeline's leader folds them into one batch."""
+        with _trace.span("serve.write", table=table.name,
+                         rows=len(rows)):
+            handles = []
+            with self._write_lock:
+                for row in rows:
+                    handles.append(table.insert_pending(row))
+            pipeline = table.store.pipeline
+            for handle in handles:
+                pipeline.wait(handle)
+        return len(rows)
+
+    def close(self) -> None:
+        """Stop admitting, drain both lanes, and shut them down.  The
+        database (and its stores) stay open — closing them is their
+        owner's job, typically after this returns."""
+        if self._closed:
+            return
+        self._closed = True
+        self.reads.close()
+        self.writes.close()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()

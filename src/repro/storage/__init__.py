@@ -10,7 +10,10 @@ gives the reproduction that durable substrate:
 * :mod:`~repro.storage.manifest` — the atomically-swapped checkpoint
   root, itself an OSON image carrying the serialized DataGuide;
 * :mod:`~repro.storage.store` — :class:`CollectionStore`: fsync-acked
-  DML, checkpointing and compaction;
+  DML over published :class:`StoreSnapshot` versions (snapshot-isolated
+  reads), checkpointing and compaction;
+* :mod:`~repro.storage.commit` — the group-commit pipeline batching
+  many logical commits into one fsync, outside every lock;
 * :mod:`~repro.storage.recovery` — verified recovery with quarantine;
 * :mod:`~repro.storage.faults` — deterministic crash/torn-write/
   bit-flip/truncation injection over the file abstraction;
@@ -19,14 +22,18 @@ gives the reproduction that durable substrate:
 * :mod:`~repro.storage.files` — the injectable file-system surface.
 """
 
+from repro.storage.commit import CommitPipeline, LogicalCommit
 from repro.storage.files import FileSystem, MemoryFileSystem, OsFileSystem
 from repro.storage.fsck import fsck, verify_store_file
 from repro.storage.recovery import (QuarantinedRecord, RecoveryReport,
                                     recover)
-from repro.storage.store import CollectionStore
+from repro.storage.store import CollectionStore, StoreSnapshot
 
 __all__ = [
     "CollectionStore",
+    "CommitPipeline",
+    "LogicalCommit",
+    "StoreSnapshot",
     "FileSystem",
     "MemoryFileSystem",
     "OsFileSystem",

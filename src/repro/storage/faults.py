@@ -14,7 +14,14 @@ mode; when execution reaches it the harness applies the mode and raises
 * ``bitflip``   — the operation completes and syncs, then one bit of
   the touched file's durable image is flipped (media corruption);
 * ``truncate``  — the operation completes and syncs, then the touched
-  file's durable image loses its final bytes.
+  file's durable image loses its final bytes;
+* ``writeback`` — power loss where the OS had already written back part
+  of the touched file's dirty pages: a deterministic *prefix* of its
+  pending (un-fsynced) bytes becomes durable, everything else volatile
+  is lost.  Not part of the default ``MODES`` — it exists to cut
+  group-commit batches between their frames (the harness's classic
+  crash can only lose *all* pending bytes of a multi-frame batch at
+  once), so the group-commit sweep opts in explicitly.
 
 Mutation positions derive from CRC-32 of ``(seed, path, op index)``, so
 a failing sweep case is reproducible from its printed coordinates
@@ -35,6 +42,7 @@ CRASH = "crash"
 TORN = "torn"
 BITFLIP = "bitflip"
 TRUNCATE = "truncate"
+WRITEBACK = "writeback"
 
 MODES = (CRASH, TORN, BITFLIP, TRUNCATE)
 
@@ -136,6 +144,19 @@ class FaultyFileSystem(FileSystem):
         :class:`SimulatedCrash`."""
         if mode == CRASH:
             self._crash(op, path, mode)
+        if mode == WRITEBACK:
+            # let this write's bytes join the pending run first, so the
+            # deterministic cut can land inside them
+            if op == "write":
+                perform()
+            plan = self.plan
+            pending = self.inner.pending_bytes(path)
+            keep = 0
+            if plan is not None and pending:
+                keep = plan.position(path, len(pending) + 1)
+            self.inner.crash_with_writeback(path, keep)
+            raise SimulatedCrash(
+                plan.crash_at if plan else -1, op, path, WRITEBACK)
         if mode == TORN and op == "write":
             # a prefix of this write becomes durable, all other
             # volatile bytes are lost

@@ -310,10 +310,25 @@ class MemoryFileSystem(FileSystem):
             entry.synced.extend(entry.pending)
             entry.pending.clear()
 
+    def crash_with_writeback(self, path: str, keep: int) -> None:
+        """Crash, but first let ``keep`` of ``path``'s pending bytes
+        reach the durable image — the OS had written back part of its
+        dirty pages before power was lost.  Models the mid-batch cut a
+        group commit must survive: a *prefix* of un-fsynced bytes
+        becomes durable without any acknowledgement having been sent."""
+        entry = self._files.get(path)
+        if entry is not None and keep > 0:
+            entry.synced.extend(entry.pending[:keep])
+        self.crash()
+
     # test/harness access, deliberately public
     def durable_bytes(self, path: str) -> bytes:
         entry = self._files.get(path)
         return b"" if entry is None else bytes(entry.synced)
+
+    def pending_bytes(self, path: str) -> bytes:
+        entry = self._files.get(path)
+        return b"" if entry is None else bytes(entry.pending)
 
     def mutate_durable(self, path: str, transform) -> None:
         """Apply ``transform(bytes) -> bytes`` to a file's durable image

@@ -20,7 +20,7 @@ re-based to absolute file offsets.
 from __future__ import annotations
 
 import posixpath
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.analysis.oson_verifier import verify_oson
@@ -47,10 +47,29 @@ def verify_store_file(data: bytes, path: Optional[str] = None,
     window = data if sealed_length is None else data[:sealed_length]
     scan = scan_frames(window)
     diagnostics = list(scan.diagnostics)
+    # open batch-marker expectation: [offset, expected, seen] — any
+    # record frame (valid or not) fills one slot; a shortfall is a cut
+    # group commit and is reported, never silently absorbed
+    open_batch: Optional[List[int]] = None
     for found in scan.frames:
         if not found.valid:
+            open_batch = _batch_slot(open_batch)
             continue
-        diagnostics.extend(_verify_payload(found.payload, found.offset))
+        record, payload_diags = _verify_payload(found.payload,
+                                                found.offset)
+        diagnostics.extend(payload_diags)
+        if record is None or record.op == logfmt.OP_LOG_HEADER:
+            if record is None and found.payload[:4] != OSON_MAGIC:
+                open_batch = _batch_slot(open_batch)
+            continue
+        if record.op == logfmt.OP_BATCH:
+            if open_batch is not None:
+                diagnostics.append(_partial_batch(open_batch))
+            open_batch = [found.offset, record.count, 0]
+            continue
+        open_batch = _batch_slot(open_batch)
+    if open_batch is not None:
+        diagnostics.append(_partial_batch(open_batch))
     if sealed_length is not None and len(data) > sealed_length:
         diagnostics.append(Diagnostic(
             "storage.fsck.sealed-slack",
@@ -63,19 +82,40 @@ def verify_store_file(data: bytes, path: Optional[str] = None,
     return diagnostics
 
 
-def _verify_payload(payload: bytes, frame_offset: int) -> List[Diagnostic]:
+def _verify_payload(payload: bytes, frame_offset: int
+                    ) -> Tuple[Optional["logfmt.LogRecord"],
+                               List[Diagnostic]]:
     base = frame_offset + HEADER_SIZE
     if payload[:4] == OSON_MAGIC:
         # a manifest frame: the payload is the checkpoint OSON image
-        return _rebase(verify_oson(payload), base)
+        return None, _rebase(verify_oson(payload), base)
     try:
         record = logfmt.decode_record(payload)
     except StorageError as exc:
-        return [Diagnostic("storage.fsck.record",
-                           f"unreadable log record: {exc}", offset=base)]
+        return None, [Diagnostic("storage.fsck.record",
+                                 f"unreadable log record: {exc}",
+                                 offset=base)]
     if record.op in logfmt.IMAGE_OPS:
-        return _rebase(verify_oson(record.image), base + _IMAGE_START)
-    return []
+        return record, _rebase(verify_oson(record.image),
+                               base + _IMAGE_START)
+    return record, []
+
+
+def _batch_slot(open_batch: Optional[List[int]]) -> Optional[List[int]]:
+    """One record frame consumed one slot of the open batch marker."""
+    if open_batch is None:
+        return None
+    open_batch[2] += 1
+    return None if open_batch[2] >= open_batch[1] else open_batch
+
+
+def _partial_batch(open_batch: List[int]) -> Diagnostic:
+    offset, expected, seen = open_batch
+    return Diagnostic(
+        "storage.fsck.partial-batch",
+        f"group-commit batch marker claims {expected} operations but "
+        f"only {seen} follow (torn group commit; records past the cut "
+        f"were never acknowledged)", Severity.WARNING, offset=offset)
 
 
 def _rebase(diagnostics: List[Diagnostic], base: int) -> List[Diagnostic]:

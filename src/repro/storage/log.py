@@ -9,12 +9,23 @@ an *operation record*::
     insert:    <u8 1> <u64 doc id> <OSON image bytes>
     update:    <u8 2> <u64 doc id> <OSON image bytes>
     delete:    <u8 3> <u64 doc id>
+    batch:     <u8 4> <u32 operation count>
 
 The active WAL and a sealed segment share this format exactly — sealing
 a WAL is a metadata-only operation (the manifest records the file name
-and its valid length); no bytes are rewritten.  A *commit* is one
-framed operation record followed by flush + fsync: once those return,
-the operation is acknowledged and recovery must preserve it.
+and its valid length); no bytes are rewritten.  A *commit* is one or
+more framed operation records followed by flush + fsync: once those
+return, the operations are acknowledged and recovery must preserve
+them.
+
+A *batch marker* (``OP_BATCH``) announces that the next ``count``
+operation records were fsynced as one group commit.  The marker is pure
+metadata — replay ignores it — but it lets recovery and fsck *report*
+a batch that only partially survived a crash (the frames after the cut
+were never acknowledged, so replaying the surviving prefix is correct;
+the point is that the cut is surfaced, never silently absorbed).
+Single-operation commits carry no marker, so their byte layout is
+identical to the pre-group-commit format.
 """
 
 from __future__ import annotations
@@ -33,11 +44,13 @@ OP_LOG_HEADER = 0
 OP_INSERT = 1
 OP_UPDATE = 2
 OP_DELETE = 3
+OP_BATCH = 4
 
 LOG_MAGIC = b"RLOG1"
 
 _HEADER_RECORD = struct.Struct("<B5sI")
 _OP_PREFIX = struct.Struct("<BQ")
+_BATCH_RECORD = struct.Struct("<BI")
 
 #: ops that carry an OSON image payload
 IMAGE_OPS = (OP_INSERT, OP_UPDATE)
@@ -76,14 +89,23 @@ def encode_record(op: int, doc_id: int, image: bytes = b"") -> bytes:
     return _OP_PREFIX.pack(op, doc_id) + image
 
 
+def encode_batch_marker(count: int) -> bytes:
+    """A group-commit batch marker announcing ``count`` operations."""
+    if count < 1:
+        raise StorageError(f"batch marker needs a positive count, "
+                           f"got {count}")
+    return _BATCH_RECORD.pack(OP_BATCH, count)
+
+
 @dataclass(frozen=True)
 class LogRecord:
-    """A decoded operation or header record."""
+    """A decoded operation, header or batch-marker record."""
 
     op: int
     doc_id: int = 0
     image: bytes = b""
     sequence: int = 0  # for header records
+    count: int = 0     # for batch markers
 
 
 def decode_record(payload: bytes) -> LogRecord:
@@ -101,6 +123,15 @@ def decode_record(payload: bytes) -> LogRecord:
         if magic != LOG_MAGIC:
             raise StorageError(f"bad log header magic {magic!r}")
         return LogRecord(OP_LOG_HEADER, sequence=sequence)
+    if op == OP_BATCH:
+        if len(payload) != _BATCH_RECORD.size:
+            raise StorageError(
+                f"batch marker record has {len(payload)} bytes, "
+                f"expected {_BATCH_RECORD.size}")
+        _, count = _BATCH_RECORD.unpack(payload)
+        if count < 1:
+            raise StorageError(f"batch marker claims {count} operations")
+        return LogRecord(OP_BATCH, count=count)
     if op in (OP_INSERT, OP_UPDATE, OP_DELETE):
         if len(payload) < _OP_PREFIX.size:
             raise StorageError(

@@ -76,6 +76,12 @@ class RecoveryReport:
     records_applied: int = 0
     documents: int = 0
     torn_tail_bytes: int = 0
+    # group-commit batches whose marker claims more operations than
+    # survived the crash: {source, offset, expected, seen}.  The
+    # surviving prefix replays normally (records past the cut were
+    # never acknowledged) — the point is that the cut is *surfaced*,
+    # on this open and every later one, never silently absorbed.
+    cut_batches: List[Dict[str, Any]] = field(default_factory=list)
     quarantined: List[QuarantinedRecord] = field(default_factory=list)
     diagnostics: List[Diagnostic] = field(default_factory=list)
 
@@ -94,6 +100,12 @@ class RecoveryReport:
         ]
         if self.torn_tail_bytes:
             lines.append(f"torn tail truncated: {self.torn_tail_bytes} bytes")
+        if self.cut_batches:
+            lines.append(f"cut group-commit batches: {len(self.cut_batches)}")
+            lines.extend(
+                f"  {cut['source']} @ byte {cut['offset']}: marker claims "
+                f"{cut['expected']} operations, {cut['seen']} survived"
+                for cut in self.cut_batches)
         if self.quarantined:
             lines.append(f"quarantined records: {len(self.quarantined)}")
             lines.extend("  " + q.render() for q in self.quarantined)
@@ -187,12 +199,17 @@ def _recover(fs: FileSystem, directory: str,
     wal_valid_length = applied_sources[-1][1] if applied_sources else 0
     # reuse the WAL only after a fully clean recovery (clean manifest,
     # no quarantine, no error diagnostics): appending after surviving
-    # garbage would rely on resync to find the new records again
+    # garbage would rely on resync to find the new records again.  A
+    # cut group-commit batch in the WAL also forces a fresh one —
+    # appending new records after the cut would let them satisfy the
+    # old marker's count and mask the shortfall on the next open.
     wal_reusable = bool(
         applied_sources
         and applied_sources[-1][0] == wal_name
         and report.clean
         and report.torn_tail_bytes == 0
+        and not any(cut["source"] == wal_name
+                    for cut in report.cut_batches)
         and wal_valid_length == fs.file_size(
             posixpath.join(directory, wal_name)))
     max_sequence = max((seq for seq, _ in log_files), default=0)
@@ -305,10 +322,16 @@ def _apply_log(fs: FileSystem, directory: str, name: str,
         report.torn_tail_bytes += len(window) - scan.sealable
 
     saw_header = False
+    # an open batch-marker expectation: [offset, expected, seen].  Any
+    # record frame after the marker — applied or quarantined — fills
+    # one of its slots; a shortfall at the next marker or end of file
+    # is a cut group commit and gets reported.
+    open_batch: Optional[List[int]] = None
     for found in scan.frames:
         if not found.valid:
             _quarantine_frame(name, found.offset, found.payload,
                               docs, report)
+            open_batch = _batch_slot(open_batch)
             continue
         try:
             record = logfmt.decode_record(found.payload)
@@ -317,6 +340,7 @@ def _apply_log(fs: FileSystem, directory: str, name: str,
                 source=name, offset=found.offset,
                 reason=f"unreadable record: {exc}",
                 image=found.payload))
+            open_batch = _batch_slot(open_batch)
             continue
         if record.op == logfmt.OP_LOG_HEADER:
             saw_header = True
@@ -328,8 +352,16 @@ def _apply_log(fs: FileSystem, directory: str, name: str,
                     f"file name says {expected}", Severity.WARNING,
                     path=name, offset=found.offset))
             continue
+        if record.op == logfmt.OP_BATCH:
+            if open_batch is not None:
+                _report_cut_batch(report, name, open_batch)
+            open_batch = [found.offset, record.count, 0]
+            continue
         _apply_record(name, found.offset, record, docs, report,
                       verify_documents, id_floor)
+        open_batch = _batch_slot(open_batch)
+    if open_batch is not None:
+        _report_cut_batch(report, name, open_batch)
     if scan.frames and not saw_header:
         report.diagnostics.append(Diagnostic(
             "storage.recover.no-header",
@@ -364,6 +396,28 @@ def _apply_record(source: str, offset: int, record: "logfmt.LogRecord",
             return
     docs[record.doc_id] = record.image
     report.records_applied += 1
+
+
+def _batch_slot(open_batch: Optional[List[int]]) -> Optional[List[int]]:
+    """One record frame consumed one slot of the open batch marker;
+    the expectation closes silently once the count is satisfied."""
+    if open_batch is None:
+        return None
+    open_batch[2] += 1
+    return None if open_batch[2] >= open_batch[1] else open_batch
+
+
+def _report_cut_batch(report: RecoveryReport, source: str,
+                      open_batch: List[int]) -> None:
+    offset, expected, seen = open_batch
+    report.cut_batches.append({"source": source, "offset": offset,
+                               "expected": expected, "seen": seen})
+    report.diagnostics.append(Diagnostic(
+        "storage.recover.partial-batch",
+        f"group-commit batch marker claims {expected} operations but "
+        f"only {seen} survived — the missing {expected - seen} were "
+        f"never acknowledged; the surviving prefix is replayed",
+        Severity.WARNING, path=source, offset=offset))
 
 
 def _quarantine_frame(source: str, offset: int, payload: bytes,

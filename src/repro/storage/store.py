@@ -1,11 +1,19 @@
 """The crash-safe durable collection store.
 
 A :class:`CollectionStore` keeps a collection of JSON documents as OSON
-images with full durability:
+images with full durability and (since the serving layer) multi-version
+concurrency:
 
-* every ``insert``/``update``/``delete`` appends one checksummed record
-  to the write-ahead log and is **acknowledged only after fsync** — an
-  acknowledged operation survives any crash;
+* every ``insert``/``update``/``delete`` stages a logical commit with
+  the group-commit pipeline (:mod:`repro.storage.commit`) and is
+  **acknowledged only after its batch fsync returns** — an acknowledged
+  operation survives any crash, and many concurrent commits share one
+  fsync;
+* reads are served from an immutable, atomically-published
+  :class:`StoreSnapshot` that only ever advances whole durable batches
+  — a reader holding a snapshot (``store.snapshot()``) sees a frozen,
+  consistent state no matter what writers do, and never observes a
+  partially-acknowledged batch;
 * ``checkpoint`` seals the WAL into a segment (metadata-only: the
   manifest records the file and its valid length; no bytes move) and
   atomically swaps a new manifest pinning the segment list, the fresh
@@ -15,6 +23,15 @@ images with full durability:
 * opening runs verified recovery (:mod:`repro.storage.recovery`):
   corrupt records are quarantined with diagnostics, never fatal, and
   the DataGuide is rebuilt or revalidated.
+
+Locking: the store lock covers only in-memory writer state (the
+document map used for id allocation and existence checks, the DataGuide
+builder, the sealed-segment list, the published snapshot reference).
+**No I/O ever runs under it** — WAL writes and fsyncs happen on the
+commit pipeline's leader with no lock held, and checkpoint/compact take
+the pipeline's *pause* (drain + block new batches) before touching
+files.  That is what let the historical ``allow_io=True`` sanitizer
+exemption be deleted.
 
 All I/O flows through the injectable :class:`~repro.storage.files
 .FileSystem`, which is what lets the fault harness
@@ -33,12 +50,55 @@ from repro.core.oson import decode as oson_decode
 from repro.core.oson import encode as oson_encode
 from repro.errors import StorageError
 from repro.obs import locks as _locks
+from repro.storage import commit as commitmod
 from repro.storage import log as logfmt
 from repro.storage import manifest as manifestfmt
+from repro.storage.commit import CommitPipeline, LogicalCommit
 from repro.storage.files import FileSystem, OsFileSystem
 from repro.storage.log import LogWriter
 from repro.storage.recovery import (QuarantinedRecord, RecoveredState,
                                     RecoveryReport, recover)
+
+
+class StoreSnapshot:
+    """An immutable view of the store at one durable point.
+
+    Snapshots are the unit of isolation: the store publishes a new one
+    atomically after each group commit's fsync, and never mutates a
+    published one.  Holding a snapshot therefore pins a consistent
+    state — long scans never observe partial batches, and two reads
+    from the same snapshot always agree.
+    """
+
+    __slots__ = ("docs", "next_doc_id", "version")
+
+    def __init__(self, docs: Dict[int, bytes], next_doc_id: int,
+                 version: int) -> None:
+        self.docs = docs              # treated as frozen once published
+        self.next_doc_id = next_doc_id
+        self.version = version        # monotonic per published batch
+
+    def __len__(self) -> int:
+        return len(self.docs)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self.docs
+
+    def doc_ids(self) -> List[int]:
+        return sorted(self.docs)
+
+    def get(self, doc_id: int) -> Any:
+        return oson_decode(self.image(doc_id))
+
+    def image(self, doc_id: int) -> bytes:
+        try:
+            return self.docs[doc_id]
+        except KeyError:
+            raise StorageError(f"no document {doc_id}") from None
+
+    def documents(self) -> Iterator[Tuple[int, Any]]:
+        for doc_id in sorted(self.docs):
+            yield doc_id, oson_decode(self.docs[doc_id])
 
 
 class CollectionStore:
@@ -51,20 +111,26 @@ class CollectionStore:
                  recovery: Optional[RecoveryReport]) -> None:
         self._directory = directory
         self._fs = fs
+        # writer state: what the store will contain once everything
+        # staged commits — the namespace for id allocation and
+        # update/delete existence checks
         self._docs = docs                  # guarded-by: _lock
         self._builder = builder            # guarded-by: _lock
         self._next_doc_id = next_doc_id    # guarded-by: _lock
-        self._wal = wal                    # guarded-by: _lock
         # (name, valid length) in apply order  # guarded-by: _lock
         self._sealed = sealed
         self.recovery = recovery
         self._closed = False               # guarded-by: _lock
-        # serializes all mutation (DML, checkpoint, compact, close);
-        # reads stay lock-free for the single-session engine of today.
-        # allow_io: covering our own WAL fsync is the documented design
-        # until group commit (ROADMAP item 1) — the sanitizer tracks
-        # this lock's ordering but exempts it from io-under-lock.
-        self._lock = _locks.make_lock("storage.store", allow_io=True)
+        # serializes writer-state mutation (DML staging, publication,
+        # checkpoint/compact metadata swaps).  Covers **no I/O**: the
+        # WAL lives with the commit pipeline, whose leader writes and
+        # fsyncs with no lock held.
+        self._lock = _locks.make_lock("storage.store")
+        # durable state: reads are served from the published snapshot,
+        # which only advances whole fsynced batches
+        self._snapshot = StoreSnapshot(dict(docs), next_doc_id,
+                                       version=0)  # guarded-by: _lock
+        self._pipeline = CommitPipeline(wal, self._publish_batch)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -86,7 +152,8 @@ class CollectionStore:
             fs, posixpath.join(directory, logfmt.log_name(1)), 1)
         store = cls(directory, fs, {}, DataGuideBuilder(), 0, wal, [],
                     recovery=None)
-        store._write_manifest()
+        manifestfmt.write_manifest(fs, directory,
+                                   store._manifest_document())
         return store
 
     @classmethod
@@ -132,15 +199,23 @@ class CollectionStore:
         store = cls(directory, fs, state.docs, state.builder,
                     state.next_doc_id, wal, list(state.sources),
                     state.report)
-        store._write_manifest()
+        manifestfmt.write_manifest(fs, directory,
+                                   store._manifest_document())
         return store
 
     def close(self) -> None:
         with self._lock:
-            if not self._closed:
-                self._wal.commit()
-                self._wal.close()
-                self._closed = True
+            if self._closed:
+                return
+            self._closed = True
+        # drain staged commits (so every acknowledged operation is on
+        # disk), stop the pipeline, then release the WAL handle — all
+        # without the store lock
+        self._pipeline.shutdown()
+        if self._pipeline.failed is None:
+            wal = self._pipeline.wal
+            wal.commit()
+            wal.close()
 
     def __enter__(self) -> "CollectionStore":
         return self
@@ -153,6 +228,12 @@ class CollectionStore:
         return self._directory
 
     @property
+    def pipeline(self) -> CommitPipeline:
+        """The group-commit pipeline (serving layer wires its committer
+        thread and batch limits through this)."""
+        return self._pipeline
+
+    @property
     def quarantine(self) -> List[QuarantinedRecord]:
         return list(self.recovery.quarantined) if self.recovery else []
 
@@ -160,136 +241,230 @@ class CollectionStore:
         if self._closed:
             raise StorageError("store is closed")
 
-    # -- DML (ack = WAL record fsynced) ------------------------------------
+    # -- DML (ack = the commit's batch fsynced) ----------------------------
 
-    def insert(self, document: Any) -> int:
-        """Durably insert; returns the new document id once the WAL
-        record is fsynced (the acknowledgement point)."""
+    def insert_async(self, document: Any) -> Tuple[int, LogicalCommit]:
+        """Stage a durable insert and return ``(doc_id, handle)`` without
+        waiting for the fsync.  The write is acknowledged — durable, and
+        visible to new snapshots — only once ``pipeline.wait(handle)``
+        returns.  The serving layer's write lane uses this split to
+        overlap many sessions' durability waits so the group-commit
+        leader can batch their fsyncs."""
+        image = oson_encode(document)
         with self._lock:
             self._live()
-            image = oson_encode(document)
             doc_id = self._next_doc_id
-            self._wal.append(logfmt.encode_record(logfmt.OP_INSERT, doc_id,
-                                                  image))
-            self._wal.commit()
             self._next_doc_id = doc_id + 1
             self._docs[doc_id] = image
-            self._builder.add(document)
-            return doc_id
+            entry = LogicalCommit(
+                [logfmt.encode_record(logfmt.OP_INSERT, doc_id, image)],
+                [(logfmt.OP_INSERT, doc_id, image)],
+                self._next_doc_id, documents=(document,))
+            self._pipeline.submit(entry)
+        return doc_id, entry
+
+    def insert(self, document: Any) -> int:
+        """Durably insert; returns the new document id once the commit's
+        group-commit batch is fsynced (the acknowledgement point)."""
+        doc_id, entry = self.insert_async(document)
+        self._pipeline.wait(entry)
+        return doc_id
+
+    def insert_many_async(
+            self, documents: Any
+    ) -> Tuple[List[int], Optional[LogicalCommit]]:
+        """Stage a multi-document insert as one logical commit; the
+        handle is ``None`` for an empty batch (nothing to wait for)."""
+        documents = list(documents)
+        if not documents:
+            return [], None
+        images = [oson_encode(document) for document in documents]
+        with self._lock:
+            self._live()
+            doc_ids: List[int] = []
+            records: List[bytes] = []
+            ops: List[Tuple[int, int, bytes]] = []
+            for document, image in zip(documents, images):
+                doc_id = self._next_doc_id
+                self._next_doc_id = doc_id + 1
+                self._docs[doc_id] = image
+                doc_ids.append(doc_id)
+                records.append(logfmt.encode_record(
+                    logfmt.OP_INSERT, doc_id, image))
+                ops.append((logfmt.OP_INSERT, doc_id, image))
+            entry = LogicalCommit(records, ops, self._next_doc_id,
+                                  documents=tuple(documents))
+            self._pipeline.submit(entry)
+        return doc_ids, entry
 
     def insert_many(self, documents: Any) -> List[int]:
-        return [self.insert(document) for document in documents]
+        """Durably insert several documents as **one** logical commit:
+        a single WAL batch, one fsync, one acknowledgement — after a
+        crash either a prefix of the batch's records survives and is
+        reported as a cut batch, or all of them do."""
+        doc_ids, entry = self.insert_many_async(documents)
+        if entry is not None:
+            self._pipeline.wait(entry)
+        return doc_ids
 
     def update(self, doc_id: int, document: Any) -> None:
+        image = oson_encode(document)
         with self._lock:
             self._live()
             if doc_id not in self._docs:
                 raise StorageError(f"no document {doc_id} to update")
-            image = oson_encode(document)
-            self._wal.append(logfmt.encode_record(logfmt.OP_UPDATE, doc_id,
-                                                  image))
-            self._wal.commit()
             self._docs[doc_id] = image
-            self._builder.add(document)
+            entry = LogicalCommit(
+                [logfmt.encode_record(logfmt.OP_UPDATE, doc_id, image)],
+                [(logfmt.OP_UPDATE, doc_id, image)],
+                self._next_doc_id, documents=(document,))
+            self._pipeline.submit(entry)
+        self._pipeline.wait(entry)
 
     def delete(self, doc_id: int) -> None:
         with self._lock:
             self._live()
             if doc_id not in self._docs:
                 raise StorageError(f"no document {doc_id} to delete")
-            self._wal.append(logfmt.encode_record(logfmt.OP_DELETE, doc_id))
-            self._wal.commit()
             del self._docs[doc_id]
             # the DataGuide stays additive on delete (paper section
             # 3.4); recovery and compaction shrink it by rebuilding
+            entry = LogicalCommit(
+                [logfmt.encode_record(logfmt.OP_DELETE, doc_id)],
+                [(logfmt.OP_DELETE, doc_id, b"")],
+                self._next_doc_id)
+            self._pipeline.submit(entry)
+        self._pipeline.wait(entry)
 
-    # -- reads -------------------------------------------------------------
+    def _publish_batch(self, batch: List[LogicalCommit]) -> None:
+        """Pipeline callback, after the batch fsync and before the ack:
+        swap in a snapshot covering the whole batch (readers move from
+        one consistent state to the next, never through the middle) and
+        teach the DataGuide the now-durable documents."""
+        with self._lock:
+            base = self._snapshot
+            docs = commitmod.snapshot_docs(base.docs, batch)
+            next_doc_id = base.next_doc_id
+            for entry in batch:
+                if entry.next_doc_id > next_doc_id:
+                    next_doc_id = entry.next_doc_id
+                for document in entry.documents:
+                    self._builder.add(document)
+            self._snapshot = StoreSnapshot(docs, next_doc_id,
+                                           base.version + 1)
+
+    # -- reads (always from the published snapshot) ------------------------
+
+    def snapshot(self) -> StoreSnapshot:
+        """Pin the current durable state.  The returned object is
+        immutable and stays valid (and consistent) forever."""
+        return self._snapshot
 
     def __len__(self) -> int:
-        return len(self._docs)
+        return len(self._snapshot.docs)
 
     def __contains__(self, doc_id: int) -> bool:
-        return doc_id in self._docs
+        return doc_id in self._snapshot.docs
 
     def doc_ids(self) -> List[int]:
-        return sorted(self._docs)
+        return self._snapshot.doc_ids()
 
     def get(self, doc_id: int) -> Any:
-        try:
-            image = self._docs[doc_id]
-        except KeyError:
-            raise StorageError(f"no document {doc_id}") from None
-        return oson_decode(image)
+        return self._snapshot.get(doc_id)
 
     def image(self, doc_id: int) -> bytes:
-        try:
-            return self._docs[doc_id]
-        except KeyError:
-            raise StorageError(f"no document {doc_id}") from None
+        return self._snapshot.image(doc_id)
 
     def documents(self) -> Iterator[Tuple[int, Any]]:
-        for doc_id in sorted(self._docs):
-            yield doc_id, oson_decode(self._docs[doc_id])
+        return self._snapshot.documents()
 
     def dataguide(self) -> DataGuide:
-        return self._builder.guide()
+        with self._lock:
+            return self._builder.guide()
 
     # -- checkpoint / compaction -------------------------------------------
 
     def checkpoint(self) -> None:
-        """Seal the WAL into a segment and publish a new manifest."""
+        """Seal the WAL into a segment and publish a new manifest.
+
+        Runs under the pipeline's pause — staged-but-unacknowledged
+        commits submitted during the pause simply land in the fresh WAL
+        after resume — and the manifest is built from the published
+        snapshot, so it describes exactly the durable state.
+        """
         with self._lock:
             self._live()
-            self._wal.commit()
-            sealed_name = posixpath.basename(self._wal.path)
-            sealed_length = self._wal.offset
-            self._wal.close()
-            self._sealed.append((sealed_name, sealed_length))
-            sequence = self._wal.sequence + 1
-            self._wal = LogWriter.create(
+        self._pipeline.pause()
+        try:
+            with self._lock:
+                self._live()
+                snapshot = self._snapshot
+            old = self._pipeline.wal
+            sealed_name = posixpath.basename(old.path)
+            sealed_length = old.offset
+            old.commit()
+            sequence = old.sequence + 1
+            new_wal = LogWriter.create(
                 self._fs, posixpath.join(self._directory,
                                          logfmt.log_name(sequence)),
                 sequence)
-            self._write_manifest()
+            self._pipeline.replace_wal(new_wal)
+            old.close()
+            with self._lock:
+                self._sealed.append((sealed_name, sealed_length))
+                document = self._manifest_document(snapshot)
+            manifestfmt.write_manifest(self._fs, self._directory, document)
+        finally:
+            self._pipeline.resume()
 
     def compact(self) -> int:
         """Rewrite only the live documents into one fresh segment, then
         drop every superseded log file.  Returns bytes reclaimed."""
         with self._lock:
             self._live()
-            self._wal.commit()
-            self._wal.close()
+        self._pipeline.pause()
+        try:
+            with self._lock:
+                self._live()
+                snapshot = self._snapshot
+            old = self._pipeline.wal
+            old.commit()
 
-            sequence = self._wal.sequence + 1
+            sequence = old.sequence + 1
             segment = LogWriter.create(
                 self._fs, posixpath.join(self._directory,
                                          logfmt.log_name(sequence)), sequence)
-            for doc_id in sorted(self._docs):
+            for doc_id in sorted(snapshot.docs):
                 segment.append(logfmt.encode_record(
-                    logfmt.OP_INSERT, doc_id, self._docs[doc_id]))
+                    logfmt.OP_INSERT, doc_id, snapshot.docs[doc_id]))
             segment.commit()
             segment.close()
 
-            self._wal = LogWriter.create(
+            new_wal = LogWriter.create(
                 self._fs, posixpath.join(self._directory,
                                          logfmt.log_name(sequence + 1)),
                 sequence + 1)
-            # compaction rebuilds the DataGuide over live documents only —
-            # the one sanctioned shrink point
+            self._pipeline.replace_wal(new_wal)
+            old.close()
+            # compaction rebuilds the DataGuide over the live durable
+            # documents only — the one sanctioned shrink point (commits
+            # staged during the pause re-add their paths when published)
             builder = DataGuideBuilder()
-            for doc_id in sorted(self._docs):
-                builder.add(oson_decode(self._docs[doc_id]))
-            self._builder = builder
-            self._sealed = [(posixpath.basename(segment.path),
-                             segment.offset)]
-            self._write_manifest()
+            for doc_id in sorted(snapshot.docs):
+                builder.add(oson_decode(snapshot.docs[doc_id]))
+            with self._lock:
+                self._builder = builder
+                self._sealed = [(posixpath.basename(segment.path),
+                                 segment.offset)]
+                document = self._manifest_document(snapshot)
+            manifestfmt.write_manifest(self._fs, self._directory, document)
             # GC every unreferenced log at or below the new horizon: the
             # files this compaction superseded, plus orphans left by an
             # earlier compaction that crashed after publishing its manifest
             # but before its own remove sweep
-            referenced = {name for name, _ in self._sealed}
-            referenced.add(posixpath.basename(self._wal.path))
-            horizon = self._wal.sequence
+            referenced = {posixpath.basename(segment.path),
+                          posixpath.basename(new_wal.path)}
+            horizon = new_wal.sequence
             reclaimed = 0
             for name in self._fs.listdir(self._directory):
                 log_sequence = logfmt.parse_log_name(name)
@@ -300,17 +475,26 @@ class CollectionStore:
                 reclaimed += self._fs.file_size(path)
                 self._fs.remove(path)
             return max(0, reclaimed - segment.offset)
+        finally:
+            self._pipeline.resume()
 
-    def _write_manifest(self) -> None:
-        document = manifestfmt.build_manifest(
-            self._sealed, posixpath.basename(self._wal.path),
-            self._next_doc_id, len(self._docs), self._builder)
-        manifestfmt.write_manifest(self._fs, self._directory, document)
+    def _manifest_document(self,
+                           snapshot: Optional[StoreSnapshot] = None
+                           ) -> Dict[str, Any]:
+        """Build the manifest checkpoint document (pure; no I/O).  The
+        durable counts come from the published snapshot so a manifest
+        never claims operations whose batch has not fsynced."""
+        if snapshot is None:
+            snapshot = self._snapshot
+        return manifestfmt.build_manifest(
+            list(self._sealed),
+            posixpath.basename(self._pipeline.wal.path),
+            snapshot.next_doc_id, len(snapshot.docs), self._builder)
 
     # -- introspection -----------------------------------------------------
 
     def storage_files(self) -> List[str]:
         """Log files in apply order (sealed segments then active WAL)."""
         names = [name for name, _ in self._sealed]
-        names.append(posixpath.basename(self._wal.path))
+        names.append(posixpath.basename(self._pipeline.wal.path))
         return names

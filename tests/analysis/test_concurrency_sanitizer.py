@@ -160,3 +160,50 @@ class TestReport:
             assert section == {"enabled": False}
         finally:
             sanitizer.set_sanitizer_enabled(previous)
+
+
+class TestStoreIoDiscipline:
+    """Regression for the deleted ``allow_io=True`` exemption: since
+    group commit moved the WAL fsync onto the pipeline leader, the
+    store must hold NO lock across I/O — the sanitizer watches a full
+    write/checkpoint/compact/serve workload and must stay silent."""
+
+    def test_store_workload_performs_no_io_under_any_lock(self, sanitized):
+        from repro.storage import CollectionStore, MemoryFileSystem
+        fs = MemoryFileSystem()
+        store = CollectionStore.create("db", fs=fs)
+        store.insert({"a": 1})
+        store.insert_many([{"b": i} for i in range(3)])
+        store.checkpoint()
+        store.update(0, {"a": 2})
+        store.compact()
+        store.delete(0)
+        store.close()
+        report = sanitizer.report()
+        held_io = [entry for entry in report["reports"]
+                   if entry["kind"] == "io-under-lock"]
+        assert held_io == [], held_io
+        # the store lock is tracked and is NOT exempt anymore
+        assert "storage.store" in report["locks"]
+        assert not report["locks"]["storage.store"]["allow_io"]
+
+    def test_threaded_commit_pipeline_stays_clean(self, sanitized):
+        import threading as _threading
+        from repro.storage import CollectionStore, MemoryFileSystem
+        fs = MemoryFileSystem()
+        store = CollectionStore.create("db", fs=fs)
+        store.pipeline.start_thread()
+        workers = [_threading.Thread(
+            target=lambda base=base: [store.insert({"w": base + i})
+                                      for i in range(5)])
+            for base in (0, 100)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        store.checkpoint()
+        store.close()
+        report = sanitizer.report()
+        assert [entry for entry in report["reports"]
+                if entry["kind"] == "io-under-lock"] == []
+        assert not report["locks"]["storage.commit"]["allow_io"]

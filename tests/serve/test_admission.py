@@ -1,0 +1,146 @@
+"""Admission controller: bounded queue, shedding, worker pool,
+shutdown semantics, metrics."""
+
+import threading
+
+import pytest
+
+from repro.errors import Overloaded, SessionClosed
+from repro.obs.metrics import find_metric
+from repro.serve import AdmissionController
+
+
+def occupied_controller(queue_limit=1):
+    """A 1-worker controller whose worker is parked on an event, plus
+    the release event."""
+    controller = AdmissionController("test_occupied", workers=1,
+                                     queue_limit=queue_limit)
+    release = threading.Event()
+    started = threading.Event()
+
+    def blocker():
+        started.set()
+        release.wait(10)
+        return "done"
+
+    running = controller.submit(blocker)
+    assert started.wait(5)
+    return controller, release, running
+
+
+class TestShedding:
+    def test_full_queue_sheds_with_typed_error(self):
+        controller, release, running = occupied_controller(queue_limit=1)
+        try:
+            queued = controller.submit(lambda: "queued")
+            with pytest.raises(Overloaded) as exc_info:
+                controller.submit(lambda: "shed")
+            assert exc_info.value.queue_depth == 1
+            assert exc_info.value.limit == 1
+            release.set()
+            assert running.result(5) == "done"
+            assert queued.result(5) == "queued"
+        finally:
+            release.set()
+            controller.close()
+
+    def test_shed_counter_increments(self):
+        controller, release, _ = occupied_controller(queue_limit=1)
+        try:
+            controller.submit(lambda: None)
+            before = find_metric("serve.test_occupied.shed").value
+            with pytest.raises(Overloaded):
+                controller.submit(lambda: None)
+            assert find_metric("serve.test_occupied.shed").value \
+                == before + 1
+        finally:
+            release.set()
+            controller.close()
+
+    def test_shed_request_never_executes(self):
+        controller, release, _ = occupied_controller(queue_limit=1)
+        executed = []
+        try:
+            controller.submit(lambda: executed.append("queued"))
+            with pytest.raises(Overloaded):
+                controller.submit(lambda: executed.append("shed"))
+            release.set()
+            controller.drain()
+            assert executed == ["queued"]
+        finally:
+            release.set()
+            controller.close()
+
+
+class TestExecution:
+    def test_task_exception_reaches_caller_not_worker(self):
+        controller = AdmissionController("test_exec", workers=2,
+                                         queue_limit=8)
+        try:
+            def boom():
+                raise RuntimeError("task failed")
+
+            future = controller.submit(boom)
+            with pytest.raises(RuntimeError):
+                future.result(5)
+            # the worker survived: the controller still executes work
+            assert controller.submit(lambda: 7).result(5) == 7
+        finally:
+            controller.close()
+
+    def test_cancelled_while_queued_never_runs(self):
+        controller, release, _ = occupied_controller(queue_limit=4)
+        executed = []
+        try:
+            queued = controller.submit(lambda: executed.append("ran"))
+            assert queued.cancel()
+            release.set()
+            controller.drain()
+            assert executed == []
+            assert queued.cancelled()
+        finally:
+            release.set()
+            controller.close()
+
+    def test_queue_wait_histogram_observes(self):
+        controller = AdmissionController("test_wait", workers=1,
+                                         queue_limit=8)
+        try:
+            before = find_metric("serve.test_wait.queue_wait_ms").count
+            controller.submit(lambda: None).result(5)
+            assert find_metric("serve.test_wait.queue_wait_ms").count \
+                == before + 1
+        finally:
+            controller.close()
+
+
+class TestShutdown:
+    def test_close_fails_queued_work_with_session_closed(self):
+        controller, release, running = occupied_controller(queue_limit=4)
+        queued = controller.submit(lambda: "never")
+        controller_thread = threading.Thread(target=controller.close)
+        controller_thread.start()
+        release.set()
+        controller_thread.join(5)
+        assert running.result(5) == "done"  # in-flight work finishes
+        with pytest.raises(SessionClosed):
+            queued.result(5)
+
+    def test_submit_after_close_raises(self):
+        controller = AdmissionController("test_closed", workers=1,
+                                         queue_limit=2)
+        controller.close()
+        with pytest.raises(SessionClosed):
+            controller.submit(lambda: None)
+
+    def test_close_is_idempotent(self):
+        controller = AdmissionController("test_idem", workers=1,
+                                         queue_limit=2)
+        controller.close()
+        controller.close()
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController("test_bad", workers=0)
+        with pytest.raises(ValueError):
+            AdmissionController("test_bad", queue_limit=0)

@@ -1,0 +1,233 @@
+"""Crash sweep for group-commit batches (ISSUE 7 acceptance criterion).
+
+The workload commits multi-operation batches; the sweep crashes it at
+every mutating I/O boundary under three power-loss modes — ``crash``
+(all pending bytes lost), ``torn`` (the active write survives
+partially) and ``writeback`` (a deterministic prefix of the file's
+pending bytes had already been written back by the OS, which is the
+only mode that can cut a multi-frame batch *between* frames).  Oracle:
+
+* every **acknowledged** commit survives exactly (group commit acks
+  only after the batch fsync, so acknowledgement still means durable);
+* of the one in-flight (unacknowledged) batch, the survivors are an
+  **exact prefix** in submission order — never a subset with holes;
+* a strict nonempty prefix of a multi-op batch is **reported** as a cut
+  batch (``storage.recover.partial-batch``), never silently absorbed;
+* the recovered store stays writable, and a second restart serves
+  exactly what the first did (the cut stays inside the seal).
+
+Seed is logged for reproduction:
+``REPRO_FAULT_SEED=<n> python -m pytest tests/storage/test_group_commit_faults.py``.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import CollectionStore
+from repro.storage.faults import (CRASH, TORN, WRITEBACK,
+                                  enumerate_fault_points, run_with_fault)
+from repro.storage.log import parse_log_name
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "20260806"))
+MODES = (CRASH, TORN, WRITEBACK)
+
+DIR = "db"
+
+BATCH_A = [
+    {"po": {"id": 1, "items": [{"sku": "A", "qty": 2}]}},
+    {"po": {"id": 2, "note": "n" * 30}},
+    {"po": {"id": 3, "rush": True}},
+    {"event": {"kind": "audit", "tags": ["x", "y"]}},
+]
+BATCH_B = [
+    {"sensor": {"r": [1, 2, 3]}},
+    {"sensor": {"r": [4], "unit": "C"}},
+    {"po": {"id": 7}},
+]
+BATCH_C = [
+    {"post": {"checkpoint": True}},
+    {"post": {"n": 2}},
+]
+UPDATED = {"po": {"id": 2, "status": "CLOSED"}}
+
+
+def workload(fs, journal):
+    """Journals an ``attempt`` entry (with the deterministic doc ids the
+    fresh store will assign) before every commit and an ``ack`` entry
+    after it returns — the prefix oracle needs to know what was in
+    flight at the crash."""
+    store = CollectionStore.create(DIR, fs=fs)
+    journal.append(("created",))
+    next_id = 0
+
+    def batch(docs):
+        nonlocal next_id
+        predicted = list(range(next_id, next_id + len(docs)))
+        journal.append(("attempt-batch", predicted, docs))
+        ids = store.insert_many(docs)
+        assert ids == predicted
+        next_id += len(docs)
+        journal.append(("ack-batch", ids, docs))
+        return ids
+
+    ids_a = batch(BATCH_A)
+    journal.append(("attempt-update", ids_a[1], UPDATED))
+    store.update(ids_a[1], UPDATED)
+    journal.append(("ack-update", ids_a[1], UPDATED))
+    batch(BATCH_B)
+    journal.append(("attempt-delete", ids_a[0]))
+    store.delete(ids_a[0])
+    journal.append(("ack-delete", ids_a[0]))
+    store.checkpoint()
+    journal.append(("checkpoint",))
+    batch(BATCH_C)
+    store.close()
+    journal.append(("closed",))
+
+
+def acked_documents(journal):
+    docs = {}
+    for entry in journal:
+        if entry[0] == "ack-batch":
+            for doc_id, doc in zip(entry[1], entry[2]):
+                docs[doc_id] = doc
+        elif entry[0] == "ack-update":
+            docs[entry[1]] = entry[2]
+        elif entry[0] == "ack-delete":
+            docs.pop(entry[1], None)
+    return docs
+
+
+def in_flight(journal):
+    """The single unacknowledged attempt at the crash, or None."""
+    pending = None
+    for entry in journal:
+        kind = entry[0]
+        if kind.startswith("attempt-"):
+            pending = entry
+        elif kind.startswith("ack-"):
+            pending = None
+    return pending
+
+
+def check_case(case, outcome):
+    context = case.describe()
+    durable = outcome.durable
+    expected = acked_documents(outcome.journal)
+    attempt = in_flight(outcome.journal)
+    try:
+        store = CollectionStore.open(DIR, fs=durable)
+    except StorageError:
+        log_files = [n for n in (durable.listdir(DIR)
+                                 if durable.exists(DIR) else [])
+                     if parse_log_name(n) is not None]
+        assert not outcome.journal and not log_files, (
+            f"{context}: refused to open after acknowledgements")
+        return
+    report = store.recovery
+
+    # these modes only lose never-synced bytes: no quarantine, no
+    # acknowledged loss
+    assert not report.quarantined, (
+        f"{context}: quarantine from a pure power-loss mode:\n"
+        + report.summary())
+    for doc_id, doc in expected.items():
+        if (attempt is not None and attempt[0] == "attempt-update"
+                and attempt[1] == doc_id):
+            # unacked update in flight: old or new value, nothing else
+            assert store.get(doc_id) in (doc, attempt[2]), (
+                f"{context}: doc {doc_id} is neither pre- nor "
+                f"post-update image")
+            continue
+        if (attempt is not None and attempt[0] == "attempt-delete"
+                and attempt[1] == doc_id):
+            if doc_id in store:
+                assert store.get(doc_id) == doc
+            continue
+        assert doc_id in store, f"{context}: acknowledged doc {doc_id} lost"
+        assert store.get(doc_id) == doc, (
+            f"{context}: acknowledged doc {doc_id} diverged")
+
+    # survivors beyond the acknowledged set must be an exact prefix of
+    # the in-flight batch
+    extras = sorted(set(store.doc_ids()) - set(expected))
+    if extras:
+        assert attempt is not None and attempt[0] == "attempt-batch", (
+            f"{context}: unexplained surviving docs {extras}")
+        predicted, docs = attempt[1], attempt[2]
+        k = len(extras)
+        assert extras == predicted[:k], (
+            f"{context}: survivors {extras} are not a prefix of the "
+            f"in-flight batch {predicted}")
+        for doc_id, doc in zip(extras, docs[:k]):
+            assert store.get(doc_id) == doc, (
+                f"{context}: in-flight survivor {doc_id} diverged")
+        if 0 < k < len(predicted):
+            # a strict prefix means the batch was cut mid-flight: the
+            # shortfall must be reported, never silently absorbed
+            assert report.cut_batches, (
+                f"{context}: batch cut to {k}/{len(predicted)} with no "
+                f"cut-batch report:\n" + report.summary())
+            assert any(d.rule == "storage.recover.partial-batch"
+                       for d in report.diagnostics)
+
+    # recovered store stays writable...
+    new_id = store.insert({"post": {"recovery": True}})
+    assert store.get(new_id) == {"post": {"recovery": True}}
+    served = {doc_id: store.get(doc_id) for doc_id in store.doc_ids()}
+    store.close()
+
+    # ...and a second restart serves exactly the same state: the seal
+    # written during recovery keeps the cut inside it
+    second = CollectionStore.open(DIR, fs=durable)
+    assert {doc_id: second.get(doc_id)
+            for doc_id in second.doc_ids()} == served, (
+        f"{context}: state changed between first and second restart")
+    second.close()
+
+
+@pytest.fixture(scope="module")
+def enumeration():
+    print(f"\n[group-commit sweep] REPRO_FAULT_SEED={SEED}")
+    return enumerate_fault_points(workload, seed=SEED, modes=MODES)
+
+
+def test_workload_completes_without_faults():
+    from repro.storage.faults import FaultyFileSystem
+    journal = []
+    workload(FaultyFileSystem(), journal)
+    assert journal[-1] == ("closed",)
+
+
+def test_writeback_mode_cuts_at_least_one_batch(enumeration):
+    """The sweep must actually exercise the strict-prefix path: across
+    all writeback cases, at least one batch survives cut (otherwise the
+    cut-report assertions above are vacuous)."""
+    cut_seen = 0
+    for case in [c for c in enumeration.cases
+                 if c.plan.mode == WRITEBACK]:
+        outcome = run_with_fault(workload, case)
+        if not outcome.crashed:
+            continue
+        try:
+            store = CollectionStore.open(DIR, fs=outcome.durable)
+        except StorageError:
+            continue
+        if store.recovery.cut_batches:
+            cut_seen += 1
+        store.close()
+    assert cut_seen > 0, (
+        "no writeback case produced a cut batch — the sweep is not "
+        "covering mid-batch power loss")
+
+
+@pytest.mark.parametrize("mode", list(MODES))
+def test_group_commit_crash_sweep(enumeration, mode):
+    cases = [c for c in enumeration.cases if c.plan.mode == mode]
+    assert cases
+    for case in cases:
+        outcome = run_with_fault(workload, case)
+        assert outcome.crashed, f"{case.describe()}: fault never fired"
+        check_case(case, outcome)

@@ -144,9 +144,10 @@ class TestSealAfterCorruption:
 
         wal = posixpath.join("db", "log-00000001.log")
         frames = scan_frames(fs.durable_bytes(wal)).frames
-        # frames: [header, A, B, C]; flip a bit inside B's image bytes
-        # (past the 9-byte op + doc-id prefix, so attribution survives)
-        target = frames[2].offset + HEADER_SIZE + 9 + 2
+        # frames: [header, batch marker, A, B, C] — insert_many is one
+        # group commit now; flip a bit inside B's image bytes (past the
+        # 9-byte op + doc-id prefix, so attribution survives)
+        target = frames[3].offset + HEADER_SIZE + 9 + 2
 
         def flip(data):
             mutated = bytearray(data)

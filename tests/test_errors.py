@@ -159,3 +159,39 @@ class TestPickling:
         clone = self.roundtrip(exc_info.value)
         assert str(clone) == str(exc_info.value)
         assert clone.json_type == "float"
+
+
+class TestServeErrors:
+    """Serving-layer errors: typed, attribute-carrying, picklable
+    (ISSUE 7: admission control returns Overloaded/Timeout, never bare
+    exceptions)."""
+
+    def roundtrip(self, error):
+        import pickle
+        return pickle.loads(pickle.dumps(error))
+
+    def test_sub_hierarchy(self):
+        for cls in (errors.Overloaded, errors.QueryTimeout,
+                    errors.Cancelled, errors.SessionClosed):
+            assert issubclass(cls, errors.ServeError)
+        assert issubclass(errors.ServeError, errors.ReproError)
+
+    def test_overloaded_carries_queue_context(self):
+        error = errors.Overloaded("shed", 64, 64)
+        assert error.queue_depth == 64
+        assert error.limit == 64
+        assert "(queue 64/64)" in str(error)
+        clone = self.roundtrip(error)
+        assert clone.queue_depth == 64
+        assert str(self.roundtrip(clone)) == str(error)  # no doubling
+
+    def test_query_timeout_carries_elapsed(self):
+        error = errors.QueryTimeout("deadline", 125.5)
+        assert error.elapsed_ms == 125.5
+        assert "(after 125.5ms)" in str(error)
+        clone = self.roundtrip(error)
+        assert clone.elapsed_ms == 125.5
+
+    def test_context_optional(self):
+        assert str(errors.Overloaded("shed")) == "shed"
+        assert str(errors.QueryTimeout("slow")) == "slow"
