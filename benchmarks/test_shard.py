@@ -1,0 +1,283 @@
+"""Scatter-gather scan+group-by over hash shards vs the single stream.
+
+ISSUE 8's perf claim: with N shards on an N-core machine, a scan +
+filter + group-by fans out to one worker per shard and gathers partial
+aggregate states, beating the unsharded single-stream plan.  Python
+threads share the GIL, so the parallel gate is measured over **pinned
+worker processes** — one long-lived process per shard, each holding its
+shard's rows (a shard directory is itself a plain
+:class:`~repro.storage.store.CollectionStore`), computing
+``partial_group_by`` locally and shipping serialized partial states
+through :func:`~repro.engine.executor.serialize_group_partials` /
+``fold_serialized_partials`` — exactly the gather contract the
+in-process scatter executor uses.
+
+Measured everywhere; the >= 2x acceptance gate only asserts on runners
+with >= 4 cores (a single-core box cannot parallelize anything).  The
+partition-pruning assertion (>= 1 query with ``shards_pruned > 0``
+read out of EXPLAIN ANALYZE) runs everywhere.
+
+Output: ``BENCH_results.json`` under ``shard`` and standalone in
+``BENCH_shard.json`` (CI artifact, ``REPRO_BENCH_SHARD`` overrides the
+path)."""
+
+import json
+import multiprocessing
+import os
+import re
+import sys
+import time
+
+import pytest
+
+from benchmarks.conftest import record, report, scaled
+from repro.engine import CLOB, Column, Database, NUMBER, Query, executor, expr
+
+N = scaled(20000, minimum=4000)
+SHARDS = 4
+REPS = 5
+GATE_FACTOR = 2.0
+GATE_MIN_CPUS = 4
+PIVOT = 500  # ~50% selectivity over v in [0, 1000)
+
+REGIONS = [f"r{index:02d}" for index in range(16)]
+
+SHARD_RESULTS_PATH = os.environ.get("REPRO_BENCH_SHARD",
+                                    "BENCH_shard.json")
+
+
+def make_rows(count):
+    return [{"k": REGIONS[index % len(REGIONS)],
+             "v": (index * 37) % 1000,
+             "q": index % 7}
+            for index in range(count)]
+
+
+def pipeline_spec():
+    """The benchmark query, as executor inputs: WHERE v >= pivot
+    GROUP BY k AGG SUM(v), COUNT(*) — shared verbatim by the baseline,
+    the worker processes, and the engine-level runs."""
+    keys = [executor.normalize_output("k")]
+    aggregates = [("total", expr.SUM(expr.Col("v"))), ("n", expr.COUNT())]
+    return keys, aggregates
+
+
+def predicate(pivot):
+    return expr.Col("v") >= expr.Literal(pivot)
+
+
+def single_stream(rows, pivot):
+    keys, aggregates = pipeline_spec()
+    filtered = executor.filter_rows_morsel(iter(rows), predicate(pivot))
+    return list(executor.group_by(filtered, keys, aggregates))
+
+
+# -- pinned shard workers ---------------------------------------------------
+
+
+def _shard_worker(conn, directory):
+    """One process, one shard: open the shard's store once, keep its
+    rows hot, answer each pivot with serialized partial group states."""
+    from repro.storage.store import CollectionStore
+    store = CollectionStore.open(directory, verify_documents=False)
+    rows = [document for _, document in store.documents()]
+    store.close()
+    conn.send(len(rows))
+    keys, aggregates = pipeline_spec()
+    while True:
+        pivot = conn.recv()
+        if pivot is None:
+            break
+        filtered = executor.filter_rows_morsel(iter(rows),
+                                               predicate(pivot))
+        groups = executor.partial_group_by(filtered, keys, aggregates,
+                                           morsel=True)
+        conn.send(executor.serialize_group_partials(groups))
+    conn.close()
+
+
+class ShardWorkerPool:
+    """The process-parallel scatter half: pinned workers, one per
+    shard, gathered through the serialized-partials contract."""
+
+    def __init__(self, shard_dirs):
+        context = multiprocessing.get_context("fork")
+        self.pipes = []
+        self.workers = []
+        for directory in shard_dirs:
+            parent_conn, child_conn = context.Pipe()
+            worker = context.Process(target=_shard_worker,
+                                     args=(child_conn, directory),
+                                     daemon=True)
+            worker.start()
+            child_conn.close()
+            self.pipes.append(parent_conn)
+            self.workers.append(worker)
+        self.rows_per_shard = [conn.recv() for conn in self.pipes]
+
+    def query(self, pivot):
+        for conn in self.pipes:
+            conn.send(pivot)
+        serialized = [conn.recv() for conn in self.pipes]
+        keys, aggregates = pipeline_spec()
+        groups = {}
+        for partial in serialized:  # shard-index order
+            groups = executor.fold_serialized_partials(groups, partial,
+                                                       aggregates)
+        return list(executor.finalize_groups(groups, keys, aggregates))
+
+    def close(self):
+        for conn in self.pipes:
+            conn.send(None)
+        for worker in self.workers:
+            worker.join(timeout=10)
+
+
+def best_of(callable_, reps=REPS):
+    best = None
+    for _ in range(reps):
+        begin = time.perf_counter()
+        callable_()
+        elapsed = (time.perf_counter() - begin) * 1000.0
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def canon(rows):
+    return sorted(json.dumps(row, sort_keys=True) for row in rows)
+
+
+@pytest.fixture(scope="module")
+def stores(tmp_path_factory):
+    base = tmp_path_factory.mktemp("shard_bench")
+    rows = make_rows(N)
+    columns = [Column("k", CLOB), Column("v", NUMBER),
+               Column("q", NUMBER)]
+    db = Database()
+    flat = db.create_table("flat", columns, durable=str(base / "flat"))
+    flat.insert_many([dict(row) for row in rows])
+    sharded = db.create_table("sharded", columns,
+                              durable=str(base / "sharded"),
+                              shards=SHARDS, routing_field="k")
+    sharded.insert_many([dict(row) for row in rows])
+    yield rows, flat, sharded, base
+    flat.close()
+    sharded.close()
+
+
+@pytest.fixture(scope="module")
+def measurements(stores):
+    rows, flat, sharded, base = stores
+    shard_dirs = [str(base / "sharded" / f"shard-{index:02d}")
+                  for index in range(SHARDS)]
+
+    results = {"n_rows": N, "shards": SHARDS, "reps": REPS,
+               "cpu_count": os.cpu_count(), "pivot": PIVOT}
+
+    # the reference result + the single-stream baseline timing
+    reference = single_stream(rows, PIVOT)
+    results["unsharded_ms"] = round(
+        best_of(lambda: single_stream(rows, PIVOT)), 3)
+
+    # engine-level runs (thread scatter vs volcano chain), for the
+    # record: GIL-bound, so no speedup is claimed or gated on them.
+    # NB the scatter plan reads snapshot-pinned streams (OSON decode
+    # per query); the volcano plan over a durable table scans the live
+    # heap — engine_snapshot_stream_ms is the decode-inclusive
+    # single-stream number thread scatter should be read against.
+    def engine_query(table):
+        return (Query(table)
+                .where(expr.Col("v") >= PIVOT)
+                .group_by(["k"], total=expr.SUM(expr.Col("v")),
+                          n=expr.COUNT())
+                .rows())
+
+    def snapshot_stream():
+        keys, aggregates = pipeline_spec()
+        filtered = executor.filter_rows_morsel(flat.snapshot_scan(),
+                                               predicate(PIVOT))
+        return list(executor.group_by(filtered, keys, aggregates))
+
+    assert canon(engine_query(sharded)) == canon(reference)
+    results["engine_unsharded_ms"] = round(
+        best_of(lambda: engine_query(flat)), 3)
+    results["engine_snapshot_stream_ms"] = round(
+        best_of(snapshot_stream), 3)
+    results["engine_thread_scatter_ms"] = round(
+        best_of(lambda: engine_query(sharded)), 3)
+
+    # the process-parallel scatter (the gated configuration)
+    pool = ShardWorkerPool(shard_dirs)
+    try:
+        assert sum(pool.rows_per_shard) == N
+        assert canon(pool.query(PIVOT)) == canon(reference)
+        results["process_scatter_ms"] = round(
+            best_of(lambda: pool.query(PIVOT)), 3)
+    finally:
+        pool.close()
+    results["speedup"] = round(
+        results["unsharded_ms"] / results["process_scatter_ms"], 2)
+
+    # partition pruning, read back out of EXPLAIN ANALYZE
+    pruned_query = (Query(sharded)
+                    .where(expr.Col("k") == REGIONS[0])
+                    .group_by(["k"], total=expr.SUM(expr.Col("v"))))
+    analyze_text = pruned_query.explain(analyze=True)
+    match = re.search(r"engine\.scatter\.shards_pruned: (\d+)",
+                      analyze_text)
+    results["explain_analyze_pruned"] = (int(match.group(1)) if match
+                                         else 0)
+    results["explain_head"] = analyze_text.splitlines()[1]
+
+    payload = {
+        "meta": {"gate": {"factor": GATE_FACTOR,
+                          "min_cpus": GATE_MIN_CPUS}},
+        "scatter_gather": results,
+    }
+    with open(SHARD_RESULTS_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nshard results written to {SHARD_RESULTS_PATH}",
+          file=sys.stderr)
+    record("shard", "scatter_gather", results)
+    report(
+        f"Scatter-gather scan+group-by, {N} rows, {SHARDS} shards",
+        [f"single stream        {results['unsharded_ms']:>10.3f} ms",
+         f"process scatter      {results['process_scatter_ms']:>10.3f} ms"
+         f"   ({results['speedup']}x)",
+         f"engine (volcano)     {results['engine_unsharded_ms']:>10.3f} ms",
+         f"engine (snapshot stream) {results['engine_snapshot_stream_ms']:>6.3f} ms",
+         f"engine (thread scatter) {results['engine_thread_scatter_ms']:>7.3f} ms",
+         f"shards pruned (routing query): "
+         f"{results['explain_analyze_pruned']}"])
+    return results
+
+
+class TestScatterGather:
+    def test_gate_2x_with_4_shards(self, measurements):
+        """The acceptance gate: process scatter-gather >= 2x the
+        single stream with 4 shards — multi-core runners only."""
+        cpus = os.cpu_count() or 1
+        if cpus < GATE_MIN_CPUS:
+            pytest.skip(f"scatter gate needs >= {GATE_MIN_CPUS} cores, "
+                        f"runner has {cpus}")
+        assert measurements["speedup"] >= GATE_FACTOR, (
+            f"process scatter only {measurements['speedup']}x the "
+            f"single stream ({measurements['process_scatter_ms']}ms vs "
+            f"{measurements['unsharded_ms']}ms)")
+
+    def test_pruning_visible_in_explain_analyze(self, measurements):
+        """>= 1 query reports shards_pruned > 0 straight from its
+        EXPLAIN ANALYZE output (the routing-equality query must skip
+        every shard but the literal's home)."""
+        assert measurements["explain_analyze_pruned"] == SHARDS - 1
+        assert f"pruned={SHARDS - 1}" in measurements["explain_head"]
+
+    def test_workers_cover_every_row_exactly_once(self, measurements):
+        assert measurements["n_rows"] == N
+
+    def test_artifact_written(self, measurements):
+        with open(SHARD_RESULTS_PATH, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["scatter_gather"]["speedup"] == \
+            measurements["speedup"]

@@ -79,6 +79,57 @@ class DataGuide:
     def array_entries(self) -> list[PathEntry]:
         return [e for e in self.entries() if e.kind == model.ARRAY]
 
+    # -- merge (parallel aggregation combine) --------------------------------
+
+    def merge(self, other: "DataGuide") -> "DataGuide":
+        """Combine two DataGuides into one, as a pure operation.
+
+        This is the associative combine of DataGuide-as-aggregate (the
+        "Schema Inference as a Scalable SQL Function" shape): per-shard
+        or per-segment guides computed independently merge into the
+        collection guide.  Entries with the same ``(path, kind)`` key
+        merge via :meth:`~repro.core.dataguide.model.PathEntry
+        .merged_with` (type generalization, max length, additive
+        statistics, widened extremes); document counts add.
+
+        Algebraic properties (property-tested):
+
+        * **commutative** — ``a.merge(b)`` equals ``b.merge(a)``;
+        * **associative** — ``(a.merge(b)).merge(c)`` equals
+          ``a.merge(b.merge(c))``;
+        * **exact on disjoint inserts** — guides built over disjoint
+          document sets merge into exactly the guide of the union, and
+          merging with an empty guide is the identity.
+
+        Statistics are additive, so ``g.merge(g)`` doubles frequencies;
+        the *structural* projection (paths, kinds, types, lengths) is
+        idempotent.  Annotations merge left-biased (``self`` wins on a
+        rename/override conflict).
+        """
+        merged: dict[tuple[str, str], PathEntry] = dict(self._entries)
+        for key, entry in other._entries.items():
+            existing = merged.get(key)
+            merged[key] = (entry if existing is None
+                           else existing.merged_with(entry))
+        annotations = Annotations(
+            renames={**other.annotations.renames, **self.annotations.renames},
+            excluded=self.annotations.excluded | other.annotations.excluded,
+            length_overrides={**other.annotations.length_overrides,
+                              **self.annotations.length_overrides},
+        )
+        return DataGuide(merged.values(),
+                         self.document_count + other.document_count,
+                         annotations)
+
+    @classmethod
+    def merge_all(cls, guides: Iterable["DataGuide"]) -> "DataGuide":
+        """Fold :meth:`merge` over any number of guides (empty -> empty
+        guide).  Shard order does not matter — merge is commutative."""
+        result = cls(())
+        for guide in guides:
+            result = result.merge(guide)
+        return result
+
     # -- annotation ----------------------------------------------------------
 
     def annotate(self, renames: Optional[dict[str, str]] = None,

@@ -29,17 +29,36 @@ class Database:
 
     def create_table(self, name: str, columns: Sequence[Column],
                      durable: Optional[str] = None,
-                     fs: Optional[Any] = None) -> Table:
+                     fs: Optional[Any] = None,
+                     shards: Optional[int] = None,
+                     routing_field: Optional[str] = None) -> Table:
         """Create a table; with ``durable=<directory>`` its rows are
         backed by a crash-safe :class:`~repro.storage.store
         .CollectionStore` in that directory.  Opening an existing
         directory restores the surviving rows through verified recovery
         (report on ``table.recovery``); ``fs`` injects a file system
-        (the fault-injection harness or an in-memory one)."""
+        (the fault-injection harness or an in-memory one).
+
+        ``shards=N`` partitions the durable store into N hash shards
+        (:class:`~repro.storage.shard.ShardedStore`): DML fans out over
+        per-shard commit pipelines and queries scatter-gather with
+        partition pruning.  ``routing_field`` names the column whose
+        value hashes to a document's home shard (equality predicates on
+        it then prune to one shard); omitted, documents place
+        round-robin.  Reopening a sharded directory with a different
+        shard count or routing field is an error.
+        """
         if name in self._tables or name in self._views:
             raise CatalogError(f"object {name!r} already exists")
+        if shards is not None and durable is None:
+            raise CatalogError("shards= requires durable= (a directory)")
         if durable is None:
             table: Table = Table(name, columns)
+        elif shards is not None:
+            from repro.storage.shard import ShardedStore
+            store: Any = ShardedStore.open_or_create(
+                durable, shards=shards, fs=fs, routing_field=routing_field)
+            table = DurableTable(name, columns, store)
         else:
             # imported lazily: the engine stays usable (and importable)
             # without the storage subsystem in purely transient runs

@@ -487,7 +487,7 @@ def _fold_group_morsel(plan: tuple, morsel: list[Row], groups: dict,
                 total = kernels.agg_sum(operand_columns[operand])
                 partials.append(None if total is None else int(total))
         entry = _group_entry(groups, (), {}, aggregates)
-        _fold_partials(entry[1], specs, partials, None)
+        fold_partials(entry[1], specs, partials, None)
         return True
 
     key_values = []
@@ -520,14 +520,24 @@ def _fold_group_morsel(plan: tuple, morsel: list[Row], groups: dict,
         key_value = key_column.value_at(index)
         entry = _group_entry(groups, (key_value,),
                              {key_output: key_value}, aggregates)
-        _fold_partials(entry[1], specs, per_key, key_value)
+        fold_partials(entry[1], specs, per_key, key_value)
     return True
 
 
-def _fold_partials(states: list, specs: list,
-                   partials: list, key_value: Any) -> None:
-    """Merge one morsel's kernel partials into the aggregate states
-    (restricted by :func:`_group_vector_plan` to COUNT / SUM)."""
+def fold_partials(states: list, specs: list,
+                  partials: list, key_value: Any) -> None:
+    """Merge one batch of kernel partials into a group's aggregate states
+    — the gather primitive of morsel and scatter-gather group-by.
+
+    ``states`` are the group's :class:`~repro.engine.expressions
+    .AggregateState` accumulators; ``specs`` is the kernel plan from
+    :func:`_group_vector_plan` (``("count"|"sum", operand)`` pairs,
+    positionally matching ``states``); ``partials`` carries one partial
+    per spec — either a scalar (global aggregation) or a per-key dict
+    keyed by group value, selected through ``key_value``.  A missing or
+    ``None`` partial folds as "no qualifying rows", exactly like zero
+    ``step`` calls.
+    """
     for state, (kind, _operand), partial in zip(states, specs, partials):
         if isinstance(partial, dict):  # keyed plan: per-key partial dicts
             partial = partial.get(key_value)
@@ -540,17 +550,54 @@ def _fold_partials(states: list, specs: list,
                            else state.total + partial)
 
 
-def group_by_morsel(rows: Iterable[Row],
-                    keys: Sequence[tuple[str, Expression]],
-                    aggregates: Sequence[tuple[str, Aggregate]]
-                    ) -> Iterator[Row]:
-    """Morsel-batched hash aggregation: numpy grouped kernels when the
-    shape and the batch allow, compiled-closure stepping otherwise."""
+#: backwards-compatible private alias (pre-public-API spelling)
+_fold_partials = fold_partials
+
+
+def partial_group_by(rows: Iterable[Row],
+                     keys: Sequence[tuple[str, Expression]],
+                     aggregates: Sequence[tuple[str, Aggregate]],
+                     morsel: bool = True) -> dict:
+    """Aggregate one row stream into **partial** group states without
+    finalizing: the per-shard half of scatter-gather group-by.
+
+    Returns the internal groups map ``{key_tuple: (key_row, states)}``.
+    Partials from several streams merge with
+    :func:`gather_group_partials`; a single stream finalizes through
+    :func:`finalize_groups` (and
+    ``finalize_groups(partial_group_by(rows, ...))`` is row-for-row
+    identical to :func:`group_by` / :func:`group_by_morsel` over the
+    same input, which the parity tests assert).
+
+    With ``morsel=True`` the accumulation runs the 1k-row morsel
+    pipeline with numpy kernel dispatch; ``morsel=False`` steps rows
+    through compiled closures one at a time.
+    """
+    groups: dict[tuple, tuple[Row, list]] = {}
+    if morsel:
+        _accumulate_groups_morsel(rows, keys, aggregates, groups)
+    else:
+        for row in rows:
+            key = tuple(expression.evaluate(row)
+                        for _name, expression in keys)
+            key_row = {name: value
+                       for (name, _e), value in zip(keys, key)}
+            entry = _group_entry(groups, key, key_row, aggregates)
+            for state in entry[1]:
+                state.step(row)
+    return groups
+
+
+def _accumulate_groups_morsel(rows: Iterable[Row],
+                              keys: Sequence[tuple[str, Expression]],
+                              aggregates: Sequence[tuple[str, Aggregate]],
+                              groups: dict) -> None:
+    """Morsel-batched accumulation into ``groups`` (shared by
+    :func:`group_by_morsel` and :func:`partial_group_by`)."""
     key_fns = [expression.compiled() for _name, expression in keys]
     key_names = [name for name, _expression in keys]
     key_output = key_names[0] if key_names else None
     plan = _group_vector_plan(keys, aggregates)
-    groups: dict[tuple, tuple[Row, list]] = {}
     for morsel in _morsels(rows):
         if plan is not None and _fold_group_morsel(plan, morsel, groups,
                                                    aggregates, key_output):
@@ -563,6 +610,38 @@ def group_by_morsel(rows: Iterable[Row],
                 groups, key, dict(zip(key_names, key)), aggregates)
             for state in entry[1]:
                 state.step(row)
+
+
+def gather_group_partials(partials_list: Sequence[dict],
+                          aggregates: Sequence[tuple[str, Aggregate]]
+                          ) -> dict:
+    """Merge several :func:`partial_group_by` results into one groups
+    map — the gather half of scatter-gather aggregation.
+
+    Inputs merge **in sequence order** (shard-index order in the
+    scatter executor), so group discovery order — and therefore output
+    row order — is deterministic, and the one order-sensitive SQL case
+    (float SUM/AVG addition) folds the same way on every run.  States
+    combine via :meth:`~repro.engine.expressions.AggregateState.merge`.
+    """
+    gathered: dict[tuple, tuple[Row, list]] = {}
+    for partials in partials_list:
+        for key, (key_row, states) in partials.items():
+            entry = gathered.get(key)
+            if entry is None:
+                gathered[key] = (key_row, states)
+            else:
+                for target, source in zip(entry[1], states):
+                    target.merge(source)
+    return gathered
+
+
+def finalize_groups(groups: dict,
+                    keys: Sequence[tuple[str, Expression]],
+                    aggregates: Sequence[tuple[str, Aggregate]]
+                    ) -> Iterator[Row]:
+    """Render a groups map into result rows (SQL's empty-input global
+    group included), completing the partial/gather pipeline."""
     if not groups and not keys:
         groups[()] = ({}, [agg.create() for _alias, agg in aggregates])
     for key_row, states in groups.values():
@@ -570,6 +649,38 @@ def group_by_morsel(rows: Iterable[Row],
         for (alias, _agg), state in zip(aggregates, states):
             out[alias] = state.final()
         yield out
+
+
+def serialize_group_partials(groups: dict) -> list:
+    """Flatten a groups map into picklable ``(key, key_row, partial
+    dicts)`` triples — aggregate states hold compiled closures and
+    cannot cross a process boundary; their partial dicts can.  The
+    inverse is :func:`fold_serialized_partials`."""
+    return [(key, key_row, [state.partial() for state in states])
+            for key, (key_row, states) in groups.items()]
+
+
+def fold_serialized_partials(groups: dict, serialized: Iterable,
+                             aggregates: Sequence[tuple[str, Aggregate]]
+                             ) -> dict:
+    """Fold serialized partials (from a worker process) into ``groups``
+    via :meth:`~repro.engine.expressions.AggregateState.fold_partial`."""
+    for key, key_row, partial_dicts in serialized:
+        entry = _group_entry(groups, key, key_row, aggregates)
+        for state, partial in zip(entry[1], partial_dicts):
+            state.fold_partial(partial)
+    return groups
+
+
+def group_by_morsel(rows: Iterable[Row],
+                    keys: Sequence[tuple[str, Expression]],
+                    aggregates: Sequence[tuple[str, Aggregate]]
+                    ) -> Iterator[Row]:
+    """Morsel-batched hash aggregation: numpy grouped kernels when the
+    shape and the batch allow, compiled-closure stepping otherwise."""
+    groups: dict[tuple, tuple[Row, list]] = {}
+    _accumulate_groups_morsel(rows, keys, aggregates, groups)
+    yield from finalize_groups(groups, keys, aggregates)
 
 
 def normalize_output(item: Any) -> tuple[str, Expression]:

@@ -664,10 +664,34 @@ class Aggregate:
 
 
 class AggregateState:
+    """Accumulator for one group.  Besides the volcano ``step``/``final``
+    protocol, states support the scatter-gather fold protocol:
+
+    * :meth:`merge` — combine another state of the same aggregate into
+      this one (in-process gather of per-shard partials);
+    * :meth:`partial` / :meth:`fold_partial` — the serializable form of
+      the same combine, for partials crossing a process boundary (states
+      hold compiled closures and cannot be pickled; their partial dicts
+      can).
+
+    Merging is order-sensitive only where SQL addition is
+    (float SUM/AVG reassociation); gather folds shards in shard-index
+    order so results stay deterministic.
+    """
+
     def step(self, row: Row) -> None:
         raise NotImplementedError
 
     def final(self) -> Any:
+        raise NotImplementedError
+
+    def merge(self, other: "AggregateState") -> None:
+        raise NotImplementedError
+
+    def partial(self) -> dict:
+        raise NotImplementedError
+
+    def fold_partial(self, partial: dict) -> None:
         raise NotImplementedError
 
 
@@ -686,6 +710,15 @@ class CountAgg(Aggregate):
 
         def final(self) -> Any:
             return self.count
+
+        def merge(self, other: AggregateState) -> None:
+            self.count += other.count
+
+        def partial(self) -> dict:
+            return {"count": self.count}
+
+        def fold_partial(self, partial: dict) -> None:
+            self.count += partial["count"]
 
     def create(self) -> AggregateState:
         return self._State(self.operand)
@@ -708,6 +741,20 @@ class SumAgg(Aggregate):
 
         def final(self) -> Any:
             return self.total
+
+        def merge(self, other: AggregateState) -> None:
+            if other.total is not None:
+                self.total = (other.total if self.total is None
+                              else self.total + other.total)
+
+        def partial(self) -> dict:
+            return {"total": self.total}
+
+        def fold_partial(self, partial: dict) -> None:
+            value = partial["total"]
+            if value is not None:
+                self.total = (value if self.total is None
+                              else self.total + value)
 
     def create(self) -> AggregateState:
         if self.operand is None:
@@ -735,6 +782,17 @@ class AvgAgg(Aggregate):
         def final(self) -> Any:
             return None if self.count == 0 else self.total / self.count
 
+        def merge(self, other: AggregateState) -> None:
+            self.total += other.total
+            self.count += other.count
+
+        def partial(self) -> dict:
+            return {"total": self.total, "count": self.count}
+
+        def fold_partial(self, partial: dict) -> None:
+            self.total += partial["total"]
+            self.count += partial["count"]
+
     def create(self) -> AggregateState:
         if self.operand is None:
             raise QueryError("AVG requires an operand")
@@ -761,6 +819,21 @@ class _ExtremeAgg(Aggregate):
 
         def final(self) -> Any:
             return self.current
+
+        def merge(self, other: AggregateState) -> None:
+            self._absorb(other.current)
+
+        def partial(self) -> dict:
+            return {"current": self.current}
+
+        def fold_partial(self, partial: dict) -> None:
+            self._absorb(partial["current"])
+
+        def _absorb(self, value: Any) -> None:
+            if value is None:
+                return
+            if self.current is None or self.better(value, self.current):
+                self.current = value
 
     def create(self) -> AggregateState:
         if self.operand is None:

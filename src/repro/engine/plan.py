@@ -1,0 +1,452 @@
+"""The explicit logical plan behind :class:`~repro.engine.query.Query`.
+
+A chained query builds a linear :class:`LogicalPlan` — a source node
+followed by operator nodes — which then passes through **rewrite
+rules** before execution:
+
+1. *predicate pushdown* (:class:`PushdownRule`): a leading WHERE over a
+   JSON_TABLE view turns into JSON_EXISTS document pre-filters on the
+   scan (paper §6.3); the WHERE stays — document-level filtering admits
+   a superset;
+2. *scatter-gather* (:class:`ScatterRule`): over a sharded source
+   (anything exposing ``shard_plan()``), the maximal
+   scan→filter→project[→group-by] prefix fuses into one
+   :class:`ScatterNode` that runs per-shard morsel pipelines on a
+   worker pool and merges partial aggregate states; partition pruning
+   is decided **at rewrite time** from the per-shard DataGuides, so
+   even a plain ``explain()`` shows ``shards=N pruned=M``.
+
+Rewrites preserve semantics by construction: pushdown keeps the
+residual predicate, the scatter prefix computes exactly what the fused
+nodes would (the differential suite asserts row parity), and pruning
+only skips shards whose guide proves no document can match.
+
+Every node renders the same ``explain()`` label the hand-wired volcano
+chain printed, so plan text is stable across the refactor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence
+
+from repro.engine import executor
+from repro.engine import scatter as scattermod
+from repro.engine.expressions import Expression, WindowFunction
+from repro.errors import QueryError
+
+Row = dict
+
+
+def iterate_source(source: Any) -> Iterator[Row]:
+    """Open a query source: Query (subquery), table/view (``scan()``),
+    callable, or iterable of rows."""
+    from repro.engine.query import Query
+    if isinstance(source, Query):
+        return iter(source.rows())
+    if hasattr(source, "scan"):  # Table and View both expose scan()
+        return source.scan()
+    if callable(source):
+        return source()
+    from typing import Iterable
+    if isinstance(source, Iterable):
+        return iter(source)
+    raise QueryError(f"cannot use {type(source).__name__} as a query source")
+
+
+def source_name(source: Any) -> str:
+    return getattr(source, "name", type(source).__name__)
+
+
+class PlanNode:
+    """One operator of a linear logical plan."""
+
+    #: stage identifier in ``profile()`` output ("scan", "where", ...)
+    op: str = "?"
+    #: runs a distinct batched implementation under morsel mode
+    batched: bool = False
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def execute(self, rows: Iterator[Row], morsel: bool) -> Iterator[Row]:
+        raise NotImplementedError
+
+
+class ScanNode(PlanNode):
+    """Plan leaf: produce the source's rows.  ``exists_paths`` (set by
+    the pushdown rewrite) pre-filters documents through JSON_EXISTS
+    before row expansion."""
+
+    op = "scan"
+    batched = True
+
+    def __init__(self, source: Any,
+                 exists_paths: Optional[List[str]] = None) -> None:
+        self.source = source
+        self.exists_paths = exists_paths
+
+    def label(self) -> str:
+        name = source_name(self.source)
+        if self.exists_paths:
+            return f"SCAN {name} (pushdown)"
+        return f"SCAN {name}"
+
+    def execute(self, rows: Iterator[Row], morsel: bool) -> Iterator[Row]:
+        if self.exists_paths:
+            return self.source.scan_pushdown(self.exists_paths)
+        return iterate_source(self.source)
+
+
+class FilterNode(PlanNode):
+    op = "where"
+    batched = True
+
+    def __init__(self, predicate: Expression) -> None:
+        self.predicate = predicate
+
+    def label(self) -> str:
+        return f"FILTER {self.predicate.sql()}"
+
+    def execute(self, rows: Iterator[Row], morsel: bool) -> Iterator[Row]:
+        return (executor.filter_rows_morsel(rows, self.predicate) if morsel
+                else executor.filter_rows(rows, self.predicate))
+
+
+class ProjectNode(PlanNode):
+    op = "select"
+    batched = True
+
+    def __init__(self, outputs: Sequence) -> None:
+        self.outputs = list(outputs)
+
+    def label(self) -> str:
+        rendered = ", ".join(f"{e.sql()} AS {n}" for n, e in self.outputs)
+        return f"PROJECT {rendered}"
+
+    def execute(self, rows: Iterator[Row], morsel: bool) -> Iterator[Row]:
+        return (executor.project_morsel(rows, self.outputs) if morsel
+                else executor.project(rows, self.outputs))
+
+
+class JoinNode(PlanNode):
+    op = "join"
+    batched = True
+
+    def __init__(self, other: Any, left_key: str, right_key: str,
+                 how: str) -> None:
+        self.other = other
+        self.left_key = left_key
+        self.right_key = right_key
+        self.how = how
+
+    def label(self) -> str:
+        return (f"HASH JOIN ({self.how}) ON "
+                f"{self.left_key} = {self.right_key}")
+
+    def execute(self, rows: Iterator[Row], morsel: bool) -> Iterator[Row]:
+        join = executor.hash_join_morsel if morsel else executor.hash_join
+        return join(rows, iterate_source(self.other),
+                    self.left_key, self.right_key, self.how)
+
+
+class GroupNode(PlanNode):
+    op = "group_by"
+    batched = True
+
+    def __init__(self, keys: Sequence, aggregates: Sequence) -> None:
+        self.keys = list(keys)
+        self.aggregates = list(aggregates)
+
+    def label(self) -> str:
+        keys = ", ".join(n for n, _e in self.keys) or "()"
+        aggs = ", ".join(f"{a.sql()} AS {alias}"
+                         for alias, a in self.aggregates)
+        return f"HASH GROUP BY {keys} AGG {aggs}"
+
+    def execute(self, rows: Iterator[Row], morsel: bool) -> Iterator[Row]:
+        return (executor.group_by_morsel(rows, self.keys, self.aggregates)
+                if morsel
+                else executor.group_by(rows, self.keys, self.aggregates))
+
+
+class WindowNode(PlanNode):
+    op = "window"
+
+    def __init__(self, alias: str, function: WindowFunction,
+                 orders: Sequence) -> None:
+        self.alias = alias
+        self.function = function
+        self.orders = list(orders)
+
+    def label(self) -> str:
+        return f"WINDOW {self.alias}"
+
+    def execute(self, rows: Iterator[Row], morsel: bool) -> Iterator[Row]:
+        return iter(executor.window(rows, self.alias, self.function,
+                                    self.orders))
+
+
+class SortNode(PlanNode):
+    op = "order_by"
+
+    def __init__(self, orders: Sequence) -> None:
+        self.orders = list(orders)
+
+    def label(self) -> str:
+        keys = ", ".join(e.sql() + (" DESC" if d else "")
+                         for e, d in self.orders)
+        return f"SORT {keys}"
+
+    def execute(self, rows: Iterator[Row], morsel: bool) -> Iterator[Row]:
+        return iter(executor.sort(rows, self.orders))
+
+
+class DistinctNode(PlanNode):
+    op = "distinct"
+
+    def label(self) -> str:
+        return "DISTINCT"
+
+    def execute(self, rows: Iterator[Row], morsel: bool) -> Iterator[Row]:
+        return executor.distinct(rows)
+
+
+class LimitNode(PlanNode):
+    op = "limit"
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+
+    def label(self) -> str:
+        return f"LIMIT {self.count}"
+
+    def execute(self, rows: Iterator[Row], morsel: bool) -> Iterator[Row]:
+        return executor.limit(rows, self.count)
+
+
+class UnionAllNode(PlanNode):
+    op = "union_all"
+
+    def __init__(self, other: Any) -> None:
+        self.other = other
+
+    def label(self) -> str:
+        return "UNION ALL"
+
+    def execute(self, rows: Iterator[Row], morsel: bool) -> Iterator[Row]:
+        return executor.union_all([rows, iterate_source(self.other)])
+
+
+class ScatterNode(PlanNode):
+    """A fused scan→filter→project[→group-by] prefix executed
+    shard-parallel with partition pruning (built by
+    :class:`ScatterRule`; execution in :mod:`repro.engine.scatter`).
+
+    Pruning decisions are taken at construction from per-shard
+    DataGuides, so the plan text itself reports how many shards the
+    query will touch.  Cooperative-cancellation hooks (sessions'
+    deadline checks) are injected per execution via ``hook``.
+    """
+
+    op = "scan"
+    batched = True
+
+    def __init__(self, info: scattermod.ShardPlanInfo,
+                 predicate: Optional[Expression],
+                 outputs: Optional[Sequence],
+                 group: Optional[tuple],
+                 selected: Sequence[bool],
+                 hook: Optional[Callable[[Row], None]] = None) -> None:
+        self.info = info
+        self.predicate = predicate
+        self.outputs = outputs
+        self.group = group
+        self.selected = list(selected)
+        self.hook = hook
+
+    @property
+    def shards_scanned(self) -> int:
+        return sum(1 for keep in self.selected if keep)
+
+    @property
+    def shards_pruned(self) -> int:
+        return len(self.selected) - self.shards_scanned
+
+    def label(self) -> str:
+        parts = [f"SCATTER SCAN {self.info.name} "
+                 f"[shards={len(self.selected)} "
+                 f"scanned={self.shards_scanned} "
+                 f"pruned={self.shards_pruned}]"]
+        if self.predicate is not None:
+            parts.append(f"FILTER {self.predicate.sql()}")
+        if self.outputs is not None:
+            rendered = ", ".join(f"{e.sql()} AS {n}"
+                                 for n, e in self.outputs)
+            parts.append(f"PROJECT {rendered}")
+        if self.group is not None:
+            keys, aggregates = self.group
+            key_names = ", ".join(n for n, _e in keys) or "()"
+            aggs = ", ".join(f"{a.sql()} AS {alias}"
+                             for alias, a in aggregates)
+            parts.append(f"GATHER GROUP BY {key_names} AGG {aggs}")
+        return " -> ".join(parts)
+
+    def execute(self, rows: Iterator[Row], morsel: bool) -> Iterator[Row]:
+        return iter(scattermod.execute_scatter(
+            self.info, self.selected, self.predicate, self.outputs,
+            self.group, morsel, hook=self.hook))
+
+
+class LogicalPlan:
+    """A rewritten, executable plan: a source node plus operator tail."""
+
+    def __init__(self, nodes: List[PlanNode]) -> None:
+        self.nodes = nodes
+
+    def explain_lines(self) -> List[str]:
+        return [node.label() for node in self.nodes]
+
+    def execute(self, morsel: bool,
+                hook: Optional[Callable[[Row], None]] = None
+                ) -> Iterator[Row]:
+        """Lazy whole-plan execution.  ``hook`` (cancellation) fires on
+        every source row and, when operators exist, every result row —
+        the contract :meth:`Query.instrumented` documents."""
+        head, tail = self.nodes[0], self.nodes[1:]
+        if isinstance(head, ScatterNode):
+            head.hook = hook
+        rows = head.execute(iter(()), morsel)
+        if hook is not None and not isinstance(head, ScatterNode):
+            rows = _hooked(rows, hook)
+        for node in tail:
+            rows = node.execute(rows, morsel)
+        if hook is not None and tail:
+            rows = _hooked(rows, hook)
+        elif hook is not None and isinstance(head, ScatterNode):
+            rows = _hooked(rows, hook)
+        return rows
+
+
+def _hooked(rows: Iterator[Row],
+            hook: Callable[[Row], None]) -> Iterator[Row]:
+    for row in rows:
+        hook(row)
+        yield row
+
+
+# -- building ---------------------------------------------------------------
+
+
+def build_plan(source: Any, ops: Sequence[tuple]) -> LogicalPlan:
+    """Translate a query's chained operations into plan nodes (no
+    rewrites yet)."""
+    nodes: List[PlanNode] = [ScanNode(source)]
+    for op, args in ops:
+        if op == "where":
+            nodes.append(FilterNode(args[0]))
+        elif op == "select":
+            nodes.append(ProjectNode(args[0]))
+        elif op == "join":
+            nodes.append(JoinNode(*args))
+        elif op == "group_by":
+            nodes.append(GroupNode(args[0], args[1]))
+        elif op == "window":
+            nodes.append(WindowNode(args[0], args[1], args[2]))
+        elif op == "order_by":
+            nodes.append(SortNode(args[0]))
+        elif op == "distinct":
+            nodes.append(DistinctNode())
+        elif op == "limit":
+            nodes.append(LimitNode(args[0]))
+        elif op == "union_all":
+            nodes.append(UnionAllNode(args[0]))
+        else:
+            raise QueryError(f"unknown operation {op!r}")
+    return LogicalPlan(nodes)
+
+
+# -- rewrite rules -----------------------------------------------------------
+
+
+class PushdownRule:
+    """Leading WHERE over a pushdown-capable view → JSON_EXISTS
+    document pre-filters on the scan (§6.3).  Sound because document
+    filtering admits a superset and the residual WHERE remains."""
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        nodes = plan.nodes
+        if len(nodes) < 2 or not isinstance(nodes[1], FilterNode):
+            return plan
+        scan = nodes[0]
+        if not isinstance(scan, ScanNode):
+            return plan
+        view = scan.source
+        if (not hasattr(view, "scan_pushdown")
+                or not hasattr(view, "pushdown_path")):
+            return plan
+        paths = []
+        for column, op, values in scattermod.pushable_conjuncts(
+                nodes[1].predicate):
+            rendered = view.pushdown_path(column, op, values)
+            if rendered is not None:
+                paths.append(rendered)
+        if not paths:
+            return plan
+        return LogicalPlan([ScanNode(view, exists_paths=paths)]
+                           + nodes[1:])
+
+
+class ScatterRule:
+    """Sharded source → fuse the maximal
+    scan→filter→project[→group-by] prefix into a :class:`ScatterNode`
+    with rewrite-time partition pruning.
+
+    Applies only to a plain scan of a source exposing ``shard_plan()``
+    (pushdown and scatter are mutually exclusive: JSON_TABLE views that
+    shard route their pushdown inside ``shard_plan``'s streams).
+    """
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        nodes = plan.nodes
+        scan = nodes[0]
+        if not isinstance(scan, ScanNode) or scan.exists_paths:
+            return plan
+        plan_fn = getattr(scan.source, "shard_plan", None)
+        if plan_fn is None:
+            return plan
+        info = plan_fn()
+        if info is None or not info.shards:
+            return plan
+        predicate: Optional[Expression] = None
+        outputs: Optional[Sequence] = None
+        group: Optional[tuple] = None
+        consumed = 0
+        for node in nodes[1:]:
+            if (isinstance(node, FilterNode) and predicate is None
+                    and outputs is None and group is None):
+                predicate = node.predicate
+            elif (isinstance(node, ProjectNode) and outputs is None
+                    and group is None):
+                outputs = node.outputs
+            elif isinstance(node, GroupNode) and group is None:
+                group = (node.keys, node.aggregates)
+            else:
+                break
+            consumed += 1
+        conjuncts = (scattermod.pushable_conjuncts(predicate)
+                     if predicate is not None else [])
+        selected = scattermod.prune_shards(info, conjuncts)
+        fused = ScatterNode(info, predicate, outputs, group, selected)
+        return LogicalPlan([fused] + nodes[1 + consumed:])
+
+
+# scatter first: a sharded source scatters (per-shard pruning subsumes
+# the document pre-filter); pushdown then no-ops because the head is no
+# longer a plain ScanNode.  Unsharded views still get pushdown.
+_RULES = (ScatterRule(), PushdownRule())
+
+
+def rewrite(plan: LogicalPlan) -> LogicalPlan:
+    for rule in _RULES:
+        plan = rule.apply(plan)
+    return plan

@@ -1,4 +1,4 @@
-"""Query builder over the volcano operators.
+"""Query builder over the logical plan layer.
 
 Queries are dataflow pipelines built by chaining operations; operations
 apply **in the order they are chained**, which keeps the execution model
@@ -14,6 +14,12 @@ Sources may be a :class:`~repro.engine.table.Table`, a view, a list of
 dict rows, another :class:`Query` (subquery), or any callable returning
 an iterator of rows.  ``rows()`` executes and materializes; ``explain()``
 renders the logical plan as text.
+
+Execution goes through :mod:`repro.engine.plan`: the chained operations
+build a :class:`~repro.engine.plan.LogicalPlan`, rewrite rules apply
+(JSON_EXISTS predicate pushdown; scatter-gather fusion with partition
+pruning over sharded sources), and the rewritten node chain executes in
+the pinned mode.
 """
 
 from __future__ import annotations
@@ -23,37 +29,16 @@ import os
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.engine import executor
+from repro.engine import plan as planmod
 from repro.engine.expressions import (
     Aggregate,
-    And,
     Col,
-    Comparison,
     Expression,
-    InList,
-    Literal,
     WindowFunction,
     wrap,
 )
 from repro.errors import QueryError
 
-
-def _pushable_conjuncts(expression: Expression) -> list[tuple[str, str, list]]:
-    """Extract (column, op, literal values) conjuncts suitable for
-    JSON_EXISTS pushdown; non-decomposable parts are simply not pushed."""
-    if isinstance(expression, And):
-        out: list[tuple[str, str, list]] = []
-        for part in expression.parts:
-            out.extend(_pushable_conjuncts(part))
-        return out
-    if (isinstance(expression, Comparison)
-            and isinstance(expression.left, Col)
-            and isinstance(expression.right, Literal)
-            and expression.right.value is not None):
-        return [(expression.left.name, expression.op,
-                 [expression.right.value])]
-    if isinstance(expression, InList) and isinstance(expression.operand, Col):
-        return [(expression.operand.name, "=", list(expression.values))]
-    return []
 
 def _cache_deltas(before: dict, after: dict) -> dict:
     """Non-zero per-cache hit/miss/eviction changes between two
@@ -102,23 +87,8 @@ def set_default_mode(mode: str) -> str:
     return previous
 
 
-def _hooked(rows: Iterator[Row], hook: Callable[[Row], None]
-            ) -> Iterator[Row]:
-    for row in rows:
-        hook(row)
-        yield row
-
-
-def _iterate_source(source: Any) -> Iterator[Row]:
-    if isinstance(source, Query):
-        return iter(source.rows())
-    if hasattr(source, "scan"):  # Table and View both expose scan()
-        return source.scan()
-    if callable(source):
-        return source()
-    if isinstance(source, Iterable):
-        return iter(source)
-    raise QueryError(f"cannot use {type(source).__name__} as a query source")
+#: shared with the plan layer (kept importable under its old name)
+_iterate_source = planmod.iterate_source
 
 
 class Query:
@@ -242,106 +212,14 @@ class Query:
     def count(self) -> int:
         return sum(1 for _ in self._execute())
 
+    def _plan(self) -> "planmod.LogicalPlan":
+        """Build the logical plan for the chained operations and run the
+        rewrite rules (scatter-gather fusion, predicate pushdown)."""
+        return planmod.rewrite(planmod.build_plan(self._source, self._ops))
+
     def _execute(self) -> Iterator[Row]:
         morsel = (self._mode or _DEFAULT_MODE) == "morsel"
-        rows = self._pushdown_source()
-        if rows is None:
-            rows = _iterate_source(self._source)
-        if self._row_hook is not None:
-            rows = _hooked(rows, self._row_hook)
-        for op, args in self._ops:
-            rows = self._apply_op(rows, op, args, morsel)
-        if self._row_hook is not None and self._ops:
-            rows = _hooked(rows, self._row_hook)
-        return rows
-
-    def _apply_op(self, rows: Iterator[Row], op: str, args: tuple,
-                  morsel: bool) -> Iterator[Row]:
-        """Apply one pipeline operation to a row stream (shared by lazy
-        execution and the stage-at-a-time profiler)."""
-        if op == "where":
-            return (executor.filter_rows_morsel(rows, args[0]) if morsel
-                    else executor.filter_rows(rows, args[0]))
-        if op == "select":
-            return (executor.project_morsel(rows, args[0]) if morsel
-                    else executor.project(rows, args[0]))
-        if op == "join":
-            other, left_key, right_key, how = args
-            join = (executor.hash_join_morsel if morsel
-                    else executor.hash_join)
-            return join(rows, _iterate_source(other),
-                        left_key, right_key, how)
-        if op == "group_by":
-            return (executor.group_by_morsel(rows, args[0], args[1])
-                    if morsel else executor.group_by(rows, args[0], args[1]))
-        if op == "window":
-            return iter(executor.window(rows, args[0], args[1], args[2]))
-        if op == "order_by":
-            return iter(executor.sort(rows, args[0]))
-        if op == "distinct":
-            return executor.distinct(rows)
-        if op == "limit":
-            return executor.limit(rows, args[0])
-        if op == "union_all":
-            return executor.union_all([rows, _iterate_source(args[0])])
-        raise QueryError(f"unknown operation {op!r}")
-
-    def _pushdown_source(self) -> Optional[Iterator[Row]]:
-        """Predicate pushdown onto JSON_TABLE views (paper section 6.3).
-
-        When the source is a view exposing ``pushdown_path`` /
-        ``scan_pushdown`` and the leading WHERE contains Col-vs-literal
-        conjuncts over JSON_TABLE columns, those conjuncts are evaluated
-        as JSON_EXISTS path predicates against the raw documents before
-        row expansion.  Document-level filtering passes a superset of the
-        matching rows, and the original WHERE still runs afterwards, so
-        the rewrite is always sound.
-        """
-        if not self._ops or self._ops[0][0] != "where":
-            return None
-        view = self._source
-        if not hasattr(view, "scan_pushdown") or not hasattr(view, "pushdown_path"):
-            return None
-        paths = []
-        for column, op, values in _pushable_conjuncts(self._ops[0][1][0]):
-            rendered = view.pushdown_path(column, op, values)
-            if rendered is not None:
-                paths.append(rendered)
-        if not paths:
-            return None
-        return view.scan_pushdown(paths)
-
-    # -- introspection ----------------------------------------------------------
-
-    #: operations with distinct morsel-batched implementations; the rest
-    #: run the same code in either mode
-    _BATCHED_OPS = frozenset(("where", "select", "join", "group_by"))
-
-    def _op_label(self, op: str, args: tuple) -> str:
-        if op == "where":
-            return f"FILTER {args[0].sql()}"
-        if op == "select":
-            rendered = ", ".join(f"{e.sql()} AS {n}" for n, e in args[0])
-            return f"PROJECT {rendered}"
-        if op == "join":
-            return f"HASH JOIN ({args[3]}) ON {args[1]} = {args[2]}"
-        if op == "group_by":
-            keys = ", ".join(n for n, _e in args[0]) or "()"
-            aggs = ", ".join(f"{a.sql()} AS {alias}" for alias, a in args[1])
-            return f"HASH GROUP BY {keys} AGG {aggs}"
-        if op == "window":
-            return f"WINDOW {args[0]}"
-        if op == "order_by":
-            keys = ", ".join(
-                e.sql() + (" DESC" if d else "") for e, d in args[0])
-            return f"SORT {keys}"
-        if op == "distinct":
-            return "DISTINCT"
-        if op == "limit":
-            return f"LIMIT {args[0]}"
-        if op == "union_all":
-            return "UNION ALL"
-        return op.upper()
+        return self._plan().execute(morsel, hook=self._row_hook)
 
     def profile(self) -> dict:
         """Execute with per-operator attribution (the EXPLAIN ANALYZE
@@ -370,7 +248,8 @@ class Query:
                               type(self._source).__name__)
         stages: list[dict] = []
 
-        def run_stage(label: str, op: str, produce) -> list[Row]:
+        def run_stage(label: str, op: str, batched: bool,
+                      produce) -> list[Row]:
             metrics_before = _obs_metrics.snapshot_metrics()
             caches_before = _cache_counters.snapshot_all()
             start = _obs_trace.monotonic()
@@ -378,12 +257,10 @@ class Query:
                 out = list(produce())
                 stage_span.record("rows_out", len(out))
             elapsed = (_obs_trace.monotonic() - start) * 1000.0
-            stage_mode = (mode_name if op == "scan"
-                          or op in self._BATCHED_OPS else "row")
             stages.append({
                 "label": label,
                 "op": op,
-                "mode": stage_mode,
+                "mode": mode_name if batched else "row",
                 "rows_in": stages[-1]["rows_out"] if stages else None,
                 "rows_out": len(out),
                 "elapsed_ms": elapsed,
@@ -394,27 +271,20 @@ class Query:
             })
             return out
 
+        built = self._plan()
         previous_tracing = _obs_trace.set_tracing_enabled(True)
         start = _obs_trace.monotonic()
         try:
             with _obs_trace.span("query", mode=mode_name,
                                  source=source_name) as query_span:
-                def scan():
-                    pushed = self._pushdown_source()
-                    if pushed is not None:
-                        stages_label[0] = f"SCAN {source_name} (pushdown)"
-                        return pushed
-                    return _iterate_source(self._source)
-
-                stages_label = [f"SCAN {source_name}"]
-                rows = run_stage(stages_label[0], "scan", scan)
-                stages[-1]["label"] = stages_label[0]
-                for op, args in self._ops:
+                head = built.nodes[0]
+                rows = run_stage(head.label(), head.op, head.batched,
+                                 lambda: head.execute(iter(()), morsel))
+                for node in built.nodes[1:]:
                     current = rows
                     rows = run_stage(
-                        self._op_label(op, args), op,
-                        lambda: self._apply_op(iter(current), op, args,
-                                               morsel))
+                        node.label(), node.op, node.batched,
+                        lambda: node.execute(iter(current), morsel))
                 query_span.record("rows_out", len(rows))
         finally:
             _obs_trace.set_tracing_enabled(previous_tracing)
@@ -431,11 +301,7 @@ class Query:
         and cache-counter deltas.
         """
         if not analyze:
-            source_name = getattr(self._source, "name",
-                                  type(self._source).__name__)
-            lines = [f"SCAN {source_name}"]
-            lines.extend(self._op_label(op, args) for op, args in self._ops)
-            return "\n".join(lines)
+            return "\n".join(self._plan().explain_lines())
         result = self.profile()
         lines = [f"EXPLAIN ANALYZE (mode={result['mode']}, "
                  f"rows={len(result['rows'])}, "

@@ -370,6 +370,57 @@ class DurableTable(Table):
                 row[column.name] = column.expression.evaluate(row)
             yield row
 
+    # -- scatter-gather (sharded stores) ------------------------------------
+
+    def shard_plan(self, snapshot: Any = None) -> Optional[Any]:
+        """The scatter plan over this table's shards, or None when the
+        backing store is unsharded (the planner then keeps the ordinary
+        single-stream scan).
+
+        Pass a pinned :class:`~repro.storage.shard.ShardedSnapshot` to
+        scatter over a session's snapshot; omit it to pin the current
+        durable state.  Each shard's stream reconstructs rows exactly
+        like :meth:`snapshot_scan`; its DataGuide is the one captured
+        *with* that shard's snapshot, which is what makes partition
+        pruning against it sound.
+        """
+        if not hasattr(self._store, "shard_guides"):
+            return None
+        from repro.engine.scatter import ShardInput, ShardPlanInfo
+        if snapshot is None:
+            snapshot = self._store.snapshot()
+        shards = [
+            ShardInput(index,
+                       lambda index=index: self._shard_rows(snapshot,
+                                                            index),
+                       snapshot.guides[index])
+            for index in range(snapshot.shard_count)]
+        return ShardPlanInfo(self.name, shards, self.prune_path,
+                             routing_field=self._store.routing_field,
+                             shard_of_value=self._store.shard_of_value)
+
+    def prune_path(self, column: str) -> Optional[str]:
+        """The DataGuide path a stored column's values live at (``$.col``
+        in the backing documents); None for virtual or unknown columns —
+        those never contribute to pruning."""
+        if not self.has_column(column) or self.column(column).is_virtual:
+            return None
+        from repro.core.dataguide.model import child_path
+        return child_path("$", column)
+
+    def _shard_rows(self, snapshot: Any,
+                    index: int) -> Iterator[dict[str, Any]]:
+        stored_names = {c.name for c in self._columns.values()
+                        if not c.is_virtual}
+        virtuals = [c for c in self._columns.values() if c.is_virtual]
+        for _, document in snapshot.shard_documents(index):
+            row = _document_to_row(document)
+            for name in stored_names - set(row):
+                row[name] = None
+            for column in virtuals:
+                row[column.name] = column.expression.evaluate(row)
+            yield row
+
     def checkpoint(self) -> None:
         self._store.checkpoint()
 

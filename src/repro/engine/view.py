@@ -146,13 +146,20 @@ class JsonTableView(View):
         paying the per-operator parse, which is exactly the TEXT-mode
         cost the paper charges.
         """
+        return self._expand_rows(self.table.scan(), exists_paths)
+
+    def _expand_rows(self, base_rows: Iterator[dict[str, Any]],
+                     exists_paths: Optional[Sequence[str]] = None
+                     ) -> Iterator[dict[str, Any]]:
+        """JSON_TABLE-expand a stream of base-table rows (the body of
+        :meth:`scan_pushdown`, shared with per-shard scatter streams)."""
         evaluators = None
         if exists_paths is not None:
             evaluators = [evaluator_for(compile_path(p))
                           for p in exists_paths]
         include_columns = self.include_columns
         json_table = self.json_table
-        for base_row in self.table.scan():
+        for base_row in base_rows:
             data = base_row.get(self.json_column)
             if data is None:
                 continue
@@ -176,3 +183,53 @@ class JsonTableView(View):
                 out = {name: base_row[name] for name in include_columns}
                 out.update(json_row)
                 yield out
+
+    # -- scatter-gather (sharded base tables) -------------------------------
+
+    def shard_plan(self) -> Optional[Any]:
+        """Scatter plan over the base table's shards: each shard's
+        stream is that shard's base rows pushed through the same
+        JSON_TABLE expansion as :meth:`scan`, so the fused per-shard
+        pipeline computes exactly what the single-stream scan would.
+
+        Pruning paths nest the JSON_TABLE column mapping under the JSON
+        column (``$.jdoc.purchaseOrder.items.partno``) with ``[*]``
+        steps dropped — DataGuide paths do not spell array traversal.
+        That only works when the shard guides can actually see inside
+        the documents: a column stored as OSON bytes (``{"$raw": ...}``
+        wrapper) or TEXT is opaque to the base store's guide, and
+        pruning on "path absent" there would wrongly skip every shard —
+        so pruning is offered only when every non-empty shard indexes
+        the column as a JSON object.  Routing-equality pruning is not
+        offered: a view column's values are nested projections, not the
+        base routing field.
+        """
+        base_fn = getattr(self.table, "shard_plan", None)
+        if base_fn is None:
+            return None
+        base = base_fn()
+        if base is None:
+            return None
+        from repro.core.dataguide.model import child_path
+        from repro.engine.scatter import ShardInput, ShardPlanInfo
+        shards = [ShardInput(shard.index,
+                             lambda shard=shard: self._expand_rows(
+                                 shard.rows()),
+                             shard.guide)
+                  for shard in base.shards]
+        column_root = child_path("$", self.json_column)
+        opaque = any(
+            entry.path == column_root and entry.kind != "object"
+            for shard in base.shards for entry in shard.guide.entries())
+        if opaque:
+            return ShardPlanInfo(self.name, shards, lambda column: None)
+        return ShardPlanInfo(
+            self.name, shards,
+            lambda column: self._prune_path(column_root, column))
+
+    def _prune_path(self, column_root: str,
+                    column: str) -> Optional[str]:
+        absolute = self.json_table.absolute_paths.get(column)
+        if absolute is None or not absolute.startswith("$"):
+            return None
+        return column_root + absolute[1:].replace("[*]", "")

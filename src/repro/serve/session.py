@@ -117,6 +117,13 @@ class _SnapshotView:
     def scan(self) -> Iterator[dict]:
         return self._table.snapshot_scan(self._snapshot)
 
+    def shard_plan(self) -> Any:
+        """Scatter over the *pinned* snapshot.  Defined explicitly:
+        the ``__getattr__`` fallthrough would hand back the live
+        table's bound method, which pins the store's current state and
+        would let a session's scatter read past its snapshot."""
+        return self._table.shard_plan(self._snapshot)
+
     def __getattr__(self, attr: str) -> Any:
         return getattr(self._table, attr)
 

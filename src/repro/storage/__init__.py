@@ -19,7 +19,11 @@ gives the reproduction that durable substrate:
   bit-flip/truncation injection over the file abstraction;
 * :mod:`~repro.storage.fsck` — offline integrity checking shared with
   ``python -m repro.analysis verify``;
-* :mod:`~repro.storage.files` — the injectable file-system surface.
+* :mod:`~repro.storage.files` — the injectable file-system surface;
+* :mod:`~repro.storage.shard` — :class:`ShardedStore`: N
+  hash-partitioned ``CollectionStore`` shards (each with its own WAL,
+  commit pipeline and DataGuide) behind one router, composing per-shard
+  snapshots into cross-shard :class:`ShardedSnapshot` reads.
 """
 
 from repro.storage.commit import CommitPipeline, LogicalCommit
@@ -27,6 +31,9 @@ from repro.storage.files import FileSystem, MemoryFileSystem, OsFileSystem
 from repro.storage.fsck import fsck, verify_store_file
 from repro.storage.recovery import (QuarantinedRecord, RecoveryReport,
                                     recover)
+from repro.storage.shard import (ShardedRecoveryReport, ShardedSnapshot,
+                                 ShardedStore, fsck_sharded,
+                                 is_sharded_store)
 from repro.storage.store import CollectionStore, StoreSnapshot
 
 __all__ = [
@@ -34,6 +41,11 @@ __all__ = [
     "CommitPipeline",
     "LogicalCommit",
     "StoreSnapshot",
+    "ShardedRecoveryReport",
+    "ShardedSnapshot",
+    "ShardedStore",
+    "fsck_sharded",
+    "is_sharded_store",
     "FileSystem",
     "MemoryFileSystem",
     "OsFileSystem",

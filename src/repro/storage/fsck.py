@@ -124,12 +124,80 @@ def _rebase(diagnostics: List[Diagnostic], base: int) -> List[Diagnostic]:
             for d in diagnostics]
 
 
+def verify_zone_stats(manifest_doc: dict) -> List[Diagnostic]:
+    """Cross-check the manifest's min/max zone stats against its own
+    DataGuide entries.
+
+    Zone stats exist to *prune* shards, so the only dangerous defect is
+    a zone **narrower** than the guide's recorded extremes (or typed
+    differently): a pruner trusting it could skip documents that exist.
+    Every finding is a WARNING — the reader contract is that stale or
+    missing stats degrade pruning to "scan everything", never to wrong
+    answers — but fsck surfaces them so an operator knows the pruning
+    metadata needs a checkpoint/compaction to heal.
+    """
+    diagnostics: List[Diagnostic] = []
+    zones = manifest_doc.get("zones")
+    if zones is None:
+        diagnostics.append(Diagnostic(
+            "storage.fsck.zone-missing",
+            "manifest has no zone-stats section (pre-sharding manifest); "
+            "pruning degrades to never-prune", Severity.WARNING))
+        return diagnostics
+    entries = {}
+    for raw in manifest_doc.get("dataguide", {}).get("entries", ()):
+        if raw.get("kind") == "scalar":
+            entries[raw.get("path")] = raw
+    for zone in zones:
+        if (not isinstance(zone, dict) or not isinstance(
+                zone.get("path"), str) or "min" not in zone
+                or "max" not in zone):
+            diagnostics.append(Diagnostic(
+                "storage.fsck.zone-shape",
+                f"malformed zone-stats row {zone!r}; pruning degrades to "
+                f"never-prune", Severity.WARNING))
+            continue
+        entry = entries.get(zone["path"])
+        if entry is None:
+            diagnostics.append(Diagnostic(
+                "storage.fsck.zone-orphan",
+                "zone stats for a path absent from the DataGuide; "
+                "pruning degrades to never-prune", Severity.WARNING,
+                path=zone["path"]))
+            continue
+        if zone.get("scalar_type") != entry.get("scalar_type"):
+            diagnostics.append(Diagnostic(
+                "storage.fsck.zone-stale",
+                f"zone scalar_type {zone.get('scalar_type')!r} disagrees "
+                f"with DataGuide {entry.get('scalar_type')!r}; pruning "
+                f"degrades to never-prune", Severity.WARNING,
+                path=zone["path"]))
+            continue
+        low, high = entry.get("min_value"), entry.get("max_value")
+        try:
+            narrower = ((low is not None and low < zone["min"])
+                        or (high is not None and high > zone["max"]))
+        except TypeError:
+            narrower = True  # incomparable bound types: treat as stale
+        if narrower:
+            diagnostics.append(Diagnostic(
+                "storage.fsck.zone-stale",
+                f"zone range [{zone['min']!r}, {zone['max']!r}] is "
+                f"narrower than the DataGuide extremes "
+                f"[{low!r}, {high!r}]; a pruner trusting it could skip "
+                f"live documents — pruning degrades to never-prune",
+                Severity.WARNING, path=zone["path"]))
+    return diagnostics
+
+
 def fsck(fs: FileSystem, directory: str) -> List[Diagnostic]:
     """Check a whole store directory: the manifest, every log file it
-    references (at its sealed length), and stray files."""
+    references (at its sealed length), zone stats, and stray files."""
     diagnostics: List[Diagnostic] = []
     manifest_doc, manifest_diags = manifestfmt.read_manifest(fs, directory)
     diagnostics.extend(manifest_diags)
+    if manifest_doc is not None:
+        diagnostics.extend(verify_zone_stats(manifest_doc))
 
     referenced = {}
     if manifest_doc is not None:

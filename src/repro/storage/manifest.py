@@ -85,6 +85,42 @@ def dataguide_from_document(doc: Dict[str, Any]) -> DataGuideBuilder:
     return builder
 
 
+def zone_stats_from_builder(builder: DataGuideBuilder) -> List[Dict[str, Any]]:
+    """Per-path min/max zone stats for the indexed scalar paths — the
+    durable pruning metadata of a (shard) store.
+
+    One row per scalar DataGuide entry whose extremes are *homogeneous*
+    (plain ``number`` or ``string``): heterogeneous paths degrade their
+    min/max through string comparison (:func:`repro.core.dataguide.model
+    ._merge_extreme`) and are therefore excluded — a pruner must never
+    compare a typed literal against a string-coerced bound.  Stats are
+    additive under inserts/updates and never shrink on delete (only
+    compaction rebuilds them), so a recorded range is always a superset
+    of the live values: pruning against it is conservative by
+    construction.
+    """
+    zones: List[Dict[str, Any]] = []
+    for entry in sorted(builder.entries(), key=lambda e: e.key):
+        if entry.kind != "scalar" or entry.scalar_type not in ("number",
+                                                               "string"):
+            continue
+        if entry.min_value is None or entry.max_value is None:
+            continue
+        expected = str if entry.scalar_type == "string" else (int, float)
+        if (not isinstance(entry.min_value, expected)
+                or not isinstance(entry.max_value, expected)
+                or isinstance(entry.min_value, bool)
+                or isinstance(entry.max_value, bool)):
+            continue
+        zones.append({
+            "path": entry.path,
+            "scalar_type": entry.scalar_type,
+            "min": entry.min_value,
+            "max": entry.max_value,
+        })
+    return zones
+
+
 def structural_signature(builder: DataGuideBuilder) -> set:
     """The structure-bearing projection of a DataGuide — what must match
     between a recovered guide and a from-scratch rebuild.  Statistics
@@ -109,6 +145,7 @@ def build_manifest(segments: List[Tuple[str, int]], wal_name: str,
         "next_doc_id": next_doc_id,
         "doc_count": doc_count,
         "dataguide": dataguide_to_document(builder),
+        "zones": zone_stats_from_builder(builder),
     }
 
 
@@ -182,6 +219,12 @@ def _validate_shape(document: Any, path: str) -> List[Diagnostic]:
             return bad(f"manifest {key!r} is not an integer")
     if not isinstance(document.get("dataguide"), dict):
         return bad("manifest 'dataguide' is not an object")
+    # "zones" is optional (absent in pre-sharding manifests); when
+    # present it must be a list — readers degrade to never-prune on a
+    # missing or malformed section, they never fail the manifest for it
+    zones = document.get("zones")
+    if zones is not None and not isinstance(zones, list):
+        return bad("manifest 'zones' is not a list")
     return []
 
 

@@ -378,9 +378,32 @@ class CollectionStore:
     def documents(self) -> Iterator[Tuple[int, Any]]:
         return self._snapshot.documents()
 
+    def snapshot_with_guide(self) -> Tuple[StoreSnapshot, DataGuide]:
+        """Pin the current durable state together with a DataGuide that
+        covers it, atomically.
+
+        The invariant (maintained by ``_publish_batch`` and ``compact``,
+        both of which swap snapshot and builder under this lock) is that
+        the builder always covers every document in the published
+        snapshot.  Capturing the pair under one lock acquisition is what
+        makes guide-based partition pruning sound against a *pinned*
+        snapshot: the guide can run ahead of the snapshot (extra paths,
+        wider ranges — pruning merely gets more conservative) but never
+        behind it.
+        """
+        with self._lock:
+            return self._snapshot, self._builder.guide()
+
     def dataguide(self) -> DataGuide:
         with self._lock:
             return self._builder.guide()
+
+    def zone_stats(self) -> List[Dict[str, Any]]:
+        """The live min/max zone stats (the same rows the next manifest
+        will persist): per scalar path ``{"path", "scalar_type", "min",
+        "max"}`` for homogeneous number/string paths."""
+        with self._lock:
+            return manifestfmt.zone_stats_from_builder(self._builder)
 
     # -- checkpoint / compaction -------------------------------------------
 

@@ -15,6 +15,12 @@ and 1 only when the directory is not a store at all.
 ``fsck`` is read-only and shares its verification code path with
 ``python -m repro.analysis verify`` (:mod:`repro.storage.fsck`); it
 exits 1 when any ERROR-severity diagnostic is found.
+
+All three subcommands transparently handle **sharded** collections
+(directories carrying a ``SHARDS`` marker, see
+:mod:`repro.storage.shard`): ``open`` prints the aggregate per-shard
+recovery report, ``fsck`` checks the marker plus every shard, and
+``compact`` compacts shard by shard.
 """
 
 from __future__ import annotations
@@ -26,39 +32,74 @@ from typing import Optional, Sequence
 
 from repro.analysis.diagnostics import has_errors
 from repro.errors import StorageError
-from repro.storage import CollectionStore, fsck
+from repro.storage import (
+    CollectionStore,
+    ShardedStore,
+    fsck,
+    fsck_sharded,
+    is_sharded_store,
+)
 from repro.storage.files import OsFileSystem
+
+
+def _open_any(directory: str, verify_documents: bool = True):
+    if is_sharded_store(OsFileSystem(), directory):
+        return ShardedStore.open(directory,
+                                 verify_documents=verify_documents)
+    return CollectionStore.open(directory,
+                                verify_documents=verify_documents)
 
 
 def cmd_open(args: argparse.Namespace) -> int:
     try:
-        store = CollectionStore.open(args.directory,
-                                     verify_documents=not args.no_verify)
+        store = _open_any(args.directory,
+                          verify_documents=not args.no_verify)
     except StorageError as exc:
         print(f"cannot open {args.directory}: {exc}", file=sys.stderr)
         return 1
     report = store.recovery
     if args.json:
-        payload = {
-            "documents": len(store),
-            "manifest": report.manifest_status,
-            "dataguide": report.dataguide_status,
-            "records_applied": report.records_applied,
-            "torn_tail_bytes": report.torn_tail_bytes,
-            "quarantined": [q.render() for q in report.quarantined],
-            "diagnostics": [d.to_dict() for d in report.diagnostics],
-        }
+        if isinstance(store, ShardedStore):
+            payload = {
+                "sharded": True,
+                "shards": store.shard_count,
+                "routing_field": store.routing_field,
+                "documents": len(store),
+                "clean": report is None or report.clean,
+                "cut_batches": report.cut_batches if report else [],
+                "quarantined": [q.render() for q in
+                                (report.quarantined if report else [])],
+                "diagnostics": [d.to_dict() for d in
+                                (report.diagnostics if report else [])],
+            }
+        else:
+            payload = {
+                "documents": len(store),
+                "manifest": report.manifest_status,
+                "dataguide": report.dataguide_status,
+                "records_applied": report.records_applied,
+                "torn_tail_bytes": report.torn_tail_bytes,
+                "quarantined": [q.render() for q in report.quarantined],
+                "diagnostics": [d.to_dict() for d in report.diagnostics],
+            }
         print(json.dumps(payload, indent=2))
     else:
-        print(report.summary())
+        if report is None:
+            print(f"{args.directory}: freshly created, nothing to recover")
+        else:
+            print(report.summary())
         print(f"dataguide paths: {len(store.dataguide().paths())}")
     store.close()
     return 0
 
 
 def cmd_fsck(args: argparse.Namespace) -> int:
+    fs = OsFileSystem()
     try:
-        diagnostics = fsck(OsFileSystem(), args.directory)
+        if is_sharded_store(fs, args.directory):
+            diagnostics = fsck_sharded(fs, args.directory)
+        else:
+            diagnostics = fsck(fs, args.directory)
     except OSError as exc:
         print(f"cannot fsck {args.directory}: {exc}", file=sys.stderr)
         return 1
@@ -75,7 +116,7 @@ def cmd_fsck(args: argparse.Namespace) -> int:
 
 def cmd_compact(args: argparse.Namespace) -> int:
     try:
-        store = CollectionStore.open(args.directory)
+        store = _open_any(args.directory)
     except StorageError as exc:
         print(f"cannot open {args.directory}: {exc}", file=sys.stderr)
         return 1

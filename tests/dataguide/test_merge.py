@@ -1,0 +1,154 @@
+"""``DataGuide.merge`` as an associative aggregate combine (ISSUE 8).
+
+Per-shard guides must merge into exactly the guide a single stream
+would have built, or sharded planning (pruning, view generation) would
+see a different schema than unsharded planning.  The algebra is
+property-tested; the one documented caveat is that *extreme values* of
+mixed-type paths coerce through ``str()`` at merge time, which is
+commutative but not associative across groupings — so associativity is
+asserted in full for type-homogeneous documents and structurally
+(paths, kinds, types, lengths, counts) for arbitrary ones.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dataguide.builder import DataGuideBuilder
+from repro.core.dataguide.guide import DataGuide
+
+
+def guide_of(documents):
+    builder = DataGuideBuilder()
+    builder.add_many(list(documents))
+    return builder.guide()
+
+
+def flat(guide):
+    """Canonical full comparison form: every $DG row plus the count."""
+    return (guide.document_count, guide.as_flat())
+
+
+def structure(guide):
+    """The structural projection: everything except coerced extremes."""
+    return (guide.document_count,
+            sorted((e.path, e.kind, e.scalar_type, e.in_array,
+                    e.max_length, e.frequency, e.null_count)
+                   for e in guide.entries()))
+
+
+# Arbitrary JSON documents: any field may hold any type.
+scalars = st.one_of(st.none(), st.booleans(),
+                    st.integers(min_value=-1000, max_value=1000),
+                    st.text(max_size=8))
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.sampled_from("pqr"), children, max_size=3)),
+    max_leaves=6)
+documents = st.lists(
+    st.dictionaries(st.sampled_from("abcde"), values, max_size=4),
+    max_size=6)
+
+# Type-homogeneous documents: each field name always carries one type,
+# so no extreme ever degrades through str() coercion.
+TYPED_FIELDS = {
+    "num": st.integers(min_value=-1000, max_value=1000),
+    "txt": st.text(max_size=8),
+    "flag": st.booleans(),
+    "tags": st.lists(st.text(max_size=4), max_size=3),
+    "sub": st.fixed_dictionaries(
+        {}, optional={"inner": st.integers(min_value=0, max_value=99)}),
+}
+typed_documents = st.lists(
+    st.fixed_dictionaries({}, optional=TYPED_FIELDS), max_size=6)
+
+
+class TestAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(documents, documents)
+    def test_commutative(self, left, right):
+        a, b = guide_of(left), guide_of(right)
+        assert flat(a.merge(b)) == flat(b.merge(a))
+
+    @settings(max_examples=60, deadline=None)
+    @given(typed_documents, typed_documents, typed_documents)
+    def test_associative_on_homogeneous_types(self, one, two, three):
+        a, b, c = guide_of(one), guide_of(two), guide_of(three)
+        assert flat(a.merge(b).merge(c)) == flat(a.merge(b.merge(c)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(documents, documents, documents)
+    def test_associative_structurally(self, one, two, three):
+        """Mixed-type extremes may coerce differently per grouping;
+        everything else must not."""
+        a, b, c = guide_of(one), guide_of(two), guide_of(three)
+        assert structure(a.merge(b).merge(c)) == structure(
+            a.merge(b.merge(c)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(typed_documents, typed_documents)
+    def test_exact_on_disjoint_inserts(self, left, right):
+        """Guides over disjoint document sets merge into exactly the
+        guide of the concatenated stream."""
+        assert flat(guide_of(left).merge(guide_of(right))) == flat(
+            guide_of(left + right))
+
+    @settings(max_examples=60, deadline=None)
+    @given(documents)
+    def test_empty_guide_is_identity(self, docs):
+        guide = guide_of(docs)
+        empty = DataGuide(())
+        assert flat(guide.merge(empty)) == flat(guide)
+        assert flat(empty.merge(guide)) == flat(guide)
+
+    @settings(max_examples=60, deadline=None)
+    @given(documents)
+    def test_self_merge_is_structurally_idempotent(self, docs):
+        """Statistics are additive (frequencies double), the structure
+        projection modulo counts is unchanged."""
+        guide = guide_of(docs)
+        doubled = guide.merge(guide)
+        assert doubled.document_count == 2 * guide.document_count
+        assert (sorted((e.path, e.kind, e.scalar_type, e.in_array,
+                        e.max_length) for e in doubled.entries())
+                == sorted((e.path, e.kind, e.scalar_type, e.in_array,
+                           e.max_length) for e in guide.entries()))
+        assert {e.key: (e.frequency, e.null_count)
+                for e in doubled.entries()} == {
+                    e.key: (2 * e.frequency, 2 * e.null_count)
+                    for e in guide.entries()}
+
+
+class TestMergeAll:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(typed_documents, max_size=4),
+           st.randoms(use_true_random=False))
+    def test_order_independent(self, shards, rng):
+        guides = [guide_of(docs) for docs in shards]
+        baseline = flat(DataGuide.merge_all(guides))
+        shuffled = list(guides)
+        rng.shuffle(shuffled)
+        assert flat(DataGuide.merge_all(shuffled)) == baseline
+
+    def test_empty_iterable_yields_empty_guide(self):
+        merged = DataGuide.merge_all([])
+        assert len(merged) == 0 and merged.document_count == 0
+
+    def test_matches_union_rebuild(self):
+        shards = [[{"k": "a", "v": 1}], [{"k": "b", "v": 9}],
+                  [{"k": "c", "v": 5, "extra": [1, 2]}]]
+        merged = DataGuide.merge_all(guide_of(docs) for docs in shards)
+        union = guide_of([doc for docs in shards for doc in docs])
+        assert flat(merged) == flat(union)
+
+
+class TestAnnotationsMerge:
+    def test_left_bias_and_union(self):
+        a = guide_of([{"v": 1}]).annotate(
+            renames={"$.v": "left"}, exclude=["$.x"])
+        b = guide_of([{"v": 2}]).annotate(
+            renames={"$.v": "right"}, length_overrides={"$.v": 7})
+        merged = a.merge(b)
+        assert merged.annotations.renames["$.v"] == "left"
+        assert "$.x" in merged.annotations.excluded
+        assert merged.annotations.length_overrides["$.v"] == 7

@@ -1,0 +1,240 @@
+"""The logical plan layer: node building, labels, rewrite rules.
+
+The plan layer replaced the hand-wired volcano chain (ISSUE 8); these
+tests pin what the refactor must preserve — explain() label text, hook
+(cancellation) semantics, operator order — plus the new scatter rewrite
+over sharded sources.
+"""
+
+import pytest
+
+from repro.core.dataguide.builder import DataGuideBuilder
+from repro.engine import Query, expr
+from repro.engine import plan as planmod
+from repro.engine.scatter import ShardInput, ShardPlanInfo
+
+ROWS = [
+    {"k": "a", "v": 5},
+    {"k": "b", "v": 12},
+    {"k": "a", "v": 20},
+    {"k": "b", "v": 30},
+]
+
+
+def build(query):
+    return planmod.build_plan(query._source, query._ops)
+
+
+class TestBuildPlan:
+    def test_node_sequence_and_labels(self):
+        q = (Query(ROWS)
+             .where(expr.Col("v") >= 10)
+             .group_by(["k"], total=expr.SUM(expr.Col("v")))
+             .order_by("total", desc=True))
+        plan = build(q)
+        assert [n.op for n in plan.nodes] == [
+            "scan", "where", "group_by", "order_by"]
+        assert plan.explain_lines() == [
+            "SCAN list",
+            "FILTER v >= 10",
+            "HASH GROUP BY k AGG SUM(v) AS total",
+            "SORT total DESC",
+        ]
+
+    def test_all_operator_labels(self):
+        q = (Query(ROWS)
+             .select("k", "v")
+             .join(ROWS, "k", "k")
+             .distinct()
+             .limit(3)
+             .union_all(ROWS))
+        labels = build(q).explain_lines()
+        assert labels[1] == "PROJECT k AS k, v AS v"
+        assert labels[2] == "HASH JOIN (inner) ON k = k"
+        assert labels[3] == "DISTINCT"
+        assert labels[4] == "LIMIT 3"
+        assert labels[5] == "UNION ALL"
+
+    def test_execute_matches_query_rows(self):
+        q = Query(ROWS).where(expr.Col("v") >= 10).select("v")
+        plan = planmod.rewrite(build(q))
+        assert list(plan.execute(morsel=True)) == q.rows()
+
+    def test_unknown_operation_rejected(self):
+        from repro.errors import QueryError
+        with pytest.raises(QueryError):
+            planmod.build_plan(ROWS, [("teleport", ())])
+
+
+class TestHookSemantics:
+    def test_hook_sees_source_and_result_rows(self):
+        seen = []
+        q = (Query(ROWS).where(expr.Col("v") >= 10)
+             .instrumented(seen.append))
+        result = q.rows()
+        # every source row consumed + every result row produced
+        assert len(seen) == len(ROWS) + len(result)
+
+    def test_hook_abort_propagates(self):
+        class Abort(Exception):
+            pass
+
+        def bomb(row):
+            raise Abort
+
+        with pytest.raises(Abort):
+            Query(ROWS).where(expr.Col("v") >= 10).instrumented(
+                bomb).rows()
+
+
+class FakeShardedSource:
+    """A minimal sharded source: per-shard row lists with per-shard
+    DataGuides, routing by ``k`` under a trivial placement function."""
+
+    name = "fake"
+
+    def __init__(self, shards, routing_field=None, shard_of_value=None):
+        self._shards = shards
+        self.routing_field = routing_field
+        self.shard_of_value = shard_of_value
+
+    def scan(self):
+        for rows in self._shards:
+            yield from rows
+
+    def shard_plan(self):
+        inputs = []
+        for index, rows in enumerate(self._shards):
+            builder = DataGuideBuilder()
+            builder.add_many(rows)
+            inputs.append(ShardInput(index,
+                                     lambda rows=rows: iter(rows),
+                                     builder.guide()))
+        return ShardPlanInfo(self.name, inputs,
+                             lambda column: f"$.{column}",
+                             routing_field=self.routing_field,
+                             shard_of_value=self.shard_of_value)
+
+
+SHARDS = [
+    [{"k": "a", "v": 5}, {"k": "a", "v": 20}],
+    [{"k": "b", "v": 12}, {"k": "b", "v": 30}],
+]
+
+
+class TestScatterRule:
+    def test_fuses_filter_project_group(self):
+        source = FakeShardedSource(SHARDS)
+        q = (Query(source)
+             .where(expr.Col("v") >= 10)
+             .select("k", "v")
+             .group_by(["k"], total=expr.SUM(expr.Col("v")))
+             .order_by("total"))
+        plan = q._plan()
+        assert isinstance(plan.nodes[0], planmod.ScatterNode)
+        assert [n.op for n in plan.nodes] == ["scan", "order_by"]
+        label = plan.nodes[0].label()
+        assert label.startswith(
+            "SCATTER SCAN fake [shards=2 scanned=2 pruned=0]")
+        assert "FILTER v >= 10" in label
+        assert "PROJECT k AS k, v AS v" in label
+        assert "GATHER GROUP BY k AGG SUM(v) AS total" in label
+
+    def test_fusion_stops_at_first_non_fusable(self):
+        source = FakeShardedSource(SHARDS)
+        q = (Query(source)
+             .order_by("v")
+             .where(expr.Col("v") >= 10))
+        plan = q._plan()
+        node = plan.nodes[0]
+        assert isinstance(node, planmod.ScatterNode)
+        # nothing fused: the sort comes first
+        assert node.predicate is None and node.group is None
+        assert [n.op for n in plan.nodes] == ["scan", "order_by", "where"]
+
+    def test_second_filter_stays_residual(self):
+        """Only a filter *ahead of* projection/grouping fuses; a HAVING
+        after the group-by must stay its own node."""
+        source = FakeShardedSource(SHARDS)
+        q = (Query(source)
+             .group_by(["k"], total=expr.SUM(expr.Col("v")))
+             .having(expr.Col("total") > 20))
+        plan = q._plan()
+        assert isinstance(plan.nodes[0], planmod.ScatterNode)
+        assert plan.nodes[0].group is not None
+        assert [n.op for n in plan.nodes] == ["scan", "where"]
+
+    def test_rows_match_unsharded(self):
+        source = FakeShardedSource(SHARDS)
+        sharded = (Query(source)
+                   .where(expr.Col("v") >= 10)
+                   .group_by(["k"], total=expr.SUM(expr.Col("v")),
+                             n=expr.COUNT())
+                   .rows())
+        flat = (Query(ROWS)
+                .where(expr.Col("v") >= 10)
+                .group_by(["k"], total=expr.SUM(expr.Col("v")),
+                          n=expr.COUNT())
+                .rows())
+        key = lambda r: r["k"]  # noqa: E731
+        assert sorted(sharded, key=key) == sorted(flat, key=key)
+
+    def test_pruning_decided_at_rewrite_time(self):
+        """A plain explain() — no execution — already reports pruning."""
+        source = FakeShardedSource(SHARDS)
+        text = (Query(source)
+                .where(expr.Col("v") > 100)   # above every shard's max
+                .explain())
+        assert "[shards=2 scanned=0 pruned=2]" in text
+
+    def test_routing_equality_prunes_to_home_shard(self):
+        placement = {"a": 0, "b": 1}
+        source = FakeShardedSource(
+            SHARDS, routing_field="k",
+            shard_of_value=lambda v: placement.get(v))
+        q = Query(source).where(expr.Col("k") == "b")
+        plan = q._plan()
+        assert plan.nodes[0].selected == [False, True]
+        assert q.rows() == SHARDS[1]
+
+    def test_scatter_hook_counts(self):
+        source = FakeShardedSource(SHARDS)
+        seen = []
+        result = (Query(source)
+                  .where(expr.Col("v") >= 10)
+                  .instrumented(seen.append)
+                  .rows())
+        # hook fires per source row inside the workers + per result row
+        assert len(seen) == sum(len(s) for s in SHARDS) + len(result)
+
+    def test_profile_carries_scatter_metrics(self):
+        source = FakeShardedSource(SHARDS)
+        profile = (Query(source)
+                   .where(expr.Col("v") > 25)
+                   .group_by(["k"], total=expr.SUM(expr.Col("v")))
+                   .profile())
+        head = profile["stages"][0]
+        assert head["op"] == "scan"
+        assert head["metrics"].get("engine.scatter.shards_scanned") == 1
+        assert head["metrics"].get("engine.scatter.shards_pruned") == 1
+
+
+class TestPushdownInteraction:
+    def test_unsharded_source_keeps_plain_scan(self):
+        plan = Query(ROWS).where(expr.Col("v") >= 10)._plan()
+        assert isinstance(plan.nodes[0], planmod.ScanNode)
+        assert not isinstance(plan.nodes[0], planmod.ScatterNode)
+
+    def test_shard_plan_returning_none_keeps_plain_scan(self):
+        class NotReallySharded:
+            name = "plain"
+
+            def scan(self):
+                return iter(ROWS)
+
+            def shard_plan(self):
+                return None
+
+        plan = Query(NotReallySharded()).where(
+            expr.Col("v") >= 10)._plan()
+        assert not isinstance(plan.nodes[0], planmod.ScatterNode)

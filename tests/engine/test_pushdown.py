@@ -108,6 +108,6 @@ class TestPushdownCorrectness:
     def test_pushdown_source_detection(self):
         _db, view = setup_view()
         q = Query(view).where(expr.Col("part") == "p1")
-        assert q._pushdown_source() is not None
+        assert q._plan().nodes[0].exists_paths
         q2 = Query(view).select("ref")
-        assert q2._pushdown_source() is None
+        assert q2._plan().nodes[0].exists_paths is None

@@ -1,0 +1,478 @@
+"""ShardedStore: routing, global ids, snapshots, recovery, fsck.
+
+The contract under test (ISSUE 8): a sharded collection behaves exactly
+like a single store behind the router — same DML surface, same
+recovery-report shape (``cut_batches``, quarantine), same fsck
+discipline — while placement stays deterministic (stable routing hash,
+update refuses to move a document's routing hash) so partition pruning
+against it is sound.
+"""
+
+import os
+import posixpath
+
+import pytest
+
+from repro.core.dataguide.builder import DataGuideBuilder
+from repro.errors import StorageError
+from repro.storage import (
+    CollectionStore,
+    MemoryFileSystem,
+    ShardedStore,
+    fsck_sharded,
+    is_sharded_store,
+)
+from repro.storage.faults import (CRASH, TORN, FaultyFileSystem,
+                                  enumerate_fault_points, run_with_fault)
+from repro.storage.manifest import structural_signature
+from repro.storage.shard import (read_shard_marker, routing_hash,
+                                 shard_dir_name, shards_path)
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "20260806"))
+
+DIR = "db"
+
+DOCS = [
+    {"region": "eu", "v": 1},
+    {"region": "us", "v": 2},
+    {"region": "ap", "v": 3},
+    {"region": "eu", "v": 4},
+    {"region": "us", "v": 5},
+    {"region": "ap", "v": 6},
+]
+
+
+@pytest.fixture
+def fs():
+    return MemoryFileSystem()
+
+
+class TestRoutingHash:
+    def test_stable_across_calls(self):
+        assert routing_hash("eu") == routing_hash("eu")
+        assert routing_hash(42) == routing_hash(42)
+
+    def test_integral_float_equals_int(self):
+        """SQL equality says 5 == 5.0, so both must place identically."""
+        assert routing_hash(5.0) == routing_hash(5)
+        assert routing_hash(5.5) != routing_hash(5)
+
+    def test_unroutable_values(self):
+        for value in (None, True, False, [1], {"a": 1}):
+            assert routing_hash(value) is None
+
+    def test_strings_and_numbers_do_not_collide_by_rendering(self):
+        assert routing_hash("5") != routing_hash(5)
+
+
+class TestRouterLifecycle:
+    def test_create_open_roundtrip(self, fs):
+        store = ShardedStore.create(DIR, shards=3, fs=fs,
+                                    routing_field="region")
+        ids = store.insert_many(DOCS)
+        assert len(ids) == len(DOCS)
+        assert len(store) == len(DOCS)
+        store.close()
+        again = ShardedStore.open(DIR, fs=fs)
+        assert again.shard_count == 3
+        assert again.routing_field == "region"
+        for doc_id, doc in zip(ids, DOCS):
+            assert again.get(doc_id) == doc
+        again.close()
+
+    def test_marker_written_and_sniffable(self, fs):
+        ShardedStore.create(DIR, shards=2, fs=fs).close()
+        assert is_sharded_store(fs, DIR)
+        marker = read_shard_marker(fs, DIR)
+        assert marker["shards"] == 2
+        assert marker["routing_field"] is None
+
+    def test_global_ids_encode_placement(self, fs):
+        store = ShardedStore.create(DIR, shards=4, fs=fs,
+                                    routing_field="region")
+        for doc in DOCS:
+            doc_id = store.insert(doc)
+            shard_index = doc_id % 4
+            expected = routing_hash(doc["region"]) % 4
+            assert shard_index == expected
+        store.close()
+
+    def test_round_robin_without_routing_field(self, fs):
+        store = ShardedStore.create(DIR, shards=3, fs=fs)
+        ids = store.insert_many([{"v": i} for i in range(9)])
+        per_shard = [sum(1 for i in ids if i % 3 == s) for s in range(3)]
+        assert per_shard == [3, 3, 3]
+        store.close()
+
+    def test_unroutable_value_falls_back_to_round_robin(self, fs):
+        store = ShardedStore.create(DIR, shards=2, fs=fs,
+                                    routing_field="region")
+        ids = store.insert_many([{"region": None, "v": i}
+                                 for i in range(4)])
+        assert {i % 2 for i in ids} == {0, 1}
+        store.close()
+
+    def test_open_or_create_mismatches(self, fs):
+        ShardedStore.create(DIR, shards=2, fs=fs,
+                            routing_field="region").close()
+        with pytest.raises(StorageError):
+            ShardedStore.open_or_create(DIR, shards=4, fs=fs,
+                                        routing_field="region")
+        with pytest.raises(StorageError):
+            ShardedStore.open_or_create(DIR, shards=2, fs=fs,
+                                        routing_field="other")
+        again = ShardedStore.open_or_create(DIR, shards=2, fs=fs,
+                                            routing_field="region")
+        again.close()
+
+    def test_create_refuses_existing_stores(self, fs):
+        ShardedStore.create(DIR, shards=2, fs=fs).close()
+        with pytest.raises(StorageError):
+            ShardedStore.create(DIR, shards=2, fs=fs)
+        CollectionStore.create("plain", fs=fs).close()
+        with pytest.raises(StorageError):
+            ShardedStore.create("plain", shards=2, fs=fs)
+
+    def test_open_non_sharded_directory_raises(self, fs):
+        CollectionStore.create("plain", fs=fs).close()
+        with pytest.raises(StorageError):
+            ShardedStore.open("plain", fs=fs)
+
+    def test_closed_store_refuses_dml(self, fs):
+        store = ShardedStore.create(DIR, shards=2, fs=fs)
+        store.close()
+        with pytest.raises(StorageError):
+            store.insert({"v": 1})
+
+
+class TestDml:
+    def test_insert_many_preserves_input_order(self, fs):
+        with ShardedStore.create(DIR, shards=3, fs=fs,
+                                 routing_field="region") as store:
+            ids = store.insert_many(DOCS)
+            for doc_id, doc in zip(ids, DOCS):
+                assert store.get(doc_id) == doc
+
+    def test_update_same_shard_allowed(self, fs):
+        with ShardedStore.create(DIR, shards=4, fs=fs,
+                                 routing_field="region") as store:
+            doc_id = store.insert({"region": "eu", "v": 1})
+            store.update(doc_id, {"region": "eu", "v": 99})
+            assert store.get(doc_id)["v"] == 99
+
+    def test_update_refuses_routing_migration(self, fs):
+        """The placement invariant behind routing-equality pruning: a
+        document may never move to a value that hashes elsewhere."""
+        with ShardedStore.create(DIR, shards=4, fs=fs,
+                                 routing_field="region") as store:
+            doc_id = store.insert({"region": "eu", "v": 1})
+            home = doc_id % 4
+            other = next(r for r in ("us", "ap", "sa", "af", "oc")
+                         if routing_hash(r) % 4 != home)
+            with pytest.raises(StorageError, match="delete and re-insert"):
+                store.update(doc_id, {"region": other, "v": 1})
+            # dropping the routing field entirely is fine: no hash claim
+            store.update(doc_id, {"v": 2})
+            assert store.get(doc_id) == {"v": 2}
+
+    def test_delete_and_missing_id_errors(self, fs):
+        with ShardedStore.create(DIR, shards=2, fs=fs) as store:
+            doc_id = store.insert({"v": 1})
+            store.delete(doc_id)
+            assert doc_id not in store
+            with pytest.raises(StorageError, match=f"no document {doc_id}"):
+                store.get(doc_id)
+            with pytest.raises(StorageError):
+                store.image(doc_id)
+
+
+class TestSnapshot:
+    def test_composition_and_isolation(self, fs):
+        with ShardedStore.create(DIR, shards=3, fs=fs,
+                                 routing_field="region") as store:
+            ids = store.insert_many(DOCS)
+            snap = store.snapshot()
+            assert len(snap) == len(DOCS)
+            assert sorted(snap.doc_ids()) == sorted(ids)
+            # writes after the pin are invisible to it
+            store.insert({"region": "eu", "v": 100})
+            assert len(snap) == len(DOCS)
+            assert len(store.snapshot()) == len(DOCS) + 1
+
+    def test_version_monotonic(self, fs):
+        with ShardedStore.create(DIR, shards=2, fs=fs) as store:
+            v0 = store.snapshot().version
+            store.insert({"v": 1})
+            v1 = store.snapshot().version
+            store.insert({"v": 2})
+            v2 = store.snapshot().version
+            assert v0 < v1 < v2
+
+    def test_shard_documents_cover_the_whole_set(self, fs):
+        with ShardedStore.create(DIR, shards=3, fs=fs,
+                                 routing_field="region") as store:
+            store.insert_many(DOCS)
+            snap = store.snapshot()
+            union = {}
+            for index in range(snap.shard_count):
+                for doc_id, doc in snap.shard_documents(index):
+                    assert doc_id % 3 == index
+                    union[doc_id] = doc
+            assert union == dict(snap.documents())
+
+    def test_snapshot_guides_cover_their_shards(self, fs):
+        with ShardedStore.create(DIR, shards=2, fs=fs,
+                                 routing_field="region") as store:
+            store.insert_many(DOCS)
+            snap = store.snapshot()
+            for index in range(snap.shard_count):
+                guide = snap.guides[index]
+                paths = guide.paths()
+                for _doc_id, doc in snap.shard_documents(index):
+                    for key in doc:
+                        assert f"$.{key}" in paths
+
+
+class TestDataGuideAndZones:
+    def test_merged_guide_equals_unsharded_rebuild(self, fs):
+        with ShardedStore.create(DIR, shards=3, fs=fs,
+                                 routing_field="region") as store:
+            store.insert_many(DOCS)
+            merged = store.dataguide()
+        rebuilt = DataGuideBuilder()
+        rebuilt.add_many(DOCS)
+        assert ({(e.path, e.kind, e.scalar_type) for e in merged.entries()}
+                == {(e.path, e.kind, e.scalar_type)
+                    for e in rebuilt.entries()})
+
+    def test_zone_stats_are_per_shard(self, fs):
+        with ShardedStore.create(DIR, shards=2, fs=fs,
+                                 routing_field="region") as store:
+            store.insert_many(DOCS)
+            per_shard = store.zone_stats()
+            assert len(per_shard) == 2
+            for index, zones in enumerate(per_shard):
+                values = [doc["v"] for _id, doc
+                          in store.snapshot().shard_documents(index)]
+                row = next(z for z in zones if z["path"] == "$.v")
+                assert row["min"] == min(values)
+                assert row["max"] == max(values)
+
+
+class TestFsck:
+    def test_clean_store(self, fs):
+        store = ShardedStore.create(DIR, shards=2, fs=fs,
+                                    routing_field="region")
+        store.insert_many(DOCS)
+        store.checkpoint()
+        store.close()
+        assert fsck_sharded(fs, DIR) == []
+
+    def test_missing_marker(self, fs):
+        fs.ensure_dir(DIR)
+        findings = fsck_sharded(fs, DIR)
+        assert [d.rule for d in findings] == ["storage.fsck.shards-marker"]
+
+    def test_corrupt_marker(self, fs):
+        ShardedStore.create(DIR, shards=2, fs=fs).close()
+        handle = fs.create(shards_path(DIR))
+        handle.write(b"\xff" * 16)
+        handle.close()
+        findings = fsck_sharded(fs, DIR)
+        assert [d.rule for d in findings] == ["storage.fsck.shards-marker"]
+
+    def test_missing_shard_directory(self, fs):
+        store = ShardedStore.create(DIR, shards=3, fs=fs)
+        store.insert({"v": 1})
+        store.close()
+        gone = posixpath.join(DIR, shard_dir_name(2))
+        for name in list(fs.listdir(gone)):
+            fs.remove(posixpath.join(gone, name))
+        fs._dirs.discard(gone)
+        findings = fsck_sharded(fs, DIR)
+        assert any(d.rule == "storage.fsck.shard-missing"
+                   for d in findings)
+
+    def test_shard_findings_are_shard_prefixed(self, fs):
+        store = ShardedStore.create(DIR, shards=2, fs=fs)
+        store.insert_many([{"v": i} for i in range(4)])
+        store.checkpoint()
+        store.close()
+        # corrupt one shard's sealed segment: the finding must name the
+        # shard directory so an operator knows where to look
+        shard_dir = posixpath.join(DIR, shard_dir_name(0))
+        segment = min(n for n in fs.listdir(shard_dir)
+                      if n.startswith("log-"))  # sealed segment
+        path = posixpath.join(shard_dir, segment)
+        data = bytearray(fs.read_bytes(path))
+        data[len(data) // 2] ^= 0xFF
+        handle = fs.create(path)
+        handle.write(bytes(data))
+        handle.close()
+        findings = fsck_sharded(fs, DIR)
+        assert findings
+        assert any(f.path and f.path.startswith(shard_dir_name(0))
+                   for f in findings)
+
+    def test_root_log_flagged(self, fs):
+        ShardedStore.create(DIR, shards=2, fs=fs).close()
+        handle = fs.create(posixpath.join(DIR, "log-00000009.log"))
+        handle.write(b"")
+        handle.close()
+        findings = fsck_sharded(fs, DIR)
+        assert any(d.rule == "storage.fsck.root-log" for d in findings)
+
+
+class TestRecoveryContract:
+    def test_fresh_store_reports_none(self, fs):
+        with ShardedStore.create(DIR, shards=2, fs=fs) as store:
+            assert store.recovery is None
+
+    def test_reopen_reports_per_shard(self, fs):
+        store = ShardedStore.create(DIR, shards=2, fs=fs,
+                                    routing_field="region")
+        store.insert_many(DOCS)
+        store.close()
+        again = ShardedStore.open(DIR, fs=fs)
+        report = again.recovery
+        assert report is not None
+        assert report.clean
+        assert len(report.per_shard) == 2
+        assert "shards: 2" in report.summary()
+        again.close()
+
+    def test_torn_shard_wal_cut_batches_annotated(self, fs):
+        """Tearing one shard's WAL mid-record must surface exactly the
+        standalone store's ``cut_batches`` contract, with the shard
+        index attached — and leave every other shard untouched."""
+        store = ShardedStore.create(DIR, shards=2, fs=fs,
+                                    routing_field="region")
+        store.insert_many(DOCS)
+        store.close()
+        shard_dir = posixpath.join(DIR, shard_dir_name(1))
+        wal = max(n for n in fs.listdir(shard_dir)
+                  if n.startswith("log-"))  # the active WAL
+        path = posixpath.join(shard_dir, wal)
+        data = fs.read_bytes(path)
+        handle = fs.create(path)
+        handle.write(data[:len(data) - 7])
+        handle.close()
+
+        again = ShardedStore.open(DIR, fs=fs)
+        report = again.recovery
+        assert not report.clean or report.cut_batches
+        # parity with the standalone report: same dict shape + shard key
+        assert report.cut_batches
+        for cut in report.cut_batches:
+            assert cut["shard"] == 1
+            assert {"source", "offset", "expected", "seen",
+                    "shard"} <= set(cut)
+        # shard 0's documents all survive the other shard's torn tail
+        survivors = [doc for _id, doc in again.documents()]
+        for doc in DOCS:
+            if routing_hash(doc["region"]) % 2 == 0:
+                assert doc in survivors
+        # the recovered router stays writable
+        new_id = again.insert({"region": "eu", "v": 7})
+        assert again.get(new_id) == {"region": "eu", "v": 7}
+        again.close()
+
+
+# -- per-shard crash sweep ---------------------------------------------------
+
+
+def workload(fs, journal):
+    """A representative sharded protocol exercise for the fault sweep."""
+    store = ShardedStore.create(DIR, shards=2, fs=fs,
+                                routing_field="region")
+    journal.append(("created",))
+    for doc in DOCS[:4]:
+        doc_id = store.insert(doc)
+        journal.append(("insert", doc_id, doc))
+    store.checkpoint()
+    journal.append(("checkpoint",))
+    update_id = journal[1][1]
+    store.update(update_id, {"region": DOCS[0]["region"], "v": 40})
+    journal.append(("update", update_id,
+                    {"region": DOCS[0]["region"], "v": 40}))
+    delete_id = journal[2][1]
+    store.delete(delete_id)
+    journal.append(("delete", delete_id))
+    doc_id = store.insert(DOCS[4])
+    journal.append(("insert", doc_id, DOCS[4]))
+    store.close()
+    journal.append(("closed",))
+
+
+def expected_documents(journal):
+    docs = {}
+    for entry in journal:
+        if entry[0] in ("insert", "update"):
+            docs[entry[1]] = entry[2]
+        elif entry[0] == "delete":
+            docs.pop(entry[1], None)
+    return docs
+
+
+@pytest.fixture(scope="module")
+def enumeration():
+    print(f"\n[shard fault sweep] REPRO_FAULT_SEED={SEED}")
+    return enumerate_fault_points(workload, seed=SEED,
+                                  modes=(CRASH, TORN))
+
+
+def test_workload_completes_without_faults():
+    fs = FaultyFileSystem()
+    journal = []
+    workload(fs, journal)
+    assert journal[-1] == ("closed",)
+
+
+def test_enumeration_sweeps_every_shard(enumeration):
+    """The boundary set must include I/O inside both shard directories
+    (otherwise the sweep is not actually per-shard)."""
+    paths = {op.path for op in enumeration.ops if op.path}
+    for index in range(2):
+        assert any(shard_dir_name(index) in path for path in paths)
+
+
+@pytest.mark.parametrize("mode", [CRASH, TORN])
+def test_shard_crash_point_sweep(enumeration, mode):
+    """Crashing any single boundary — in either shard's WAL, manifest,
+    segment or the SHARDS marker — loses no acknowledged commit, and
+    every shard's recovered DataGuide equals a from-scratch rebuild."""
+    cases = [c for c in enumeration.cases if c.plan.mode == mode]
+    assert cases
+    for case in cases:
+        outcome = run_with_fault(workload, case)
+        assert outcome.crashed, f"{case.describe()}: fault never fired"
+        durable = outcome.durable
+        expected = expected_documents(outcome.journal)
+        context = case.describe()
+        try:
+            store = ShardedStore.open(DIR, fs=durable)
+        except StorageError:
+            assert not outcome.journal, (
+                f"{context}: refused to open but "
+                f"{len(outcome.journal)} ops were acknowledged")
+            continue
+        report = store.recovery
+        if report is not None:
+            assert not report.quarantined, (
+                f"{context}: quarantine after a pure crash fault:\n"
+                + report.summary())
+        for doc_id, doc in expected.items():
+            assert doc_id in store, (
+                f"{context}: acknowledged doc {doc_id} lost")
+            assert store.get(doc_id) == doc, (
+                f"{context}: acknowledged doc {doc_id} diverged")
+        for index, shard in enumerate(store.shards):
+            rebuilt = DataGuideBuilder()
+            for _, document in shard.documents():
+                rebuilt.add(document)
+            assert (structural_signature(shard._builder)
+                    == structural_signature(rebuilt)), (
+                f"{context}: shard {index} DataGuide diverges from rebuild")
+        new_id = store.insert({"region": "eu", "v": 999})
+        assert store.get(new_id) == {"region": "eu", "v": 999}
+        store.close()
