@@ -1,0 +1,102 @@
+"""The chaos kill-switch gate: fault points are ~free when chaos is off.
+
+Every shard scan, per-document read, commit, and probe now passes a
+``chaos.fault_point(...)`` call.  That is only acceptable in the
+Figure 3 hot paths if the *disabled* path (the default — no plan
+installed) stays a single attribute read plus a ``None`` check.  Two
+measurements back that claim:
+
+* a microbenchmark of the disabled ``fault_point`` call itself;
+* a projection of that per-call cost onto the fault-point call sites a
+  sharded query pass actually executes (one ``shard.scan`` per shard
+  plus one ``shard.read`` per document, times a 5x safety margin),
+  asserted under 2% of the measured pass wall time.
+"""
+
+import time
+
+from benchmarks.conftest import record, scaled
+from repro.engine import CLOB, Column, Database, NUMBER
+from repro.jsontext import dumps
+from repro.storage import chaos
+from repro.storage.files import MemoryFileSystem
+from repro.workloads.purchase_orders import (
+    PoOlapQueries,
+    PoQueryParams,
+    PurchaseOrderGenerator,
+    build_po_views,
+)
+
+N = scaled(120)
+SHARDS = 4
+
+#: iterations for the disabled fault-point microbenchmark
+CALLS = 50_000
+
+#: the asserted gate: projected chaos-off cost / measured pass time
+GATE = 0.02
+
+
+def _best_of(measure, repeats=3):
+    return min(measure() for _ in range(repeats))
+
+
+def _per_call_disabled():
+    def once():
+        start = time.perf_counter()
+        for _ in range(CALLS):
+            chaos.fault_point("shard.read", shard=1)
+        return (time.perf_counter() - start) / CALLS
+    return _best_of(once)
+
+
+def test_disabled_fault_point_overhead_under_gate():
+    assert chaos.installed() is None  # off is the benchmark default
+
+    documents = list(PurchaseOrderGenerator().documents(N))
+    fs = MemoryFileSystem()
+    db = Database()
+    table = db.create_table(
+        "po", [Column("did", NUMBER), Column("jdoc", CLOB)],
+        durable="/po", fs=fs, shards=SHARDS, routing_field="did")
+    table.insert_many([{"did": i, "jdoc": dumps(doc)}
+                       for i, doc in enumerate(documents)])
+    mv, dmdv = build_po_views(db, table, "jdoc", "chaos_bench")
+    queries = PoOlapQueries(mv, dmdv)
+    params = PoQueryParams(documents)
+
+    def run_pass():
+        queries.q2()
+        queries.q3(params.partno)
+        queries.q6(params.partno)
+        queries.q7()
+
+    try:
+        run_pass()  # warm caches and allocator state
+        pass_time = _best_of(lambda: _timed(run_pass))
+
+        per_call = _per_call_disabled()
+        # every query scans every shard (scan point) and touches every
+        # document (read point); 4 queries, 5x safety margin
+        events = 4 * (SHARDS + N)
+        projected = events * 5 * per_call
+        overhead = projected / pass_time
+
+        record("chaos_overhead", "disabled_fault_point", {
+            "per_call_ns": per_call * 1e9,
+            "pass_time_ms": pass_time * 1e3,
+            "projected_call_sites": events,
+            "overhead_fraction": overhead,
+            "gate": GATE,
+        })
+        assert overhead < GATE, (
+            f"disabled chaos fault points project to "
+            f"{overhead:.2%} of a sharded query pass (gate {GATE:.0%})")
+    finally:
+        table.close()
+
+
+def _timed(run_pass):
+    start = time.perf_counter()
+    run_pass()
+    return time.perf_counter() - start

@@ -59,41 +59,90 @@ class DomMaterializeRule(LintRule):
 
 
 class DirectTimeRule(LintRule):
-    """Instrumented modules must take timestamps through the tracer.
+    """Product code must take time from the project clock, not ``time``.
 
-    Every module wired into :mod:`repro.obs` reports wall time through
-    span records, and EXPLAIN ANALYZE diffs those records — a direct
-    ``time.perf_counter()`` (or any other ``time.*`` call) in one of
-    these modules produces measurements the trace export cannot see and
-    silently diverges from the project clock
-    (:data:`repro.obs.trace.monotonic`).  Sleeping in a hot path is
-    worse still.  Only ``repro/obs`` itself may touch :mod:`time`.
+    Two tiers.  Modules wired into :mod:`repro.obs` report wall time
+    through span records, and EXPLAIN ANALYZE diffs those records — a
+    direct ``time.perf_counter()`` (or any other ``time.*`` call) in one
+    of these instrumented modules produces measurements the trace export
+    cannot see and silently diverges from the project clock
+    (:data:`repro.obs.trace.monotonic`), so the *strict* scopes ban
+    :mod:`time` entirely.
+
+    Everywhere else under ``repro/``, a *sleep-only* ban applies: a bare
+    ``time.sleep`` in a retry/backoff path bypasses the seeded backoff
+    clock (:func:`repro.obs.clock.sleep` /
+    :class:`repro.obs.clock.BackoffPolicy`), so chaos runs lose their
+    determinism, the lock sanitizer misses the blocking-IO note, and
+    ``VirtualClock`` tests silently take real wall time.  Reading the
+    clock (``time.perf_counter``) stays legal there.  Only ``repro/obs``
+    itself — the clock's home — may touch ``time.sleep``.
     """
 
     rule_id = "direct-time"
     description = ("instrumented modules must use repro.obs.trace."
-                   "monotonic, never time.* directly")
-    scopes = ("repro/engine/executor", "repro/engine/query",
-              "repro/sqljson/json_table", "repro/sqljson/operators",
-              "repro/core/oson/navigate", "repro/core/oson/cache",
-              "repro/storage/log", "repro/storage/recovery",
-              "repro/imc/store")
+                   "monotonic, never time.* directly; all product code "
+                   "must sleep via repro.obs.clock, never time.sleep")
+    #: applies everywhere; strictness is decided per-path in check()
+    scopes = None
+    #: full time.* ban — modules measured by EXPLAIN ANALYZE
+    STRICT_SCOPES = ("repro/engine/executor", "repro/engine/query",
+                     "repro/sqljson/json_table", "repro/sqljson/operators",
+                     "repro/core/oson/navigate", "repro/core/oson/cache",
+                     "repro/storage/log", "repro/storage/recovery",
+                     "repro/imc/store")
+    #: the project clock's own home; the one sanctioned time.sleep
+    EXEMPT_SCOPES = ("repro/obs",)
+
+    def _tier(self, path: str) -> Optional[str]:
+        posix = path.replace("\\", "/")
+        if any(scope in posix for scope in self.EXEMPT_SCOPES):
+            return None
+        if any(scope in posix for scope in self.STRICT_SCOPES):
+            return "strict"
+        if "repro/" in posix:
+            return "sleep"
+        return None
 
     def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
-        for node in ctx.nodes(ast.Attribute):
-            if isinstance(node.value, ast.Name) and node.value.id == "time":
-                yield ctx.diagnostic(
-                    self.rule_id,
-                    f"direct time.{node.attr} in an instrumented module; "
-                    "use repro.obs.trace.monotonic (or a span) so the "
-                    "measurement lands in the trace export",
-                    node)
-        for node in ctx.nodes(ast.Import, ast.ImportFrom):
-            names = [a.name for a in node.names]
-            module = getattr(node, "module", None)
-            if "time" in names or module == "time":
-                yield ctx.diagnostic(
-                    self.rule_id,
-                    "instrumented modules must not import time; "
-                    "repro.obs.trace.monotonic is the project clock",
-                    node)
+        tier = self._tier(ctx.path)
+        if tier == "strict":
+            for node in ctx.nodes(ast.Attribute):
+                if (isinstance(node.value, ast.Name)
+                        and node.value.id == "time"):
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        f"direct time.{node.attr} in an instrumented "
+                        "module; use repro.obs.trace.monotonic (or a "
+                        "span) so the measurement lands in the trace "
+                        "export",
+                        node)
+            for node in ctx.nodes(ast.Import, ast.ImportFrom):
+                names = [a.name for a in node.names]
+                module = getattr(node, "module", None)
+                if "time" in names or module == "time":
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        "instrumented modules must not import time; "
+                        "repro.obs.trace.monotonic is the project clock",
+                        node)
+        elif tier == "sleep":
+            for node in ctx.nodes(ast.Attribute):
+                if (node.attr == "sleep"
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "time"):
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        "bare time.sleep in product code; retry/backoff "
+                        "paths must sleep through repro.obs.clock.sleep "
+                        "so waits are seeded, virtualizable and visible "
+                        "to the lock sanitizer",
+                        node)
+            for node in ctx.nodes(ast.ImportFrom):
+                if (getattr(node, "module", None) == "time"
+                        and any(a.name == "sleep" for a in node.names)):
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        "importing sleep from time bypasses the seeded "
+                        "backoff clock; use repro.obs.clock.sleep",
+                        node)

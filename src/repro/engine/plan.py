@@ -245,7 +245,10 @@ class ScatterNode(PlanNode):
     Pruning decisions are taken at construction from per-shard
     DataGuides, so the plan text itself reports how many shards the
     query will touch.  Cooperative-cancellation hooks (sessions'
-    deadline checks) are injected per execution via ``hook``.
+    deadline checks) and the shard-failure policy are injected per
+    execution via ``hook`` / ``policy``; ``last_degraded`` records the
+    degraded marker of the most recent execution (None when the answer
+    was complete), which :meth:`Query.rows` surfaces to callers.
     """
 
     op = "scan"
@@ -256,13 +259,17 @@ class ScatterNode(PlanNode):
                  outputs: Optional[Sequence],
                  group: Optional[tuple],
                  selected: Sequence[bool],
-                 hook: Optional[Callable[[Row], None]] = None) -> None:
+                 hook: Optional[Callable[[Row], None]] = None,
+                 policy: Optional[scattermod.ScatterPolicy] = None
+                 ) -> None:
         self.info = info
         self.predicate = predicate
         self.outputs = outputs
         self.group = group
         self.selected = list(selected)
         self.hook = hook
+        self.policy = policy
+        self.last_degraded = None
 
     @property
     def shards_scanned(self) -> int:
@@ -292,9 +299,11 @@ class ScatterNode(PlanNode):
         return " -> ".join(parts)
 
     def execute(self, rows: Iterator[Row], morsel: bool) -> Iterator[Row]:
-        return iter(scattermod.execute_scatter(
+        out = scattermod.execute_scatter(
             self.info, self.selected, self.predicate, self.outputs,
-            self.group, morsel, hook=self.hook))
+            self.group, morsel, hook=self.hook, policy=self.policy)
+        self.last_degraded = getattr(out, "degraded", None)
+        return iter(out)
 
 
 class LogicalPlan:
@@ -306,8 +315,17 @@ class LogicalPlan:
     def explain_lines(self) -> List[str]:
         return [node.label() for node in self.nodes]
 
+    def degraded(self):
+        """The degraded marker of the last execution (None when the
+        plan is not a scatter or the answer was complete)."""
+        head = self.nodes[0]
+        if isinstance(head, ScatterNode):
+            return head.last_degraded
+        return None
+
     def execute(self, morsel: bool,
-                hook: Optional[Callable[[Row], None]] = None
+                hook: Optional[Callable[[Row], None]] = None,
+                scatter_policy: Optional[scattermod.ScatterPolicy] = None
                 ) -> Iterator[Row]:
         """Lazy whole-plan execution.  ``hook`` (cancellation) fires on
         every source row and, when operators exist, every result row —
@@ -315,6 +333,8 @@ class LogicalPlan:
         head, tail = self.nodes[0], self.nodes[1:]
         if isinstance(head, ScatterNode):
             head.hook = hook
+            if scatter_policy is not None:
+                head.policy = scatter_policy
         rows = head.execute(iter(()), morsel)
         if hook is not None and not isinstance(head, ScatterNode):
             rows = _hooked(rows, hook)

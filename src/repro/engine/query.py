@@ -99,6 +99,8 @@ class Query:
         self._ops: list[tuple[str, tuple]] = []
         self._mode: Optional[str] = None
         self._row_hook: Optional[Callable[[Row], None]] = None
+        self._scatter_policy: Optional["planmod.scattermod.ScatterPolicy"] \
+            = None
 
     # -- builder -------------------------------------------------------------
 
@@ -107,6 +109,7 @@ class Query:
         clone._ops = self._ops + [(op, args)]
         clone._mode = self._mode
         clone._row_hook = self._row_hook
+        clone._scatter_policy = self._scatter_policy
         return clone
 
     def mode(self, mode: str) -> "Query":
@@ -119,6 +122,7 @@ class Query:
         clone._ops = list(self._ops)
         clone._mode = mode
         clone._row_hook = self._row_hook
+        clone._scatter_policy = self._scatter_policy
         return clone
 
     def instrumented(self, hook: Callable[[Row], None]) -> "Query":
@@ -131,7 +135,30 @@ class Query:
         clone._ops = list(self._ops)
         clone._mode = self._mode
         clone._row_hook = hook
+        clone._scatter_policy = self._scatter_policy
         return clone
+
+    def with_scatter_policy(self, policy: Any) -> "Query":
+        """Clone carrying an explicit
+        :class:`~repro.engine.scatter.ScatterPolicy` — the serving
+        layer's hook for wiring its ``CancelToken`` and session-level
+        failure policy into scatter execution."""
+        clone = Query(self._source)
+        clone._ops = list(self._ops)
+        clone._mode = self._mode
+        clone._row_hook = self._row_hook
+        clone._scatter_policy = policy
+        return clone
+
+    def on_shard_failure(self, on_failure: str) -> "Query":
+        """Per-query shard-failure policy: ``"fail"`` (default —
+        propagate the first shard failure typed) or ``"partial"``
+        (return surviving shards' rows as an explicitly-marked
+        degraded result; see :meth:`rows`).  No-op over unsharded
+        sources."""
+        from repro.engine import scatter as scattermod
+        return self.with_scatter_policy(
+            scattermod.ScatterPolicy(on_failure=on_failure))
 
     def where(self, predicate: Expression) -> "Query":
         """Filter rows; NULL (unknown) predicates drop the row."""
@@ -198,8 +225,28 @@ class Query:
         return self._execute()
 
     def rows(self) -> list[Row]:
-        """Execute and materialize the result rows."""
-        return list(self._execute())
+        """Execute and materialize the result rows.
+
+        Under an ``on_shard_failure="partial")`` policy a result whose
+        shards partially failed comes back as
+        :class:`~repro.engine.scatter.DegradedRows` — a plain list
+        carrying an explicit ``.degraded`` marker
+        (:class:`~repro.errors.DegradedResult`) naming the missing
+        shards.  Complete results are ordinary lists, so
+        ``getattr(rows, "degraded", None)`` is the uniform check.
+        """
+        from repro.engine import scatter as scattermod
+
+        morsel = (self._mode or _DEFAULT_MODE) == "morsel"
+        built = self._plan()
+        out = list(built.execute(morsel, hook=self._row_hook,
+                                 scatter_policy=self._scatter_policy))
+        marker = built.degraded()
+        if marker is None:
+            return out
+        degraded = scattermod.DegradedRows(out)
+        degraded.degraded = marker
+        return degraded
 
     def scalar(self) -> Any:
         """Execute; return the single value of a 1x1 result."""
@@ -219,7 +266,8 @@ class Query:
 
     def _execute(self) -> Iterator[Row]:
         morsel = (self._mode or _DEFAULT_MODE) == "morsel"
-        return self._plan().execute(morsel, hook=self._row_hook)
+        return self._plan().execute(morsel, hook=self._row_hook,
+                                    scatter_policy=self._scatter_policy)
 
     def profile(self) -> dict:
         """Execute with per-operator attribution (the EXPLAIN ANALYZE
@@ -272,6 +320,9 @@ class Query:
             return out
 
         built = self._plan()
+        if (self._scatter_policy is not None
+                and isinstance(built.nodes[0], planmod.ScatterNode)):
+            built.nodes[0].policy = self._scatter_policy
         previous_tracing = _obs_trace.set_tracing_enabled(True)
         start = _obs_trace.monotonic()
         try:

@@ -24,13 +24,26 @@ this module supplies its two halves:
 ``engine.scatter.shards_scanned`` / ``engine.scatter.shards_pruned``
 count every scatter execution and surface per-query in EXPLAIN ANALYZE
 as metric deltas.
+
+Fault tolerance (:class:`ScatterPolicy`): each shard worker retries
+transient faults under the seeded backoff schedule (retry time charged
+to the query's ``CancelToken`` deadline via the token's lookahead
+check), reports outcomes to the store's health board, and the gather
+applies the caller's ``on_shard_failure`` policy — ``"fail"`` sets the
+shared abort flag so in-flight siblings stop at their next row and the
+first failure propagates typed; ``"partial"`` returns the surviving
+shards' rows as :class:`DegradedRows` carrying an explicit
+:class:`~repro.errors.DegradedResult` marker (never silent:
+``engine.scatter.shards_failed`` rides EXPLAIN ANALYZE next to
+``shards_scanned``/``shards_pruned``).
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import (TYPE_CHECKING, Any, Callable, Iterator, List,
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterator, List,
                     Optional, Sequence, Tuple)
 
 if TYPE_CHECKING:  # imported lazily to stay out of the package cycle
@@ -39,6 +52,9 @@ if TYPE_CHECKING:  # imported lazily to stay out of the package cycle
 from repro.engine import executor
 from repro.engine.expressions import (Aggregate, And, Col, Comparison,
                                       Expression, InList, Literal)
+from repro.errors import (DegradedResult, RETRYABLE_FAULTS,
+                          ShardUnavailable)
+from repro.obs import clock as _clock
 
 Row = dict
 
@@ -90,22 +106,27 @@ class ShardPlanInfo:
     absolute path with ``[*]`` steps dropped for view columns), or None
     when the column's provenance is unknown — that column then
     contributes nothing to pruning.  ``shard_of_value`` is the router's
-    placement function when a routing field exists.
+    placement function when a routing field exists.  ``health`` is the
+    source store's :class:`~repro.storage.health.ShardHealthBoard`
+    (None for unsharded-compatible callers): scatter workers consult it
+    fail-fast and report read outcomes to it, so read- and write-side
+    failures feed one state machine.
     """
 
     __slots__ = ("name", "shards", "prune_path", "routing_field",
-                 "shard_of_value")
+                 "shard_of_value", "health")
 
     def __init__(self, name: str, shards: Sequence[ShardInput],
                  prune_path: Callable[[str], Optional[str]],
                  routing_field: Optional[str] = None,
                  shard_of_value: Optional[Callable[[Any], Optional[int]]]
-                 = None) -> None:
+                 = None, health: Optional[Any] = None) -> None:
         self.name = name
         self.shards = list(shards)
         self.prune_path = prune_path
         self.routing_field = routing_field
         self.shard_of_value = shard_of_value
+        self.health = health
 
 
 # -- pruning ---------------------------------------------------------------
@@ -262,6 +283,56 @@ def prune_shards(info: ShardPlanInfo,
 # -- execution -------------------------------------------------------------
 
 
+#: what a partial-read policy may degrade over: retryable faults plus
+#: the health board's fail-fast refusal.  Semantic errors (QueryError,
+#: arithmetic) are never degradable — they propagate unchanged, so a
+#: sharded query and its unsharded twin fail identically.
+DEGRADABLE_FAULTS = RETRYABLE_FAULTS + (ShardUnavailable,)
+
+_FAILED_STATE = "failed"  # mirrors repro.storage.health.FAILED
+
+
+class ScatterPolicy:
+    """How a scatter execution treats shard failure.
+
+    ``on_failure="fail"`` (the default) propagates the first shard
+    failure as its typed error after aborting in-flight siblings;
+    ``"partial"`` degrades instead: surviving shards' rows return as
+    :class:`DegradedRows` with an explicit marker.  ``backoff`` is the
+    seeded per-shard retry schedule; ``token`` (the serve layer's
+    ``CancelToken``, duck-typed) charges retry waits against the query
+    deadline via ``token.check(ahead_s)``.
+    """
+
+    __slots__ = ("on_failure", "backoff", "token")
+
+    def __init__(self, on_failure: str = "fail",
+                 backoff: Optional[_clock.BackoffPolicy] = None,
+                 token: Optional[Any] = None) -> None:
+        if on_failure not in ("fail", "partial"):
+            raise ValueError(
+                f"on_shard_failure must be 'fail' or 'partial', got "
+                f"{on_failure!r}")
+        self.on_failure = on_failure
+        self.backoff = backoff or _clock.BackoffPolicy()
+        self.token = token
+
+
+class DegradedRows(list):
+    """A scatter result that is explicitly *not* the full answer: a
+    plain row list (so every downstream consumer works unchanged) with
+    a :class:`~repro.errors.DegradedResult` marker naming the missing
+    shards.  Callers that refuse degraded data do
+    ``raise rows.degraded``."""
+
+    degraded: Optional[DegradedResult] = None
+
+
+class _ScatterAbort(Exception):
+    """Internal: a sibling worker failed and set the abort flag; this
+    worker stopped early.  Never escapes :func:`execute_scatter`."""
+
+
 def worker_count(shards: int) -> int:
     """Worker-pool width: one thread per surviving shard, capped by the
     machine (``REPRO_SHARD_WORKERS`` overrides for benchmarks)."""
@@ -294,14 +365,28 @@ def _hooked(rows: Iterator[Row],
         yield row
 
 
+def _backoff_wait(policy: ScatterPolicy, key: str, attempt: int) -> None:
+    """Sleep out one backoff step, charging the wait against the query
+    deadline *before* sleeping: the token's lookahead check raises
+    ``QueryTimeout`` when the wait would overrun, so a retry never
+    sleeps past a deadline it cannot meet."""
+    delay = policy.backoff.delay_ms(key, attempt) / 1000.0
+    token = policy.token
+    if token is not None:
+        token.check(delay)
+    _clock.sleep(delay)
+    if token is not None:
+        token.check()
+
+
 def execute_scatter(info: ShardPlanInfo, selected: Sequence[bool],
                     predicate: Optional[Expression],
                     outputs: Optional[Sequence],
                     group: Optional[Tuple[Sequence, Sequence[Tuple[str,
                                                                    Aggregate]]]],
                     morsel: bool,
-                    hook: Optional[Callable[[Row], None]] = None
-                    ) -> List[Row]:
+                    hook: Optional[Callable[[Row], None]] = None,
+                    policy: Optional[ScatterPolicy] = None) -> List[Row]:
     """Run the fused scan→filter→project[→group-by] prefix over the
     surviving shards on a thread pool and gather.
 
@@ -311,43 +396,165 @@ def execute_scatter(info: ShardPlanInfo, selected: Sequence[bool],
     (:func:`~repro.engine.executor.gather_group_partials`) before
     finalizing — row-parity with the unsharded plan is asserted by the
     differential suite.  Cooperative-cancellation hooks run inside the
-    workers (every source row), so a session deadline aborts mid-scan;
-    the raising shard's exception propagates from the gather.
+    workers (every source row), so a session deadline aborts mid-scan.
+
+    Failure handling follows ``policy`` (:class:`ScatterPolicy`):
+    transient faults retry per shard under the seeded backoff schedule
+    with outcomes reported to the health board; exhausted retries
+    surface as :class:`ShardUnavailable`.  Under ``"fail"`` the first
+    shard failure sets a shared abort flag — in-flight siblings stop at
+    their next row instead of running to completion behind the
+    propagated error — and re-raises typed.  Under ``"partial"``
+    degradable failures are collected and the surviving shards' rows
+    return as :class:`DegradedRows` with an explicit marker.  Semantic
+    errors always propagate unchanged under either policy.
     """
     from repro.obs import metrics as _obs_metrics
 
+    policy = policy or ScatterPolicy()
     live = [shard for shard in info.shards if selected[shard.index]]
     _obs_metrics.counter("engine.scatter.shards_scanned").inc(len(live))
     _obs_metrics.counter("engine.scatter.shards_pruned").inc(
         len(info.shards) - len(live))
+    retries = _obs_metrics.counter("engine.scatter.retries")
+    shards_failed = _obs_metrics.counter("engine.scatter.shards_failed")
+    degraded_results = _obs_metrics.counter(
+        "engine.scatter.degraded_results")
+    board = info.health
 
     if group is not None:
         keys, aggregates = group
 
-        def run(shard: ShardInput) -> dict:
+        def run(shard: ShardInput,
+                guard: Optional[Callable[[Row], None]]) -> dict:
             return executor.partial_group_by(
-                _shard_pipeline(shard, predicate, outputs, morsel, hook),
+                _shard_pipeline(shard, predicate, outputs, morsel,
+                                guard),
                 keys, aggregates, morsel=morsel)
     else:
-        def run(shard: ShardInput) -> list:
+        def run(shard: ShardInput,
+                guard: Optional[Callable[[Row], None]]) -> list:
             return list(_shard_pipeline(shard, predicate, outputs,
-                                        morsel, hook))
+                                        morsel, guard))
+
+    retry_counts: Dict[int, int] = {}  # per-shard keys: no lock needed
+
+    def run_with_retry(shard: ShardInput,
+                       guard: Optional[Callable[[Row], None]]) -> Any:
+        if board is not None and not board.admit(shard.index):
+            raise ShardUnavailable("read refused", shard_index=shard.index,
+                                   state=board.state(shard.index))
+        key = f"{info.name}:{shard.index}"
+        attempts = max(1, policy.backoff.max_attempts)
+        for attempt in range(attempts):
+            try:
+                result = run(shard, guard)
+            except RETRYABLE_FAULTS as exc:
+                state = (board.record_failure(shard.index)
+                         if board is not None else "")
+                if state == _FAILED_STATE or attempt + 1 >= attempts:
+                    raise ShardUnavailable(
+                        f"scan failed after {attempt + 1} attempt(s): "
+                        f"{exc}", shard_index=shard.index,
+                        state=state) from exc
+                retries.inc()
+                retry_counts[shard.index] = retry_counts.get(
+                    shard.index, 0) + 1
+                _backoff_wait(policy, key, attempt)
+            else:
+                if board is not None:
+                    board.record_success(shard.index)
+                return result
+
+    partial = policy.on_failure == "partial"
+    results_by_index: Dict[int, Any] = {}
+    failures: Dict[int, BaseException] = {}
 
     if len(live) <= 1:
-        results = [run(shard) for shard in live]
+        for shard in live:
+            try:
+                results_by_index[shard.index] = run_with_retry(shard,
+                                                               hook)
+            except DEGRADABLE_FAULTS as exc:
+                if not partial:
+                    shards_failed.inc()
+                    raise
+                failures[shard.index] = exc
     else:
+        abort = threading.Event()
+
+        def guard_hook(row: Row) -> None:
+            if abort.is_set():
+                raise _ScatterAbort()
+            if hook is not None:
+                hook(row)
+
+        def guarded(shard: ShardInput) -> Any:
+            # the failing worker flips the abort flag itself, so
+            # siblings stop at their next row — not when the ordered
+            # gather finally reaches the failed future
+            try:
+                return run_with_retry(shard, guard_hook)
+            except _ScatterAbort:
+                raise
+            except DEGRADABLE_FAULTS:
+                if not partial:
+                    abort.set()
+                raise
+            except BaseException:  # lint: ignore[broad-except] any worker failure (incl. SimulatedCrash / QueryTimeout, BaseExceptions) must flip the abort flag before propagating through its future
+                abort.set()
+                raise
+
         with ThreadPoolExecutor(
                 max_workers=worker_count(len(live)),
                 thread_name_prefix="scatter") as pool:
-            futures = [pool.submit(run, shard) for shard in live]
+            futures = [(shard, pool.submit(guarded, shard))
+                       for shard in live]
+            propagate: Optional[BaseException] = None
             # gather in shard-index order regardless of completion order
-            results = [future.result() for future in futures]
+            for shard, future in futures:
+                try:
+                    results_by_index[shard.index] = future.result()
+                except _ScatterAbort:  # lint: ignore[silent-except] aborted behind a sibling failure; that failure surfaces from its own future below
+                    pass
+                except DEGRADABLE_FAULTS as exc:
+                    if partial:
+                        failures[shard.index] = exc
+                    else:
+                        propagate = exc
+                        break
+                except BaseException as exc:  # lint: ignore[broad-except] semantic errors, Cancelled and QueryTimeout (a BaseException) all propagate verbatim after the drain below
+                    propagate = exc
+                    break
+            if propagate is not None:
+                # drain promptly: abort is already set (the worker set
+                # it), running workers bail at their next row, queued
+                # ones never start
+                pool.shutdown(wait=True, cancel_futures=True)
+                if isinstance(propagate, DEGRADABLE_FAULTS):
+                    shards_failed.inc()
+                raise propagate
 
+    if failures:
+        shards_failed.inc(len(failures))
+        degraded_results.inc()
+
+    surviving = [results_by_index[shard.index] for shard in live
+                 if shard.index in results_by_index]
     if group is not None:
-        keys, aggregates = group
-        gathered = executor.gather_group_partials(results, aggregates)
-        return list(executor.finalize_groups(gathered, keys, aggregates))
-    out: List[Row] = []
-    for rows in results:
-        out.extend(rows)
-    return out
+        gathered = executor.gather_group_partials(surviving, aggregates)
+        rows: List[Row] = list(executor.finalize_groups(
+            gathered, keys, aggregates))
+    else:
+        rows = []
+        for part in surviving:
+            rows.extend(part)
+
+    if failures:
+        degraded = DegradedRows(rows)
+        degraded.degraded = DegradedResult(
+            f"partial result from {info.name}",
+            shards_failed=tuple(sorted(failures)),
+            retries=sum(retry_counts.values()))
+        return degraded
+    return rows

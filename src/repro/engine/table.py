@@ -397,7 +397,8 @@ class DurableTable(Table):
             for index in range(snapshot.shard_count)]
         return ShardPlanInfo(self.name, shards, self.prune_path,
                              routing_field=self._store.routing_field,
-                             shard_of_value=self._store.shard_of_value)
+                             shard_of_value=self._store.shard_of_value,
+                             health=getattr(self._store, "health", None))
 
     def prune_path(self, column: str) -> Optional[str]:
         """The DataGuide path a stored column's values live at (``$.col``

@@ -222,10 +222,12 @@ class JsonTableView(View):
             entry.path == column_root and entry.kind != "object"
             for shard in base.shards for entry in shard.guide.entries())
         if opaque:
-            return ShardPlanInfo(self.name, shards, lambda column: None)
+            return ShardPlanInfo(self.name, shards, lambda column: None,
+                                 health=base.health)
         return ShardPlanInfo(
             self.name, shards,
-            lambda column: self._prune_path(column_root, column))
+            lambda column: self._prune_path(column_root, column),
+            health=base.health)
 
     def _prune_path(self, column_root: str,
                     column: str) -> Optional[str]:

@@ -143,6 +143,70 @@ class StorageError(ReproError):
     """
 
 
+class TransientFault(StorageError):
+    """A transient runtime storage fault: an intermittent IO error, a
+    chaos-injected failure, or a shard inside an unavailability window.
+
+    Unlike :class:`~repro.storage.faults.SimulatedCrash` (which models
+    power loss and derives ``BaseException`` so nothing can swallow
+    it), a transient fault is *meant* to be handled: the retry
+    machinery in the scatter executor and the sharded commit path
+    treats it — together with real ``OSError`` — as retryable.
+    ``fault_point`` names the injection site, ``shard_index`` the shard
+    it hit (``-1`` when not shard-scoped).
+    """
+
+    def __init__(self, message: str, fault_point: "str | None" = None,
+                 shard_index: int = -1) -> None:
+        self._raw_message = message
+        if fault_point is not None:
+            message = f"{message} (at {fault_point})"
+        super().__init__(message)
+        self.fault_point = fault_point
+        self.shard_index = shard_index
+
+    def __reduce__(self):
+        # see JsonParseError.__reduce__: rebuild from raw constructor
+        # arguments so the "(at point)" suffix is not doubled
+        return (type(self), (self._raw_message, self.fault_point,
+                             self.shard_index))
+
+
+#: what the retry machinery treats as retryable: injected transient
+#: faults and real OS-level IO errors.  Semantic errors (QueryError,
+#: arithmetic...) are deliberately absent — retrying those can only
+#: hide bugs, so they propagate unchanged.
+RETRYABLE_FAULTS = (TransientFault, OSError)
+
+
+class ShardUnavailable(StorageError):
+    """A shard the operation needs is failed (or failed mid-retry): the
+    health state machine refused the call fail-fast, or bounded retries
+    against the shard were exhausted.  ``shard_index`` is the shard,
+    ``state`` its health state at refusal (``failed``, ``suspect``...).
+
+    Whether this aborts the whole query is the caller's policy: with
+    ``on_shard_failure="fail"`` it propagates; with ``"partial"`` the
+    scatter gather skips the shard and marks the result degraded.
+    """
+
+    def __init__(self, message: str, shard_index: int = -1,
+                 state: str = "") -> None:
+        self._raw_message = message
+        if shard_index >= 0:
+            detail = f"shard {shard_index}"
+            if state:
+                detail = f"{detail} {state}"
+            message = f"{message} ({detail})"
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.state = state
+
+    def __reduce__(self):
+        return (type(self), (self._raw_message, self.shard_index,
+                             self.state))
+
+
 class IndexError_(ReproError):
     """JSON search index maintenance failure (named with a trailing underscore
     to avoid shadowing the builtin :class:`IndexError`)."""
@@ -195,6 +259,35 @@ class QueryTimeout(ServeError):
 class Cancelled(ServeError):
     """The query was cancelled by its caller (``Cursor.cancel`` or the
     session closing underneath it)."""
+
+
+class DegradedResult(ServeError):
+    """The typed marker riding an explicitly-degraded partial result.
+
+    Under ``on_shard_failure="partial"`` a scatter query whose shards
+    partially fail still returns rows — but never silently: this
+    marker travels with the result (``rows.degraded`` /
+    ``Cursor.degraded``) naming exactly which shards are missing and
+    how many retries were burned.  It is an exception type so callers
+    that refuse degraded data can simply ``raise rows.degraded``, and
+    so it inherits the serving layer's pickling contract.
+    """
+
+    def __init__(self, message: str,
+                 shards_failed: "tuple | list" = (),
+                 retries: int = 0) -> None:
+        self._raw_message = message
+        shards_failed = tuple(shards_failed)
+        if shards_failed:
+            rendered = ",".join(str(i) for i in shards_failed)
+            message = f"{message} (shards {rendered} missing)"
+        super().__init__(message)
+        self.shards_failed = shards_failed
+        self.retries = retries
+
+    def __reduce__(self):
+        return (type(self), (self._raw_message, self.shards_failed,
+                             self.retries))
 
 
 class SessionClosed(ServeError):

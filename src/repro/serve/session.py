@@ -44,6 +44,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.engine.catalog import Database
 from repro.engine.query import Query
+from repro.engine.scatter import ScatterPolicy
 from repro.engine.sql.parser import compile_sql
 from repro.engine.table import DurableTable
 from repro.errors import Cancelled, CatalogError, QueryTimeout, SessionClosed
@@ -60,6 +61,7 @@ _CANCELLED = _metrics.counter("serve.query.cancelled")
 _SESSIONS = _metrics.counter("serve.sessions.opened")
 _STATEMENTS = _metrics.counter("serve.statements")
 _WRITES = _metrics.counter("serve.writes")
+_DEGRADED = _metrics.counter("serve.query.degraded")
 
 
 class CancelToken:
@@ -89,12 +91,20 @@ class CancelToken:
     def elapsed_ms(self) -> float:
         return (monotonic() - self.started_at) * 1000.0
 
-    def check(self) -> None:
-        """Raise the typed abort if the statement should stop now."""
+    def check(self, ahead_s: float = 0.0) -> None:
+        """Raise the typed abort if the statement should stop now.
+
+        ``ahead_s`` is a deadline *lookahead*: retry machinery about to
+        sleep for a backoff delay passes the delay here, so a wait that
+        cannot finish before the deadline raises
+        :class:`~repro.errors.QueryTimeout` immediately instead of
+        sleeping past a deadline it already missed — retry time is
+        charged against the statement's budget up front."""
         if self._cancelled:
             _CANCELLED.inc()
             raise Cancelled("query cancelled")
-        if self.deadline is not None and monotonic() > self.deadline:
+        if (self.deadline is not None
+                and monotonic() + ahead_s > self.deadline):
             _TIMEOUTS.inc()
             raise QueryTimeout("query deadline exceeded",
                                self.elapsed_ms())
@@ -159,21 +169,42 @@ class Cursor:
         self._closed = False
 
     def execute(self, sql: str, params: Sequence[Any] = (),
-                timeout_ms: Optional[float] = None) -> "Cursor":
+                timeout_ms: Optional[float] = None,
+                on_shard_failure: Optional[str] = None) -> "Cursor":
         """Admit a SELECT statement onto the read lane.
 
         Sheds synchronously with :class:`~repro.errors.Overloaded` when
         the lane is saturated.  ``timeout_ms`` starts counting at
         admission, so time spent waiting in the queue counts against
         the deadline (a saturated server times out instead of silently
-        stretching latency)."""
+        stretching latency).  ``on_shard_failure`` overrides the
+        session's shard-failure policy for this statement (``"fail"``
+        or ``"partial"``; see :attr:`degraded`)."""
         if self._closed:
             raise SessionClosed("cursor is closed")
         self._rows = None
         self._cursor_index = 0
         token = CancelToken(timeout_ms)
         self._token = token
-        self._future = self._session._submit_read(sql, params, token)
+        self._future = self._session._submit_read(sql, params, token,
+                                                  on_shard_failure)
+        return self
+
+    def _execute_query(self, query: Query,
+                       timeout_ms: Optional[float],
+                       on_shard_failure: Optional[str]) -> "Cursor":
+        """Admit a prebuilt :class:`Query` (same lane, deadline, and
+        policy plumbing as :meth:`execute`)."""
+        if self._closed:
+            raise SessionClosed("cursor is closed")
+        self._rows = None
+        self._cursor_index = 0
+        token = CancelToken(timeout_ms)
+        self._token = token
+        label = getattr(query._source, "name",
+                        type(query._source).__name__)
+        self._future = self._session._submit_query(
+            query, token, f"<query over {label}>", on_shard_failure)
         return self
 
     def cancel(self) -> None:
@@ -233,6 +264,23 @@ class Cursor:
     def rowcount(self) -> int:
         return len(self._resolve())
 
+    @property
+    def degraded(self) -> Optional[Any]:
+        """The :class:`~repro.errors.DegradedResult` marker when this
+        statement returned an explicitly-degraded partial result under
+        ``on_shard_failure="partial"``; None for complete results.
+        Degradation is never silent — callers that must not consume
+        partial data do ``if cursor.degraded: raise cursor.degraded``.
+        """
+        return getattr(self._resolve(), "degraded", None)
+
+    @property
+    def shards_failed(self) -> tuple:
+        """The shard indexes missing from this statement's result
+        (empty for complete results)."""
+        marker = self.degraded
+        return () if marker is None else marker.shards_failed
+
     def close(self) -> None:
         self.cancel()
         self._closed = True
@@ -249,6 +297,10 @@ class Session:
         self._pins: Dict[str, Any] = {}
         self._cursors: List[Cursor] = []
         self._closed = False
+        #: session-level shard-failure policy ("fail" | "partial"),
+        #: seeded from the server default; per-statement
+        #: ``on_shard_failure`` arguments override it
+        self.on_shard_failure = server.on_shard_failure
         _SESSIONS.inc()
 
     # -- snapshot pinning --------------------------------------------------
@@ -298,26 +350,57 @@ class Session:
         return cursor
 
     def execute(self, sql: str, params: Sequence[Any] = (),
-                timeout_ms: Optional[float] = None) -> Cursor:
+                timeout_ms: Optional[float] = None,
+                on_shard_failure: Optional[str] = None) -> Cursor:
         """Convenience: a fresh cursor with the statement admitted."""
-        return self.cursor().execute(sql, params, timeout_ms=timeout_ms)
+        return self.cursor().execute(sql, params, timeout_ms=timeout_ms,
+                                     on_shard_failure=on_shard_failure)
+
+    def execute_query(self, query: Query,
+                      timeout_ms: Optional[float] = None,
+                      on_shard_failure: Optional[str] = None) -> Cursor:
+        """Admit a prebuilt :class:`~repro.engine.query.Query` onto the
+        read lane with the full serving treatment: admission control,
+        deadline token wired into every row boundary *and* the scatter
+        retry budget, and the session/statement shard-failure policy.
+
+        The query's own source decides snapshot pinning (builders over
+        durable tables read current published state); the chaos harness
+        drives the Figure-3 builder queries through here."""
+        self._live()
+        cursor = Cursor(self)
+        self._cursors.append(cursor)
+        return cursor._execute_query(query, timeout_ms, on_shard_failure)
 
     def _submit_read(self, sql: str, params: Sequence[Any],
-                     token: CancelToken) -> Future:
+                     token: CancelToken,
+                     on_shard_failure: Optional[str] = None) -> Future:
         self._live()
-        _STATEMENTS.inc()
         # compile in the caller's thread: catalog resolution pins
         # snapshots on session state, which only the owning thread may
         # touch; the worker gets a fully bound plan
         query = compile_sql(self._catalog, sql, list(params))
-        hooked = query.instrumented(lambda _row: token.check())
+        return self._submit_query(query, token, sql, on_shard_failure)
+
+    def _submit_query(self, query: Query, token: CancelToken,
+                      label: str,
+                      on_shard_failure: Optional[str]) -> Future:
+        self._live()
+        _STATEMENTS.inc()
+        policy = ScatterPolicy(
+            on_failure=on_shard_failure or self.on_shard_failure,
+            token=token)
+        hooked = query.instrumented(
+            lambda _row: token.check()).with_scatter_policy(policy)
 
         def run() -> List[dict]:
             token.check()  # queue wait may already have eaten the deadline
-            with _trace.span("serve.query", statement=sql[:120]) as sp:
+            with _trace.span("serve.query", statement=label[:120]) as sp:
                 rows = hooked.rows()
                 sp.record("rows_out", len(rows))
                 sp.record("queue_plus_exec_ms", token.elapsed_ms())
+            if getattr(rows, "degraded", None) is not None:
+                _DEGRADED.inc()
             return rows
 
         return self._server.reads.submit(run)
@@ -400,8 +483,16 @@ class Server:
     mode so group commit batches across sessions."""
 
     def __init__(self, db: Database, read_workers: int = 4,
-                 write_workers: int = 4, queue_limit: int = 64) -> None:
+                 write_workers: int = 4, queue_limit: int = 64,
+                 on_shard_failure: str = "fail") -> None:
+        if on_shard_failure not in ("fail", "partial"):
+            raise ValueError(
+                f"on_shard_failure must be 'fail' or 'partial', got "
+                f"{on_shard_failure!r}")
         self.db = db
+        #: server-wide default shard-failure policy; sessions inherit it
+        #: and statements may override per call
+        self.on_shard_failure = on_shard_failure
         self.reads = AdmissionController("read", workers=read_workers,
                                          queue_limit=queue_limit)
         self.writes = AdmissionController("write", workers=write_workers,

@@ -17,6 +17,12 @@ gives the reproduction that durable substrate:
 * :mod:`~repro.storage.recovery` — verified recovery with quarantine;
 * :mod:`~repro.storage.faults` — deterministic crash/torn-write/
   bit-flip/truncation injection over the file abstraction;
+* :mod:`~repro.storage.chaos` — seeded *runtime* fault injection
+  (transient IO errors, latency spikes, shard-unavailability windows)
+  fired at named fault points under live traffic, no restart;
+* :mod:`~repro.storage.health` — the per-shard health state machine
+  (healthy → suspect → failed → recovered) behind fail-fast writes and
+  probe-based recovery;
 * :mod:`~repro.storage.fsck` — offline integrity checking shared with
   ``python -m repro.analysis verify``;
 * :mod:`~repro.storage.files` — the injectable file-system surface;
@@ -26,8 +32,10 @@ gives the reproduction that durable substrate:
   snapshots into cross-shard :class:`ShardedSnapshot` reads.
 """
 
+from repro.storage.chaos import ChaosInjector, ChaosPlan, ChaosRule
 from repro.storage.commit import CommitPipeline, LogicalCommit
 from repro.storage.files import FileSystem, MemoryFileSystem, OsFileSystem
+from repro.storage.health import ShardHealthBoard
 from repro.storage.fsck import fsck, verify_store_file
 from repro.storage.recovery import (QuarantinedRecord, RecoveryReport,
                                     recover)
@@ -37,6 +45,10 @@ from repro.storage.shard import (ShardedRecoveryReport, ShardedSnapshot,
 from repro.storage.store import CollectionStore, StoreSnapshot
 
 __all__ = [
+    "ChaosInjector",
+    "ChaosPlan",
+    "ChaosRule",
+    "ShardHealthBoard",
     "CollectionStore",
     "CommitPipeline",
     "LogicalCommit",

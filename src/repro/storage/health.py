@@ -1,0 +1,180 @@
+"""Per-shard health state machine: healthy → suspect → failed → recovered.
+
+Every shard-scoped operation reports its outcome to the store's
+:class:`ShardHealthBoard`; the board decides, fail-fast, whether the
+*next* operation may even try.  The states:
+
+``healthy``
+    Normal operation.  A single failure drops to ``suspect`` — one
+    transient IO error must not take a shard out of rotation.
+``suspect``
+    Still serving, but under watch.  ``fail_threshold`` *consecutive*
+    failures escalate to ``failed``; one success clears back to
+    ``healthy``.
+``failed``
+    Out of rotation.  Writes are refused immediately with
+    :class:`~repro.errors.ShardUnavailable` (no retry budget burned on
+    a shard known to be down) and scatter readers treat the shard per
+    their ``on_shard_failure`` policy.  Recovery is probe-based: every
+    ``probe_interval``-th refused operation is admitted as a *probe*,
+    so a healed shard is rediscovered by traffic itself — no background
+    thread, fully deterministic under test.
+``recovered``
+    A probe succeeded; the next success promotes to ``healthy``, the
+    next failure demotes straight back to ``suspect``.  The
+    intermediate state keeps one lucky probe from instantly restoring
+    full confidence in a flapping shard.
+
+Lock discipline: the board's lock guards only its own counters; it is
+never held across shard IO, metric updates, or sleeps.  Gauges
+(``storage.shard.health.failed`` / ``.suspect``) and transition
+counters are published after the state change, outside the lock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.obs import locks as _locks
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "FAILED",
+    "HEALTHY",
+    "RECOVERED",
+    "SUSPECT",
+    "ShardHealthBoard",
+]
+
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+FAILED = "failed"
+RECOVERED = "recovered"
+
+_FAILURES = _metrics.counter("storage.shard.health.failures")
+_RECOVERIES = _metrics.counter("storage.shard.health.recoveries")
+_PROBES = _metrics.counter("storage.shard.health.probes")
+_FAILED_GAUGE = _metrics.gauge("storage.shard.health.failed")
+_SUSPECT_GAUGE = _metrics.gauge("storage.shard.health.suspect")
+
+
+class ShardHealthBoard:
+    """Health state for every shard of one :class:`ShardedStore`."""
+
+    def __init__(self, shard_count: int, fail_threshold: int = 3,
+                 probe_interval: int = 4) -> None:
+        if shard_count <= 0:
+            raise ValueError("shard_count must be positive")
+        if fail_threshold <= 0:
+            raise ValueError("fail_threshold must be positive")
+        if probe_interval <= 0:
+            raise ValueError("probe_interval must be positive")
+        self.fail_threshold = fail_threshold
+        self.probe_interval = probe_interval
+        self._lock = _locks.make_lock("storage.health")
+        # all three guarded-by: _lock
+        self._states = [HEALTHY] * shard_count
+        self._consecutive = [0] * shard_count
+        self._refusals = [0] * shard_count
+
+    # -- outcome reporting -------------------------------------------------
+
+    def record_failure(self, index: int) -> str:
+        """A shard-scoped operation failed; returns the new state."""
+        with self._lock:
+            state = self._states[index]
+            if state == FAILED:
+                return FAILED
+            if state == HEALTHY:
+                new = SUSPECT
+                self._consecutive[index] = 1
+            elif state == RECOVERED:
+                # a flapping shard loses its probationary credit at once
+                new = SUSPECT
+                self._consecutive[index] = 1
+            else:  # SUSPECT
+                self._consecutive[index] += 1
+                new = (FAILED if self._consecutive[index]
+                       >= self.fail_threshold else SUSPECT)
+            self._states[index] = new
+            if new == FAILED:
+                self._refusals[index] = 0
+            counts = self._counts_locked()
+        _FAILURES.inc()
+        self._publish(counts)
+        return new
+
+    def record_success(self, index: int) -> str:
+        """A shard-scoped operation (or probe) succeeded."""
+        recovered = False
+        with self._lock:
+            state = self._states[index]
+            if state == FAILED:
+                new = RECOVERED
+                recovered = True
+            elif state == RECOVERED:
+                new = HEALTHY
+            else:
+                new = HEALTHY
+            self._states[index] = new
+            self._consecutive[index] = 0
+            counts = self._counts_locked()
+        if recovered:
+            _RECOVERIES.inc()
+        self._publish(counts)
+        return new
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self, index: int) -> bool:
+        """May an operation against this shard proceed?  True for every
+        non-failed shard.  For a failed shard, counts the refusal and
+        admits every ``probe_interval``-th attempt as a probe — the
+        deterministic, traffic-driven recovery path."""
+        probe = False
+        with self._lock:
+            if self._states[index] != FAILED:
+                return True
+            self._refusals[index] += 1
+            probe = self._refusals[index] % self.probe_interval == 0
+        if probe:
+            _PROBES.inc()
+            return True
+        return False
+
+    # -- introspection -----------------------------------------------------
+
+    def state(self, index: int) -> str:
+        with self._lock:
+            return self._states[index]
+
+    def states(self) -> List[str]:
+        with self._lock:
+            return list(self._states)
+
+    def failed_shards(self) -> Tuple[int, ...]:
+        with self._lock:
+            return tuple(i for i, s in enumerate(self._states)
+                         if s == FAILED)
+
+    def summary(self) -> Dict[str, int]:
+        """State histogram (JSON-ready, for reports and EXPLAIN text)."""
+        with self._lock:
+            states = list(self._states)
+        histogram: Dict[str, int] = {}
+        for state in states:
+            histogram[state] = histogram.get(state, 0) + 1
+        return histogram
+
+    # -- internal ----------------------------------------------------------
+
+    def _counts_locked(self) -> Tuple[int, int]:
+        failed = sum(1 for s in self._states if s == FAILED)
+        suspect = sum(1 for s in self._states if s == SUSPECT)
+        return failed, suspect
+
+    @staticmethod
+    def _publish(counts: Tuple[int, int]) -> None:
+        failed, suspect = counts
+        _FAILED_GAUGE.set(failed)
+        _SUSPECT_GAUGE.set(suspect)

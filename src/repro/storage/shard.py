@@ -42,6 +42,18 @@ call into a shard store** — routing is computed under the lock, the
 shard call happens outside it — so the lock-order graph gains no
 ``storage.shard -> storage.store`` edge and the serve.write -> store ->
 commit chain simply replicates per shard.
+
+Fault tolerance: every shard-scoped write funnels through
+:meth:`ShardedStore._shard_write`, which consults the store's
+:class:`~repro.storage.health.ShardHealthBoard` (fail-fast
+:class:`~repro.errors.ShardUnavailable` against a failed shard),
+fires the ``shard.commit`` chaos point, and retries transient faults
+under the seeded :class:`~repro.obs.clock.BackoffPolicy`.  Reads taken
+through :meth:`ShardedSnapshot.shard_documents` fire ``shard.scan`` /
+``shard.read`` points so the chaos harness can fault live scans; the
+scatter executor owns read-side retry.  Recovery is traffic-driven
+(the board admits periodic probes) plus the explicit
+:meth:`ShardedStore.probe_shard` / :meth:`ShardedStore.probe_failed`.
 """
 
 from __future__ import annotations
@@ -52,9 +64,13 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.diagnostics import Diagnostic, Severity, has_errors
 from repro.core.dataguide.guide import DataGuide
-from repro.errors import StorageError
+from repro.errors import RETRYABLE_FAULTS, ShardUnavailable, StorageError
+from repro.obs import clock as _clock
 from repro.obs import locks as _locks
+from repro.obs import metrics as _metrics
+from repro.storage import chaos as _chaos
 from repro.storage import log as logfmt
+from repro.storage.health import FAILED, ShardHealthBoard
 from repro.storage import manifest as manifestfmt
 from repro.storage.commit import LogicalCommit
 from repro.storage.files import FileSystem, OsFileSystem
@@ -65,6 +81,8 @@ from repro.storage.store import CollectionStore, StoreSnapshot
 
 from repro.core.oson import decode as oson_decode
 from repro.core.oson import encode as oson_encode
+
+_WRITE_RETRIES = _metrics.counter("storage.shard.write_retries")
 
 SHARDS_NAME = "SHARDS"
 SHARDS_TMP = "SHARDS.tmp"
@@ -229,9 +247,16 @@ class ShardedSnapshot:
 
     def shard_documents(self, index: int) -> Iterator[Tuple[int, Any]]:
         """One shard's documents (global ids), in local order — the
-        per-shard scan the scatter executor feeds to its workers."""
+        per-shard scan the scatter executor feeds to its workers.
+
+        Fires the ``shard.scan`` chaos point at stream open and
+        ``shard.read`` per document, so the chaos harness can fault a
+        live scan mid-stream; the scatter executor owns the resulting
+        retry/degrade decision."""
         n = self.shard_count
+        _chaos.fault_point("shard.scan", shard=index)
         for local, document in self.shards[index].documents():
+            _chaos.fault_point("shard.read", shard=index)
             yield local * n + index, document
 
 
@@ -295,6 +320,13 @@ class ShardedStore:
         self._next_shard = sum(                 # guarded-by: _lock
             len(shard) for shard in shards) % max(1, len(shards))
         self._closed = False                    # guarded-by: _lock
+        # per-shard health state; scatter readers share this board via
+        # the shard plan, so read- and write-side outcomes feed one
+        # state machine
+        self.health = ShardHealthBoard(len(self._shards))
+        # write-path retry schedule; seeded so a chaos-sweep failure in
+        # the commit path replays exactly
+        self.backoff = _clock.BackoffPolicy()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -443,6 +475,65 @@ class ShardedStore:
         index = doc_id % n
         return self._shards[index], doc_id // n, index
 
+    # -- fault tolerance ---------------------------------------------------
+
+    def _shard_write(self, index: int, op: str, call: Any) -> Any:
+        """Run one shard-scoped write under the health board and the
+        seeded retry schedule.
+
+        Fail-fast first: a write against a ``failed`` shard raises
+        :class:`ShardUnavailable` without touching the shard (except
+        for the board-admitted probe attempts that drive recovery).
+        Then up to ``backoff.max_attempts`` tries, each preceded by the
+        ``shard.commit`` chaos point; transient faults and ``OSError``
+        back off through the seeded clock and retry, everything else
+        propagates untouched.  Outcomes feed the health board either
+        way.
+        """
+        if not self.health.admit(index):
+            raise ShardUnavailable("write refused", shard_index=index,
+                                   state=self.health.state(index))
+        attempts = max(1, self.backoff.max_attempts)
+        for attempt in range(attempts):
+            try:
+                _chaos.fault_point("shard.commit", shard=index)
+                result = call()
+            except RETRYABLE_FAULTS as exc:
+                state = self.health.record_failure(index)
+                if state == FAILED or attempt + 1 >= attempts:
+                    raise ShardUnavailable(
+                        f"{op} failed after {attempt + 1} attempt(s): "
+                        f"{exc}", shard_index=index,
+                        state=state) from exc
+                _WRITE_RETRIES.inc()
+                _clock.sleep(
+                    self.backoff.delay_ms(f"{op}:{index}", attempt)
+                    / 1000.0)
+            else:
+                self.health.record_success(index)
+                return result
+
+    def probe_shard(self, index: int) -> bool:
+        """Explicitly probe one shard (a cheap snapshot pin through the
+        ``shard.probe`` chaos point) and feed the outcome to the health
+        board.  Returns True when the probe succeeded."""
+        try:
+            _chaos.fault_point("shard.probe", shard=index)
+            self._shards[index].snapshot()
+        except RETRYABLE_FAULTS:
+            self.health.record_failure(index)
+            return False
+        self.health.record_success(index)
+        return True
+
+    def probe_failed(self) -> List[int]:
+        """Probe every currently-failed shard; returns the shards whose
+        probe succeeded (now ``recovered``).  The chaos harness calls
+        this after a fault window to assert healing; operators would
+        wire it to a timer."""
+        return [index for index in self.health.failed_shards()
+                if self.probe_shard(index)]
+
     # -- DML (global ids; acks ride the shard pipelines) -------------------
 
     def insert_async(self, document: Any) -> Tuple[int, ShardHandle]:
@@ -450,7 +541,8 @@ class ShardedStore:
             self._live()
         index = self._route(document)
         shard = self._shards[index]
-        local_id, entry = shard.insert_async(document)
+        local_id, entry = self._shard_write(
+            index, "insert", lambda: shard.insert_async(document))
         return self._global(index, local_id), ShardHandle(entry,
                                                           shard.pipeline)
 
@@ -480,8 +572,11 @@ class ShardedStore:
         for index in sorted(routed):
             shard = self._shards[index]
             positions = [position for position, _doc in routed[index]]
-            local_ids, entry = shard.insert_many_async(
-                [doc for _position, doc in routed[index]])
+            batch = [doc for _position, doc in routed[index]]
+            local_ids, entry = self._shard_write(
+                index, "insert_many",
+                lambda shard=shard, batch=batch:
+                    shard.insert_many_async(batch))
             for position, local_id in zip(positions, local_ids):
                 doc_ids[position] = self._global(index, local_id)
             if entry is not None:
@@ -509,13 +604,15 @@ class ShardedStore:
                     f"{index}: routing field {self._routing_field!r} "
                     f"value hashes to shard {placed}; delete and "
                     f"re-insert to migrate")
-        shard.update(local_id, document)
+        self._shard_write(index, "update",
+                          lambda: shard.update(local_id, document))
 
     def delete(self, doc_id: int) -> None:
         with self._lock:
             self._live()
-        shard, local_id, _index = self._locate(doc_id)
-        shard.delete(local_id)
+        shard, local_id, index = self._locate(doc_id)
+        self._shard_write(index, "delete",
+                          lambda: shard.delete(local_id))
 
     # -- reads -------------------------------------------------------------
 

@@ -156,55 +156,59 @@ def build_rel_views(db: Database, master: Table, detail: Table,
 # -- the 9 OLAP queries of Table 13 --------------------------------------------------
 
 
+#: the query ids of Table 13, in order
+PO_QUERY_IDS = ("q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9")
+
+
 class PoOlapQueries:
-    """Q1-Q9 against the two views; storage-agnostic by construction."""
+    """Q1-Q9 against the two views; storage-agnostic by construction.
+
+    Each query exists in two forms: an un-executed builder
+    (:meth:`q1_query` ... :meth:`q9_query`, or :meth:`query` by id with
+    bound :class:`PoQueryParams`) and the original executing wrapper
+    (:meth:`q1` ...).  The builders let harnesses run the Figure-3 set
+    through any execution front-end — the serving layer's
+    ``Session.execute_query`` (deadlines, admission, shard-failure
+    policy), EXPLAIN ANALYZE, the chaos sweep — without re-spelling the
+    query text.
+    """
 
     def __init__(self, mv: View, dmdv: View) -> None:
         self.mv = mv
         self.dmdv = dmdv
 
-    def q1(self, reference: str) -> int:
-        """SELECT COUNT(*) FROM po_mv WHERE reference = ?"""
+    # -- un-executed builders ----------------------------------------------
+
+    def q1_query(self, reference: str) -> Query:
         return (Query(self.mv)
                 .where(expr.Col("reference") == reference)
-                .group_by([], n=expr.COUNT())
-                .scalar())
+                .group_by([], n=expr.COUNT()))
 
-    def q2(self) -> list[dict]:
-        """SELECT costcenter, COUNT(*) FROM po_mv GROUP BY costcenter
-        ORDER BY 1"""
+    def q2_query(self) -> Query:
         return (Query(self.mv)
                 .group_by(["costcenter"], n=expr.COUNT())
-                .order_by("costcenter")
-                .rows())
+                .order_by("costcenter"))
 
-    def q3(self, partno: str) -> list[dict]:
-        """SELECT costcenter, COUNT(*) FROM po_item_dmdv WHERE partno = ?
-        GROUP BY costcenter"""
+    def q3_query(self, partno: str) -> Query:
         return (Query(self.dmdv)
                 .where(expr.Col("partno") == partno)
-                .group_by(["costcenter"], n=expr.COUNT())
-                .rows())
+                .group_by(["costcenter"], n=expr.COUNT()))
 
-    def q4(self, requestor: str, quantity: float, unitprice: float) -> list[dict]:
-        """Detail projection filtered on requestor, quantity, unitprice."""
+    def q4_query(self, requestor: str, quantity: float,
+                 unitprice: float) -> Query:
         return (Query(self.dmdv)
                 .where(expr.And(expr.Col("requestor") == requestor,
                                 expr.Col("quantity") > quantity,
                                 expr.Col("unitprice") > unitprice))
                 .select("reference", "instructions", "itemno", "partno",
-                        "description", "quantity", "unitprice")
-                .rows())
+                        "description", "quantity", "unitprice"))
 
-    def q5(self, partnos: list[str]) -> list[dict]:
-        """SELECT reference, itemno, partno, description WHERE partno IN (...)"""
+    def q5_query(self, partnos: list[str]) -> Query:
         return (Query(self.dmdv)
                 .where(expr.Col("partno").in_(partnos))
-                .select("reference", "itemno", "partno", "description")
-                .rows())
+                .select("reference", "itemno", "partno", "description"))
 
-    def q6(self, partno: str) -> list[dict]:
-        """LAG window over order sequence for one part (the analytic Q6)."""
+    def q6_query(self, partno: str) -> Query:
         seq = expr.SUBSTR(expr.Col("reference"),
                           expr.INSTR(expr.Col("reference"), "-") + 1)
         return (Query(self.dmdv)
@@ -215,33 +219,90 @@ class PoOlapQueries:
                 .select("partno", "reference", "quantity",
                         (expr.Col("quantity") - expr.Col("prev_quantity"))
                         .as_("difference"))
-                .order_by("reference", desc=True)
-                .rows())
+                .order_by("reference", desc=True))
 
-    def q7(self) -> list[dict]:
-        """SELECT SUM(quantity * unitprice) GROUP BY costcenter ORDER BY 1"""
+    def q7_query(self) -> Query:
         return (Query(self.dmdv)
                 .group_by(["costcenter"],
                           total=expr.SUM(expr.Col("quantity")
                                          * expr.Col("unitprice")))
-                .order_by("total")
-                .rows())
+                .order_by("total"))
 
-    def q8(self, quantity: float, unitprice: float) -> list[dict]:
-        """Detail projection filtered on quantity and unitprice."""
+    def q8_query(self, quantity: float, unitprice: float) -> Query:
         return (Query(self.dmdv)
                 .where(expr.And(expr.Col("quantity") > quantity,
                                 expr.Col("unitprice") > unitprice))
                 .select("reference", "instructions", "itemno", "partno",
-                        "description", "quantity", "unitprice")
-                .rows())
+                        "description", "quantity", "unitprice"))
+
+    def q9_query(self) -> Query:
+        return (Query(self.dmdv)
+                .select("reference", "instructions", "itemno", "partno",
+                        "description", "quantity", "unitprice"))
+
+    def query(self, qid: str, params: "PoQueryParams") -> Query:
+        """The un-executed builder for one Table-13 query id with the
+        paper's bind parameters applied — the single dispatch point
+        harnesses iterate (:data:`PO_QUERY_IDS`)."""
+        if qid == "q1":
+            return self.q1_query(params.reference)
+        if qid == "q2":
+            return self.q2_query()
+        if qid == "q3":
+            return self.q3_query(params.partno)
+        if qid == "q4":
+            return self.q4_query(params.requestor, 2, 50.0)
+        if qid == "q5":
+            return self.q5_query(params.partnos)
+        if qid == "q6":
+            return self.q6_query(params.partno)
+        if qid == "q7":
+            return self.q7_query()
+        if qid == "q8":
+            return self.q8_query(10, 400.0)
+        if qid == "q9":
+            return self.q9_query()
+        raise ValueError(f"unknown query id {qid!r}")
+
+    # -- executing wrappers (the original Table-13 surface) ----------------
+
+    def q1(self, reference: str) -> int:
+        """SELECT COUNT(*) FROM po_mv WHERE reference = ?"""
+        return self.q1_query(reference).scalar()
+
+    def q2(self) -> list[dict]:
+        """SELECT costcenter, COUNT(*) FROM po_mv GROUP BY costcenter
+        ORDER BY 1"""
+        return self.q2_query().rows()
+
+    def q3(self, partno: str) -> list[dict]:
+        """SELECT costcenter, COUNT(*) FROM po_item_dmdv WHERE partno = ?
+        GROUP BY costcenter"""
+        return self.q3_query(partno).rows()
+
+    def q4(self, requestor: str, quantity: float, unitprice: float) -> list[dict]:
+        """Detail projection filtered on requestor, quantity, unitprice."""
+        return self.q4_query(requestor, quantity, unitprice).rows()
+
+    def q5(self, partnos: list[str]) -> list[dict]:
+        """SELECT reference, itemno, partno, description WHERE partno IN (...)"""
+        return self.q5_query(partnos).rows()
+
+    def q6(self, partno: str) -> list[dict]:
+        """LAG window over order sequence for one part (the analytic Q6)."""
+        return self.q6_query(partno).rows()
+
+    def q7(self) -> list[dict]:
+        """SELECT SUM(quantity * unitprice) GROUP BY costcenter ORDER BY 1"""
+        return self.q7_query().rows()
+
+    def q8(self, quantity: float, unitprice: float) -> list[dict]:
+        """Detail projection filtered on quantity and unitprice."""
+        return self.q8_query(quantity, unitprice).rows()
 
     def q9(self) -> list[dict]:
         """Full projection of the DMDV (the scan-everything query)."""
-        return (Query(self.dmdv)
-                .select("reference", "instructions", "itemno", "partno",
-                        "description", "quantity", "unitprice")
-                .rows())
+        return self.q9_query().rows()
 
     def run_all(self, params: "PoQueryParams") -> dict[str, int]:
         """Run Q1-Q9 with bound parameters; returns result sizes."""

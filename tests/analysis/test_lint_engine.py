@@ -622,6 +622,54 @@ class TestDirectTime:
                      "src/repro/jsontext/parser.py"):
             assert "direct-time" not in rules_of(lint(src, path))
 
+    # -- sleep-only tier: all product code outside repro/obs ----------------
+
+    def test_flags_bare_sleep_in_retry_path(self):
+        # known-bad fixture: a hand-rolled backoff loop sleeping on the
+        # wall clock instead of repro.obs.clock (seeded, virtualizable)
+        src = """
+        import time
+
+        def write_with_retry(call, attempts=3):
+            for attempt in range(attempts):
+                try:
+                    return call()
+                except OSError:
+                    time.sleep(0.004 * (2 ** attempt))
+        """
+        assert "direct-time" in rules_of(
+            lint(src, "src/repro/storage/retry_helper.py"))
+
+    def test_flags_from_time_import_sleep_everywhere(self):
+        src = """
+        from time import sleep
+
+        def wait(seconds):
+            sleep(seconds)
+        """
+        assert "direct-time" in rules_of(
+            lint(src, "src/repro/engine/scatter.py"))
+
+    def test_clock_reads_stay_legal_outside_strict_scopes(self):
+        src = """
+        import time
+
+        def now():
+            return time.perf_counter()
+        """
+        assert "direct-time" not in rules_of(
+            lint(src, "src/repro/storage/shard.py"))
+
+    def test_project_clock_home_may_sleep(self):
+        src = """
+        import time
+
+        def sleep(seconds):
+            time.sleep(seconds)
+        """
+        assert "direct-time" not in rules_of(
+            lint(src, "src/repro/obs/clock.py"))
+
     def test_shipped_instrumented_modules_are_clean(self):
         diagnostics = LintEngine().lint_paths(
             ["src/repro/engine", "src/repro/sqljson", "src/repro/storage",

@@ -1,0 +1,251 @@
+"""Retry backoff vs the statement deadline (ISSUE satellite c).
+
+The contract: retry waits are charged against the query's
+``CancelToken`` *before* sleeping — a backoff the deadline cannot
+absorb raises :class:`~repro.errors.QueryTimeout` immediately, never
+sleeps past the deadline, and queue wait time participates in the same
+budget.  Plus the serve-layer plumbing of shard-failure policy:
+per-statement ``on_shard_failure`` and ``Cursor.degraded``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.catalog import Database
+from repro.engine.query import Query
+from repro.engine.scatter import ScatterPolicy, ShardInput, ShardPlanInfo, \
+    execute_scatter
+from repro.engine.table import Column
+from repro.errors import (Cancelled, DegradedResult, QueryTimeout,
+                          ShardUnavailable, TransientFault)
+from repro.obs import clock as clockmod
+from repro.obs import metrics
+from repro.serve import CancelToken, Server
+from repro.storage import MemoryFileSystem, chaos
+
+
+@pytest.fixture
+def virtual_clock():
+    clock = clockmod.VirtualClock()
+    previous = clockmod.install_clock(clock)
+    yield clock
+    clockmod.install_clock(previous)
+
+
+@pytest.fixture
+def sharded_served():
+    fs = MemoryFileSystem()
+    db = Database()
+    table = db.create_table(
+        "po", [Column.of("did", "number"), Column.of("v", "number")],
+        durable="db/po", fs=fs, shards=2, routing_field="did")
+    table.insert_many([{"did": i, "v": i * 10} for i in range(8)])
+    server = Server(db, read_workers=2, write_workers=1, queue_limit=16)
+    yield server, db, table
+    server.close()
+    table.close()
+
+
+def scan_outage(shard=None, limit=None):
+    """Every (matching) shard scan raises a transient fault."""
+    return chaos.ChaosPlan(seed=5, rules=(
+        chaos.ChaosRule(point="shard.scan", shard=shard, rate=1.0,
+                        limit=limit),))
+
+
+class TestCancelTokenLookahead:
+    def test_no_deadline_never_times_out(self):
+        token = CancelToken()
+        token.check(ahead_s=3600.0)
+
+    def test_lookahead_charges_the_wait_up_front(self):
+        token = CancelToken(timeout_ms=50.0)
+        token.check()  # plenty of budget for "now"
+        timeouts = metrics.counter("serve.query.timeouts").value
+        with pytest.raises(QueryTimeout) as exc_info:
+            token.check(ahead_s=1.0)  # a 1s sleep cannot fit in 50ms
+        assert exc_info.value.elapsed_ms >= 0
+        assert metrics.counter(
+            "serve.query.timeouts").value == timeouts + 1
+
+    def test_cancellation_beats_deadline(self):
+        token = CancelToken(timeout_ms=0.0)
+        token.cancel()
+        with pytest.raises(Cancelled):
+            token.check(ahead_s=10.0)
+
+
+class TestBackoffAgainstDeadline:
+    """Scatter-level: the retry loop consults the token before every
+    backoff sleep."""
+
+    def make_info(self, failures=99):
+        from repro.core.dataguide.builder import DataGuideBuilder
+        rows = [{"v": 1}, {"v": 2}]
+        builder = DataGuideBuilder()
+        builder.add_many(rows)
+        state = {"left": failures}
+
+        def source():
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise TransientFault("flaky")
+            return iter(rows)
+        return ShardPlanInfo(
+            "t", [ShardInput(0, source, builder.guide())],
+            lambda c: None), rows
+
+    def test_backoff_exceeding_deadline_raises_timeout(
+            self, virtual_clock):
+        info, _rows = self.make_info()
+        token = CancelToken(timeout_ms=5.0)
+        policy = ScatterPolicy(
+            backoff=clockmod.BackoffPolicy(base_ms=50.0, jitter=0.0),
+            token=token)
+        with pytest.raises(QueryTimeout):
+            execute_scatter(info, [True], None, None, None, morsel=True,
+                            policy=policy)
+        # charged up front: the overrunning backoff never slept
+        assert virtual_clock.sleeps == []
+
+    def test_generous_deadline_lets_retries_finish(self, virtual_clock):
+        info, rows = self.make_info(failures=1)
+        token = CancelToken(timeout_ms=60_000.0)
+        policy = ScatterPolicy(
+            backoff=clockmod.BackoffPolicy(base_ms=50.0, jitter=0.0),
+            token=token)
+        out = execute_scatter(info, [True], None, None, None,
+                              morsel=True, policy=policy)
+        assert out == rows
+        assert virtual_clock.sleeps == [0.05]
+
+
+class TestServeDeadlineUnderRetry:
+    def test_retry_budget_cannot_stretch_the_deadline(
+            self, sharded_served, virtual_clock):
+        """Permanent scan faults + a 2ms deadline: the statement dies
+        with QueryTimeout — the seeded backoff never sleeps the
+        deadline away."""
+        server, _, _ = sharded_served
+        with chaos.active(scan_outage()):
+            with server.session() as session:
+                cursor = session.execute("SELECT did FROM po",
+                                         timeout_ms=2.0)
+                with pytest.raises(QueryTimeout):
+                    cursor.fetchall()
+
+    def test_queue_wait_and_retry_share_one_budget(
+            self, sharded_served, virtual_clock):
+        """The deadline starts at admission: after the queue eats the
+        whole budget, the retry machinery must not sleep at all."""
+        server, _, _ = sharded_served
+        release = threading.Event()
+        blockers = [server.reads.submit(lambda: release.wait(10))
+                    for _ in range(2)]
+        try:
+            with chaos.active(scan_outage()):
+                with server.session() as session:
+                    cursor = session.execute("SELECT did FROM po",
+                                             timeout_ms=20.0)
+                    time.sleep(0.05)  # queue wait outlives the budget
+                    release.set()
+                    with pytest.raises(QueryTimeout):
+                        cursor.fetchall()
+        finally:
+            release.set()
+            for blocker in blockers:
+                blocker.result(5)
+        assert virtual_clock.sleeps == []  # no post-deadline backoff
+
+    def test_exhausted_retries_surface_typed_unavailable(
+            self, sharded_served, virtual_clock):
+        server, _, _ = sharded_served
+        with chaos.active(scan_outage()):
+            with server.session() as session:
+                cursor = session.execute("SELECT did FROM po")
+                with pytest.raises(ShardUnavailable):
+                    cursor.fetchall()
+
+
+class TestShardFailurePolicyPlumbing:
+    def test_partial_statement_returns_degraded_cursor(
+            self, sharded_served, virtual_clock):
+        server, _, table = sharded_served
+        target = table._store.shard_of_value(0)
+        degraded = metrics.counter("serve.query.degraded").value
+        with chaos.active(scan_outage(shard=target)):
+            with server.session() as session:
+                cursor = session.execute("SELECT did FROM po",
+                                         on_shard_failure="partial")
+                rows = cursor.fetchall()
+        marker = cursor.degraded
+        assert isinstance(marker, DegradedResult)
+        assert cursor.shards_failed == (target,)
+        # only the healthy shard's documents came back
+        assert 0 < len(rows) < 8
+        assert metrics.counter(
+            "serve.query.degraded").value == degraded + 1
+
+    def test_default_policy_fails_loud(self, sharded_served,
+                                       virtual_clock):
+        server, _, table = sharded_served
+        target = table._store.shard_of_value(0)
+        with chaos.active(scan_outage(shard=target)):
+            with server.session() as session:
+                cursor = session.execute("SELECT did FROM po")
+                with pytest.raises(ShardUnavailable):
+                    cursor.fetchall()
+
+    def test_session_level_policy_applies_to_every_statement(
+            self, virtual_clock):
+        fs = MemoryFileSystem()
+        db = Database()
+        table = db.create_table(
+            "po", [Column.of("did", "number")],
+            durable="db/po", fs=fs, shards=2, routing_field="did")
+        table.insert_many([{"did": i} for i in range(8)])
+        server = Server(db, read_workers=2, write_workers=1,
+                        on_shard_failure="partial")
+        target = table._store.shard_of_value(0)
+        try:
+            with chaos.active(scan_outage(shard=target)):
+                with server.session() as session:
+                    cursor = session.execute("SELECT did FROM po")
+                    cursor.fetchall()
+                    assert cursor.shards_failed == (target,)
+        finally:
+            server.close()
+            table.close()
+
+    def test_server_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            Server(Database(), on_shard_failure="shrug")
+
+    def test_execute_query_carries_policy_and_deadline(
+            self, sharded_served, virtual_clock):
+        server, _, table = sharded_served
+        target = table._store.shard_of_value(0)
+        with chaos.active(scan_outage(shard=target)):
+            with server.session() as session:
+                cursor = session.execute_query(
+                    Query(table).select("did"),
+                    on_shard_failure="partial")
+                rows = cursor.fetchall()
+                assert cursor.shards_failed == (target,)
+                assert 0 < len(rows) < 8
+                # and the deadline token is wired in too
+                slow = session.execute_query(Query(table),
+                                             timeout_ms=0.0)
+                with pytest.raises(QueryTimeout):
+                    slow.fetchall()
+
+    def test_complete_results_report_no_degradation(self, sharded_served):
+        server, _, _ = sharded_served
+        with server.session() as session:
+            cursor = session.execute("SELECT did FROM po",
+                                     on_shard_failure="partial")
+            assert len(cursor.fetchall()) == 8
+            assert cursor.degraded is None
+            assert cursor.shards_failed == ()

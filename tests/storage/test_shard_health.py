@@ -1,0 +1,252 @@
+"""Shard health state machine and the fail-fast/retry write path.
+
+The board's contract (DESIGN §11): one failure is suspicion, not
+sentence; ``fail_threshold`` consecutive failures take a shard out of
+rotation; a failed shard is rediscovered by traffic-driven probes; and
+the write path burns its bounded retry budget only on shards worth
+retrying.
+"""
+
+import pytest
+
+from repro.errors import ShardUnavailable, TransientFault
+from repro.obs import clock as clockmod
+from repro.obs import metrics
+from repro.storage import MemoryFileSystem, ShardedStore, chaos
+from repro.storage.health import (FAILED, HEALTHY, RECOVERED, SUSPECT,
+                                  ShardHealthBoard)
+
+
+@pytest.fixture
+def virtual_clock():
+    clock = clockmod.VirtualClock()
+    previous = clockmod.install_clock(clock)
+    yield clock
+    clockmod.install_clock(previous)
+
+
+@pytest.fixture
+def board():
+    return ShardHealthBoard(4, fail_threshold=3, probe_interval=4)
+
+
+def fail_until_failed(board, index):
+    for _ in range(board.fail_threshold):
+        board.record_failure(index)
+    assert board.state(index) == FAILED
+
+
+class TestStateMachine:
+    def test_starts_healthy(self, board):
+        assert board.states() == [HEALTHY] * 4
+
+    def test_single_failure_is_suspicion_not_sentence(self, board):
+        assert board.record_failure(0) == SUSPECT
+        assert board.admit(0)  # suspect shards still serve
+
+    def test_success_clears_suspicion(self, board):
+        board.record_failure(0)
+        assert board.record_success(0) == HEALTHY
+
+    def test_consecutive_failures_escalate(self, board):
+        assert board.record_failure(0) == SUSPECT
+        assert board.record_failure(0) == SUSPECT
+        assert board.record_failure(0) == FAILED
+
+    def test_interleaved_success_resets_the_count(self, board):
+        board.record_failure(0)
+        board.record_failure(0)
+        board.record_success(0)
+        # the streak restarts: three more needed, not one
+        assert board.record_failure(0) == SUSPECT
+        assert board.record_failure(0) == SUSPECT
+        assert board.record_failure(0) == FAILED
+
+    def test_probe_success_is_probation_not_pardon(self, board):
+        fail_until_failed(board, 0)
+        assert board.record_success(0) == RECOVERED
+        assert board.record_success(0) == HEALTHY
+
+    def test_flapping_shard_demotes_from_recovered(self, board):
+        fail_until_failed(board, 0)
+        board.record_success(0)
+        assert board.record_failure(0) == SUSPECT
+
+    def test_shards_are_independent(self, board):
+        fail_until_failed(board, 2)
+        assert board.states() == [HEALTHY, HEALTHY, FAILED, HEALTHY]
+        assert board.failed_shards() == (2,)
+
+    def test_summary_histogram(self, board):
+        fail_until_failed(board, 0)
+        board.record_failure(1)
+        assert board.summary() == {FAILED: 1, SUSPECT: 1, HEALTHY: 2}
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ShardHealthBoard(0)
+        with pytest.raises(ValueError):
+            ShardHealthBoard(2, fail_threshold=0)
+        with pytest.raises(ValueError):
+            ShardHealthBoard(2, probe_interval=0)
+
+
+class TestAdmission:
+    def test_failed_shard_refused_fail_fast(self, board):
+        fail_until_failed(board, 0)
+        assert not board.admit(0)
+
+    def test_every_nth_refusal_admitted_as_probe(self, board):
+        fail_until_failed(board, 0)
+        probes = metrics.counter("storage.shard.health.probes").value
+        admitted = [board.admit(0) for _ in range(8)]
+        # probe_interval=4: attempts 4 and 8 pass as probes
+        assert admitted == [False, False, False, True,
+                            False, False, False, True]
+        assert metrics.counter(
+            "storage.shard.health.probes").value == probes + 2
+
+    def test_admitted_probe_can_heal(self, board):
+        fail_until_failed(board, 0)
+        while not board.admit(0):
+            pass
+        board.record_success(0)
+        assert board.state(0) == RECOVERED
+        assert board.admit(0)
+
+
+class TestGauges:
+    def test_failed_and_suspect_published(self):
+        board = ShardHealthBoard(3, fail_threshold=2)
+        board.record_failure(0)
+        assert metrics.gauge("storage.shard.health.suspect").value == 1
+        board.record_failure(0)
+        assert metrics.gauge("storage.shard.health.failed").value == 1
+        assert metrics.gauge("storage.shard.health.suspect").value == 0
+        board.record_success(0)
+        board.record_success(0)
+        assert metrics.gauge("storage.shard.health.failed").value == 0
+
+    def test_transition_counters(self):
+        board = ShardHealthBoard(2, fail_threshold=2)
+        failures = metrics.counter("storage.shard.health.failures").value
+        recoveries = metrics.counter(
+            "storage.shard.health.recoveries").value
+        board.record_failure(1)
+        board.record_failure(1)
+        assert board.state(1) == FAILED
+        board.record_success(1)  # FAILED -> RECOVERED counts
+        assert metrics.counter(
+            "storage.shard.health.failures").value == failures + 2
+        assert metrics.counter(
+            "storage.shard.health.recoveries").value == recoveries + 1
+
+
+# -- the sharded write path under injected faults --------------------------
+
+
+@pytest.fixture
+def store():
+    fs = MemoryFileSystem()
+    sharded = ShardedStore.create("db", shards=2, fs=fs,
+                                  routing_field="region")
+    yield sharded
+    sharded.close()
+
+
+def commit_outage(shard, limit, start=0):
+    """A chaos plan that fails `limit` consecutive commits on one shard."""
+    return chaos.ChaosPlan(seed=11, rules=(
+        chaos.ChaosRule(point="shard.commit", shard=shard, rate=1.0,
+                        start=start, limit=limit),))
+
+
+def target_of(store):
+    """Where ``region="eu"`` documents land (routing is hash-driven)."""
+    return store.shard_of_value("eu")
+
+
+def fail_shard(store, target):
+    """Drive the eu-shard to ``failed`` with a long commit outage."""
+    with chaos.active(commit_outage(shard=target, limit=50)):
+        for _ in range(3):
+            try:
+                store.insert({"region": "eu", "v": 1})
+            except ShardUnavailable:
+                pass
+    assert store.health.state(target) == FAILED
+
+
+class TestWriteRetry:
+    def test_transient_commit_fault_retried_to_success(
+            self, store, virtual_clock):
+        target = target_of(store)
+        retried = metrics.counter("storage.shard.write_retries").value
+        with chaos.active(commit_outage(shard=target, limit=1)):
+            doc_id = store.insert({"region": "eu", "v": 1})
+        assert store.get(doc_id) == {"region": "eu", "v": 1}
+        assert metrics.counter(
+            "storage.shard.write_retries").value == retried + 1
+        # the wait came from the seeded schedule, through the clock
+        assert virtual_clock.sleeps == [
+            store.backoff.delay_ms(f"insert:{target}", 0) / 1000.0]
+
+    def test_exhausted_retries_surface_typed(self, store, virtual_clock):
+        target = target_of(store)
+        attempts = store.backoff.max_attempts
+        with chaos.active(commit_outage(shard=target, limit=attempts + 2)):
+            with pytest.raises(ShardUnavailable) as exc_info:
+                store.insert({"region": "eu", "v": 1})
+        assert exc_info.value.shard_index == target
+        assert isinstance(exc_info.value.__cause__, TransientFault)
+
+    def test_failed_shard_refuses_writes_fail_fast(
+            self, store, virtual_clock):
+        target = target_of(store)
+        fail_shard(store, target)
+        slept = len(virtual_clock.sleeps)
+        with pytest.raises(ShardUnavailable) as exc_info:
+            store.insert({"region": "eu", "v": 2})
+        assert exc_info.value.state == FAILED
+        # fail-fast: no retry budget burned against a failed shard
+        assert len(virtual_clock.sleeps) == slept
+
+    def test_other_shard_keeps_serving(self, store, virtual_clock):
+        target = target_of(store)
+        other_value = next(f"r{i}" for i in range(100)
+                           if store.shard_of_value(f"r{i}") != target)
+        with chaos.active(commit_outage(shard=target, limit=50)):
+            for _ in range(3):
+                try:
+                    store.insert({"region": "eu", "v": 1})
+                except ShardUnavailable:
+                    pass
+            doc_id = store.insert({"region": other_value, "v": 2})
+            assert store.get(doc_id) == {"region": other_value, "v": 2}
+
+    def test_probe_heals_after_window(self, store, virtual_clock):
+        target = target_of(store)
+        fail_shard(store, target)
+        assert store.health.failed_shards() == (target,)
+        # the fault window is over: explicit probing finds it alive
+        assert store.probe_failed() == [target]
+        assert store.health.state(target) == RECOVERED
+        doc_id = store.insert({"region": "eu", "v": 9})
+        assert store.get(doc_id) == {"region": "eu", "v": 9}
+        assert store.health.state(target) == HEALTHY
+
+    def test_probe_failure_keeps_shard_failed(self, store, virtual_clock):
+        target = target_of(store)
+        fail_shard(store, target)
+        probe_outage = chaos.ChaosPlan(seed=1, rules=(
+            chaos.ChaosRule(point="shard.probe", shard=target, rate=1.0),))
+        with chaos.active(probe_outage):
+            assert store.probe_failed() == []
+        assert store.health.state(target) == FAILED
+
+    def test_semantic_errors_never_retried(self, store, virtual_clock):
+        from repro.errors import StorageError
+        with pytest.raises(StorageError):
+            store.update(10_000, {"region": "eu"})  # unknown id
+        assert virtual_clock.sleeps == []
+        assert store.health.states() == [HEALTHY, HEALTHY]

@@ -195,3 +195,79 @@ class TestServeErrors:
     def test_context_optional(self):
         assert str(errors.Overloaded("shed")) == "shed"
         assert str(errors.QueryTimeout("slow")) == "slow"
+
+
+class TestFaultToleranceErrors:
+    """Fault-tolerance errors (ISSUE satellite: the __reduce__ pickling
+    contract): typed, attribute-carrying, and round-trippable — the
+    scatter pool and the chaos report both re-materialize them."""
+
+    def roundtrip(self, error):
+        import pickle
+        return pickle.loads(pickle.dumps(error))
+
+    def test_hierarchy(self):
+        assert issubclass(errors.TransientFault, errors.StorageError)
+        assert issubclass(errors.ShardUnavailable, errors.StorageError)
+        assert issubclass(errors.DegradedResult, errors.ServeError)
+
+    def test_retryable_faults_cover_transient_and_os(self):
+        assert errors.TransientFault in errors.RETRYABLE_FAULTS
+        assert OSError in errors.RETRYABLE_FAULTS
+        # semantic errors must never be retryable
+        assert errors.QueryError not in errors.RETRYABLE_FAULTS
+
+    def test_transient_fault_carries_injection_site(self):
+        error = errors.TransientFault("injected io_error",
+                                      fault_point="shard.scan",
+                                      shard_index=2)
+        assert "(at shard.scan)" in str(error)
+        clone = self.roundtrip(error)
+        assert clone.fault_point == "shard.scan"
+        assert clone.shard_index == 2
+        assert str(self.roundtrip(clone)) == str(error)  # no doubling
+
+    def test_transient_fault_defaults(self):
+        error = self.roundtrip(errors.TransientFault("plain"))
+        assert str(error) == "plain"
+        assert error.fault_point is None
+        assert error.shard_index == -1
+
+    def test_shard_unavailable_carries_state(self):
+        error = errors.ShardUnavailable("write refused", shard_index=3,
+                                        state="failed")
+        assert "(shard 3 failed)" in str(error)
+        clone = self.roundtrip(error)
+        assert clone.shard_index == 3
+        assert clone.state == "failed"
+        assert str(self.roundtrip(clone)) == str(error)
+
+    def test_shard_unavailable_defaults(self):
+        error = self.roundtrip(errors.ShardUnavailable("down"))
+        assert str(error) == "down"
+        assert error.shard_index == -1
+        assert error.state == ""
+
+    def test_degraded_result_names_missing_shards(self):
+        error = errors.DegradedResult("partial result", (1, 3),
+                                      retries=5)
+        assert "(shards 1,3 missing)" in str(error)
+        clone = self.roundtrip(error)
+        assert clone.shards_failed == (1, 3)
+        assert clone.retries == 5
+        assert str(self.roundtrip(clone)) == str(error)
+
+    def test_degraded_result_coerces_list_to_tuple(self):
+        error = errors.DegradedResult("partial", [2])
+        assert error.shards_failed == (2,)
+        assert self.roundtrip(error).shards_failed == (2,)
+
+    def test_raised_chaos_fault_roundtrips(self):
+        from repro.storage import chaos
+        plan = chaos.ChaosPlan(seed=1, rules=(
+            chaos.ChaosRule(point="shard.read"),))
+        with pytest.raises(errors.TransientFault) as exc_info:
+            chaos.ChaosInjector(plan).fault_point("shard.read", shard=1)
+        clone = self.roundtrip(exc_info.value)
+        assert str(clone) == str(exc_info.value)
+        assert clone.shard_index == 1
