@@ -23,6 +23,9 @@ from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.analysis.lint.engine import LintEngine, ModuleContext
 from repro.analysis.concurrency.guards import GuardedMutationRule
 from repro.analysis.concurrency.order import LockOrderAnalyzer
+# canonical home is the bottom-of-stack lock module, so product code
+# can annotate lock-held helpers without importing the lint engine
+from repro.obs.locks import guarded_by
 
 __all__ = [
     "GuardedMutationRule",
@@ -30,22 +33,6 @@ __all__ = [
     "check_paths",
     "guarded_by",
 ]
-
-
-def guarded_by(*locknames: str):
-    """Declare that the decorated function runs with the named lock(s)
-    held by every caller.
-
-    A no-op at runtime; the static pass treats the locks as held for
-    the whole body, and the lock-order graph adds edges from them to
-    any lock acquired inside.
-    """
-
-    def decorate(func):
-        func.__guarded_by__ = locknames
-        return func
-
-    return decorate
 
 
 def check_paths(paths: Iterable[str]

@@ -14,7 +14,14 @@ rules** before execution:
    :class:`ScatterNode` that runs per-shard morsel pipelines on a
    worker pool and merges partial aggregate states; partition pruning
    is decided **at rewrite time** from the per-shard DataGuides, so
-   even a plain ``explain()`` shows ``shards=N pruned=M``.
+   even a plain ``explain()`` shows ``shards=N pruned=M``;
+3. *IMC projection pushdown* (:class:`IMCScanRule`): a scan of a table
+   bound into an :class:`~repro.imc.store.IMCStore` whose
+   scan→[filter…]→(project | group-by) prefix references a provable
+   column set becomes an :class:`IMCScanNode` that materializes **only
+   those columns** through the columnar cache (paper §5.2) — the
+   ``imc.columns_read`` counter advancing by exactly that count is the
+   observable contract in ``EXPLAIN ANALYZE``.
 
 Rewrites preserve semantics by construction: pushdown keeps the
 residual predicate, the scatter prefix computes exactly what the fused
@@ -95,6 +102,33 @@ class ScanNode(PlanNode):
         if self.exists_paths:
             return self.source.scan_pushdown(self.exists_paths)
         return iterate_source(self.source)
+
+
+class IMCScanNode(PlanNode):
+    """Plan leaf: columnar scan through the table's bound
+    :class:`~repro.imc.store.IMCStore`, materializing only the columns
+    the query references (built by :class:`IMCScanRule`).
+
+    The store's merged base+delta scan serves the canonical column
+    values — byte-identical to row mode even right after DML — and
+    for a durable table the cold path loads pinned column segments
+    instead of re-extracting from OSON."""
+
+    op = "scan"
+    batched = True
+
+    def __init__(self, source: Any, imc: Any,
+                 columns: Sequence[str]) -> None:
+        self.source = source
+        self.imc = imc
+        self.columns = list(columns)
+
+    def label(self) -> str:
+        return (f"IMC SCAN {source_name(self.source)} "
+                f"[columns={', '.join(self.columns)}]")
+
+    def execute(self, rows: Iterator[Row], morsel: bool) -> Iterator[Row]:
+        return iter(self.imc.scan_rows(self.source, self.columns))
 
 
 class FilterNode(PlanNode):
@@ -460,10 +494,98 @@ class ScatterRule:
         return LogicalPlan([fused] + nodes[1 + consumed:])
 
 
+def _collect_columns(expr: Any, out: set) -> bool:
+    """Record every column ``expr`` reads into ``out``.  Returns False
+    for any node shape this walker does not fully understand — the
+    caller then refuses to narrow the scan (conservative by design:
+    an unprovable column set must never drop a column a row-mode
+    evaluation would have seen)."""
+    from repro.engine import expressions as E
+    if isinstance(expr, E.Literal):
+        return True
+    if isinstance(expr, E.Col):
+        out.add(expr.name)
+        return True
+    if isinstance(expr, E.Aliased):
+        return _collect_columns(expr.inner, out)
+    if isinstance(expr, (E.Arithmetic, E.Comparison)):
+        return (_collect_columns(expr.left, out)
+                and _collect_columns(expr.right, out))
+    if isinstance(expr, (E.And, E.Or)):
+        return all(_collect_columns(part, out) for part in expr.parts)
+    if isinstance(expr, E.Not):
+        return _collect_columns(expr.inner, out)
+    if isinstance(expr, (E.InList, E.Like, E.IsNull)):
+        return _collect_columns(expr.operand, out)
+    if isinstance(expr, E.Func):
+        return all(_collect_columns(arg, out) for arg in expr.args)
+    if isinstance(expr, (E.JsonValueExpr, E.JsonExistsExpr)):
+        return _collect_columns(expr.column, out)
+    return False
+
+
+class IMCScanRule:
+    """Table bound into an IMC columnar cache + a shaping prefix →
+    scan only the referenced columns through the cache (§5.2).
+
+    Fires on a ``scan [filter]* (project | group-by)`` prefix whose
+    expressions :func:`_collect_columns` fully resolves.  The shaping
+    terminator is required: without a PROJECT/GROUP BY the caller sees
+    whole rows, so a narrowed scan would change the answer.  Only the
+    scan node is replaced — the filter/project/group nodes stay and
+    run unchanged over rows that carry exactly the columns they read.
+    """
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        nodes = plan.nodes
+        scan = nodes[0]
+        if not isinstance(scan, ScanNode) or scan.exists_paths:
+            return plan
+        source = scan.source
+        imc = getattr(source, "imc", None)
+        if imc is None or not hasattr(source, "has_column"):
+            return plan
+        needed: set = set()
+        shaped = False
+        for node in nodes[1:]:
+            if isinstance(node, FilterNode):
+                if not _collect_columns(node.predicate, needed):
+                    return plan
+                continue
+            if isinstance(node, ProjectNode):
+                if not all(_collect_columns(expr, needed)
+                           for _name, expr in node.outputs):
+                    return plan
+                shaped = True
+            elif isinstance(node, GroupNode):
+                if not all(_collect_columns(expr, needed)
+                           for _name, expr in node.keys):
+                    return plan
+                for _alias, aggregate in node.aggregates:
+                    operand = getattr(aggregate, "operand", None)
+                    if operand is not None \
+                            and not _collect_columns(operand, needed):
+                        return plan
+                shaped = True
+            break
+        if not shaped:
+            return plan
+        columns = sorted(needed)
+        # COUNT(*)-only prefixes reference nothing: a zero-column scan
+        # cannot carry the row count, so leave those to the row path
+        if not columns or not all(source.has_column(name)
+                                  for name in columns):
+            return plan
+        return LogicalPlan([IMCScanNode(source, imc, columns)]
+                           + nodes[1:])
+
+
 # scatter first: a sharded source scatters (per-shard pruning subsumes
 # the document pre-filter); pushdown then no-ops because the head is no
-# longer a plain ScanNode.  Unsharded views still get pushdown.
-_RULES = (ScatterRule(), PushdownRule())
+# longer a plain ScanNode.  IMC narrowing runs last for the same
+# reason — it only fires on a plain unsharded, un-pushed-down table
+# scan, which is exactly what the earlier rules leave untouched.
+_RULES = (ScatterRule(), PushdownRule(), IMCScanRule())
 
 
 def rewrite(plan: LogicalPlan) -> LogicalPlan:

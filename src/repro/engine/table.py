@@ -54,6 +54,10 @@ class Table:
         self._constraints: list[Constraint] = []
         self._insert_listeners: list[Callable[[dict], None]] = []
         self._delete_listeners: list[Callable[[dict], None]] = []
+        #: the columnar cache this table is bound into, if any — set by
+        #: :meth:`repro.imc.store.IMCStore.bind`; the plan rewrite uses
+        #: it to narrow scans to the referenced columns (§5.2)
+        self.imc: Optional[Any] = None
 
     # -- schema ------------------------------------------------------------
 
@@ -346,6 +350,23 @@ class DurableTable(Table):
                 row[name] = None
             self._rows.append(row)
             self._row_doc_ids[id(row)] = doc_id
+
+    # -- columnar (IMC) access ----------------------------------------------
+
+    def doc_id_rows(self) -> list[tuple[int, dict[str, Any]]]:
+        """(document id, stored row) pairs in heap order — the IMC
+        loader's bridge between heap rows and the durable column
+        segments keyed by document id."""
+        return [(self.doc_id_of(row), row) for row in self._rows]
+
+    def doc_id_of(self, row: dict[str, Any]) -> int:
+        """The backing document id of a heap row object."""
+        doc_id = self._row_doc_ids.get(id(row))
+        if doc_id is None:
+            raise EngineError(
+                f"row in durable table {self.name} has no backing "
+                f"document (listener ordering broken?)")
+        return doc_id
 
     # -- snapshot reads -----------------------------------------------------
 

@@ -8,18 +8,34 @@ stand in for Oracle Database In-Memory's SIMD columnar engine:
 * :mod:`~repro.imc.kernels` — vectorized compare / aggregate / group-by
   kernels;
 * :mod:`~repro.imc.store` — :class:`IMCStore`: populates table columns
-  (including virtual columns, section 5.2.1) into vectors;
+  (including virtual columns, section 5.2.1) into vectors, kept
+  coherent with table DML through listeners + per-table deltas;
+* :mod:`~repro.imc.segments` — durable CRC-checksummed column segments
+  (the persistent IMC form, pinned by the storage manifest);
+* :mod:`~repro.imc.delta` — row-wise delta buffers for the LSM-style
+  merged base+delta read path;
 * :mod:`~repro.imc.json_modes` — the three JSON execution modes of
   Figures 5/6: TEXT-MODE, OSON-IMC-MODE and VC-IMC-MODE.
 """
 
 from repro.imc.columns import ColumnVector
+from repro.imc.delta import TableDelta
+from repro.imc.segments import (ColumnSegment, SegmentQuarantine,
+                                decode_column_segment,
+                                encode_column_segment,
+                                verify_column_segment)
 from repro.imc.store import IMCStore
 from repro.imc.json_modes import JsonColumnIMC, OSON_IMC_MODE, TEXT_MODE, VC_IMC_MODE
 
 __all__ = [
+    "ColumnSegment",
     "ColumnVector",
     "IMCStore",
+    "SegmentQuarantine",
+    "TableDelta",
+    "decode_column_segment",
+    "encode_column_segment",
+    "verify_column_segment",
     "JsonColumnIMC",
     "TEXT_MODE",
     "OSON_IMC_MODE",

@@ -57,6 +57,7 @@ from typing import Any, Dict, List, Tuple
 
 __all__ = [
     "SanitizedLock",
+    "guarded_by",
     "hold_threshold_ms",
     "make_lock",
     "make_rlock",
@@ -146,6 +147,25 @@ def make_rlock(name: str, allow_io: bool = False):
         return threading.RLock()
     return SanitizedLock(name, threading.RLock(), reentrant=True,
                          allow_io=allow_io)
+
+
+def guarded_by(*locknames: str):
+    """Declare that the decorated function runs with the named lock(s)
+    held by every caller.
+
+    A no-op at runtime; the static concurrency pass
+    (:mod:`repro.analysis.concurrency`) treats the locks as held for
+    the whole body, and the lock-order graph adds edges from them to
+    any lock acquired inside.  Lives here, at the bottom of the stack,
+    so product code can annotate internal helpers without importing
+    the lint engine.
+    """
+
+    def decorate(func):
+        func.__guarded_by__ = locknames
+        return func
+
+    return decorate
 
 
 def _held_stack() -> List[List[Any]]:

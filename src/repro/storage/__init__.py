@@ -36,7 +36,8 @@ from repro.storage.chaos import ChaosInjector, ChaosPlan, ChaosRule
 from repro.storage.commit import CommitPipeline, LogicalCommit
 from repro.storage.files import FileSystem, MemoryFileSystem, OsFileSystem
 from repro.storage.health import ShardHealthBoard
-from repro.storage.fsck import fsck, verify_store_file
+from repro.storage.fsck import (fsck, imc_segment_status,
+                                verify_imc_segments, verify_store_file)
 from repro.storage.recovery import (QuarantinedRecord, RecoveryReport,
                                     recover)
 from repro.storage.shard import (ShardedRecoveryReport, ShardedSnapshot,
@@ -65,5 +66,7 @@ __all__ = [
     "RecoveryReport",
     "recover",
     "fsck",
+    "imc_segment_status",
+    "verify_imc_segments",
     "verify_store_file",
 ]

@@ -190,14 +190,92 @@ def verify_zone_stats(manifest_doc: dict) -> List[Diagnostic]:
     return diagnostics
 
 
+def verify_imc_segments(fs: FileSystem, directory: str,
+                        manifest_doc: Optional[dict]) -> List[Diagnostic]:
+    """Verify the manifest's pinned IMC column segments.
+
+    Segments are pure cache — every reader degrades to
+    rebuild-from-OSON — so, like zone stats, every finding here is a
+    WARNING: fsck surfaces the damage (and the wasted cold-start work)
+    without ever failing the store over it.
+    """
+    from repro.imc import segments as imcseg
+    diagnostics: List[Diagnostic] = []
+    referenced = set()
+    for entry in manifestfmt.imc_manifest_entries(manifest_doc):
+        name = entry["name"]
+        referenced.add(name)
+        path = posixpath.join(directory, name)
+        if not fs.exists(path):
+            diagnostics.append(Diagnostic(
+                "storage.fsck.imc-missing",
+                f"manifest pins a missing IMC segment for "
+                f"{entry['table']}.{entry['column']}; readers degrade "
+                f"to rebuild-from-OSON", Severity.WARNING, path=name))
+            continue
+        data = fs.read_bytes(path)
+        if len(data) != entry["length"]:
+            diagnostics.append(Diagnostic(
+                "storage.fsck.imc-length",
+                f"segment file is {len(data)} bytes but the manifest "
+                f"pins {entry['length']}", Severity.WARNING, path=name))
+        window = data[:entry["length"]]
+        found = imcseg.verify_column_segment(window, path=name)
+        diagnostics.extend(found)
+        if not found:
+            decoded = imcseg.decode_column_segment(window)
+            if (decoded.table != entry["table"]
+                    or decoded.column != entry["column"]):
+                diagnostics.append(Diagnostic(
+                    "storage.fsck.imc-mismatch",
+                    f"segment claims {decoded.table}.{decoded.column} "
+                    f"but the manifest pins it for "
+                    f"{entry['table']}.{entry['column']}",
+                    Severity.WARNING, path=name))
+    for name in fs.listdir(directory):
+        if (imcseg.parse_imc_segment_name(name) is None
+                or name in referenced):
+            continue
+        diagnostics.append(Diagnostic(
+            "storage.fsck.imc-orphan",
+            "IMC segment file not pinned by the manifest (interrupted "
+            "lift?); the next checkpoint sweeps it", Severity.WARNING,
+            path=name))
+    return diagnostics
+
+
+def imc_segment_status(fs: FileSystem, directory: str) -> List[dict]:
+    """Per-pinned-segment checksum status rows (for the tools CLI):
+    ``{"name", "table", "column", "length", "horizon", "status"}`` with
+    status one of ``ok`` / ``missing`` / ``corrupt``."""
+    from repro.imc import segments as imcseg
+    manifest_doc, _ = manifestfmt.read_manifest(fs, directory)
+    rows = []
+    for entry in manifestfmt.imc_manifest_entries(manifest_doc):
+        path = posixpath.join(directory, entry["name"])
+        if not fs.exists(path):
+            status = "missing"
+        else:
+            window = fs.read_bytes(path)[:entry["length"]]
+            status = ("ok" if not imcseg.verify_column_segment(window)
+                      else "corrupt")
+        rows.append({"name": entry["name"], "table": entry["table"],
+                     "column": entry["column"],
+                     "length": entry["length"],
+                     "horizon": entry["horizon"], "status": status})
+    return rows
+
+
 def fsck(fs: FileSystem, directory: str) -> List[Diagnostic]:
     """Check a whole store directory: the manifest, every log file it
-    references (at its sealed length), zone stats, and stray files."""
+    references (at its sealed length), zone stats, IMC column segments,
+    and stray files."""
     diagnostics: List[Diagnostic] = []
     manifest_doc, manifest_diags = manifestfmt.read_manifest(fs, directory)
     diagnostics.extend(manifest_diags)
     if manifest_doc is not None:
         diagnostics.extend(verify_zone_stats(manifest_doc))
+    diagnostics.extend(verify_imc_segments(fs, directory, manifest_doc))
 
     referenced = {}
     if manifest_doc is not None:

@@ -135,8 +135,10 @@ def structural_signature(builder: DataGuideBuilder) -> set:
 
 def build_manifest(segments: List[Tuple[str, int]], wal_name: str,
                    next_doc_id: int, doc_count: int,
-                   builder: DataGuideBuilder) -> Dict[str, Any]:
-    return {
+                   builder: DataGuideBuilder,
+                   imc_segments: Optional[List[Dict[str, Any]]] = None
+                   ) -> Dict[str, Any]:
+    document = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
         "segments": [{"name": name, "length": length}
@@ -147,6 +149,11 @@ def build_manifest(segments: List[Tuple[str, int]], wal_name: str,
         "dataguide": dataguide_to_document(builder),
         "zones": zone_stats_from_builder(builder),
     }
+    if imc_segments:
+        # pinned durable IMC column segments (``repro.imc.segments``);
+        # omitted entirely when none exist, like pre-IMC manifests
+        document["imc_segments"] = list(imc_segments)
+    return document
 
 
 def write_manifest(fs: FileSystem, directory: str,
@@ -225,7 +232,24 @@ def _validate_shape(document: Any, path: str) -> List[Diagnostic]:
     zones = document.get("zones")
     if zones is not None and not isinstance(zones, list):
         return bad("manifest 'zones' is not a list")
+    # "imc_segments" is likewise optional (absent before the persistent
+    # IMC); readers take only the well-formed rows and degrade to
+    # rebuild-from-OSON otherwise — IMC cache metadata never fails a
+    # manifest
+    imc_segments = document.get("imc_segments")
+    if imc_segments is not None and not isinstance(imc_segments, list):
+        return bad("manifest 'imc_segments' is not a list")
     return []
+
+
+def imc_manifest_entries(document: Optional[Dict[str, Any]]
+                         ) -> List[Dict[str, Any]]:
+    """The well-formed pinned IMC segment rows of a manifest document
+    ([] when absent or malformed — degrade, never fail)."""
+    if document is None:
+        return []
+    from repro.imc.segments import valid_entries
+    return valid_entries(document.get("imc_segments"))
 
 
 def manifest_horizon(document: Dict[str, Any]) -> int:

@@ -129,6 +129,12 @@ class RecoveredState:
     wal_reusable: bool
     sources: List[Tuple[str, int]]  # (name, valid length) in apply order
     report: RecoveryReport
+    # pinned IMC column segments (manifest ``imc_segments`` rows) and
+    # the document ids touched by any log record at or above the
+    # segments' horizon — those ids must be served from the row-wise
+    # form, never from a columnar base cut before the writes
+    imc_segments: List[Dict[str, Any]] = field(default_factory=list)
+    imc_dirty_ids: set = field(default_factory=set)
 
 
 #: recovery observability: totals across recover() runs this process
@@ -170,14 +176,27 @@ def _recover(fs: FileSystem, directory: str,
         sources, wal_name = _sources_from_manifest(
             fs, directory, manifest_doc, log_files, report)
 
+    # IMC cache coherence across restart: any record in a log at or
+    # above the pinned segments' horizon post-dates the columnar base;
+    # its document id is dirty and must be served row-wise.  Logs whose
+    # sequence cannot be parsed are tracked too (conservative).
+    imc_entries = manifestfmt.imc_manifest_entries(manifest_doc)
+    imc_horizon = min((entry["horizon"] for entry in imc_entries),
+                      default=None)
+    imc_dirty: set = set()
+
     docs: Dict[int, bytes] = {}
     id_floor = _IdFloor()
     applied_sources: List[Tuple[str, int]] = []
     for position, (name, pinned_length) in enumerate(sources):
         is_active_wal = name == wal_name and position == len(sources) - 1
+        sequence = logfmt.parse_log_name(name)
+        track_dirty = (imc_horizon is not None
+                       and (sequence is None or sequence >= imc_horizon))
         valid_length = _apply_log(fs, directory, name, pinned_length,
                                   is_active_wal, docs, report,
-                                  verify_documents, id_floor)
+                                  verify_documents, id_floor,
+                                  imc_dirty if track_dirty else None)
         if valid_length is None:
             continue
         applied_sources.append((name, valid_length))
@@ -223,6 +242,8 @@ def _recover(fs: FileSystem, directory: str,
         wal_reusable=wal_reusable,
         sources=applied_sources,
         report=report,
+        imc_segments=imc_entries,
+        imc_dirty_ids=imc_dirty,
     )
 
 
@@ -298,7 +319,8 @@ class _IdFloor:
 def _apply_log(fs: FileSystem, directory: str, name: str,
                pinned_length: Optional[int], is_active_wal: bool,
                docs: Dict[int, bytes], report: RecoveryReport,
-               verify_documents: bool, id_floor: _IdFloor) -> Optional[int]:
+               verify_documents: bool, id_floor: _IdFloor,
+               imc_dirty: Optional[set] = None) -> Optional[int]:
     path = posixpath.join(directory, name)
     try:
         data = fs.read_bytes(path)
@@ -330,7 +352,7 @@ def _apply_log(fs: FileSystem, directory: str, name: str,
     for found in scan.frames:
         if not found.valid:
             _quarantine_frame(name, found.offset, found.payload,
-                              docs, report)
+                              docs, report, imc_dirty)
             open_batch = _batch_slot(open_batch)
             continue
         try:
@@ -358,7 +380,7 @@ def _apply_log(fs: FileSystem, directory: str, name: str,
             open_batch = [found.offset, record.count, 0]
             continue
         _apply_record(name, found.offset, record, docs, report,
-                      verify_documents, id_floor)
+                      verify_documents, id_floor, imc_dirty)
         open_batch = _batch_slot(open_batch)
     if open_batch is not None:
         _report_cut_batch(report, name, open_batch)
@@ -379,8 +401,11 @@ def _apply_log(fs: FileSystem, directory: str, name: str,
 
 def _apply_record(source: str, offset: int, record: "logfmt.LogRecord",
                   docs: Dict[int, bytes], report: RecoveryReport,
-                  verify_documents: bool, id_floor: _IdFloor) -> None:
+                  verify_documents: bool, id_floor: _IdFloor,
+                  imc_dirty: Optional[set] = None) -> None:
     id_floor.saw(record.doc_id)
+    if imc_dirty is not None:
+        imc_dirty.add(record.doc_id)
     if record.op == logfmt.OP_DELETE:
         docs.pop(record.doc_id, None)
         report.records_applied += 1
@@ -421,8 +446,8 @@ def _report_cut_batch(report: RecoveryReport, source: str,
 
 
 def _quarantine_frame(source: str, offset: int, payload: bytes,
-                      docs: Dict[int, bytes],
-                      report: RecoveryReport) -> None:
+                      docs: Dict[int, bytes], report: RecoveryReport,
+                      imc_dirty: Optional[set] = None) -> None:
     """A frame whose CRC failed: attribute it to a document if the
     operation prefix is still readable, then quarantine."""
     doc_id = None
@@ -434,6 +459,8 @@ def _quarantine_frame(source: str, offset: int, payload: bytes,
     if record is not None and record.op != logfmt.OP_LOG_HEADER:
         doc_id = record.doc_id
         superseded = doc_id in docs
+        if imc_dirty is not None:
+            imc_dirty.add(doc_id)
     report.quarantined.append(QuarantinedRecord(
         source=source, offset=offset, doc_id=doc_id,
         reason="frame checksum mismatch", image=payload,

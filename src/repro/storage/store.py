@@ -108,7 +108,9 @@ class CollectionStore:
                  docs: Dict[int, bytes], builder: DataGuideBuilder,
                  next_doc_id: int, wal: LogWriter,
                  sealed: List[Tuple[str, int]],
-                 recovery: Optional[RecoveryReport]) -> None:
+                 recovery: Optional[RecoveryReport],
+                 imc_segments: Optional[List[Dict[str, Any]]] = None,
+                 imc_dirty: Optional[set] = None) -> None:
         self._directory = directory
         self._fs = fs
         # writer state: what the store will contain once everything
@@ -119,6 +121,15 @@ class CollectionStore:
         self._next_doc_id = next_doc_id    # guarded-by: _lock
         # (name, valid length) in apply order  # guarded-by: _lock
         self._sealed = sealed
+        # pinned durable IMC column segments (manifest rows) and the
+        # document ids whose row-wise form post-dates them — a columnar
+        # reader must serve dirty ids from the rows.  Inserts allocate
+        # fresh ids (never in a segment), so only update/delete dirty.
+        self._imc_segments = list(imc_segments or [])  # guarded-by: _lock
+        self._imc_dirty = set(imc_dirty or ())         # guarded-by: _lock
+        # checkpoint/compact call this (with no lock held) to lift the
+        # in-memory columnar form into durable segments
+        self._imc_provider = None          # guarded-by: _lock
         self.recovery = recovery
         self._closed = False               # guarded-by: _lock
         # serializes writer-state mutation (DML staging, publication,
@@ -189,7 +200,9 @@ class CollectionStore:
                 state.wal_valid_length)
             sealed = state.sources[:-1]
             return cls(directory, fs, state.docs, state.builder,
-                       state.next_doc_id, wal, sealed, state.report)
+                       state.next_doc_id, wal, sealed, state.report,
+                       imc_segments=state.imc_segments,
+                       imc_dirty=state.imc_dirty_ids)
         # otherwise: seal everything recovered (each at its valid
         # length), start a fresh WAL, publish a new manifest
         sequence = state.max_sequence + 1
@@ -198,7 +211,9 @@ class CollectionStore:
             sequence)
         store = cls(directory, fs, state.docs, state.builder,
                     state.next_doc_id, wal, list(state.sources),
-                    state.report)
+                    state.report,
+                    imc_segments=state.imc_segments,
+                    imc_dirty=state.imc_dirty_ids)
         manifestfmt.write_manifest(fs, directory,
                                    store._manifest_document())
         return store
@@ -314,6 +329,7 @@ class CollectionStore:
             if doc_id not in self._docs:
                 raise StorageError(f"no document {doc_id} to update")
             self._docs[doc_id] = image
+            self._imc_dirty.add(doc_id)
             entry = LogicalCommit(
                 [logfmt.encode_record(logfmt.OP_UPDATE, doc_id, image)],
                 [(logfmt.OP_UPDATE, doc_id, image)],
@@ -327,6 +343,7 @@ class CollectionStore:
             if doc_id not in self._docs:
                 raise StorageError(f"no document {doc_id} to delete")
             del self._docs[doc_id]
+            self._imc_dirty.add(doc_id)
             # the DataGuide stays additive on delete (paper section
             # 3.4); recovery and compaction shrink it by rebuilding
             entry = LogicalCommit(
@@ -405,6 +422,93 @@ class CollectionStore:
         with self._lock:
             return manifestfmt.zone_stats_from_builder(self._builder)
 
+    # -- durable IMC column segments ---------------------------------------
+
+    def set_imc_provider(self, provider: Any) -> None:
+        """Register the columnar lift callback.  ``provider(snapshot)``
+        returns ``[(table, column, doc_ids, values), ...]`` — the exact
+        columnar form of the snapshot — or ``None`` to skip the lift.
+        Called by checkpoint/compact with the pipeline paused and **no
+        store lock held** (the provider may take the IMC store lock,
+        which itself calls store accessors: imc→storage is the one
+        sanctioned lock order, never the reverse)."""
+        with self._lock:
+            self._imc_provider = provider
+
+    def imc_segments(self) -> List[Dict[str, Any]]:
+        """The pinned IMC column-segment manifest rows."""
+        with self._lock:
+            return list(self._imc_segments)
+
+    def imc_dirty_ids(self) -> set:
+        """Document ids whose row-wise form post-dates the pinned
+        segments — a columnar reader serves these from the rows."""
+        with self._lock:
+            return set(self._imc_dirty)
+
+    def read_imc_segment(self, name: str) -> bytes:
+        """Raw bytes of a pinned segment (raises on a missing file —
+        callers quarantine and rebuild from OSON)."""
+        return self._fs.read_bytes(posixpath.join(self._directory, name))
+
+    def _write_imc_segments(self, snapshot: StoreSnapshot, horizon: int,
+                            drop_stale: bool) -> None:
+        """The LSM-style tuple-compaction lift: persist the provider's
+        columnar form as checksummed column segments, to be pinned by
+        the manifest the caller is about to write.
+
+        With no provider (or a declined lift), a checkpoint *keeps* the
+        old entries — their horizon still bounds them, so recovery's
+        dirty-id tracking stays sound — while compaction drops them
+        (``drop_stale``): it GCs the logs the old horizons point into.
+        Runs with the pipeline paused and no store lock held during the
+        provider call or the file writes."""
+        with self._lock:
+            provider = self._imc_provider
+        columns = provider(snapshot) if provider is not None else None
+        if columns is None:
+            if drop_stale:
+                with self._lock:
+                    self._imc_segments = []
+            return
+        from repro.imc import segments as imcseg
+        taken = (imcseg.parse_imc_segment_name(name)
+                 for name in self._fs.listdir(self._directory))
+        sequence = max((s for s in taken if s is not None), default=0) + 1
+        entries: List[Dict[str, Any]] = []
+        for table, column, doc_ids, values in columns:
+            try:
+                data = imcseg.encode_column_segment(table, column,
+                                                    doc_ids, values)
+            except StorageError:
+                # non-round-trippable values: this column stays
+                # rebuild-from-OSON rather than risk inexact answers
+                continue
+            name = imcseg.imc_segment_name(sequence)
+            sequence += 1
+            handle = self._fs.create(
+                posixpath.join(self._directory, name))
+            handle.write(data)
+            handle.flush()
+            handle.sync()
+            handle.close()
+            entries.append(imcseg.segment_entry(
+                name, len(data), table, column, horizon))
+        with self._lock:
+            self._imc_segments = entries
+            self._imc_dirty = set()
+
+    def _gc_imc_files(self) -> None:
+        """Remove IMC segment files the manifest no longer pins (the
+        lift's predecessors, plus orphans from a crashed lift)."""
+        with self._lock:
+            referenced = {entry["name"] for entry in self._imc_segments}
+        from repro.imc.segments import parse_imc_segment_name
+        for name in self._fs.listdir(self._directory):
+            if parse_imc_segment_name(name) is None or name in referenced:
+                continue
+            self._fs.remove(posixpath.join(self._directory, name))
+
     # -- checkpoint / compaction -------------------------------------------
 
     def checkpoint(self) -> None:
@@ -433,10 +537,16 @@ class CollectionStore:
                 sequence)
             self._pipeline.replace_wal(new_wal)
             old.close()
+            # lift the columnar form before the manifest swap pins it;
+            # commits staged during the pause land in the fresh WAL
+            # (sequence == horizon) and are therefore dirty by horizon
+            self._write_imc_segments(snapshot, new_wal.sequence,
+                                     drop_stale=False)
             with self._lock:
                 self._sealed.append((sealed_name, sealed_length))
                 document = self._manifest_document(snapshot)
             manifestfmt.write_manifest(self._fs, self._directory, document)
+            self._gc_imc_files()
         finally:
             self._pipeline.resume()
 
@@ -475,6 +585,11 @@ class CollectionStore:
             builder = DataGuideBuilder()
             for doc_id in sorted(snapshot.docs):
                 builder.add(oson_decode(snapshot.docs[doc_id]))
+            # refresh the columnar segments against the exact snapshot
+            # being rewritten; without a provider the stale entries are
+            # dropped (their horizons point into the logs GC'd below)
+            self._write_imc_segments(snapshot, new_wal.sequence,
+                                     drop_stale=True)
             with self._lock:
                 self._builder = builder
                 self._sealed = [(posixpath.basename(segment.path),
@@ -497,6 +612,7 @@ class CollectionStore:
                 path = posixpath.join(self._directory, name)
                 reclaimed += self._fs.file_size(path)
                 self._fs.remove(path)
+            self._gc_imc_files()
             return max(0, reclaimed - segment.offset)
         finally:
             self._pipeline.resume()
@@ -512,7 +628,8 @@ class CollectionStore:
         return manifestfmt.build_manifest(
             list(self._sealed),
             posixpath.basename(self._pipeline.wal.path),
-            snapshot.next_doc_id, len(snapshot.docs), self._builder)
+            snapshot.next_doc_id, len(snapshot.docs), self._builder,
+            imc_segments=list(self._imc_segments))
 
     # -- introspection -----------------------------------------------------
 

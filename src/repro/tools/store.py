@@ -37,6 +37,7 @@ from repro.storage import (
     ShardedStore,
     fsck,
     fsck_sharded,
+    imc_segment_status,
     is_sharded_store,
 )
 from repro.storage.files import OsFileSystem
@@ -98,18 +99,26 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     try:
         if is_sharded_store(fs, args.directory):
             diagnostics = fsck_sharded(fs, args.directory)
+            segments = []
         else:
             diagnostics = fsck(fs, args.directory)
+            segments = imc_segment_status(fs, args.directory)
     except OSError as exc:
         print(f"cannot fsck {args.directory}: {exc}", file=sys.stderr)
         return 1
     if args.json:
-        print(json.dumps({"diagnostics": [d.to_dict()
-                                          for d in diagnostics]}, indent=2))
+        payload = {"diagnostics": [d.to_dict() for d in diagnostics]}
+        if segments:
+            payload["imc_segments"] = segments
+        print(json.dumps(payload, indent=2))
     else:
         for diagnostic in diagnostics:
             print(diagnostic.render())
-        if not diagnostics:
+        for row in segments:
+            print(f"imc segment {row['name']} "
+                  f"({row['table']}.{row['column']}, "
+                  f"{row['length']} bytes): {row['status']}")
+        if not diagnostics and not segments:
             print(f"{args.directory}: store clean")
     return 1 if has_errors(diagnostics) else 0
 

@@ -1,0 +1,160 @@
+"""Tests for the durable column-segment codec (:mod:`repro.imc.segments`)."""
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.errors import StorageError
+from repro.imc.segments import (
+    SegmentQuarantine,
+    decode_column_segment,
+    encodable_values,
+    encode_column_segment,
+    imc_segment_name,
+    parse_imc_segment_name,
+    segment_entry,
+    valid_entries,
+    verify_column_segment,
+)
+
+
+class TestNames:
+    def test_round_trip(self):
+        assert imc_segment_name(7) == "imc-00000007.col"
+        assert parse_imc_segment_name("imc-00000007.col") == 7
+
+    @pytest.mark.parametrize("name", [
+        "imc-0000000a.col", "imc-.col", "log-00000001.col",
+        "imc-00000001.log", "manifest.json"])
+    def test_rejects_non_segment_names(self, name):
+        assert parse_imc_segment_name(name) is None
+
+
+class TestEncodable:
+    def test_json_scalars_are_encodable(self):
+        assert encodable_values([1, 2.5, None])
+        assert encodable_values(["x", None, "y"])
+        assert encodable_values([True, None, False])
+
+    def test_big_ints_are_not(self):
+        assert not encodable_values([1, 2 ** 60])
+
+    def test_non_json_scalars_are_not(self):
+        assert not encodable_values([b"raw"])
+        assert not encodable_values([{"nested": 1}])
+
+    def test_mixed_kinds_are_not(self):
+        # a string frame would coerce 1 -> "1": not an exact round-trip
+        assert not encodable_values([1, "x"])
+        assert not encodable_values([True, 1])
+        assert not encodable_values(["x", False])
+
+
+def round_trip(values, doc_ids=None):
+    ids = list(range(len(values))) if doc_ids is None else doc_ids
+    data = encode_column_segment("t", "c", ids, values)
+    segment = decode_column_segment(data)
+    assert segment.table == "t" and segment.column == "c"
+    assert segment.doc_ids == list(ids)
+    return segment.values
+
+
+class TestRoundTrip:
+    def test_numeric_preserves_int_vs_float(self):
+        values = [1, 2.0, -3, 0.5, None]
+        out = round_trip(values)
+        assert out == values
+        assert [type(v) for v in out] == [type(v) for v in values]
+
+    def test_bool(self):
+        assert round_trip([True, False, None]) == [True, False, None]
+
+    def test_string_with_nulls_and_unicode(self):
+        values = ["ann", "", None, "péché", "x" * 500]
+        assert round_trip(values) == values
+
+    def test_mixed_kinds_rejected_at_encode(self):
+        with pytest.raises(StorageError):
+            encode_column_segment("t", "c", [0, 1], [1, "x"])
+
+    def test_empty_column(self):
+        assert round_trip([]) == []
+
+    def test_exact_53_bit_boundary(self):
+        values = [2 ** 53, -(2 ** 53)]
+        assert round_trip(values) == values
+
+
+class TestEncodeValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(StorageError):
+            encode_column_segment("t", "c", [1], [1, 2])
+
+    def test_unsorted_doc_ids_rejected(self):
+        with pytest.raises(StorageError):
+            encode_column_segment("t", "c", [2, 1], ["a", "b"])
+
+    def test_unencodable_values_rejected(self):
+        with pytest.raises(StorageError):
+            encode_column_segment("t", "c", [1], [2 ** 60])
+
+
+class TestDecodeRejectsDamage:
+    def good(self):
+        return encode_column_segment("emp", "id", [1, 2, 3], [10, 20, 30])
+
+    def test_bit_flip_anywhere_detected(self):
+        data = self.good()
+        for offset in range(0, len(data), 7):
+            corrupted = bytearray(data)
+            corrupted[offset] ^= 0x40
+            with pytest.raises(StorageError):
+                decode_column_segment(bytes(corrupted))
+
+    def test_truncation_detected(self):
+        data = self.good()
+        for cut in (1, 13, len(data) // 2, len(data) - 1):
+            with pytest.raises(StorageError):
+                decode_column_segment(data[:cut])
+
+    def test_trailing_garbage_detected(self):
+        with pytest.raises(StorageError):
+            decode_column_segment(self.good() + b"\x00" * 8)
+
+    def test_empty_input_detected(self):
+        with pytest.raises(StorageError):
+            decode_column_segment(b"")
+
+
+class TestVerify:
+    def test_clean_segment_no_findings(self):
+        data = encode_column_segment("emp", "id", [1], [7])
+        assert verify_column_segment(data) == []
+
+    def test_damage_is_warning_never_fatal(self):
+        data = bytearray(encode_column_segment("emp", "id", [1, 2], [7, 8]))
+        data[len(data) // 2] ^= 0xFF
+        findings = verify_column_segment(bytes(data), path="imc-1.col")
+        assert findings
+        assert all(f.severity is Severity.WARNING for f in findings)
+        assert any(f.rule == "storage.fsck.imc-corrupt" for f in findings)
+
+    def test_garbage_never_raises(self):
+        assert verify_column_segment(b"not a segment at all")
+
+
+class TestManifestEntries:
+    def test_entry_shape(self):
+        entry = segment_entry("imc-00000001.col", 64, "emp", "id", 3)
+        assert valid_entries([entry]) == [entry]
+
+    def test_malformed_rows_degrade_to_absent(self):
+        good = segment_entry("imc-00000001.col", 64, "emp", "id", 3)
+        assert valid_entries([good, {"name": 1}, "junk", None]) == [good]
+        assert valid_entries("not a list") == []
+        assert valid_entries(None) == []
+
+
+class TestQuarantine:
+    def test_render(self):
+        q = SegmentQuarantine("imc-00000001.col", "emp", "id", "torn")
+        assert "emp.id" in q.render() and "torn" in q.render()

@@ -1,0 +1,173 @@
+"""Crash-point sweep over the IMC segment lift (the tentpole's
+durability acceptance criterion).
+
+The workload registers a columnar provider, then checkpoints (cutting
+column segments + the pinning manifest swap), runs DML, checkpoints
+again, and compacts (the lift with ``drop_stale=True``).  The sweep
+crashes it at every write/flush/sync/create/replace/remove boundary ×
+failure mode and recovers from the surviving durable bytes.  The
+oracle, per the never-fatal cache contract:
+
+* the store **opens** (segments are pure cache: no IMC state may ever
+  make recovery fail);
+* under clean-crash and torn-write faults — which only damage
+  never-synced bytes — every **pinned** segment decodes cleanly and
+  claims the table/column the manifest says (the atomic swap pins a
+  segment only after its bytes are synced);
+* under bit-flip and truncation faults a pinned segment may be
+  damaged, but then ``fsck`` reports it (``storage.fsck.imc-*``) as a
+  WARNING — degraded, diagnosed, never an error;
+* a **second reopen** pins exactly the same segments with the same
+  verification outcome (the degraded state is stable, not flapping).
+"""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.imc.segments import decode_column_segment
+from repro.storage import CollectionStore, fsck
+from repro.storage.faults import (BITFLIP, CRASH, TORN, TRUNCATE,
+                                  FaultyFileSystem, enumerate_fault_points,
+                                  run_with_fault)
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "20260806"))
+
+DIR = "db"
+
+DOCS = [{"v": i, "name": f"n{i}"} for i in range(5)]
+
+
+def provider_for(store):
+    def provider(snapshot):
+        pairs = list(snapshot.documents())
+        doc_ids = [doc_id for doc_id, _ in pairs]
+        return [
+            ("t", "v", doc_ids, [doc.get("v") for _, doc in pairs]),
+            ("t", "name", doc_ids, [doc.get("name") for _, doc in pairs]),
+        ]
+    return provider
+
+
+def workload(fs, journal):
+    store = CollectionStore.create(DIR, fs=fs)
+    journal.append(("created",))
+    store.set_imc_provider(provider_for(store))
+    for doc in DOCS[:3]:
+        doc_id = store.insert(doc)
+        journal.append(("insert", doc_id))
+    store.checkpoint()  # cuts segments + atomic manifest swap
+    journal.append(("checkpoint",))
+    doc_id = store.insert(DOCS[3])
+    journal.append(("insert", doc_id))
+    store.update(0, {"v": 100, "name": "updated"})
+    journal.append(("update", 0))
+    store.delete(1)
+    journal.append(("delete", 1))
+    store.checkpoint()  # re-cut over the mutated collection
+    journal.append(("checkpoint",))
+    doc_id = store.insert(DOCS[4])
+    journal.append(("insert", doc_id))
+    store.compact()  # the lift with drop_stale=True + segment GC
+    journal.append(("compact",))
+    store.close()
+    journal.append(("closed",))
+
+
+def segment_outcomes(store, fs):
+    """(entry, decoded-ok) per pinned segment, via the reader path."""
+    outcomes = []
+    for entry in store.imc_segments():
+        try:
+            data = store.read_imc_segment(entry["name"])
+            if len(data) < entry["length"]:
+                raise StorageError("shorter than pinned length")
+            segment = decode_column_segment(data[:entry["length"]])
+            ok = (segment.table == entry["table"]
+                  and segment.column == entry["column"])
+        except (StorageError, OSError):
+            ok = False
+        outcomes.append((dict(entry), ok))
+    return outcomes
+
+
+def check_recovered(case, outcome):
+    durable = outcome.durable
+    context = case.describe()
+    try:
+        store = CollectionStore.open(DIR, fs=durable)
+    except StorageError:
+        assert not outcome.journal, (
+            f"{context}: store refused to open after acknowledged ops")
+        return
+
+    outcomes = segment_outcomes(store, durable)
+    diagnostics = fsck(durable, DIR)
+    imc_findings = [d for d in diagnostics if d.rule.startswith(
+        "storage.fsck.imc-")]
+
+    if case.plan.mode in (CRASH, TORN):
+        # pinned-after-sync invariant: the manifest swap happens after
+        # segment bytes are durable, so pure crash faults can never
+        # leave a damaged *pinned* segment
+        for entry, ok in outcomes:
+            assert ok, (f"{context}: pinned segment {entry['name']} "
+                        f"damaged by a pure crash fault")
+    else:
+        # durable bytes were destroyed: damage is allowed, silent
+        # damage is not
+        for entry, ok in outcomes:
+            if not ok:
+                assert any(d.path and entry["name"] in d.path
+                           or entry["name"] in d.message
+                           for d in imc_findings), (
+                    f"{context}: damaged segment {entry['name']} "
+                    f"not reported by fsck")
+    for finding in imc_findings:
+        assert finding.severity.name == "WARNING", (
+            f"{context}: IMC finding escalated beyond WARNING: "
+            f"{finding.render()}")
+
+    store.close()
+
+    # double restart: same pins, same verification outcome
+    second = CollectionStore.open(DIR, fs=durable)
+    assert segment_outcomes(second, durable) == outcomes, (
+        f"{context}: segment state changed between reopens")
+    second.close()
+
+
+@pytest.fixture(scope="module")
+def enumeration():
+    print(f"\n[imc fault sweep] REPRO_FAULT_SEED={SEED}")
+    return enumerate_fault_points(workload, seed=SEED)
+
+
+class TestSweepShape:
+    def test_workload_completes_without_faults(self):
+        fs = FaultyFileSystem()
+        journal = []
+        workload(fs, journal)
+        assert journal[-1] == ("closed",)
+        store = CollectionStore.open(DIR, fs=fs)
+        pinned = {(e["table"], e["column"]) for e in store.imc_segments()}
+        assert pinned == {("t", "v"), ("t", "name")}
+        assert all(ok for _, ok in segment_outcomes(store, fs))
+        store.close()
+
+    def test_segment_boundaries_are_swept(self, enumeration):
+        # the enumeration must actually cross the segment write path
+        touched = [op for op in enumeration.ops
+                   if op.path and "imc-" in op.path]
+        assert touched, "no segment I/O boundaries enumerated"
+
+
+@pytest.mark.parametrize("mode", [CRASH, TORN, BITFLIP, TRUNCATE])
+def test_imc_crash_point_sweep(enumeration, mode):
+    cases = [c for c in enumeration.cases if c.plan.mode == mode]
+    assert cases
+    for case in cases:
+        outcome = run_with_fault(workload, case)
+        assert outcome.crashed, f"{case.describe()}: fault never fired"
+        check_recovered(case, outcome)
